@@ -1,0 +1,52 @@
+// Shared helpers for the experiment-regeneration binaries. Every bench
+// prints the table(s) of one paper artifact (or added validation/ablation
+// table) and accepts --flags to scale the sweep up to paper-fidelity
+// sample counts.
+#pragma once
+
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "common/args.h"
+#include "common/table.h"
+#include "workload/scenario.h"
+
+namespace cloudalloc::bench {
+
+/// Wall-clock helper.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// The client-count sweep used by the paper's figures (x axis 20..200).
+inline std::vector<int> client_sweep(const Args& args) {
+  const int lo = static_cast<int>(args.get_int("clients-lo", 20));
+  const int hi = static_cast<int>(args.get_int("clients-hi", 200));
+  const int step = static_cast<int>(args.get_int("clients-step", 20));
+  std::vector<int> out;
+  for (int n = lo; n <= hi; n += step) out.push_back(n);
+  return out;
+}
+
+inline workload::ScenarioParams scenario_params(int clients) {
+  workload::ScenarioParams params;  // paper Section VI defaults
+  params.num_clients = clients;
+  return params;
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::cout << "\n=== " << title << " ===\n"
+            << "paper artifact: " << paper_ref << "\n\n";
+}
+
+}  // namespace cloudalloc::bench

@@ -1,0 +1,69 @@
+// Regenerates Figure 4: normalized total profit versus number of clients
+// for (i) the proposed Resource_Alloc heuristic, (ii) the modified
+// Proportional-Share baseline, and (iii) the best solution found by
+// Monte-Carlo search (the normalization reference).
+//
+// Flags: --clients-lo/hi/step, --scenarios (seeds per point, paper uses
+// >=20, 5 at 200 clients), --mc-samples (paper uses >=10,000),
+// --csv=<path> to also dump the series for plotting.
+#include <algorithm>
+#include <iostream>
+
+#include "alloc/allocator.h"
+#include "baselines/monte_carlo.h"
+#include "baselines/proportional_share.h"
+#include "bench_common.h"
+#include "common/stats.h"
+
+using namespace cloudalloc;
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const int scenarios = static_cast<int>(args.get_int("scenarios", 3));
+  const int mc_samples = static_cast<int>(args.get_int("mc-samples", 20));
+
+  bench::print_header("Normalized total profit vs number of clients",
+                      "Figure 4");
+  Table table({"clients", "proposed", "modified_PS", "best_found",
+               "abs_best_profit", "unassigned"});
+
+  bench::Stopwatch total;
+  for (int n : bench::client_sweep(args)) {
+    Summary ours_norm, ps_norm, abs_best;
+    int unassigned = 0;
+    for (int s = 0; s < scenarios; ++s) {
+      const std::uint64_t seed = 1000 + static_cast<std::uint64_t>(s);
+      const auto cloud =
+          workload::make_scenario(bench::scenario_params(n), seed);
+
+      const auto ours = alloc::ResourceAllocator().run(cloud);
+      const auto ps = baselines::proportional_share_allocate(
+          cloud, baselines::PsOptions{});
+      baselines::MonteCarloOptions mc;
+      mc.samples = mc_samples;
+      const auto best_found = baselines::monte_carlo_search(cloud, mc, seed);
+
+      // "Best found" = best over everything tried, as in the paper.
+      const double best = std::max({best_found.best_profit,
+                                    ours.report.final_profit, ps.profit});
+      ours_norm.add(ours.report.final_profit / best);
+      ps_norm.add(std::max(ps.profit, 0.0) / best);
+      abs_best.add(best);
+      unassigned += ours.report.unassigned_clients;
+    }
+    table.add_row({std::to_string(n), Table::num(ours_norm.mean(), 3),
+                   Table::num(ps_norm.mean(), 3), "1.000",
+                   Table::num(abs_best.mean(), 1),
+                   std::to_string(unassigned)});
+  }
+  table.print(std::cout);
+  if (args.has("csv")) {
+    const std::string path = args.get("csv", "fig4.csv");
+    std::cout << (table.write_csv(path) ? "\nwrote " : "\nFAILED to write ")
+              << path << "\n";
+  }
+  std::cout << "\npaper shape check: proposed within ~9% of best_found at "
+               "every point;\nmodified PS 'not comparable' (well below both)."
+            << "\nelapsed: " << Table::num(total.seconds(), 1) << "s\n";
+  return 0;
+}

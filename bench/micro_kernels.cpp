@@ -1,0 +1,117 @@
+// Added table E7 (google-benchmark): throughput of the numerical kernels
+// the heuristic leans on — the KKT share water-filling (eq. 18), the
+// convex dispersion solver, the quantized-split DP, and one full
+// Assign_Distribute evaluation.
+#include <benchmark/benchmark.h>
+
+#include "alloc/allocator.h"
+#include "alloc/assign_distribute.h"
+#include "common/rng.h"
+#include "model/evaluator.h"
+#include "opt/dispersion.h"
+#include "opt/dp.h"
+#include "opt/kkt_shares.h"
+#include "workload/scenario.h"
+
+using namespace cloudalloc;
+
+namespace {
+
+std::vector<opt::ShareItem> make_share_items(int n, Rng& rng) {
+  std::vector<opt::ShareItem> items;
+  for (int i = 0; i < n; ++i) {
+    opt::ShareItem it;
+    it.weight = rng.uniform(0.1, 3.0);
+    it.rate_factor = rng.uniform(2.0, 8.0);
+    // Scale loads with n so the floors stay jointly feasible and the
+    // bench measures the water-filling, not the infeasibility early-out.
+    it.load = rng.uniform(0.05, 0.5) * 4.0 / n;
+    it.lo = (it.load + 0.02) / it.rate_factor;
+    it.hi = 1.0;
+    items.push_back(it);
+  }
+  return items;
+}
+
+void BM_KktShares(benchmark::State& state) {
+  Rng rng(1);
+  const auto items = make_share_items(static_cast<int>(state.range(0)), rng);
+  for (auto _ : state) {
+    auto sol = opt::solve_shares(items, 1.0);
+    benchmark::DoNotOptimize(sol);
+  }
+  state.counters["items"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_KktShares)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_Dispersion(benchmark::State& state) {
+  Rng rng(2);
+  const double lambda = 2.0;
+  std::vector<opt::DispersionItem> items;
+  for (int j = 0; j < state.range(0); ++j) {
+    opt::DispersionItem it;
+    it.mu_p = rng.uniform(1.5, 4.0) * lambda;
+    it.mu_n = rng.uniform(1.5, 4.0) * lambda;
+    it.lin_cost = rng.uniform(0.0, 1.0);
+    it.cap = std::min(1.0, 0.9 * std::min(it.mu_p, it.mu_n) / lambda);
+    items.push_back(it);
+  }
+  for (auto _ : state) {
+    auto sol = opt::solve_dispersion(items, lambda, 1.0);
+    benchmark::DoNotOptimize(sol);
+  }
+  state.counters["servers"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Dispersion)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_DpDistribute(benchmark::State& state) {
+  Rng rng(3);
+  const int J = static_cast<int>(state.range(0));
+  const int G = static_cast<int>(state.range(1));
+  std::vector<std::vector<double>> scores(
+      static_cast<std::size_t>(J),
+      std::vector<double>(static_cast<std::size_t>(G) + 1, 0.0));
+  for (auto& row : scores)
+    for (std::size_t g = 1; g < row.size(); ++g)
+      row[g] = rng.uniform(-2.0, 2.0);
+  for (auto _ : state) {
+    auto result = opt::dp_distribute(scores, G);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["J"] = static_cast<double>(J);
+  state.counters["G"] = static_cast<double>(G);
+}
+BENCHMARK(BM_DpDistribute)->Args({10, 10})->Args({35, 10})->Args({35, 40});
+
+void BM_AssignDistribute(benchmark::State& state) {
+  workload::ScenarioParams params;
+  params.num_clients = 50;
+  const auto cloud = workload::make_scenario(params, 4);
+  alloc::AllocatorOptions opts;
+  model::Allocation alloc_state(cloud);
+  // Half-fill the first cluster so the evaluation sees realistic state.
+  for (model::ClientId i = 0; i < 25; ++i) {
+    auto plan = alloc::assign_distribute(alloc_state, i, 0, opts);
+    if (plan) alloc_state.assign(i, 0, std::move(plan->placements));
+  }
+  for (auto _ : state) {
+    auto plan = alloc::assign_distribute(alloc_state, 30, 0, opts);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_AssignDistribute);
+
+void BM_ProfitEvaluation(benchmark::State& state) {
+  workload::ScenarioParams params;
+  params.num_clients = 100;
+  const auto cloud = workload::make_scenario(params, 5);
+  const auto result = alloc::ResourceAllocator().run(cloud);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model::profit(result.allocation));
+  }
+}
+BENCHMARK(BM_ProfitEvaluation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

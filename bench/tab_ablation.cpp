@@ -1,0 +1,84 @@
+// Added table E5: ablation of the heuristic's stages and knobs. Each row
+// disables one local-search stage (or shrinks a knob) and reports the mean
+// profit relative to the full configuration — quantifying the design
+// choices Section V motivates qualitatively.
+//
+// Flags: --clients, --scenarios.
+#include <functional>
+#include <iostream>
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "bench_common.h"
+#include "common/stats.h"
+
+using namespace cloudalloc;
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const int clients = static_cast<int>(args.get_int("clients", 100));
+  const int scenarios = static_cast<int>(args.get_int("scenarios", 3));
+
+  bench::print_header("Stage/knob ablation of Resource_Alloc",
+                      "added analysis (E5), Section V design choices");
+
+  struct Variant {
+    const char* name;
+    std::function<void(alloc::AllocatorOptions&)> tweak;
+  };
+  const std::vector<Variant> variants{
+      {"full", [](alloc::AllocatorOptions&) {}},
+      {"no_adjust_shares",
+       [](alloc::AllocatorOptions& o) { o.enable_adjust_shares = false; }},
+      {"no_adjust_dispersion",
+       [](alloc::AllocatorOptions& o) { o.enable_adjust_dispersion = false; }},
+      {"no_turn_on",
+       [](alloc::AllocatorOptions& o) { o.enable_turn_on = false; }},
+      {"no_turn_off",
+       [](alloc::AllocatorOptions& o) { o.enable_turn_off = false; }},
+      {"no_reassign",
+       [](alloc::AllocatorOptions& o) { o.enable_reassign = false; }},
+      {"no_local_search",
+       [](alloc::AllocatorOptions& o) { o.max_local_search_rounds = 0; }},
+      {"single_start",
+       [](alloc::AllocatorOptions& o) { o.num_initial_solutions = 1; }},
+      {"psi_grid_4", [](alloc::AllocatorOptions& o) { o.psi_grid = 4; }},
+      {"psi_grid_20", [](alloc::AllocatorOptions& o) { o.psi_grid = 20; }},
+  };
+
+  // Reference profits per scenario from the full configuration.
+  std::vector<double> reference;
+  for (int s = 0; s < scenarios; ++s) {
+    const auto cloud = workload::make_scenario(
+        bench::scenario_params(clients), 3000 + static_cast<std::uint64_t>(s));
+    reference.push_back(
+        alloc::ResourceAllocator().run(cloud).report.final_profit);
+  }
+
+  Table table({"variant", "rel_profit", "mean_profit", "mean_seconds",
+               "mean_active"});
+  bench::Stopwatch total;
+  for (const auto& variant : variants) {
+    Summary rel, absolute, seconds, active;
+    for (int s = 0; s < scenarios; ++s) {
+      const auto cloud = workload::make_scenario(
+          bench::scenario_params(clients),
+          3000 + static_cast<std::uint64_t>(s));
+      alloc::AllocatorOptions opts;
+      variant.tweak(opts);
+      const auto run = alloc::ResourceAllocator(opts).run(cloud);
+      rel.add(run.report.final_profit /
+              reference[static_cast<std::size_t>(s)]);
+      absolute.add(run.report.final_profit);
+      seconds.add(run.report.wall_seconds);
+      active.add(run.report.active_servers);
+    }
+    table.add_row({variant.name, Table::num(rel.mean(), 3),
+                   Table::num(absolute.mean(), 1),
+                   Table::num(seconds.mean(), 3),
+                   Table::num(active.mean(), 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nelapsed: " << Table::num(total.seconds(), 1) << "s\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Added table E10: the cluster dispatcher's role (Figure 2 / Section III).
+// An allocation is computed for the *predicted* arrival rates, then the
+// simulator drives it with the actual demand off by a factor. The static
+// psi-sampling dispatcher trusts the plan; the least-expected-wait
+// dispatcher is the paper's local manager "properly reacting" to dynamic
+// changes without a cloud-level re-decision. We report the realized mean
+// response time and the revenue implied by the SLA utilities.
+//
+// Flags: --clients, --horizon.
+#include <cmath>
+#include <iostream>
+
+#include "alloc/allocator.h"
+#include "bench_common.h"
+#include "common/stats.h"
+#include "model/evaluator.h"
+#include "sim/runner.h"
+
+using namespace cloudalloc;
+
+namespace {
+
+struct Outcome {
+  double mean_response = 0.0;
+  double revenue = 0.0;
+};
+
+Outcome run(const model::Allocation& alloc, double demand_factor,
+            sim::DispatchPolicy policy, double horizon) {
+  sim::SimOptions opts;
+  opts.horizon = horizon;
+  opts.seed = 9;
+  opts.demand_factor = demand_factor;
+  opts.dispatch = policy;
+  opts.collect_percentiles = false;
+  const auto report = sim::simulate_allocation(alloc, opts);
+
+  Outcome out;
+  Summary responses;
+  const auto& cloud = alloc.cloud();
+  for (const auto& c : report.clients) {
+    responses.add(c.mean_response);
+    out.revenue += cloud.client(c.id).lambda_agreed *
+                   cloud.utility_of(c.id).value(c.mean_response);
+  }
+  out.mean_response = responses.mean();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const int clients = static_cast<int>(args.get_int("clients", 40));
+  const double horizon = args.get_double("horizon", 800.0);
+
+  bench::print_header(
+      "Dispatcher robustness to demand prediction error",
+      "added analysis (E10), Figure 2 / Section III local managers");
+
+  const auto cloud =
+      workload::make_scenario(bench::scenario_params(clients), 8000);
+  const auto planned = alloc::ResourceAllocator().run(cloud);
+
+  Table table({"actual/predicted", "static_R", "static_revenue", "dynamic_R",
+               "dynamic_revenue"});
+  for (double factor : {0.8, 1.0, 1.1, 1.2, 1.3}) {
+    const auto fixed = run(planned.allocation, factor,
+                           sim::DispatchPolicy::kStaticPsi, horizon);
+    const auto dynamic = run(planned.allocation, factor,
+                             sim::DispatchPolicy::kLeastExpectedWait, horizon);
+    table.add_row({Table::num(factor, 2), Table::num(fixed.mean_response, 3),
+                   Table::num(fixed.revenue, 1),
+                   Table::num(dynamic.mean_response, 3),
+                   Table::num(dynamic.revenue, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nshape check: at the planned demand both dispatchers agree; "
+               "as actual demand\novershoots the prediction, the reactive "
+               "dispatcher degrades more gracefully.\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Added table E3b: the distributed decision-making claim of Section VI —
+// parallel cluster agents reduce decision time by roughly the number of
+// clusters, at the price of "limited communication". Compares the
+// sequential ResourceAllocator with the agent-threaded
+// DistributedAllocator on identical scenarios.
+//
+// Flags: --clusters-list is fixed at {2,5,10}; --clients.
+#include <iostream>
+
+#include "alloc/allocator.h"
+#include "bench_common.h"
+#include "dist/manager.h"
+#include "model/evaluator.h"
+
+using namespace cloudalloc;
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const int clients = static_cast<int>(args.get_int("clients", 150));
+
+  bench::print_header("Sequential vs distributed decision time",
+                      "Section VI complexity discussion (factor ~K)");
+  Table table({"clusters", "seq_seconds", "dist_seconds", "speedup",
+               "messages", "seq_profit", "dist_profit"});
+
+  for (int clusters : {2, 5, 10}) {
+    workload::ScenarioParams params = bench::scenario_params(clients);
+    params.num_clusters = clusters;
+    // Keep the fleet size comparable across rows.
+    params.servers_per_cluster = 175 / clusters;
+    const auto cloud = workload::make_scenario(params, 5000);
+
+    alloc::AllocatorOptions opts;
+    bench::Stopwatch seq_sw;
+    const auto seq = alloc::ResourceAllocator(opts).run(cloud);
+    const double seq_s = seq_sw.seconds();
+
+    bench::Stopwatch dist_sw;
+    const auto dist = dist::DistributedAllocator({opts}).run(cloud);
+    const double dist_s = dist_sw.seconds();
+
+    table.add_row({std::to_string(clusters), Table::num(seq_s, 3),
+                   Table::num(dist_s, 3), Table::num(seq_s / dist_s, 2),
+                   std::to_string(dist.report.messages),
+                   Table::num(seq.report.final_profit, 1),
+                   Table::num(dist.report.final_profit, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nnote: speedup depends on available cores; the paper's "
+               "claim is the K-fold\nreduction of per-decision computation, "
+               "which the messages column witnesses\n(K evaluations per "
+               "client proceed concurrently).\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Added table E4: validates the analytic GPS/M-M-1 response-time model
+// (eq. 1) that the optimizer trusts, against the discrete-event simulator,
+// in both scheduling modes:
+//   * isolated shares — the paper's model verbatim; simulated means must
+//     match the analytic values within sampling error;
+//   * work-conserving GPS — realistic redistribution of idle capacity;
+//     simulated means must come out at or below the analytic values
+//     (the model is conservative).
+//
+// Flags: --clients, --horizon, --seed.
+#include <iostream>
+
+#include "alloc/allocator.h"
+#include "bench_common.h"
+#include "common/stats.h"
+#include "sim/runner.h"
+
+using namespace cloudalloc;
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const int clients = static_cast<int>(args.get_int("clients", 20));
+  const double horizon = args.get_double("horizon", 1500.0);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 3));
+
+  bench::print_header("Analytic vs simulated mean response times",
+                      "model validation (E4; implicit in Section III)");
+
+  const auto cloud =
+      workload::make_scenario(bench::scenario_params(clients), seed);
+  const auto result = alloc::ResourceAllocator().run(cloud);
+
+  bench::Stopwatch total;
+  for (const auto mode :
+       {sim::GpsMode::kIsolated, sim::GpsMode::kWorkConserving}) {
+    sim::SimOptions sopts;
+    sopts.horizon = horizon;
+    sopts.seed = seed;
+    sopts.mode = mode;
+    const auto report = sim::simulate_allocation(result.allocation, sopts);
+
+    const bool isolated = mode == sim::GpsMode::kIsolated;
+    std::cout << (isolated ? "-- isolated shares (paper model) --\n"
+                           : "-- work-conserving GPS --\n");
+    Table table({"client", "lambda", "analytic_R", "simulated_R", "ci95",
+                 "completed"});
+    Summary rel;
+    int below = 0;
+    for (const auto& c : report.clients) {
+      table.add_row({std::to_string(c.id),
+                     Table::num(cloud.client(c.id).lambda_pred, 2),
+                     Table::num(c.analytic_response, 3),
+                     Table::num(c.mean_response, 3), Table::num(c.ci95, 3),
+                     std::to_string(c.completed)});
+      if (c.analytic_response > 0.0)
+        rel.add((c.mean_response - c.analytic_response) /
+                c.analytic_response);
+      if (c.mean_response <= c.analytic_response + c.ci95) ++below;
+    }
+    table.print(std::cout);
+    std::cout << "mean signed relative error: " << Table::num(rel.mean(), 4)
+              << "  (|mean abs| " << Table::num(report.mean_abs_rel_error, 4)
+              << ")\n"
+              << "clients at/below analytic prediction: " << below << "/"
+              << report.clients.size() << "\n\n";
+  }
+  std::cout << "elapsed: " << Table::num(total.seconds(), 1) << "s\n";
+  return 0;
+}

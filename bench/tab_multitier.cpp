@@ -1,0 +1,57 @@
+// Added table E9: the multi-tier extension (Section VII future work) —
+// how profit, response time, and fleet usage scale with the tier count
+// when total per-client demand is held fixed. More tiers mean more
+// queueing stages (each adds sojourn time) and more placements (each adds
+// disk copies and potential activation), so profit should decay gently
+// with depth; the table quantifies it.
+//
+// Flags: --clients, --scenarios.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/stats.h"
+#include "model/evaluator.h"
+#include "model/feasibility.h"
+#include "multitier/multitier.h"
+
+using namespace cloudalloc;
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const int clients = static_cast<int>(args.get_int("clients", 40));
+  const int scenarios = static_cast<int>(args.get_int("scenarios", 3));
+
+  bench::print_header("Profit vs application tier depth",
+                      "added analysis (E9), Section VII future work");
+  Table table({"tiers", "mean_profit", "mean_R_end_to_end", "active_servers",
+               "unserved_apps"});
+
+  for (int tiers = 1; tiers <= 4; ++tiers) {
+    Summary profit, response, active;
+    int unserved = 0;
+    for (int s = 0; s < scenarios; ++s) {
+      const auto instance = multitier::make_multitier_scenario(
+          clients, tiers, tiers, 7000 + static_cast<std::uint64_t>(s));
+      const auto result = multitier::allocate(instance);
+      profit.add(result.profit);
+      active.add(result.allocation.num_active_servers());
+      for (std::size_t p = 0; p < instance.clients.size(); ++p) {
+        const double r = multitier::end_to_end_response_time(
+            result.expanded, result.allocation, static_cast<int>(p));
+        if (std::isfinite(r))
+          response.add(r);
+        else
+          ++unserved;
+      }
+    }
+    table.add_row({std::to_string(tiers), Table::num(profit.mean(), 1),
+                   Table::num(response.mean(), 3),
+                   Table::num(active.mean(), 1), std::to_string(unserved)});
+  }
+  table.print(std::cout);
+  std::cout << "\nshape check: profit decays gently with tier depth (more "
+               "queueing stages and\ndisk copies per client at equal total "
+               "demand).\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Added table E3a (google-benchmark): runtime scaling of the heuristic and
+// its kernels versus problem size — the complexity claims of Section VI:
+// initial solution O(K * G^2 * J) per client, improved by ~K with the
+// distributed mode; local-search stages polynomial in N and J.
+#include <benchmark/benchmark.h>
+
+#include "alloc/allocator.h"
+#include "alloc/initial.h"
+#include "common/rng.h"
+#include "workload/scenario.h"
+
+using namespace cloudalloc;
+
+namespace {
+
+void BM_FullAllocator_Clients(benchmark::State& state) {
+  workload::ScenarioParams params;
+  params.num_clients = static_cast<int>(state.range(0));
+  const auto cloud = workload::make_scenario(params, 11);
+  for (auto _ : state) {
+    auto result = alloc::ResourceAllocator().run(cloud);
+    benchmark::DoNotOptimize(result.report.final_profit);
+  }
+  state.counters["clients"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_FullAllocator_Clients)
+    ->Arg(20)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_InitialSolution_PsiGrid(benchmark::State& state) {
+  workload::ScenarioParams params;
+  params.num_clients = 100;
+  const auto cloud = workload::make_scenario(params, 11);
+  alloc::AllocatorOptions opts;
+  opts.psi_grid = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Rng rng(1);
+    auto result = alloc::build_initial_solution(cloud, opts, rng);
+    benchmark::DoNotOptimize(result.num_active_servers());
+  }
+  state.counters["G"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_InitialSolution_PsiGrid)
+    ->Arg(5)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_InitialSolution_Servers(benchmark::State& state) {
+  workload::ScenarioParams params;
+  params.num_clients = 60;
+  params.servers_per_cluster = static_cast<int>(state.range(0));
+  const auto cloud = workload::make_scenario(params, 11);
+  alloc::AllocatorOptions opts;
+  for (auto _ : state) {
+    Rng rng(1);
+    auto result = alloc::build_initial_solution(cloud, opts, rng);
+    benchmark::DoNotOptimize(result.num_active_servers());
+  }
+  state.counters["servers"] = static_cast<double>(5 * state.range(0));
+}
+BENCHMARK(BM_InitialSolution_Servers)
+    ->Arg(10)
+    ->Arg(20)
+    ->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

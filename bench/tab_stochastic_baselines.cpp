@@ -1,0 +1,73 @@
+// Added table E6: the stochastic optimizers the paper names as the
+// alternative for this non-convex MINLP ("Simulated Annealing or Genetic
+// Search", Section V) versus the heuristic: solution quality and time.
+//
+// Flags: --clients, --sa-steps, --ga-generations, --mc-samples.
+#include <iostream>
+
+#include "alloc/allocator.h"
+#include "baselines/ga_alloc.h"
+#include "baselines/monte_carlo.h"
+#include "baselines/sa_alloc.h"
+#include "bench_common.h"
+
+using namespace cloudalloc;
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const int clients = static_cast<int>(args.get_int("clients", 60));
+  const int sa_steps = static_cast<int>(args.get_int("sa-steps", 300));
+  const int ga_generations =
+      static_cast<int>(args.get_int("ga-generations", 25));
+  const int mc_samples = static_cast<int>(args.get_int("mc-samples", 25));
+  const std::uint64_t seed = 4000;
+
+  bench::print_header("Heuristic vs stochastic optimizers",
+                      "added analysis (E6), Section V remark");
+  const auto cloud =
+      workload::make_scenario(bench::scenario_params(clients), seed);
+
+  Table table({"method", "profit", "seconds", "notes"});
+
+  {
+    bench::Stopwatch sw;
+    const auto run = alloc::ResourceAllocator().run(cloud);
+    table.add_row({"Resource_Alloc (proposed)",
+                   Table::num(run.report.final_profit, 1),
+                   Table::num(sw.seconds(), 2),
+                   std::to_string(run.report.rounds_run) + " rounds"});
+  }
+  {
+    bench::Stopwatch sw;
+    baselines::SaAllocOptions opts;
+    opts.annealing.steps = sa_steps;
+    const auto run = baselines::sa_allocate(cloud, opts, seed);
+    table.add_row({"Simulated annealing", Table::num(run.profit, 1),
+                   Table::num(sw.seconds(), 2),
+                   std::to_string(run.evaluations) + " evals"});
+  }
+  {
+    bench::Stopwatch sw;
+    baselines::GaAllocOptions opts;
+    opts.genetic.generations = ga_generations;
+    opts.genetic.population = 16;
+    const auto run = baselines::ga_allocate(cloud, opts, seed);
+    table.add_row({"Genetic search", Table::num(run.profit, 1),
+                   Table::num(sw.seconds(), 2),
+                   std::to_string(ga_generations) + " generations"});
+  }
+  {
+    bench::Stopwatch sw;
+    baselines::MonteCarloOptions opts;
+    opts.samples = mc_samples;
+    const auto run = baselines::monte_carlo_search(cloud, opts, seed);
+    table.add_row({"Monte-Carlo + local search",
+                   Table::num(run.best_profit, 1), Table::num(sw.seconds(), 2),
+                   std::to_string(mc_samples) + " samples"});
+  }
+  table.print(std::cout);
+  std::cout << "\npaper shape check: the purpose-built heuristic reaches "
+               "comparable-or-better\nprofit orders of magnitude faster than "
+               "generic stochastic search.\n";
+  return 0;
+}

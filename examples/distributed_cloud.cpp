@@ -1,0 +1,54 @@
+// Distributed decision making (Figure 1's architecture): a central
+// manager and one agent per cluster exchange messages to parallelize the
+// per-client Assign_Distribute pricing and the cluster-local improvement
+// stages. Prints the message traffic and compares against the sequential
+// allocator.
+//
+//   ./distributed_cloud [--clients=100] [--clusters=5] [--seed=4]
+#include <iostream>
+
+#include "alloc/allocator.h"
+#include "common/args.h"
+#include "common/table.h"
+#include "dist/manager.h"
+#include "model/evaluator.h"
+#include "model/feasibility.h"
+#include "workload/scenario.h"
+
+using namespace cloudalloc;
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  workload::ScenarioParams params;
+  params.num_clients = static_cast<int>(args.get_int("clients", 100));
+  params.num_clusters = static_cast<int>(args.get_int("clusters", 5));
+  const auto cloud = workload::make_scenario(
+      params, static_cast<std::uint64_t>(args.get_int("seed", 4)));
+
+  alloc::AllocatorOptions opts;
+
+  const auto sequential = alloc::ResourceAllocator(opts).run(cloud);
+  const auto distributed = dist::DistributedAllocator({opts}).run(cloud);
+
+  Table table({"mode", "profit", "seconds", "rounds", "messages"});
+  table.add_row({"sequential (central only)",
+                 Table::num(sequential.report.final_profit, 1),
+                 Table::num(sequential.report.wall_seconds, 3),
+                 std::to_string(sequential.report.rounds_run), "0"});
+  table.add_row({"distributed (agents per cluster)",
+                 Table::num(distributed.report.final_profit, 1),
+                 Table::num(distributed.report.wall_seconds, 3),
+                 std::to_string(distributed.report.rounds_run),
+                 std::to_string(distributed.report.messages)});
+  table.print(std::cout);
+
+  std::cout << "\nboth feasible: sequential="
+            << model::is_feasible(sequential.allocation)
+            << " distributed=" << model::is_feasible(distributed.allocation)
+            << "\nthe distributed mode prices each client on all "
+            << params.num_clusters
+            << " clusters concurrently and runs the per-cluster improvement "
+               "stages in parallel,\nkeeping only the cross-cluster "
+               "reassignment at the central manager.\n";
+  return 0;
+}

@@ -1,0 +1,87 @@
+#include "alloc/adjust_dispersion.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/mathutil.h"
+#include "model/evaluator.h"
+#include "opt/dispersion.h"
+#include "queueing/gps.h"
+
+namespace cloudalloc::alloc {
+namespace {
+
+using model::Allocation;
+using model::Client;
+using model::ClientId;
+using model::Placement;
+
+/// psi below this after re-optimization drops the slice entirely.
+constexpr double kDropThreshold = 1e-4;
+
+}  // namespace
+
+double adjust_dispersion_rates(Allocation& alloc, ClientId i,
+                               const AllocatorOptions& opts) {
+  if (!alloc.is_assigned(i)) return 0.0;
+  const auto& cloud = alloc.cloud();
+  const Client& c = cloud.client(i);
+  const std::vector<Placement> current = alloc.placements(i);
+  if (current.size() < 2) return 0.0;  // nothing to re-split
+
+  const double before = model::profit(alloc);
+  const double r_now = alloc.response_time(i);
+  const double slope = std::isfinite(r_now) ? cloud.utility_of(i).slope(r_now)
+                                            : cloud.utility_of(i).slope(0.0);
+  const double delay_weight = slope * c.lambda_agreed;
+
+  std::vector<opt::DispersionItem> items;
+  items.reserve(current.size());
+  for (const Placement& p : current) {
+    const auto& sc = cloud.server_class_of(p.server);
+    opt::DispersionItem it;
+    it.mu_p = queueing::gps_service_rate(p.phi_p, sc.cap_p, c.alpha_p);
+    it.mu_n = queueing::gps_service_rate(p.phi_n, sc.cap_n, c.alpha_n);
+    it.lin_cost = sc.cost_per_util * c.lambda_pred * c.alpha_p / sc.cap_p;
+    // Stability cap with headroom, against the slower stage.
+    const double mu_min = std::min(it.mu_p, it.mu_n);
+    it.cap = clamp((mu_min - opts.stability_headroom) / c.lambda_pred, 0.0,
+                   1.0);
+    items.push_back(it);
+  }
+
+  const auto sol = opt::solve_dispersion(items, c.lambda_pred, delay_weight);
+  if (!sol) return 0.0;
+
+  std::vector<Placement> next;
+  double psi_sum = 0.0;
+  for (std::size_t idx = 0; idx < current.size(); ++idx) {
+    if (sol->psi[idx] < kDropThreshold) continue;
+    Placement p = current[idx];
+    p.psi = sol->psi[idx];
+    psi_sum += p.psi;
+    next.push_back(p);
+  }
+  if (next.empty() || !near(psi_sum, 1.0, 1e-3)) return 0.0;
+  // Renormalize the rounding left by dropped slices.
+  for (Placement& p : next) p.psi /= psi_sum;
+
+  alloc.assign(i, alloc.cluster_of(i), next);
+  const double after = model::profit(alloc);
+  if (after + 1e-12 < before) {
+    alloc.assign(i, alloc.cluster_of(i), current);
+    return 0.0;
+  }
+  return after - before;
+}
+
+double adjust_all_dispersions(Allocation& alloc,
+                              const AllocatorOptions& opts) {
+  double delta = 0.0;
+  for (ClientId i = 0; i < alloc.cloud().num_clients(); ++i)
+    delta += adjust_dispersion_rates(alloc, i, opts);
+  return delta;
+}
+
+}  // namespace cloudalloc::alloc

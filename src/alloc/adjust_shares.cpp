@@ -1,0 +1,119 @@
+#include "alloc/adjust_shares.h"
+
+#include <cmath>
+#include <vector>
+
+#include "alloc/share_policy.h"
+#include "common/check.h"
+#include "common/mathutil.h"
+#include "model/evaluator.h"
+#include "opt/kkt_shares.h"
+#include "queueing/gps.h"
+
+namespace cloudalloc::alloc {
+namespace {
+
+using model::Allocation;
+using model::Client;
+using model::ClientId;
+using model::Placement;
+using model::ServerClass;
+using model::ServerId;
+
+/// Finds the index of client i's placement on server j.
+std::size_t placement_index(const Allocation& alloc, ClientId i, ServerId j) {
+  const auto& ps = alloc.placements(i);
+  for (std::size_t idx = 0; idx < ps.size(); ++idx)
+    if (ps[idx].server == j) return idx;
+  CHECK_MSG(false, "client has no placement on server");
+  return 0;
+}
+
+}  // namespace
+
+double adjust_resource_shares(Allocation& alloc, ServerId j,
+                              const AllocatorOptions& opts) {
+  const auto& cloud = alloc.cloud();
+  const ServerClass& sc = cloud.server_class_of(j);
+  const std::vector<ClientId> clients = alloc.clients_on(j);  // copy
+  if (clients.empty()) return 0.0;
+
+  // Profit-affecting state before the move (only this server's clients and
+  // this server's cost can change).
+  const double before = model::profit(alloc);
+
+  // Budgets exclude background reservations.
+  const double budget_p =
+      1.0 - cloud.server(j).background.phi_p;
+  const double budget_n =
+      1.0 - cloud.server(j).background.phi_n;
+
+  const ShareSizing sizing = ShareSizing::from(cloud);
+  std::vector<opt::ShareItem> items_p, items_n;
+  items_p.reserve(clients.size());
+  items_n.reserve(clients.size());
+  for (ClientId i : clients) {
+    const Client& c = cloud.client(i);
+    const Placement& p =
+        alloc.placements(i)[placement_index(alloc, i, j)];
+    // Weight by the slope at the origin (the paper's linear form): using
+    // the local slope would zero out clients currently past their
+    // zero-crossing and make them unrecoverable.
+    const double slope = cloud.utility_of(i).slope(0.0);
+    const double zc = cloud.utility_of(i).zero_crossing();
+    const double w = slope * c.lambda_agreed * p.psi;
+    const double load = p.psi * c.lambda_pred;
+
+    // Ceilings follow the share policy so rebalancing cannot freeze the
+    // whole server at 100% and block future client moves.
+    opt::ShareItem ip;
+    ip.weight = w;
+    ip.rate_factor = sc.cap_p / c.alpha_p;
+    ip.load = load;
+    ip.lo = queueing::gps_min_share(load, sc.cap_p, c.alpha_p,
+                                    opts.stability_headroom);
+    ip.hi = clamp(share_cap(load, p.psi, sc.cap_p, c.alpha_p, zc,
+                            sizing.slack_work_p, opts),
+                  ip.lo, budget_p);
+    items_p.push_back(ip);
+
+    opt::ShareItem in;
+    in.weight = w;
+    in.rate_factor = sc.cap_n / c.alpha_n;
+    in.load = load;
+    in.lo = queueing::gps_min_share(load, sc.cap_n, c.alpha_n,
+                                    opts.stability_headroom);
+    in.hi = clamp(share_cap(load, p.psi, sc.cap_n, c.alpha_n, zc,
+                            sizing.slack_work_n, opts),
+                  in.lo, budget_n);
+    items_n.push_back(in);
+  }
+
+  const auto sol_p = opt::solve_shares(items_p, budget_p);
+  const auto sol_n = opt::solve_shares(items_n, budget_n);
+  if (!sol_p || !sol_n) return 0.0;  // floors do not fit; keep current shares
+
+  // Apply unconditionally: this is the exact optimum of the linearized
+  // convex subproblem under the policy ceilings. It may momentarily lower
+  // clipped profit (shares shrink toward their caps), but the freed
+  // capacity is what lets reassignment serve waiting clients — the outer
+  // loop keeps the best allocation it has seen.
+  for (std::size_t idx = 0; idx < clients.size(); ++idx) {
+    const ClientId i = clients[idx];
+    std::vector<Placement> ps = alloc.placements(i);
+    Placement& mine = ps[placement_index(alloc, i, j)];
+    mine.phi_p = sol_p->phi[idx];
+    mine.phi_n = sol_n->phi[idx];
+    alloc.assign(i, alloc.cluster_of(i), std::move(ps));
+  }
+  return model::profit(alloc) - before;
+}
+
+double adjust_all_shares(Allocation& alloc, const AllocatorOptions& opts) {
+  double delta = 0.0;
+  for (ServerId j = 0; j < alloc.cloud().num_servers(); ++j)
+    if (alloc.active(j)) delta += adjust_resource_shares(alloc, j, opts);
+  return delta;
+}
+
+}  // namespace cloudalloc::alloc

@@ -1,0 +1,101 @@
+#include "alloc/allocator.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "alloc/adjust_dispersion.h"
+#include "alloc/adjust_shares.h"
+#include "alloc/initial.h"
+#include "alloc/reassign.h"
+#include "alloc/server_power.h"
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace cloudalloc::alloc {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+ResourceAllocator::ResourceAllocator(AllocatorOptions options)
+    : options_(options) {}
+
+AllocatorResult ResourceAllocator::run(const model::Cloud& cloud) const {
+  Rng rng(options_.seed);
+  model::Allocation initial = build_initial_solution(cloud, options_, rng);
+  const double p0 = model::profit(initial);
+  return improve_impl(std::move(initial), p0);
+}
+
+AllocatorResult ResourceAllocator::improve(model::Allocation initial) const {
+  const double p0 = model::profit(initial);
+  return improve_impl(std::move(initial), p0);
+}
+
+AllocatorResult ResourceAllocator::improve_impl(model::Allocation alloc,
+                                                double initial_profit) const {
+  const auto start = Clock::now();
+  AllocatorReport report;
+  report.initial_profit = initial_profit;
+
+  // The share rebalance is applied unconditionally (see adjust_shares.cpp),
+  // so a round can transiently dip; keep the best allocation ever seen.
+  model::Allocation best = alloc.clone();
+  double best_profit = initial_profit;
+  double profit_now = initial_profit;
+  int stalled_rounds = 0;
+  for (int round = 0; round < options_.max_local_search_rounds; ++round) {
+    RoundTrace trace;
+    trace.round = round;
+    if (options_.enable_adjust_shares)
+      trace.delta_shares = adjust_all_shares(alloc, options_);
+    if (options_.enable_adjust_dispersion)
+      trace.delta_dispersion = adjust_all_dispersions(alloc, options_);
+    trace.delta_power = adjust_server_power(alloc, options_);
+    if (options_.enable_reassign)
+      trace.delta_reassign = reassign_pass(alloc, options_);
+    if (options_.allow_rejection)
+      trace.delta_reassign += drop_unprofitable_clients(alloc, options_);
+
+    const double profit_after = model::profit(alloc);
+    trace.profit_after = profit_after;
+    report.rounds.push_back(trace);
+    report.rounds_run = round + 1;
+    const double significant =
+        options_.steady_tolerance * std::max(std::fabs(best_profit), 1.0);
+    if (profit_after > best_profit + significant) {
+      stalled_rounds = 0;
+    } else {
+      ++stalled_rounds;
+    }
+    if (profit_after > best_profit) {
+      best_profit = profit_after;
+      best = alloc.clone();
+    }
+
+    if (options_.verbose)
+      CLOG(kInfo) << "round " << round << ": profit " << profit_after
+                  << " (gain " << profit_after - profit_now << ")";
+    profit_now = profit_after;
+    // Rounds can dip (unconditional share rebalance) before a later round
+    // recovers more; stop only after two rounds without a new best.
+    if (stalled_rounds >= 2) break;
+    if (options_.time_budget_ms > 0.0 &&
+        seconds_since(start) * 1000.0 >= options_.time_budget_ms)
+      break;  // epoch deadline
+  }
+
+  report.final_profit = best_profit;
+  report.active_servers = best.num_active_servers();
+  for (model::ClientId i = 0; i < best.cloud().num_clients(); ++i)
+    if (!best.is_assigned(i)) ++report.unassigned_clients;
+  report.wall_seconds = seconds_since(start);
+  return AllocatorResult{std::move(best), std::move(report)};
+}
+
+}  // namespace cloudalloc::alloc

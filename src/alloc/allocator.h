@@ -1,0 +1,68 @@
+// ResourceAllocator: the top-level Resource_Alloc heuristic of the paper
+// (Figure 3). Multi-start greedy initial solution, then a local-search
+// loop interleaving Adjust_ResourceShares, Adjust_DispersionRates,
+// TurnON/TurnOFF and cloud-level reassignment until profit is steady.
+//
+// This is the library's primary public entry point:
+//
+//   cloudalloc::alloc::ResourceAllocator allocator(options);
+//   auto result = allocator.run(cloud);
+//   // result.allocation is feasible; result.report tells the story.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "alloc/options.h"
+#include "model/allocation.h"
+#include "model/evaluator.h"
+
+namespace cloudalloc::alloc {
+
+struct RoundTrace {
+  int round = 0;
+  double delta_shares = 0.0;
+  double delta_dispersion = 0.0;
+  double delta_power = 0.0;
+  double delta_reassign = 0.0;
+  double profit_after = 0.0;
+};
+
+struct AllocatorReport {
+  double initial_profit = 0.0;
+  double final_profit = 0.0;
+  int rounds_run = 0;
+  int unassigned_clients = 0;
+  int active_servers = 0;
+  double wall_seconds = 0.0;
+  std::vector<RoundTrace> rounds;
+};
+
+struct AllocatorResult {
+  model::Allocation allocation;
+  AllocatorReport report;
+};
+
+class ResourceAllocator {
+ public:
+  explicit ResourceAllocator(AllocatorOptions options = {});
+
+  const AllocatorOptions& options() const { return options_; }
+
+  /// Runs the full heuristic from an empty allocation (plus whatever
+  /// background load the cloud's servers carry).
+  AllocatorResult run(const model::Cloud& cloud) const;
+
+  /// Runs only the improvement loop on a caller-provided starting
+  /// allocation (used by the Monte-Carlo harness, warm starts between
+  /// decision epochs, and the Figure-5 robustness experiment).
+  AllocatorResult improve(model::Allocation initial) const;
+
+ private:
+  AllocatorResult improve_impl(model::Allocation alloc,
+                               double wall_start_profit) const;
+
+  AllocatorOptions options_;
+};
+
+}  // namespace cloudalloc::alloc

@@ -1,0 +1,153 @@
+#include "alloc/assign_distribute.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "alloc/share_policy.h"
+#include "common/check.h"
+#include "common/mathutil.h"
+#include "opt/dp.h"
+#include "queueing/gps.h"
+#include "queueing/mm1.h"
+
+namespace cloudalloc::alloc {
+namespace {
+
+using model::Allocation;
+using model::Client;
+using model::ClientId;
+using model::Cloud;
+using model::ClusterId;
+using model::Placement;
+using model::ServerClass;
+using model::ServerId;
+
+/// Shares chosen for one (server, quantum-count) option plus its score.
+struct SliceOption {
+  double phi_p = 0.0;
+  double phi_n = 0.0;
+  double score = opt::kDpInfeasible;
+};
+
+/// Sizes one resource's share for a slice: the policy-preferred size
+/// (min of delay-target and capacity-proportional, see share_policy.h),
+/// clamped between the stability floor and the free capacity. Returns
+/// nullopt when even the floor does not fit.
+std::optional<double> size_share(double arrivals, double psi,
+                                 double capacity, double alpha, double zc,
+                                 double slack_work,
+                                 const AllocatorOptions& opts,
+                                 double free_share) {
+  const double floor_share = queueing::gps_min_share(
+      arrivals, capacity, alpha, opts.stability_headroom);
+  if (floor_share > free_share + kEps) return std::nullopt;
+  const double share =
+      preferred_share(arrivals, psi, capacity, alpha, zc, slack_work, opts);
+  return clamp(share, floor_share, free_share);
+}
+
+}  // namespace
+
+std::optional<InsertionPlan> assign_distribute(
+    const Allocation& alloc, ClientId i, ClusterId k,
+    const AllocatorOptions& opts, const InsertionConstraints& constraints) {
+  const Cloud& cloud = alloc.cloud();
+  const Client& c = cloud.client(i);
+  const auto& fn = cloud.utility_of(i);
+  const int G = opts.psi_grid;
+  CHECK(G >= 1);
+
+  // Linearization anchors: price level, slope, and the share-sizing policy
+  // (delay target vs cloud-wide capacity tightness).
+  const double slope = fn.slope(0.0);
+  const double zc = fn.zero_crossing();
+  const ShareSizing sizing = ShareSizing::from(cloud);
+
+  // Candidate servers: in cluster k, not excluded, enough free disk, and
+  // (when required) already active.
+  std::vector<ServerId> cands;
+  for (ServerId j : cloud.cluster(k).servers) {
+    if (j == constraints.exclude) continue;
+    if (!constraints.allow_inactive && !alloc.active(j)) continue;
+    if (alloc.free_disk(j) + kEps < c.disk) continue;
+    cands.push_back(j);
+  }
+  if (cands.empty()) return std::nullopt;
+
+  // Score every (server, quanta) option.
+  const std::size_t width = static_cast<std::size_t>(G) + 1;
+  std::vector<std::vector<SliceOption>> options(cands.size());
+  std::vector<std::vector<double>> scores(
+      cands.size(), std::vector<double>(width, opt::kDpInfeasible));
+
+  for (std::size_t idx = 0; idx < cands.size(); ++idx) {
+    const ServerId j = cands[idx];
+    const ServerClass& sc = cloud.server_class_of(j);
+    const double free_p = alloc.free_phi_p(j);
+    const double free_n = alloc.free_phi_n(j);
+    const bool was_active = alloc.active(j);
+    options[idx].resize(width);
+    scores[idx][0] = 0.0;
+    options[idx][0].score = 0.0;
+
+    for (int g = 1; g <= G; ++g) {
+      const double psi = static_cast<double>(g) / static_cast<double>(G);
+      const double arrivals = psi * c.lambda_pred;
+      const auto phi_p = size_share(arrivals, psi, sc.cap_p, c.alpha_p, zc,
+                                    sizing.slack_work_p, opts, free_p);
+      const auto phi_n = size_share(arrivals, psi, sc.cap_n, c.alpha_n, zc,
+                                    sizing.slack_work_n, opts, free_n);
+      if (!phi_p || !phi_n) break;  // larger g only needs more capacity
+
+      const double mu_p =
+          queueing::gps_service_rate(*phi_p, sc.cap_p, c.alpha_p);
+      const double mu_n =
+          queueing::gps_service_rate(*phi_n, sc.cap_n, c.alpha_n);
+      const double delay = queueing::mm1_response_time(arrivals, mu_p) +
+                           queueing::mm1_response_time(arrivals, mu_n);
+
+      double score = -c.lambda_agreed * slope * psi * delay;
+      score -= sc.cost_per_util * psi * c.lambda_pred * c.alpha_p / sc.cap_p;
+      if (!was_active) score -= sc.cost_fixed;
+
+      const std::size_t gg = static_cast<std::size_t>(g);
+      options[idx][gg] = SliceOption{*phi_p, *phi_n, score};
+      scores[idx][gg] = score;
+    }
+  }
+
+  const auto dp = opt::dp_distribute(scores, G);
+  if (!dp) return std::nullopt;
+
+  InsertionPlan plan;
+  plan.cluster = k;
+  // Constant part of the linearized revenue (psi sums to one).
+  plan.score = c.lambda_agreed * fn.max_value() + dp->score;
+  for (std::size_t idx = 0; idx < cands.size(); ++idx) {
+    const int g = dp->quanta[idx];
+    if (g == 0) continue;
+    const SliceOption& option = options[idx][static_cast<std::size_t>(g)];
+    Placement p;
+    p.server = cands[idx];
+    p.psi = static_cast<double>(g) / static_cast<double>(G);
+    p.phi_p = option.phi_p;
+    p.phi_n = option.phi_n;
+    plan.placements.push_back(p);
+  }
+  CHECK(!plan.placements.empty());
+  return plan;
+}
+
+std::optional<InsertionPlan> best_insertion(
+    const Allocation& alloc, ClientId i, const AllocatorOptions& opts,
+    const InsertionConstraints& constraints) {
+  std::optional<InsertionPlan> best;
+  for (ClusterId k = 0; k < alloc.cloud().num_clusters(); ++k) {
+    auto plan = assign_distribute(alloc, i, k, opts, constraints);
+    if (plan && (!best || plan->score > best->score)) best = std::move(plan);
+  }
+  return best;
+}
+
+}  // namespace cloudalloc::alloc

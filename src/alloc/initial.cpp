@@ -1,0 +1,67 @@
+#include "alloc/initial.h"
+
+#include <numeric>
+
+#include "common/check.h"
+#include "common/log.h"
+#include "model/evaluator.h"
+
+namespace cloudalloc::alloc {
+
+using model::Allocation;
+using model::ClientId;
+using model::Cloud;
+using model::ClusterId;
+
+Allocation greedy_insert(const Allocation& base,
+                         const std::vector<ClientId>& order,
+                         const AllocatorOptions& opts) {
+  Allocation alloc = base.clone();
+  for (ClientId i : order) {
+    CHECK(!alloc.is_assigned(i));
+    auto plan = best_insertion(alloc, i, opts);
+    if (!plan) continue;  // nothing can host this client; it earns nothing
+    if (opts.allow_rejection && plan->score < 0.0)
+      continue;  // admission control: serving would lose money
+    alloc.assign(i, plan->cluster, std::move(plan->placements));
+  }
+  return alloc;
+}
+
+Allocation build_initial_solution(const Cloud& cloud,
+                                  const AllocatorOptions& opts, Rng& rng) {
+  CHECK(opts.num_initial_solutions >= 1);
+  std::vector<ClientId> order(static_cast<std::size_t>(cloud.num_clients()));
+  std::iota(order.begin(), order.end(), 0);
+
+  Allocation best(cloud);
+  double best_profit = -1e300;
+  for (int iter = 0; iter < opts.num_initial_solutions; ++iter) {
+    rng.shuffle(order);
+    Allocation cand = greedy_insert(Allocation(cloud), order, opts);
+    const double cand_profit = model::profit(cand);
+    if (opts.verbose)
+      CLOG(kInfo) << "initial solution " << iter << ": profit " << cand_profit;
+    if (cand_profit > best_profit) {
+      best_profit = cand_profit;
+      best = std::move(cand);
+    }
+  }
+  return best;
+}
+
+Allocation build_from_assignment(const Cloud& cloud,
+                                 const std::vector<ClusterId>& assignment,
+                                 const AllocatorOptions& opts) {
+  CHECK(static_cast<int>(assignment.size()) == cloud.num_clients());
+  Allocation alloc(cloud);
+  for (ClientId i = 0; i < cloud.num_clients(); ++i) {
+    const ClusterId k = assignment[static_cast<std::size_t>(i)];
+    if (k == model::kNoCluster) continue;
+    auto plan = assign_distribute(alloc, i, k, opts);
+    if (plan) alloc.assign(i, k, std::move(plan->placements));
+  }
+  return alloc;
+}
+
+}  // namespace cloudalloc::alloc

@@ -1,0 +1,66 @@
+// Tuning knobs of the Resource_Alloc heuristic (Figure 3 of the paper).
+// Defaults follow the paper where it is explicit (3 initial solutions) and
+// DESIGN.md [interp-*] notes where it is not.
+#pragma once
+
+#include <cstdint>
+
+namespace cloudalloc::alloc {
+
+struct AllocatorOptions {
+  /// Greedy multi-start count; the paper uses 3 and keeps the best.
+  int num_initial_solutions = 3;
+
+  /// Granularity G of the psi grid in Assign_Distribute's DP.
+  int psi_grid = 10;
+
+  /// Required absolute service-rate slack (requests/s) per M/M/1 queue so
+  /// allocations stay strictly stable (the paper's "small positive" floor
+  /// of constraint (7)).
+  double stability_headroom = 0.05;
+
+  /// When sizing a fresh slice's share, aim for a per-stage sojourn time of
+  /// this fraction of the client's utility zero-crossing ([interp] — the
+  /// scan lost the paper's exact share-sizing constant). The effective size
+  /// is the minimum of this and the capacity-proportional size (see
+  /// share_policy.h), so tight clouds shrink everyone's slack.
+  double delay_target_fraction = 0.15;
+
+  /// Ceiling multiplier for Adjust_ResourceShares: a slice's share may grow
+  /// to at most share_growth x its preferred size, keeping free capacity on
+  /// every server so the local search can still move clients.
+  double share_growth = 1.5;
+
+  /// Local-search loop: stop after this many rounds or when a full round
+  /// improves profit by less than `steady_tolerance` (relative).
+  int max_local_search_rounds = 12;
+  double steady_tolerance = 1e-5;
+
+  /// Wall-clock budget for the improvement loop in milliseconds; the loop
+  /// stops after the first round that exceeds it. <= 0 means unlimited.
+  /// Decision epochs have deadlines — the allocation must be ready before
+  /// the predictions that shaped it go stale (Section III).
+  double time_budget_ms = 0.0;
+
+  // Stage toggles (the ablation bench flips these).
+  bool enable_adjust_shares = true;
+  bool enable_adjust_dispersion = true;
+  bool enable_turn_on = true;
+  bool enable_turn_off = true;
+  bool enable_reassign = true;
+
+  /// Clients whose delivered utility is below this fraction of their
+  /// maximum are treated as "degraded" by TurnON and reassignment passes.
+  double degraded_utility_fraction = 0.9;
+
+  /// Admission control (extension; the paper's constraint (6) serves every
+  /// client). When true, the greedy skips clients whose approximate profit
+  /// contribution is negative and the local search drops clients whose
+  /// removal raises true profit.
+  bool allow_rejection = false;
+
+  std::uint64_t seed = 1;
+  bool verbose = false;
+};
+
+}  // namespace cloudalloc::alloc

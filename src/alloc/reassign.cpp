@@ -1,0 +1,86 @@
+#include "alloc/reassign.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "alloc/assign_distribute.h"
+#include "common/mathutil.h"
+#include "model/evaluator.h"
+
+namespace cloudalloc::alloc {
+
+using model::Allocation;
+using model::ClientId;
+using model::ClusterId;
+
+double reassign_pass(Allocation& alloc, const AllocatorOptions& opts) {
+  const auto& cloud = alloc.cloud();
+  std::vector<ClientId> order(static_cast<std::size_t>(cloud.num_clients()));
+  std::iota(order.begin(), order.end(), 0);
+  // Worst-served first (unassigned clients sort to the front: R = +inf).
+  std::sort(order.begin(), order.end(), [&](ClientId a, ClientId b) {
+    return alloc.response_time(a) > alloc.response_time(b);
+  });
+
+  double delta = 0.0;
+  for (ClientId i : order) {
+    const double before = model::profit(alloc);
+    const bool was_assigned = alloc.is_assigned(i);
+    const ClusterId old_cluster =
+        was_assigned ? alloc.cluster_of(i) : model::kNoCluster;
+    const std::vector<model::Placement> old_placements =
+        was_assigned ? alloc.placements(i) : std::vector<model::Placement>{};
+
+    if (was_assigned) alloc.clear(i);
+    auto plan = best_insertion(alloc, i, opts);
+    if (!plan) {
+      if (was_assigned) alloc.assign(i, old_cluster, old_placements);
+      continue;
+    }
+    alloc.assign(i, plan->cluster, std::move(plan->placements));
+    const double after = model::profit(alloc);
+    if (after + 1e-12 < before) {
+      alloc.clear(i);
+      if (was_assigned) alloc.assign(i, old_cluster, old_placements);
+      continue;
+    }
+    delta += after - before;
+  }
+  return delta;
+}
+
+double drop_unprofitable_clients(Allocation& alloc,
+                                 const AllocatorOptions& opts) {
+  if (!opts.allow_rejection) return 0.0;
+  double delta = 0.0;
+  for (ClientId i = 0; i < alloc.cloud().num_clients(); ++i) {
+    if (!alloc.is_assigned(i)) continue;
+    const double before = model::profit(alloc);
+    const ClusterId k = alloc.cluster_of(i);
+    const std::vector<model::Placement> saved = alloc.placements(i);
+    alloc.clear(i);
+    const double after = model::profit(alloc);
+    if (after > before + 1e-12) {
+      delta += after - before;
+    } else {
+      alloc.assign(i, k, saved);
+    }
+  }
+  return delta;
+}
+
+double reassign_until_steady(Allocation& alloc, const AllocatorOptions& opts,
+                             int max_rounds) {
+  double total = 0.0;
+  for (int round = 0; round < max_rounds; ++round) {
+    const double base = std::fabs(model::profit(alloc));
+    const double delta = reassign_pass(alloc, opts);
+    total += delta;
+    if (delta <= opts.steady_tolerance * std::max(base, 1.0)) break;
+  }
+  return total;
+}
+
+}  // namespace cloudalloc::alloc

@@ -1,0 +1,31 @@
+// Cloud-level client reassignment: the local-search move that shifts whole
+// clients between clusters (Section V's "change client assignment to
+// decrease the resource saturation ... and combine the clients to decrease
+// the number of active servers"). The same pass, applied to a random
+// allocation, is the optimizer used on every Monte-Carlo sample in the
+// paper's Figure 4/5 "best found" reference.
+#pragma once
+
+#include "alloc/options.h"
+#include "model/allocation.h"
+
+namespace cloudalloc::alloc {
+
+/// One pass: every client (worst-served first) is removed and re-inserted
+/// into its best cluster; each move commits only if true profit improves.
+/// Also retries clients that are currently unassigned. Returns the delta.
+double reassign_pass(model::Allocation& alloc, const AllocatorOptions& opts);
+
+/// Repeats reassign_pass until a pass yields (relatively) less than
+/// opts.steady_tolerance, at most `max_rounds` times. Returns total delta.
+double reassign_until_steady(model::Allocation& alloc,
+                             const AllocatorOptions& opts,
+                             int max_rounds = 10);
+
+/// Admission-control pass (only meaningful with opts.allow_rejection):
+/// removes every client whose removal raises true profit (serving it costs
+/// more in energy than its SLA pays). Returns the realized profit delta.
+double drop_unprofitable_clients(model::Allocation& alloc,
+                                 const AllocatorOptions& opts);
+
+}  // namespace cloudalloc::alloc

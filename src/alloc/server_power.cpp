@@ -1,0 +1,192 @@
+#include "alloc/server_power.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "alloc/adjust_shares.h"
+#include "alloc/assign_distribute.h"
+#include "common/check.h"
+#include "model/evaluator.h"
+
+namespace cloudalloc::alloc {
+namespace {
+
+using model::Allocation;
+using model::ClientId;
+using model::Cloud;
+using model::ClusterId;
+using model::ServerClassId;
+using model::ServerId;
+
+/// Revenue share a server can claim: sum over hosted slices of
+/// psi * lambda_agreed * U(R), minus its operating cost. TurnOFF candidates
+/// are ranked by this, lowest first.
+double server_value(const Allocation& alloc, ServerId j) {
+  const Cloud& cloud = alloc.cloud();
+  double value = 0.0;
+  for (ClientId i : alloc.clients_on(j)) {
+    const double r = alloc.response_time(i);
+    if (!std::isfinite(r)) continue;
+    for (const auto& p : alloc.placements(i)) {
+      if (p.server != j) continue;
+      value += p.psi * cloud.client(i).lambda_agreed *
+               cloud.utility_of(i).value(r);
+    }
+  }
+  return value - model::server_cost(alloc, j);
+}
+
+/// Clients in cluster k whose delivered utility is below the degraded
+/// threshold (these are the ones a new server could help).
+std::vector<ClientId> degraded_clients(const Allocation& alloc, ClusterId k,
+                                       const AllocatorOptions& opts) {
+  const Cloud& cloud = alloc.cloud();
+  std::vector<ClientId> out;
+  for (ClientId i = 0; i < cloud.num_clients(); ++i) {
+    if (alloc.cluster_of(i) != k) continue;
+    const auto& fn = cloud.utility_of(i);
+    const double max_u = fn.max_value();
+    if (max_u <= 0.0) continue;
+    const double r = alloc.response_time(i);
+    const double u = std::isfinite(r) ? fn.value(r) : 0.0;
+    if (u < opts.degraded_utility_fraction * max_u) out.push_back(i);
+  }
+  // Worst-served first: they have the most to gain.
+  std::sort(out.begin(), out.end(), [&](ClientId a, ClientId b) {
+    return alloc.response_time(a) > alloc.response_time(b);
+  });
+  return out;
+}
+
+}  // namespace
+
+double turn_on_servers(Allocation& alloc, ClusterId k,
+                       const AllocatorOptions& opts) {
+  const Cloud& cloud = alloc.cloud();
+
+  // One inactive representative per server class present in this cluster.
+  std::map<ServerClassId, ServerId> candidates;
+  for (ServerId j : cloud.cluster(k).servers)
+    if (!alloc.active(j) && !candidates.count(cloud.server(j).server_class))
+      candidates.emplace(cloud.server(j).server_class, j);
+  if (candidates.empty()) return 0.0;
+
+  double total_delta = 0.0;
+  for (const auto& [cls, j] : candidates) {
+    (void)cls;
+    const std::vector<ClientId> bidders = degraded_clients(alloc, k, opts);
+    if (bidders.empty()) break;
+
+    Allocation trial = alloc.clone();
+    // Bidding phase: moves may individually lose P0 (it is sunk once the
+    // first bidder lands on j), so allow per-move regressions on the trial
+    // state and judge the bundle at the gate below.
+    bool anyone_used_j = false;
+    for (ClientId i : bidders) {
+      const double before_move = model::profit(trial);
+      const ClusterId old_cluster = trial.cluster_of(i);
+      const auto old_placements = trial.placements(i);
+      trial.clear(i);
+      auto plan = assign_distribute(trial, i, k, opts);
+      if (!plan) {
+        trial.assign(i, old_cluster, old_placements);
+        continue;
+      }
+      trial.assign(i, k, plan->placements);
+      const bool uses_j =
+          std::any_of(plan->placements.begin(), plan->placements.end(),
+                      [&](const auto& p) { return p.server == j; });
+      const double after_move = model::profit(trial);
+      // Tolerate paying P0 of the candidate on the move that opens it.
+      const double sunk = (uses_j && !anyone_used_j)
+                              ? cloud.server_class_of(j).cost_fixed
+                              : 0.0;
+      if (after_move + sunk + 1e-12 < before_move) {
+        trial.assign(i, old_cluster, old_placements);
+        continue;
+      }
+      anyone_used_j = anyone_used_j || uses_j;
+    }
+    if (!anyone_used_j) continue;
+
+    const double gate_before = model::profit(alloc);
+    const double gate_after = model::profit(trial);
+    if (gate_after > gate_before + 1e-12) {
+      total_delta += gate_after - gate_before;
+      alloc = std::move(trial);
+    }
+  }
+  return total_delta;
+}
+
+double turn_off_servers(Allocation& alloc, ClusterId k,
+                        const AllocatorOptions& opts) {
+  const Cloud& cloud = alloc.cloud();
+  double total_delta = 0.0;
+
+  // Rank active, non-pinned servers by value, worst first.
+  std::vector<ServerId> candidates;
+  for (ServerId j : cloud.cluster(k).servers)
+    if (alloc.active(j) && !cloud.server(j).background.keeps_on)
+      candidates.push_back(j);
+  std::sort(candidates.begin(), candidates.end(), [&](ServerId a, ServerId b) {
+    return server_value(alloc, a) < server_value(alloc, b);
+  });
+
+  // Shares on healthy servers sit up to share_growth x their preferred
+  // size; evicted clients only fit if that surplus is reclaimed first.
+  AllocatorOptions shrink = opts;
+  shrink.share_growth = 1.0;
+
+  for (ServerId j : candidates) {
+    if (!alloc.active(j)) continue;  // emptied by an earlier shutdown
+    Allocation trial = alloc.clone();
+    const std::vector<ClientId> evicted = trial.clients_on(j);  // copy
+    InsertionConstraints constraints;
+    constraints.exclude = j;
+    constraints.allow_inactive = false;  // reassign onto *active* servers
+
+    // Make room on the survivors, then evict & reinsert.
+    for (ServerId other : cloud.cluster(k).servers)
+      if (other != j && trial.active(other))
+        adjust_resource_shares(trial, other, shrink);
+
+    bool ok = true;
+    for (ClientId i : evicted) {
+      const ClusterId home = trial.cluster_of(i);
+      trial.clear(i);
+      auto plan = assign_distribute(trial, i, home, opts, constraints);
+      if (!plan) {
+        ok = false;
+        break;
+      }
+      trial.assign(i, home, std::move(plan->placements));
+    }
+    if (!ok) continue;
+
+    // Re-grow shares to the normal policy before judging the result.
+    for (ServerId other : cloud.cluster(k).servers)
+      if (trial.active(other)) adjust_resource_shares(trial, other, opts);
+
+    const double gate_before = model::profit(alloc);
+    const double gate_after = model::profit(trial);
+    if (gate_after > gate_before + 1e-12) {
+      total_delta += gate_after - gate_before;
+      alloc = std::move(trial);
+    }
+  }
+  return total_delta;
+}
+
+double adjust_server_power(Allocation& alloc, const AllocatorOptions& opts) {
+  double delta = 0.0;
+  for (ClusterId k = 0; k < alloc.cloud().num_clusters(); ++k) {
+    if (opts.enable_turn_on) delta += turn_on_servers(alloc, k, opts);
+    if (opts.enable_turn_off) delta += turn_off_servers(alloc, k, opts);
+  }
+  return delta;
+}
+
+}  // namespace cloudalloc::alloc

@@ -1,0 +1,66 @@
+#include "alloc/share_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cloudalloc::alloc {
+namespace {
+
+/// Keep a sliver of slack even in overload, so stability floors plus a
+/// hair of quality remain expressible.
+constexpr double kMinSlackWork = 0.05;
+/// Fraction of the raw fleet slack the policy hands out; the remainder is
+/// mobility headroom for the local search.
+constexpr double kSlackSafety = 0.8;
+/// Planning utilization ceiling: when demand exceeds this fraction of
+/// capacity, the policy sizes shares as if only the supportable fraction
+/// of clients were planned for. Without it an overloaded fleet divides
+/// its deficit across everyone, starving even the clients that admission
+/// control would happily serve profitably.
+constexpr double kPlanningUtilization = 0.7;
+
+double per_client_slack(double cap, double demand, double n) {
+  if (demand <= 0.0) return kSlackSafety * cap / n;
+  const double demand_eff = std::min(demand, kPlanningUtilization * cap);
+  const double n_eff = std::max(1.0, n * demand_eff / demand);
+  return std::max(kMinSlackWork,
+                  kSlackSafety * (cap - demand_eff) / n_eff);
+}
+
+}  // namespace
+
+ShareSizing ShareSizing::from(const model::Cloud& cloud) {
+  ShareSizing sizing;
+  const double n = std::max(1, cloud.num_clients());
+  sizing.slack_work_p =
+      per_client_slack(cloud.total_cap_p(), cloud.total_demand_p(), n);
+  sizing.slack_work_n =
+      per_client_slack(cloud.total_cap_n(), cloud.total_demand_n(), n);
+  return sizing;
+}
+
+double preferred_share(double arrivals, double psi, double cap, double alpha,
+                       double zc, double slack_work,
+                       const AllocatorOptions& opts) {
+  CHECK(cap > 0.0);
+  CHECK(alpha > 0.0);
+  CHECK(psi > 0.0 && psi <= 1.0 + 1e-9);
+  double slack = psi * slack_work;
+  if (std::isfinite(zc) && zc > 0.0) {
+    // Delay-target slack in work units: slack_rate = 1/(theta*zc), times
+    // alpha to convert requests/s to work/s.
+    const double delay_slack = alpha / (opts.delay_target_fraction * zc);
+    slack = std::min(slack, delay_slack);
+  }
+  return (arrivals * alpha + slack) / cap;
+}
+
+double share_cap(double arrivals, double psi, double cap, double alpha,
+                 double zc, double slack_work, const AllocatorOptions& opts) {
+  return opts.share_growth *
+         preferred_share(arrivals, psi, cap, alpha, zc, slack_work, opts);
+}
+
+}  // namespace cloudalloc::alloc

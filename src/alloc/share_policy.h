@@ -1,0 +1,55 @@
+// Share-sizing policy shared by the greedy insertion and the local
+// search's share-rebalance ceiling.
+//
+// A slice's GPS share is its load plus *slack*; the slack determines the
+// M/M/1 sojourn (T = 1/slack_rate). Two forces bound the slack:
+//  * delay quality — slack_rate = 1/(theta * zc) puts the per-stage
+//    sojourn at a fixed fraction theta of the client's utility
+//    zero-crossing zc;
+//  * fleet economy — the whole cloud only has (capacity - demand) work
+//    units of slack to hand out; giving each client more than its fair
+//    slice starves late-arriving clients entirely (they go unserved).
+//
+// preferred_share() therefore grants min(delay-target slack, per-client
+// fleet slack budget), expressed in work units so the size is invariant
+// to how the client's traffic is split over servers. share_cap() (the
+// KKT rebalance ceiling) allows a bounded multiple, so rebalancing can
+// polish shares without freezing servers at 100% utilization and blocking
+// all future moves (DESIGN.md [interp]).
+#pragma once
+
+#include "alloc/options.h"
+#include "model/cloud.h"
+
+namespace cloudalloc::alloc {
+
+/// Cloud-wide slack budgets, one per resource: work-units/second of slack
+/// a single client may claim, = safety * (total capacity - total demand)
+/// / num_clients, floored at a small positive value.
+struct ShareSizing {
+  double slack_work_p = 1.0;
+  double slack_work_n = 1.0;
+
+  static ShareSizing from(const model::Cloud& cloud);
+};
+
+/// Preferred share for a slice with Poisson arrivals `arrivals` on a
+/// resource of capacity `cap`, per-request work `alpha`, serving a client
+/// whose utility zero-crossing is `zc` (+inf for flat utilities).
+/// `slack_work` is the resource's per-client budget from ShareSizing. The
+/// result is NOT clamped to the stability floor or free capacity — callers
+/// do that with their local bounds.
+/// `psi` is the slice's fraction of the client's traffic: the slack
+/// budget is scaled by psi so a split client consumes exactly one budget
+/// in total (and the resulting delay penalty for splitting steers the
+/// insertion DP toward concentration, as the paper's local search does).
+double preferred_share(double arrivals, double psi, double cap, double alpha,
+                       double zc, double slack_work,
+                       const AllocatorOptions& opts);
+
+/// Ceiling for the share-rebalance step: opts.share_growth times the
+/// preferred share.
+double share_cap(double arrivals, double psi, double cap, double alpha,
+                 double zc, double slack_work, const AllocatorOptions& opts);
+
+}  // namespace cloudalloc::alloc

@@ -1,0 +1,29 @@
+#include "baselines/ga_alloc.h"
+
+#include <vector>
+
+#include "alloc/initial.h"
+#include "model/evaluator.h"
+
+namespace cloudalloc::baselines {
+
+GaAllocResult ga_allocate(const model::Cloud& cloud,
+                          const GaAllocOptions& opts, std::uint64_t seed) {
+  Rng rng(seed);
+  auto fitness = [&](const std::vector<int>& genome) {
+    std::vector<model::ClusterId> assignment(genome.begin(), genome.end());
+    return model::profit(
+        alloc::build_from_assignment(cloud, assignment, opts.alloc));
+  };
+  const auto ga = opt::genetic_search(cloud.num_clients(),
+                                      cloud.num_clusters(), fitness,
+                                      opts.genetic, rng);
+
+  std::vector<model::ClusterId> assignment(ga.best.begin(), ga.best.end());
+  GaAllocResult result{
+      alloc::build_from_assignment(cloud, assignment, opts.alloc)};
+  result.profit = model::profit(result.allocation);
+  return result;
+}
+
+}  // namespace cloudalloc::baselines

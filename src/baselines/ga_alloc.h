@@ -1,0 +1,26 @@
+// Genetic-search allocator, the paper's second stochastic straw-man.
+// Genome = client->cluster assignment; fitness = decoded profit.
+#pragma once
+
+#include <cstdint>
+
+#include "alloc/options.h"
+#include "model/allocation.h"
+#include "opt/genetic.h"
+
+namespace cloudalloc::baselines {
+
+struct GaAllocOptions {
+  opt::GeneticOptions genetic;
+  alloc::AllocatorOptions alloc;
+};
+
+struct GaAllocResult {
+  model::Allocation allocation;
+  double profit = 0.0;
+};
+
+GaAllocResult ga_allocate(const model::Cloud& cloud,
+                          const GaAllocOptions& opts, std::uint64_t seed);
+
+}  // namespace cloudalloc::baselines

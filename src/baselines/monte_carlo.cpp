@@ -1,0 +1,55 @@
+#include "baselines/monte_carlo.h"
+
+#include <limits>
+
+#include "alloc/adjust_dispersion.h"
+#include "alloc/adjust_shares.h"
+#include "alloc/reassign.h"
+#include "baselines/random_alloc.h"
+#include "common/check.h"
+#include "common/stats.h"
+#include "model/evaluator.h"
+
+namespace cloudalloc::baselines {
+
+MonteCarloResult monte_carlo_search(const model::Cloud& cloud,
+                                    const MonteCarloOptions& opts,
+                                    std::uint64_t seed) {
+  CHECK(opts.samples >= 1);
+  Rng rng(seed);
+
+  MonteCarloResult result{model::Allocation(cloud), 0.0, 0.0, 0.0, 0.0,
+                          {}, {}};
+  result.best_profit = -std::numeric_limits<double>::infinity();
+  result.worst_initial_profit = std::numeric_limits<double>::infinity();
+  result.worst_polished_profit = std::numeric_limits<double>::infinity();
+
+  Summary initial_summary;
+  for (int s = 0; s < opts.samples; ++s) {
+    model::Allocation sample = random_allocation(cloud, opts.alloc, rng);
+    const double initial_profit = model::profit(sample);
+    initial_summary.add(initial_profit);
+    result.initial_profits.push_back(initial_profit);
+    result.worst_initial_profit =
+        std::min(result.worst_initial_profit, initial_profit);
+
+    alloc::reassign_until_steady(sample, opts.alloc, opts.polish_rounds);
+    if (opts.polish_resources) {
+      alloc::adjust_all_shares(sample, opts.alloc);
+      alloc::adjust_all_dispersions(sample, opts.alloc);
+    }
+    const double polished_profit = model::profit(sample);
+    result.polished_profits.push_back(polished_profit);
+    result.worst_polished_profit =
+        std::min(result.worst_polished_profit, polished_profit);
+
+    if (polished_profit > result.best_profit) {
+      result.best_profit = polished_profit;
+      result.best = std::move(sample);
+    }
+  }
+  result.mean_initial_profit = initial_summary.mean();
+  return result;
+}
+
+}  // namespace cloudalloc::baselines

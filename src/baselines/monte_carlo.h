@@ -1,0 +1,41 @@
+// Monte-Carlo reference search (Section VI): many random cluster
+// assignments, each optimized by the client-move local search, best
+// profit kept. The paper uses >= 10,000 samples per scenario to
+// approximate the optimum; the sample count here is configurable because
+// the benches trade samples for scenarios.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "alloc/options.h"
+#include "model/allocation.h"
+
+namespace cloudalloc::baselines {
+
+struct MonteCarloOptions {
+  int samples = 200;
+  /// Local-search passes applied to each sample (the paper optimizes every
+  /// random solution before taking the max).
+  int polish_rounds = 4;
+  /// Additionally run share/dispersion adjustment on each polished sample,
+  /// so "best found" reflects the best resource allocation too.
+  bool polish_resources = true;
+  alloc::AllocatorOptions alloc;
+};
+
+struct MonteCarloResult {
+  model::Allocation best;
+  double best_profit = 0.0;
+  double worst_initial_profit = 0.0;   ///< min over samples, before polish
+  double worst_polished_profit = 0.0;  ///< min over samples, after polish
+  double mean_initial_profit = 0.0;
+  std::vector<double> initial_profits;
+  std::vector<double> polished_profits;
+};
+
+MonteCarloResult monte_carlo_search(const model::Cloud& cloud,
+                                    const MonteCarloOptions& opts,
+                                    std::uint64_t seed);
+
+}  // namespace cloudalloc::baselines

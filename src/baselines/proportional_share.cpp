@@ -1,0 +1,236 @@
+#include "baselines/proportional_share.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/mathutil.h"
+#include "model/evaluator.h"
+#include "opt/kkt_shares.h"
+#include "queueing/gps.h"
+
+namespace cloudalloc::baselines {
+namespace {
+
+using model::Allocation;
+using model::Client;
+using model::ClientId;
+using model::Cloud;
+using model::ClusterId;
+using model::Placement;
+using model::ServerId;
+
+/// Virtual-server capacity pool of one cluster under a given active set.
+struct ClusterPool {
+  double cap_p = 0.0;
+  double cap_n = 0.0;
+  double committed_demand = 0.0;  ///< sum lambda*alpha_p of routed clients
+  std::vector<ServerId> active_servers;  ///< sorted by cap_p descending
+};
+
+std::vector<ClusterPool> build_pools(const Cloud& cloud,
+                                     const std::vector<bool>& active) {
+  std::vector<ClusterPool> pools(
+      static_cast<std::size_t>(cloud.num_clusters()));
+  for (ClusterId k = 0; k < cloud.num_clusters(); ++k) {
+    ClusterPool& pool = pools[static_cast<std::size_t>(k)];
+    for (ServerId j : cloud.cluster(k).servers) {
+      if (!active[static_cast<std::size_t>(j)]) continue;
+      const auto& sc = cloud.server_class_of(j);
+      pool.cap_p += sc.cap_p;
+      pool.cap_n += sc.cap_n;
+      pool.active_servers.push_back(j);
+    }
+    std::sort(pool.active_servers.begin(), pool.active_servers.end(),
+              [&](ServerId a, ServerId b) {
+                return cloud.server_class_of(a).cap_p >
+                       cloud.server_class_of(b).cap_p;
+              });
+  }
+  return pools;
+}
+
+/// Virtual-server share solve for one cluster and one resource: returns
+/// each routed client's absolute capacity on the pooled resource.
+std::vector<double> pooled_capacities(const Cloud& cloud,
+                                      const std::vector<ClientId>& routed,
+                                      double pool_capacity, bool processing,
+                                      double headroom) {
+  std::vector<opt::ShareItem> items;
+  items.reserve(routed.size());
+  for (ClientId i : routed) {
+    const Client& c = cloud.client(i);
+    const double alpha = processing ? c.alpha_p : c.alpha_n;
+    opt::ShareItem it;
+    it.weight = cloud.utility_of(i).slope(0.0) * c.lambda_agreed;
+    it.rate_factor = pool_capacity / alpha;
+    it.load = c.lambda_pred;
+    it.lo = queueing::gps_min_share(c.lambda_pred, pool_capacity, alpha,
+                                    headroom);
+    it.hi = 1.0;
+    items.push_back(it);
+  }
+  const auto sol = opt::solve_shares(items, 1.0);
+  std::vector<double> caps(routed.size(), 0.0);
+  if (!sol) return caps;  // pool too small: everyone gets zero (rejected)
+  for (std::size_t idx = 0; idx < routed.size(); ++idx)
+    caps[idx] = sol->phi[idx] * pool_capacity;
+  return caps;
+}
+
+}  // namespace
+
+Allocation ps_allocate_with_active_set(const Cloud& cloud,
+                                       const std::vector<bool>& active,
+                                       const PsOptions& opts) {
+  CHECK(static_cast<int>(active.size()) == cloud.num_servers());
+  Allocation alloc(cloud);
+  std::vector<ClusterPool> pools = build_pools(cloud, active);
+
+  // Class-aware ordering: steepest utility slope first.
+  std::vector<ClientId> order(static_cast<std::size_t>(cloud.num_clients()));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](ClientId a, ClientId b) {
+    return cloud.utility_of(a).slope(0.0) > cloud.utility_of(b).slope(0.0);
+  });
+
+  // Route each client to the cluster with the most spare pooled capacity
+  // relative to what is already committed (proportional-share spirit).
+  std::vector<std::vector<ClientId>> routed(
+      static_cast<std::size_t>(cloud.num_clusters()));
+  for (ClientId i : order) {
+    const Client& c = cloud.client(i);
+    ClusterId best = model::kNoCluster;
+    double best_spare = 0.0;
+    for (ClusterId k = 0; k < cloud.num_clusters(); ++k) {
+      const ClusterPool& pool = pools[static_cast<std::size_t>(k)];
+      const double spare =
+          pool.cap_p - pool.committed_demand - c.lambda_pred * c.alpha_p;
+      if (spare > best_spare) {
+        best_spare = spare;
+        best = k;
+      }
+    }
+    if (best == model::kNoCluster) continue;  // nowhere has spare pool
+    pools[static_cast<std::size_t>(best)].committed_demand +=
+        c.lambda_pred * c.alpha_p;
+    routed[static_cast<std::size_t>(best)].push_back(i);
+  }
+
+  // Per cluster: pooled KKT solve per resource, then First-Fit splitting.
+  for (ClusterId k = 0; k < cloud.num_clusters(); ++k) {
+    const ClusterPool& pool = pools[static_cast<std::size_t>(k)];
+    const auto& clients_here = routed[static_cast<std::size_t>(k)];
+    if (clients_here.empty() || pool.active_servers.empty()) continue;
+
+    const std::vector<double> cap_p = pooled_capacities(
+        cloud, clients_here, pool.cap_p, /*processing=*/true,
+        opts.stability_headroom);
+    const std::vector<double> cap_n = pooled_capacities(
+        cloud, clients_here, pool.cap_n, /*processing=*/false,
+        opts.stability_headroom);
+
+    // Remaining share fraction per physical server.
+    std::vector<double> free_p(static_cast<std::size_t>(cloud.num_servers()),
+                               0.0);
+    std::vector<double> free_n(free_p), free_disk(free_p);
+    for (ServerId j : pool.active_servers) {
+      const auto& sc = cloud.server_class_of(j);
+      free_p[static_cast<std::size_t>(j)] = 1.0;
+      free_n[static_cast<std::size_t>(j)] = 1.0;
+      free_disk[static_cast<std::size_t>(j)] = sc.cap_m;
+    }
+
+    for (std::size_t idx = 0; idx < clients_here.size(); ++idx) {
+      const ClientId i = clients_here[idx];
+      const Client& c = cloud.client(i);
+      const double c_p = cap_p[idx];
+      const double c_n = cap_n[idx];
+      if (c_p <= 0.0 || c_n <= 0.0) continue;  // pool rejected this client
+
+      // First-Fit split over servers ranked by raw capacity: take as much
+      // psi per server as both resources and disk allow.
+      std::vector<Placement> slices;
+      double psi_left = 1.0;
+      for (ServerId j : pool.active_servers) {
+        if (psi_left <= 1e-9) break;
+        const std::size_t ji = static_cast<std::size_t>(j);
+        if (free_disk[ji] + kEps < c.disk) continue;
+        const auto& sc = cloud.server_class_of(j);
+        const double psi_max_p = free_p[ji] * sc.cap_p / c_p;
+        const double psi_max_n = free_n[ji] * sc.cap_n / c_n;
+        const double psi = std::min({psi_left, psi_max_p, psi_max_n});
+        if (psi <= 1e-6) continue;
+        Placement p;
+        p.server = j;
+        p.psi = psi;
+        p.phi_p = psi * c_p / sc.cap_p;
+        p.phi_n = psi * c_n / sc.cap_n;
+        free_p[ji] -= p.phi_p;
+        free_n[ji] -= p.phi_n;
+        free_disk[ji] -= c.disk;
+        slices.push_back(p);
+        psi_left -= psi;
+      }
+      if (psi_left > 1e-6) {
+        // Could not place the whole client; release and reject.
+        for (const Placement& p : slices) {
+          const std::size_t ji = static_cast<std::size_t>(p.server);
+          free_p[ji] += p.phi_p;
+          free_n[ji] += p.phi_n;
+          free_disk[ji] += c.disk;
+        }
+        continue;
+      }
+      // Exact unit sum despite the 1e-9 loop tolerance.
+      double s = 0.0;
+      for (const auto& p : slices) s += p.psi;
+      for (auto& p : slices) p.psi /= s;
+      alloc.assign(i, k, std::move(slices));
+    }
+  }
+  return alloc;
+}
+
+PsResult proportional_share_allocate(const Cloud& cloud,
+                                     const PsOptions& opts) {
+  CHECK(!opts.activation_fractions.empty());
+
+  // Efficiency ranking: capacity per unit of fixed cost.
+  std::vector<ServerId> ranked(static_cast<std::size_t>(cloud.num_servers()));
+  std::iota(ranked.begin(), ranked.end(), 0);
+  std::sort(ranked.begin(), ranked.end(), [&](ServerId a, ServerId b) {
+    const auto& ca = cloud.server_class_of(a);
+    const auto& cb = cloud.server_class_of(b);
+    return ca.cap_p / (ca.cost_fixed + 1e-9) >
+           cb.cap_p / (cb.cost_fixed + 1e-9);
+  });
+
+  PsResult best{model::Allocation(cloud)};
+  best.profit = -1e300;
+  for (double fraction : opts.activation_fractions) {
+    std::vector<bool> active(static_cast<std::size_t>(cloud.num_servers()),
+                             false);
+    // Activate the top `fraction` of each cluster's ranked servers.
+    for (ClusterId k = 0; k < cloud.num_clusters(); ++k) {
+      std::vector<ServerId> in_cluster;
+      for (ServerId j : ranked)
+        if (cloud.server(j).cluster == k) in_cluster.push_back(j);
+      const auto count = static_cast<std::size_t>(std::ceil(
+          fraction * static_cast<double>(in_cluster.size())));
+      for (std::size_t idx = 0; idx < count && idx < in_cluster.size(); ++idx)
+        active[static_cast<std::size_t>(in_cluster[idx])] = true;
+    }
+    Allocation cand = ps_allocate_with_active_set(cloud, active, opts);
+    const double cand_profit = model::profit(cand);
+    if (cand_profit > best.profit) {
+      best.profit = cand_profit;
+      best.allocation = std::move(cand);
+      best.best_fraction = fraction;
+    }
+  }
+  return best;
+}
+
+}  // namespace cloudalloc::baselines

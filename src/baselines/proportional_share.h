@@ -1,0 +1,51 @@
+// Modified Proportional-Share (PS) scheduling baseline, as described in
+// Section VI of the paper (derived from Liu/Squillante/Wolf's PS policy):
+//
+//  * per cluster, all active servers' processing capacities are pooled
+//    into one virtual server and the share problem is solved there (the
+//    same KKT water-filling used elsewhere, weighted by utility slope);
+//  * clients are processed in order of decreasing utility slope, so
+//    latency-sensitive classes allocate first;
+//  * each client's virtual-server capacity is then mapped onto physical
+//    servers First-Fit style, splitting across servers when the best
+//    server cannot hold the whole demand (this sets psi and phi_p);
+//  * the communication dimension is allocated by the same procedure and
+//    spread over the slices chosen by the processing dimension;
+//  * the active-server set is found iteratively: a sweep over activation
+//    fractions keeps the most profitable configuration.
+//
+// The modifications versus vanilla PS (fewer hosting servers per client,
+// class awareness) are the paper's; without them PS is far weaker still.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "alloc/options.h"
+#include "model/allocation.h"
+
+namespace cloudalloc::baselines {
+
+struct PsOptions {
+  /// Activation fractions swept by the outer "best active set" search.
+  std::vector<double> activation_fractions = {0.2, 0.3, 0.4, 0.5,
+                                              0.6, 0.7, 0.8, 0.9, 1.0};
+  double stability_headroom = 0.05;
+};
+
+struct PsResult {
+  model::Allocation allocation;
+  double profit = 0.0;
+  double best_fraction = 1.0;  ///< activation fraction that won the sweep
+};
+
+PsResult proportional_share_allocate(const model::Cloud& cloud,
+                                     const PsOptions& opts);
+
+/// Single PS allocation with a fixed set of active servers (exposed for
+/// tests). `active[j]` marks server j usable.
+model::Allocation ps_allocate_with_active_set(const model::Cloud& cloud,
+                                              const std::vector<bool>& active,
+                                              const PsOptions& opts);
+
+}  // namespace cloudalloc::baselines

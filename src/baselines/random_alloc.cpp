@@ -1,0 +1,20 @@
+#include "baselines/random_alloc.h"
+
+#include <vector>
+
+#include "alloc/initial.h"
+
+namespace cloudalloc::baselines {
+
+model::Allocation random_allocation(const model::Cloud& cloud,
+                                    const alloc::AllocatorOptions& opts,
+                                    Rng& rng) {
+  std::vector<model::ClusterId> assignment(
+      static_cast<std::size_t>(cloud.num_clients()));
+  for (auto& k : assignment)
+    k = static_cast<model::ClusterId>(
+        rng.uniform_int(0, cloud.num_clusters() - 1));
+  return alloc::build_from_assignment(cloud, assignment, opts);
+}
+
+}  // namespace cloudalloc::baselines

@@ -1,0 +1,21 @@
+// Random allocation: every client is thrown into a uniformly random
+// cluster and decoded through the shared cluster-level allocation
+// machinery. This is the raw material of the paper's Monte-Carlo "best
+// found" reference and the "worst initial solution" series of Figure 5.
+#pragma once
+
+#include <cstdint>
+
+#include "alloc/options.h"
+#include "common/rng.h"
+#include "model/allocation.h"
+
+namespace cloudalloc::baselines {
+
+/// One random sample. Clients that do not fit their drawn cluster stay
+/// unassigned (no retry), which is what makes bad samples bad.
+model::Allocation random_allocation(const model::Cloud& cloud,
+                                    const alloc::AllocatorOptions& opts,
+                                    Rng& rng);
+
+}  // namespace cloudalloc::baselines

@@ -1,0 +1,43 @@
+#include "baselines/sa_alloc.h"
+
+#include <vector>
+
+#include "alloc/initial.h"
+#include "model/evaluator.h"
+
+namespace cloudalloc::baselines {
+
+SaAllocResult sa_allocate(const model::Cloud& cloud,
+                          const SaAllocOptions& opts, std::uint64_t seed) {
+  Rng rng(seed);
+  using State = std::vector<model::ClusterId>;
+
+  State initial(static_cast<std::size_t>(cloud.num_clients()));
+  for (auto& k : initial)
+    k = static_cast<model::ClusterId>(
+        rng.uniform_int(0, cloud.num_clusters() - 1));
+
+  int evaluations = 0;
+  auto score = [&](const State& s) {
+    ++evaluations;
+    return model::profit(alloc::build_from_assignment(cloud, s, opts.alloc));
+  };
+  auto neighbor = [&](const State& s, Rng& r) {
+    State next = s;
+    const std::size_t i = r.index(next.size());
+    next[i] = static_cast<model::ClusterId>(
+        r.uniform_int(0, cloud.num_clusters() - 1));
+    return next;
+  };
+
+  double best_profit = 0.0;
+  const State best = opt::anneal<State>(initial, neighbor, score,
+                                        opts.annealing, rng, &best_profit);
+
+  SaAllocResult result{alloc::build_from_assignment(cloud, best, opts.alloc)};
+  result.profit = model::profit(result.allocation);
+  result.evaluations = evaluations;
+  return result;
+}
+
+}  // namespace cloudalloc::baselines

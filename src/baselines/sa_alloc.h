@@ -1,0 +1,28 @@
+// Simulated-annealing allocator: the stochastic straw-man the paper says
+// one would need absent the heuristic. State = client->cluster assignment
+// vector; decoding reuses the shared cluster-level allocation machinery.
+#pragma once
+
+#include <cstdint>
+
+#include "alloc/options.h"
+#include "model/allocation.h"
+#include "opt/annealing.h"
+
+namespace cloudalloc::baselines {
+
+struct SaAllocOptions {
+  opt::AnnealingOptions annealing;
+  alloc::AllocatorOptions alloc;
+};
+
+struct SaAllocResult {
+  model::Allocation allocation;
+  double profit = 0.0;
+  int evaluations = 0;
+};
+
+SaAllocResult sa_allocate(const model::Cloud& cloud,
+                          const SaAllocOptions& opts, std::uint64_t seed);
+
+}  // namespace cloudalloc::baselines

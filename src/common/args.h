@@ -1,0 +1,34 @@
+// Minimal command-line flag parsing for examples and benchmark binaries.
+//
+// Syntax: --name=value or --name value; bare --flag sets a boolean true.
+// Unknown flags are collected so callers can reject or ignore them (the
+// google-benchmark binaries forward unrecognized flags to the framework).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cloudalloc {
+
+class Args {
+ public:
+  /// Parses argv; does not take ownership. Flags after a literal "--" are
+  /// left in positional().
+  Args(int argc, const char* const* argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace cloudalloc

@@ -1,0 +1,15 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cloudalloc::internal {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const char* msg) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d %s\n", expr, file, line,
+               msg);
+  std::abort();
+}
+
+}  // namespace cloudalloc::internal

@@ -1,0 +1,27 @@
+// Lightweight runtime assertions that stay on in release builds.
+//
+// The optimizer manipulates queueing formulas with hard validity domains
+// (stability, positive shares); violating them silently produces garbage
+// profits rather than crashes, so invariant checks are kept active in all
+// build types. CHECK aborts with a message; it is for programmer errors,
+// not for recoverable conditions (those use status returns).
+#pragma once
+
+namespace cloudalloc::internal {
+
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const char* msg);
+
+}  // namespace cloudalloc::internal
+
+#define CHECK(expr)                                                       \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::cloudalloc::internal::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define CHECK_MSG(expr, msg)                                                \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::cloudalloc::internal::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (false)

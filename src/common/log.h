@@ -1,0 +1,40 @@
+// Tiny leveled logger. The allocator emits INFO-level progress lines when
+// verbose mode is enabled in AllocatorOptions; everything defaults to WARN
+// so tests and benches stay quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cloudalloc {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace internal {
+void log_line(LogLevel level, const std::string& msg);
+}  // namespace internal
+
+/// Stream-style sink: LogMessage(LogLevel::kInfo) << "x=" << x;
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (level_ >= log_level()) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+#define CLOG(level) ::cloudalloc::LogMessage(::cloudalloc::LogLevel::level)
+
+}  // namespace cloudalloc

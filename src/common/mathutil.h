@@ -1,0 +1,42 @@
+// Small numeric helpers shared across the optimizer and the simulator.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <functional>
+#include <limits>
+
+namespace cloudalloc {
+
+inline constexpr double kEps = 1e-9;
+
+/// Clamp `x` into [lo, hi]; tolerant of lo slightly above hi from rounding.
+inline double clamp(double x, double lo, double hi) {
+  if (lo > hi) lo = hi;
+  return std::min(std::max(x, lo), hi);
+}
+
+/// True when |a - b| is within `tol` absolutely or relatively.
+inline bool near(double a, double b, double tol = 1e-9) {
+  return std::fabs(a - b) <= tol * std::max({1.0, std::fabs(a), std::fabs(b)});
+}
+
+/// Relative improvement of `now` over `before` (guards tiny denominators).
+inline double rel_gain(double before, double now) {
+  const double denom = std::max(std::fabs(before), 1e-12);
+  return (now - before) / denom;
+}
+
+/// Finds a root of a continuous monotone function `f` on [lo, hi] by
+/// bisection. Requires f(lo) and f(hi) to bracket zero (opposite signs or
+/// one of them zero); returns the midpoint after `iters` halvings.
+double bisect(const std::function<double(double)>& f, double lo, double hi,
+              int iters = 80);
+
+/// Minimizes a strictly unimodal function on [lo, hi] by golden-section
+/// search; returns the argmin.
+double golden_section_min(const std::function<double(double)>& f, double lo,
+                          double hi, int iters = 100);
+
+}  // namespace cloudalloc

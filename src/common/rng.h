@@ -1,0 +1,73 @@
+// Deterministic, splittable pseudo-random number generation.
+//
+// All stochastic components of the library (scenario generation, the
+// multi-start heuristic, Monte-Carlo search, the discrete-event simulator)
+// draw from Rng so that every experiment is reproducible from a single
+// 64-bit seed. The generator is xoshiro256** (Blackman & Vigna), seeded
+// through SplitMix64 as its authors recommend.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace cloudalloc {
+
+/// xoshiro256** generator with convenience distributions.
+///
+/// Satisfies the essential parts of UniformRandomBitGenerator so it can be
+/// passed to <random> facilities, but the member distributions below are
+/// preferred: they are guaranteed to produce identical streams across
+/// standard-library implementations.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  /// Next raw 64-bit output.
+  result_type operator()();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Exponentially distributed value with the given rate (mean 1/rate).
+  double exponential(double rate);
+
+  /// Standard normal via Box-Muller (no cached spare; stateless streams).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Bernoulli trial with probability p of returning true.
+  bool bernoulli(double p);
+
+  /// Uniformly chosen index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  /// Derives an independent child generator; used to give each simulator
+  /// entity or worker thread its own stream.
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace cloudalloc

@@ -1,0 +1,39 @@
+// Running summary statistics and simple confidence intervals, used by the
+// benchmark harnesses and the discrete-event simulator's metric sinks.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cloudalloc {
+
+/// Welford-style accumulator for mean/variance/min/max.
+class Summary {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  /// Half-width of an approximate 95% confidence interval on the mean.
+  double ci95_halfwidth() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of a vector (0 when empty).
+double mean_of(const std::vector<double>& xs);
+
+/// p-quantile (0 <= p <= 1) by linear interpolation on a sorted copy.
+double quantile(std::vector<double> xs, double p);
+
+}  // namespace cloudalloc

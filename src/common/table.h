@@ -1,0 +1,42 @@
+// Fixed-width ASCII table printer used by every benchmark binary so that
+// regenerated paper figures/tables share one readable format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cloudalloc {
+
+/// Collects rows of stringified cells and prints them with aligned columns.
+///
+///   Table t({"clients", "proposed", "PS"});
+///   t.add_row({"40", "0.97", "0.61"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` digits after the point.
+  static std::string num(double v, int precision = 4);
+
+  void print(std::ostream& os) const;
+
+  /// RFC-4180-style CSV (header + rows); cells containing commas, quotes,
+  /// or newlines are quoted. The figure benches emit this behind --csv so
+  /// results feed straight into plotting scripts.
+  std::string to_csv() const;
+
+  /// Writes to_csv() to `path`; false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cloudalloc

@@ -1,0 +1,51 @@
+// A cluster-level resource manager (the paper's "local agent"). Each agent
+// owns one cluster and can (a) price a client insertion against a frozen
+// snapshot of the global state and (b) run the cluster-local improvement
+// stages. Because every client is served by exactly one cluster, profit is
+// separable by cluster, so agents can work on snapshots concurrently and
+// the manager can merge their results without conflicts.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "alloc/assign_distribute.h"
+#include "alloc/options.h"
+#include "model/allocation.h"
+
+namespace cloudalloc::dist {
+
+/// Result of a cluster-local improvement: the new placements of the
+/// agent's clients (empty placements = client left unassigned by a failed
+/// reinsertion — the manager's global pass will retry it).
+struct ClusterImprovement {
+  model::ClusterId cluster = model::kNoCluster;
+  std::vector<std::pair<model::ClientId, std::vector<model::Placement>>>
+      placements;
+  double profit_delta = 0.0;
+};
+
+class ClusterAgent {
+ public:
+  ClusterAgent(model::ClusterId cluster, alloc::AllocatorOptions opts)
+      : cluster_(cluster), opts_(opts) {}
+
+  model::ClusterId cluster() const { return cluster_; }
+
+  /// Prices inserting client i into this agent's cluster against the
+  /// snapshot (Assign_Distribute run remotely).
+  std::optional<alloc::InsertionPlan> evaluate_insertion(
+      const model::Allocation& snapshot, model::ClientId i,
+      const alloc::InsertionConstraints& constraints = {}) const;
+
+  /// Runs Adjust_ResourceShares on the cluster's servers,
+  /// Adjust_DispersionRates on its clients, and TurnON/TurnOFF, all on a
+  /// private copy of the snapshot; returns the cluster's new placements.
+  ClusterImprovement improve(const model::Allocation& snapshot) const;
+
+ private:
+  model::ClusterId cluster_;
+  alloc::AllocatorOptions opts_;
+};
+
+}  // namespace cloudalloc::dist

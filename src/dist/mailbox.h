@@ -1,0 +1,60 @@
+// Blocking MPMC mailbox used for manager <-> cluster-agent messages.
+// Closing the mailbox wakes all receivers; receive() then returns nullopt.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace cloudalloc::dist {
+
+template <typename T>
+class Mailbox {
+ public:
+  /// Enqueues a message; returns false if the mailbox is closed.
+  bool send(T message) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return false;
+      queue_.push_back(std::move(message));
+      ++sent_;
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until a message arrives or the mailbox closes.
+  std::optional<T> receive() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;
+    T message = std::move(queue_.front());
+    queue_.pop_front();
+    return message;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Total messages ever sent (the "limited communication" the paper
+  /// trades for the K-fold speedup; reported by the speedup bench).
+  std::size_t messages_sent() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sent_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> queue_;
+  std::size_t sent_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace cloudalloc::dist

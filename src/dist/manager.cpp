@@ -1,0 +1,174 @@
+#include "dist/manager.h"
+
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <numeric>
+#include <optional>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "alloc/reassign.h"
+#include "common/check.h"
+#include "common/rng.h"
+#include "dist/cluster_agent.h"
+#include "dist/mailbox.h"
+#include "model/evaluator.h"
+
+namespace cloudalloc::dist {
+namespace {
+
+using model::Allocation;
+using model::ClientId;
+using model::Cloud;
+using model::ClusterId;
+
+struct EvaluateRequest {
+  ClientId client;
+  const Allocation* snapshot;
+};
+struct ImproveRequest {
+  const Allocation* snapshot;
+};
+using AgentRequest = std::variant<EvaluateRequest, ImproveRequest>;
+
+struct EvaluateResponse {
+  ClusterId cluster;
+  std::optional<alloc::InsertionPlan> plan;
+};
+struct ImproveResponse {
+  ClusterImprovement improvement;
+};
+using AgentResponse = std::variant<EvaluateResponse, ImproveResponse>;
+
+/// One agent thread: drain the request mailbox until it closes.
+void agent_main(ClusterAgent agent, Mailbox<AgentRequest>& inbox,
+                Mailbox<AgentResponse>& outbox) {
+  for (;;) {
+    auto request = inbox.receive();
+    if (!request) return;
+    if (const auto* ev = std::get_if<EvaluateRequest>(&*request)) {
+      outbox.send(AgentResponse{EvaluateResponse{
+          agent.cluster(), agent.evaluate_insertion(*ev->snapshot,
+                                                    ev->client)}});
+    } else {
+      const auto& imp = std::get<ImproveRequest>(*request);
+      outbox.send(AgentResponse{ImproveResponse{agent.improve(*imp.snapshot)}});
+    }
+  }
+}
+
+}  // namespace
+
+DistributedAllocator::DistributedAllocator(DistributedOptions options)
+    : options_(options) {}
+
+DistributedResult DistributedAllocator::run(const Cloud& cloud) const {
+  const auto start = std::chrono::steady_clock::now();
+  const alloc::AllocatorOptions& aopts = options_.alloc;
+  const int K = cloud.num_clusters();
+
+  // Spin up one agent (thread + mailbox) per cluster.
+  std::vector<std::unique_ptr<Mailbox<AgentRequest>>> inboxes;
+  Mailbox<AgentResponse> responses;
+  std::vector<std::thread> threads;
+  inboxes.reserve(static_cast<std::size_t>(K));
+  for (ClusterId k = 0; k < K; ++k) {
+    inboxes.push_back(std::make_unique<Mailbox<AgentRequest>>());
+    threads.emplace_back(agent_main, ClusterAgent(k, aopts),
+                         std::ref(*inboxes.back()), std::ref(responses));
+  }
+  auto shutdown = [&] {
+    for (auto& inbox : inboxes) inbox->close();
+    for (auto& t : threads) t.join();
+  };
+
+  // --- multi-start greedy initial solution (parallel per-client fan-out).
+  Rng rng(aopts.seed);
+  std::vector<ClientId> order(static_cast<std::size_t>(cloud.num_clients()));
+  std::iota(order.begin(), order.end(), 0);
+
+  Allocation best(cloud);
+  double best_profit = -1e300;
+  for (int iter = 0; iter < aopts.num_initial_solutions; ++iter) {
+    rng.shuffle(order);
+    Allocation current(cloud);
+    for (ClientId i : order) {
+      for (ClusterId k = 0; k < K; ++k)
+        inboxes[static_cast<std::size_t>(k)]->send(
+            AgentRequest{EvaluateRequest{i, &current}});
+      // Collect all K bids; order by cluster id for deterministic ties.
+      std::map<ClusterId, std::optional<alloc::InsertionPlan>> bids;
+      for (int r = 0; r < K; ++r) {
+        auto response = responses.receive();
+        CHECK(response.has_value());
+        auto& ev = std::get<EvaluateResponse>(*response);
+        bids.emplace(ev.cluster, std::move(ev.plan));
+      }
+      std::optional<alloc::InsertionPlan> winner;
+      for (auto& [k, plan] : bids) {
+        (void)k;
+        if (plan && (!winner || plan->score > winner->score))
+          winner = std::move(plan);
+      }
+      if (winner)
+        current.assign(i, winner->cluster, std::move(winner->placements));
+    }
+    const double p = model::profit(current);
+    if (p > best_profit) {
+      best_profit = p;
+      best = std::move(current);
+    }
+  }
+
+  DistributedReport report;
+  report.initial_profit = best_profit;
+
+  // --- improvement rounds: parallel cluster-local stages + sequential
+  // cross-cluster reassignment.
+  Allocation alloc = std::move(best);
+  double profit_now = best_profit;
+  for (int round = 0; round < aopts.max_local_search_rounds; ++round) {
+    const Allocation snapshot = alloc.clone();  // frozen for this round
+    for (ClusterId k = 0; k < K; ++k)
+      inboxes[static_cast<std::size_t>(k)]->send(
+          AgentRequest{ImproveRequest{&snapshot}});
+    std::map<ClusterId, ClusterImprovement> improvements;
+    for (int r = 0; r < K; ++r) {
+      auto response = responses.receive();
+      CHECK(response.has_value());
+      auto& imp = std::get<ImproveResponse>(*response).improvement;
+      improvements.emplace(imp.cluster, std::move(imp));
+    }
+    for (auto& [k, improvement] : improvements) {
+      for (auto& [i, placements] : improvement.placements) {
+        if (placements.empty())
+          alloc.clear(i);
+        else
+          alloc.assign(i, k, std::move(placements));
+      }
+    }
+    if (aopts.enable_reassign) alloc::reassign_pass(alloc, aopts);
+
+    const double profit_after = model::profit(alloc);
+    const double gain = profit_after - profit_now;
+    profit_now = profit_after;
+    report.rounds_run = round + 1;
+    if (gain <=
+        aopts.steady_tolerance * std::max(std::fabs(profit_now), 1.0))
+      break;
+  }
+
+  shutdown();
+  report.final_profit = profit_now;
+  for (const auto& inbox : inboxes) report.messages += inbox->messages_sent();
+  report.messages += responses.messages_sent();
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return DistributedResult{std::move(alloc), report};
+}
+
+}  // namespace cloudalloc::dist

@@ -1,0 +1,50 @@
+// The central manager: the distributed counterpart of ResourceAllocator.
+//
+// One agent thread per cluster consumes requests from its mailbox and
+// posts responses to the manager's shared mailbox (Figure 1's topology).
+// The greedy initial solution parallelizes the K Assign_Distribute calls
+// per client; the improvement loop parallelizes the cluster-local stages
+// and keeps only the cross-cluster reassignment sequential — the source of
+// the ~K-fold decision-time reduction claimed in Section VI.
+//
+// Determinism: given equal options/seed the distributed run commits the
+// same decisions as the sequential allocator (responses are collected and
+// ordered by cluster id before any tie-break), which tests assert.
+#pragma once
+
+#include <cstddef>
+
+#include "alloc/allocator.h"
+#include "alloc/options.h"
+#include "model/allocation.h"
+
+namespace cloudalloc::dist {
+
+struct DistributedOptions {
+  alloc::AllocatorOptions alloc;
+};
+
+struct DistributedReport {
+  double initial_profit = 0.0;
+  double final_profit = 0.0;
+  int rounds_run = 0;
+  std::size_t messages = 0;  ///< total mailbox traffic, both directions
+  double wall_seconds = 0.0;
+};
+
+struct DistributedResult {
+  model::Allocation allocation;
+  DistributedReport report;
+};
+
+class DistributedAllocator {
+ public:
+  explicit DistributedAllocator(DistributedOptions options = {});
+
+  DistributedResult run(const model::Cloud& cloud) const;
+
+ private:
+  DistributedOptions options_;
+};
+
+}  // namespace cloudalloc::dist

@@ -1,0 +1,43 @@
+// Fixed-size worker pool used to emulate the paper's parallel cluster
+// agents on one machine. Deliberately minimal: submit() plus a blocking
+// parallel_for; no work stealing, no priorities.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cloudalloc::dist {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (at least 1).
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+  /// Enqueues a task; the future resolves when it has run.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs fn(0..n-1) across the pool and blocks until all complete.
+  void parallel_for(int n, const std::function<void(int)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::vector<std::thread> threads_;
+  bool stopping_ = false;
+};
+
+}  // namespace cloudalloc::dist

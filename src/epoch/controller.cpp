@@ -1,0 +1,137 @@
+#include "epoch/controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "model/evaluator.h"
+
+namespace cloudalloc::epoch {
+
+Controller::Controller(model::Cloud initial_cloud,
+                       const RatePredictor& prototype,
+                       ControllerOptions options)
+    : options_(options),
+      cloud_(std::make_unique<model::Cloud>(std::move(initial_cloud))) {
+  predictors_.reserve(static_cast<std::size_t>(cloud_->num_clients()));
+  for (const auto& client : cloud_->clients()) {
+    auto predictor = prototype.clone();
+    predictor->observe(client.lambda_pred);  // seed with the contract view
+    predictors_.push_back(std::move(predictor));
+  }
+  allocation_ = std::make_unique<model::Allocation>(*cloud_);
+}
+
+model::Cloud Controller::rebuild_cloud_with_predictions() const {
+  std::vector<model::Client> clients = cloud_->clients();
+  for (auto& client : clients) {
+    client.lambda_pred =
+        predictors_[static_cast<std::size_t>(client.id)]->predict();
+    // lambda_agreed stays contractual.
+  }
+  return model::Cloud(cloud_->server_classes(), cloud_->servers(),
+                      cloud_->clusters(), cloud_->utility_classes(),
+                      std::move(clients));
+}
+
+int Controller::transplant(const model::Allocation& prev,
+                           const model::Cloud& next,
+                           model::Allocation* out) const {
+  int dropped = 0;
+  for (model::ClientId i = 0; i < next.num_clients(); ++i) {
+    if (!prev.is_assigned(i)) continue;
+    const model::Client& c = next.client(i);
+    std::vector<model::Placement> ps = prev.placements(i);
+    bool stable = true;
+    for (const auto& p : ps) {
+      const auto& sc = next.server_class_of(p.server);
+      const double arrivals = p.psi * c.lambda_pred;
+      if (p.phi_p * sc.cap_p / c.alpha_p <= arrivals + 1e-9 ||
+          p.phi_n * sc.cap_n / c.alpha_n <= arrivals + 1e-9) {
+        stable = false;
+        break;
+      }
+    }
+    if (stable) {
+      out->assign(i, prev.cluster_of(i), std::move(ps));
+    } else {
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
+EpochReport Controller::start() {
+  CHECK_MSG(epoch_ == 0, "start() only once");
+  alloc::ResourceAllocator allocator(options_.alloc);
+  auto result = allocator.run(*cloud_);
+
+  EpochReport report;
+  report.epoch = 0;
+  report.cold_start = true;
+  report.profit = result.report.final_profit;
+  report.rounds_run = result.report.rounds_run;
+  report.active_servers = result.report.active_servers;
+  report.unassigned_clients = result.report.unassigned_clients;
+  report.wall_seconds = result.report.wall_seconds;
+
+  *allocation_ = std::move(result.allocation);
+  history_.push_back(report);
+  epoch_ = 1;
+  return report;
+}
+
+EpochReport Controller::step(const std::vector<double>& observed_rates) {
+  CHECK_MSG(epoch_ >= 1, "call start() first");
+  CHECK(static_cast<int>(observed_rates.size()) == cloud_->num_clients());
+
+  // 1. Feed predictors and measure drift of the new predictions.
+  double drift_sum = 0.0;
+  for (model::ClientId i = 0; i < cloud_->num_clients(); ++i) {
+    const std::size_t idx = static_cast<std::size_t>(i);
+    const double previous = cloud_->client(i).lambda_pred;
+    predictors_[idx]->observe(observed_rates[idx]);
+    drift_sum += std::fabs(predictors_[idx]->predict() - previous) /
+                 std::max(previous, 1e-9);
+  }
+  const double mean_drift =
+      drift_sum / std::max(1, cloud_->num_clients());
+
+  // 2. New instance with the fresh predictions.
+  auto next_cloud =
+      std::make_unique<model::Cloud>(rebuild_cloud_with_predictions());
+
+  // 3. Warm start from the previous allocation.
+  auto warm = std::make_unique<model::Allocation>(*next_cloud);
+  const int dropped = transplant(*allocation_, *next_cloud, warm.get());
+
+  // 4. Cold-restart decision.
+  const bool cold =
+      mean_drift > options_.cold_restart_drift ||
+      dropped > options_.cold_restart_dropped * cloud_->num_clients();
+
+  // 5. Optimize.
+  alloc::ResourceAllocator allocator(options_.alloc);
+  alloc::AllocatorResult result =
+      cold ? allocator.run(*next_cloud) : allocator.improve(std::move(*warm));
+
+  EpochReport report;
+  report.epoch = epoch_;
+  report.cold_start = cold;
+  report.mean_drift = mean_drift;
+  report.transplant_dropped = dropped;
+  report.profit = result.report.final_profit;
+  report.rounds_run = result.report.rounds_run;
+  report.active_servers = result.report.active_servers;
+  report.unassigned_clients = result.report.unassigned_clients;
+  report.wall_seconds = result.report.wall_seconds;
+
+  cloud_ = std::move(next_cloud);
+  allocation_ =
+      std::make_unique<model::Allocation>(std::move(result.allocation));
+  history_.push_back(report);
+  ++epoch_;
+  return report;
+}
+
+}  // namespace cloudalloc::epoch

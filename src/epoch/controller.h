@@ -1,0 +1,81 @@
+// Decision-epoch controller: the operational loop around the per-epoch
+// optimizer that Section III sketches. Each epoch it
+//   1. feeds the observed arrival rates to per-client predictors,
+//   2. rebuilds the epoch's optimization instance (same topology, same
+//      contracts, new predicted rates),
+//   3. transplants the previous allocation as a warm start (dropping
+//      clients whose old shares can no longer carry the predicted load),
+//   4. decides between a cheap warm improvement and a full cold re-run —
+//      large predicted drift or many dropped clients trigger the paper's
+//      "large changes cannot be handled by the local managers" case,
+//   5. runs the allocator and reports.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "epoch/predictor.h"
+#include "model/allocation.h"
+
+namespace cloudalloc::epoch {
+
+struct ControllerOptions {
+  alloc::AllocatorOptions alloc;
+  /// Relative mean |predicted - previous| / previous above which the
+  /// controller re-runs from scratch instead of warm-starting.
+  double cold_restart_drift = 0.35;
+  /// Fraction of clients dropped by the transplant above which a cold
+  /// restart is forced.
+  double cold_restart_dropped = 0.25;
+};
+
+struct EpochReport {
+  int epoch = 0;
+  bool cold_start = false;
+  double mean_drift = 0.0;       ///< relative rate change fed this epoch
+  int transplant_dropped = 0;    ///< clients the warm start had to drop
+  double profit = 0.0;
+  int rounds_run = 0;
+  int active_servers = 0;
+  int unassigned_clients = 0;
+  double wall_seconds = 0.0;
+};
+
+class Controller {
+ public:
+  /// Starts from `initial_cloud` (its lambda_pred values seed the
+  /// predictors). `prototype` is cloned per client.
+  Controller(model::Cloud initial_cloud, const RatePredictor& prototype,
+             ControllerOptions options = {});
+
+  /// The optimization instance currently in force.
+  const model::Cloud& cloud() const { return *cloud_; }
+
+  /// The allocation currently in force (empty before the first step()).
+  const model::Allocation& allocation() const { return *allocation_; }
+
+  /// Runs epoch 0 (cold start on the initial predictions).
+  EpochReport start();
+
+  /// Advances one epoch: `observed_rates[i]` is client i's measured rate
+  /// over the epoch that just ended.
+  EpochReport step(const std::vector<double>& observed_rates);
+
+  const std::vector<EpochReport>& history() const { return history_; }
+
+ private:
+  model::Cloud rebuild_cloud_with_predictions() const;
+  /// Carries the previous allocation onto `next`; returns dropped count.
+  int transplant(const model::Allocation& prev, const model::Cloud& next,
+                 model::Allocation* out) const;
+
+  ControllerOptions options_;
+  std::unique_ptr<model::Cloud> cloud_;
+  std::unique_ptr<model::Allocation> allocation_;
+  std::vector<std::unique_ptr<RatePredictor>> predictors_;
+  std::vector<EpochReport> history_;
+  int epoch_ = 0;
+};
+
+}  // namespace cloudalloc::epoch

@@ -1,0 +1,83 @@
+#include "epoch/predictor.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cloudalloc::epoch {
+
+EwmaPredictor::EwmaPredictor(double alpha, double prior)
+    : alpha_(alpha), estimate_(prior) {
+  CHECK(alpha > 0.0 && alpha <= 1.0);
+  CHECK(prior > 0.0);
+}
+
+void EwmaPredictor::observe(double rate) {
+  CHECK(rate >= 0.0);
+  if (!seeded_) {
+    estimate_ = rate;
+    seeded_ = true;
+  } else {
+    estimate_ = alpha_ * rate + (1.0 - alpha_) * estimate_;
+  }
+}
+
+double EwmaPredictor::predict() const { return std::max(estimate_, 1e-6); }
+
+std::unique_ptr<RatePredictor> EwmaPredictor::clone() const {
+  return std::make_unique<EwmaPredictor>(*this);
+}
+
+SlidingMeanPredictor::SlidingMeanPredictor(int window, double prior)
+    : window_(static_cast<std::size_t>(window)), prior_(prior) {
+  CHECK(window >= 1);
+  CHECK(prior > 0.0);
+}
+
+void SlidingMeanPredictor::observe(double rate) {
+  CHECK(rate >= 0.0);
+  history_.push_back(rate);
+  if (history_.size() > window_)
+    history_.erase(history_.begin());
+}
+
+double SlidingMeanPredictor::predict() const {
+  if (history_.empty()) return prior_;
+  double sum = 0.0;
+  for (double r : history_) sum += r;
+  return std::max(sum / static_cast<double>(history_.size()), 1e-6);
+}
+
+std::unique_ptr<RatePredictor> SlidingMeanPredictor::clone() const {
+  return std::make_unique<SlidingMeanPredictor>(*this);
+}
+
+HoltPredictor::HoltPredictor(double alpha, double beta, double prior)
+    : alpha_(alpha), beta_(beta), level_(prior) {
+  CHECK(alpha > 0.0 && alpha <= 1.0);
+  CHECK(beta > 0.0 && beta <= 1.0);
+  CHECK(prior > 0.0);
+}
+
+void HoltPredictor::observe(double rate) {
+  CHECK(rate >= 0.0);
+  if (!seeded_) {
+    level_ = rate;
+    trend_ = 0.0;
+    seeded_ = true;
+    return;
+  }
+  const double prev_level = level_;
+  level_ = alpha_ * rate + (1.0 - alpha_) * (level_ + trend_);
+  trend_ = beta_ * (level_ - prev_level) + (1.0 - beta_) * trend_;
+}
+
+double HoltPredictor::predict() const {
+  return std::max(level_ + trend_, 1e-6);
+}
+
+std::unique_ptr<RatePredictor> HoltPredictor::clone() const {
+  return std::make_unique<HoltPredictor>(*this);
+}
+
+}  // namespace cloudalloc::epoch

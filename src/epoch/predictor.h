@@ -1,0 +1,81 @@
+// Arrival-rate prediction for decision epochs.
+//
+// The paper allocates with *predicted* rates and bills with *agreed* rates
+// (Section III) but leaves "estimation, prediction and dynamic changes"
+// out of scope. This module supplies the missing piece for a usable
+// system: per-client one-step-ahead predictors of the request arrival
+// rate, consumed by epoch::Controller.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+namespace cloudalloc::epoch {
+
+/// One-step-ahead predictor of a single client's arrival rate.
+class RatePredictor {
+ public:
+  virtual ~RatePredictor() = default;
+
+  /// Feeds the rate observed over the epoch that just ended.
+  virtual void observe(double rate) = 0;
+
+  /// Predicted rate for the next epoch. Must be > 0 once at least one
+  /// observation has been fed; before that, returns the configured prior.
+  virtual double predict() const = 0;
+
+  virtual std::unique_ptr<RatePredictor> clone() const = 0;
+};
+
+/// Exponentially weighted moving average: pred <- a*obs + (1-a)*pred.
+class EwmaPredictor final : public RatePredictor {
+ public:
+  /// `alpha` in (0, 1]; `prior` used until the first observation.
+  EwmaPredictor(double alpha, double prior);
+
+  void observe(double rate) override;
+  double predict() const override;
+  std::unique_ptr<RatePredictor> clone() const override;
+
+ private:
+  double alpha_;
+  double estimate_;
+  bool seeded_ = false;
+};
+
+/// Mean of the last `window` observations (simple, robust to outliers over
+/// short horizons).
+class SlidingMeanPredictor final : public RatePredictor {
+ public:
+  SlidingMeanPredictor(int window, double prior);
+
+  void observe(double rate) override;
+  double predict() const override;
+  std::unique_ptr<RatePredictor> clone() const override;
+
+ private:
+  std::size_t window_;
+  double prior_;
+  std::vector<double> history_;  ///< ring buffer, newest last
+};
+
+/// Double-exponential (Holt) smoothing: tracks level + trend, so ramping
+/// workloads are anticipated instead of chased.
+class HoltPredictor final : public RatePredictor {
+ public:
+  /// `alpha` smooths the level, `beta` the trend; both in (0, 1].
+  HoltPredictor(double alpha, double beta, double prior);
+
+  void observe(double rate) override;
+  double predict() const override;
+  std::unique_ptr<RatePredictor> clone() const override;
+
+ private:
+  double alpha_;
+  double beta_;
+  double level_;
+  double trend_ = 0.0;
+  bool seeded_ = false;
+};
+
+}  // namespace cloudalloc::epoch

@@ -1,0 +1,63 @@
+// Immutable description of one decision epoch's optimization instance:
+// topology (clusters, servers, server classes), client population, and
+// utility classes. Validated once at construction; the allocator and
+// evaluators then index into it freely.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "model/entities.h"
+#include "model/utility.h"
+
+namespace cloudalloc::model {
+
+class Cloud {
+ public:
+  /// Validates cross-references (every server's cluster/class exists, ids
+  /// are dense and match vector positions, parameters are in-domain) and
+  /// aborts via CHECK on programmer error.
+  Cloud(std::vector<ServerClass> server_classes, std::vector<Server> servers,
+        std::vector<Cluster> clusters, std::vector<UtilityClass> utility_classes,
+        std::vector<Client> clients);
+
+  const std::vector<ServerClass>& server_classes() const {
+    return server_classes_;
+  }
+  const std::vector<Server>& servers() const { return servers_; }
+  const std::vector<Cluster>& clusters() const { return clusters_; }
+  const std::vector<UtilityClass>& utility_classes() const {
+    return utility_classes_;
+  }
+  const std::vector<Client>& clients() const { return clients_; }
+
+  int num_clients() const { return static_cast<int>(clients_.size()); }
+  int num_servers() const { return static_cast<int>(servers_.size()); }
+  int num_clusters() const { return static_cast<int>(clusters_.size()); }
+
+  const Client& client(ClientId i) const;
+  const Server& server(ServerId j) const;
+  const Cluster& cluster(ClusterId k) const;
+  const ServerClass& server_class_of(ServerId j) const;
+  const UtilityFunction& utility_of(ClientId i) const;
+
+  /// Total processing capacity across all servers (background excluded).
+  double total_cap_p() const { return total_cap_p_; }
+  double total_cap_n() const { return total_cap_n_; }
+  /// Sum of predicted demand lambda_pred * alpha over clients, per resource.
+  double total_demand_p() const { return total_demand_p_; }
+  double total_demand_n() const { return total_demand_n_; }
+
+ private:
+  std::vector<ServerClass> server_classes_;
+  std::vector<Server> servers_;
+  std::vector<Cluster> clusters_;
+  std::vector<UtilityClass> utility_classes_;
+  std::vector<Client> clients_;
+  double total_cap_p_ = 0.0;
+  double total_cap_n_ = 0.0;
+  double total_demand_p_ = 0.0;
+  double total_demand_n_ = 0.0;
+};
+
+}  // namespace cloudalloc::model

@@ -1,0 +1,60 @@
+#include "model/evaluator.h"
+
+#include <cmath>
+#include <limits>
+
+namespace cloudalloc::model {
+
+double client_revenue(const Allocation& alloc, ClientId i) {
+  if (!alloc.is_assigned(i)) return 0.0;
+  const double r = alloc.response_time(i);
+  if (!std::isfinite(r)) return 0.0;
+  const Client& c = alloc.cloud().client(i);
+  return c.lambda_agreed * alloc.cloud().utility_of(i).value(r);
+}
+
+double server_cost(const Allocation& alloc, ServerId j) {
+  if (!alloc.active(j)) return 0.0;
+  const ServerClass& sc = alloc.cloud().server_class_of(j);
+  return sc.cost_fixed + sc.cost_per_util * alloc.proc_utilization(j);
+}
+
+ProfitBreakdown evaluate(const Allocation& alloc) {
+  const Cloud& cloud = alloc.cloud();
+  ProfitBreakdown out;
+  out.clients.reserve(static_cast<std::size_t>(cloud.num_clients()));
+  for (ClientId i = 0; i < cloud.num_clients(); ++i) {
+    ClientOutcome co;
+    co.id = i;
+    co.assigned = alloc.is_assigned(i);
+    co.response_time = alloc.response_time(i);
+    co.utility = (co.assigned && std::isfinite(co.response_time))
+                     ? cloud.utility_of(i).value(co.response_time)
+                     : 0.0;
+    co.revenue = co.utility * cloud.client(i).lambda_agreed;
+    out.revenue += co.revenue;
+    out.clients.push_back(co);
+  }
+  out.servers.reserve(static_cast<std::size_t>(cloud.num_servers()));
+  for (ServerId j = 0; j < cloud.num_servers(); ++j) {
+    ServerOutcome so;
+    so.id = j;
+    so.active = alloc.active(j);
+    so.utilization_p = alloc.proc_utilization(j);
+    so.cost = server_cost(alloc, j);
+    if (so.active) ++out.active_servers;
+    out.cost += so.cost;
+    out.servers.push_back(so);
+  }
+  out.profit = out.revenue - out.cost;
+  return out;
+}
+
+double profit(const Allocation& alloc) {
+  // Incremental: only entries dirtied since the last call are recomputed.
+  // evaluate() above stays a from-scratch recomputation, so the two act
+  // as independent implementations that tests cross-check.
+  return alloc.cached_profit();
+}
+
+}  // namespace cloudalloc::model

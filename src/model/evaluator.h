@@ -1,0 +1,53 @@
+// Profit evaluation: the paper's objective (eq. 2)
+//
+//   profit = sum_i lambda_agreed(i) * U_{c(i)}(R(i))
+//          - sum_j x(j) * (P0(j) + P1(j) * u_p(j))
+//
+// Unassigned clients earn zero revenue. Clients whose allocation is
+// unstable (infinite response time) also earn zero — the allocator never
+// produces such allocations, but speculative states during search may.
+#pragma once
+
+#include <vector>
+
+#include "model/allocation.h"
+
+namespace cloudalloc::model {
+
+struct ClientOutcome {
+  ClientId id = 0;
+  bool assigned = false;
+  double response_time = 0.0;  ///< +inf when unassigned/unstable
+  double utility = 0.0;        ///< price per unit of agreed rate
+  double revenue = 0.0;        ///< lambda_agreed * utility
+};
+
+struct ServerOutcome {
+  ServerId id = 0;
+  bool active = false;
+  double utilization_p = 0.0;
+  double cost = 0.0;  ///< P0 + P1 * utilization while active, else 0
+};
+
+struct ProfitBreakdown {
+  double revenue = 0.0;
+  double cost = 0.0;
+  double profit = 0.0;
+  int active_servers = 0;
+  std::vector<ClientOutcome> clients;
+  std::vector<ServerOutcome> servers;
+};
+
+/// Full per-entity breakdown (used by reports, examples, tests).
+ProfitBreakdown evaluate(const Allocation& alloc);
+
+/// Fast path: the scalar objective only.
+double profit(const Allocation& alloc);
+
+/// Revenue of a single client under the current allocation.
+double client_revenue(const Allocation& alloc, ClientId i);
+
+/// Operating cost of a single server under the current allocation.
+double server_cost(const Allocation& alloc, ServerId j);
+
+}  // namespace cloudalloc::model

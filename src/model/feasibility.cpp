@@ -1,0 +1,98 @@
+#include "model/feasibility.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "queueing/gps.h"
+#include "queueing/mm1.h"
+
+namespace cloudalloc::model {
+
+std::string Violation::describe() const {
+  std::ostringstream os;
+  switch (kind) {
+    case ViolationKind::kShareOverflowP:
+      os << "processing shares on server " << server << " exceed 1 by "
+         << magnitude;
+      break;
+    case ViolationKind::kShareOverflowN:
+      os << "communication shares on server " << server << " exceed 1 by "
+         << magnitude;
+      break;
+    case ViolationKind::kDiskOverflow:
+      os << "disk on server " << server << " exceeds capacity by "
+         << magnitude;
+      break;
+    case ViolationKind::kPsiNotOne:
+      os << "client " << client << " psi sums to 1" << (magnitude >= 0 ? "+" : "")
+         << magnitude;
+      break;
+    case ViolationKind::kCrossCluster:
+      os << "client " << client << " has a placement on server " << server
+         << " outside its cluster";
+      break;
+    case ViolationKind::kUnstableQueue:
+      os << "client " << client << " on server " << server
+         << " has an unstable queue (slack " << magnitude << ")";
+      break;
+    case ViolationKind::kNegativeVariable:
+      os << "client " << client << " on server " << server
+         << " has a negative variable " << magnitude;
+      break;
+  }
+  return os.str();
+}
+
+std::vector<Violation> check_feasibility(const Allocation& alloc, double tol) {
+  const Cloud& cloud = alloc.cloud();
+  std::vector<Violation> out;
+
+  for (ServerId j = 0; j < cloud.num_servers(); ++j) {
+    const double over_p = alloc.used_phi_p(j) - 1.0;
+    if (over_p > tol)
+      out.push_back({ViolationKind::kShareOverflowP, kNoClient, j, over_p});
+    const double over_n = alloc.used_phi_n(j) - 1.0;
+    if (over_n > tol)
+      out.push_back({ViolationKind::kShareOverflowN, kNoClient, j, over_n});
+    const double over_m = alloc.used_disk(j) - cloud.server_class_of(j).cap_m;
+    if (over_m > tol)
+      out.push_back({ViolationKind::kDiskOverflow, kNoClient, j, over_m});
+  }
+
+  for (ClientId i = 0; i < cloud.num_clients(); ++i) {
+    if (!alloc.is_assigned(i)) continue;
+    const Client& c = cloud.client(i);
+    const ClusterId k = alloc.cluster_of(i);
+    double psi_sum = 0.0;
+    for (const Placement& p : alloc.placements(i)) {
+      psi_sum += p.psi;
+      if (cloud.server(p.server).cluster != k)
+        out.push_back({ViolationKind::kCrossCluster, i, p.server, 0.0});
+      if (p.psi < -tol || p.phi_p < -tol || p.phi_n < -tol)
+        out.push_back({ViolationKind::kNegativeVariable, i, p.server,
+                       std::min({p.psi, p.phi_p, p.phi_n})});
+      const ServerClass& sc = cloud.server_class_of(p.server);
+      const double arrivals = p.psi * c.lambda_pred;
+      const double mu_p =
+          queueing::gps_service_rate(p.phi_p, sc.cap_p, c.alpha_p);
+      const double mu_n =
+          queueing::gps_service_rate(p.phi_n, sc.cap_n, c.alpha_n);
+      if (!queueing::mm1_stable(arrivals, mu_p))
+        out.push_back(
+            {ViolationKind::kUnstableQueue, i, p.server, mu_p - arrivals});
+      if (!queueing::mm1_stable(arrivals, mu_n))
+        out.push_back(
+            {ViolationKind::kUnstableQueue, i, p.server, mu_n - arrivals});
+    }
+    if (std::fabs(psi_sum - 1.0) > tol)
+      out.push_back({ViolationKind::kPsiNotOne, i, kNoServer, psi_sum - 1.0});
+  }
+  return out;
+}
+
+bool is_feasible(const Allocation& alloc, double tol) {
+  return check_feasibility(alloc, tol).empty();
+}
+
+}  // namespace cloudalloc::model

@@ -1,0 +1,78 @@
+#include "model/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace cloudalloc::model {
+
+std::string summary_line(const ProfitBreakdown& breakdown, int num_servers) {
+  int unserved = 0;
+  for (const auto& c : breakdown.clients)
+    if (!c.assigned) ++unserved;
+  std::ostringstream os;
+  os << "profit " << Table::num(breakdown.profit, 2) << " (revenue "
+     << Table::num(breakdown.revenue, 2) << " - cost "
+     << Table::num(breakdown.cost, 2) << "), servers "
+     << breakdown.active_servers << "/" << num_servers << " active, clients "
+     << breakdown.clients.size() - static_cast<std::size_t>(unserved) << "/"
+     << breakdown.clients.size() << " served";
+  return os.str();
+}
+
+Table client_table(const ProfitBreakdown& breakdown,
+                   const ReportOptions& options) {
+  std::vector<const ClientOutcome*> rows;
+  rows.reserve(breakdown.clients.size());
+  for (const auto& c : breakdown.clients) rows.push_back(&c);
+  std::sort(rows.begin(), rows.end(),
+            [](const ClientOutcome* a, const ClientOutcome* b) {
+              // Unserved first, then slowest first.
+              if (a->assigned != b->assigned) return !a->assigned;
+              return a->response_time > b->response_time;
+            });
+  if (options.max_clients > 0 &&
+      rows.size() > static_cast<std::size_t>(options.max_clients))
+    rows.resize(static_cast<std::size_t>(options.max_clients));
+
+  Table table({"client", "response_time", "utility", "revenue"});
+  for (const ClientOutcome* c : rows) {
+    if (!c->assigned) {
+      table.add_row({std::to_string(c->id), "unserved", "0", "0"});
+      continue;
+    }
+    table.add_row({std::to_string(c->id),
+                   std::isfinite(c->response_time)
+                       ? Table::num(c->response_time, options.precision)
+                       : "unstable",
+                   Table::num(c->utility, options.precision),
+                   Table::num(c->revenue, 2)});
+  }
+  return table;
+}
+
+Table server_table(const ProfitBreakdown& breakdown,
+                   const ReportOptions& options) {
+  Table table({"server", "utilization_p", "cost"});
+  for (const auto& s : breakdown.servers) {
+    if (!s.active) continue;
+    table.add_row({std::to_string(s.id),
+                   Table::num(s.utilization_p, options.precision),
+                   Table::num(s.cost, 2)});
+  }
+  return table;
+}
+
+void print_report(std::ostream& os, const ProfitBreakdown& breakdown,
+                  int num_servers, const ReportOptions& options) {
+  os << summary_line(breakdown, num_servers) << "\n\n";
+  client_table(breakdown, options).print(os);
+  if (options.include_servers) {
+    os << "\n";
+    server_table(breakdown, options).print(os);
+  }
+}
+
+}  // namespace cloudalloc::model

@@ -1,0 +1,39 @@
+// Human-readable reports over evaluation results: the shared pretty-
+// printing used by examples and the CLI tool, kept in the library so that
+// downstream users get the same tables without rebuilding them.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/table.h"
+#include "model/evaluator.h"
+
+namespace cloudalloc::model {
+
+struct ReportOptions {
+  /// Print at most this many client rows (worst response times first);
+  /// <= 0 prints all.
+  int max_clients = 0;
+  /// Include the per-server table (active servers only).
+  bool include_servers = false;
+  int precision = 3;
+};
+
+/// One-line executive summary: profit, revenue, cost, fleet usage.
+std::string summary_line(const ProfitBreakdown& breakdown, int num_servers);
+
+/// Client table: id, cluster-of omitted (not in the breakdown), response
+/// time, utility, revenue; unserved clients marked. Sorted worst-first.
+Table client_table(const ProfitBreakdown& breakdown,
+                   const ReportOptions& options = {});
+
+/// Active-server table: id, utilization, cost.
+Table server_table(const ProfitBreakdown& breakdown,
+                   const ReportOptions& options = {});
+
+/// Prints summary + client table (+ server table when configured).
+void print_report(std::ostream& os, const ProfitBreakdown& breakdown,
+                  int num_servers, const ReportOptions& options = {});
+
+}  // namespace cloudalloc::model

@@ -1,0 +1,19 @@
+// Shared identifier types for the cloud model.
+//
+// Ids are dense indices into the owning Cloud's vectors (client i is
+// cloud.clients()[i], and so on); signed so that -1 can mean "none".
+#pragma once
+
+namespace cloudalloc::model {
+
+using ClientId = int;
+using ServerId = int;
+using ClusterId = int;
+using ServerClassId = int;
+using UtilityClassId = int;
+
+inline constexpr ClientId kNoClient = -1;
+inline constexpr ServerId kNoServer = -1;
+inline constexpr ClusterId kNoCluster = -1;
+
+}  // namespace cloudalloc::model

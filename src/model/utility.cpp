@@ -1,0 +1,103 @@
+#include "model/utility.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "common/mathutil.h"
+
+namespace cloudalloc::model {
+
+LinearUtility::LinearUtility(double u0, double s) : u0_(u0), s_(s) {
+  CHECK(u0 >= 0.0);
+  CHECK(s >= 0.0);
+}
+
+double LinearUtility::value(double r) const {
+  CHECK(r >= 0.0);
+  return clamp(u0_ - s_ * r, 0.0, u0_);
+}
+
+double LinearUtility::slope(double r) const {
+  CHECK(r >= 0.0);
+  if (s_ == 0.0) return 0.0;
+  return r <= zero_crossing() ? s_ : 0.0;
+}
+
+double LinearUtility::zero_crossing() const {
+  if (s_ == 0.0) return std::numeric_limits<double>::infinity();
+  return u0_ / s_;
+}
+
+std::unique_ptr<UtilityFunction> LinearUtility::clone() const {
+  return std::make_unique<LinearUtility>(*this);
+}
+
+StepUtility::StepUtility(std::vector<double> thresholds,
+                         std::vector<double> values)
+    : thresholds_(std::move(thresholds)), values_(std::move(values)) {
+  CHECK_MSG(!thresholds_.empty(), "StepUtility needs at least one step");
+  CHECK(thresholds_.size() == values_.size());
+  for (std::size_t b = 0; b < thresholds_.size(); ++b) {
+    CHECK(thresholds_[b] > 0.0);
+    CHECK(values_[b] > 0.0);
+    if (b > 0) {
+      CHECK_MSG(thresholds_[b] > thresholds_[b - 1],
+                "thresholds must increase");
+      CHECK_MSG(values_[b] < values_[b - 1], "values must decrease");
+    }
+  }
+}
+
+double StepUtility::value(double r) const {
+  CHECK(r >= 0.0);
+  for (std::size_t b = 0; b < thresholds_.size(); ++b)
+    if (r <= thresholds_[b]) return values_[b];
+  return 0.0;
+}
+
+double StepUtility::slope(double r) const {
+  CHECK(r >= 0.0);
+  if (r > zero_crossing()) return 0.0;
+  return max_value() / zero_crossing();
+}
+
+double StepUtility::max_value() const { return values_.front(); }
+
+double StepUtility::zero_crossing() const { return thresholds_.back(); }
+
+std::unique_ptr<UtilityFunction> StepUtility::clone() const {
+  return std::make_unique<StepUtility>(*this);
+}
+
+TailLatencyUtility::TailLatencyUtility(
+    std::shared_ptr<const UtilityFunction> inner, double percentile)
+    : inner_(std::move(inner)),
+      percentile_(percentile),
+      scale_(-std::log(1.0 - percentile)) {
+  CHECK_MSG(inner_ != nullptr, "TailLatencyUtility needs an inner utility");
+  CHECK(percentile > 0.0 && percentile < 1.0);
+}
+
+double TailLatencyUtility::value(double r) const {
+  CHECK(r >= 0.0);
+  return inner_->value(r * scale_);
+}
+
+double TailLatencyUtility::slope(double r) const {
+  CHECK(r >= 0.0);
+  // d/dr inner(r * scale) = scale * inner'(r * scale).
+  return scale_ * inner_->slope(r * scale_);
+}
+
+double TailLatencyUtility::max_value() const { return inner_->max_value(); }
+
+double TailLatencyUtility::zero_crossing() const {
+  return inner_->zero_crossing() / scale_;
+}
+
+std::unique_ptr<UtilityFunction> TailLatencyUtility::clone() const {
+  return std::make_unique<TailLatencyUtility>(inner_, percentile_);
+}
+
+}  // namespace cloudalloc::model

@@ -1,0 +1,120 @@
+// SLA utility (price) functions: non-increasing functions of a client's
+// mean response time, as defined by the client's utility class.
+//
+// The paper's derivations rely on a linear form u0 - s*R (clipped to stay
+// non-negative), which LinearUtility provides. StepUtility implements the
+// discrete "staircase" SLAs mentioned for related formulations; the
+// optimizer handles it through its secant slope.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "model/types.h"
+
+namespace cloudalloc::model {
+
+/// Interface of a non-increasing, non-negative price of response time.
+class UtilityFunction {
+ public:
+  virtual ~UtilityFunction() = default;
+
+  /// Price paid per unit of agreed request rate at mean response time `r`.
+  /// Must be non-increasing in r and >= 0.
+  virtual double value(double r) const = 0;
+
+  /// Magnitude of the (sub)gradient at `r` — the "utility slope" the
+  /// heuristic uses to linearize the objective. Non-negative.
+  virtual double slope(double r) const = 0;
+
+  /// Price at r -> 0+ (the most a client can ever pay).
+  virtual double max_value() const = 0;
+
+  /// Largest response time with a strictly positive price; the allocator
+  /// treats clients past this point as earning nothing.
+  virtual double zero_crossing() const = 0;
+
+  virtual std::unique_ptr<UtilityFunction> clone() const = 0;
+};
+
+/// U(r) = clamp(u0 - s*r, 0, u0).
+class LinearUtility final : public UtilityFunction {
+ public:
+  /// Requires u0 >= 0 and s >= 0.
+  LinearUtility(double u0, double s);
+
+  double value(double r) const override;
+  double slope(double r) const override;
+  double max_value() const override { return u0_; }
+  double zero_crossing() const override;
+  std::unique_ptr<UtilityFunction> clone() const override;
+
+  double u0() const { return u0_; }
+  double s() const { return s_; }
+
+ private:
+  double u0_;
+  double s_;
+};
+
+/// Staircase SLA: value(r) = values[b] for the first threshold r <=
+/// thresholds[b]; 0 past the last threshold. Thresholds strictly
+/// increasing, values strictly decreasing and positive.
+class StepUtility final : public UtilityFunction {
+ public:
+  StepUtility(std::vector<double> thresholds, std::vector<double> values);
+
+  double value(double r) const override;
+  /// Secant slope from (0, max_value) to (zero_crossing, 0) — a usable
+  /// linearization for the heuristic's interior optimizations.
+  double slope(double r) const override;
+  double max_value() const override;
+  double zero_crossing() const override;
+  std::unique_ptr<UtilityFunction> clone() const override;
+
+  const std::vector<double>& thresholds() const { return thresholds_; }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<double> thresholds_;
+  std::vector<double> values_;
+};
+
+/// Prices a tail percentile of the response time instead of the mean —
+/// how real SLAs are written ("p95 under 300 ms"). In the model every
+/// single-slice sojourn is exponential, so the p-quantile is exactly
+/// -ln(1-p) times the mean (see queueing::mm1_response_quantile); this
+/// class wraps an inner mean-based utility and evaluates it at that
+/// scaled mean. For split clients (hypoexponential sojourns) the scaling
+/// overestimates the tail, so the pricing is conservative for the
+/// provider; the simulator's measured percentiles quantify the slack.
+class TailLatencyUtility final : public UtilityFunction {
+ public:
+  /// Requires an inner utility and a percentile in (0, 1).
+  TailLatencyUtility(std::shared_ptr<const UtilityFunction> inner,
+                     double percentile);
+
+  double value(double r) const override;
+  double slope(double r) const override;
+  double max_value() const override;
+  double zero_crossing() const override;
+  std::unique_ptr<UtilityFunction> clone() const override;
+
+  double percentile() const { return percentile_; }
+  double scale() const { return scale_; }  ///< -ln(1 - percentile)
+  const UtilityFunction& inner() const { return *inner_; }
+  std::shared_ptr<const UtilityFunction> inner_ptr() const { return inner_; }
+
+ private:
+  std::shared_ptr<const UtilityFunction> inner_;
+  double percentile_;
+  double scale_;
+};
+
+/// A utility class shared by many clients (5 classes in the paper's setup).
+struct UtilityClass {
+  UtilityClassId id = 0;
+  std::shared_ptr<const UtilityFunction> fn;
+};
+
+}  // namespace cloudalloc::model

@@ -1,0 +1,181 @@
+#include "multitier/multitier.h"
+
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "model/evaluator.h"
+#include "workload/scenario.h"
+
+namespace cloudalloc::multitier {
+
+ExpandedInstance expand(const MultiTierInstance& instance) {
+  // One scaled utility class per (original class, tier count) pair.
+  // Utility class ids are dense, so we append scaled copies as needed.
+  std::vector<model::UtilityClass> expanded_utilities =
+      instance.utility_classes;
+  // (original class, T) -> expanded utility class id
+  std::vector<std::pair<std::pair<int, int>, model::UtilityClassId>> memo;
+  auto scaled_class = [&](model::UtilityClassId original,
+                          int tiers) -> model::UtilityClassId {
+    if (tiers == 1) return original;
+    for (const auto& [key, id] : memo)
+      if (key.first == original && key.second == tiers) return id;
+    const auto* linear = dynamic_cast<const model::LinearUtility*>(
+        instance.utility_classes[static_cast<std::size_t>(original)]
+            .fn.get());
+    CHECK_MSG(linear != nullptr,
+              "multi-tier expansion requires LinearUtility classes");
+    model::UtilityClass scaled;
+    scaled.id = static_cast<model::UtilityClassId>(expanded_utilities.size());
+    scaled.fn = std::make_shared<model::LinearUtility>(
+        linear->u0() / static_cast<double>(tiers), linear->s());
+    expanded_utilities.push_back(scaled);
+    memo.push_back({{original, tiers}, scaled.id});
+    return scaled.id;
+  };
+
+  std::vector<model::Client> expanded_clients;
+  std::vector<TierRef> refs;
+  std::vector<int> parent_tiers;
+  parent_tiers.reserve(instance.clients.size());
+  for (std::size_t p = 0; p < instance.clients.size(); ++p) {
+    const MultiTierClient& parent = instance.clients[p];
+    CHECK_MSG(!parent.tiers.empty(), "client needs at least one tier");
+    parent_tiers.push_back(static_cast<int>(parent.tiers.size()));
+    const model::UtilityClassId uc = scaled_class(
+        parent.utility_class, static_cast<int>(parent.tiers.size()));
+    for (std::size_t t = 0; t < parent.tiers.size(); ++t) {
+      const TierDemand& tier = parent.tiers[t];
+      model::Client c;
+      c.id = static_cast<model::ClientId>(expanded_clients.size());
+      c.utility_class = uc;
+      c.lambda_agreed = parent.lambda_agreed;
+      c.lambda_pred = parent.lambda_pred;
+      c.alpha_p = tier.alpha_p;
+      c.alpha_n = tier.alpha_n;
+      c.disk = tier.disk;
+      expanded_clients.push_back(c);
+      refs.push_back(TierRef{static_cast<int>(p), static_cast<int>(t)});
+    }
+  }
+
+  return ExpandedInstance{
+      std::make_shared<const model::Cloud>(
+          instance.server_classes, instance.servers, instance.clusters,
+          std::move(expanded_utilities), std::move(expanded_clients)),
+      std::move(refs), std::move(parent_tiers)};
+}
+
+double end_to_end_response_time(const ExpandedInstance& expanded,
+                                const model::Allocation& alloc, int parent) {
+  double total = 0.0;
+  bool found_any = false;
+  int tiers_seen = 0;
+  for (model::ClientId i = 0; i < expanded.cloud().num_clients(); ++i) {
+    if (expanded.refs[static_cast<std::size_t>(i)].parent != parent) continue;
+    found_any = true;
+    ++tiers_seen;
+    if (!alloc.is_assigned(i))
+      return std::numeric_limits<double>::infinity();
+    const double r = alloc.response_time(i);
+    if (!std::isfinite(r)) return r;
+    total += r;
+  }
+  CHECK_MSG(found_any, "unknown parent id");
+  CHECK(tiers_seen ==
+        expanded.parent_tiers[static_cast<std::size_t>(parent)]);
+  return total;
+}
+
+double multitier_profit(const MultiTierInstance& instance,
+                        const ExpandedInstance& expanded,
+                        const model::Allocation& alloc) {
+  double revenue = 0.0;
+  for (std::size_t p = 0; p < instance.clients.size(); ++p) {
+    const double r =
+        end_to_end_response_time(expanded, alloc, static_cast<int>(p));
+    if (!std::isfinite(r)) continue;  // a tier unserved/unstable: no revenue
+    const MultiTierClient& parent = instance.clients[p];
+    const auto& fn =
+        *instance.utility_classes[static_cast<std::size_t>(
+                                      parent.utility_class)]
+             .fn;
+    revenue += parent.lambda_agreed * fn.value(r);
+  }
+  double cost = 0.0;
+  for (model::ServerId j = 0; j < expanded.cloud().num_servers(); ++j)
+    cost += model::server_cost(alloc, j);
+  return revenue - cost;
+}
+
+MultiTierResult allocate(const MultiTierInstance& instance,
+                         const alloc::AllocatorOptions& options) {
+  ExpandedInstance expanded = expand(instance);
+  alloc::ResourceAllocator allocator(options);
+  auto result = allocator.run(expanded.cloud());
+
+  MultiTierResult out{std::move(expanded), std::move(result.allocation),
+                      /*profit=*/0.0, std::move(result.report)};
+  out.profit = multitier_profit(instance, out.expanded, out.allocation);
+  return out;
+}
+
+MultiTierInstance make_multitier_scenario(int num_clients, int tiers_lo,
+                                          int tiers_hi, std::uint64_t seed) {
+  CHECK(num_clients >= 1);
+  CHECK(tiers_lo >= 1 && tiers_lo <= tiers_hi);
+
+  // Reuse the paper's topology + utility classes from the single-tier
+  // generator, then replace its clients with multi-tier ones whose summed
+  // demand matches the single-tier ranges.
+  workload::ScenarioParams params;
+  params.num_clients = 1;  // placeholder client, discarded below
+  const model::Cloud base = workload::make_scenario(params, seed);
+
+  MultiTierInstance instance;
+  instance.server_classes = base.server_classes();
+  instance.servers = base.servers();
+  instance.clusters = base.clusters();
+  instance.utility_classes = base.utility_classes();
+
+  Rng rng(seed ^ 0x6D756C7469ull);  // distinct stream from the topology
+  for (int i = 0; i < num_clients; ++i) {
+    MultiTierClient client;
+    client.id = i;
+    client.utility_class = static_cast<model::UtilityClassId>(
+        rng.uniform_int(0,
+                        static_cast<std::int64_t>(
+                            instance.utility_classes.size()) -
+                            1));
+    client.lambda_agreed = rng.uniform(params.lambda_lo, params.lambda_hi);
+    client.lambda_pred = client.lambda_agreed;
+    const int tiers = static_cast<int>(rng.uniform_int(tiers_lo, tiers_hi));
+    const double total_alpha_p = rng.uniform(params.alpha_lo, params.alpha_hi);
+    const double total_alpha_n = rng.uniform(params.alpha_lo, params.alpha_hi);
+    const double total_disk = rng.uniform(params.disk_lo, params.disk_hi);
+    // Random positive split of the totals over the tiers.
+    std::vector<double> weights(static_cast<std::size_t>(tiers));
+    double weight_sum = 0.0;
+    for (auto& w : weights) {
+      w = rng.uniform(0.5, 1.5);
+      weight_sum += w;
+    }
+    for (int t = 0; t < tiers; ++t) {
+      const double frac = weights[static_cast<std::size_t>(t)] / weight_sum;
+      TierDemand tier;
+      tier.alpha_p = std::max(0.05, total_alpha_p * frac);
+      tier.alpha_n = std::max(0.05, total_alpha_n * frac);
+      tier.disk = total_disk * frac;
+      client.tiers.push_back(tier);
+    }
+    instance.clients.push_back(std::move(client));
+  }
+  return instance;
+}
+
+}  // namespace cloudalloc::multitier

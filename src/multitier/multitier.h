@@ -1,0 +1,109 @@
+// Multi-tier application support — the paper's stated future work ("the
+// model will be expanded to deployment of complex multi-tier applications
+// in a cloud computing infrastructure", Section VII; realized by the
+// authors in their CLOUD'11 follow-up).
+//
+// A multi-tier client's requests flow through T tiers (web -> app -> db);
+// every tier has its own processing/communication work and disk footprint,
+// holds its own placements, and the stages pipeline, so the end-to-end
+// mean response time is the sum of the tiers' response times. The SLA
+// utility applies to that end-to-end time.
+//
+// Reduction: for the linear utilities the paper optimizes,
+//     lambda_a * (u0 - s * sum_t R_t) = sum_t lambda_a * (u0/T - s * R_t),
+// so a T-tier client is *exactly* equivalent (in the linear region) to T
+// independent single-tier clients that each carry the full request rate,
+// the tier's demand, and a utility of (u0/T, s). We therefore expand a
+// multi-tier instance into an ordinary model::Cloud, run the unmodified
+// Resource_Alloc heuristic, and evaluate the true (clipped, end-to-end)
+// profit on the expansion map. Clipping differs only when a tier is driven
+// past its scaled zero-crossing, where the expansion is conservative.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "model/allocation.h"
+#include "model/cloud.h"
+
+namespace cloudalloc::multitier {
+
+/// One tier's demand profile.
+struct TierDemand {
+  double alpha_p = 1.0;  ///< processing work per request
+  double alpha_n = 1.0;  ///< communication work per request
+  double disk = 0.0;     ///< disk footprint per hosting server
+};
+
+/// A client whose requests traverse `tiers` in sequence.
+struct MultiTierClient {
+  int id = 0;
+  model::UtilityClassId utility_class = 0;
+  double lambda_agreed = 1.0;
+  double lambda_pred = 1.0;
+  std::vector<TierDemand> tiers;
+};
+
+/// A multi-tier optimization instance: the physical cloud's topology plus
+/// multi-tier clients. Utility classes must be LinearUtility (the paper's
+/// optimized form; the expansion scales u0 by 1/T).
+struct MultiTierInstance {
+  std::vector<model::ServerClass> server_classes;
+  std::vector<model::Server> servers;
+  std::vector<model::Cluster> clusters;
+  std::vector<model::UtilityClass> utility_classes;
+  std::vector<MultiTierClient> clients;
+};
+
+/// Maps each expanded (single-tier) client back to its parent and tier.
+struct TierRef {
+  int parent = 0;
+  int tier = 0;
+};
+
+struct ExpandedInstance {
+  /// One expanded client per (parent, tier). Held behind a shared_ptr so
+  /// the Cloud's address is stable under moves — Allocation objects keep a
+  /// pointer to it.
+  std::shared_ptr<const model::Cloud> cloud_ptr;
+  std::vector<TierRef> refs;      ///< indexed by expanded ClientId
+  std::vector<int> parent_tiers;  ///< tier count per parent
+
+  const model::Cloud& cloud() const { return *cloud_ptr; }
+};
+
+/// Builds the equivalent single-tier Cloud (see the reduction above).
+ExpandedInstance expand(const MultiTierInstance& instance);
+
+/// End-to-end response time of parent `p` under an allocation of the
+/// expanded cloud: sum of its tiers' response times; +inf if any tier is
+/// unassigned or unstable.
+double end_to_end_response_time(const ExpandedInstance& expanded,
+                                const model::Allocation& alloc, int parent);
+
+/// True multi-tier profit: per-parent clipped utility of the end-to-end
+/// response time, minus the usual server operation costs.
+double multitier_profit(const MultiTierInstance& instance,
+                        const ExpandedInstance& expanded,
+                        const model::Allocation& alloc);
+
+struct MultiTierResult {
+  ExpandedInstance expanded;
+  model::Allocation allocation;  ///< over expanded.cloud
+  double profit = 0.0;           ///< true end-to-end profit
+  alloc::AllocatorReport report; ///< the inner allocator's trace
+};
+
+/// Expands, runs Resource_Alloc, and evaluates the true profit.
+MultiTierResult allocate(const MultiTierInstance& instance,
+                         const alloc::AllocatorOptions& options = {});
+
+/// Random multi-tier scenario on the Section VI topology: every client
+/// gets `tiers_lo..tiers_hi` tiers whose summed demand matches the paper's
+/// single-tier client ranges.
+MultiTierInstance make_multitier_scenario(int num_clients, int tiers_lo,
+                                          int tiers_hi, std::uint64_t seed);
+
+}  // namespace cloudalloc::multitier

@@ -1,0 +1,3 @@
+// annealing.h is header-only; this TU exists to give the target a symbol
+// and to fail fast if the header stops compiling standalone.
+#include "opt/annealing.h"

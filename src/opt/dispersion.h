@@ -1,0 +1,48 @@
+// Convex dispersion-rate solver — the inner step of the paper's
+// Adjust_DispersionRates (the dual of Adjust_ResourceShares: shares phi
+// are frozen, the traffic split psi moves).
+//
+// For one client with Poisson rate lambda, whose slice on server j has
+// fixed effective service rates mu_p(j), mu_n(j) (= phi*C/alpha), choose
+// psi_j >= 0 with sum_j psi_j = 1 minimizing
+//
+//   sum_j  delay_weight * psi_j * [ 1/(mu_p(j) - psi_j*lambda)
+//                                 + 1/(mu_n(j) - psi_j*lambda) ]
+//        + lin_cost(j) * psi_j
+//
+// where delay_weight = slope * lambda_agreed converts delay into money and
+// lin_cost(j) = P1(j) * lambda * alpha_p / Cp(j) is the marginal energy
+// cost of routing traffic to j. Each delay term is convex on the stable
+// range, so the KKT system is solved by bisection on the shared multiplier
+// with an inner bisection per server.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace cloudalloc::opt {
+
+struct DispersionItem {
+  double mu_p = 1.0;      ///< processing service rate of the frozen share
+  double mu_n = 1.0;      ///< communication service rate of the frozen share
+  double lin_cost = 0.0;  ///< marginal linear cost per unit of psi
+  double cap = 1.0;       ///< max psi (stability headroom cap), in [0,1]
+};
+
+struct DispersionSolution {
+  std::vector<double> psi;
+  double objective = 0.0;  ///< minimized cost (money units)
+};
+
+/// Returns nullopt when sum of caps < 1 (the frozen shares cannot carry the
+/// whole client). `lambda` > 0, `delay_weight` >= 0.
+std::optional<DispersionSolution> solve_dispersion(
+    const std::vector<DispersionItem>& items, double lambda,
+    double delay_weight);
+
+/// Objective evaluator (also the test oracle target).
+double dispersion_objective(const std::vector<DispersionItem>& items,
+                            double lambda, double delay_weight,
+                            const std::vector<double>& psi);
+
+}  // namespace cloudalloc::opt

@@ -1,0 +1,55 @@
+#include "opt/dp.h"
+
+#include "common/check.h"
+
+namespace cloudalloc::opt {
+
+std::optional<DpResult> dp_distribute(
+    const std::vector<std::vector<double>>& scores, int G) {
+  CHECK(G >= 1);
+  const std::size_t J = scores.size();
+  CHECK(J >= 1);
+  const std::size_t width = static_cast<std::size_t>(G) + 1;
+  for (const auto& row : scores) {
+    CHECK_MSG(row.size() == width, "scores[j] must have G+1 entries");
+    CHECK_MSG(row[0] == 0.0, "giving zero quanta must score zero");
+  }
+
+  // best[t] after processing servers 0..j; choice[j][t] = quanta for j.
+  std::vector<double> best(width, kDpInfeasible);
+  std::vector<std::vector<int>> choice(J, std::vector<int>(width, -1));
+  best[0] = 0.0;
+
+  for (std::size_t j = 0; j < J; ++j) {
+    std::vector<double> next(width, kDpInfeasible);
+    for (std::size_t t = 0; t < width; ++t) {
+      if (best[t] <= kDpInfeasible) continue;
+      for (std::size_t g = 0; g + t < width; ++g) {
+        if (scores[j][g] <= kDpInfeasible) continue;
+        const double cand = best[t] + scores[j][g];
+        if (cand > next[t + g]) {
+          next[t + g] = cand;
+          choice[j][t + g] = static_cast<int>(g);
+        }
+      }
+    }
+    best = std::move(next);
+  }
+
+  if (best[static_cast<std::size_t>(G)] <= kDpInfeasible) return std::nullopt;
+
+  DpResult out;
+  out.score = best[static_cast<std::size_t>(G)];
+  out.quanta.assign(J, 0);
+  std::size_t t = static_cast<std::size_t>(G);
+  for (std::size_t j = J; j-- > 0;) {
+    const int g = choice[j][t];
+    CHECK(g >= 0);
+    out.quanta[j] = g;
+    t -= static_cast<std::size_t>(g);
+  }
+  CHECK(t == 0);
+  return out;
+}
+
+}  // namespace cloudalloc::opt

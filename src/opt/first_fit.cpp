@@ -1,0 +1,48 @@
+#include "opt/first_fit.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/mathutil.h"
+
+namespace cloudalloc::opt {
+
+std::vector<PackedPiece> first_fit_split(
+    double demand, std::vector<double>& free,
+    const std::vector<std::size_t>& order) {
+  CHECK(demand >= 0.0);
+  std::vector<PackedPiece> out;
+  for (std::size_t bin : order) {
+    CHECK(bin < free.size());
+    if (demand <= kEps) break;
+    const double take = std::min(demand, std::max(free[bin], 0.0));
+    if (take <= kEps) continue;
+    free[bin] -= take;
+    demand -= take;
+    out.push_back({bin, take});
+  }
+  return out;
+}
+
+std::vector<int> first_fit_decreasing(const std::vector<double>& items,
+                                      std::vector<double>& free) {
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return items[a] > items[b];
+  });
+  std::vector<int> bin_of(items.size(), -1);
+  for (std::size_t idx : order) {
+    for (std::size_t b = 0; b < free.size(); ++b) {
+      if (items[idx] <= free[b] + kEps) {
+        free[b] -= items[idx];
+        bin_of[idx] = static_cast<int>(b);
+        break;
+      }
+    }
+  }
+  return bin_of;
+}
+
+}  // namespace cloudalloc::opt

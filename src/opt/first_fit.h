@@ -1,0 +1,30 @@
+// First-Fit style capacity packing used by the modified Proportional-Share
+// baseline (Section VI of the paper, citing Martello & Toth's bin-packing
+// heuristics). Unlike textbook bin packing, the paper's variant *splits*
+// an item across bins: the best-rated bin serves as much of the demand as
+// it can, the remainder rolls over to the next bin.
+#pragma once
+
+#include <vector>
+
+namespace cloudalloc::opt {
+
+struct PackedPiece {
+  std::size_t bin = 0;
+  double amount = 0.0;
+};
+
+/// Packs `demand` into `free` capacities in the given bin order, splitting
+/// across bins. Returns the pieces actually placed (may cover less than
+/// the demand when total free capacity is short) and decrements `free`.
+std::vector<PackedPiece> first_fit_split(double demand,
+                                         std::vector<double>& free,
+                                         const std::vector<std::size_t>& order);
+
+/// Classic (non-splitting) first-fit-decreasing bin packing; returns a bin
+/// index per item or -1 for items that fit nowhere. Used by tests and by
+/// the PS baseline's disk-placement step.
+std::vector<int> first_fit_decreasing(const std::vector<double>& items,
+                                      std::vector<double>& free);
+
+}  // namespace cloudalloc::opt

@@ -1,0 +1,79 @@
+#include "opt/genetic.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cloudalloc::opt {
+namespace {
+
+std::vector<int> random_genome(int genes, int alphabet, Rng& rng) {
+  std::vector<int> g(static_cast<std::size_t>(genes));
+  for (int& allele : g)
+    allele = static_cast<int>(rng.uniform_int(0, alphabet - 1));
+  return g;
+}
+
+}  // namespace
+
+GeneticResult genetic_search(
+    int genes, int alphabet,
+    const std::function<double(const std::vector<int>&)>& fitness,
+    const GeneticOptions& opts, Rng& rng) {
+  CHECK(genes >= 1);
+  CHECK(alphabet >= 1);
+  CHECK(opts.population >= 2);
+  CHECK(opts.elites >= 0 && opts.elites < opts.population);
+
+  struct Member {
+    std::vector<int> genome;
+    double fit;
+  };
+  std::vector<Member> pop;
+  pop.reserve(static_cast<std::size_t>(opts.population));
+  for (int p = 0; p < opts.population; ++p) {
+    Member m{random_genome(genes, alphabet, rng), 0.0};
+    m.fit = fitness(m.genome);
+    pop.push_back(std::move(m));
+  }
+  auto by_fitness_desc = [](const Member& a, const Member& b) {
+    return a.fit > b.fit;
+  };
+
+  auto tournament_pick = [&]() -> const Member& {
+    const Member* best = &pop[rng.index(pop.size())];
+    for (int t = 1; t < opts.tournament; ++t) {
+      const Member& cand = pop[rng.index(pop.size())];
+      if (cand.fit > best->fit) best = &cand;
+    }
+    return *best;
+  };
+
+  for (int gen = 0; gen < opts.generations; ++gen) {
+    std::sort(pop.begin(), pop.end(), by_fitness_desc);
+    std::vector<Member> next(pop.begin(),
+                             pop.begin() + opts.elites);  // elitism
+    while (static_cast<int>(next.size()) < opts.population) {
+      std::vector<int> child = tournament_pick().genome;
+      if (rng.bernoulli(opts.crossover_rate)) {
+        const std::vector<int>& other = tournament_pick().genome;
+        const std::size_t cut = rng.index(child.size());
+        std::copy(other.begin() + static_cast<std::ptrdiff_t>(cut),
+                  other.end(),
+                  child.begin() + static_cast<std::ptrdiff_t>(cut));
+      }
+      for (int& allele : child)
+        if (rng.bernoulli(opts.mutation_rate))
+          allele = static_cast<int>(rng.uniform_int(0, alphabet - 1));
+      Member m{std::move(child), 0.0};
+      m.fit = fitness(m.genome);
+      next.push_back(std::move(m));
+    }
+    pop = std::move(next);
+  }
+
+  std::sort(pop.begin(), pop.end(), by_fitness_desc);
+  return GeneticResult{pop.front().genome, pop.front().fit};
+}
+
+}  // namespace cloudalloc::opt

@@ -1,0 +1,35 @@
+// Small steady-state genetic algorithm over integer genomes, the second
+// stochastic straw-man the paper mentions ("Genetic Search"). A genome is
+// a vector<int>; the library user supplies the fitness and the per-gene
+// alphabet size (e.g. genome[i] = cluster of client i).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace cloudalloc::opt {
+
+struct GeneticOptions {
+  int population = 32;
+  int generations = 200;
+  double crossover_rate = 0.9;
+  double mutation_rate = 0.05;  ///< per-gene
+  int tournament = 3;
+  int elites = 2;
+};
+
+struct GeneticResult {
+  std::vector<int> best;
+  double best_fitness = 0.0;
+};
+
+/// Maximizes `fitness` over genomes of length `genes` with alleles in
+/// [0, alphabet). Deterministic given `rng`'s seed.
+GeneticResult genetic_search(
+    int genes, int alphabet,
+    const std::function<double(const std::vector<int>&)>& fitness,
+    const GeneticOptions& opts, Rng& rng);
+
+}  // namespace cloudalloc::opt

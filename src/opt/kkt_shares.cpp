@@ -1,0 +1,89 @@
+#include "opt/kkt_shares.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/mathutil.h"
+
+namespace cloudalloc::opt {
+namespace {
+
+double phi_at(const ShareItem& it, double eta) {
+  if (it.weight <= 0.0) return it.lo;
+  const double unclamped =
+      it.load / it.rate_factor + std::sqrt(it.weight / (it.rate_factor * eta));
+  return clamp(unclamped, it.lo, it.hi);
+}
+
+double sum_at(const std::vector<ShareItem>& items, double eta) {
+  double s = 0.0;
+  for (const auto& it : items) s += phi_at(it, eta);
+  return s;
+}
+
+}  // namespace
+
+std::optional<ShareSolution> solve_shares(const std::vector<ShareItem>& items,
+                                          double budget) {
+  CHECK(budget >= 0.0);
+  double floor_sum = 0.0;
+  double ceil_sum = 0.0;
+  for (const auto& it : items) {
+    CHECK(it.rate_factor > 0.0);
+    CHECK(it.weight >= 0.0);
+    CHECK(it.load >= 0.0);
+    if (it.lo > it.hi + kEps) return std::nullopt;
+    // Stability: the floor must strictly dominate the load.
+    if (it.lo * it.rate_factor <= it.load) return std::nullopt;
+    floor_sum += it.lo;
+    ceil_sum += std::max(it.lo, it.hi);
+  }
+  if (floor_sum > budget + kEps) return std::nullopt;
+
+  ShareSolution sol;
+  sol.phi.resize(items.size());
+
+  if (ceil_sum <= budget + kEps) {
+    // Budget slack: everyone at the ceiling, zero shadow price.
+    for (std::size_t i = 0; i < items.size(); ++i)
+      sol.phi[i] = std::max(items[i].lo, items[i].hi);
+    sol.multiplier = 0.0;
+  } else {
+    // sum_at is decreasing in eta; bracket then bisect.
+    double eta_lo = 1e-12, eta_hi = 1e12;
+    while (sum_at(items, eta_lo) < budget && eta_lo > 1e-300) eta_lo *= 1e-3;
+    while (sum_at(items, eta_hi) > budget && eta_hi < 1e300) eta_hi *= 1e3;
+    double eta = eta_lo;
+    if (sum_at(items, eta_hi) > budget) {
+      // Floors alone sit at the budget within tolerance (overload edge):
+      // pin everyone as low as the clamps allow.
+      eta = eta_hi;
+    } else if (sum_at(items, eta_lo) >= budget) {
+      // Normal case: the budget binds somewhere between the brackets.
+      eta = bisect([&](double e) { return sum_at(items, e) - budget; }, eta_lo,
+                   eta_hi, 120);
+    }
+    // Else only zero-weight items move the sum: they sit at their floors and
+    // the budget can never bind; keep eta at the (vanishing) bracket edge.
+    for (std::size_t i = 0; i < items.size(); ++i)
+      sol.phi[i] = phi_at(items[i], eta);
+    sol.multiplier = eta;
+  }
+  sol.objective = shares_objective(items, sol.phi);
+  return sol;
+}
+
+double shares_objective(const std::vector<ShareItem>& items,
+                        const std::vector<double>& phi) {
+  CHECK(items.size() == phi.size());
+  double obj = 0.0;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const double slack = phi[i] * items[i].rate_factor - items[i].load;
+    if (slack <= 0.0) return -std::numeric_limits<double>::infinity();
+    obj -= items[i].weight / slack;
+  }
+  return obj;
+}
+
+}  // namespace cloudalloc::opt

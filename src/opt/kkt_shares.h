@@ -1,0 +1,55 @@
+// Water-filling share solver — the closed-form KKT step of the paper's
+// Adjust_ResourceShares (eq. 17/18).
+//
+// Problem: distribute a capacity budget Phi over items (one item per
+// client-slice on a server), maximizing
+//
+//     sum_i  -w_i / (phi_i * B_i - l_i)
+//
+// subject to  sum_i phi_i <= Phi  and  lo_i <= phi_i <= hi_i,
+//
+// where w_i >= 0 is the client's utility pressure (slope * lambda_agreed *
+// psi), B_i = C / alpha_i its service-rate factor, and l_i = psi_i *
+// lambda_i its offered load. Each term is the (negated, weighted) M/M/1
+// sojourn time of the slice. The objective is concave for phi_i*B_i > l_i,
+// so KKT gives the closed form
+//
+//     phi_i(eta) = clamp( l_i/B_i + sqrt(w_i / (B_i * eta)), lo_i, hi_i )
+//
+// with a single multiplier eta found by bisection on the budget.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace cloudalloc::opt {
+
+struct ShareItem {
+  double weight = 0.0;       ///< w_i >= 0; 0 pins the item at its floor
+  double rate_factor = 1.0;  ///< B_i = C/alpha > 0
+  double load = 0.0;         ///< l_i = psi*lambda >= 0
+  double lo = 0.0;           ///< share floor; must keep the queue stable
+  double hi = 1.0;           ///< share ceiling (free capacity cap)
+};
+
+struct ShareSolution {
+  std::vector<double> phi;
+  /// KKT multiplier: the marginal objective value of one more unit of
+  /// capacity on this resource (0 when the budget is slack). The initial
+  /// greedy uses it as the server's congestion price.
+  double multiplier = 0.0;
+  /// Objective value sum_i -w_i/(phi_i B_i - l_i).
+  double objective = 0.0;
+};
+
+/// Returns nullopt when the floors alone exceed the budget or some item has
+/// lo too small to keep its queue stable (lo*B <= load).
+std::optional<ShareSolution> solve_shares(const std::vector<ShareItem>& items,
+                                          double budget);
+
+/// Brute-force reference (projected coordinate ascent on a fine grid);
+/// exponentially slower, used only by tests to validate solve_shares.
+double shares_objective(const std::vector<ShareItem>& items,
+                        const std::vector<double>& phi);
+
+}  // namespace cloudalloc::opt

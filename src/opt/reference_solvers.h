@@ -1,0 +1,35 @@
+// Slow-but-dependable reference solvers for the two convex subproblems,
+// used by the test suite to cross-validate the closed-form KKT machinery
+// on instances too large for grid search. Projected-gradient methods with
+// backtracking line search; tens of microseconds per solve, never used on
+// the hot path.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "opt/dispersion.h"
+#include "opt/kkt_shares.h"
+
+namespace cloudalloc::opt {
+
+/// Euclidean projection of `x` onto {v : lo <= v <= hi (elementwise),
+/// sum(v) <= total}. Exposed for its own tests.
+std::vector<double> project_capped_box(const std::vector<double>& x,
+                                       const std::vector<double>& lo,
+                                       const std::vector<double>& hi,
+                                       double total);
+
+/// Reference for solve_shares: projected gradient ascent on the same
+/// objective/constraints. Returns nullopt exactly when solve_shares would
+/// (infeasible floors).
+std::optional<ShareSolution> solve_shares_reference(
+    const std::vector<ShareItem>& items, double budget, int iterations = 400);
+
+/// Reference for solve_dispersion: projected gradient descent on the same
+/// objective with sum(psi) = 1 enforced by projection.
+std::optional<DispersionSolution> solve_dispersion_reference(
+    const std::vector<DispersionItem>& items, double lambda,
+    double delay_weight, int iterations = 400);
+
+}  // namespace cloudalloc::opt

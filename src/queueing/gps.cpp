@@ -1,0 +1,39 @@
+#include "queueing/gps.h"
+
+#include "common/check.h"
+
+namespace cloudalloc::queueing {
+
+double gps_service_rate(double phi, double capacity, double alpha) {
+  CHECK(alpha > 0.0);
+  CHECK(phi >= 0.0);
+  CHECK(capacity >= 0.0);
+  return phi * capacity / alpha;
+}
+
+double gps_min_share(double lambda, double capacity, double alpha,
+                     double headroom) {
+  CHECK(capacity > 0.0);
+  CHECK(alpha > 0.0);
+  CHECK(lambda >= 0.0);
+  CHECK(headroom >= 0.0);
+  return (lambda + headroom) * alpha / capacity;
+}
+
+double gps_share_for_response_time(double lambda, double capacity,
+                                   double alpha, double target) {
+  CHECK(target > 0.0);
+  const double mu = lambda + 1.0 / target;
+  return mu * alpha / capacity;
+}
+
+bool gps_valid_shares(const std::vector<double>& phis, double tol) {
+  double sum = 0.0;
+  for (double phi : phis) {
+    if (phi < -tol) return false;
+    sum += phi;
+  }
+  return sum <= 1.0 + tol;
+}
+
+}  // namespace cloudalloc::queueing

@@ -1,0 +1,34 @@
+// Generalized Processor Sharing (GPS) share algebra.
+//
+// A server resource of capacity C shared under GPS with weights
+// phi_1..phi_n (sum <= 1) gives flow i a guaranteed service rate of
+// phi_i * C. Combined with per-request work alpha_i (execution time on one
+// unit of capacity), flow i sees an effective exponential service rate
+// mu_i = phi_i * C / alpha_i, and the flow behaves as an independent M/M/1
+// queue (Zhang, Towsley & Kurose, SIGCOMM'94 — the model the paper adopts).
+#pragma once
+
+#include <vector>
+
+namespace cloudalloc::queueing {
+
+/// Effective service rate of a GPS share: phi * capacity / alpha.
+/// Requires alpha > 0; phi and capacity must be non-negative.
+double gps_service_rate(double phi, double capacity, double alpha);
+
+/// Minimum share required to serve Poisson traffic of rate `lambda` with
+/// strictly positive slack `headroom` (requests/second beyond stability):
+/// phi_min = (lambda + headroom) * alpha / capacity.
+double gps_min_share(double lambda, double capacity, double alpha,
+                     double headroom);
+
+/// Share needed to hit a target mean response time `target` (M/M/1):
+/// mu = lambda + 1/target, phi = mu * alpha / capacity. Requires target > 0.
+double gps_share_for_response_time(double lambda, double capacity,
+                                   double alpha, double target);
+
+/// True when the weights form a valid GPS allocation (each >= 0, sum <= 1
+/// within tolerance).
+bool gps_valid_shares(const std::vector<double>& phis, double tol = 1e-9);
+
+}  // namespace cloudalloc::queueing

@@ -1,0 +1,46 @@
+#include "queueing/response_time.h"
+
+#include <limits>
+
+#include "queueing/gps.h"
+#include "queueing/mm1.h"
+
+namespace cloudalloc::queueing {
+
+double slice_response_time(const ServerSlice& slice, double lambda,
+                           double alpha_p, double alpha_n) {
+  const double arrivals = slice.psi * lambda;
+  const double mu_p = gps_service_rate(slice.phi_p, slice.cap_p, alpha_p);
+  const double mu_n = gps_service_rate(slice.phi_n, slice.cap_n, alpha_n);
+  const double t_p = mm1_response_time_or_inf(arrivals, mu_p);
+  const double t_n = mm1_response_time_or_inf(arrivals, mu_n);
+  return t_p + t_n;
+}
+
+double client_response_time(const std::vector<ServerSlice>& slices,
+                            double lambda, double alpha_p, double alpha_n) {
+  double r = 0.0;
+  for (const auto& slice : slices) {
+    if (slice.psi <= 0.0) continue;
+    const double t = slice_response_time(slice, lambda, alpha_p, alpha_n);
+    if (t == std::numeric_limits<double>::infinity())
+      return std::numeric_limits<double>::infinity();
+    r += slice.psi * t;
+  }
+  return r;
+}
+
+bool slices_stable(const std::vector<ServerSlice>& slices, double lambda,
+                   double alpha_p, double alpha_n, double headroom) {
+  for (const auto& slice : slices) {
+    if (slice.psi <= 0.0) continue;
+    const double arrivals = slice.psi * lambda;
+    const double mu_p = gps_service_rate(slice.phi_p, slice.cap_p, alpha_p);
+    const double mu_n = gps_service_rate(slice.phi_n, slice.cap_n, alpha_n);
+    if (!mm1_stable(arrivals, mu_p, headroom)) return false;
+    if (!mm1_stable(arrivals, mu_n, headroom)) return false;
+  }
+  return true;
+}
+
+}  // namespace cloudalloc::queueing

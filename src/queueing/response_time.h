@@ -1,0 +1,44 @@
+// The paper's two-stage (processing -> communication) pipelined response
+// time model, eq. (1).
+//
+// A client i dispatches a fraction psi_j of its Poisson(lambda) request
+// stream to server j. On server j it holds GPS shares phi_p (processing)
+// and phi_n (communication). Stages are pipelined, sojourn times assumed
+// additive, so the slice served on j experiences
+//
+//   T_j = 1/(phi_p * Cp/alpha_p - psi_j*lambda)
+//       + 1/(phi_n * Cn/alpha_n - psi_j*lambda)
+//
+// and the client's mean response time is R = sum_j psi_j * T_j.
+#pragma once
+
+#include <vector>
+
+namespace cloudalloc::queueing {
+
+/// Per-server slice of a client's allocation, in raw model units.
+struct ServerSlice {
+  double psi = 0.0;     ///< fraction of the client's requests sent here
+  double phi_p = 0.0;   ///< GPS share of processing capacity
+  double phi_n = 0.0;   ///< GPS share of communication capacity
+  double cap_p = 0.0;   ///< server processing capacity Cp
+  double cap_n = 0.0;   ///< server communication capacity Cn
+};
+
+/// Mean sojourn time of the slice through both pipelined stages; +infinity
+/// when either stage would be unstable.
+double slice_response_time(const ServerSlice& slice, double lambda,
+                           double alpha_p, double alpha_n);
+
+/// Client mean response time R = sum_j psi_j * T_j over its slices.
+/// Slices with psi == 0 contribute nothing (their shares are ignored).
+/// Returns +infinity if any used slice is unstable.
+double client_response_time(const std::vector<ServerSlice>& slices,
+                            double lambda, double alpha_p, double alpha_n);
+
+/// True when every slice with psi > 0 has both stages stable with the given
+/// headroom (absolute rate slack).
+bool slices_stable(const std::vector<ServerSlice>& slices, double lambda,
+                   double alpha_p, double alpha_n, double headroom = 0.0);
+
+}  // namespace cloudalloc::queueing

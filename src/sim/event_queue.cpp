@@ -1,0 +1,35 @@
+#include "sim/event_queue.h"
+
+#include "common/check.h"
+
+namespace cloudalloc::sim {
+
+EventId EventQueue::schedule(double time, std::function<void()> fn) {
+  CHECK(fn != nullptr);
+  const EventId id = next_id_++;
+  heap_.push(Key{time, id});
+  handlers_.emplace(id, std::move(fn));
+  ++live_;
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (handlers_.erase(id) > 0) --live_;
+  // The heap key stays; pop() skips keys without handlers.
+}
+
+std::optional<std::pair<double, std::function<void()>>> EventQueue::pop() {
+  while (!heap_.empty()) {
+    const Key key = heap_.top();
+    heap_.pop();
+    auto it = handlers_.find(key.id);
+    if (it == handlers_.end()) continue;  // cancelled
+    std::function<void()> fn = std::move(it->second);
+    handlers_.erase(it);
+    --live_;
+    return std::make_pair(key.time, std::move(fn));
+  }
+  return std::nullopt;
+}
+
+}  // namespace cloudalloc::sim

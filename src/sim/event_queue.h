@@ -1,0 +1,51 @@
+// Cancellable future-event list for the discrete-event simulator.
+// A binary heap of (time, id) keys with handlers stored separately so that
+// cancellation is O(1) (lazy deletion at pop).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace cloudalloc::sim {
+
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute `time`; later-scheduled events at the same
+  /// time fire later (FIFO tie-break by id).
+  EventId schedule(double time, std::function<void()> fn);
+
+  /// Cancels a pending event; cancelling a fired/unknown id is a no-op.
+  void cancel(EventId id);
+
+  /// True when no live events remain.
+  bool empty() const { return live_ == 0; }
+
+  std::size_t size() const { return live_; }
+
+  /// Pops the earliest live event: returns its time and runs nothing —
+  /// the caller invokes the handler (so it can update the clock first).
+  std::optional<std::pair<double, std::function<void()>>> pop();
+
+ private:
+  struct Key {
+    double time;
+    EventId id;
+    bool operator>(const Key& o) const {
+      if (time != o.time) return time > o.time;
+      return id > o.id;
+    }
+  };
+
+  std::priority_queue<Key, std::vector<Key>, std::greater<Key>> heap_;
+  std::unordered_map<EventId, std::function<void()>> handlers_;
+  EventId next_id_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace cloudalloc::sim

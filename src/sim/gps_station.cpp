@@ -1,0 +1,157 @@
+#include "sim/gps_station.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+#include "common/mathutil.h"
+
+namespace cloudalloc::sim {
+
+GpsStation::GpsStation(Simulation& sim, double capacity, GpsMode mode)
+    : sim_(sim), capacity_(capacity), mode_(mode) {
+  CHECK(capacity > 0.0);
+}
+
+int GpsStation::add_flow(double phi, double mean_work,
+                         std::function<void(double)> on_departure) {
+  CHECK(phi > 0.0);
+  CHECK(mean_work > 0.0);
+  CHECK(on_departure != nullptr);
+  phi_total_ += phi;
+  CHECK_MSG(phi_total_ <= 1.0 + 1e-6, "GPS weights must sum to <= 1");
+  Flow flow;
+  flow.phi = phi;
+  flow.mean_work = mean_work;
+  flow.on_departure = std::move(on_departure);
+  flows_.push_back(std::move(flow));
+  return static_cast<int>(flows_.size()) - 1;
+}
+
+std::size_t GpsStation::jobs_in_system() const {
+  std::size_t n = 0;
+  for (const Flow& flow : flows_) n += flow.queue.size();
+  return n;
+}
+
+std::size_t GpsStation::jobs_in_flow(int flow) const {
+  CHECK(flow >= 0 && flow < static_cast<int>(flows_.size()));
+  return flows_[static_cast<std::size_t>(flow)].queue.size();
+}
+
+double GpsStation::flow_service_rate(int flow) const {
+  CHECK(flow >= 0 && flow < static_cast<int>(flows_.size()));
+  const Flow& f = flows_[static_cast<std::size_t>(flow)];
+  return f.phi * capacity_ / f.mean_work;
+}
+
+double GpsStation::busy_phi_sum() const {
+  double s = 0.0;
+  for (const Flow& flow : flows_)
+    if (flow.busy) s += flow.phi;
+  return s;
+}
+
+double GpsStation::rate_of(const Flow& flow, double busy_sum) const {
+  if (mode_ == GpsMode::kIsolated) return flow.phi * capacity_;
+  // Work-conserving GPS: the full capacity is shared over busy weights.
+  CHECK(busy_sum > 0.0);
+  return flow.phi / busy_sum * capacity_;
+}
+
+void GpsStation::arrive(int f, double payload) {
+  CHECK(f >= 0 && f < static_cast<int>(flows_.size()));
+  Flow& flow = flows_[static_cast<std::size_t>(f)];
+  flow.queue.push_back(payload);
+  if (flow.busy) return;  // FCFS within the flow; head keeps the server
+  start_service(f);
+}
+
+void GpsStation::start_service(int f) {
+  Flow& flow = flows_[static_cast<std::size_t>(f)];
+  CHECK(!flow.queue.empty());
+  if (mode_ == GpsMode::kIsolated) {
+    flow.busy = true;
+    flow.remaining = sim_.rng().exponential(1.0 / flow.mean_work);
+    const double service_time = flow.remaining / (flow.phi * capacity_);
+    sim_.schedule_in(service_time, [this, f] { complete(f); });
+  } else {
+    // Credit everyone's progress at the pre-admission rates, then admit
+    // the flow (changing the rate distribution) and replan.
+    sync();
+    flow.busy = true;
+    flow.remaining = sim_.rng().exponential(1.0 / flow.mean_work);
+    reschedule();
+  }
+}
+
+void GpsStation::complete(int f) {
+  Flow& flow = flows_[static_cast<std::size_t>(f)];
+  CHECK(flow.busy && !flow.queue.empty());
+  // Credit progress at the rates that held while this flow was busy,
+  // before the busy set changes.
+  if (mode_ == GpsMode::kWorkConserving) sync();
+  const double payload = flow.queue.front();
+  flow.queue.pop_front();
+  flow.busy = false;
+  flow.remaining = 0.0;
+  // Departure callback may trigger downstream arrivals; run it before
+  // starting the next job so event ordering is deterministic.
+  flow.on_departure(payload);
+  if (mode_ == GpsMode::kIsolated) {
+    if (!flow.queue.empty()) start_service(f);
+  } else {
+    if (!flow.queue.empty()) {
+      flow.busy = true;
+      flow.remaining = sim_.rng().exponential(1.0 / flow.mean_work);
+    }
+    reschedule();
+  }
+}
+
+void GpsStation::sync() {
+  CHECK(mode_ == GpsMode::kWorkConserving);
+  const double now = sim_.now();
+  const double dt = now - last_sync_;
+  const double busy_sum = busy_phi_sum();
+  if (dt > 0.0 && busy_sum > 0.0) {
+    for (Flow& flow : flows_)
+      if (flow.busy)
+        flow.remaining =
+            std::max(0.0, flow.remaining - rate_of(flow, busy_sum) * dt);
+  }
+  last_sync_ = now;
+}
+
+void GpsStation::reschedule() {
+  CHECK(mode_ == GpsMode::kWorkConserving);
+  const double busy_sum = busy_phi_sum();
+  if (pending_ != 0) {
+    sim_.cancel(pending_);
+    pending_ = 0;
+    pending_flow_ = -1;
+  }
+  if (busy_sum <= 0.0) return;
+
+  // Next completion: the busy flow with the least time-to-finish.
+  double best_dt = std::numeric_limits<double>::infinity();
+  int best_flow = -1;
+  for (std::size_t f = 0; f < flows_.size(); ++f) {
+    const Flow& flow = flows_[f];
+    if (!flow.busy) continue;
+    const double t = flow.remaining / rate_of(flow, busy_sum);
+    if (t < best_dt) {
+      best_dt = t;
+      best_flow = static_cast<int>(f);
+    }
+  }
+  CHECK(best_flow >= 0);
+  pending_flow_ = best_flow;
+  pending_ = sim_.schedule_in(best_dt, [this, best_flow] {
+    pending_ = 0;
+    pending_flow_ = -1;
+    complete(best_flow);
+  });
+}
+
+}  // namespace cloudalloc::sim

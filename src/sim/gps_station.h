@@ -1,0 +1,84 @@
+// A GPS-scheduled resource (one server's processing OR communication
+// stage) in the discrete-event simulator.
+//
+// Each flow f has a GPS weight phi_f and exponentially distributed job
+// work with a given mean; jobs within a flow are served FCFS. Two
+// scheduling modes:
+//
+//  * kIsolated — flow f is served at exactly phi_f * C whenever busy.
+//    This is the paper's analytic model verbatim: each flow is an
+//    independent M/M/1 with rate phi*C/alpha, so simulated sojourn times
+//    must match eq. (1) within sampling error (the validation bench).
+//  * kWorkConserving — true GPS: capacity left idle by empty flows is
+//    redistributed to busy flows in proportion to their weights, so
+//    sojourn times are stochastically <= the isolated model's (the
+//    analytic model is conservative; tests assert the direction).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace cloudalloc::sim {
+
+enum class GpsMode { kIsolated, kWorkConserving };
+
+class GpsStation {
+ public:
+  /// `capacity` in work-units/second; weights of added flows must sum to
+  /// <= 1 (checked as flows are added).
+  GpsStation(Simulation& sim, double capacity, GpsMode mode);
+
+  /// `on_departure(payload)` fires when a job of this flow completes;
+  /// `mean_work` is the mean of the exponential per-job work.
+  int add_flow(double phi, double mean_work,
+               std::function<void(double)> on_departure);
+
+  /// Enqueues a job carrying `payload` (typically the request start time).
+  void arrive(int flow, double payload);
+
+  /// Jobs currently in this station (all flows).
+  std::size_t jobs_in_system() const;
+
+  /// Jobs currently queued or in service on one flow.
+  std::size_t jobs_in_flow(int flow) const;
+
+  /// The flow's guaranteed service rate (phi * capacity / mean_work) —
+  /// what a dispatcher uses to estimate expected waits.
+  double flow_service_rate(int flow) const;
+
+ private:
+  struct Flow {
+    double phi = 0.0;
+    double mean_work = 1.0;
+    std::function<void(double)> on_departure;
+    std::deque<double> queue;   ///< payloads, front = in service
+    double remaining = 0.0;     ///< work left on the in-service job
+    bool busy = false;
+  };
+
+  double rate_of(const Flow& flow, double busy_phi_sum) const;
+  double busy_phi_sum() const;
+  void start_service(int f);
+  void complete(int f);
+  /// Work-conserving mode: credit elapsed service to all busy flows at the
+  /// *current* busy-set rates. Must run before any busy-set change.
+  void sync();
+  /// Work-conserving mode: cancel and replan the next completion event.
+  void reschedule();
+
+  Simulation& sim_;
+  double capacity_;
+  GpsMode mode_;
+  std::vector<Flow> flows_;
+  double phi_total_ = 0.0;
+  // Work-conserving bookkeeping.
+  double last_sync_ = 0.0;
+  EventId pending_ = 0;
+  int pending_flow_ = -1;
+};
+
+}  // namespace cloudalloc::sim

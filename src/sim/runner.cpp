@@ -1,0 +1,182 @@
+#include "sim/runner.h"
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <memory>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace cloudalloc::sim {
+namespace {
+
+using model::Allocation;
+using model::ClientId;
+using model::Cloud;
+using model::ServerId;
+
+}  // namespace
+
+SimulationReport simulate_allocation(const Allocation& alloc,
+                                     const SimOptions& opts) {
+  const Cloud& cloud = alloc.cloud();
+  Simulation sim(opts.seed);
+  const double warmup = opts.warmup_fraction * opts.horizon;
+
+  // Stations for servers that actually host someone.
+  std::vector<std::unique_ptr<GpsStation>> proc(
+      static_cast<std::size_t>(cloud.num_servers()));
+  std::vector<std::unique_ptr<GpsStation>> comm(
+      static_cast<std::size_t>(cloud.num_servers()));
+  for (ServerId j = 0; j < cloud.num_servers(); ++j) {
+    if (alloc.clients_on(j).empty()) continue;
+    const auto& sc = cloud.server_class_of(j);
+    proc[static_cast<std::size_t>(j)] =
+        std::make_unique<GpsStation>(sim, sc.cap_p, opts.mode);
+    comm[static_cast<std::size_t>(j)] =
+        std::make_unique<GpsStation>(sim, sc.cap_n, opts.mode);
+  }
+
+  // Response-time sinks and per-server completed-work accounting.
+  std::vector<Summary> responses(
+      static_cast<std::size_t>(cloud.num_clients()));
+  std::vector<std::vector<double>> samples(
+      static_cast<std::size_t>(cloud.num_clients()));
+  std::vector<double> proc_work_done(
+      static_cast<std::size_t>(cloud.num_servers()), 0.0);
+
+  // Wire flows: per placement, a processing flow feeding a comm flow.
+  struct Slice {
+    ServerId server;
+    double cum_psi;  ///< cumulative for dispatch sampling
+    int proc_flow;
+  };
+  std::vector<std::vector<Slice>> slices(
+      static_cast<std::size_t>(cloud.num_clients()));
+
+  const bool tails = opts.collect_percentiles;
+  for (ClientId i = 0; i < cloud.num_clients(); ++i) {
+    if (!alloc.is_assigned(i)) continue;
+    const auto& c = cloud.client(i);
+    double cum = 0.0;
+    for (const auto& p : alloc.placements(i)) {
+      auto& proc_station = *proc[static_cast<std::size_t>(p.server)];
+      auto& comm_station = *comm[static_cast<std::size_t>(p.server)];
+      // Communication flow: completes the request.
+      const int comm_flow = comm_station.add_flow(
+          p.phi_n, c.alpha_n,
+          [&responses, &samples, &sim, i, warmup, tails](double start) {
+            if (start < warmup) return;
+            const double sojourn = sim.now() - start;
+            responses[static_cast<std::size_t>(i)].add(sojourn);
+            if (tails) samples[static_cast<std::size_t>(i)].push_back(sojourn);
+          });
+      // Processing flow: forwards into the communication stage and books
+      // the (mean) work it completed on its server.
+      const ServerId server = p.server;
+      const double alpha_p = c.alpha_p;
+      const int proc_flow = proc_station.add_flow(
+          p.phi_p, c.alpha_p,
+          [&comm_station, comm_flow, &proc_work_done, server,
+           alpha_p](double start) {
+            proc_work_done[static_cast<std::size_t>(server)] += alpha_p;
+            comm_station.arrive(comm_flow, start);
+          });
+      cum += p.psi;
+      slices[static_cast<std::size_t>(i)].push_back(
+          Slice{p.server, cum, proc_flow});
+    }
+  }
+
+  // Poisson sources: self-rescheduling arrival events per client.
+  struct Source {
+    ClientId client;
+    double lambda;
+  };
+  std::vector<Source> sources;
+  for (ClientId i = 0; i < cloud.num_clients(); ++i)
+    if (alloc.is_assigned(i))
+      sources.push_back(
+          Source{i, cloud.client(i).lambda_pred * opts.demand_factor});
+
+  std::function<void(std::size_t)> fire = [&](std::size_t s) {
+    const Source& src = sources[s];
+    if (sim.now() >= opts.horizon) return;  // stop generating, drain
+    const auto& my_slices = slices[static_cast<std::size_t>(src.client)];
+    const Slice* chosen = &my_slices.back();
+    if (opts.dispatch == DispatchPolicy::kStaticPsi ||
+        my_slices.size() == 1) {
+      const double u = sim.rng().uniform() * my_slices.back().cum_psi;
+      for (const Slice& slice : my_slices) {
+        if (u <= slice.cum_psi) {
+          chosen = &slice;
+          break;
+        }
+      }
+    } else {
+      // Least expected wait over the processing stage: the cluster
+      // dispatcher reacting to live backlog instead of the planned psi.
+      double best_wait = std::numeric_limits<double>::infinity();
+      for (const Slice& slice : my_slices) {
+        const auto& station = *proc[static_cast<std::size_t>(slice.server)];
+        const double rate = station.flow_service_rate(slice.proc_flow);
+        const double wait =
+            static_cast<double>(station.jobs_in_flow(slice.proc_flow) + 1) /
+            rate;
+        if (wait < best_wait) {
+          best_wait = wait;
+          chosen = &slice;
+        }
+      }
+    }
+    proc[static_cast<std::size_t>(chosen->server)]->arrive(chosen->proc_flow,
+                                                           sim.now());
+    sim.schedule_in(sim.rng().exponential(src.lambda),
+                    [&fire, s] { fire(s); });
+  };
+  for (std::size_t s = 0; s < sources.size(); ++s)
+    sim.schedule_in(sim.rng().exponential(sources[s].lambda),
+                    [&fire, s] { fire(s); });
+
+  sim.run_until();  // drain completely
+
+  SimulationReport report;
+  Summary errors;
+  for (ClientId i = 0; i < cloud.num_clients(); ++i) {
+    if (!alloc.is_assigned(i)) continue;
+    const Summary& s = responses[static_cast<std::size_t>(i)];
+    ClientSimStats stats;
+    stats.id = i;
+    stats.completed = s.count();
+    stats.mean_response = s.mean();
+    stats.ci95 = s.ci95_halfwidth();
+    stats.analytic_response = alloc.response_time(i);
+    auto& my_samples = samples[static_cast<std::size_t>(i)];
+    if (tails && !my_samples.empty()) {
+      stats.p50 = quantile(my_samples, 0.50);
+      stats.p95 = quantile(my_samples, 0.95);
+      stats.p99 = quantile(my_samples, 0.99);
+    }
+    report.total_completed += stats.completed;
+    if (stats.completed > 0 && std::isfinite(stats.analytic_response) &&
+        stats.analytic_response > 0.0)
+      errors.add(std::fabs(stats.mean_response - stats.analytic_response) /
+                 stats.analytic_response);
+    report.clients.push_back(stats);
+  }
+  for (ServerId j = 0; j < cloud.num_servers(); ++j) {
+    if (alloc.clients_on(j).empty()) continue;
+    ServerSimStats stats;
+    stats.id = j;
+    stats.measured_util_p =
+        proc_work_done[static_cast<std::size_t>(j)] /
+        (cloud.server_class_of(j).cap_p * opts.horizon);
+    stats.analytic_util_p = alloc.proc_utilization(j);
+    report.servers.push_back(stats);
+  }
+  report.mean_abs_rel_error = errors.mean();
+  return report;
+}
+
+}  // namespace cloudalloc::sim

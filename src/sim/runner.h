@@ -1,0 +1,78 @@
+// End-to-end simulation of an allocation: Poisson request sources per
+// client, probabilistic dispatch over the client's slices (psi), and the
+// two pipelined GPS stages per server (processing -> communication).
+// Measures per-client mean response times and compares them with the
+// analytic model the optimizer trusts (eq. 1) — the model-validation
+// experiment E4 in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/allocation.h"
+#include "sim/gps_station.h"
+
+namespace cloudalloc::sim {
+
+/// How the cluster dispatcher (Figure 2) routes each arriving request
+/// over the client's slices.
+enum class DispatchPolicy {
+  /// Sample a slice with probability psi — the paper's analytic model.
+  kStaticPsi,
+  /// Route to the slice with the least expected wait
+  /// ((backlog + 1) / guaranteed service rate of the processing stage) —
+  /// the "proper reaction of request dispatchers" that absorbs small
+  /// dynamic changes between decision epochs (Section III).
+  kLeastExpectedWait,
+};
+
+struct SimOptions {
+  /// Arrivals are generated on [0, horizon); the simulation then drains.
+  double horizon = 2000.0;
+  /// Requests arriving before warmup_fraction * horizon are not measured.
+  double warmup_fraction = 0.1;
+  std::uint64_t seed = 1;
+  GpsMode mode = GpsMode::kIsolated;
+  DispatchPolicy dispatch = DispatchPolicy::kStaticPsi;
+  /// Keep every response-time sample to report tail percentiles (costs
+  /// one double per completed request).
+  bool collect_percentiles = true;
+  /// Multiplies every client's arrival rate: simulate the *actual* demand
+  /// deviating from the predicted rates the allocation was built for.
+  double demand_factor = 1.0;
+};
+
+struct ClientSimStats {
+  model::ClientId id = 0;
+  std::size_t completed = 0;
+  double mean_response = 0.0;
+  double ci95 = 0.0;            ///< naive 95% CI half-width on the mean
+  double analytic_response = 0.0;
+  // Tail percentiles; 0 when collect_percentiles is off or no samples.
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+struct ServerSimStats {
+  model::ServerId id = 0;
+  /// Measured busy-work fraction of the processing stage over the
+  /// generation horizon (completed work / (capacity * horizon)); compares
+  /// against Allocation::proc_utilization.
+  double measured_util_p = 0.0;
+  double analytic_util_p = 0.0;
+};
+
+struct SimulationReport {
+  std::vector<ClientSimStats> clients;   ///< assigned clients only
+  std::vector<ServerSimStats> servers;   ///< hosting servers only
+  std::size_t total_completed = 0;
+  /// Mean over clients of |simulated - analytic| / analytic.
+  double mean_abs_rel_error = 0.0;
+};
+
+/// Simulates the allocation. Only assigned clients generate traffic.
+SimulationReport simulate_allocation(const model::Allocation& alloc,
+                                     const SimOptions& opts);
+
+}  // namespace cloudalloc::sim

@@ -1,0 +1,31 @@
+#include "sim/simulation.h"
+
+#include "common/check.h"
+
+namespace cloudalloc::sim {
+
+EventId Simulation::schedule_in(double delay, std::function<void()> fn) {
+  CHECK(delay >= 0.0);
+  return events_.schedule(now_ + delay, std::move(fn));
+}
+
+std::size_t Simulation::run_until(double t_end) {
+  std::size_t executed = 0;
+  while (!events_.empty()) {
+    auto next = events_.pop();
+    if (!next) break;
+    if (next->first > t_end) {
+      // Past the horizon: put nothing back; the simulation is over. The
+      // event is dropped deliberately (callers drain by passing +inf).
+      now_ = t_end;
+      return executed;
+    }
+    CHECK_MSG(next->first + 1e-9 >= now_, "time went backwards");
+    now_ = next->first;
+    next->second();
+    ++executed;
+  }
+  return executed;
+}
+
+}  // namespace cloudalloc::sim

@@ -1,0 +1,34 @@
+// Discrete-event simulation core: clock + event queue + seeded RNG.
+#pragma once
+
+#include <functional>
+#include <limits>
+
+#include "common/rng.h"
+#include "sim/event_queue.h"
+
+namespace cloudalloc::sim {
+
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed) : rng_(seed) {}
+
+  double now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  /// Schedules `fn` `delay` time units from now (delay >= 0).
+  EventId schedule_in(double delay, std::function<void()> fn);
+
+  void cancel(EventId id) { events_.cancel(id); }
+
+  /// Runs events until the queue drains or the clock passes `t_end`.
+  /// Returns the number of events executed.
+  std::size_t run_until(double t_end = std::numeric_limits<double>::max());
+
+ private:
+  double now_ = 0.0;
+  EventQueue events_;
+  Rng rng_;
+};
+
+}  // namespace cloudalloc::sim

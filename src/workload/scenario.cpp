@@ -1,0 +1,163 @@
+#include "workload/scenario.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace cloudalloc::workload {
+
+using model::Client;
+using model::Cloud;
+using model::Cluster;
+using model::LinearUtility;
+using model::Server;
+using model::ServerClass;
+using model::UtilityClass;
+
+Cloud make_scenario(const ScenarioParams& p, std::uint64_t seed) {
+  CHECK(p.num_clients >= 1);
+  CHECK(p.num_clusters >= 1);
+  CHECK(p.num_server_classes >= 1);
+  CHECK(p.num_utility_classes >= 1);
+  CHECK(p.servers_per_cluster >= 1);
+  Rng rng(seed);
+
+  std::vector<ServerClass> server_classes;
+  server_classes.reserve(static_cast<std::size_t>(p.num_server_classes));
+  for (int s = 0; s < p.num_server_classes; ++s) {
+    ServerClass sc;
+    sc.id = s;
+    sc.name = "class-" + std::to_string(s);
+    sc.cap_p = rng.uniform(p.cap_lo, p.cap_hi);
+    sc.cap_n = rng.uniform(p.cap_lo, p.cap_hi);
+    sc.cap_m = rng.uniform(p.cap_lo, p.cap_hi);
+    sc.cost_fixed = rng.uniform(p.cost_fixed_lo, p.cost_fixed_hi);
+    sc.cost_per_util = rng.uniform(p.cost_util_lo, p.cost_util_hi);
+    server_classes.push_back(std::move(sc));
+  }
+
+  std::vector<UtilityClass> utility_classes;
+  utility_classes.reserve(static_cast<std::size_t>(p.num_utility_classes));
+  for (int u = 0; u < p.num_utility_classes; ++u) {
+    const double slope = rng.uniform(p.slope_lo, p.slope_hi);
+    const double u0 = rng.uniform(p.base_price_lo, p.base_price_hi);
+    utility_classes.push_back(
+        UtilityClass{u, std::make_shared<LinearUtility>(u0, slope)});
+  }
+
+  std::vector<Server> servers;
+  std::vector<Cluster> clusters;
+  clusters.reserve(static_cast<std::size_t>(p.num_clusters));
+  for (int k = 0; k < p.num_clusters; ++k) {
+    Cluster cl;
+    cl.id = k;
+    cl.name = "cluster-" + std::to_string(k);
+    for (int s = 0; s < p.servers_per_cluster; ++s) {
+      Server sv;
+      sv.id = static_cast<model::ServerId>(servers.size());
+      sv.cluster = k;
+      sv.server_class = static_cast<model::ServerClassId>(
+          rng.uniform_int(0, p.num_server_classes - 1));
+      if (p.background_probability > 0.0 &&
+          rng.bernoulli(p.background_probability)) {
+        const auto& sc =
+            server_classes[static_cast<std::size_t>(sv.server_class)];
+        sv.background.phi_p = rng.uniform(0.0, p.background_share_hi);
+        sv.background.phi_n = rng.uniform(0.0, p.background_share_hi);
+        sv.background.disk =
+            rng.uniform(0.0, p.background_share_hi) * sc.cap_m;
+        sv.background.keeps_on = true;
+      }
+      cl.servers.push_back(sv.id);
+      servers.push_back(std::move(sv));
+    }
+    clusters.push_back(std::move(cl));
+  }
+
+  std::vector<Client> clients;
+  clients.reserve(static_cast<std::size_t>(p.num_clients));
+  for (int i = 0; i < p.num_clients; ++i) {
+    Client c;
+    c.id = i;
+    c.utility_class = static_cast<model::UtilityClassId>(
+        rng.uniform_int(0, p.num_utility_classes - 1));
+    c.lambda_agreed = rng.uniform(p.lambda_lo, p.lambda_hi);
+    c.lambda_pred = c.lambda_agreed * p.prediction_factor;
+    c.alpha_p = rng.uniform(p.alpha_lo, p.alpha_hi);
+    c.alpha_n = rng.uniform(p.alpha_lo, p.alpha_hi);
+    c.disk = rng.uniform(p.disk_lo, p.disk_hi);
+    clients.push_back(std::move(c));
+  }
+
+  return Cloud(std::move(server_classes), std::move(servers),
+               std::move(clusters), std::move(utility_classes),
+               std::move(clients));
+}
+
+Cloud make_tiny_scenario(int num_clients) {
+  CHECK(num_clients >= 1 && num_clients <= 8);
+
+  std::vector<ServerClass> server_classes;
+  server_classes.push_back(
+      ServerClass{0, "small", /*cap_p=*/4.0, /*cap_n=*/4.0, /*cap_m=*/4.0,
+                  /*cost_fixed=*/1.0, /*cost_per_util=*/2.0});
+  server_classes.push_back(
+      ServerClass{1, "large", /*cap_p=*/6.0, /*cap_n=*/6.0, /*cap_m=*/6.0,
+                  /*cost_fixed=*/2.0, /*cost_per_util=*/3.0});
+
+  std::vector<UtilityClass> utility_classes;
+  utility_classes.push_back(
+      UtilityClass{0, std::make_shared<LinearUtility>(2.5, 0.6)});
+  utility_classes.push_back(
+      UtilityClass{1, std::make_shared<LinearUtility>(2.0, 0.9)});
+
+  std::vector<Server> servers;
+  std::vector<Cluster> clusters;
+  for (int k = 0; k < 2; ++k) {
+    Cluster cl;
+    cl.id = k;
+    cl.name = "cluster-" + std::to_string(k);
+    for (int s = 0; s < 2; ++s) {
+      Server sv;
+      sv.id = static_cast<model::ServerId>(servers.size());
+      sv.cluster = k;
+      sv.server_class = s;  // one small, one large per cluster
+      cl.servers.push_back(sv.id);
+      servers.push_back(std::move(sv));
+    }
+    clusters.push_back(std::move(cl));
+  }
+
+  std::vector<Client> clients;
+  for (int i = 0; i < num_clients; ++i) {
+    Client c;
+    c.id = i;
+    c.utility_class = i % 2;
+    c.lambda_agreed = 1.0 + 0.5 * i;
+    c.lambda_pred = c.lambda_agreed;
+    c.alpha_p = 0.5 + 0.05 * i;
+    c.alpha_n = 0.6 - 0.03 * i;
+    c.disk = 0.5 + 0.25 * i;
+    clients.push_back(std::move(c));
+  }
+
+  return Cloud(std::move(server_classes), std::move(servers),
+               std::move(clusters), std::move(utility_classes),
+               std::move(clients));
+}
+
+Cloud make_overloaded_scenario(const ScenarioParams& params,
+                               std::uint64_t seed, double overload_factor) {
+  CHECK(overload_factor >= 1.0);
+  ScenarioParams p = params;
+  p.lambda_lo *= overload_factor;
+  p.lambda_hi *= overload_factor;
+  // Shrink the datacenter as well so demand decisively exceeds supply.
+  p.servers_per_cluster = std::max(1, p.servers_per_cluster / 4);
+  return make_scenario(p, seed);
+}
+
+}  // namespace cloudalloc::workload

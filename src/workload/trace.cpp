@@ -1,0 +1,44 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace cloudalloc::workload {
+
+std::vector<std::vector<double>> make_rate_trace(const model::Cloud& cloud,
+                                                 const TraceParams& params,
+                                                 std::uint64_t seed) {
+  CHECK(params.epochs >= 1);
+  CHECK(params.period >= 1);
+  CHECK(params.amplitude >= 0.0 && params.amplitude < 1.0);
+  CHECK(params.noise >= 0.0 && params.noise < 1.0);
+  CHECK(params.spike_probability >= 0.0 && params.spike_probability <= 1.0);
+  CHECK(params.spike_factor >= 1.0);
+  Rng rng(seed);
+
+  std::vector<std::vector<double>> trace(
+      static_cast<std::size_t>(params.epochs));
+  double growth = 1.0;
+  for (int t = 0; t < params.epochs; ++t) {
+    auto& epoch_rates = trace[static_cast<std::size_t>(t)];
+    epoch_rates.reserve(static_cast<std::size_t>(cloud.num_clients()));
+    const double diurnal =
+        1.0 + params.amplitude *
+                  std::sin(2.0 * M_PI * static_cast<double>(t) /
+                           static_cast<double>(params.period));
+    for (const auto& client : cloud.clients()) {
+      double rate = client.lambda_agreed * diurnal * growth;
+      rate *= 1.0 + rng.uniform(-params.noise, params.noise);
+      if (params.spike_probability > 0.0 &&
+          rng.bernoulli(params.spike_probability))
+        rate *= params.spike_factor;
+      epoch_rates.push_back(std::max(rate, 0.05));
+    }
+    growth *= 1.0 + params.growth_per_epoch;
+  }
+  return trace;
+}
+
+}  // namespace cloudalloc::workload

@@ -1,0 +1,83 @@
+// The paper's "initial cluster state": servers that already carry load
+// before the epoch's clients arrive. The allocator must treat reserved
+// capacity as gone and the keeps_on servers' fixed cost as unavoidable.
+#include <gtest/gtest.h>
+
+#include "alloc/allocator.h"
+#include "model/evaluator.h"
+#include "model/feasibility.h"
+#include "workload/scenario.h"
+
+namespace cloudalloc {
+namespace {
+
+workload::ScenarioParams bg_params(double probability) {
+  workload::ScenarioParams params;
+  params.num_clients = 25;
+  params.servers_per_cluster = 8;
+  params.background_probability = probability;
+  return params;
+}
+
+TEST(Background, GeneratorPopulatesBackgroundLoad) {
+  const auto cloud = workload::make_scenario(bg_params(0.5), 301);
+  int loaded = 0;
+  for (const auto& sv : cloud.servers()) {
+    if (!sv.background.keeps_on) continue;
+    ++loaded;
+    EXPECT_GE(sv.background.phi_p, 0.0);
+    EXPECT_LE(sv.background.phi_p, 0.4);
+    EXPECT_LE(sv.background.disk,
+              0.4 * cloud.server_class_of(sv.id).cap_m + 1e-9);
+  }
+  // ~half of 40 servers; generous bounds.
+  EXPECT_GT(loaded, 8);
+  EXPECT_LT(loaded, 35);
+}
+
+TEST(Background, ReservedCapacityIsUnavailable) {
+  const auto cloud = workload::make_scenario(bg_params(1.0), 303);
+  model::Allocation alloc(cloud);
+  for (model::ServerId j = 0; j < cloud.num_servers(); ++j) {
+    EXPECT_NEAR(alloc.free_phi_p(j), 1.0 - cloud.server(j).background.phi_p,
+                1e-12);
+    EXPECT_NEAR(alloc.free_disk(j),
+                cloud.server_class_of(j).cap_m - cloud.server(j).background.disk,
+                1e-12);
+    // keeps_on servers are active (and cost) even while hosting nobody.
+    EXPECT_TRUE(alloc.active(j));
+  }
+  EXPECT_GT(model::evaluate(alloc).cost, 0.0);
+}
+
+TEST(Background, AllocatorStaysFeasibleWithBackground) {
+  const auto cloud = workload::make_scenario(bg_params(0.6), 307);
+  const auto result = alloc::ResourceAllocator().run(cloud);
+  ASSERT_TRUE(model::is_feasible(result.allocation));
+  // Committed shares (clients + background) never exceed the server.
+  for (model::ServerId j = 0; j < cloud.num_servers(); ++j) {
+    EXPECT_LE(result.allocation.used_phi_p(j), 1.0 + 1e-6);
+    EXPECT_LE(result.allocation.used_phi_n(j), 1.0 + 1e-6);
+  }
+}
+
+TEST(Background, KeepsOnServersAreNeverTurnedOff) {
+  const auto cloud = workload::make_scenario(bg_params(1.0), 311);
+  const auto result = alloc::ResourceAllocator().run(cloud);
+  for (model::ServerId j = 0; j < cloud.num_servers(); ++j)
+    EXPECT_TRUE(result.allocation.active(j));
+}
+
+TEST(Background, BackgroundLoweredProfitVersusCleanCloud) {
+  const auto clean = workload::make_scenario(bg_params(0.0), 313);
+  const auto busy = workload::make_scenario(bg_params(0.8), 313);
+  const double p_clean =
+      alloc::ResourceAllocator().run(clean).report.final_profit;
+  const double p_busy =
+      alloc::ResourceAllocator().run(busy).report.final_profit;
+  // Same clients, but sunk fixed costs + reserved capacity: strictly worse.
+  EXPECT_LT(p_busy, p_clean);
+}
+
+}  // namespace
+}  // namespace cloudalloc

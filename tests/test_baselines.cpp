@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "baselines/ga_alloc.h"
+#include "baselines/monte_carlo.h"
+#include "baselines/proportional_share.h"
+#include "baselines/random_alloc.h"
+#include "baselines/sa_alloc.h"
+#include "common/stats.h"
+#include "model/evaluator.h"
+#include "model/feasibility.h"
+#include "workload/scenario.h"
+
+namespace cloudalloc::baselines {
+namespace {
+
+workload::ScenarioParams small_params() {
+  workload::ScenarioParams params;
+  params.num_clients = 25;
+  params.servers_per_cluster = 6;
+  return params;
+}
+
+TEST(RandomAlloc, FeasibleAndDeterministicPerSeed) {
+  const auto cloud = workload::make_scenario(small_params(), 7);
+  alloc::AllocatorOptions opts;
+  Rng r1(3), r2(3);
+  const auto a = random_allocation(cloud, opts, r1);
+  const auto b = random_allocation(cloud, opts, r2);
+  EXPECT_TRUE(model::is_feasible(a));
+  EXPECT_DOUBLE_EQ(model::profit(a), model::profit(b));
+}
+
+TEST(MonteCarlo, BestDominatesWorstAndMean) {
+  const auto cloud = workload::make_scenario(small_params(), 11);
+  MonteCarloOptions opts;
+  opts.samples = 12;
+  const auto result = monte_carlo_search(cloud, opts, 1);
+  EXPECT_GE(result.best_profit, result.worst_polished_profit);
+  EXPECT_GE(result.worst_polished_profit, result.worst_initial_profit - 1e-9);
+  EXPECT_GE(result.best_profit, result.mean_initial_profit);
+  EXPECT_EQ(result.initial_profits.size(), 12u);
+  EXPECT_TRUE(model::is_feasible(result.best));
+}
+
+TEST(MonteCarlo, PolishingHelps) {
+  const auto cloud = workload::make_scenario(small_params(), 13);
+  MonteCarloOptions opts;
+  opts.samples = 8;
+  const auto result = monte_carlo_search(cloud, opts, 2);
+  for (std::size_t s = 0; s < result.initial_profits.size(); ++s)
+    EXPECT_GE(result.polished_profits[s], result.initial_profits[s] - 1e-9);
+}
+
+TEST(MonteCarlo, MoreSamplesNeverHurt) {
+  const auto cloud = workload::make_scenario(small_params(), 17);
+  MonteCarloOptions few, many;
+  few.samples = 4;
+  many.samples = 16;
+  const auto f = monte_carlo_search(cloud, few, 5);
+  const auto m = monte_carlo_search(cloud, many, 5);
+  // Same seed: the first 4 samples coincide, so more samples dominate.
+  EXPECT_GE(m.best_profit, f.best_profit - 1e-9);
+}
+
+TEST(ProportionalShare, ProducesFeasibleAllocation) {
+  const auto cloud = workload::make_scenario(small_params(), 19);
+  const auto result = proportional_share_allocate(cloud, PsOptions{});
+  EXPECT_TRUE(model::is_feasible(result.allocation));
+  EXPECT_GT(result.profit, -1e300);
+  EXPECT_GT(result.best_fraction, 0.0);
+}
+
+TEST(ProportionalShare, ActiveSetSweepPicksBest) {
+  const auto cloud = workload::make_scenario(small_params(), 23);
+  PsOptions sweep;
+  PsOptions all_on;
+  all_on.activation_fractions = {1.0};
+  const auto swept = proportional_share_allocate(cloud, sweep);
+  const auto fixed = proportional_share_allocate(cloud, all_on);
+  EXPECT_GE(swept.profit, fixed.profit - 1e-9);
+}
+
+TEST(ProportionalShare, FixedActiveSetIsFeasibleToo) {
+  const auto cloud = workload::make_scenario(small_params(), 29);
+  std::vector<bool> active(static_cast<std::size_t>(cloud.num_servers()),
+                           true);
+  const auto alloc = ps_allocate_with_active_set(cloud, active, PsOptions{});
+  EXPECT_TRUE(model::is_feasible(alloc));
+}
+
+TEST(SaAlloc, FeasibleAndBeatsTypicalRandom) {
+  const auto cloud = workload::make_scenario(small_params(), 31);
+  SaAllocOptions opts;
+  opts.annealing.steps = 120;  // keep the test quick
+  const auto result = sa_allocate(cloud, opts, 3);
+  EXPECT_TRUE(model::is_feasible(result.allocation));
+  EXPECT_GT(result.evaluations, 0);
+
+  alloc::AllocatorOptions aopts;
+  Summary random_profits;
+  Rng rng(77);
+  for (int s = 0; s < 5; ++s)
+    random_profits.add(model::profit(random_allocation(cloud, aopts, rng)));
+  EXPECT_GE(result.profit, random_profits.mean() - 1e-9);
+}
+
+TEST(GaAlloc, FeasibleResult) {
+  const auto cloud = workload::make_scenario(small_params(), 37);
+  GaAllocOptions opts;
+  opts.genetic.population = 8;
+  opts.genetic.generations = 10;
+  const auto result = ga_allocate(cloud, opts, 4);
+  EXPECT_TRUE(model::is_feasible(result.allocation));
+}
+
+}  // namespace
+}  // namespace cloudalloc::baselines

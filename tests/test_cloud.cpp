@@ -1,0 +1,79 @@
+#include "model/cloud.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/scenario.h"
+
+namespace cloudalloc::model {
+namespace {
+
+TEST(Cloud, TinyScenarioShape) {
+  const Cloud cloud = workload::make_tiny_scenario(3);
+  EXPECT_EQ(cloud.num_clients(), 3);
+  EXPECT_EQ(cloud.num_clusters(), 2);
+  EXPECT_EQ(cloud.num_servers(), 4);
+  EXPECT_EQ(cloud.server_classes().size(), 2u);
+  EXPECT_EQ(cloud.utility_classes().size(), 2u);
+}
+
+TEST(Cloud, AccessorsAreConsistent) {
+  const Cloud cloud = workload::make_tiny_scenario(2);
+  for (ServerId j = 0; j < cloud.num_servers(); ++j) {
+    const Server& sv = cloud.server(j);
+    EXPECT_EQ(sv.id, j);
+    const Cluster& cl = cloud.cluster(sv.cluster);
+    bool found = false;
+    for (ServerId s : cl.servers) found = found || (s == j);
+    EXPECT_TRUE(found) << "server must be listed in its cluster";
+    EXPECT_EQ(cloud.server_class_of(j).id, sv.server_class);
+  }
+  for (ClientId i = 0; i < cloud.num_clients(); ++i) {
+    EXPECT_EQ(cloud.client(i).id, i);
+    EXPECT_GT(cloud.utility_of(i).max_value(), 0.0);
+  }
+}
+
+TEST(Cloud, TotalCapacityAndDemand) {
+  const Cloud cloud = workload::make_tiny_scenario(2);
+  // Two clusters x (small 4.0 + large 6.0).
+  EXPECT_DOUBLE_EQ(cloud.total_cap_p(), 20.0);
+  const double expected_demand = 1.0 * 0.5 + 1.5 * 0.55;
+  EXPECT_NEAR(cloud.total_demand_p(), expected_demand, 1e-12);
+}
+
+TEST(Cloud, ValidatesServerClusterMembership) {
+  std::vector<ServerClass> classes{
+      ServerClass{0, "c", 1.0, 1.0, 1.0, 0.0, 0.0}};
+  std::vector<UtilityClass> utilities{
+      UtilityClass{0, std::make_shared<LinearUtility>(1.0, 1.0)}};
+  std::vector<Server> servers{Server{0, 0, 0, {}}};
+  // Cluster does not list server 0 -> invariant violation.
+  std::vector<Cluster> clusters{Cluster{0, "k", {}}};
+  std::vector<Client> clients;
+  EXPECT_DEATH(Cloud(classes, servers, clusters, utilities, clients),
+               "every server");
+}
+
+TEST(Cloud, ValidatesClientParameters) {
+  std::vector<ServerClass> classes{
+      ServerClass{0, "c", 1.0, 1.0, 1.0, 0.0, 0.0}};
+  std::vector<UtilityClass> utilities{
+      UtilityClass{0, std::make_shared<LinearUtility>(1.0, 1.0)}};
+  std::vector<Server> servers{Server{0, 0, 0, {}}};
+  std::vector<Cluster> clusters{Cluster{0, "k", {0}}};
+  Client bad;
+  bad.id = 0;
+  bad.lambda_pred = -1.0;  // invalid
+  std::vector<Client> clients{bad};
+  EXPECT_DEATH(Cloud(classes, servers, clusters, utilities, clients),
+               "lambda_pred");
+}
+
+TEST(Cloud, ValidatesDenseIds) {
+  std::vector<ServerClass> classes{
+      ServerClass{5, "c", 1.0, 1.0, 1.0, 0.0, 0.0}};  // id != position
+  EXPECT_DEATH(Cloud(classes, {}, {}, {}, {}), "dense");
+}
+
+}  // namespace
+}  // namespace cloudalloc::model

@@ -1,0 +1,158 @@
+#include "opt/dispersion.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace cloudalloc::opt {
+namespace {
+
+DispersionItem item(double mu_p, double mu_n, double lin_cost, double cap) {
+  DispersionItem it;
+  it.mu_p = mu_p;
+  it.mu_n = mu_n;
+  it.lin_cost = lin_cost;
+  it.cap = cap;
+  return it;
+}
+
+// Brute force over two servers: psi0 on a grid, psi1 = 1 - psi0.
+double brute_force_two(const std::vector<DispersionItem>& items, double lambda,
+                       double delay_weight, int grid = 4000) {
+  double best = 1e300;
+  for (int g = 0; g <= grid; ++g) {
+    const double psi0 = static_cast<double>(g) / grid;
+    const double psi1 = 1.0 - psi0;
+    if (psi0 > items[0].cap + 1e-12 || psi1 > items[1].cap + 1e-12) continue;
+    const double obj =
+        dispersion_objective(items, lambda, delay_weight, {psi0, psi1});
+    if (obj < best) best = obj;
+  }
+  return best;
+}
+
+TEST(Dispersion, SymmetricServersSplitEvenly) {
+  const std::vector<DispersionItem> items{item(4.0, 4.0, 0.0, 1.0),
+                                          item(4.0, 4.0, 0.0, 1.0)};
+  const auto sol = solve_dispersion(items, 2.0, 1.0);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_NEAR(sol->psi[0], 0.5, 1e-4);
+  EXPECT_NEAR(sol->psi[1], 0.5, 1e-4);
+}
+
+TEST(Dispersion, FasterServerGetsMoreTraffic) {
+  const std::vector<DispersionItem> items{item(8.0, 8.0, 0.0, 1.0),
+                                          item(4.0, 4.0, 0.0, 1.0)};
+  const auto sol = solve_dispersion(items, 2.0, 1.0);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_GT(sol->psi[0], sol->psi[1]);
+  EXPECT_NEAR(sol->psi[0] + sol->psi[1], 1.0, 1e-6);
+}
+
+TEST(Dispersion, LinearCostSteersAwayFromExpensiveServer) {
+  const std::vector<DispersionItem> no_cost{item(4.0, 4.0, 0.0, 1.0),
+                                            item(4.0, 4.0, 0.0, 1.0)};
+  const std::vector<DispersionItem> costly{item(4.0, 4.0, 2.0, 1.0),
+                                           item(4.0, 4.0, 0.0, 1.0)};
+  const auto base = solve_dispersion(no_cost, 2.0, 1.0);
+  const auto sol = solve_dispersion(costly, 2.0, 1.0);
+  ASSERT_TRUE(base && sol);
+  EXPECT_LT(sol->psi[0], base->psi[0]);
+}
+
+TEST(Dispersion, ZeroDelayWeightFillsCheapestFirst) {
+  const std::vector<DispersionItem> items{item(4.0, 4.0, 3.0, 1.0),
+                                          item(4.0, 4.0, 1.0, 0.6)};
+  const auto sol = solve_dispersion(items, 2.0, 0.0);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_NEAR(sol->psi[1], 0.6, 1e-9);  // cheap server up to its cap
+  EXPECT_NEAR(sol->psi[0], 0.4, 1e-9);
+}
+
+TEST(Dispersion, RespectsCaps) {
+  const std::vector<DispersionItem> items{item(20.0, 20.0, 0.0, 0.3),
+                                          item(4.0, 4.0, 0.0, 1.0)};
+  const auto sol = solve_dispersion(items, 2.0, 1.0);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_LE(sol->psi[0], 0.3 + 1e-9);
+}
+
+TEST(Dispersion, InfeasibleWhenCapsBelowOne) {
+  const std::vector<DispersionItem> items{item(4.0, 4.0, 0.0, 0.3),
+                                          item(4.0, 4.0, 0.0, 0.4)};
+  EXPECT_FALSE(solve_dispersion(items, 2.0, 1.0).has_value());
+}
+
+TEST(Dispersion, InfeasibleWhenCapViolatesStability) {
+  // cap = 1 but mu_p = 1.5 < cap*lambda = 2.
+  const std::vector<DispersionItem> items{item(1.5, 4.0, 0.0, 1.0),
+                                          item(4.0, 4.0, 0.0, 1.0)};
+  EXPECT_FALSE(solve_dispersion(items, 2.0, 1.0).has_value());
+}
+
+TEST(Dispersion, ObjectiveInfiniteWhenUnstable) {
+  const std::vector<DispersionItem> items{item(1.0, 1.0, 0.0, 1.0)};
+  EXPECT_TRUE(std::isinf(dispersion_objective(items, 2.0, 1.0, {1.0})));
+}
+
+TEST(Dispersion, MatchesBruteForceOnTwoServers) {
+  Rng rng(777);
+  for (int trial = 0; trial < 50; ++trial) {
+    const double lambda = rng.uniform(0.5, 3.0);
+    std::vector<DispersionItem> items;
+    for (int j = 0; j < 2; ++j) {
+      const double mu_p = rng.uniform(1.3, 3.0) * lambda;
+      const double mu_n = rng.uniform(1.3, 3.0) * lambda;
+      const double cap =
+          std::min(1.0, 0.95 * std::min(mu_p, mu_n) / lambda);
+      items.push_back(item(mu_p, mu_n, rng.uniform(0.0, 1.0), cap));
+    }
+    if (items[0].cap + items[1].cap < 1.0) continue;
+    const double weight = rng.uniform(0.1, 3.0);
+    const auto sol = solve_dispersion(items, lambda, weight);
+    ASSERT_TRUE(sol.has_value()) << "trial " << trial;
+    const double brute = brute_force_two(items, lambda, weight);
+    EXPECT_NEAR(sol->objective, brute, 1e-3 * std::fabs(brute) + 1e-4)
+        << "trial " << trial;
+  }
+}
+
+class DispersionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DispersionProperty, FeasibleUnitSplit) {
+  Rng rng(GetParam());
+  const double lambda = rng.uniform(0.5, 4.0);
+  const int n = static_cast<int>(rng.uniform_int(1, 6));
+  std::vector<DispersionItem> items;
+  double cap_sum = 0.0;
+  for (int j = 0; j < n; ++j) {
+    const double mu_p = rng.uniform(1.2, 4.0) * lambda;
+    const double mu_n = rng.uniform(1.2, 4.0) * lambda;
+    const double cap = std::min(1.0, 0.9 * std::min(mu_p, mu_n) / lambda);
+    cap_sum += cap;
+    items.push_back(item(mu_p, mu_n, rng.uniform(0.0, 2.0), cap));
+  }
+  const auto sol = solve_dispersion(items, lambda, rng.uniform(0.0, 2.0));
+  if (cap_sum < 1.0 - 1e-9) {
+    EXPECT_FALSE(sol.has_value());
+    return;
+  }
+  ASSERT_TRUE(sol.has_value());
+  double sum = 0.0;
+  for (std::size_t j = 0; j < items.size(); ++j) {
+    EXPECT_GE(sol->psi[j], -1e-9);
+    EXPECT_LE(sol->psi[j], items[j].cap + 1e-9);
+    sum += sol->psi[j];
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-5);
+  EXPECT_TRUE(std::isfinite(sol->objective));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DispersionProperty,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+}  // namespace
+}  // namespace cloudalloc::opt

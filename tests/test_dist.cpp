@@ -1,0 +1,167 @@
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "alloc/allocator.h"
+#include "alloc/initial.h"
+#include "common/rng.h"
+#include "dist/cluster_agent.h"
+#include "dist/mailbox.h"
+#include "dist/manager.h"
+#include "dist/thread_pool.h"
+#include "model/evaluator.h"
+#include "model/feasibility.h"
+#include "workload/scenario.h"
+
+namespace cloudalloc::dist {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i)
+    futures.push_back(pool.submit([&counter] { ++counter; }));
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(50);
+  pool.parallel_for(50, [&hits](int i) { ++hits[static_cast<std::size_t>(i)]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, DestructorDrains) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 10; ++i) pool.submit([&counter] { ++counter; }).get();
+  }
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(Mailbox, FifoDelivery) {
+  Mailbox<int> box;
+  box.send(1);
+  box.send(2);
+  box.send(3);
+  EXPECT_EQ(box.receive(), 1);
+  EXPECT_EQ(box.receive(), 2);
+  EXPECT_EQ(box.receive(), 3);
+  EXPECT_EQ(box.messages_sent(), 3u);
+}
+
+TEST(Mailbox, CloseWakesReceivers) {
+  Mailbox<int> box;
+  std::thread receiver([&box] { EXPECT_FALSE(box.receive().has_value()); });
+  box.close();
+  receiver.join();
+  EXPECT_FALSE(box.send(1));
+}
+
+TEST(Mailbox, CrossThreadDelivery) {
+  Mailbox<std::string> box;
+  std::thread sender([&box] {
+    for (int i = 0; i < 100; ++i) box.send("msg" + std::to_string(i));
+  });
+  std::set<std::string> got;
+  for (int i = 0; i < 100; ++i) {
+    auto m = box.receive();
+    ASSERT_TRUE(m.has_value());
+    got.insert(*m);
+  }
+  sender.join();
+  EXPECT_EQ(got.size(), 100u);
+}
+
+TEST(ClusterAgent, EvaluatesOnlyItsCluster) {
+  const auto cloud = workload::make_tiny_scenario(2);
+  alloc::AllocatorOptions opts;
+  model::Allocation snapshot(cloud);
+  ClusterAgent agent(1, opts);
+  const auto plan = agent.evaluate_insertion(snapshot, 0);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->cluster, 1);
+  for (const auto& p : plan->placements)
+    EXPECT_EQ(cloud.server(p.server).cluster, 1);
+}
+
+TEST(ClusterAgent, ImproveOnlyTouchesItsClients) {
+  workload::ScenarioParams params;
+  params.num_clients = 20;
+  params.servers_per_cluster = 5;
+  const auto cloud = workload::make_scenario(params, 51);
+  alloc::AllocatorOptions opts;
+  Rng rng(51);
+  model::Allocation snapshot =
+      alloc::build_initial_solution(cloud, opts, rng);
+  ClusterAgent agent(0, opts);
+  const auto improvement = agent.improve(snapshot);
+  EXPECT_EQ(improvement.cluster, 0);
+  EXPECT_GE(improvement.profit_delta, -1e-9);
+  for (const auto& [i, placements] : improvement.placements) {
+    EXPECT_EQ(snapshot.cluster_of(i), 0);
+    for (const auto& p : placements)
+      EXPECT_EQ(cloud.server(p.server).cluster, 0);
+  }
+}
+
+TEST(DistributedAllocator, MatchesSequentialQuality) {
+  workload::ScenarioParams params;
+  params.num_clients = 30;
+  params.servers_per_cluster = 6;
+  const auto cloud = workload::make_scenario(params, 53);
+
+  alloc::AllocatorOptions opts;
+  opts.seed = 9;
+  const auto sequential = alloc::ResourceAllocator(opts).run(cloud);
+  const auto distributed =
+      DistributedAllocator(DistributedOptions{opts}).run(cloud);
+
+  EXPECT_TRUE(model::is_feasible(distributed.allocation));
+  // Same machinery, same seed: results agree to small tolerance (the
+  // distributed rounds interleave stages slightly differently).
+  EXPECT_NEAR(distributed.report.final_profit,
+              sequential.report.final_profit,
+              0.05 * std::abs(sequential.report.final_profit));
+  EXPECT_GT(distributed.report.messages, 0u);
+}
+
+TEST(DistributedAllocator, InitialGreedyIdenticalToSequential) {
+  workload::ScenarioParams params;
+  params.num_clients = 20;
+  params.servers_per_cluster = 5;
+  const auto cloud = workload::make_scenario(params, 59);
+  alloc::AllocatorOptions opts;
+  opts.seed = 4;
+  opts.max_local_search_rounds = 0;  // isolate the greedy phase
+
+  Rng rng(opts.seed);
+  const auto seq = alloc::build_initial_solution(cloud, opts, rng);
+  const auto dist = DistributedAllocator(DistributedOptions{opts}).run(cloud);
+  EXPECT_NEAR(dist.report.initial_profit, model::profit(seq), 1e-9);
+}
+
+TEST(DistributedAllocator, FeasibleAcrossSeeds) {
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    workload::ScenarioParams params;
+    params.num_clients = 20;
+    params.servers_per_cluster = 5;
+    const auto cloud = workload::make_scenario(params, seed);
+    alloc::AllocatorOptions opts;
+    opts.seed = seed;
+    opts.max_local_search_rounds = 4;
+    const auto result = DistributedAllocator(DistributedOptions{opts}).run(cloud);
+    EXPECT_TRUE(model::is_feasible(result.allocation)) << "seed " << seed;
+    EXPECT_GE(result.report.final_profit,
+              result.report.initial_profit - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace cloudalloc::dist

@@ -1,0 +1,68 @@
+// Determinism and parity guarantees of the distributed mode, run-to-run:
+// the multi-threaded manager must be a pure function of (cloud, options),
+// independent of thread scheduling.
+#include <gtest/gtest.h>
+
+#include "dist/manager.h"
+#include "model/evaluator.h"
+#include "model/feasibility.h"
+#include "workload/scenario.h"
+
+namespace cloudalloc::dist {
+namespace {
+
+model::Cloud make_cloud(std::uint64_t seed) {
+  workload::ScenarioParams params;
+  params.num_clients = 25;
+  params.servers_per_cluster = 6;
+  return workload::make_scenario(params, seed);
+}
+
+TEST(DistDeterminism, SameSeedSameProfitAcrossRuns) {
+  const auto cloud = make_cloud(61);
+  alloc::AllocatorOptions opts;
+  opts.seed = 2;
+  opts.max_local_search_rounds = 5;
+  DistributedAllocator allocator({opts});
+  const auto a = allocator.run(cloud);
+  const auto b = allocator.run(cloud);
+  EXPECT_DOUBLE_EQ(a.report.final_profit, b.report.final_profit);
+  EXPECT_EQ(a.report.rounds_run, b.report.rounds_run);
+}
+
+TEST(DistDeterminism, IdenticalAssignmentsAcrossRuns) {
+  const auto cloud = make_cloud(67);
+  alloc::AllocatorOptions opts;
+  opts.seed = 3;
+  opts.max_local_search_rounds = 3;
+  DistributedAllocator allocator({opts});
+  const auto a = allocator.run(cloud);
+  const auto b = allocator.run(cloud);
+  for (model::ClientId i = 0; i < cloud.num_clients(); ++i) {
+    ASSERT_EQ(a.allocation.is_assigned(i), b.allocation.is_assigned(i));
+    if (!a.allocation.is_assigned(i)) continue;
+    EXPECT_EQ(a.allocation.cluster_of(i), b.allocation.cluster_of(i));
+    const auto& pa = a.allocation.placements(i);
+    const auto& pb = b.allocation.placements(i);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t s = 0; s < pa.size(); ++s) {
+      EXPECT_EQ(pa[s].server, pb[s].server);
+      EXPECT_DOUBLE_EQ(pa[s].psi, pb[s].psi);
+      EXPECT_DOUBLE_EQ(pa[s].phi_p, pb[s].phi_p);
+    }
+  }
+}
+
+TEST(DistDeterminism, MessageCountIsDeterministic) {
+  const auto cloud = make_cloud(71);
+  alloc::AllocatorOptions opts;
+  opts.seed = 4;
+  opts.max_local_search_rounds = 2;
+  DistributedAllocator allocator({opts});
+  const auto a = allocator.run(cloud);
+  const auto b = allocator.run(cloud);
+  EXPECT_EQ(a.report.messages, b.report.messages);
+}
+
+}  // namespace
+}  // namespace cloudalloc::dist

@@ -1,0 +1,207 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "epoch/controller.h"
+#include "workload/trace.h"
+#include "epoch/predictor.h"
+#include "model/feasibility.h"
+#include "workload/scenario.h"
+
+namespace cloudalloc::epoch {
+namespace {
+
+TEST(EwmaPredictor, ReturnsPriorBeforeObservations) {
+  EwmaPredictor p(0.5, 2.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 2.0);
+}
+
+TEST(EwmaPredictor, FirstObservationSeeds) {
+  EwmaPredictor p(0.5, 2.0);
+  p.observe(6.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 6.0);
+}
+
+TEST(EwmaPredictor, ConvergesToConstantSignal) {
+  EwmaPredictor p(0.3, 1.0);
+  for (int i = 0; i < 50; ++i) p.observe(4.0);
+  EXPECT_NEAR(p.predict(), 4.0, 1e-6);
+}
+
+TEST(EwmaPredictor, SmoothsNoise) {
+  EwmaPredictor p(0.2, 1.0);
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) p.observe(3.0 + rng.uniform(-1.0, 1.0));
+  EXPECT_NEAR(p.predict(), 3.0, 0.3);
+}
+
+TEST(EwmaPredictor, CloneIsIndependent) {
+  EwmaPredictor p(0.5, 1.0);
+  p.observe(2.0);
+  auto clone = p.clone();
+  p.observe(10.0);
+  EXPECT_DOUBLE_EQ(clone->predict(), 2.0);
+  EXPECT_GT(p.predict(), 2.0);
+}
+
+TEST(SlidingMeanPredictor, AveragesWindow) {
+  SlidingMeanPredictor p(3, 1.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 1.0);  // prior
+  p.observe(1.0);
+  p.observe(2.0);
+  p.observe(3.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 2.0);
+  p.observe(6.0);  // evicts the 1.0
+  EXPECT_NEAR(p.predict(), 11.0 / 3.0, 1e-12);
+}
+
+TEST(SlidingMeanPredictor, WindowOfOneTracksLastValue) {
+  SlidingMeanPredictor p(1, 1.0);
+  p.observe(5.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 5.0);
+  p.observe(2.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 2.0);
+}
+
+TEST(HoltPredictor, AnticipatesLinearRamp) {
+  HoltPredictor holt(0.6, 0.4, 1.0);
+  EwmaPredictor ewma(0.6, 1.0);
+  double signal = 1.0;
+  for (int i = 0; i < 40; ++i) {
+    signal += 0.2;
+    holt.observe(signal);
+    ewma.observe(signal);
+  }
+  const double next = signal + 0.2;
+  // Holt must beat plain EWMA on a ramp.
+  EXPECT_LT(std::fabs(holt.predict() - next),
+            std::fabs(ewma.predict() - next));
+}
+
+TEST(HoltPredictor, StableOnConstantSignal) {
+  HoltPredictor p(0.5, 0.5, 1.0);
+  for (int i = 0; i < 30; ++i) p.observe(2.5);
+  EXPECT_NEAR(p.predict(), 2.5, 1e-6);
+}
+
+TEST(Predictors, NeverPredictNonPositive) {
+  EwmaPredictor e(0.9, 1.0);
+  e.observe(0.0);
+  EXPECT_GT(e.predict(), 0.0);
+  SlidingMeanPredictor s(2, 1.0);
+  s.observe(0.0);
+  s.observe(0.0);
+  EXPECT_GT(s.predict(), 0.0);
+  HoltPredictor h(0.9, 0.9, 1.0);
+  h.observe(5.0);
+  h.observe(0.0);
+  h.observe(0.0);
+  EXPECT_GT(h.predict(), 0.0);
+}
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  static model::Cloud make_cloud() {
+    workload::ScenarioParams params;
+    params.num_clients = 20;
+    params.servers_per_cluster = 6;
+    return workload::make_scenario(params, 99);
+  }
+};
+
+TEST_F(ControllerTest, StartProducesFeasibleAllocation) {
+  Controller controller(make_cloud(), EwmaPredictor(0.5, 1.0));
+  const auto report = controller.start();
+  EXPECT_TRUE(report.cold_start);
+  EXPECT_GT(report.profit, 0.0);
+  EXPECT_TRUE(model::is_feasible(controller.allocation()));
+}
+
+TEST_F(ControllerTest, SmallDriftWarmStarts) {
+  Controller controller(make_cloud(), EwmaPredictor(0.5, 1.0));
+  controller.start();
+  // Observed rates ~= contracted rates: tiny drift.
+  std::vector<double> observed;
+  for (const auto& c : controller.cloud().clients())
+    observed.push_back(c.lambda_pred * 1.02);
+  const auto report = controller.step(observed);
+  EXPECT_FALSE(report.cold_start);
+  EXPECT_LT(report.mean_drift, 0.1);
+  EXPECT_TRUE(model::is_feasible(controller.allocation()));
+  EXPECT_GT(report.profit, 0.0);
+}
+
+TEST_F(ControllerTest, LargeDriftForcesColdRestart) {
+  ControllerOptions opts;
+  opts.cold_restart_drift = 0.3;
+  Controller controller(make_cloud(), EwmaPredictor(1.0, 1.0), opts);
+  controller.start();
+  std::vector<double> observed;
+  for (const auto& c : controller.cloud().clients())
+    observed.push_back(c.lambda_pred * 2.5);  // demand explosion
+  const auto report = controller.step(observed);
+  EXPECT_TRUE(report.cold_start);
+  EXPECT_GT(report.mean_drift, 0.3);
+  EXPECT_TRUE(model::is_feasible(controller.allocation()));
+}
+
+TEST_F(ControllerTest, PredictionsUpdateTheCloud) {
+  Controller controller(make_cloud(), EwmaPredictor(1.0, 1.0));
+  controller.start();
+  std::vector<double> observed(20, 1.7);
+  controller.step(observed);
+  // alpha = 1 EWMA: predictions equal the observation exactly.
+  for (const auto& c : controller.cloud().clients())
+    EXPECT_NEAR(c.lambda_pred, 1.7, 1e-9);
+  // Contracts are untouched.
+  const auto base = make_cloud();
+  for (model::ClientId i = 0; i < 20; ++i)
+    EXPECT_DOUBLE_EQ(controller.cloud().client(i).lambda_agreed,
+                     base.client(i).lambda_agreed);
+}
+
+TEST_F(ControllerTest, DrivesAFullTraceEndToEnd) {
+  // Integration with the workload trace generator: diurnal + spikes.
+  const auto cloud = make_cloud();
+  workload::TraceParams trace_params;
+  trace_params.epochs = 6;
+  trace_params.amplitude = 0.35;
+  trace_params.spike_probability = 0.05;
+  const auto trace = workload::make_rate_trace(cloud, trace_params, 55);
+
+  Controller controller(cloud, HoltPredictor(0.6, 0.3, 1.0));
+  controller.start();
+  for (const auto& observed : trace) {
+    const auto report = controller.step(observed);
+    EXPECT_GT(report.profit, 0.0);
+    ASSERT_TRUE(model::is_feasible(controller.allocation()));
+  }
+  EXPECT_EQ(controller.history().size(),
+            static_cast<std::size_t>(trace_params.epochs) + 1);
+  // At least one epoch should have warm-started under this gentle trace.
+  int warm = 0;
+  for (const auto& r : controller.history())
+    if (!r.cold_start) ++warm;
+  EXPECT_GT(warm, 0);
+}
+
+TEST_F(ControllerTest, MultiEpochRunStaysFeasibleAndRecorded) {
+  Controller controller(make_cloud(), HoltPredictor(0.5, 0.3, 1.0));
+  controller.start();
+  Rng rng(123);
+  for (int epoch = 1; epoch <= 4; ++epoch) {
+    std::vector<double> observed;
+    for (const auto& c : controller.cloud().clients())
+      observed.push_back(
+          std::max(0.1, c.lambda_agreed * rng.uniform(0.8, 1.2)));
+    const auto report = controller.step(observed);
+    EXPECT_EQ(report.epoch, epoch);
+    ASSERT_TRUE(model::is_feasible(controller.allocation()));
+  }
+  EXPECT_EQ(controller.history().size(), 5u);
+}
+
+}  // namespace
+}  // namespace cloudalloc::epoch

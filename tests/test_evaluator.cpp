@@ -1,0 +1,130 @@
+#include "model/evaluator.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "workload/scenario.h"
+
+namespace cloudalloc::model {
+namespace {
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  EvaluatorTest() : cloud_(workload::make_tiny_scenario(3)) {}
+  Cloud cloud_;
+};
+
+TEST_F(EvaluatorTest, EmptyAllocationHasZeroProfit) {
+  Allocation alloc(cloud_);
+  EXPECT_DOUBLE_EQ(profit(alloc), 0.0);
+  const auto breakdown = evaluate(alloc);
+  EXPECT_DOUBLE_EQ(breakdown.revenue, 0.0);
+  EXPECT_DOUBLE_EQ(breakdown.cost, 0.0);
+  EXPECT_EQ(breakdown.active_servers, 0);
+}
+
+TEST_F(EvaluatorTest, HandComputedSingleClient) {
+  Allocation alloc(cloud_);
+  // Client 0: utility class 0 = Linear(2.5, 0.6); lambda_a = lambda = 1,
+  // alpha_p = 0.5, alpha_n = 0.6. Server 0: small class, cap 4/4,
+  // P0 = 1, P1 = 2.
+  alloc.assign(0, 0, {Placement{0, 1.0, 0.5, 0.5}});
+  const double r = 1.0 / (0.5 * 4.0 / 0.5 - 1.0) +
+                   1.0 / (0.5 * 4.0 / 0.6 - 1.0);
+  const double revenue = 1.0 * (2.5 - 0.6 * r);
+  const double util = 1.0 * 0.5 / 4.0;  // lambda*alpha/cap
+  const double cost = 1.0 + 2.0 * util;
+  EXPECT_NEAR(profit(alloc), revenue - cost, 1e-12);
+
+  const auto breakdown = evaluate(alloc);
+  EXPECT_NEAR(breakdown.revenue, revenue, 1e-12);
+  EXPECT_NEAR(breakdown.cost, cost, 1e-12);
+  EXPECT_NEAR(breakdown.profit, revenue - cost, 1e-12);
+  EXPECT_EQ(breakdown.active_servers, 1);
+  EXPECT_TRUE(breakdown.clients[0].assigned);
+  EXPECT_NEAR(breakdown.clients[0].response_time, r, 1e-12);
+  EXPECT_FALSE(breakdown.clients[1].assigned);
+}
+
+TEST_F(EvaluatorTest, UnassignedClientEarnsNothing) {
+  Allocation alloc(cloud_);
+  EXPECT_DOUBLE_EQ(client_revenue(alloc, 0), 0.0);
+}
+
+TEST_F(EvaluatorTest, UnstableClientEarnsNothingButServerStillCosts) {
+  Allocation alloc(cloud_);
+  alloc.assign(0, 0, {Placement{0, 1.0, 0.01, 0.5}});  // unstable p-stage
+  EXPECT_DOUBLE_EQ(client_revenue(alloc, 0), 0.0);
+  EXPECT_GT(server_cost(alloc, 0), 0.0);
+  EXPECT_LT(profit(alloc), 0.0);
+}
+
+TEST_F(EvaluatorTest, UtilityClampedToZeroPastCrossing) {
+  Allocation alloc(cloud_);
+  // Give client 0 barely-stable shares so R is huge.
+  const double phi_min_p = (1.0 + 0.01) * 0.5 / 4.0;
+  const double phi_min_n = (1.0 + 0.01) * 0.6 / 4.0;
+  alloc.assign(0, 0, {Placement{0, 1.0, phi_min_p, phi_min_n}});
+  const double r = alloc.response_time(0);
+  EXPECT_GT(r, cloud_.utility_of(0).zero_crossing());
+  EXPECT_DOUBLE_EQ(client_revenue(alloc, 0), 0.0);
+}
+
+TEST_F(EvaluatorTest, InactiveServerCostsNothing) {
+  Allocation alloc(cloud_);
+  EXPECT_DOUBLE_EQ(server_cost(alloc, 0), 0.0);
+}
+
+TEST_F(EvaluatorTest, CostGrowsWithUtilization) {
+  Allocation alloc1(cloud_);
+  alloc1.assign(0, 0, {Placement{0, 1.0, 0.5, 0.5}});  // lambda 1
+  Allocation alloc2(cloud_);
+  alloc2.assign(1, 0, {Placement{0, 1.0, 0.5, 0.5}});  // lambda 1.5
+  EXPECT_LT(server_cost(alloc1, 0), server_cost(alloc2, 0));
+}
+
+TEST_F(EvaluatorTest, CachedProfitTracksScratchEvaluationUnderChurn) {
+  // profit() is incrementally cached; evaluate() recomputes from scratch.
+  // Drive heavy churn and require exact agreement throughout.
+  Allocation alloc(cloud_);
+  Rng rng(4242);
+  for (int step = 0; step < 300; ++step) {
+    const ClientId i =
+        static_cast<ClientId>(rng.uniform_int(0, cloud_.num_clients() - 1));
+    if (alloc.is_assigned(i)) alloc.clear(i);
+    if (rng.bernoulli(0.6)) {
+      const ClusterId k = static_cast<ClusterId>(rng.uniform_int(0, 1));
+      const auto& servers = cloud_.cluster(k).servers;
+      alloc.assign(i, k,
+                   {Placement{servers[rng.index(servers.size())], 1.0,
+                              rng.uniform(0.3, 0.6), rng.uniform(0.3, 0.6)}});
+    }
+    ASSERT_NEAR(profit(alloc), evaluate(alloc).profit, 1e-9)
+        << "at step " << step;
+  }
+}
+
+TEST_F(EvaluatorTest, CloneCarriesAValidProfitCache) {
+  Allocation alloc(cloud_);
+  alloc.assign(0, 0, {Placement{0, 1.0, 0.5, 0.5}});
+  (void)profit(alloc);  // warm the cache
+  Allocation copy = alloc.clone();
+  copy.assign(1, 0, {Placement{1, 1.0, 0.5, 0.5}});
+  EXPECT_NEAR(profit(copy), evaluate(copy).profit, 1e-9);
+  EXPECT_NEAR(profit(alloc), evaluate(alloc).profit, 1e-9);
+}
+
+TEST_F(EvaluatorTest, ProfitMatchesBreakdownOnRandomStates) {
+  Allocation alloc(cloud_);
+  alloc.assign(0, 0, {Placement{0, 1.0, 0.4, 0.4}});
+  alloc.assign(1, 0, {Placement{1, 1.0, 0.5, 0.5}});
+  alloc.assign(2, 1, {Placement{2, 0.5, 0.4, 0.4}, Placement{3, 0.5, 0.4, 0.4}});
+  const auto breakdown = evaluate(alloc);
+  EXPECT_NEAR(breakdown.profit, profit(alloc), 1e-12);
+  EXPECT_EQ(breakdown.active_servers, alloc.num_active_servers());
+}
+
+}  // namespace
+}  // namespace cloudalloc::model

@@ -1,0 +1,77 @@
+#include "opt/first_fit.h"
+
+#include <gtest/gtest.h>
+
+namespace cloudalloc::opt {
+namespace {
+
+TEST(FirstFitSplit, FitsInFirstBin) {
+  std::vector<double> free{5.0, 5.0};
+  const auto pieces = first_fit_split(3.0, free, {0, 1});
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].bin, 0u);
+  EXPECT_DOUBLE_EQ(pieces[0].amount, 3.0);
+  EXPECT_DOUBLE_EQ(free[0], 2.0);
+}
+
+TEST(FirstFitSplit, SplitsAcrossBins) {
+  std::vector<double> free{2.0, 5.0};
+  const auto pieces = first_fit_split(3.0, free, {0, 1});
+  ASSERT_EQ(pieces.size(), 2u);
+  EXPECT_DOUBLE_EQ(pieces[0].amount, 2.0);
+  EXPECT_DOUBLE_EQ(pieces[1].amount, 1.0);
+  EXPECT_DOUBLE_EQ(free[0], 0.0);
+  EXPECT_DOUBLE_EQ(free[1], 4.0);
+}
+
+TEST(FirstFitSplit, RespectsOrder) {
+  std::vector<double> free{5.0, 5.0};
+  const auto pieces = first_fit_split(3.0, free, {1, 0});
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].bin, 1u);
+}
+
+TEST(FirstFitSplit, PartialWhenCapacityShort) {
+  std::vector<double> free{1.0, 1.0};
+  const auto pieces = first_fit_split(5.0, free, {0, 1});
+  double placed = 0.0;
+  for (const auto& p : pieces) placed += p.amount;
+  EXPECT_DOUBLE_EQ(placed, 2.0);
+}
+
+TEST(FirstFitSplit, ZeroDemand) {
+  std::vector<double> free{1.0};
+  EXPECT_TRUE(first_fit_split(0.0, free, {0}).empty());
+}
+
+TEST(FirstFitSplit, SkipsEmptyBins) {
+  std::vector<double> free{0.0, 3.0};
+  const auto pieces = first_fit_split(2.0, free, {0, 1});
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0].bin, 1u);
+}
+
+TEST(FirstFitDecreasing, PacksLargestFirst) {
+  std::vector<double> free{10.0};
+  const auto bins = first_fit_decreasing({3.0, 7.0}, free);
+  EXPECT_EQ(bins[0], 0);
+  EXPECT_EQ(bins[1], 0);
+  EXPECT_DOUBLE_EQ(free[0], 0.0);
+}
+
+TEST(FirstFitDecreasing, MarksUnplaceable) {
+  std::vector<double> free{2.0};
+  const auto bins = first_fit_decreasing({3.0, 1.0}, free);
+  EXPECT_EQ(bins[0], -1);
+  EXPECT_EQ(bins[1], 0);
+}
+
+TEST(FirstFitDecreasing, ClassicWorstCaseStillValid) {
+  std::vector<double> free{10.0, 10.0, 10.0};
+  const auto bins = first_fit_decreasing({6.0, 6.0, 5.0, 5.0, 4.0, 4.0}, free);
+  for (int b : bins) EXPECT_NE(b, -1);
+  for (double f : free) EXPECT_GE(f, -1e-12);
+}
+
+}  // namespace
+}  // namespace cloudalloc::opt

@@ -1,0 +1,142 @@
+// End-to-end flows across modules: scenario -> heuristic -> audit ->
+// discrete-event validation, epoch warm starts, and the experiment-level
+// orderings the paper's figures rely on.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "alloc/allocator.h"
+#include "baselines/monte_carlo.h"
+#include "baselines/proportional_share.h"
+#include "dist/manager.h"
+#include "model/evaluator.h"
+#include "model/feasibility.h"
+#include "sim/runner.h"
+#include "workload/scenario.h"
+
+namespace cloudalloc {
+namespace {
+
+TEST(Integration, FullPipelineOnPaperScenario) {
+  workload::ScenarioParams params;
+  params.num_clients = 40;
+  params.servers_per_cluster = 10;
+  const auto cloud = workload::make_scenario(params, 71);
+
+  alloc::ResourceAllocator allocator;
+  const auto result = allocator.run(cloud);
+  ASSERT_TRUE(model::is_feasible(result.allocation));
+
+  const auto breakdown = model::evaluate(result.allocation);
+  EXPECT_GT(breakdown.revenue, breakdown.cost);
+  EXPECT_GT(breakdown.active_servers, 0);
+  EXPECT_LT(breakdown.active_servers, cloud.num_servers());
+
+  // The analytic response times the optimizer used must be reproduced by
+  // the discrete-event simulator.
+  sim::SimOptions sopts;
+  sopts.horizon = 400.0;
+  const auto sim_report = sim::simulate_allocation(result.allocation, sopts);
+  EXPECT_LT(sim_report.mean_abs_rel_error, 0.25);
+}
+
+TEST(Integration, Figure4OrderingHolds) {
+  // proposed >= MC-best * 0.9ish and PS clearly below proposed, per the
+  // shape of Figure 4 (exact factors vary per scenario).
+  workload::ScenarioParams params;
+  params.num_clients = 40;
+  params.servers_per_cluster = 10;
+  const auto cloud = workload::make_scenario(params, 73);
+
+  const auto ours = alloc::ResourceAllocator().run(cloud);
+  const auto ps =
+      baselines::proportional_share_allocate(cloud, baselines::PsOptions{});
+  baselines::MonteCarloOptions mc;
+  mc.samples = 20;
+  const auto best = baselines::monte_carlo_search(cloud, mc, 73);
+
+  EXPECT_GT(ours.report.final_profit, ps.profit);
+  EXPECT_GE(ours.report.final_profit, 0.75 * best.best_profit);
+}
+
+TEST(Integration, Figure5OrderingHolds) {
+  workload::ScenarioParams params;
+  params.num_clients = 30;
+  params.servers_per_cluster = 8;
+  const auto cloud = workload::make_scenario(params, 79);
+  baselines::MonteCarloOptions mc;
+  mc.samples = 15;
+  const auto result = baselines::monte_carlo_search(cloud, mc, 79);
+  // Worst random start is far below its polished version, which is below
+  // the best found.
+  EXPECT_LT(result.worst_initial_profit, result.worst_polished_profit);
+  EXPECT_LE(result.worst_polished_profit, result.best_profit);
+}
+
+TEST(Integration, EpochWarmStartPreservesFeasibility) {
+  workload::ScenarioParams params;
+  params.num_clients = 30;
+  params.servers_per_cluster = 8;
+  const auto cloud = workload::make_scenario(params, 83);
+
+  alloc::ResourceAllocator allocator;
+  auto epoch1 = allocator.run(cloud);
+  const double p1 = epoch1.report.final_profit;
+
+  // Epoch 2: demand shifted; reuse epoch-1 allocation as the warm start.
+  // (Same cloud object here — the shift is emulated by re-improving.)
+  auto epoch2 = allocator.improve(std::move(epoch1.allocation));
+  EXPECT_TRUE(model::is_feasible(epoch2.allocation));
+  EXPECT_GE(epoch2.report.final_profit, p1 - 1e-6);
+}
+
+TEST(Integration, DistributedAndSequentialBothFeasibleAndClose) {
+  workload::ScenarioParams params;
+  params.num_clients = 25;
+  params.servers_per_cluster = 6;
+  const auto cloud = workload::make_scenario(params, 89);
+  alloc::AllocatorOptions opts;
+  opts.max_local_search_rounds = 6;
+
+  const auto seq = alloc::ResourceAllocator(opts).run(cloud);
+  const auto dist = dist::DistributedAllocator({opts}).run(cloud);
+  EXPECT_TRUE(model::is_feasible(seq.allocation));
+  EXPECT_TRUE(model::is_feasible(dist.allocation));
+  EXPECT_NEAR(dist.report.final_profit, seq.report.final_profit,
+              0.08 * std::fabs(seq.report.final_profit));
+}
+
+TEST(Integration, OverloadedCloudDegradesGracefully) {
+  workload::ScenarioParams params;
+  params.num_clients = 60;
+  const auto cloud = workload::make_overloaded_scenario(params, 97, 5.0);
+  const auto result = alloc::ResourceAllocator().run(cloud);
+  ASSERT_TRUE(model::is_feasible(result.allocation));
+  EXPECT_GT(result.report.unassigned_clients, 0);
+  // Served clients still have stable queues (finite response times).
+  for (model::ClientId i = 0; i < cloud.num_clients(); ++i) {
+    if (result.allocation.is_assigned(i)) {
+      EXPECT_TRUE(std::isfinite(result.allocation.response_time(i)));
+    }
+  }
+}
+
+class IntegrationSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntegrationSweep, HeuristicDominatesPsAcrossScenarios) {
+  workload::ScenarioParams params;
+  params.num_clients = 30;
+  params.servers_per_cluster = 8;
+  const auto cloud = workload::make_scenario(params, GetParam());
+  const auto ours = alloc::ResourceAllocator().run(cloud);
+  const auto ps =
+      baselines::proportional_share_allocate(cloud, baselines::PsOptions{});
+  EXPECT_GE(ours.report.final_profit, ps.profit)
+      << "scenario seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntegrationSweep,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace cloudalloc

@@ -1,0 +1,170 @@
+#include "opt/kkt_shares.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace cloudalloc::opt {
+namespace {
+
+// Brute-force reference: grid search over the simplex (2 items).
+double brute_force_two(const std::vector<ShareItem>& items, double budget,
+                       int grid = 4000) {
+  double best = -1e300;
+  for (int g = 0; g <= grid; ++g) {
+    const double phi0 = items[0].lo + (items[0].hi - items[0].lo) * g / grid;
+    const double phi1 = std::min(items[1].hi, budget - phi0);
+    if (phi1 < items[1].lo - 1e-9) continue;
+    const double obj = shares_objective(items, {phi0, phi1});
+    if (obj > best) best = obj;
+  }
+  return best;
+}
+
+ShareItem item(double w, double b, double l, double lo, double hi) {
+  ShareItem it;
+  it.weight = w;
+  it.rate_factor = b;
+  it.load = l;
+  it.lo = lo;
+  it.hi = hi;
+  return it;
+}
+
+TEST(KktShares, SingleItemTakesWhatHelps) {
+  // One item, budget 1: optimum is hi (more share always helps).
+  const std::vector<ShareItem> items{item(1.0, 4.0, 1.0, 0.3, 1.0)};
+  const auto sol = solve_shares(items, 1.0);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_NEAR(sol->phi[0], 1.0, 1e-9);
+}
+
+TEST(KktShares, SymmetricItemsSplitEvenly) {
+  const std::vector<ShareItem> items{item(1.0, 4.0, 1.0, 0.3, 1.0),
+                                     item(1.0, 4.0, 1.0, 0.3, 1.0)};
+  const auto sol = solve_shares(items, 1.0);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_NEAR(sol->phi[0], 0.5, 1e-6);
+  EXPECT_NEAR(sol->phi[1], 0.5, 1e-6);
+  EXPECT_GT(sol->multiplier, 0.0);
+}
+
+TEST(KktShares, HeavierWeightGetsMore) {
+  const std::vector<ShareItem> items{item(4.0, 4.0, 1.0, 0.3, 1.0),
+                                     item(1.0, 4.0, 1.0, 0.3, 1.0)};
+  const auto sol = solve_shares(items, 1.0);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_GT(sol->phi[0], sol->phi[1]);
+  EXPECT_NEAR(sol->phi[0] + sol->phi[1], 1.0, 1e-6);
+}
+
+TEST(KktShares, ZeroWeightItemPinnedAtFloor) {
+  const std::vector<ShareItem> items{item(0.0, 4.0, 1.0, 0.3, 1.0),
+                                     item(1.0, 4.0, 1.0, 0.3, 1.0)};
+  const auto sol = solve_shares(items, 1.0);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_DOUBLE_EQ(sol->phi[0], 0.3);
+  EXPECT_NEAR(sol->phi[1], 0.7, 1e-6);
+}
+
+TEST(KktShares, AllZeroWeights) {
+  const std::vector<ShareItem> items{item(0.0, 4.0, 1.0, 0.3, 1.0),
+                                     item(0.0, 4.0, 1.0, 0.4, 1.0)};
+  const auto sol = solve_shares(items, 1.0);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_DOUBLE_EQ(sol->phi[0], 0.3);
+  EXPECT_DOUBLE_EQ(sol->phi[1], 0.4);
+}
+
+TEST(KktShares, SlackBudgetGivesCeilings) {
+  const std::vector<ShareItem> items{item(1.0, 4.0, 1.0, 0.3, 0.4),
+                                     item(1.0, 4.0, 1.0, 0.3, 0.4)};
+  const auto sol = solve_shares(items, 1.0);
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_DOUBLE_EQ(sol->phi[0], 0.4);
+  EXPECT_DOUBLE_EQ(sol->phi[1], 0.4);
+  EXPECT_DOUBLE_EQ(sol->multiplier, 0.0);
+}
+
+TEST(KktShares, InfeasibleWhenFloorsExceedBudget) {
+  const std::vector<ShareItem> items{item(1.0, 4.0, 1.0, 0.6, 1.0),
+                                     item(1.0, 4.0, 1.0, 0.6, 1.0)};
+  EXPECT_FALSE(solve_shares(items, 1.0).has_value());
+}
+
+TEST(KktShares, InfeasibleWhenFloorCannotStabilize) {
+  // lo * B <= load -> queue can never be stable at the floor.
+  const std::vector<ShareItem> items{item(1.0, 4.0, 2.0, 0.5, 1.0)};
+  EXPECT_FALSE(solve_shares(items, 1.0).has_value());
+}
+
+TEST(KktShares, ObjectiveInfiniteOnUnstableShares) {
+  const std::vector<ShareItem> items{item(1.0, 4.0, 2.0, 0.6, 1.0)};
+  EXPECT_TRUE(std::isinf(shares_objective(items, {0.5})));
+}
+
+TEST(KktShares, MatchesBruteForceOnTwoItems) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<ShareItem> items;
+    for (int i = 0; i < 2; ++i) {
+      const double b = rng.uniform(2.0, 8.0);
+      const double l = rng.uniform(0.2, 1.5);
+      const double lo = (l + 0.05) / b;
+      items.push_back(item(rng.uniform(0.1, 5.0), b, l, lo, 1.0));
+    }
+    if (items[0].lo + items[1].lo > 1.0) continue;
+    const auto sol = solve_shares(items, 1.0);
+    ASSERT_TRUE(sol.has_value());
+    const double brute = brute_force_two(items, 1.0);
+    EXPECT_NEAR(sol->objective, brute, 1e-3 * std::fabs(brute) + 1e-6)
+        << "trial " << trial;
+    EXPECT_GE(sol->objective, brute - 1e-4 * std::fabs(brute) - 1e-6);
+  }
+}
+
+// Property sweep: solutions are always feasible and budget-tight when the
+// budget binds.
+class KktSharesProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(KktSharesProperty, FeasibleAndTight) {
+  Rng rng(GetParam());
+  const int n = static_cast<int>(rng.uniform_int(1, 8));
+  std::vector<ShareItem> items;
+  double floor_sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double b = rng.uniform(2.0, 8.0);
+    const double l = rng.uniform(0.1, 1.0);
+    const double lo = (l + 0.05) / b;
+    floor_sum += lo;
+    items.push_back(item(rng.uniform(0.0, 5.0), b, l, lo, 1.0));
+  }
+  const auto sol = solve_shares(items, 1.0);
+  if (floor_sum > 1.0 + 1e-9) {
+    EXPECT_FALSE(sol.has_value());
+    return;
+  }
+  ASSERT_TRUE(sol.has_value());
+  double sum = 0.0;
+  bool any_weight = false;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_GE(sol->phi[i], items[i].lo - 1e-9);
+    EXPECT_LE(sol->phi[i], items[i].hi + 1e-9);
+    sum += sol->phi[i];
+    any_weight = any_weight || items[i].weight > 0.0;
+  }
+  EXPECT_LE(sum, 1.0 + 1e-6);
+  if (any_weight) {
+    EXPECT_NEAR(sum, 1.0, 1e-5);  // budget binds (hi = 1 each)
+  }
+  EXPECT_TRUE(std::isfinite(sol->objective));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KktSharesProperty,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+}  // namespace
+}  // namespace cloudalloc::opt

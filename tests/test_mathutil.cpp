@@ -1,0 +1,72 @@
+#include "common/mathutil.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace cloudalloc {
+namespace {
+
+TEST(Clamp, Basics) {
+  EXPECT_DOUBLE_EQ(clamp(0.5, 0.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(clamp(-1.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(clamp(2.0, 0.0, 1.0), 1.0);
+}
+
+TEST(Clamp, ToleratesInvertedBoundsFromRounding) {
+  // lo slightly above hi: collapse to hi rather than crash.
+  EXPECT_DOUBLE_EQ(clamp(0.5, 1.0 + 1e-12, 1.0), 1.0);
+}
+
+TEST(Near, AbsoluteAndRelative) {
+  EXPECT_TRUE(near(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(near(1.0, 1.1));
+  EXPECT_TRUE(near(1e9, 1e9 + 1.0, 1e-8));
+}
+
+TEST(RelGain, Basics) {
+  EXPECT_NEAR(rel_gain(100.0, 110.0), 0.1, 1e-12);
+  EXPECT_NEAR(rel_gain(100.0, 90.0), -0.1, 1e-12);
+}
+
+TEST(RelGain, GuardsZeroBase) {
+  EXPECT_TRUE(std::isfinite(rel_gain(0.0, 5.0)));
+}
+
+TEST(Bisect, FindsRootOfLinear) {
+  const double root =
+      bisect([](double x) { return 2.0 * x - 1.0; }, 0.0, 1.0);
+  EXPECT_NEAR(root, 0.5, 1e-10);
+}
+
+TEST(Bisect, FindsRootOfDecreasingFunction) {
+  const double root = bisect([](double x) { return 1.0 - x * x; }, 0.0, 5.0);
+  EXPECT_NEAR(root, 1.0, 1e-10);
+}
+
+TEST(Bisect, EndpointRoot) {
+  EXPECT_DOUBLE_EQ(bisect([](double x) { return x; }, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(bisect([](double x) { return x - 1.0; }, 0.0, 1.0), 1.0);
+}
+
+TEST(Bisect, TranscendentalRoot) {
+  const double root =
+      bisect([](double x) { return std::cos(x) - x; }, 0.0, 1.0);
+  EXPECT_NEAR(root, 0.7390851332, 1e-8);
+}
+
+TEST(GoldenSection, MinimizesParabola) {
+  const double x =
+      golden_section_min([](double v) { return (v - 2.0) * (v - 2.0); }, -10.0,
+                         10.0);
+  EXPECT_NEAR(x, 2.0, 1e-6);
+}
+
+TEST(GoldenSection, MinimumAtBoundary) {
+  const double x =
+      golden_section_min([](double v) { return v; }, 1.0, 3.0);
+  EXPECT_NEAR(x, 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace cloudalloc

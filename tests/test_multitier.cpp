@@ -1,0 +1,160 @@
+#include "multitier/multitier.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "model/evaluator.h"
+#include "model/feasibility.h"
+#include "workload/scenario.h"
+
+namespace cloudalloc::multitier {
+namespace {
+
+MultiTierInstance tiny_instance(int tiers_per_client) {
+  // Topology of the tiny single-tier scenario, multi-tier clients on top.
+  const model::Cloud base = workload::make_tiny_scenario(1);
+  MultiTierInstance instance;
+  instance.server_classes = base.server_classes();
+  instance.servers = base.servers();
+  instance.clusters = base.clusters();
+  instance.utility_classes = base.utility_classes();
+
+  for (int i = 0; i < 2; ++i) {
+    MultiTierClient c;
+    c.id = i;
+    c.utility_class = i % 2;
+    c.lambda_agreed = c.lambda_pred = 1.0 + 0.5 * i;
+    for (int t = 0; t < tiers_per_client; ++t)
+      c.tiers.push_back(TierDemand{0.3 + 0.1 * t, 0.25 + 0.1 * t, 0.4});
+    instance.clients.push_back(std::move(c));
+  }
+  return instance;
+}
+
+TEST(Expand, OneClientPerTier) {
+  const auto instance = tiny_instance(3);
+  const auto expanded = expand(instance);
+  EXPECT_EQ(expanded.cloud().num_clients(), 6);
+  EXPECT_EQ(expanded.refs.size(), 6u);
+  EXPECT_EQ(expanded.refs[0].parent, 0);
+  EXPECT_EQ(expanded.refs[2].tier, 2);
+  EXPECT_EQ(expanded.refs[3].parent, 1);
+  EXPECT_EQ(expanded.parent_tiers, std::vector<int>({3, 3}));
+}
+
+TEST(Expand, TierClientsCarryFullRateAndTierDemand) {
+  const auto instance = tiny_instance(2);
+  const auto expanded = expand(instance);
+  for (model::ClientId i = 0; i < expanded.cloud().num_clients(); ++i) {
+    const auto& ref = expanded.refs[static_cast<std::size_t>(i)];
+    const auto& parent =
+        instance.clients[static_cast<std::size_t>(ref.parent)];
+    const auto& c = expanded.cloud().client(i);
+    EXPECT_DOUBLE_EQ(c.lambda_pred, parent.lambda_pred);
+    EXPECT_DOUBLE_EQ(
+        c.alpha_p,
+        parent.tiers[static_cast<std::size_t>(ref.tier)].alpha_p);
+  }
+}
+
+TEST(Expand, UtilityScaledByTierCount) {
+  const auto instance = tiny_instance(2);
+  const auto expanded = expand(instance);
+  const auto& original =
+      *instance.utility_classes[0].fn;  // class 0 of parent 0
+  const auto& scaled = expanded.cloud().utility_of(0);
+  EXPECT_NEAR(scaled.max_value(), original.max_value() / 2.0, 1e-12);
+  EXPECT_NEAR(scaled.slope(0.0), original.slope(0.0), 1e-12);
+}
+
+TEST(Expand, SingleTierKeepsOriginalUtility) {
+  const auto instance = tiny_instance(1);
+  const auto expanded = expand(instance);
+  EXPECT_DOUBLE_EQ(expanded.cloud().utility_of(0).max_value(),
+                   instance.utility_classes[0].fn->max_value());
+}
+
+TEST(Profit, MatchesExpandedEvaluatorInLinearRegion) {
+  const auto instance = tiny_instance(2);
+  const auto expanded = expand(instance);
+  model::Allocation alloc(expanded.cloud());
+  // Serve every tier generously so all utilities are in the interior.
+  alloc.assign(0, 0, {model::Placement{0, 1.0, 0.45, 0.45}});
+  alloc.assign(1, 0, {model::Placement{1, 1.0, 0.45, 0.45}});
+  alloc.assign(2, 1, {model::Placement{2, 1.0, 0.45, 0.45}});
+  alloc.assign(3, 1, {model::Placement{3, 1.0, 0.45, 0.45}});
+
+  // In the linear region the expansion's profit is exactly the true one.
+  const double expanded_profit = model::profit(alloc);
+  const double true_profit = multitier_profit(instance, expanded, alloc);
+  EXPECT_NEAR(true_profit, expanded_profit, 1e-9);
+}
+
+TEST(Profit, MissingTierEarnsNothing) {
+  const auto instance = tiny_instance(2);
+  const auto expanded = expand(instance);
+  model::Allocation alloc(expanded.cloud());
+  // Parent 0: only tier 0 of 2 served.
+  alloc.assign(0, 0, {model::Placement{0, 1.0, 0.45, 0.45}});
+  EXPECT_TRUE(std::isinf(end_to_end_response_time(expanded, alloc, 0)));
+  // Revenue zero, but the serving server still costs.
+  EXPECT_LT(multitier_profit(instance, expanded, alloc), 0.0);
+}
+
+TEST(Profit, EndToEndTimeIsSumOfTiers) {
+  const auto instance = tiny_instance(2);
+  const auto expanded = expand(instance);
+  model::Allocation alloc(expanded.cloud());
+  alloc.assign(0, 0, {model::Placement{0, 1.0, 0.45, 0.45}});
+  alloc.assign(1, 0, {model::Placement{1, 1.0, 0.45, 0.45}});
+  const double r0 = alloc.response_time(0);
+  const double r1 = alloc.response_time(1);
+  EXPECT_NEAR(end_to_end_response_time(expanded, alloc, 0), r0 + r1, 1e-12);
+}
+
+TEST(Allocate, SolvesTinyInstanceFeasibly) {
+  const auto instance = tiny_instance(2);
+  const auto result = allocate(instance);
+  EXPECT_TRUE(model::is_feasible(result.allocation));
+  EXPECT_GT(result.profit, 0.0);
+  // Every tier of every parent served.
+  for (std::size_t p = 0; p < instance.clients.size(); ++p)
+    EXPECT_TRUE(std::isfinite(end_to_end_response_time(
+        result.expanded, result.allocation, static_cast<int>(p))));
+}
+
+TEST(Allocate, ScenarioGeneratorProducesSolvableInstances) {
+  const auto instance = make_multitier_scenario(20, 2, 3, 11);
+  EXPECT_EQ(instance.clients.size(), 20u);
+  for (const auto& c : instance.clients) {
+    EXPECT_GE(c.tiers.size(), 2u);
+    EXPECT_LE(c.tiers.size(), 3u);
+  }
+  const auto result = allocate(instance);
+  EXPECT_TRUE(model::is_feasible(result.allocation));
+  EXPECT_GT(result.profit, 0.0);
+}
+
+TEST(Allocate, SingleTierEquivalentToPlainAllocator) {
+  // A 1-tier multitier instance must reduce to the ordinary problem.
+  const auto instance = make_multitier_scenario(15, 1, 1, 13);
+  const auto result = allocate(instance);
+  const double direct = model::profit(result.allocation);
+  EXPECT_NEAR(result.profit, direct, 1e-9);
+}
+
+class MultiTierProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MultiTierProperty, FeasibleAcrossSeeds) {
+  const auto instance = make_multitier_scenario(15, 1, 4, GetParam());
+  const auto result = allocate(instance);
+  EXPECT_TRUE(model::is_feasible(result.allocation));
+  EXPECT_TRUE(std::isfinite(result.profit));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiTierProperty,
+                         ::testing::Range<std::uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace cloudalloc::multitier

@@ -1,0 +1,113 @@
+// Focused unit tests of the modified Proportional-Share baseline's
+// internal behaviors (Section VI): class-aware ordering, First-Fit
+// splitting, pool rejection, and the activation sweep.
+#include "baselines/proportional_share.h"
+
+#include <gtest/gtest.h>
+
+#include "model/evaluator.h"
+#include "model/feasibility.h"
+#include "workload/scenario.h"
+
+namespace cloudalloc::baselines {
+namespace {
+
+TEST(PsInternals, EmptyActiveSetServesNobody) {
+  const auto cloud = workload::make_tiny_scenario(3);
+  std::vector<bool> active(static_cast<std::size_t>(cloud.num_servers()),
+                           false);
+  const auto alloc = ps_allocate_with_active_set(cloud, active, PsOptions{});
+  for (model::ClientId i = 0; i < cloud.num_clients(); ++i)
+    EXPECT_FALSE(alloc.is_assigned(i));
+  EXPECT_DOUBLE_EQ(model::profit(alloc), 0.0);
+}
+
+TEST(PsInternals, SingleServerPoolStillServes) {
+  const auto cloud = workload::make_tiny_scenario(2);
+  std::vector<bool> active(static_cast<std::size_t>(cloud.num_servers()),
+                           false);
+  active[1] = true;  // only the large server of cluster 0
+  const auto alloc = ps_allocate_with_active_set(cloud, active, PsOptions{});
+  EXPECT_TRUE(model::is_feasible(alloc));
+  int served = 0;
+  for (model::ClientId i = 0; i < cloud.num_clients(); ++i)
+    if (alloc.is_assigned(i)) {
+      ++served;
+      for (const auto& p : alloc.placements(i)) EXPECT_EQ(p.server, 1);
+    }
+  EXPECT_GT(served, 0);
+}
+
+TEST(PsInternals, TinyPoolRejectsClientsInsteadOfOverloading) {
+  workload::ScenarioParams params;
+  params.num_clients = 60;
+  params.servers_per_cluster = 1;  // 5 servers total: far too small
+  const auto cloud = workload::make_scenario(params, 401);
+  std::vector<bool> active(static_cast<std::size_t>(cloud.num_servers()),
+                           true);
+  const auto alloc = ps_allocate_with_active_set(cloud, active, PsOptions{});
+  EXPECT_TRUE(model::is_feasible(alloc));
+  int unserved = 0;
+  for (model::ClientId i = 0; i < cloud.num_clients(); ++i)
+    if (!alloc.is_assigned(i)) ++unserved;
+  EXPECT_GT(unserved, 0);
+}
+
+TEST(PsInternals, SteeperSlopesAllocateFirstAndEarnBetterLatency) {
+  // With contention, the class-aware ordering should give steep-slope
+  // clients better response times on average.
+  workload::ScenarioParams params;
+  params.num_clients = 40;
+  params.servers_per_cluster = 4;  // tight
+  const auto cloud = workload::make_scenario(params, 403);
+  const auto result = proportional_share_allocate(cloud, PsOptions{});
+  double steep_r = 0.0, flat_r = 0.0;
+  int steep_n = 0, flat_n = 0;
+  for (model::ClientId i = 0; i < cloud.num_clients(); ++i) {
+    if (!result.allocation.is_assigned(i)) continue;
+    const double r = result.allocation.response_time(i);
+    if (cloud.utility_of(i).slope(0.0) > 0.7) {
+      steep_r += r;
+      ++steep_n;
+    } else {
+      flat_r += r;
+      ++flat_n;
+    }
+  }
+  if (steep_n > 0 && flat_n > 0) {
+    EXPECT_LE(steep_r / steep_n, 1.3 * (flat_r / flat_n));
+  }
+}
+
+TEST(PsInternals, SweepNeverWorseThanItsWorstMember) {
+  const auto cloud =
+      workload::make_scenario(workload::ScenarioParams{}, 407);
+  PsOptions sweep;
+  sweep.activation_fractions = {0.3, 0.6, 1.0};
+  const auto best = proportional_share_allocate(cloud, sweep);
+  for (double f : sweep.activation_fractions) {
+    PsOptions single;
+    single.activation_fractions = {f};
+    const auto one = proportional_share_allocate(cloud, single);
+    EXPECT_GE(best.profit, one.profit - 1e-9) << "fraction " << f;
+  }
+}
+
+TEST(PsInternals, DiskLimitsFirstFitPlacement) {
+  // Give clients huge disks so each server can host at most one.
+  workload::ScenarioParams params;
+  params.num_clients = 10;
+  params.servers_per_cluster = 6;
+  params.disk_lo = 1.9;
+  params.disk_hi = 2.0;  // server cap_m in [2, 6]
+  const auto cloud = workload::make_scenario(params, 409);
+  std::vector<bool> active(static_cast<std::size_t>(cloud.num_servers()),
+                           true);
+  const auto alloc = ps_allocate_with_active_set(cloud, active, PsOptions{});
+  EXPECT_TRUE(model::is_feasible(alloc));
+  for (model::ServerId j = 0; j < cloud.num_servers(); ++j)
+    EXPECT_LE(alloc.used_disk(j), cloud.server_class_of(j).cap_m + 1e-9);
+}
+
+}  // namespace
+}  // namespace cloudalloc::baselines

@@ -1,0 +1,95 @@
+#include "alloc/reassign.h"
+
+#include <gtest/gtest.h>
+
+#include "alloc/initial.h"
+#include "common/rng.h"
+#include "model/evaluator.h"
+#include "model/feasibility.h"
+#include "workload/scenario.h"
+
+namespace cloudalloc::alloc {
+namespace {
+
+using model::Allocation;
+
+TEST(Reassign, ImprovesBadClusterAssignment) {
+  workload::ScenarioParams params;
+  params.num_clients = 30;
+  params.servers_per_cluster = 6;
+  const auto cloud = workload::make_scenario(params, 41);
+  AllocatorOptions opts;
+  // Cram everyone into cluster 0.
+  std::vector<model::ClusterId> all_zero(30, 0);
+  Allocation alloc = build_from_assignment(cloud, all_zero, opts);
+  const double before = model::profit(alloc);
+  const double delta = reassign_pass(alloc, opts);
+  EXPECT_GT(delta, 0.0);
+  EXPECT_GT(model::profit(alloc), before);
+  EXPECT_TRUE(model::is_feasible(alloc));
+}
+
+TEST(Reassign, RetriesUnassignedClients) {
+  workload::ScenarioParams params;
+  params.num_clients = 40;
+  params.servers_per_cluster = 8;
+  const auto cloud = workload::make_scenario(params, 43);
+  AllocatorOptions opts;
+  // Everyone in cluster 0 overloads it, leaving some unassigned.
+  std::vector<model::ClusterId> all_zero(40, 0);
+  Allocation alloc = build_from_assignment(cloud, all_zero, opts);
+  int unassigned_before = 0;
+  for (model::ClientId i = 0; i < 40; ++i)
+    if (!alloc.is_assigned(i)) ++unassigned_before;
+  reassign_until_steady(alloc, opts);
+  int unassigned_after = 0;
+  for (model::ClientId i = 0; i < 40; ++i)
+    if (!alloc.is_assigned(i)) ++unassigned_after;
+  EXPECT_LE(unassigned_after, unassigned_before);
+  EXPECT_TRUE(model::is_feasible(alloc));
+}
+
+TEST(Reassign, SteadyStateIsFixedPoint) {
+  workload::ScenarioParams params;
+  params.num_clients = 20;
+  const auto cloud = workload::make_scenario(params, 47);
+  AllocatorOptions opts;
+  Rng rng(47);
+  Allocation alloc = build_initial_solution(cloud, opts, rng);
+  reassign_until_steady(alloc, opts, 20);
+  const double steady = model::profit(alloc);
+  const double extra = reassign_pass(alloc, opts);
+  EXPECT_NEAR(model::profit(alloc), steady, 1e-6 * std::abs(steady) + 1e-6);
+  EXPECT_LE(extra, 1e-4 * std::max(std::abs(steady), 1.0));
+}
+
+class ReassignProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReassignProperty, MonotoneAndFeasible) {
+  workload::ScenarioParams params;
+  params.num_clients = 25;
+  params.servers_per_cluster = 5;
+  const auto cloud = workload::make_scenario(params, GetParam());
+  AllocatorOptions opts;
+  Rng rng(GetParam() * 7 + 1);
+  // Random (not greedy) start exercises more reassign paths.
+  std::vector<model::ClusterId> assignment(25);
+  for (auto& k : assignment)
+    k = static_cast<model::ClusterId>(
+        rng.uniform_int(0, cloud.num_clusters() - 1));
+  Allocation alloc = build_from_assignment(cloud, assignment, opts);
+  double profit_now = model::profit(alloc);
+  for (int round = 0; round < 3; ++round) {
+    reassign_pass(alloc, opts);
+    const double next = model::profit(alloc);
+    EXPECT_GE(next, profit_now - 1e-9);
+    profit_now = next;
+    ASSERT_TRUE(model::is_feasible(alloc));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReassignProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace cloudalloc::alloc

@@ -1,0 +1,68 @@
+#include "model/report.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "workload/scenario.h"
+
+namespace cloudalloc::model {
+namespace {
+
+ProfitBreakdown sample_breakdown() {
+  const Cloud cloud = workload::make_tiny_scenario(3);
+  Allocation alloc(cloud);
+  alloc.assign(0, 0, {Placement{0, 1.0, 0.5, 0.5}});
+  alloc.assign(1, 0, {Placement{1, 1.0, 0.6, 0.6}});
+  // Client 2 left unserved.
+  return evaluate(alloc);
+}
+
+TEST(Report, SummaryLineMentionsTheNumbers) {
+  const auto breakdown = sample_breakdown();
+  const std::string line = summary_line(breakdown, 4);
+  EXPECT_NE(line.find("profit"), std::string::npos);
+  EXPECT_NE(line.find("2/4 active"), std::string::npos);
+  EXPECT_NE(line.find("2/3 served"), std::string::npos);
+}
+
+TEST(Report, ClientTableSortsUnservedFirst) {
+  const auto breakdown = sample_breakdown();
+  std::ostringstream os;
+  client_table(breakdown).print(os);
+  const std::string out = os.str();
+  const auto unserved_pos = out.find("unserved");
+  ASSERT_NE(unserved_pos, std::string::npos);
+  // The unserved row appears before any served revenue rows.
+  const auto first_data_row = out.find('\n', out.find("---"));
+  EXPECT_LT(unserved_pos, out.find("0.", first_data_row));
+}
+
+TEST(Report, MaxClientsTruncates) {
+  const auto breakdown = sample_breakdown();
+  ReportOptions options;
+  options.max_clients = 1;
+  EXPECT_EQ(client_table(breakdown, options).rows(), 1u);
+  options.max_clients = 0;
+  EXPECT_EQ(client_table(breakdown, options).rows(), 3u);
+}
+
+TEST(Report, ServerTableListsOnlyActive) {
+  const auto breakdown = sample_breakdown();
+  EXPECT_EQ(server_table(breakdown).rows(), 2u);
+}
+
+TEST(Report, PrintReportCombinesSections) {
+  const auto breakdown = sample_breakdown();
+  std::ostringstream os;
+  ReportOptions options;
+  options.include_servers = true;
+  print_report(os, breakdown, 4, options);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("profit"), std::string::npos);
+  EXPECT_NE(out.find("response_time"), std::string::npos);
+  EXPECT_NE(out.find("utilization_p"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cloudalloc::model

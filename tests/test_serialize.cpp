@@ -1,0 +1,154 @@
+#include "model/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "alloc/allocator.h"
+#include "model/evaluator.h"
+#include "model/feasibility.h"
+#include "workload/scenario.h"
+
+namespace cloudalloc::model {
+namespace {
+
+TEST(SerializeCloud, RoundTripsTinyScenario) {
+  const Cloud original = workload::make_tiny_scenario(4);
+  const Json doc = cloud_to_json(original);
+  std::string error;
+  const auto restored = cloud_from_json(doc, &error);
+  ASSERT_TRUE(restored.has_value()) << error;
+
+  EXPECT_EQ(restored->num_clients(), original.num_clients());
+  EXPECT_EQ(restored->num_servers(), original.num_servers());
+  EXPECT_EQ(restored->num_clusters(), original.num_clusters());
+  for (ClientId i = 0; i < original.num_clients(); ++i) {
+    EXPECT_DOUBLE_EQ(restored->client(i).lambda_pred,
+                     original.client(i).lambda_pred);
+    EXPECT_DOUBLE_EQ(restored->client(i).alpha_p, original.client(i).alpha_p);
+    EXPECT_DOUBLE_EQ(restored->client(i).disk, original.client(i).disk);
+    for (double r : {0.1, 1.0, 3.0})
+      EXPECT_DOUBLE_EQ(restored->utility_of(i).value(r),
+                       original.utility_of(i).value(r));
+  }
+  for (ServerId j = 0; j < original.num_servers(); ++j) {
+    EXPECT_EQ(restored->server(j).cluster, original.server(j).cluster);
+    EXPECT_DOUBLE_EQ(restored->server_class_of(j).cap_p,
+                     original.server_class_of(j).cap_p);
+  }
+}
+
+TEST(SerializeCloud, RoundTripsThroughText) {
+  const Cloud original =
+      workload::make_scenario(workload::ScenarioParams{}, 77);
+  const std::string text = cloud_to_json(original).dump(2);
+  const auto doc = Json::parse(text);
+  ASSERT_TRUE(doc.has_value());
+  const auto restored = cloud_from_json(*doc);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_DOUBLE_EQ(restored->total_cap_p(), original.total_cap_p());
+  EXPECT_DOUBLE_EQ(restored->total_demand_p(), original.total_demand_p());
+}
+
+TEST(SerializeCloud, PreservesStepUtilities) {
+  std::vector<ServerClass> classes{
+      ServerClass{0, "c", 4.0, 4.0, 4.0, 1.0, 1.0}};
+  std::vector<UtilityClass> utilities{UtilityClass{
+      0, std::make_shared<StepUtility>(std::vector<double>{1.0, 2.0},
+                                       std::vector<double>{5.0, 2.0})}};
+  std::vector<Server> servers{Server{0, 0, 0, {}}};
+  std::vector<Cluster> clusters{Cluster{0, "k", {0}}};
+  Client c;
+  c.id = 0;
+  const Cloud original(classes, servers, clusters, utilities, {c});
+
+  const auto restored = cloud_from_json(cloud_to_json(original));
+  ASSERT_TRUE(restored.has_value());
+  for (double r : {0.5, 1.0, 1.5, 2.0, 2.5})
+    EXPECT_DOUBLE_EQ(restored->utility_of(0).value(r),
+                     original.utility_of(0).value(r));
+}
+
+TEST(SerializeCloud, PreservesBackgroundLoad) {
+  std::vector<ServerClass> classes{
+      ServerClass{0, "c", 4.0, 4.0, 4.0, 1.0, 1.0}};
+  std::vector<UtilityClass> utilities{
+      UtilityClass{0, std::make_shared<LinearUtility>(2.0, 0.5)}};
+  Server sv{0, 0, 0, BackgroundLoad{0.25, 0.1, 1.5, true}};
+  std::vector<Cluster> clusters{Cluster{0, "k", {0}}};
+  Client c;
+  c.id = 0;
+  const Cloud original(classes, {sv}, clusters, utilities, {c});
+
+  const auto restored = cloud_from_json(cloud_to_json(original));
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_DOUBLE_EQ(restored->server(0).background.phi_p, 0.25);
+  EXPECT_DOUBLE_EQ(restored->server(0).background.disk, 1.5);
+  EXPECT_TRUE(restored->server(0).background.keeps_on);
+}
+
+TEST(SerializeCloud, RejectsWrongFormat) {
+  std::string error;
+  EXPECT_FALSE(cloud_from_json(Json(JsonObject{}), &error).has_value());
+  EXPECT_FALSE(error.empty());
+  JsonObject o;
+  o.emplace("format", "something.else");
+  EXPECT_FALSE(cloud_from_json(Json(std::move(o))).has_value());
+}
+
+TEST(SerializeAllocation, RoundTripsSolvedAllocation) {
+  const Cloud cloud = workload::make_tiny_scenario(4);
+  const auto solved = alloc::ResourceAllocator().run(cloud);
+  const Json doc = allocation_to_json(solved.allocation);
+
+  std::string error;
+  const auto restored = allocation_from_json(cloud, doc, &error);
+  ASSERT_TRUE(restored.has_value()) << error;
+  EXPECT_TRUE(is_feasible(*restored));
+  EXPECT_DOUBLE_EQ(profit(*restored), profit(solved.allocation));
+  for (ClientId i = 0; i < cloud.num_clients(); ++i) {
+    EXPECT_EQ(restored->cluster_of(i), solved.allocation.cluster_of(i));
+    EXPECT_EQ(restored->placements(i).size(),
+              solved.allocation.placements(i).size());
+  }
+}
+
+TEST(SerializeAllocation, UnassignedClientsStayUnassigned) {
+  const Cloud cloud = workload::make_tiny_scenario(3);
+  Allocation partial(cloud);
+  partial.assign(1, 0, {Placement{0, 1.0, 0.5, 0.5}});
+  const auto restored =
+      allocation_from_json(cloud, allocation_to_json(partial));
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_FALSE(restored->is_assigned(0));
+  EXPECT_TRUE(restored->is_assigned(1));
+  EXPECT_FALSE(restored->is_assigned(2));
+}
+
+TEST(SerializeAllocation, RejectsOutOfRangeIds) {
+  const Cloud cloud = workload::make_tiny_scenario(2);
+  Allocation alloc(cloud);
+  alloc.assign(0, 0, {Placement{0, 1.0, 0.5, 0.5}});
+  Json doc = allocation_to_json(alloc);
+  // Corrupt the client id.
+  JsonObject root = doc.as_object();
+  JsonArray assignments = root.at("assignments").as_array();
+  JsonObject entry = assignments[0].as_object();
+  entry["client"] = Json(99);
+  assignments[0] = Json(std::move(entry));
+  root["assignments"] = Json(std::move(assignments));
+  std::string error;
+  EXPECT_FALSE(
+      allocation_from_json(cloud, Json(std::move(root)), &error).has_value());
+  EXPECT_NE(error.find("client"), std::string::npos);
+}
+
+TEST(SerializeFiles, SaveAndLoadRoundTrip) {
+  const std::string path = "/tmp/cloudalloc_test_file.json";
+  ASSERT_TRUE(save_text_file(path, "{\"x\": 1}"));
+  const auto text = load_text_file(path);
+  ASSERT_TRUE(text.has_value());
+  EXPECT_EQ(*text, "{\"x\": 1}");
+  EXPECT_FALSE(load_text_file("/nonexistent/dir/file.json").has_value());
+}
+
+}  // namespace
+}  // namespace cloudalloc::model

@@ -1,0 +1,117 @@
+#include "alloc/server_power.h"
+
+#include <gtest/gtest.h>
+
+#include "alloc/initial.h"
+#include "common/rng.h"
+#include "model/evaluator.h"
+#include "model/feasibility.h"
+#include "workload/scenario.h"
+
+namespace cloudalloc::alloc {
+namespace {
+
+using model::Allocation;
+using model::Placement;
+
+TEST(TurnOff, ConsolidatesWastefulSpread) {
+  const auto cloud = workload::make_tiny_scenario(2);
+  AllocatorOptions opts;
+  Allocation alloc(cloud);
+  // Two tiny clients on two separate servers of cluster 0: paying two
+  // fixed costs where one server would do.
+  alloc.assign(0, 0, {Placement{0, 1.0, 0.35, 0.35}});
+  alloc.assign(1, 0, {Placement{1, 1.0, 0.35, 0.35}});
+  const double before = model::profit(alloc);
+  const int active_before = alloc.num_active_servers();
+  const double delta = turn_off_servers(alloc, 0, opts);
+  EXPECT_GE(delta, 0.0);
+  EXPECT_GE(model::profit(alloc), before - 1e-9);
+  EXPECT_LE(alloc.num_active_servers(), active_before);
+  EXPECT_TRUE(model::is_feasible(alloc));
+  // Both clients must still be served.
+  EXPECT_TRUE(alloc.is_assigned(0));
+  EXPECT_TRUE(alloc.is_assigned(1));
+}
+
+TEST(TurnOff, LeavesNecessaryServersAlone) {
+  const auto cloud = workload::make_tiny_scenario(8);
+  AllocatorOptions opts;
+  Allocation alloc(cloud);
+  // Clients 6 (lambda 4.0, alpha_p 0.8) and 7 (lambda 4.5, alpha_p 0.85):
+  // their combined load exceeds even the large server's capacity, so no
+  // single server of cluster 0 can host both — consolidation must fail.
+  alloc.assign(6, 0, {Placement{0, 1.0, 0.9, 0.9}});
+  alloc.assign(7, 0, {Placement{1, 1.0, 0.9, 0.9}});
+  turn_off_servers(alloc, 0, opts);
+  EXPECT_TRUE(alloc.is_assigned(6));
+  EXPECT_TRUE(alloc.is_assigned(7));
+  EXPECT_EQ(alloc.num_active_servers(), 2);
+}
+
+TEST(TurnOn, HelpsDegradedClients) {
+  const auto cloud = workload::make_tiny_scenario(3);
+  AllocatorOptions opts;
+  Allocation alloc(cloud);
+  // Cram three clients onto one server with slim shares: they are all
+  // degraded, and an idle server (id 1) is available.
+  alloc.assign(0, 0, {Placement{0, 1.0, 0.20, 0.20}});
+  alloc.assign(1, 0, {Placement{0, 1.0, 0.30, 0.30}});
+  alloc.assign(2, 0, {Placement{0, 1.0, 0.45, 0.45}});
+  const double before = model::profit(alloc);
+  const double delta = turn_on_servers(alloc, 0, opts);
+  EXPECT_GE(delta, 0.0);
+  EXPECT_GE(model::profit(alloc), before - 1e-9);
+  EXPECT_TRUE(model::is_feasible(alloc));
+}
+
+TEST(TurnOn, NoOpWhenEveryoneHappy) {
+  const auto cloud = workload::make_tiny_scenario(1);
+  AllocatorOptions opts;
+  Allocation alloc(cloud);
+  alloc.assign(0, 0, {Placement{1, 1.0, 0.9, 0.9}});  // lavish shares
+  const double delta = turn_on_servers(alloc, 0, opts);
+  EXPECT_DOUBLE_EQ(delta, 0.0);
+}
+
+TEST(AdjustServerPower, MonotoneAcrossClusters) {
+  workload::ScenarioParams params;
+  params.num_clients = 30;
+  params.servers_per_cluster = 6;
+  const auto cloud = workload::make_scenario(params, 31);
+  AllocatorOptions opts;
+  Rng rng(31);
+  Allocation alloc = build_initial_solution(cloud, opts, rng);
+  const double before = model::profit(alloc);
+  const double delta = adjust_server_power(alloc, opts);
+  EXPECT_GE(delta, -1e-9);
+  EXPECT_GE(model::profit(alloc), before - 1e-9);
+  EXPECT_TRUE(model::is_feasible(alloc));
+}
+
+class ServerPowerProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ServerPowerProperty, NeverLosesClientsOrFeasibility) {
+  workload::ScenarioParams params;
+  params.num_clients = 24;
+  params.servers_per_cluster = 5;
+  const auto cloud = workload::make_scenario(params, GetParam());
+  AllocatorOptions opts;
+  Rng rng(GetParam());
+  Allocation alloc = build_initial_solution(cloud, opts, rng);
+  int assigned_before = 0;
+  for (model::ClientId i = 0; i < cloud.num_clients(); ++i)
+    if (alloc.is_assigned(i)) ++assigned_before;
+  adjust_server_power(alloc, opts);
+  int assigned_after = 0;
+  for (model::ClientId i = 0; i < cloud.num_clients(); ++i)
+    if (alloc.is_assigned(i)) ++assigned_after;
+  EXPECT_GE(assigned_after, assigned_before);
+  EXPECT_TRUE(model::is_feasible(alloc));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ServerPowerProperty,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace cloudalloc::alloc

@@ -1,0 +1,350 @@
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+#include "model/evaluator.h"
+#include "queueing/mm1.h"
+#include "sim/event_queue.h"
+#include "sim/gps_station.h"
+#include "sim/runner.h"
+#include "sim/simulation.h"
+#include "workload/scenario.h"
+
+namespace cloudalloc::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(3.0, [&] { fired.push_back(3); });
+  q.schedule(1.0, [&] { fired.push_back(1); });
+  q.schedule(2.0, [&] { fired.push_back(2); });
+  while (auto e = q.pop()) e->second();
+  EXPECT_EQ(fired, std::vector<int>({1, 2, 3}));
+}
+
+TEST(EventQueue, TieBreaksFifo) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(1.0, [&] { fired.push_back(1); });
+  q.schedule(1.0, [&] { fired.push_back(2); });
+  while (auto e = q.pop()) e->second();
+  EXPECT_EQ(fired, std::vector<int>({1, 2}));
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule(1.0, [&] { fired = true; });
+  q.cancel(id);
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelUnknownIdIsNoOp) {
+  EventQueue q;
+  q.cancel(12345);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Simulation, ClockAdvancesWithEvents) {
+  Simulation sim(1);
+  std::vector<double> times;
+  sim.schedule_in(2.0, [&] { times.push_back(sim.now()); });
+  sim.schedule_in(1.0, [&] {
+    times.push_back(sim.now());
+    sim.schedule_in(0.5, [&] { times.push_back(sim.now()); });
+  });
+  sim.run_until();
+  ASSERT_EQ(times.size(), 3u);
+  EXPECT_DOUBLE_EQ(times[0], 1.0);
+  EXPECT_DOUBLE_EQ(times[1], 1.5);
+  EXPECT_DOUBLE_EQ(times[2], 2.0);
+}
+
+TEST(Simulation, HorizonStopsExecution) {
+  Simulation sim(1);
+  int fired = 0;
+  sim.schedule_in(1.0, [&] { ++fired; });
+  sim.schedule_in(5.0, [&] { ++fired; });
+  sim.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+}
+
+// Single GPS flow = M/M/1: tail percentiles must match the exponential
+// sojourn law T_p = -ln(1-p)/(mu - lambda).
+TEST(GpsStation, SingleFlowQuantilesMatchMm1Law) {
+  Simulation sim(77);
+  GpsStation station(sim, /*capacity=*/4.0, GpsMode::kIsolated);
+  std::vector<double> sojourns;
+  const double phi = 0.5, alpha = 0.5, lambda = 2.0;
+  const double mu = phi * 4.0 / alpha;  // 4.0
+  const int flow = station.add_flow(phi, alpha, [&](double start) {
+    if (start > 300.0) sojourns.push_back(sim.now() - start);
+  });
+  std::function<void()> arrive = [&] {
+    if (sim.now() >= 8000.0) return;
+    station.arrive(flow, sim.now());
+    sim.schedule_in(sim.rng().exponential(lambda), arrive);
+  };
+  sim.schedule_in(sim.rng().exponential(lambda), arrive);
+  sim.run_until();
+  ASSERT_GT(sojourns.size(), 5000u);
+  for (double p : {0.5, 0.9, 0.95}) {
+    const double expected = queueing::mm1_response_quantile(lambda, mu, p);
+    const double measured = cloudalloc::quantile(sojourns, p);
+    EXPECT_NEAR(measured, expected, 0.10 * expected)
+        << "quantile p=" << p;
+  }
+}
+
+// Single GPS flow = M/M/1: simulated mean sojourn must match 1/(mu-lambda).
+TEST(GpsStation, SingleFlowMatchesMm1) {
+  Simulation sim(42);
+  GpsStation station(sim, /*capacity=*/4.0, GpsMode::kIsolated);
+  Summary sojourns;
+  const double phi = 0.5, alpha = 0.5, lambda = 2.0;
+  const double mu = phi * 4.0 / alpha;  // 4.0
+  const int flow = station.add_flow(phi, alpha, [&](double start) {
+    if (start > 200.0) sojourns.add(sim.now() - start);
+  });
+  // Poisson arrivals until t = 4000.
+  std::function<void()> arrive = [&] {
+    if (sim.now() >= 4000.0) return;
+    station.arrive(flow, sim.now());
+    sim.schedule_in(sim.rng().exponential(lambda), arrive);
+  };
+  sim.schedule_in(sim.rng().exponential(lambda), arrive);
+  sim.run_until();
+  const double expected = queueing::mm1_response_time(lambda, mu);
+  EXPECT_GT(sojourns.count(), 1000u);
+  EXPECT_NEAR(sojourns.mean(), expected, 4.0 * sojourns.ci95_halfwidth() +
+                                             0.05 * expected);
+}
+
+// Two isolated flows behave as independent M/M/1 queues.
+TEST(GpsStation, TwoIsolatedFlowsMatchTheory) {
+  Simulation sim(43);
+  GpsStation station(sim, 6.0, GpsMode::kIsolated);
+  Summary s0, s1;
+  const int f0 = station.add_flow(0.5, 0.6, [&](double start) {
+    if (start > 200.0) s0.add(sim.now() - start);
+  });
+  const int f1 = station.add_flow(0.3, 0.4, [&](double start) {
+    if (start > 200.0) s1.add(sim.now() - start);
+  });
+  const double lambda0 = 2.0, lambda1 = 1.5;
+  std::function<void()> a0 = [&] {
+    if (sim.now() >= 3000.0) return;
+    station.arrive(f0, sim.now());
+    sim.schedule_in(sim.rng().exponential(lambda0), a0);
+  };
+  std::function<void()> a1 = [&] {
+    if (sim.now() >= 3000.0) return;
+    station.arrive(f1, sim.now());
+    sim.schedule_in(sim.rng().exponential(lambda1), a1);
+  };
+  sim.schedule_in(0.01, a0);
+  sim.schedule_in(0.02, a1);
+  sim.run_until();
+  const double e0 = queueing::mm1_response_time(lambda0, 0.5 * 6.0 / 0.6);
+  const double e1 = queueing::mm1_response_time(lambda1, 0.3 * 6.0 / 0.4);
+  EXPECT_NEAR(s0.mean(), e0, 4.0 * s0.ci95_halfwidth() + 0.05 * e0);
+  EXPECT_NEAR(s1.mean(), e1, 4.0 * s1.ci95_halfwidth() + 0.05 * e1);
+}
+
+// Work-conserving GPS can only be (weakly) faster than isolated shares.
+TEST(GpsStation, WorkConservingDominatesIsolated) {
+  auto run = [](GpsMode mode) {
+    Simulation sim(44);
+    GpsStation station(sim, 4.0, mode);
+    Summary sojourns;
+    const int f0 = station.add_flow(0.5, 0.5, [&](double start) {
+      if (start > 100.0) sojourns.add(sim.now() - start);
+    });
+    // A second, lightly loaded flow leaves idle capacity to reclaim.
+    const int f1 = station.add_flow(0.5, 0.5, [](double) {});
+    const double lambda0 = 3.0, lambda1 = 0.3;
+    std::function<void()> a0 = [&] {
+      if (sim.now() >= 2000.0) return;
+      station.arrive(f0, sim.now());
+      sim.schedule_in(sim.rng().exponential(lambda0), a0);
+    };
+    std::function<void()> a1 = [&] {
+      if (sim.now() >= 2000.0) return;
+      station.arrive(f1, sim.now());
+      sim.schedule_in(sim.rng().exponential(lambda1), a1);
+    };
+    sim.schedule_in(0.01, a0);
+    sim.schedule_in(0.02, a1);
+    sim.run_until();
+    return sojourns.mean();
+  };
+  const double isolated = run(GpsMode::kIsolated);
+  const double conserving = run(GpsMode::kWorkConserving);
+  EXPECT_LT(conserving, isolated * 1.02);
+}
+
+TEST(GpsStation, RejectsOverfullWeights) {
+  Simulation sim(1);
+  GpsStation station(sim, 4.0, GpsMode::kIsolated);
+  station.add_flow(0.7, 1.0, [](double) {});
+  EXPECT_DEATH(station.add_flow(0.5, 1.0, [](double) {}), "sum to");
+}
+
+TEST(Runner, ValidatesAnalyticModelOnTinyAllocation) {
+  const auto cloud = workload::make_tiny_scenario(3);
+  model::Allocation alloc(cloud);
+  alloc.assign(0, 0, {model::Placement{0, 1.0, 0.5, 0.5}});
+  alloc.assign(1, 0, {model::Placement{1, 1.0, 0.6, 0.6}});
+  alloc.assign(2, 1,
+               {model::Placement{2, 0.5, 0.4, 0.4},
+                model::Placement{3, 0.5, 0.4, 0.4}});
+  SimOptions opts;
+  opts.horizon = 3000.0;
+  opts.seed = 5;
+  const auto report = simulate_allocation(alloc, opts);
+  ASSERT_EQ(report.clients.size(), 3u);
+  EXPECT_GT(report.total_completed, 1000u);
+  for (const auto& c : report.clients) {
+    EXPECT_GT(c.completed, 100u);
+    EXPECT_NEAR(c.mean_response, c.analytic_response,
+                4.0 * c.ci95 + 0.08 * c.analytic_response)
+        << "client " << c.id;
+  }
+  EXPECT_LT(report.mean_abs_rel_error, 0.10);
+}
+
+TEST(Runner, UnassignedClientsGenerateNothing) {
+  const auto cloud = workload::make_tiny_scenario(2);
+  model::Allocation alloc(cloud);
+  alloc.assign(0, 0, {model::Placement{0, 1.0, 0.5, 0.5}});
+  SimOptions opts;
+  opts.horizon = 200.0;
+  const auto report = simulate_allocation(alloc, opts);
+  EXPECT_EQ(report.clients.size(), 1u);  // only the assigned client
+}
+
+TEST(Runner, PercentilesAreOrderedAndBracketTheMean) {
+  const auto cloud = workload::make_tiny_scenario(2);
+  model::Allocation alloc(cloud);
+  alloc.assign(0, 0, {model::Placement{0, 1.0, 0.5, 0.5}});
+  SimOptions opts;
+  opts.horizon = 1500.0;
+  opts.seed = 21;
+  const auto report = simulate_allocation(alloc, opts);
+  ASSERT_EQ(report.clients.size(), 1u);
+  const auto& c = report.clients[0];
+  EXPECT_GT(c.p50, 0.0);
+  EXPECT_LE(c.p50, c.p95);
+  EXPECT_LE(c.p95, c.p99);
+  // Exponential-ish sojourns: median below mean, p99 well above.
+  EXPECT_LT(c.p50, c.mean_response);
+  EXPECT_GT(c.p99, c.mean_response);
+}
+
+TEST(Runner, PercentileCollectionCanBeDisabled) {
+  const auto cloud = workload::make_tiny_scenario(1);
+  model::Allocation alloc(cloud);
+  alloc.assign(0, 0, {model::Placement{0, 1.0, 0.5, 0.5}});
+  SimOptions opts;
+  opts.horizon = 300.0;
+  opts.collect_percentiles = false;
+  const auto report = simulate_allocation(alloc, opts);
+  EXPECT_DOUBLE_EQ(report.clients[0].p50, 0.0);
+  EXPECT_DOUBLE_EQ(report.clients[0].p99, 0.0);
+}
+
+TEST(Runner, MeasuredUtilizationTracksAnalytic) {
+  const auto cloud = workload::make_tiny_scenario(2);
+  model::Allocation alloc(cloud);
+  alloc.assign(0, 0, {model::Placement{0, 1.0, 0.5, 0.5}});
+  alloc.assign(1, 0, {model::Placement{0, 1.0, 0.4, 0.4}});
+  SimOptions opts;
+  opts.horizon = 3000.0;
+  opts.seed = 23;
+  const auto report = simulate_allocation(alloc, opts);
+  ASSERT_EQ(report.servers.size(), 1u);
+  const auto& s = report.servers[0];
+  EXPECT_GT(s.analytic_util_p, 0.0);
+  EXPECT_NEAR(s.measured_util_p, s.analytic_util_p,
+              0.1 * s.analytic_util_p + 0.01);
+}
+
+TEST(Runner, DemandFactorScalesCompletedRequests) {
+  const auto cloud = workload::make_tiny_scenario(1);
+  model::Allocation alloc(cloud);
+  alloc.assign(0, 0, {model::Placement{0, 1.0, 0.6, 0.6}});
+  SimOptions base, doubled;
+  base.horizon = doubled.horizon = 2000.0;
+  base.seed = doubled.seed = 31;
+  base.collect_percentiles = doubled.collect_percentiles = false;
+  doubled.demand_factor = 2.0;
+  const auto r1 = simulate_allocation(alloc, base);
+  const auto r2 = simulate_allocation(alloc, doubled);
+  EXPECT_NEAR(static_cast<double>(r2.total_completed),
+              2.0 * static_cast<double>(r1.total_completed),
+              0.1 * static_cast<double>(r2.total_completed));
+}
+
+TEST(Runner, DynamicDispatchMatchesStaticAtPlannedLoad) {
+  // Split client, demand as planned: both dispatchers deliver similar
+  // mean response times (dynamic may be modestly better).
+  const auto cloud = workload::make_tiny_scenario(1);
+  model::Allocation alloc(cloud);
+  alloc.assign(0, 0,
+               {model::Placement{0, 0.5, 0.4, 0.4},
+                model::Placement{1, 0.5, 0.4, 0.4}});
+  SimOptions stat, dyn;
+  stat.horizon = dyn.horizon = 3000.0;
+  stat.seed = dyn.seed = 33;
+  stat.collect_percentiles = dyn.collect_percentiles = false;
+  dyn.dispatch = DispatchPolicy::kLeastExpectedWait;
+  const auto r_static = simulate_allocation(alloc, stat);
+  const auto r_dynamic = simulate_allocation(alloc, dyn);
+  EXPECT_LE(r_dynamic.clients[0].mean_response,
+            r_static.clients[0].mean_response * 1.1);
+}
+
+TEST(Runner, DynamicDispatchAbsorbsOverload) {
+  // Demand 25% above plan: reacting to backlog must not be worse than
+  // blindly sampling psi.
+  const auto cloud = workload::make_tiny_scenario(1);
+  model::Allocation alloc(cloud);
+  alloc.assign(0, 0,
+               {model::Placement{0, 0.5, 0.35, 0.35},
+                model::Placement{1, 0.5, 0.35, 0.35}});
+  SimOptions stat, dyn;
+  stat.horizon = dyn.horizon = 3000.0;
+  stat.seed = dyn.seed = 37;
+  stat.demand_factor = dyn.demand_factor = 1.25;
+  stat.collect_percentiles = dyn.collect_percentiles = false;
+  dyn.dispatch = DispatchPolicy::kLeastExpectedWait;
+  const auto r_static = simulate_allocation(alloc, stat);
+  const auto r_dynamic = simulate_allocation(alloc, dyn);
+  EXPECT_LE(r_dynamic.clients[0].mean_response,
+            r_static.clients[0].mean_response * 1.05);
+}
+
+TEST(Runner, WorkConservingModeRunsAndIsNoSlower) {
+  const auto cloud = workload::make_tiny_scenario(2);
+  model::Allocation alloc(cloud);
+  alloc.assign(0, 0, {model::Placement{0, 1.0, 0.4, 0.4}});
+  alloc.assign(1, 0, {model::Placement{0, 1.0, 0.5, 0.5}});
+  SimOptions iso, wc;
+  iso.horizon = wc.horizon = 2000.0;
+  iso.seed = wc.seed = 11;
+  wc.mode = GpsMode::kWorkConserving;
+  const auto r_iso = simulate_allocation(alloc, iso);
+  const auto r_wc = simulate_allocation(alloc, wc);
+  double mean_iso = 0.0, mean_wc = 0.0;
+  for (const auto& c : r_iso.clients) mean_iso += c.mean_response;
+  for (const auto& c : r_wc.clients) mean_wc += c.mean_response;
+  EXPECT_LE(mean_wc, mean_iso * 1.05);
+}
+
+}  // namespace
+}  // namespace cloudalloc::sim

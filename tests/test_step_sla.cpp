@@ -1,0 +1,117 @@
+// End-to-end behavior with discrete (staircase) SLAs: the related work the
+// paper extends (Zhang & Ardagna) prices discrete response-time brackets.
+// The heuristic drives StepUtility through its secant-slope linearization;
+// these tests pin down that the whole pipeline still works and earns.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "alloc/allocator.h"
+#include "common/rng.h"
+#include "model/evaluator.h"
+#include "model/feasibility.h"
+#include "workload/scenario.h"
+
+namespace cloudalloc {
+namespace {
+
+/// The tiny topology with staircase utility classes instead of linear.
+model::Cloud step_cloud(int num_clients) {
+  const model::Cloud base = workload::make_tiny_scenario(1);
+  std::vector<model::UtilityClass> utilities;
+  utilities.push_back(model::UtilityClass{
+      0, std::make_shared<model::StepUtility>(
+             std::vector<double>{0.8, 1.6, 3.0},
+             std::vector<double>{3.0, 2.0, 0.8})});
+  utilities.push_back(model::UtilityClass{
+      1, std::make_shared<model::StepUtility>(
+             std::vector<double>{0.5, 1.2},
+             std::vector<double>{4.0, 1.5})});
+
+  std::vector<model::Client> clients;
+  Rng rng(17);
+  for (int i = 0; i < num_clients; ++i) {
+    model::Client c;
+    c.id = i;
+    c.utility_class = i % 2;
+    c.lambda_agreed = c.lambda_pred = rng.uniform(0.5, 2.0);
+    c.alpha_p = rng.uniform(0.4, 0.8);
+    c.alpha_n = rng.uniform(0.4, 0.8);
+    c.disk = rng.uniform(0.2, 0.8);
+    clients.push_back(c);
+  }
+  return model::Cloud(base.server_classes(), base.servers(), base.clusters(),
+                      std::move(utilities), std::move(clients));
+}
+
+TEST(StepSla, AllocatorProducesFeasibleProfitableResult) {
+  const auto cloud = step_cloud(4);
+  const auto result = alloc::ResourceAllocator().run(cloud);
+  EXPECT_TRUE(model::is_feasible(result.allocation));
+  EXPECT_GT(result.report.final_profit, 0.0);
+  EXPECT_EQ(result.report.unassigned_clients, 0);
+}
+
+TEST(StepSla, RevenueLandsOnAStep) {
+  const auto cloud = step_cloud(2);
+  const auto result = alloc::ResourceAllocator().run(cloud);
+  const auto breakdown = model::evaluate(result.allocation);
+  for (const auto& c : breakdown.clients) {
+    if (!c.assigned) continue;
+    // Delivered utility must be one of the class's discrete levels (or 0).
+    const auto& fn = cloud.utility_of(c.id);
+    bool on_step = c.utility == 0.0;
+    for (double r = 0.0; r <= fn.zero_crossing(); r += 0.01)
+      on_step = on_step || c.utility == fn.value(r);
+    EXPECT_TRUE(on_step) << "client " << c.id << " utility " << c.utility;
+  }
+}
+
+TEST(StepSla, LocalSearchMonotoneUnderStaircase) {
+  const auto cloud = step_cloud(5);
+  alloc::AllocatorOptions opts;
+  alloc::ResourceAllocator allocator(opts);
+  const auto result = allocator.run(cloud);
+  EXPECT_GE(result.report.final_profit, result.report.initial_profit - 1e-9);
+}
+
+TEST(StepSla, SecantSlopeGuidesTowardHigherSteps) {
+  // A generously provisioned client should land inside the first bracket
+  // (maximum price), not merely above zero.
+  const auto cloud = step_cloud(1);
+  const auto result = alloc::ResourceAllocator().run(cloud);
+  const auto breakdown = model::evaluate(result.allocation);
+  ASSERT_TRUE(breakdown.clients[0].assigned);
+  const auto& fn = cloud.utility_of(0);
+  EXPECT_DOUBLE_EQ(breakdown.clients[0].utility, fn.max_value());
+}
+
+TEST(StepSla, MixedLinearAndStepClassesCoexist) {
+  const model::Cloud base = workload::make_tiny_scenario(1);
+  std::vector<model::UtilityClass> utilities;
+  utilities.push_back(model::UtilityClass{
+      0, std::make_shared<model::LinearUtility>(3.0, 0.8)});
+  utilities.push_back(model::UtilityClass{
+      1, std::make_shared<model::StepUtility>(std::vector<double>{1.0, 2.0},
+                                              std::vector<double>{3.0, 1.0})});
+  std::vector<model::Client> clients;
+  for (int i = 0; i < 4; ++i) {
+    model::Client c;
+    c.id = i;
+    c.utility_class = i % 2;
+    c.lambda_agreed = c.lambda_pred = 1.0 + 0.3 * i;
+    c.alpha_p = 0.5;
+    c.alpha_n = 0.5;
+    c.disk = 0.5;
+    clients.push_back(c);
+  }
+  const model::Cloud cloud(base.server_classes(), base.servers(),
+                           base.clusters(), std::move(utilities),
+                           std::move(clients));
+  const auto result = alloc::ResourceAllocator().run(cloud);
+  EXPECT_TRUE(model::is_feasible(result.allocation));
+  EXPECT_GT(result.report.final_profit, 0.0);
+}
+
+}  // namespace
+}  // namespace cloudalloc

@@ -1,0 +1,105 @@
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/args.h"
+#include "common/table.h"
+
+namespace cloudalloc {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"a", "long-header"});
+  t.add_row({"xxxxxx", "1"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("xxxxxx"), std::string::npos);
+  // Header, separator, one row.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST(Table, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(1.0, 0), "1");
+}
+
+TEST(Table, CountsRows) {
+  Table t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvBasic) {
+  Table t({"a", "b"});
+  t.add_row({"1", "x"});
+  t.add_row({"2", "y"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,x\n2,y\n");
+}
+
+TEST(Table, CsvQuotesSpecialCells) {
+  Table t({"name", "note"});
+  t.add_row({"with,comma", "with\"quote"});
+  EXPECT_EQ(t.to_csv(), "name,note\n\"with,comma\",\"with\"\"quote\"\n");
+}
+
+TEST(Table, CsvWriteRoundTrips) {
+  Table t({"x"});
+  t.add_row({"42"});
+  const std::string path = "/tmp/cloudalloc_table_test.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, "x\n42\n");
+  EXPECT_FALSE(t.write_csv("/nonexistent/dir/file.csv"));
+}
+
+TEST(Args, ParsesEqualsForm) {
+  const char* argv[] = {"prog", "--clients=50", "--seed=7"};
+  Args args(3, argv);
+  EXPECT_EQ(args.get_int("clients", 0), 50);
+  EXPECT_EQ(args.get_int("seed", 0), 7);
+}
+
+TEST(Args, ParsesSpaceForm) {
+  const char* argv[] = {"prog", "--name", "value"};
+  Args args(3, argv);
+  EXPECT_EQ(args.get("name", ""), "value");
+}
+
+TEST(Args, BareFlagIsTrue) {
+  const char* argv[] = {"prog", "--verbose"};
+  Args args(2, argv);
+  EXPECT_TRUE(args.get_bool("verbose", false));
+}
+
+TEST(Args, FallbacksWhenMissing) {
+  const char* argv[] = {"prog"};
+  Args args(1, argv);
+  EXPECT_EQ(args.get_int("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 1.5), 1.5);
+  EXPECT_FALSE(args.get_bool("missing", false));
+  EXPECT_FALSE(args.has("missing"));
+}
+
+TEST(Args, PositionalAndDoubleDash) {
+  const char* argv[] = {"prog", "pos1", "--", "--not-a-flag"};
+  Args args(4, argv);
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+  EXPECT_EQ(args.positional()[1], "--not-a-flag");
+}
+
+TEST(Args, ParsesDouble) {
+  const char* argv[] = {"prog", "--x=2.5"};
+  Args args(2, argv);
+  EXPECT_DOUBLE_EQ(args.get_double("x", 0.0), 2.5);
+}
+
+}  // namespace
+}  // namespace cloudalloc

@@ -1,0 +1,118 @@
+// Tail-latency (percentile) SLAs: pricing the p95/p99 instead of the mean.
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "alloc/allocator.h"
+#include "model/evaluator.h"
+#include "model/feasibility.h"
+#include "model/serialize.h"
+#include "queueing/mm1.h"
+#include "sim/runner.h"
+#include "workload/scenario.h"
+
+namespace cloudalloc::model {
+namespace {
+
+TEST(TailSla, ScalesTheMeanByTheExponentialLaw) {
+  const auto inner = std::make_shared<LinearUtility>(3.0, 0.5);
+  TailLatencyUtility tail(inner, 0.95);
+  const double scale = -std::log(0.05);
+  EXPECT_NEAR(tail.scale(), scale, 1e-12);
+  // Pricing at mean r means pricing the inner at the p95 = scale * r.
+  for (double r : {0.1, 0.5, 1.0})
+    EXPECT_DOUBLE_EQ(tail.value(r), inner->value(r * scale));
+}
+
+TEST(TailSla, ZeroCrossingShrinksByScale) {
+  const auto inner = std::make_shared<LinearUtility>(3.0, 0.5);
+  TailLatencyUtility tail(inner, 0.95);
+  EXPECT_NEAR(tail.zero_crossing(), inner->zero_crossing() / tail.scale(),
+              1e-12);
+  // Tail SLAs are strictly harsher: the crossing is earlier.
+  EXPECT_LT(tail.zero_crossing(), inner->zero_crossing());
+}
+
+TEST(TailSla, SlopeReflectsTheChainRule) {
+  const auto inner = std::make_shared<LinearUtility>(3.0, 0.5);
+  TailLatencyUtility tail(inner, 0.9);
+  EXPECT_NEAR(tail.slope(0.1), tail.scale() * 0.5, 1e-12);
+}
+
+TEST(TailSla, MatchesMm1QuantileOnSingleQueue) {
+  // Pricing tail.value(mean) must equal inner.value(actual p-quantile)
+  // for a single M/M/1 queue.
+  const double lambda = 1.0, mu = 3.0;
+  const double mean = queueing::mm1_response_time(lambda, mu);
+  const double q95 = queueing::mm1_response_quantile(lambda, mu, 0.95);
+  const auto inner = std::make_shared<LinearUtility>(5.0, 0.8);
+  TailLatencyUtility tail(inner, 0.95);
+  EXPECT_NEAR(tail.value(mean), inner->value(q95), 1e-12);
+}
+
+TEST(TailSla, AllocatorServesTailSlaClients) {
+  const Cloud base = workload::make_tiny_scenario(1);
+  std::vector<UtilityClass> utilities;
+  utilities.push_back(UtilityClass{
+      0, std::make_shared<TailLatencyUtility>(
+             std::make_shared<LinearUtility>(6.0, 0.4), 0.95)});
+  std::vector<Client> clients;
+  for (int i = 0; i < 3; ++i) {
+    Client c;
+    c.id = i;
+    c.lambda_agreed = c.lambda_pred = 0.8 + 0.3 * i;
+    c.alpha_p = 0.5;
+    c.alpha_n = 0.5;
+    c.disk = 0.4;
+    clients.push_back(c);
+  }
+  const Cloud cloud(base.server_classes(), base.servers(), base.clusters(),
+                    std::move(utilities), std::move(clients));
+  const auto result = alloc::ResourceAllocator().run(cloud);
+  EXPECT_TRUE(is_feasible(result.allocation));
+  EXPECT_GT(result.report.final_profit, 0.0);
+  // Tail pricing forces much tighter responses than the mean-based
+  // crossing (15): everyone must sit under zc/scale ~= 5.
+  for (ClientId i = 0; i < cloud.num_clients(); ++i)
+    EXPECT_LT(result.allocation.response_time(i),
+              cloud.utility_of(i).zero_crossing());
+}
+
+TEST(TailSla, SimulatedP95MatchesThePricedQuantile) {
+  // A single-slice client: the simulator's measured p95 should be close
+  // to scale * simulated mean, which is what the utility prices.
+  const Cloud base = workload::make_tiny_scenario(1);
+  Allocation alloc(base);
+  alloc.assign(0, 0, {Placement{0, 1.0, 0.5, 0.5}});
+  sim::SimOptions opts;
+  opts.horizon = 4000.0;
+  opts.seed = 91;
+  const auto report = sim::simulate_allocation(alloc, opts);
+  const auto& c = report.clients[0];
+  const double scale = -std::log(0.05);
+  // Two pipelined stages: the hypoexponential p95 is below the
+  // single-exponential scaling (conservative pricing), but within ~30%.
+  EXPECT_LT(c.p95, scale * c.mean_response);
+  EXPECT_GT(c.p95, 0.6 * scale * c.mean_response);
+}
+
+TEST(TailSla, SerializesAndRestores) {
+  const auto inner = std::make_shared<LinearUtility>(3.0, 0.5);
+  const Cloud base = workload::make_tiny_scenario(1);
+  std::vector<UtilityClass> utilities;
+  utilities.push_back(UtilityClass{
+      0, std::make_shared<TailLatencyUtility>(inner, 0.99)});
+  Client c;
+  c.id = 0;
+  const Cloud cloud(base.server_classes(), base.servers(), base.clusters(),
+                    utilities, {c});
+  const auto restored = cloud_from_json(cloud_to_json(cloud));
+  ASSERT_TRUE(restored.has_value());
+  for (double r : {0.0, 0.2, 0.5, 1.0})
+    EXPECT_DOUBLE_EQ(restored->utility_of(0).value(r),
+                     cloud.utility_of(0).value(r));
+}
+
+}  // namespace
+}  // namespace cloudalloc::model

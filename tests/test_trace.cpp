@@ -1,0 +1,110 @@
+#include "workload/trace.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "workload/scenario.h"
+
+namespace cloudalloc::workload {
+namespace {
+
+model::Cloud small_cloud() {
+  ScenarioParams params;
+  params.num_clients = 10;
+  params.servers_per_cluster = 2;
+  return make_scenario(params, 1);
+}
+
+TEST(Trace, ShapeMatchesRequest) {
+  const auto cloud = small_cloud();
+  TraceParams params;
+  params.epochs = 6;
+  const auto trace = make_rate_trace(cloud, params, 7);
+  ASSERT_EQ(trace.size(), 6u);
+  for (const auto& epoch : trace)
+    EXPECT_EQ(epoch.size(), static_cast<std::size_t>(cloud.num_clients()));
+}
+
+TEST(Trace, DeterministicPerSeed) {
+  const auto cloud = small_cloud();
+  TraceParams params;
+  const auto a = make_rate_trace(cloud, params, 9);
+  const auto b = make_rate_trace(cloud, params, 9);
+  EXPECT_EQ(a, b);
+  const auto c = make_rate_trace(cloud, params, 10);
+  EXPECT_NE(a, c);
+}
+
+TEST(Trace, RatesArePositive) {
+  const auto cloud = small_cloud();
+  TraceParams params;
+  params.amplitude = 0.9;
+  params.noise = 0.5;
+  const auto trace = make_rate_trace(cloud, params, 11);
+  for (const auto& epoch : trace)
+    for (double r : epoch) EXPECT_GT(r, 0.0);
+}
+
+TEST(Trace, NoNoiseNoAmplitudeIsFlat) {
+  const auto cloud = small_cloud();
+  TraceParams params;
+  params.amplitude = 0.0;
+  params.noise = 0.0;
+  params.epochs = 3;
+  const auto trace = make_rate_trace(cloud, params, 13);
+  for (const auto& epoch : trace)
+    for (model::ClientId i = 0; i < cloud.num_clients(); ++i)
+      EXPECT_NEAR(epoch[static_cast<std::size_t>(i)],
+                  cloud.client(i).lambda_agreed, 1e-12);
+}
+
+TEST(Trace, DiurnalPeaksAtQuarterPeriod) {
+  const auto cloud = small_cloud();
+  TraceParams params;
+  params.epochs = 8;
+  params.period = 8;
+  params.amplitude = 0.5;
+  params.noise = 0.0;
+  const auto trace = make_rate_trace(cloud, params, 15);
+  // sin peaks at t=2 (quarter of 8) and troughs at t=6.
+  EXPECT_GT(trace[2][0], trace[0][0]);
+  EXPECT_LT(trace[6][0], trace[0][0]);
+  EXPECT_NEAR(trace[2][0], cloud.client(0).lambda_agreed * 1.5, 1e-9);
+}
+
+TEST(Trace, GrowthCompounds) {
+  const auto cloud = small_cloud();
+  TraceParams params;
+  params.epochs = 4;
+  params.amplitude = 0.0;
+  params.noise = 0.0;
+  params.growth_per_epoch = 0.1;
+  const auto trace = make_rate_trace(cloud, params, 17);
+  // Epoch t carries (1.1)^t.
+  EXPECT_NEAR(trace[3][0] / trace[0][0], 1.1 * 1.1 * 1.1, 1e-9);
+}
+
+TEST(Trace, SpikesAppearWithProbability) {
+  const auto cloud = small_cloud();
+  TraceParams params;
+  params.epochs = 50;
+  params.amplitude = 0.0;
+  params.noise = 0.0;
+  params.spike_probability = 0.2;
+  params.spike_factor = 5.0;
+  const auto trace = make_rate_trace(cloud, params, 19);
+  int spikes = 0, total = 0;
+  for (const auto& epoch : trace)
+    for (model::ClientId i = 0; i < cloud.num_clients(); ++i) {
+      ++total;
+      if (epoch[static_cast<std::size_t>(i)] >
+          cloud.client(i).lambda_agreed * 2.0)
+        ++spikes;
+    }
+  const double frequency = static_cast<double>(spikes) / total;
+  EXPECT_NEAR(frequency, 0.2, 0.06);
+}
+
+}  // namespace
+}  // namespace cloudalloc::workload

@@ -1,0 +1,95 @@
+#include "model/utility.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace cloudalloc::model {
+namespace {
+
+TEST(LinearUtility, ValueAndClipping) {
+  LinearUtility u(2.0, 0.5);
+  EXPECT_DOUBLE_EQ(u.value(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(u.value(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(u.value(4.0), 0.0);   // exactly at zero crossing
+  EXPECT_DOUBLE_EQ(u.value(10.0), 0.0);  // clipped, never negative
+}
+
+TEST(LinearUtility, ZeroCrossing) {
+  LinearUtility u(2.0, 0.5);
+  EXPECT_DOUBLE_EQ(u.zero_crossing(), 4.0);
+}
+
+TEST(LinearUtility, FlatUtilityNeverCrosses) {
+  LinearUtility u(2.0, 0.0);
+  EXPECT_TRUE(std::isinf(u.zero_crossing()));
+  EXPECT_DOUBLE_EQ(u.value(1e9), 2.0);
+  EXPECT_DOUBLE_EQ(u.slope(5.0), 0.0);
+}
+
+TEST(LinearUtility, SlopeInsideAndPastCrossing) {
+  LinearUtility u(2.0, 0.5);
+  EXPECT_DOUBLE_EQ(u.slope(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(u.slope(100.0), 0.0);
+}
+
+TEST(LinearUtility, NonIncreasingProperty) {
+  LinearUtility u(3.0, 0.7);
+  double prev = std::numeric_limits<double>::infinity();
+  for (double r = 0.0; r < 10.0; r += 0.1) {
+    const double v = u.value(r);
+    EXPECT_LE(v, prev);
+    EXPECT_GE(v, 0.0);
+    prev = v;
+  }
+}
+
+TEST(LinearUtility, CloneIsIndependentCopy) {
+  LinearUtility u(2.0, 0.5);
+  auto c = u.clone();
+  EXPECT_DOUBLE_EQ(c->value(1.0), u.value(1.0));
+  EXPECT_DOUBLE_EQ(c->max_value(), 2.0);
+}
+
+TEST(StepUtility, ValuesAtThresholds) {
+  StepUtility u({1.0, 2.0, 4.0}, {3.0, 2.0, 1.0});
+  EXPECT_DOUBLE_EQ(u.value(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(u.value(1.0), 3.0);   // inclusive threshold
+  EXPECT_DOUBLE_EQ(u.value(1.5), 2.0);
+  EXPECT_DOUBLE_EQ(u.value(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(u.value(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(u.value(4.1), 0.0);
+}
+
+TEST(StepUtility, MaxAndCrossing) {
+  StepUtility u({1.0, 2.0}, {5.0, 1.0});
+  EXPECT_DOUBLE_EQ(u.max_value(), 5.0);
+  EXPECT_DOUBLE_EQ(u.zero_crossing(), 2.0);
+}
+
+TEST(StepUtility, SecantSlope) {
+  StepUtility u({1.0, 2.0}, {5.0, 1.0});
+  EXPECT_DOUBLE_EQ(u.slope(0.5), 2.5);  // 5 / 2
+  EXPECT_DOUBLE_EQ(u.slope(3.0), 0.0);  // past crossing
+}
+
+TEST(StepUtility, NonIncreasingProperty) {
+  StepUtility u({0.5, 1.0, 2.0, 4.0}, {8.0, 4.0, 2.0, 1.0});
+  double prev = std::numeric_limits<double>::infinity();
+  for (double r = 0.0; r < 6.0; r += 0.05) {
+    const double v = u.value(r);
+    EXPECT_LE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(StepUtility, CloneMatches) {
+  StepUtility u({1.0, 2.0}, {5.0, 1.0});
+  auto c = u.clone();
+  for (double r = 0.0; r < 3.0; r += 0.1)
+    EXPECT_DOUBLE_EQ(c->value(r), u.value(r));
+}
+
+}  // namespace
+}  // namespace cloudalloc::model

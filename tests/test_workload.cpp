@@ -1,0 +1,90 @@
+#include "workload/scenario.h"
+
+#include <gtest/gtest.h>
+
+namespace cloudalloc::workload {
+namespace {
+
+TEST(Scenario, DefaultShapeMatchesPaper) {
+  const auto cloud = make_scenario(ScenarioParams{}, 1);
+  EXPECT_EQ(cloud.num_clusters(), 5);
+  EXPECT_EQ(cloud.server_classes().size(), 10u);
+  EXPECT_EQ(cloud.utility_classes().size(), 5u);
+  EXPECT_EQ(cloud.num_clients(), 100);
+  EXPECT_EQ(cloud.num_servers(), 175);
+}
+
+TEST(Scenario, DeterministicPerSeed) {
+  const auto a = make_scenario(ScenarioParams{}, 9);
+  const auto b = make_scenario(ScenarioParams{}, 9);
+  ASSERT_EQ(a.num_clients(), b.num_clients());
+  for (model::ClientId i = 0; i < a.num_clients(); ++i) {
+    EXPECT_DOUBLE_EQ(a.client(i).lambda_pred, b.client(i).lambda_pred);
+    EXPECT_DOUBLE_EQ(a.client(i).alpha_p, b.client(i).alpha_p);
+    EXPECT_DOUBLE_EQ(a.client(i).disk, b.client(i).disk);
+  }
+  for (model::ServerId j = 0; j < a.num_servers(); ++j)
+    EXPECT_EQ(a.server(j).server_class, b.server(j).server_class);
+}
+
+TEST(Scenario, DifferentSeedsDiffer) {
+  const auto a = make_scenario(ScenarioParams{}, 1);
+  const auto b = make_scenario(ScenarioParams{}, 2);
+  bool any_diff = false;
+  for (model::ClientId i = 0; i < a.num_clients(); ++i)
+    any_diff =
+        any_diff || a.client(i).lambda_pred != b.client(i).lambda_pred;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Scenario, ParameterRangesHonored) {
+  const ScenarioParams p;
+  const auto cloud = make_scenario(p, 3);
+  for (const auto& c : cloud.clients()) {
+    EXPECT_GE(c.alpha_p, p.alpha_lo);
+    EXPECT_LE(c.alpha_p, p.alpha_hi);
+    EXPECT_GE(c.alpha_n, p.alpha_lo);
+    EXPECT_LE(c.alpha_n, p.alpha_hi);
+    EXPECT_GE(c.lambda_agreed, p.lambda_lo);
+    EXPECT_LE(c.lambda_agreed, p.lambda_hi);
+    EXPECT_GE(c.disk, p.disk_lo);
+    EXPECT_LE(c.disk, p.disk_hi);
+  }
+  for (const auto& sc : cloud.server_classes()) {
+    EXPECT_GE(sc.cap_p, p.cap_lo);
+    EXPECT_LE(sc.cap_p, p.cap_hi);
+    EXPECT_GE(sc.cost_fixed, p.cost_fixed_lo);
+    EXPECT_LE(sc.cost_fixed, p.cost_fixed_hi);
+    EXPECT_GE(sc.cost_per_util, p.cost_util_lo);
+    EXPECT_LE(sc.cost_per_util, p.cost_util_hi);
+  }
+}
+
+TEST(Scenario, PredictionFactorScalesLambdaPred) {
+  ScenarioParams p;
+  p.prediction_factor = 0.8;
+  const auto cloud = make_scenario(p, 4);
+  for (const auto& c : cloud.clients())
+    EXPECT_NEAR(c.lambda_pred, 0.8 * c.lambda_agreed, 1e-12);
+}
+
+TEST(Scenario, CapacityComfortablyCoversDefaultDemand) {
+  const auto cloud = make_scenario(ScenarioParams{}, 5);
+  EXPECT_GT(cloud.total_cap_p(), cloud.total_demand_p());
+}
+
+TEST(TinyScenario, IsSmallAndValid) {
+  const auto cloud = make_tiny_scenario(4);
+  EXPECT_EQ(cloud.num_clients(), 4);
+  EXPECT_EQ(cloud.num_servers(), 4);
+}
+
+TEST(OverloadedScenario, DemandExceedsCapacity) {
+  ScenarioParams p;
+  p.num_clients = 60;
+  const auto cloud = make_overloaded_scenario(p, 6, 4.0);
+  EXPECT_GT(cloud.total_demand_p(), cloud.total_cap_p());
+}
+
+}  // namespace
+}  // namespace cloudalloc::workload
