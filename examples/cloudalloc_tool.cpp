@@ -4,8 +4,12 @@
 //   generate  --out=cloud.json [--clients=100] [--seed=1]
 //       Write a Section-VI scenario to disk.
 //   allocate  --cloud=cloud.json --out=alloc.json
-//             [--method=heuristic|ps|monte-carlo] [--mc-samples=100]
-//       Solve and save the allocation.
+//             [--method=heuristic|dist|ps|monte-carlo] [--mc-samples=100]
+//             [--threads=N]
+//       Solve and save the allocation. --threads sets the parallel
+//       evaluation engine's worker count for heuristic/dist (1 =
+//       sequential, 0 = hardware concurrency; the result is identical
+//       either way, only faster).
 //   audit     --cloud=cloud.json --alloc=alloc.json
 //       Re-load both, audit feasibility, print the profit breakdown.
 //   simulate  --cloud=cloud.json --alloc=alloc.json [--horizon=1000]
@@ -28,6 +32,7 @@
 
 #include "alloc/allocator.h"
 #include "baselines/monte_carlo.h"
+#include "dist/manager.h"
 #include "baselines/proportional_share.h"
 #include "baselines/sa_alloc.h"
 #include "common/args.h"
@@ -119,7 +124,16 @@ int cmd_allocate(const Args& args) {
   if (method == "heuristic") {
     alloc::AllocatorOptions opts;
     opts.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    opts.num_threads = static_cast<int>(args.get_int("threads", 1));
     allocation = alloc::ResourceAllocator(opts).run(*cloud).allocation;
+  } else if (method == "dist") {
+    alloc::AllocatorOptions opts;
+    opts.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    opts.num_threads = static_cast<int>(args.get_int("threads", 0));
+    allocation =
+        dist::DistributedAllocator(dist::DistributedOptions{opts})
+            .run(*cloud)
+            .allocation;
   } else if (method == "ps") {
     allocation = baselines::proportional_share_allocate(
                      *cloud, baselines::PsOptions{})
@@ -132,7 +146,7 @@ int cmd_allocate(const Args& args) {
                      static_cast<std::uint64_t>(args.get_int("seed", 1)))
                      .best;
   } else {
-    return fail("unknown --method (heuristic|ps|monte-carlo)");
+    return fail("unknown --method (heuristic|dist|ps|monte-carlo)");
   }
 
   const std::string out = args.get("out", "alloc.json");

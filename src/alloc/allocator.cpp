@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <memory>
 
 #include "alloc/adjust_dispersion.h"
 #include "alloc/adjust_shares.h"
@@ -10,6 +11,8 @@
 #include "alloc/server_power.h"
 #include "common/log.h"
 #include "common/rng.h"
+#include "dist/parallel_eval.h"
+#include "dist/thread_pool.h"
 
 namespace cloudalloc::alloc {
 namespace {
@@ -20,6 +23,14 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+/// Pool for the parallel evaluation engine; null when one worker suffices
+/// (ParallelEval then runs everything inline — same results either way).
+std::unique_ptr<dist::ThreadPool> make_pool(const AllocatorOptions& options) {
+  const int workers = dist::resolve_workers(options.num_threads);
+  if (workers <= 1) return nullptr;
+  return std::make_unique<dist::ThreadPool>(workers);
+}
+
 }  // namespace
 
 ResourceAllocator::ResourceAllocator(AllocatorOptions options)
@@ -27,7 +38,9 @@ ResourceAllocator::ResourceAllocator(AllocatorOptions options)
 
 AllocatorResult ResourceAllocator::run(const model::Cloud& cloud) const {
   Rng rng(options_.seed);
-  model::Allocation initial = build_initial_solution(cloud, options_, rng);
+  const auto pool = make_pool(options_);
+  const dist::ParallelEval eval(pool.get());
+  model::Allocation initial = build_initial_solution(cloud, options_, rng, eval);
   const double p0 = model::profit(initial);
   return improve_impl(std::move(initial), p0);
 }
@@ -40,8 +53,17 @@ AllocatorResult ResourceAllocator::improve(model::Allocation initial) const {
 AllocatorResult ResourceAllocator::improve_impl(model::Allocation alloc,
                                                 double initial_profit) const {
   const auto start = Clock::now();
+  const auto pool = make_pool(options_);
+  const dist::ParallelEval eval(pool.get());
   AllocatorReport report;
   report.initial_profit = initial_profit;
+
+  // The epoch deadline is checked between passes, not just per round: one
+  // long round must not blow the budget the predictions were made for.
+  const auto over_budget = [&] {
+    return options_.time_budget_ms > 0.0 &&
+           seconds_since(start) * 1000.0 >= options_.time_budget_ms;
+  };
 
   // The share rebalance is applied unconditionally (see adjust_shares.cpp),
   // so a round can transiently dip; keep the best allocation ever seen.
@@ -52,15 +74,26 @@ AllocatorResult ResourceAllocator::improve_impl(model::Allocation alloc,
   for (int round = 0; round < options_.max_local_search_rounds; ++round) {
     RoundTrace trace;
     trace.round = round;
-    if (options_.enable_adjust_shares)
+    if (options_.enable_adjust_shares) {
       trace.delta_shares = adjust_all_shares(alloc, options_);
-    if (options_.enable_adjust_dispersion)
+      trace.truncated = over_budget();
+    }
+    if (!trace.truncated && options_.enable_adjust_dispersion) {
       trace.delta_dispersion = adjust_all_dispersions(alloc, options_);
-    trace.delta_power = adjust_server_power(alloc, options_);
-    if (options_.enable_reassign)
-      trace.delta_reassign = reassign_pass(alloc, options_);
-    if (options_.allow_rejection)
+      trace.truncated = over_budget();
+    }
+    if (!trace.truncated) {
+      trace.delta_power = adjust_server_power(alloc, options_);
+      trace.truncated = over_budget();
+    }
+    if (!trace.truncated && options_.enable_reassign) {
+      trace.delta_reassign = reassign_pass_snapshot(alloc, options_, eval);
+      trace.truncated = over_budget();
+    }
+    if (!trace.truncated && options_.allow_rejection) {
       trace.delta_reassign += drop_unprofitable_clients(alloc, options_);
+      trace.truncated = over_budget();
+    }
 
     const double profit_after = model::profit(alloc);
     trace.profit_after = profit_after;
@@ -80,14 +113,13 @@ AllocatorResult ResourceAllocator::improve_impl(model::Allocation alloc,
 
     if (options_.verbose)
       CLOG(kInfo) << "round " << round << ": profit " << profit_after
-                  << " (gain " << profit_after - profit_now << ")";
+                  << " (gain " << profit_after - profit_now << ")"
+                  << (trace.truncated ? " [truncated: epoch deadline]" : "");
     profit_now = profit_after;
+    if (trace.truncated) break;  // epoch deadline
     // Rounds can dip (unconditional share rebalance) before a later round
     // recovers more; stop only after two rounds without a new best.
     if (stalled_rounds >= 2) break;
-    if (options_.time_budget_ms > 0.0 &&
-        seconds_since(start) * 1000.0 >= options_.time_budget_ms)
-      break;  // epoch deadline
   }
 
   report.final_profit = best_profit;

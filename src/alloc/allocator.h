@@ -26,6 +26,10 @@ struct RoundTrace {
   double delta_power = 0.0;
   double delta_reassign = 0.0;
   double profit_after = 0.0;
+  /// True when the epoch deadline (options.time_budget_ms) expired mid-
+  /// round: the remaining passes of this round were skipped and the loop
+  /// stopped here.
+  bool truncated = false;
 };
 
 struct AllocatorReport {

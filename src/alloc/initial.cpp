@@ -1,6 +1,8 @@
 #include "alloc/initial.h"
 
 #include <numeric>
+#include <optional>
+#include <utility>
 
 #include "common/check.h"
 #include "common/log.h"
@@ -29,25 +31,46 @@ Allocation greedy_insert(const Allocation& base,
 }
 
 Allocation build_initial_solution(const Cloud& cloud,
-                                  const AllocatorOptions& opts, Rng& rng) {
+                                  const AllocatorOptions& opts, Rng& rng,
+                                  const dist::ParallelEval& eval) {
   CHECK(opts.num_initial_solutions >= 1);
+  const int starts = opts.num_initial_solutions;
+
+  // Draw every start's client order up front from the caller's stream
+  // (cumulative shuffles, exactly the sequence the sequential loop used to
+  // produce), so the expensive greedy passes below are pure functions of
+  // their order and can run as independent pool tasks.
   std::vector<ClientId> order(static_cast<std::size_t>(cloud.num_clients()));
   std::iota(order.begin(), order.end(), 0);
-
-  Allocation best(cloud);
-  double best_profit = -1e300;
-  for (int iter = 0; iter < opts.num_initial_solutions; ++iter) {
+  std::vector<std::vector<ClientId>> orders;
+  orders.reserve(static_cast<std::size_t>(starts));
+  for (int iter = 0; iter < starts; ++iter) {
     rng.shuffle(order);
-    Allocation cand = greedy_insert(Allocation(cloud), order, opts);
-    const double cand_profit = model::profit(cand);
-    if (opts.verbose)
-      CLOG(kInfo) << "initial solution " << iter << ": profit " << cand_profit;
-    if (cand_profit > best_profit) {
-      best_profit = cand_profit;
-      best = std::move(cand);
-    }
+    orders.push_back(order);
   }
-  return best;
+
+  std::vector<double> profits(static_cast<std::size_t>(starts), -1e300);
+  std::vector<std::optional<Allocation>> cands(
+      static_cast<std::size_t>(starts));
+  eval.for_n(starts, [&](int iter) {
+    const auto slot = static_cast<std::size_t>(iter);
+    Allocation cand = greedy_insert(Allocation(cloud), orders[slot], opts);
+    profits[slot] = model::profit(cand);
+    cands[slot] = std::move(cand);
+  });
+
+  // Deterministic argmax: highest profit, lowest start index on ties —
+  // the same winner the sequential keep-first-strict-improvement loop
+  // picked, at any thread count.
+  std::size_t best = 0;
+  for (std::size_t iter = 1; iter < profits.size(); ++iter)
+    if (profits[iter] > profits[best]) best = iter;
+  if (opts.verbose)
+    for (std::size_t iter = 0; iter < profits.size(); ++iter)
+      CLOG(kInfo) << "initial solution " << iter << ": profit "
+                  << profits[iter];
+  CHECK(cands[best].has_value());
+  return std::move(*cands[best]);
 }
 
 Allocation build_from_assignment(const Cloud& cloud,

@@ -9,6 +9,7 @@
 
 #include "alloc/assign_distribute.h"
 #include "common/rng.h"
+#include "dist/parallel_eval.h"
 #include "model/allocation.h"
 
 namespace cloudalloc::alloc {
@@ -22,10 +23,15 @@ model::Allocation greedy_insert(const model::Allocation& base,
                                 const AllocatorOptions& opts);
 
 /// The paper's multi-start initial solution: `opts.num_initial_solutions`
-/// random client orders, best profit wins.
+/// random client orders, best profit wins. All orders are drawn from `rng`
+/// up front (in start order), making every greedy start an independent
+/// pure task that can run concurrently on `eval`; the argmax reduction
+/// (highest profit, lowest start index on ties) is then bit-identical at
+/// any thread count, and identical to the historical sequential loop.
 model::Allocation build_initial_solution(const model::Cloud& cloud,
                                          const AllocatorOptions& opts,
-                                         Rng& rng);
+                                         Rng& rng,
+                                         const dist::ParallelEval& eval = {});
 
 /// Decodes a fixed client->cluster map (assignment[i] = cluster of client
 /// i, or kNoCluster to skip) into an allocation by inserting clients in

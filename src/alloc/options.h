@@ -59,6 +59,13 @@ struct AllocatorOptions {
   /// removal raises true profit.
   bool allow_rejection = false;
 
+  /// Worker threads for the parallel evaluation engine (multi-start greedy
+  /// starts, reassign candidate scoring, distributed cluster agents).
+  /// 1 = run everything on the calling thread; 0 = use the hardware
+  /// concurrency. The engine's reductions are deterministic: the same seed
+  /// produces a bit-identical allocation at every value of num_threads.
+  int num_threads = 1;
+
   std::uint64_t seed = 1;
   bool verbose = false;
 };

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <optional>
 #include <vector>
 
 #include "alloc/assign_distribute.h"
+#include "common/check.h"
 #include "common/mathutil.h"
 #include "model/evaluator.h"
 
@@ -35,6 +37,90 @@ double reassign_pass(Allocation& alloc, const AllocatorOptions& opts) {
 
     if (was_assigned) alloc.clear(i);
     auto plan = best_insertion(alloc, i, opts);
+    if (!plan) {
+      if (was_assigned) alloc.assign(i, old_cluster, old_placements);
+      continue;
+    }
+    alloc.assign(i, plan->cluster, std::move(plan->placements));
+    const double after = model::profit(alloc);
+    if (after + 1e-12 < before) {
+      alloc.clear(i);
+      if (was_assigned) alloc.assign(i, old_cluster, old_placements);
+      continue;
+    }
+    delta += after - before;
+  }
+  return delta;
+}
+
+double reassign_pass_snapshot(Allocation& alloc, const AllocatorOptions& opts,
+                              const dist::ParallelEval& eval) {
+  const auto& cloud = alloc.cloud();
+  const int n = cloud.num_clients();
+  if (n == 0) return 0.0;
+  std::vector<ClientId> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  // Worst-served first (unassigned clients sort to the front: R = +inf);
+  // stable so equal response times keep client-id order at any thread
+  // count and across standard libraries.
+  std::stable_sort(order.begin(), order.end(), [&](ClientId a, ClientId b) {
+    return alloc.response_time(a) > alloc.response_time(b);
+  });
+
+  // Phase 1: price every client's best move against a frozen snapshot.
+  // Each chunk works on a private clone and restores it after probing a
+  // client, so every plan depends only on the snapshot — not on chunk
+  // boundaries or scheduling. Chunk size is fixed (never derived from the
+  // worker count) for the same reason.
+  model::Allocation snapshot = alloc.clone();
+  (void)model::profit(snapshot);  // settle caches: clones become pure reads
+  CHECK(snapshot.profit_settled());
+  constexpr int kChunk = 16;
+  std::vector<std::optional<InsertionPlan>> plans(static_cast<std::size_t>(n));
+  eval.for_chunks(n, kChunk, [&](int begin, int end) {
+    model::Allocation scratch = snapshot.clone();
+    for (int idx = begin; idx < end; ++idx) {
+      const ClientId i = order[static_cast<std::size_t>(idx)];
+      const bool was_assigned = scratch.is_assigned(i);
+      const ClusterId old_cluster =
+          was_assigned ? scratch.cluster_of(i) : model::kNoCluster;
+      const std::vector<model::Placement> old_placements =
+          was_assigned ? scratch.placements(i)
+                       : std::vector<model::Placement>{};
+      if (was_assigned) scratch.clear(i);
+      plans[static_cast<std::size_t>(idx)] = best_insertion(scratch, i, opts);
+      if (was_assigned) scratch.assign(i, old_cluster, old_placements);
+    }
+  });
+
+  // Phase 2: apply sequentially in the fixed order. Earlier winners may
+  // have consumed the capacity a snapshot plan assumed, so re-validate the
+  // fit and fall back to a live re-price when it no longer holds.
+  const auto fits = [&](ClientId i, const InsertionPlan& plan) {
+    constexpr double kSlack = 1e-9;
+    const double disk = cloud.client(i).disk;
+    for (const model::Placement& p : plan.placements) {
+      if (p.phi_p > alloc.free_phi_p(p.server) + kSlack) return false;
+      if (p.phi_n > alloc.free_phi_n(p.server) + kSlack) return false;
+      if (disk > alloc.free_disk(p.server) + kSlack) return false;
+    }
+    return true;
+  };
+
+  double delta = 0.0;
+  for (int idx = 0; idx < n; ++idx) {
+    if (!plans[static_cast<std::size_t>(idx)]) continue;
+    const ClientId i = order[static_cast<std::size_t>(idx)];
+    const double before = model::profit(alloc);
+    const bool was_assigned = alloc.is_assigned(i);
+    const ClusterId old_cluster =
+        was_assigned ? alloc.cluster_of(i) : model::kNoCluster;
+    const std::vector<model::Placement> old_placements =
+        was_assigned ? alloc.placements(i) : std::vector<model::Placement>{};
+
+    if (was_assigned) alloc.clear(i);
+    std::optional<InsertionPlan> plan = plans[static_cast<std::size_t>(idx)];
+    if (!fits(i, *plan)) plan = best_insertion(alloc, i, opts);
     if (!plan) {
       if (was_assigned) alloc.assign(i, old_cluster, old_placements);
       continue;

@@ -7,6 +7,7 @@
 #pragma once
 
 #include "alloc/options.h"
+#include "dist/parallel_eval.h"
 #include "model/allocation.h"
 
 namespace cloudalloc::alloc {
@@ -15,6 +16,17 @@ namespace cloudalloc::alloc {
 /// into its best cluster; each move commits only if true profit improves.
 /// Also retries clients that are currently unassigned. Returns the delta.
 double reassign_pass(model::Allocation& alloc, const AllocatorOptions& opts);
+
+/// Snapshot-scored variant used by the allocator hot path: candidate moves
+/// for all clients are priced concurrently against a frozen copy of the
+/// allocation (read-only fan-out on `eval`), then the winners are applied
+/// sequentially, re-validated against the live state (capacity fit + true
+/// profit improvement; a stale plan falls back to a live re-price). The
+/// apply order and all tie-breaks are fixed, so the result is bit-identical
+/// at any thread count — including the inline default. Returns the delta.
+double reassign_pass_snapshot(model::Allocation& alloc,
+                              const AllocatorOptions& opts,
+                              const dist::ParallelEval& eval = {});
 
 /// Repeats reassign_pass until a pass yields (relatively) less than
 /// opts.steady_tolerance, at most `max_rounds` times. Returns total delta.

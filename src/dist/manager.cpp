@@ -2,65 +2,26 @@
 
 #include <chrono>
 #include <cmath>
-#include <map>
 #include <memory>
-#include <numeric>
 #include <optional>
-#include <thread>
-#include <variant>
+#include <utility>
 #include <vector>
 
+#include "alloc/initial.h"
 #include "alloc/reassign.h"
 #include "common/check.h"
 #include "common/rng.h"
 #include "dist/cluster_agent.h"
-#include "dist/mailbox.h"
+#include "dist/parallel_eval.h"
+#include "dist/thread_pool.h"
 #include "model/evaluator.h"
 
 namespace cloudalloc::dist {
-namespace {
 
 using model::Allocation;
 using model::ClientId;
 using model::Cloud;
 using model::ClusterId;
-
-struct EvaluateRequest {
-  ClientId client;
-  const Allocation* snapshot;
-};
-struct ImproveRequest {
-  const Allocation* snapshot;
-};
-using AgentRequest = std::variant<EvaluateRequest, ImproveRequest>;
-
-struct EvaluateResponse {
-  ClusterId cluster;
-  std::optional<alloc::InsertionPlan> plan;
-};
-struct ImproveResponse {
-  ClusterImprovement improvement;
-};
-using AgentResponse = std::variant<EvaluateResponse, ImproveResponse>;
-
-/// One agent thread: drain the request mailbox until it closes.
-void agent_main(ClusterAgent agent, Mailbox<AgentRequest>& inbox,
-                Mailbox<AgentResponse>& outbox) {
-  for (;;) {
-    auto request = inbox.receive();
-    if (!request) return;
-    if (const auto* ev = std::get_if<EvaluateRequest>(&*request)) {
-      outbox.send(AgentResponse{EvaluateResponse{
-          agent.cluster(), agent.evaluate_insertion(*ev->snapshot,
-                                                    ev->client)}});
-    } else {
-      const auto& imp = std::get<ImproveRequest>(*request);
-      outbox.send(AgentResponse{ImproveResponse{agent.improve(*imp.snapshot)}});
-    }
-  }
-}
-
-}  // namespace
 
 DistributedAllocator::DistributedAllocator(DistributedOptions options)
     : options_(options) {}
@@ -70,105 +31,84 @@ DistributedResult DistributedAllocator::run(const Cloud& cloud) const {
   const alloc::AllocatorOptions& aopts = options_.alloc;
   const int K = cloud.num_clusters();
 
-  // Spin up one agent (thread + mailbox) per cluster.
-  std::vector<std::unique_ptr<Mailbox<AgentRequest>>> inboxes;
-  Mailbox<AgentResponse> responses;
-  std::vector<std::thread> threads;
-  inboxes.reserve(static_cast<std::size_t>(K));
-  for (ClusterId k = 0; k < K; ++k) {
-    inboxes.push_back(std::make_unique<Mailbox<AgentRequest>>());
-    threads.emplace_back(agent_main, ClusterAgent(k, aopts),
-                         std::ref(*inboxes.back()), std::ref(responses));
-  }
-  auto shutdown = [&] {
-    for (auto& inbox : inboxes) inbox->close();
-    for (auto& t : threads) t.join();
-  };
-
-  // --- multi-start greedy initial solution (parallel per-client fan-out).
-  Rng rng(aopts.seed);
-  std::vector<ClientId> order(static_cast<std::size_t>(cloud.num_clients()));
-  std::iota(order.begin(), order.end(), 0);
-
-  Allocation best(cloud);
-  double best_profit = -1e300;
-  for (int iter = 0; iter < aopts.num_initial_solutions; ++iter) {
-    rng.shuffle(order);
-    Allocation current(cloud);
-    for (ClientId i : order) {
-      for (ClusterId k = 0; k < K; ++k)
-        inboxes[static_cast<std::size_t>(k)]->send(
-            AgentRequest{EvaluateRequest{i, &current}});
-      // Collect all K bids; order by cluster id for deterministic ties.
-      std::map<ClusterId, std::optional<alloc::InsertionPlan>> bids;
-      for (int r = 0; r < K; ++r) {
-        auto response = responses.receive();
-        CHECK(response.has_value());
-        auto& ev = std::get<EvaluateResponse>(*response);
-        bids.emplace(ev.cluster, std::move(ev.plan));
-      }
-      std::optional<alloc::InsertionPlan> winner;
-      for (auto& [k, plan] : bids) {
-        (void)k;
-        if (plan && (!winner || plan->score > winner->score))
-          winner = std::move(plan);
-      }
-      if (winner)
-        current.assign(i, winner->cluster, std::move(winner->placements));
-    }
-    const double p = model::profit(current);
-    if (p > best_profit) {
-      best_profit = p;
-      best = std::move(current);
-    }
-  }
+  // Pool-managed agents: the worker count bounds real parallelism even
+  // when K >> cores; with one worker everything runs inline.
+  const int workers = resolve_workers(aopts.num_threads);
+  std::unique_ptr<ThreadPool> pool =
+      workers > 1 ? std::make_unique<ThreadPool>(workers) : nullptr;
+  const ParallelEval eval(pool.get());
 
   DistributedReport report;
-  report.initial_profit = best_profit;
 
-  // --- improvement rounds: parallel cluster-local stages + sequential
-  // cross-cluster reassignment.
-  Allocation alloc = std::move(best);
-  double profit_now = best_profit;
+  // --- multi-start greedy initial solution: the independent starts run as
+  // pool tasks through the same engine as the sequential allocator, so the
+  // two modes commit identical initial solutions.
+  Rng rng(aopts.seed);
+  Allocation best = alloc::build_initial_solution(cloud, aopts, rng, eval);
+  double best_profit = model::profit(best);
+  report.initial_profit = best_profit;
+  // Each greedy insertion asks all K agents for a bid and collects K
+  // responses in the message-passing deployment.
+  report.messages += static_cast<std::size_t>(aopts.num_initial_solutions) *
+                     static_cast<std::size_t>(cloud.num_clients()) *
+                     static_cast<std::size_t>(2 * K);
+
+  // --- improvement rounds: parallel cluster-local stages against a frozen
+  // snapshot + sequential cross-cluster reassignment. A round can dip
+  // (the share rebalance inside the agents is unconditional), so track the
+  // best allocation ever seen and return that, exactly as
+  // ResourceAllocator::improve_impl does.
+  Allocation alloc = best.clone();
+  int stalled_rounds = 0;
   for (int round = 0; round < aopts.max_local_search_rounds; ++round) {
-    const Allocation snapshot = alloc.clone();  // frozen for this round
-    for (ClusterId k = 0; k < K; ++k)
-      inboxes[static_cast<std::size_t>(k)]->send(
-          AgentRequest{ImproveRequest{&snapshot}});
-    std::map<ClusterId, ClusterImprovement> improvements;
-    for (int r = 0; r < K; ++r) {
-      auto response = responses.receive();
-      CHECK(response.has_value());
-      auto& imp = std::get<ImproveResponse>(*response).improvement;
-      improvements.emplace(imp.cluster, std::move(imp));
-    }
-    for (auto& [k, improvement] : improvements) {
-      for (auto& [i, placements] : improvement.placements) {
+    Allocation snapshot = alloc.clone();  // frozen for this round
+    (void)model::profit(snapshot);  // settle caches: pure reads from here
+    CHECK(snapshot.profit_settled());
+    std::vector<std::optional<ClusterImprovement>> improvements(
+        static_cast<std::size_t>(K));
+    eval.for_n(K, [&](int k) {
+      ClusterAgent agent(static_cast<ClusterId>(k), aopts);
+      improvements[static_cast<std::size_t>(k)] = agent.improve(snapshot);
+    });
+    report.messages += static_cast<std::size_t>(2 * K);
+
+    // Merge in cluster order (deterministic at any thread count).
+    for (int k = 0; k < K; ++k) {
+      auto& improvement = improvements[static_cast<std::size_t>(k)];
+      CHECK(improvement.has_value());
+      for (auto& [i, placements] : improvement->placements) {
         if (placements.empty())
           alloc.clear(i);
         else
-          alloc.assign(i, k, std::move(placements));
+          alloc.assign(i, static_cast<ClusterId>(k), std::move(placements));
       }
     }
-    if (aopts.enable_reassign) alloc::reassign_pass(alloc, aopts);
+    if (aopts.enable_reassign) alloc::reassign_pass_snapshot(alloc, aopts, eval);
 
     const double profit_after = model::profit(alloc);
-    const double gain = profit_after - profit_now;
-    profit_now = profit_after;
+    report.round_profits.push_back(profit_after);
     report.rounds_run = round + 1;
-    if (gain <=
-        aopts.steady_tolerance * std::max(std::fabs(profit_now), 1.0))
-      break;
+    const double significant =
+        aopts.steady_tolerance * std::max(std::fabs(best_profit), 1.0);
+    if (profit_after > best_profit + significant) {
+      stalled_rounds = 0;
+    } else {
+      ++stalled_rounds;
+    }
+    if (profit_after > best_profit) {
+      best_profit = profit_after;
+      best = alloc.clone();
+    }
+    // Dips can precede a recovering round; stop only after two rounds
+    // without a new best.
+    if (stalled_rounds >= 2) break;
   }
 
-  shutdown();
-  report.final_profit = profit_now;
-  for (const auto& inbox : inboxes) report.messages += inbox->messages_sent();
-  report.messages += responses.messages_sent();
+  report.final_profit = best_profit;
   report.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  return DistributedResult{std::move(alloc), report};
+  return DistributedResult{std::move(best), report};
 }
 
 }  // namespace cloudalloc::dist

@@ -1,5 +1,8 @@
 #include "dist/thread_pool.h"
 
+#include <algorithm>
+#include <exception>
+
 #include "common/check.h"
 
 namespace cloudalloc::dist {
@@ -11,13 +14,24 @@ ThreadPool::ThreadPool(int workers) {
     threads_.emplace_back([this] { worker_loop(); });
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ && threads_.empty()) return;  // already shut down
     stopping_ = true;
   }
   cv_.notify_all();
+  // Workers keep popping until the queue is empty, so queued work drains.
   for (auto& t : threads_) t.join();
+  threads_.clear();
+}
+
+bool ThreadPool::on_worker_thread() const {
+  const auto self = std::this_thread::get_id();
+  return std::any_of(threads_.begin(), threads_.end(),
+                     [self](const std::thread& t) { return t.get_id() == self; });
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
@@ -32,11 +46,41 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
   return future;
 }
 
+void ThreadPool::drain_all(std::vector<std::future<void>>& futures) {
+  // Join everything first: a task that threw must not unwind into the
+  // caller while sibling tasks still touch the shared captures.
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
 void ThreadPool::parallel_for(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  CHECK_MSG(!on_worker_thread(), "nested parallel_for would deadlock");
   std::vector<std::future<void>> futures;
   futures.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) futures.push_back(submit([&fn, i] { fn(i); }));
-  for (auto& f : futures) f.get();
+  drain_all(futures);
+}
+
+void ThreadPool::parallel_for_chunked(
+    int n, int grain, const std::function<void(int, int)>& fn) {
+  if (n <= 0) return;
+  CHECK(grain >= 1);
+  CHECK_MSG(!on_worker_thread(), "nested parallel_for would deadlock");
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<std::size_t>((n + grain - 1) / grain));
+  for (int begin = 0; begin < n; begin += grain) {
+    const int end = std::min(n, begin + grain);
+    futures.push_back(submit([&fn, begin, end] { fn(begin, end); }));
+  }
+  drain_all(futures);
 }
 
 void ThreadPool::worker_loop() {

@@ -1,6 +1,12 @@
 // Fixed-size worker pool used to emulate the paper's parallel cluster
-// agents on one machine. Deliberately minimal: submit() plus a blocking
-// parallel_for; no work stealing, no priorities.
+// agents on one machine, and to run the allocator's parallel evaluation
+// fan-outs (multi-start greedy, reassign candidate scoring). Deliberately
+// minimal: submit() plus blocking parallel_for variants; no work stealing,
+// no priorities.
+//
+// Exception contract: the parallel_for variants drain (join) every task
+// before propagating the first stored exception, so a throwing task can
+// never race the caller's destroyed captures.
 #pragma once
 
 #include <condition_variable>
@@ -22,16 +28,34 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  int workers() const { return static_cast<int>(threads_.size()); }
+  int num_workers() const { return static_cast<int>(threads_.size()); }
+  int workers() const { return num_workers(); }
 
   /// Enqueues a task; the future resolves when it has run.
   std::future<void> submit(std::function<void()> task);
 
-  /// Runs fn(0..n-1) across the pool and blocks until all complete.
+  /// Runs fn(0..n-1) across the pool and blocks until all complete. Every
+  /// task is drained before the lowest-index stored exception is rethrown.
+  /// Must not be called from a worker thread (the nested wait would
+  /// deadlock once all workers block).
   void parallel_for(int n, const std::function<void(int)>& fn);
+
+  /// Chunked variant: fn(begin, end) over ranges of `grain` consecutive
+  /// indices (last chunk may be shorter). Chunk boundaries depend only on
+  /// (n, grain) — never on the worker count — so per-chunk state (RNG
+  /// streams, scratch copies) yields bit-identical results at any pool
+  /// size. Same drain-before-rethrow contract as parallel_for.
+  void parallel_for_chunked(int n, int grain,
+                            const std::function<void(int, int)>& fn);
+
+  /// Drains all queued tasks and joins the workers. Idempotent; the
+  /// destructor calls it. submit() after shutdown() is a programmer error.
+  void shutdown();
 
  private:
   void worker_loop();
+  bool on_worker_thread() const;
+  void drain_all(std::vector<std::future<void>>& futures);
 
   std::mutex mutex_;
   std::condition_variable cv_;

@@ -6,6 +6,17 @@
 // load, hosted clients) incrementally so the heuristic's inner loops stay
 // O(changed placements), and exposes the derived quantities the model
 // needs: server activity x_j, utilization, and client response times.
+//
+// Concurrency (the frozen-snapshot contract used by the parallel
+// evaluation engine): Allocation is not internally synchronized. The
+// profit cache makes cached_profit() a const-but-mutating repair, so a
+// shared instance is safe for concurrent const access ONLY once the cache
+// is settled — call model::profit(a) once, then profit_settled() holds and
+// every const accessor (is_assigned, cluster_of, placements,
+// response_time, the server aggregates, active, clients_on, clone) is a
+// pure read. Workers that need to mutate or re-price must clone() the
+// settled snapshot and work on the private copy. Parallel call sites
+// CHECK(profit_settled()) before fanning out.
 #pragma once
 
 #include <vector>
@@ -82,6 +93,14 @@ class Allocation {
   /// scratch-recomputing model::evaluate() is the independent oracle;
   /// tests assert they always agree.
   double cached_profit() const;
+
+  /// True when no cache repairs are pending: every const accessor is then
+  /// a pure read and the instance may be shared across threads as a frozen
+  /// snapshot (see the class comment). Established by calling
+  /// cached_profit() / model::profit() after the last mutation.
+  bool profit_settled() const {
+    return dirty_clients_.empty() && dirty_servers_.empty();
+  }
 
  private:
   struct ServerAgg {

@@ -1,5 +1,6 @@
 #include <atomic>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <thread>
 
@@ -43,6 +44,45 @@ TEST(ThreadPool, DestructorDrains) {
     for (int i = 0; i < 10; ++i) pool.submit([&counter] { ++counter; }).get();
   }
   EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedWorkAndIsIdempotent) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.num_workers(), 2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) pool.submit([&counter] { ++counter; });
+  pool.shutdown();
+  EXPECT_EQ(counter.load(), 50);
+  pool.shutdown();  // second call is a no-op
+  EXPECT_EQ(pool.num_workers(), 0);
+}
+
+TEST(ThreadPool, ParallelForChunkedCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(103);
+  pool.parallel_for_chunked(103, 16, [&hits](int begin, int end) {
+    for (int i = begin; i < end; ++i) ++hits[static_cast<std::size_t>(i)];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForDrainsAllTasksBeforeRethrowing) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  bool threw = false;
+  try {
+    pool.parallel_for(64, [&completed](int i) {
+      if (i == 5) throw std::runtime_error("task 5 failed");
+      ++completed;
+    });
+  } catch (const std::runtime_error& e) {
+    threw = true;
+    EXPECT_STREQ(e.what(), "task 5 failed");
+  }
+  EXPECT_TRUE(threw);
+  // The drain guarantee: when the exception reaches the caller, every
+  // other task has already finished touching the shared captures.
+  EXPECT_EQ(completed.load(), 63);
 }
 
 TEST(Mailbox, FifoDelivery) {

@@ -1,12 +1,19 @@
 // Randomized robustness ("fuzz-lite") suites: feed the parser and the
 // allocation state machine large volumes of random input and assert the
 // strong invariants — no crashes, no aggregate drift, clean rejections.
+#include <cmath>
 #include <string>
 
 #include <gtest/gtest.h>
 
+#include "alloc/adjust_dispersion.h"
+#include "alloc/adjust_shares.h"
+#include "alloc/assign_distribute.h"
+#include "alloc/reassign.h"
+#include "alloc/server_power.h"
 #include "common/json.h"
 #include "common/rng.h"
+#include "model/evaluator.h"
 #include "model/feasibility.h"
 #include "model/serialize.h"
 #include "workload/scenario.h"
@@ -157,6 +164,60 @@ TEST(AllocationFuzz, HeavyChurnKeepsAuditClean) {
     EXPECT_DOUBLE_EQ(alloc.used_disk(j), 0.0);
     EXPECT_DOUBLE_EQ(alloc.proc_load(j), 0.0);
   }
+}
+
+// Every parallel reduction in the allocator trusts the incremental
+// model::profit() cache: per-start profits in the multi-start argmax, the
+// before/after commit tests in the reassign apply phase. This fuzz drives
+// the cache through randomized assign/clear/adjust sequences and asserts
+// it always agrees with the from-scratch evaluate() oracle.
+TEST(ProfitCacheFuzz, IncrementalMatchesScratchUnderRandomizedPasses) {
+  workload::ScenarioParams params;
+  params.num_clients = 14;
+  params.servers_per_cluster = 4;
+  const auto cloud = workload::make_scenario(params, 424242);
+  alloc::AllocatorOptions opts;
+  model::Allocation alloc(cloud);
+  Rng rng(31415);
+
+  const auto expect_cache_agrees = [&](int step) {
+    const double incremental = model::profit(alloc);
+    const double scratch = model::evaluate(alloc).profit;
+    EXPECT_NEAR(incremental, scratch,
+                1e-9 * std::max(1.0, std::fabs(scratch)))
+        << "step " << step;
+  };
+
+  for (int step = 0; step < 400; ++step) {
+    const auto action = rng.index(6);
+    const auto i = static_cast<model::ClientId>(
+        rng.index(static_cast<std::size_t>(cloud.num_clients())));
+    switch (action) {
+      case 0: {  // greedy (re)assign via the real insertion machinery
+        if (alloc.is_assigned(i)) alloc.clear(i);
+        auto plan = alloc::best_insertion(alloc, i, opts);
+        if (plan) alloc.assign(i, plan->cluster, std::move(plan->placements));
+        break;
+      }
+      case 1:
+        if (alloc.is_assigned(i)) alloc.clear(i);
+        break;
+      case 2:
+        alloc::adjust_all_shares(alloc, opts);
+        break;
+      case 3:
+        alloc::adjust_all_dispersions(alloc, opts);
+        break;
+      case 4:
+        alloc::adjust_server_power(alloc, opts);
+        break;
+      default:
+        alloc::reassign_pass_snapshot(alloc, opts);
+        break;
+    }
+    if (step % 7 == 0) expect_cache_agrees(step);
+  }
+  expect_cache_agrees(-1);
 }
 
 }  // namespace

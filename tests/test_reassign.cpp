@@ -4,6 +4,8 @@
 
 #include "alloc/initial.h"
 #include "common/rng.h"
+#include "dist/parallel_eval.h"
+#include "dist/thread_pool.h"
 #include "model/evaluator.h"
 #include "model/feasibility.h"
 #include "workload/scenario.h"
@@ -61,6 +63,70 @@ TEST(Reassign, SteadyStateIsFixedPoint) {
   const double extra = reassign_pass(alloc, opts);
   EXPECT_NEAR(model::profit(alloc), steady, 1e-6 * std::abs(steady) + 1e-6);
   EXPECT_LE(extra, 1e-4 * std::max(std::abs(steady), 1.0));
+}
+
+TEST(ReassignSnapshot, ImprovesBadClusterAssignment) {
+  workload::ScenarioParams params;
+  params.num_clients = 30;
+  params.servers_per_cluster = 6;
+  const auto cloud = workload::make_scenario(params, 41);
+  AllocatorOptions opts;
+  std::vector<model::ClusterId> all_zero(30, 0);
+  Allocation alloc = build_from_assignment(cloud, all_zero, opts);
+  const double before = model::profit(alloc);
+  const double delta = reassign_pass_snapshot(alloc, opts);
+  EXPECT_GT(delta, 0.0);
+  EXPECT_GT(model::profit(alloc), before);
+  EXPECT_TRUE(model::is_feasible(alloc));
+}
+
+TEST(ReassignSnapshot, IdenticalInlineAndPooled) {
+  workload::ScenarioParams params;
+  params.num_clients = 35;
+  params.servers_per_cluster = 6;
+  const auto cloud = workload::make_scenario(params, 43);
+  AllocatorOptions opts;
+  std::vector<model::ClusterId> all_zero(35, 0);
+  Allocation inline_alloc = build_from_assignment(cloud, all_zero, opts);
+  Allocation pooled_alloc = inline_alloc.clone();
+
+  const double d1 = reassign_pass_snapshot(inline_alloc, opts);
+  dist::ThreadPool pool(4);
+  dist::ParallelEval eval(&pool);
+  const double d2 = reassign_pass_snapshot(pooled_alloc, opts, eval);
+
+  EXPECT_DOUBLE_EQ(d1, d2);
+  for (model::ClientId i = 0; i < cloud.num_clients(); ++i) {
+    ASSERT_EQ(inline_alloc.is_assigned(i), pooled_alloc.is_assigned(i));
+    if (!inline_alloc.is_assigned(i)) continue;
+    EXPECT_EQ(inline_alloc.cluster_of(i), pooled_alloc.cluster_of(i));
+    const auto& pa = inline_alloc.placements(i);
+    const auto& pb = pooled_alloc.placements(i);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t s = 0; s < pa.size(); ++s) {
+      EXPECT_EQ(pa[s].server, pb[s].server);
+      EXPECT_DOUBLE_EQ(pa[s].psi, pb[s].psi);
+      EXPECT_DOUBLE_EQ(pa[s].phi_p, pb[s].phi_p);
+    }
+  }
+}
+
+TEST(ReassignSnapshot, MonotoneOnGreedyStart) {
+  workload::ScenarioParams params;
+  params.num_clients = 25;
+  params.servers_per_cluster = 5;
+  const auto cloud = workload::make_scenario(params, 53);
+  AllocatorOptions opts;
+  Rng rng(53);
+  Allocation alloc = build_initial_solution(cloud, opts, rng);
+  double profit_now = model::profit(alloc);
+  for (int round = 0; round < 3; ++round) {
+    reassign_pass_snapshot(alloc, opts);
+    const double next = model::profit(alloc);
+    EXPECT_GE(next, profit_now - 1e-9);
+    profit_now = next;
+    ASSERT_TRUE(model::is_feasible(alloc));
+  }
 }
 
 class ReassignProperty : public ::testing::TestWithParam<std::uint64_t> {};
