@@ -6,11 +6,16 @@
 
 #include "alloc/allocator.h"
 #include "alloc/assign_distribute.h"
+#include "alloc/delta_price.h"
 #include "common/rng.h"
 #include "model/evaluator.h"
+#include "model/residual.h"
 #include "opt/dispersion.h"
 #include "opt/dp.h"
 #include "opt/kkt_shares.h"
+#include "queueing/batch.h"
+#include "queueing/gps.h"
+#include "queueing/mm1.h"
 #include "workload/scenario.h"
 
 using namespace cloudalloc;
@@ -100,6 +105,114 @@ void BM_AssignDistribute(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AssignDistribute);
+
+/// Shared fixture for the move-pricing pair: a half-loaded cloud, one
+/// placed client, and a re-placement plan for it in another cluster. Both
+/// benchmarks price exactly this move, so the ratio is the cost of
+/// clone-and-evaluate versus the delta pricer for identical work.
+struct MovePricingFixture {
+  MovePricingFixture()
+      : cloud(workload::make_scenario(
+            [] {
+              workload::ScenarioParams p;
+              p.num_clients = 100;
+              return p;
+            }(),
+            6)),
+        alloc_state(cloud) {
+    for (model::ClientId i = 0; i < 60; ++i) {
+      auto plan = alloc::best_insertion(alloc_state, i, opts);
+      if (plan) alloc_state.assign(i, plan->cluster, plan->placements);
+    }
+    model::profit(alloc_state);  // settle caches before snapshotting
+    mover = 0;
+    old_ps = alloc_state.placements(mover);
+    const model::ClusterId other =
+        (alloc_state.cluster_of(mover) + 1) % cloud.num_clusters();
+    model::ResidualView probe(alloc_state);
+    probe.remove_client(mover, old_ps);
+    auto plan = alloc::assign_distribute(probe, mover, other, opts);
+    new_cluster = other;
+    new_ps = plan ? plan->placements : old_ps;
+  }
+  alloc::AllocatorOptions opts;
+  model::Cloud cloud;
+  model::Allocation alloc_state;
+  model::ClientId mover = 0;
+  model::ClusterId new_cluster = 0;
+  std::vector<model::Placement> old_ps, new_ps;
+};
+
+void BM_MovePricing_CloneEvaluate(benchmark::State& state) {
+  // The pre-PR protocol: clone the allocation, apply the move, evaluate
+  // full profit on both sides.
+  MovePricingFixture fx;
+  const double before = model::profit(fx.alloc_state);
+  for (auto _ : state) {
+    model::Allocation trial = fx.alloc_state.clone();
+    trial.clear(fx.mover);
+    trial.assign(fx.mover, fx.new_cluster, fx.new_ps);
+    const double delta = model::profit(trial) - before;
+    benchmark::DoNotOptimize(delta);
+  }
+}
+BENCHMARK(BM_MovePricing_CloneEvaluate);
+
+void BM_MovePricing_DeltaPrice(benchmark::State& state) {
+  // The same move priced on a ResidualView via the delta pricer.
+  MovePricingFixture fx;
+  model::ResidualView view(fx.alloc_state);
+  for (auto _ : state) {
+    const double delta =
+        alloc::replace_delta(view, fx.mover, fx.old_ps, fx.new_ps);
+    benchmark::DoNotOptimize(delta);
+  }
+}
+BENCHMARK(BM_MovePricing_DeltaPrice);
+
+void BM_QueueingKernels_Scalar(benchmark::State& state) {
+  // One scalar gps/mm1 call per quantum count — the shape score_rows had
+  // before the batched kernels.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<double> arr(n), phi_p(n), phi_n(n), delay(n);
+  for (std::size_t g = 0; g < n; ++g) {
+    arr[g] = rng.uniform(0.2, 1.5);
+    phi_p[g] = rng.uniform(0.3, 0.9);
+    phi_n[g] = rng.uniform(0.3, 0.9);
+  }
+  for (auto _ : state) {
+    for (std::size_t g = 0; g < n; ++g) {
+      const double mu_p = queueing::gps_service_rate(phi_p[g], 4.0, 0.7);
+      const double mu_n = queueing::gps_service_rate(phi_n[g], 4.0, 0.7);
+      delay[g] = queueing::mm1_response_time_or_inf(arr[g], mu_p) +
+                 queueing::mm1_response_time_or_inf(arr[g], mu_n);
+    }
+    benchmark::DoNotOptimize(delay.data());
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_QueueingKernels_Scalar)->Arg(10)->Arg(40);
+
+void BM_QueueingKernels_Batched(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(7);
+  std::vector<double> arr(n), phi_p(n), phi_n(n), mu_p(n), mu_n(n), delay(n);
+  for (std::size_t g = 0; g < n; ++g) {
+    arr[g] = rng.uniform(0.2, 1.5);
+    phi_p[g] = rng.uniform(0.3, 0.9);
+    phi_n[g] = rng.uniform(0.3, 0.9);
+  }
+  for (auto _ : state) {
+    queueing::gps_service_rates(phi_p.data(), 4.0, 0.7, mu_p.data(), n);
+    queueing::gps_service_rates(phi_n.data(), 4.0, 0.7, mu_n.data(), n);
+    queueing::two_stage_delays(arr.data(), mu_p.data(), mu_n.data(),
+                               delay.data(), n);
+    benchmark::DoNotOptimize(delay.data());
+  }
+  state.counters["n"] = static_cast<double>(n);
+}
+BENCHMARK(BM_QueueingKernels_Batched)->Arg(10)->Arg(40);
 
 void BM_ProfitEvaluation(benchmark::State& state) {
   workload::ScenarioParams params;

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 #include "alloc/share_policy.h"
 #include "common/check.h"
 #include "common/mathutil.h"
+#include "model/residual.h"
 #include "opt/dp.h"
+#include "queueing/batch.h"
 #include "queueing/gps.h"
 #include "queueing/mm1.h"
 
@@ -20,6 +23,7 @@ using model::ClientId;
 using model::Cloud;
 using model::ClusterId;
 using model::Placement;
+using model::ResidualView;
 using model::ServerClass;
 using model::ServerId;
 
@@ -28,6 +32,30 @@ struct SliceOption {
   double phi_p = 0.0;
   double phi_n = 0.0;
   double score = opt::kDpInfeasible;
+};
+
+/// Per-call scratch for the batched scoring passes: one entry per quantum
+/// count (index g, entry 0 unused), reused across candidate servers. Also
+/// holds the same-class row-reuse memo (see score_rows).
+struct Scratch {
+  std::vector<double> arr, phi_p, phi_n, mu_p, mu_n, delay;
+  std::vector<int> memo_row;            // (class, active) -> scored row idx
+  std::vector<double> need_p, need_n;   // per class: g=G share demand
+  std::vector<std::uint8_t> need_ready;
+  void resize(std::size_t width) {
+    arr.resize(width);
+    phi_p.resize(width);
+    phi_n.resize(width);
+    mu_p.resize(width);
+    mu_n.resize(width);
+    delay.resize(width);
+  }
+  void reset_memo(std::size_t num_classes) {
+    memo_row.assign(2 * num_classes, -1);
+    need_p.resize(num_classes);
+    need_n.resize(num_classes);
+    need_ready.assign(num_classes, 0);
+  }
 };
 
 /// Sizes one resource's share for a slice: the policy-preferred size
@@ -47,50 +75,84 @@ std::optional<double> size_share(double arrivals, double psi,
   return clamp(share, floor_share, free_share);
 }
 
-}  // namespace
+/// The eq.-8 candidate filter: in-cluster, not excluded, enough free disk,
+/// active when required. Applied identically when building the full list
+/// and when walking the candidate index, so the top-K subset is always a
+/// subsequence of the full list.
+template <class State>
+bool candidate_ok(const State& state, ServerId j, const Client& c,
+                  const InsertionConstraints& constraints) {
+  if (j == constraints.exclude) return false;
+  if (!constraints.allow_inactive && !state.active(j)) return false;
+  if (state.free_disk(j) + kEps < c.disk) return false;
+  return true;
+}
 
-std::optional<InsertionPlan> assign_distribute(
-    const Allocation& alloc, ClientId i, ClusterId k,
-    const AllocatorOptions& opts, const InsertionConstraints& constraints) {
-  const Cloud& cloud = alloc.cloud();
-  const Client& c = cloud.client(i);
-  const auto& fn = cloud.utility_of(i);
-  const int G = opts.psi_grid;
-  CHECK(G >= 1);
-
-  // Linearization anchors: price level, slope, and the share-sizing policy
-  // (delay target vs cloud-wide capacity tightness).
-  const double slope = fn.slope(0.0);
-  const double zc = fn.zero_crossing();
-  const ShareSizing sizing = ShareSizing::from(cloud);
-
-  // Candidate servers: in cluster k, not excluded, enough free disk, and
-  // (when required) already active.
-  std::vector<ServerId> cands;
-  for (ServerId j : cloud.cluster(k).servers) {
-    if (j == constraints.exclude) continue;
-    if (!constraints.allow_inactive && !alloc.active(j)) continue;
-    if (alloc.free_disk(j) + kEps < c.disk) continue;
-    cands.push_back(j);
-  }
-  if (cands.empty()) return std::nullopt;
-
-  // Score every (server, quanta) option.
+/// Fills the (server, quanta) score table for `cands`. Three passes per
+/// server: size the shares (stopping at the first infeasible g — larger g
+/// only needs more capacity), then the batched service-rate and two-stage
+/// delay kernels over the feasible prefix, then the score combination.
+/// The arithmetic is operation-for-operation the scalar
+/// gps_service_rate / mm1_response_time form, so batching never changes a
+/// score bit.
+template <class State>
+void score_rows(const State& state, const Cloud& cloud, const Client& c,
+                double slope, double zc, const ShareSizing& sizing,
+                const AllocatorOptions& opts, int G,
+                const std::vector<ServerId>& cands,
+                std::vector<std::vector<SliceOption>>& options,
+                std::vector<std::vector<double>>& scores, Scratch& scratch) {
   const std::size_t width = static_cast<std::size_t>(G) + 1;
-  std::vector<std::vector<SliceOption>> options(cands.size());
-  std::vector<std::vector<double>> scores(
-      cands.size(), std::vector<double>(width, opt::kDpInfeasible));
+  // Callers hand in long-lived buffers; resize + per-row assign below
+  // reuses row capacity instead of reallocating every call.
+  options.resize(cands.size());
+  scores.resize(cands.size());
+  scratch.resize(width);
+  scratch.reset_memo(cloud.server_classes().size());
 
   for (std::size_t idx = 0; idx < cands.size(); ++idx) {
     const ServerId j = cands[idx];
     const ServerClass& sc = cloud.server_class_of(j);
-    const double free_p = alloc.free_phi_p(j);
-    const double free_n = alloc.free_phi_n(j);
-    const bool was_active = alloc.active(j);
-    options[idx].resize(width);
+    const double free_p = state.free_phi_p(j);
+    const double free_n = state.free_phi_n(j);
+    const bool was_active = state.active(j);
+
+    // Same-class row reuse: the shares depend on the server only through
+    // its class and its free capacity, and both the stability floor and
+    // the preferred size grow with g — so when the g=G demand fits the
+    // free capacity, no share on this row ever touched the clamp and the
+    // whole row is a pure function of (class, active). Rows copied here
+    // are bitwise identical to recomputing them.
+    const auto cls = static_cast<std::size_t>(cloud.server(j).server_class);
+    if (scratch.need_ready[cls] == 0) {
+      const double floor_p = queueing::gps_min_share(
+          c.lambda_pred, sc.cap_p, c.alpha_p, opts.stability_headroom);
+      const double floor_n = queueing::gps_min_share(
+          c.lambda_pred, sc.cap_n, c.alpha_n, opts.stability_headroom);
+      scratch.need_p[cls] = std::max(
+          floor_p, preferred_share(c.lambda_pred, 1.0, sc.cap_p, c.alpha_p, zc,
+                                   sizing.slack_work_p, opts));
+      scratch.need_n[cls] = std::max(
+          floor_n, preferred_share(c.lambda_pred, 1.0, sc.cap_n, c.alpha_n, zc,
+                                   sizing.slack_work_n, opts));
+      scratch.need_ready[cls] = 1;
+    }
+    const bool unclamped =
+        scratch.need_p[cls] <= free_p && scratch.need_n[cls] <= free_n;
+    const std::size_t key = 2 * cls + (was_active ? 1 : 0);
+    if (unclamped && scratch.memo_row[key] >= 0) {
+      const auto src = static_cast<std::size_t>(scratch.memo_row[key]);
+      options[idx] = options[src];
+      scores[idx] = scores[src];
+      continue;
+    }
+
+    options[idx].assign(width, SliceOption{});
+    scores[idx].assign(width, opt::kDpInfeasible);
     scores[idx][0] = 0.0;
     options[idx][0].score = 0.0;
 
+    int gmax = 0;
     for (int g = 1; g <= G; ++g) {
       const double psi = static_cast<double>(g) / static_cast<double>(G);
       const double arrivals = psi * c.lambda_pred;
@@ -99,33 +161,145 @@ std::optional<InsertionPlan> assign_distribute(
       const auto phi_n = size_share(arrivals, psi, sc.cap_n, c.alpha_n, zc,
                                     sizing.slack_work_n, opts, free_n);
       if (!phi_p || !phi_n) break;  // larger g only needs more capacity
+      const std::size_t gg = static_cast<std::size_t>(g);
+      scratch.arr[gg] = arrivals;
+      scratch.phi_p[gg] = *phi_p;
+      scratch.phi_n[gg] = *phi_n;
+      gmax = g;
+    }
+    if (gmax == 0) continue;
 
-      const double mu_p =
-          queueing::gps_service_rate(*phi_p, sc.cap_p, c.alpha_p);
-      const double mu_n =
-          queueing::gps_service_rate(*phi_n, sc.cap_n, c.alpha_n);
-      const double delay = queueing::mm1_response_time(arrivals, mu_p) +
-                           queueing::mm1_response_time(arrivals, mu_n);
+    const auto n = static_cast<std::size_t>(gmax);
+    queueing::gps_service_rates(scratch.phi_p.data() + 1, sc.cap_p, c.alpha_p,
+                                scratch.mu_p.data() + 1, n);
+    queueing::gps_service_rates(scratch.phi_n.data() + 1, sc.cap_n, c.alpha_n,
+                                scratch.mu_n.data() + 1, n);
+    queueing::two_stage_delays(scratch.arr.data() + 1, scratch.mu_p.data() + 1,
+                               scratch.mu_n.data() + 1,
+                               scratch.delay.data() + 1, n);
 
-      double score = -c.lambda_agreed * slope * psi * delay;
+    for (int g = 1; g <= gmax; ++g) {
+      const std::size_t gg = static_cast<std::size_t>(g);
+      const double psi = static_cast<double>(g) / static_cast<double>(G);
+      double score = -c.lambda_agreed * slope * psi * scratch.delay[gg];
       score -= sc.cost_per_util * psi * c.lambda_pred * c.alpha_p / sc.cap_p;
       if (!was_active) score -= sc.cost_fixed;
-
-      const std::size_t gg = static_cast<std::size_t>(g);
-      options[idx][gg] = SliceOption{*phi_p, *phi_n, score};
+      options[idx][gg] =
+          SliceOption{scratch.phi_p[gg], scratch.phi_n[gg], score};
       scores[idx][gg] = score;
     }
+    if (unclamped) scratch.memo_row[key] = static_cast<int>(idx);
   }
+}
 
-  const auto dp = opt::dp_distribute(scores, G);
-  if (!dp) return std::nullopt;
+/// Exactness certificate for a top-K solve. Every score term of an
+/// excluded server j is non-positive and its delay at any quantum count is
+/// bounded below by the delay of the full free share at the one-quantum
+/// arrival rate, so f_j(g) <= g * u_j with
+///
+///   u_j = -(lambda_a * slope * dmin_j + P1_j * lambda * alpha_p / Cp_j) / G.
+///
+/// A split handing h >= 1 quanta to excluded servers therefore scores at
+/// most h * max_j(u_j) + totals[G - h]. When every such bound sits
+/// STRICTLY below the pruned optimum (with a relative margin), no
+/// excluded server can participate in — or tie — any optimal split, and
+/// the exact DP over all candidates returns the identical placements: the
+/// excluded rows' only contribution is the exact +0.0 of zero quanta, so
+/// every surviving cell value and every tie-break the traceback sees is
+/// unchanged.
+template <class State>
+bool certified(const State& state, const Cloud& cloud, const Client& c,
+               double slope, double zc, const ShareSizing& sizing,
+               const AllocatorOptions& opts, int G,
+               const std::vector<ServerId>& cands,
+               const std::vector<ServerId>& pruned,
+               const opt::DpResult& dp) {
+  // The bound needs non-negative revenue/slope (guaranteed by the utility
+  // interface); bail to the exact scan rather than trust it otherwise.
+  if (c.lambda_agreed < 0.0 || slope < 0.0) return false;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
 
+  // Policy delay floor, independent of the server and of g: a slice's
+  // share never exceeds max(preferred, floor) whatever the free capacity,
+  // so its per-stage service slack (mu - lambda) never exceeds
+  // max(slack_max / alpha, stability_headroom) — the preferred share's
+  // slack is min(psi * slack_work, alpha / (theta * zc)) and the floor
+  // pins the slack to exactly the headroom. The free-capacity bound below
+  // can still be tighter on nearly-full servers; each server takes the
+  // larger of the two.
+  const auto policy_dmin = [&](double alpha, double slack_work) {
+    double slack_max = slack_work;
+    if (std::isfinite(zc) && zc > 0.0)
+      slack_max = std::min(slack_max,
+                           alpha / (opts.delay_target_fraction * zc));
+    return 1.0 / std::max(slack_max / alpha, opts.stability_headroom);
+  };
+  const double dmin_policy = policy_dmin(c.alpha_p, sizing.slack_work_p) +
+                             policy_dmin(c.alpha_n, sizing.slack_work_n);
+
+  const double arr1 = c.lambda_pred / static_cast<double>(G);
+  double ubest = 0.0;
+  bool any_excluded_feasible = false;
+  std::size_t pi = 0;  // pruned is a subsequence of cands
+  for (ServerId j : cands) {
+    if (pi < pruned.size() && pruned[pi] == j) {
+      ++pi;
+      continue;
+    }
+    const ServerClass& sc = cloud.server_class_of(j);
+    const double free_p = state.free_phi_p(j);
+    const double free_n = state.free_phi_n(j);
+    // size_share's stability-floor test at one quantum; failing it means
+    // the row is all-infeasible past g=0 and constrains nothing.
+    if (queueing::gps_min_share(arr1, sc.cap_p, c.alpha_p,
+                                opts.stability_headroom) > free_p + kEps)
+      continue;
+    if (queueing::gps_min_share(arr1, sc.cap_n, c.alpha_n,
+                                opts.stability_headroom) > free_n + kEps)
+      continue;
+    const double mu_p_max =
+        queueing::gps_service_rate(free_p, sc.cap_p, c.alpha_p);
+    const double mu_n_max =
+        queueing::gps_service_rate(free_n, sc.cap_n, c.alpha_n);
+    double dmin = queueing::mm1_response_time_or_inf(arr1, mu_p_max) +
+                  queueing::mm1_response_time_or_inf(arr1, mu_n_max);
+    if (!(dmin < kInf)) continue;
+    dmin = std::max(dmin, dmin_policy);
+    const double u =
+        -(c.lambda_agreed * slope * dmin +
+          sc.cost_per_util * c.lambda_pred * c.alpha_p / sc.cap_p) /
+        static_cast<double>(G);
+    if (!any_excluded_feasible || u > ubest) {
+      ubest = u;
+      any_excluded_feasible = true;
+    }
+  }
+  if (!any_excluded_feasible) return true;
+
+  const double margin = 1e-9 * std::max(1.0, std::abs(dp.score));
+  for (int h = 1; h <= G; ++h) {
+    const double rest = dp.totals[static_cast<std::size_t>(G - h)];
+    if (rest <= opt::kDpInfeasible) continue;  // no feasible completion
+    if (static_cast<double>(h) * ubest + rest >= dp.score - margin)
+      return false;
+  }
+  return true;
+}
+
+InsertionPlan build_plan(const Client& c, const Cloud& cloud, ClientId i,
+                         ClusterId k, int G,
+                         const std::vector<ServerId>& cands,
+                         const std::vector<std::vector<SliceOption>>& options,
+                         const opt::DpResult& dp) {
   InsertionPlan plan;
   plan.cluster = k;
   // Constant part of the linearized revenue (psi sums to one).
-  plan.score = c.lambda_agreed * fn.max_value() + dp->score;
+  plan.score = c.lambda_agreed * cloud.utility_of(i).max_value() + dp.score;
+  std::size_t used = 0;
+  for (int g : dp.quanta) used += g > 0 ? 1 : 0;
+  plan.placements.reserve(used);
   for (std::size_t idx = 0; idx < cands.size(); ++idx) {
-    const int g = dp->quanta[idx];
+    const int g = dp.quanta[idx];
     if (g == 0) continue;
     const SliceOption& option = options[idx][static_cast<std::size_t>(g)];
     Placement p;
@@ -139,15 +313,118 @@ std::optional<InsertionPlan> assign_distribute(
   return plan;
 }
 
-std::optional<InsertionPlan> best_insertion(
-    const Allocation& alloc, ClientId i, const AllocatorOptions& opts,
-    const InsertionConstraints& constraints) {
+template <class State>
+std::optional<InsertionPlan> assign_distribute_impl(
+    const State& state, ClientId i, ClusterId k, const AllocatorOptions& opts,
+    const InsertionConstraints& constraints, InsertionStats* stats) {
+  const Cloud& cloud = state.cloud();
+  const Client& c = cloud.client(i);
+  const auto& fn = cloud.utility_of(i);
+  const int G = opts.psi_grid;
+  CHECK(G >= 1);
+
+  // Linearization anchors: price level, slope, and the share-sizing policy
+  // (delay target vs cloud-wide capacity tightness).
+  const double slope = fn.slope(0.0);
+  const double zc = fn.zero_crossing();
+  const ShareSizing sizing = ShareSizing::from(cloud);
+
+  // Candidate servers in cluster order — the row order of the exact DP.
+  // All scratch here is thread_local: the allocator probes tens of
+  // thousands of insertions per run and these buffers dominated the
+  // allocator's heap traffic. Each call fully (re)initializes what it
+  // reads, so reuse is invisible to results.
+  const auto& cluster_servers = cloud.cluster(k).servers;
+  thread_local std::vector<ServerId> cands;
+  cands.clear();
+  cands.reserve(cluster_servers.size());
+  for (ServerId j : cluster_servers)
+    if (candidate_ok(state, j, c, constraints)) cands.push_back(j);
+  if (cands.empty()) return std::nullopt;
+
+  thread_local Scratch scratch;
+  thread_local std::vector<std::vector<SliceOption>> options;
+  thread_local std::vector<std::vector<double>> scores;
+
+  const int topk = opts.candidate_topk;
+  if (topk > 0 && static_cast<int>(cands.size()) > topk) {
+    // Top-K by the residual-capacity index, re-expressed in cluster order
+    // so the pruned DP tie-breaks exactly like the full scan would.
+    std::vector<ServerId> chosen;
+    chosen.reserve(static_cast<std::size_t>(topk));
+    for (ServerId j : state.insertion_candidates(k)) {
+      if (!candidate_ok(state, j, c, constraints)) continue;
+      chosen.push_back(j);
+      if (static_cast<int>(chosen.size()) == topk) break;
+    }
+    std::vector<ServerId> pruned;
+    pruned.reserve(chosen.size());
+    for (ServerId j : cands)
+      if (std::find(chosen.begin(), chosen.end(), j) != chosen.end())
+        pruned.push_back(j);
+    if (stats != nullptr) stats->last_pruned_set = pruned;
+
+    score_rows(state, cloud, c, slope, zc, sizing, opts, G, pruned, options,
+               scores, scratch);
+    const auto dp = opt::dp_distribute(scores, G);
+    if (dp && certified(state, cloud, c, slope, zc, sizing, opts, G, cands,
+                        pruned, *dp)) {
+      if (stats != nullptr) ++stats->pruned_solves;
+      return build_plan(c, cloud, i, k, G, pruned, options, *dp);
+    }
+    // Uncertified (or the pruned set alone cannot host the client): pay
+    // for the exact scan. The pruned attempt is wasted work, so K trades
+    // prune rate against fallback cost.
+    if (stats != nullptr) ++stats->exact_fallbacks;
+  } else if (stats != nullptr) {
+    ++stats->full_solves;
+  }
+
+  score_rows(state, cloud, c, slope, zc, sizing, opts, G, cands, options,
+             scores, scratch);
+  const auto dp = opt::dp_distribute(scores, G);
+  if (!dp) return std::nullopt;
+  return build_plan(c, cloud, i, k, G, cands, options, *dp);
+}
+
+template <class State>
+std::optional<InsertionPlan> best_insertion_impl(
+    const State& state, ClientId i, const AllocatorOptions& opts,
+    const InsertionConstraints& constraints, InsertionStats* stats) {
   std::optional<InsertionPlan> best;
-  for (ClusterId k = 0; k < alloc.cloud().num_clusters(); ++k) {
-    auto plan = assign_distribute(alloc, i, k, opts, constraints);
+  for (ClusterId k = 0; k < state.cloud().num_clusters(); ++k) {
+    auto plan = assign_distribute_impl(state, i, k, opts, constraints, stats);
     if (plan && (!best || plan->score > best->score)) best = std::move(plan);
   }
   return best;
+}
+
+}  // namespace
+
+std::optional<InsertionPlan> assign_distribute(
+    const Allocation& alloc, ClientId i, ClusterId k,
+    const AllocatorOptions& opts, const InsertionConstraints& constraints,
+    InsertionStats* stats) {
+  return assign_distribute_impl(alloc, i, k, opts, constraints, stats);
+}
+
+std::optional<InsertionPlan> assign_distribute(
+    const ResidualView& view, ClientId i, ClusterId k,
+    const AllocatorOptions& opts, const InsertionConstraints& constraints,
+    InsertionStats* stats) {
+  return assign_distribute_impl(view, i, k, opts, constraints, stats);
+}
+
+std::optional<InsertionPlan> best_insertion(
+    const Allocation& alloc, ClientId i, const AllocatorOptions& opts,
+    const InsertionConstraints& constraints, InsertionStats* stats) {
+  return best_insertion_impl(alloc, i, opts, constraints, stats);
+}
+
+std::optional<InsertionPlan> best_insertion(
+    const ResidualView& view, ClientId i, const AllocatorOptions& opts,
+    const InsertionConstraints& constraints, InsertionStats* stats) {
+  return best_insertion_impl(view, i, opts, constraints, stats);
 }
 
 }  // namespace cloudalloc::alloc

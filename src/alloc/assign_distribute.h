@@ -19,6 +19,20 @@
 //
 // and a dynamic program combines servers under sum_j g_j = G. Servers
 // without enough free disk for m_i are excluded up front (eq. 8).
+//
+// Candidate pruning (AllocatorOptions::candidate_topk): instead of scoring
+// every feasible server, the evaluator first solves the DP over the top-K
+// servers of the cluster's insertion-candidate index (residual processing
+// rate descending — see Allocation::insertion_candidates). The pruned
+// result is accepted only when a per-quantum optimistic bound proves no
+// excluded server could participate in any split that matches or beats it
+// (strict margin), in which case the full scan would return the identical
+// plan; otherwise the evaluator falls back to the exact full scan. Pruning
+// is therefore a pure speedup: results are bit-identical with it on or off.
+//
+// Both the full Allocation and the flat ResidualView (model/residual.h)
+// satisfy the state interface, so speculative probes can run against a
+// cheap SoA snapshot without cloning an Allocation.
 #pragma once
 
 #include <optional>
@@ -26,6 +40,10 @@
 
 #include "alloc/options.h"
 #include "model/allocation.h"
+
+namespace cloudalloc::model {
+class ResidualView;
+}  // namespace cloudalloc::model
 
 namespace cloudalloc::alloc {
 
@@ -44,18 +62,42 @@ struct InsertionPlan {
   double score = 0.0;
 };
 
+/// Optional instrumentation of the candidate-pruning machinery; counters
+/// accumulate across calls. Tests use it to assert the top-K set kept the
+/// true argmax server (or that the exact fallback fired); the bench uses
+/// it to report prune rates.
+struct InsertionStats {
+  int pruned_solves = 0;     ///< certified top-K solves (no full scan)
+  int exact_fallbacks = 0;   ///< top-K attempted but certification failed
+  int full_solves = 0;       ///< solved exactly without attempting top-K
+  /// Pruned candidate set of the most recent top-K attempt.
+  std::vector<model::ServerId> last_pruned_set;
+};
+
 /// Evaluates the best insertion of (currently unassigned) client i into
 /// cluster k against the allocation's current state. Returns nullopt when
 /// the cluster cannot feasibly host the client.
 std::optional<InsertionPlan> assign_distribute(
     const model::Allocation& alloc, model::ClientId i, model::ClusterId k,
-    const AllocatorOptions& opts,
-    const InsertionConstraints& constraints = {});
+    const AllocatorOptions& opts, const InsertionConstraints& constraints = {},
+    InsertionStats* stats = nullptr);
+
+/// Same evaluation against a ResidualView snapshot — no Allocation needed.
+std::optional<InsertionPlan> assign_distribute(
+    const model::ResidualView& view, model::ClientId i, model::ClusterId k,
+    const AllocatorOptions& opts, const InsertionConstraints& constraints = {},
+    InsertionStats* stats = nullptr);
 
 /// Convenience: best insertion across all clusters (nullopt if none fits).
 std::optional<InsertionPlan> best_insertion(
     const model::Allocation& alloc, model::ClientId i,
-    const AllocatorOptions& opts,
-    const InsertionConstraints& constraints = {});
+    const AllocatorOptions& opts, const InsertionConstraints& constraints = {},
+    InsertionStats* stats = nullptr);
+
+/// best_insertion against a ResidualView snapshot.
+std::optional<InsertionPlan> best_insertion(
+    const model::ResidualView& view, model::ClientId i,
+    const AllocatorOptions& opts, const InsertionConstraints& constraints = {},
+    InsertionStats* stats = nullptr);
 
 }  // namespace cloudalloc::alloc

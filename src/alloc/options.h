@@ -14,6 +14,18 @@ struct AllocatorOptions {
   /// Granularity G of the psi grid in Assign_Distribute's DP.
   int psi_grid = 10;
 
+  /// Assign_Distribute first solves its DP over only the top-K servers of
+  /// the cluster's insertion-candidate index and keeps that result when a
+  /// score bound certifies no excluded server could participate in (or
+  /// tie) an optimal split; otherwise it falls back to the exact full
+  /// scan. Results are bit-identical either way — this knob only trades
+  /// probe cost against fallback rate. <= 0 disables pruning (the
+  /// default: certification requires every excluded server to be strictly
+  /// worse, and a cluster whose same-class servers have similar residuals
+  /// ties instead, so pruning pays only on clusters whose excluded tail
+  /// is genuinely starved — enable it there explicitly).
+  int candidate_topk = 0;
+
   /// Required absolute service-rate slack (requests/s) per M/M/1 queue so
   /// allocations stay strictly stable (the paper's "small positive" floor
   /// of constraint (7)).
@@ -41,6 +53,24 @@ struct AllocatorOptions {
   /// Decision epochs have deadlines — the allocation must be ready before
   /// the predictions that shaped it go stale (Section III).
   double time_budget_ms = 0.0;
+
+  /// TurnOFF pre-screen (absolute profit units): every candidate shutdown
+  /// is first priced clone-free on a ResidualView of the shrunk cluster
+  /// (evictions and re-insertions through the delta pricer); the expensive
+  /// materialization — clone, share re-grow, exact profit gate — runs only
+  /// when that estimate is above -power_screen_margin. The estimate omits
+  /// the re-grow step, so the margin absorbs how much re-growing shares
+  /// can add on top of the priced moves. Negative disables the screen
+  /// (every surviving candidate is materialized and gated exactly).
+  double power_screen_margin = 1.0;
+
+  /// TurnOFF early exit: candidates are probed worst-value first, and a
+  /// pass over a cluster stops after this many consecutive candidates
+  /// fail (eviction infeasible, screened out, or gate-rejected). The
+  /// ranking means every remaining candidate carries strictly more value
+  /// than the ones that just failed, so shutdown attempts on them are
+  /// even less likely to pay. <= 0 probes every candidate.
+  int power_patience = 4;
 
   // Stage toggles (the ablation bench flips these).
   bool enable_adjust_shares = true;

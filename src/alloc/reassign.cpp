@@ -7,15 +7,69 @@
 #include <vector>
 
 #include "alloc/assign_distribute.h"
+#include "alloc/delta_price.h"
 #include "common/check.h"
 #include "common/mathutil.h"
 #include "model/evaluator.h"
+#include "model/residual.h"
 
 namespace cloudalloc::alloc {
 
 using model::Allocation;
 using model::ClientId;
 using model::ClusterId;
+using model::ResidualView;
+
+namespace {
+
+/// Moves whose delta-priced profit change is below this are rejected
+/// without touching the Allocation. The screen is three orders of
+/// magnitude wider than the exact commit test's 1e-12, and the predicted
+/// delta agrees with the exact one to rounding of the full-profit
+/// magnitude, so the screen only drops moves the exact test would reject
+/// anyway; borderline moves still go through commit/rollback.
+constexpr double kPredictReject = 1e-9;
+
+/// Applies `plan` to client i with the exact-profit accept test (commit
+/// only if true profit does not regress past 1e-12), rolling the
+/// Allocation back otherwise. `profit_now` carries the settled profit
+/// across calls so nothing is re-evaluated between moves; `live` is
+/// re-synced from the allocation's post-move aggregates either way (a
+/// rollback's remove/add round trip drifts them by ulps, so mirroring the
+/// ops instead would let the view diverge from the allocation).
+bool commit_move(Allocation& alloc, ResidualView& live, ClientId i,
+                 bool was_assigned, const InsertionPlan& plan,
+                 double& profit_now, double& delta) {
+  const ClusterId old_cluster =
+      was_assigned ? alloc.cluster_of(i) : model::kNoCluster;
+  std::vector<model::Placement> old_placements;  // materialized only here,
+  if (was_assigned) {                            // once a move is attempted
+    old_placements = alloc.placements(i);
+    alloc.clear(i);
+  }
+  alloc.assign(i, plan.cluster, plan.placements);
+  const double after = model::profit(alloc);
+  const auto resync = [&](const std::vector<model::Placement>& ps) {
+    for (const model::Placement& p : ps) live.resync_server(alloc, p.server);
+  };
+  if (after + 1e-12 < profit_now) {
+    alloc.clear(i);
+    if (was_assigned) alloc.assign(i, old_cluster, old_placements);
+    // No re-evaluation on rollback: the restored profit equals profit_now
+    // up to the round trip's rounding, and the next exact evaluation
+    // repairs the caches from the rolled-back state anyway.
+    resync(old_placements);
+    resync(plan.placements);
+    return false;
+  }
+  delta += after - profit_now;
+  profit_now = after;
+  resync(old_placements);
+  resync(plan.placements);
+  return true;
+}
+
+}  // namespace
 
 double reassign_pass(Allocation& alloc, const AllocatorOptions& opts) {
   const auto& cloud = alloc.cloud();
@@ -26,29 +80,31 @@ double reassign_pass(Allocation& alloc, const AllocatorOptions& opts) {
     return alloc.response_time(a) > alloc.response_time(b);
   });
 
+  // Settle once; from here profit is tracked through commit_move and moves
+  // are pre-screened on a delta-priced view, so clients whose probe finds
+  // no (worthwhile) move cost zero Allocation churn and zero cache repair.
+  double profit_now = model::profit(alloc);
+  ResidualView live(alloc);
+  ResidualView::Undo undo;
+
   double delta = 0.0;
   for (ClientId i : order) {
-    const double before = model::profit(alloc);
     const bool was_assigned = alloc.is_assigned(i);
-    const ClusterId old_cluster =
-        was_assigned ? alloc.cluster_of(i) : model::kNoCluster;
-    const std::vector<model::Placement> old_placements =
-        was_assigned ? alloc.placements(i) : std::vector<model::Placement>{};
-
-    if (was_assigned) alloc.clear(i);
-    auto plan = best_insertion(alloc, i, opts);
-    if (!plan) {
-      if (was_assigned) alloc.assign(i, old_cluster, old_placements);
-      continue;
+    std::optional<InsertionPlan> plan;
+    double predicted = 0.0;
+    if (was_assigned) {
+      const std::vector<model::Placement>& old_ps = alloc.placements(i);
+      const double vacate = removal_delta(live, i, old_ps);
+      live.remove_client(i, old_ps, &undo);
+      plan = best_insertion(live, i, opts);
+      if (plan) predicted = vacate + insertion_delta(live, i, plan->placements);
+      live.restore(undo);
+    } else {
+      plan = best_insertion(live, i, opts);
+      if (plan) predicted = insertion_delta(live, i, plan->placements);
     }
-    alloc.assign(i, plan->cluster, std::move(plan->placements));
-    const double after = model::profit(alloc);
-    if (after + 1e-12 < before) {
-      alloc.clear(i);
-      if (was_assigned) alloc.assign(i, old_cluster, old_placements);
-      continue;
-    }
-    delta += after - before;
+    if (!plan || predicted < -kPredictReject) continue;
+    commit_move(alloc, live, i, was_assigned, *plan, profit_now, delta);
   }
   return delta;
 }
@@ -67,42 +123,50 @@ double reassign_pass_snapshot(Allocation& alloc, const AllocatorOptions& opts,
     return alloc.response_time(a) > alloc.response_time(b);
   });
 
-  // Phase 1: price every client's best move against a frozen snapshot.
-  // Each chunk works on a private clone and restores it after probing a
-  // client, so every plan depends only on the snapshot — not on chunk
-  // boundaries or scheduling. Chunk size is fixed (never derived from the
-  // worker count) for the same reason.
-  model::Allocation snapshot = alloc.clone();
-  (void)model::profit(snapshot);  // settle caches: clones become pure reads
-  CHECK(snapshot.profit_settled());
+  // Phase 1: price every client's best move against a frozen SoA snapshot
+  // of the settled allocation. Each chunk copies the flat view (a handful
+  // of vector copies — no Allocation::clone anywhere) and probes each
+  // client by vacate/probe/restore, so every plan depends only on the
+  // snapshot — not on chunk boundaries or scheduling. Chunk size is fixed
+  // (never derived from the worker count) for the same reason. The settled
+  // allocation itself is only read (placements), which the frozen-snapshot
+  // contract allows.
+  double profit_now = model::profit(alloc);  // settle: reads become pure
+  CHECK(alloc.profit_settled());
+  const ResidualView base(alloc);
   constexpr int kChunk = 16;
   std::vector<std::optional<InsertionPlan>> plans(static_cast<std::size_t>(n));
   eval.for_chunks(n, kChunk, [&](int begin, int end) {
-    model::Allocation scratch = snapshot.clone();
+    ResidualView scratch = base;
+    ResidualView::Undo undo;
     for (int idx = begin; idx < end; ++idx) {
       const ClientId i = order[static_cast<std::size_t>(idx)];
-      const bool was_assigned = scratch.is_assigned(i);
-      const ClusterId old_cluster =
-          was_assigned ? scratch.cluster_of(i) : model::kNoCluster;
-      const std::vector<model::Placement> old_placements =
-          was_assigned ? scratch.placements(i)
-                       : std::vector<model::Placement>{};
-      if (was_assigned) scratch.clear(i);
-      plans[static_cast<std::size_t>(idx)] = best_insertion(scratch, i, opts);
-      if (was_assigned) scratch.assign(i, old_cluster, old_placements);
+      if (alloc.is_assigned(i)) {
+        scratch.remove_client(i, alloc.placements(i), &undo);
+        plans[static_cast<std::size_t>(idx)] =
+            best_insertion(scratch, i, opts);
+        scratch.restore(undo);
+      } else {
+        plans[static_cast<std::size_t>(idx)] =
+            best_insertion(scratch, i, opts);
+      }
     }
   });
 
-  // Phase 2: apply sequentially in the fixed order. Earlier winners may
-  // have consumed the capacity a snapshot plan assumed, so re-validate the
-  // fit and fall back to a live re-price when it no longer holds.
+  // Phase 2: apply sequentially in the fixed order against the live state,
+  // mirrored by a view kept bitwise in sync with the allocation. Earlier
+  // winners may have consumed the capacity a snapshot plan assumed, so
+  // re-validate the fit and fall back to a live re-price when it no longer
+  // holds.
+  ResidualView live = base;
+  ResidualView::Undo undo;
   const auto fits = [&](ClientId i, const InsertionPlan& plan) {
     constexpr double kSlack = 1e-9;
     const double disk = cloud.client(i).disk;
     for (const model::Placement& p : plan.placements) {
-      if (p.phi_p > alloc.free_phi_p(p.server) + kSlack) return false;
-      if (p.phi_n > alloc.free_phi_n(p.server) + kSlack) return false;
-      if (disk > alloc.free_disk(p.server) + kSlack) return false;
+      if (p.phi_p > live.free_phi_p(p.server) + kSlack) return false;
+      if (p.phi_n > live.free_phi_n(p.server) + kSlack) return false;
+      if (disk > live.free_disk(p.server) + kSlack) return false;
     }
     return true;
   };
@@ -111,28 +175,23 @@ double reassign_pass_snapshot(Allocation& alloc, const AllocatorOptions& opts,
   for (int idx = 0; idx < n; ++idx) {
     if (!plans[static_cast<std::size_t>(idx)]) continue;
     const ClientId i = order[static_cast<std::size_t>(idx)];
-    const double before = model::profit(alloc);
     const bool was_assigned = alloc.is_assigned(i);
-    const ClusterId old_cluster =
-        was_assigned ? alloc.cluster_of(i) : model::kNoCluster;
-    const std::vector<model::Placement> old_placements =
-        was_assigned ? alloc.placements(i) : std::vector<model::Placement>{};
-
-    if (was_assigned) alloc.clear(i);
-    std::optional<InsertionPlan> plan = plans[static_cast<std::size_t>(idx)];
-    if (!fits(i, *plan)) plan = best_insertion(alloc, i, opts);
-    if (!plan) {
-      if (was_assigned) alloc.assign(i, old_cluster, old_placements);
-      continue;
+    std::optional<InsertionPlan> plan =
+        std::move(plans[static_cast<std::size_t>(idx)]);
+    double predicted = 0.0;
+    if (was_assigned) {
+      const std::vector<model::Placement>& old_ps = alloc.placements(i);
+      const double vacate = removal_delta(live, i, old_ps);
+      live.remove_client(i, old_ps, &undo);
+      if (!fits(i, *plan)) plan = best_insertion(live, i, opts);
+      if (plan) predicted = vacate + insertion_delta(live, i, plan->placements);
+      live.restore(undo);
+    } else {
+      if (!fits(i, *plan)) plan = best_insertion(live, i, opts);
+      if (plan) predicted = insertion_delta(live, i, plan->placements);
     }
-    alloc.assign(i, plan->cluster, std::move(plan->placements));
-    const double after = model::profit(alloc);
-    if (after + 1e-12 < before) {
-      alloc.clear(i);
-      if (was_assigned) alloc.assign(i, old_cluster, old_placements);
-      continue;
-    }
-    delta += after - before;
+    if (!plan || predicted < -kPredictReject) continue;
+    commit_move(alloc, live, i, was_assigned, *plan, profit_now, delta);
   }
   return delta;
 }

@@ -14,16 +14,20 @@ namespace cloudalloc::alloc {
 
 /// One pass: every client (worst-served first) is removed and re-inserted
 /// into its best cluster; each move commits only if true profit improves.
-/// Also retries clients that are currently unassigned. Returns the delta.
+/// Also retries clients that are currently unassigned. Moves are probed
+/// and delta-priced against a ResidualView mirror of the allocation, so a
+/// client with no (worthwhile) move costs no Allocation mutation and no
+/// profit-cache repair. Returns the delta.
 double reassign_pass(model::Allocation& alloc, const AllocatorOptions& opts);
 
 /// Snapshot-scored variant used by the allocator hot path: candidate moves
-/// for all clients are priced concurrently against a frozen copy of the
-/// allocation (read-only fan-out on `eval`), then the winners are applied
-/// sequentially, re-validated against the live state (capacity fit + true
-/// profit improvement; a stale plan falls back to a live re-price). The
-/// apply order and all tie-breaks are fixed, so the result is bit-identical
-/// at any thread count — including the inline default. Returns the delta.
+/// for all clients are priced concurrently against a frozen SoA snapshot
+/// (ResidualView — flat vectors, no Allocation clones; read-only fan-out
+/// on `eval`), then the winners are applied sequentially, re-validated
+/// against the live state (capacity fit + delta-price screen + true profit
+/// improvement; a stale plan falls back to a live re-price). The apply
+/// order and all tie-breaks are fixed, so the result is bit-identical at
+/// any thread count — including the inline default. Returns the delta.
 double reassign_pass_snapshot(model::Allocation& alloc,
                               const AllocatorOptions& opts,
                               const dist::ParallelEval& eval = {});

@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "alloc/adjust_shares.h"
 #include "alloc/assign_distribute.h"
+#include "alloc/delta_price.h"
 #include "common/check.h"
 #include "model/evaluator.h"
+#include "model/residual.h"
 
 namespace cloudalloc::alloc {
 namespace {
@@ -126,47 +130,95 @@ double turn_off_servers(Allocation& alloc, ClusterId k,
   const Cloud& cloud = alloc.cloud();
   double total_delta = 0.0;
 
-  // Rank active, non-pinned servers by value, worst first.
-  std::vector<ServerId> candidates;
+  // Rank active, non-pinned servers by value, worst first. Values are
+  // precomputed once: server_value walks the server's hosted clients, so
+  // evaluating it inside the sort comparator would cost O(C log C) passes.
+  std::vector<std::pair<double, ServerId>> ranked;
   for (ServerId j : cloud.cluster(k).servers)
     if (alloc.active(j) && !cloud.server(j).background.keeps_on)
-      candidates.push_back(j);
-  std::sort(candidates.begin(), candidates.end(), [&](ServerId a, ServerId b) {
-    return server_value(alloc, a) < server_value(alloc, b);
-  });
+      ranked.emplace_back(server_value(alloc, j), j);
+  std::sort(ranked.begin(), ranked.end());
 
   // Shares on healthy servers sit up to share_growth x their preferred
   // size; evicted clients only fit if that surplus is reclaimed first.
   AllocatorOptions shrink = opts;
   shrink.share_growth = 1.0;
 
-  for (ServerId j : candidates) {
-    if (!alloc.active(j)) continue;  // emptied by an earlier shutdown
-    Allocation trial = alloc.clone();
-    const std::vector<ClientId> evicted = trial.clients_on(j);  // copy
-    InsertionConstraints constraints;
-    constraints.exclude = j;
-    constraints.allow_inactive = false;  // reassign onto *active* servers
-
-    // Make room on the survivors, then evict & reinsert.
+  // The shrunk cluster is the same for every candidate whose attempt does
+  // not commit, so it is built once and shared: one clone + one share
+  // sweep per pass instead of per candidate (rebuilt after a commit).
+  // Shrinking the candidate itself is immaterial — its clients are evicted
+  // before anything reads their shares, and its aggregates reset exactly
+  // to zero when it empties.
+  std::optional<Allocation> shrunk;
+  std::optional<model::ResidualView> base;
+  const auto ensure_base = [&] {
+    if (shrunk) return;
+    shrunk.emplace(alloc.clone());
     for (ServerId other : cloud.cluster(k).servers)
-      if (other != j && trial.active(other))
-        adjust_resource_shares(trial, other, shrink);
+      if (shrunk->active(other)) adjust_resource_shares(*shrunk, other, shrink);
+    model::profit(*shrunk);  // settle before snapshotting
+    base.emplace(*shrunk);
+  };
 
+  InsertionConstraints constraints;
+  constraints.allow_inactive = false;  // reassign onto *active* servers
+
+  int failures = 0;  // consecutive non-commits, for the patience exit
+  for (const auto& [value, j] : ranked) {
+    (void)value;
+    if (opts.power_patience > 0 && failures >= opts.power_patience) break;
+    if (!alloc.active(j)) continue;  // emptied by an earlier shutdown
+    ensure_base();
+    constraints.exclude = j;
+
+    // Probe the shutdown clone-free: evict and re-insert the candidate's
+    // clients one at a time on a view of the shrunk cluster, pricing each
+    // step with the delta pricer. The view mirrors the allocation
+    // bitwise, so the plans transfer verbatim to the replay below.
+    model::ResidualView probe = *base;
+    const std::vector<ClientId> evicted = shrunk->clients_on(j);  // copy
+    std::vector<InsertionPlan> plans;
+    plans.reserve(evicted.size());
+    double move_delta = 0.0;
     bool ok = true;
     for (ClientId i : evicted) {
-      const ClusterId home = trial.cluster_of(i);
-      trial.clear(i);
-      auto plan = assign_distribute(trial, i, home, opts, constraints);
+      const std::vector<model::Placement>& old_ps = shrunk->placements(i);
+      move_delta += removal_delta(probe, i, old_ps);
+      probe.remove_client(i, old_ps);
+      auto plan = assign_distribute(probe, i, shrunk->cluster_of(i), opts,
+                                    constraints);
       if (!plan) {
         ok = false;
         break;
       }
-      trial.assign(i, home, std::move(plan->placements));
+      move_delta += insertion_delta(probe, i, plan->placements);
+      probe.add_client(i, plan->placements);
+      plans.push_back(std::move(*plan));
     }
-    if (!ok) continue;
+    if (!ok) {
+      ++failures;
+      continue;
+    }
 
-    // Re-grow shares to the normal policy before judging the result.
+    // Screen: the shrink and re-grow sweeps on the survivors roughly
+    // cancel at the gate, so the priced moves carry the decision; only
+    // candidates within the margin pay for materialization.
+    if (opts.power_screen_margin >= 0.0 &&
+        move_delta < -opts.power_screen_margin) {
+      ++failures;
+      continue;
+    }
+
+    // Materialize: replay the probed plans on a clone of the shrunk
+    // cluster, re-grow shares to the normal policy, and judge the exact
+    // profit gate.
+    Allocation trial = shrunk->clone();
+    for (std::size_t idx = 0; idx < evicted.size(); ++idx) {
+      const ClientId i = evicted[idx];
+      trial.clear(i);
+      trial.assign(i, plans[idx].cluster, std::move(plans[idx].placements));
+    }
     for (ServerId other : cloud.cluster(k).servers)
       if (trial.active(other)) adjust_resource_shares(trial, other, opts);
 
@@ -175,6 +227,11 @@ double turn_off_servers(Allocation& alloc, ClusterId k,
     if (gate_after > gate_before + 1e-12) {
       total_delta += gate_after - gate_before;
       alloc = std::move(trial);
+      shrunk.reset();
+      base.reset();
+      failures = 0;
+    } else {
+      ++failures;
     }
   }
   return total_delta;

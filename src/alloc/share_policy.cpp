@@ -41,26 +41,6 @@ ShareSizing ShareSizing::from(const model::Cloud& cloud) {
   return sizing;
 }
 
-double preferred_share(double arrivals, double psi, double cap, double alpha,
-                       double zc, double slack_work,
-                       const AllocatorOptions& opts) {
-  CHECK(cap > 0.0);
-  CHECK(alpha > 0.0);
-  CHECK(psi > 0.0 && psi <= 1.0 + 1e-9);
-  double slack = psi * slack_work;
-  if (std::isfinite(zc) && zc > 0.0) {
-    // Delay-target slack in work units: slack_rate = 1/(theta*zc), times
-    // alpha to convert requests/s to work/s.
-    const double delay_slack = alpha / (opts.delay_target_fraction * zc);
-    slack = std::min(slack, delay_slack);
-  }
-  return (arrivals * alpha + slack) / cap;
-}
-
-double share_cap(double arrivals, double psi, double cap, double alpha,
-                 double zc, double slack_work, const AllocatorOptions& opts) {
-  return opts.share_growth *
-         preferred_share(arrivals, psi, cap, alpha, zc, slack_work, opts);
-}
+// preferred_share / share_cap are inline in the header (hot path).
 
 }  // namespace cloudalloc::alloc

@@ -18,7 +18,11 @@
 // all future moves (DESIGN.md [interp]).
 #pragma once
 
+#include <algorithm>
+#include <cmath>
+
 #include "alloc/options.h"
+#include "common/check.h"
 #include "model/cloud.h"
 
 namespace cloudalloc::alloc {
@@ -43,13 +47,31 @@ struct ShareSizing {
 /// budget is scaled by psi so a split client consumes exactly one budget
 /// in total (and the resulting delay penalty for splitting steers the
 /// insertion DP toward concentration, as the paper's local search does).
-double preferred_share(double arrivals, double psi, double cap, double alpha,
-                       double zc, double slack_work,
-                       const AllocatorOptions& opts);
+/// Inline: the insertion scorer evaluates this over a million times per
+/// allocator run.
+inline double preferred_share(double arrivals, double psi, double cap,
+                              double alpha, double zc, double slack_work,
+                              const AllocatorOptions& opts) {
+  CHECK(cap > 0.0);
+  CHECK(alpha > 0.0);
+  CHECK(psi > 0.0 && psi <= 1.0 + 1e-9);
+  double slack = psi * slack_work;
+  if (std::isfinite(zc) && zc > 0.0) {
+    // Delay-target slack in work units: slack_rate = 1/(theta*zc), times
+    // alpha to convert requests/s to work/s.
+    const double delay_slack = alpha / (opts.delay_target_fraction * zc);
+    slack = std::min(slack, delay_slack);
+  }
+  return (arrivals * alpha + slack) / cap;
+}
 
 /// Ceiling for the share-rebalance step: opts.share_growth times the
 /// preferred share.
-double share_cap(double arrivals, double psi, double cap, double alpha,
-                 double zc, double slack_work, const AllocatorOptions& opts);
+inline double share_cap(double arrivals, double psi, double cap, double alpha,
+                        double zc, double slack_work,
+                        const AllocatorOptions& opts) {
+  return opts.share_growth *
+         preferred_share(arrivals, psi, cap, alpha, zc, slack_work, opts);
+}
 
 }  // namespace cloudalloc::alloc

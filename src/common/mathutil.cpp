@@ -1,55 +1,4 @@
 #include "common/mathutil.h"
 
-#include "common/check.h"
-
-namespace cloudalloc {
-
-double bisect(const std::function<double(double)>& f, double lo, double hi,
-              int iters) {
-  CHECK(lo <= hi);
-  double flo = f(lo);
-  if (flo == 0.0) return lo;
-  double fhi = f(hi);
-  if (fhi == 0.0) return hi;
-  CHECK_MSG((flo < 0.0) != (fhi < 0.0), "bisect: endpoints do not bracket");
-  for (int it = 0; it < iters; ++it) {
-    const double mid = 0.5 * (lo + hi);
-    const double fm = f(mid);
-    if (fm == 0.0) return mid;
-    if ((fm < 0.0) == (flo < 0.0)) {
-      lo = mid;
-      flo = fm;
-    } else {
-      hi = mid;
-    }
-  }
-  return 0.5 * (lo + hi);
-}
-
-double golden_section_min(const std::function<double(double)>& f, double lo,
-                          double hi, int iters) {
-  CHECK(lo <= hi);
-  constexpr double kInvPhi = 0.6180339887498949;
-  double a = lo, b = hi;
-  double x1 = b - kInvPhi * (b - a);
-  double x2 = a + kInvPhi * (b - a);
-  double f1 = f(x1), f2 = f(x2);
-  for (int it = 0; it < iters; ++it) {
-    if (f1 < f2) {
-      b = x2;
-      x2 = x1;
-      f2 = f1;
-      x1 = b - kInvPhi * (b - a);
-      f1 = f(x1);
-    } else {
-      a = x1;
-      x1 = x2;
-      f1 = f2;
-      x2 = a + kInvPhi * (b - a);
-      f2 = f(x2);
-    }
-  }
-  return 0.5 * (a + b);
-}
-
-}  // namespace cloudalloc
+// bisect / golden_section_min moved into the header as templates so hot
+// callers inline their objective lambdas; this TU intentionally left empty.

@@ -4,8 +4,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstddef>
-#include <functional>
 #include <limits>
+
+#include "common/check.h"
 
 namespace cloudalloc {
 
@@ -31,12 +32,56 @@ inline double rel_gain(double before, double now) {
 /// Finds a root of a continuous monotone function `f` on [lo, hi] by
 /// bisection. Requires f(lo) and f(hi) to bracket zero (opposite signs or
 /// one of them zero); returns the midpoint after `iters` halvings.
-double bisect(const std::function<double(double)>& f, double lo, double hi,
-              int iters = 80);
+/// Templated so callers' lambdas inline — the solvers evaluate f millions
+/// of times per allocator run and a std::function hop dominated them.
+template <class F>
+double bisect(const F& f, double lo, double hi, int iters = 80) {
+  CHECK(lo <= hi);
+  double flo = f(lo);
+  if (flo == 0.0) return lo;
+  double fhi = f(hi);
+  if (fhi == 0.0) return hi;
+  CHECK_MSG((flo < 0.0) != (fhi < 0.0), "bisect: endpoints do not bracket");
+  for (int it = 0; it < iters; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    const double fm = f(mid);
+    if (fm == 0.0) return mid;
+    if ((fm < 0.0) == (flo < 0.0)) {
+      lo = mid;
+      flo = fm;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
 
 /// Minimizes a strictly unimodal function on [lo, hi] by golden-section
 /// search; returns the argmin.
-double golden_section_min(const std::function<double(double)>& f, double lo,
-                          double hi, int iters = 100);
+template <class F>
+double golden_section_min(const F& f, double lo, double hi, int iters = 100) {
+  CHECK(lo <= hi);
+  constexpr double kInvPhi = 0.6180339887498949;
+  double a = lo, b = hi;
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double f1 = f(x1), f2 = f(x2);
+  for (int it = 0; it < iters; ++it) {
+    if (f1 < f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kInvPhi * (b - a);
+      f1 = f(x1);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kInvPhi * (b - a);
+      f2 = f(x2);
+    }
+  }
+  return 0.5 * (a + b);
+}
 
 }  // namespace cloudalloc

@@ -18,7 +18,9 @@ Allocation::Allocation(const Cloud& cloud)
       revenue_cache_(static_cast<std::size_t>(cloud.num_clients()), 0.0),
       cost_cache_(static_cast<std::size_t>(cloud.num_servers()), 0.0),
       client_dirty_(static_cast<std::size_t>(cloud.num_clients()), false),
-      server_dirty_(static_cast<std::size_t>(cloud.num_servers()), false) {
+      server_dirty_(static_cast<std::size_t>(cloud.num_servers()), false),
+      cand_order_(static_cast<std::size_t>(cloud.num_clusters())),
+      cand_dirty_(static_cast<std::size_t>(cloud.num_clusters()), true) {
   // Empty clients earn 0 (cached correctly already); background-pinned
   // servers cost even when empty, so start those dirty.
   for (ServerId j = 0; j < cloud.num_servers(); ++j)
@@ -76,6 +78,7 @@ void Allocation::mark_client_dirty(ClientId i) {
 }
 
 void Allocation::mark_server_dirty(ServerId j) {
+  cand_dirty_[static_cast<std::size_t>(cloud_->server(j).cluster)] = true;
   if (server_dirty_[static_cast<std::size_t>(j)]) return;
   server_dirty_[static_cast<std::size_t>(j)] = true;
   dirty_servers_.push_back(j);
@@ -203,6 +206,30 @@ double Allocation::cached_profit() const {
     profit_total_ = total;
   }
   return profit_total_;
+}
+
+const std::vector<ServerId>& Allocation::insertion_candidates(
+    ClusterId k) const {
+  CHECK(k >= 0 && k < cloud_->num_clusters());
+  const auto kk = static_cast<std::size_t>(k);
+  if (cand_dirty_[kk]) {
+    auto& order = cand_order_[kk];
+    const auto& servers = cloud_->cluster(k).servers;
+    order.assign(servers.begin(), servers.end());
+    std::sort(order.begin(), order.end(), [&](ServerId a, ServerId b) {
+      const ServerClass& ca = cloud_->server_class_of(a);
+      const ServerClass& cb = cloud_->server_class_of(b);
+      const double rate_a = free_phi_p(a) * ca.cap_p;
+      const double rate_b = free_phi_p(b) * cb.cap_p;
+      if (rate_a != rate_b) return rate_a > rate_b;
+      const double marg_a = ca.cost_per_util / ca.cap_p;
+      const double marg_b = cb.cost_per_util / cb.cap_p;
+      if (marg_a != marg_b) return marg_a < marg_b;
+      return a < b;
+    });
+    cand_dirty_[kk] = false;
+  }
+  return cand_order_[kk];
 }
 
 int Allocation::num_active_servers() const {

@@ -14,8 +14,12 @@
 // is settled — call model::profit(a) once, then profit_settled() holds and
 // every const accessor (is_assigned, cluster_of, placements,
 // response_time, the server aggregates, active, clients_on, clone) is a
-// pure read. Workers that need to mutate or re-price must clone() the
-// settled snapshot and work on the private copy. Parallel call sites
+// pure read. The per-cluster insertion-candidate index is the same kind of
+// const-but-mutating lazy cache: insertion_candidates(k) rebuilds the
+// cluster's order if assign/clear dirtied it, so parallel callers must
+// settle it first (constructing a ResidualView does, for every cluster).
+// Workers that need to mutate or re-price must clone() the settled
+// snapshot and work on the private copy. Parallel call sites
 // CHECK(profit_settled()) before fanning out.
 #pragma once
 
@@ -83,6 +87,17 @@ class Allocation {
 
   int num_active_servers() const;
 
+  /// Insertion-candidate index: cluster k's servers ordered most-promising
+  /// first for a fresh insertion — residual processing rate
+  /// (free_phi_p * Cp) descending, then marginal power cost (P1 / Cp)
+  /// ascending, then id. assign/clear dirty the touched clusters and the
+  /// order is rebuilt lazily here, so churn costs nothing until the next
+  /// probe. The order is advisory: Assign_Distribute uses it to pick a
+  /// pruned top-K candidate set and certifies the result against a score
+  /// bound (see alloc/assign_distribute.h), so staleness within a probe is
+  /// harmless.
+  const std::vector<ServerId>& insertion_candidates(ClusterId k) const;
+
   /// Deep-copy snapshot/restore used by the local search to evaluate
   /// speculative moves (TurnOFF etc.) and roll back cheaply.
   Allocation clone() const { return *this; }
@@ -103,6 +118,8 @@ class Allocation {
   }
 
  private:
+  friend class ResidualView;
+
   struct ServerAgg {
     double phi_p = 0.0;
     double phi_n = 0.0;
@@ -132,6 +149,10 @@ class Allocation {
   mutable std::vector<bool> server_dirty_;
   mutable double profit_total_ = 0.0;
   mutable std::size_t repairs_ = 0;  ///< since the last drift rebase
+
+  // Lazy per-cluster candidate index (see insertion_candidates).
+  mutable std::vector<std::vector<ServerId>> cand_order_;
+  mutable std::vector<bool> cand_dirty_;
 };
 
 }  // namespace cloudalloc::model

@@ -1,0 +1,106 @@
+#include "model/residual.h"
+
+#include "common/check.h"
+
+namespace cloudalloc::model {
+
+ResidualView::ResidualView(const Allocation& alloc) : cloud_(alloc.cloud_) {
+  const auto num_servers = static_cast<std::size_t>(cloud_->num_servers());
+  used_p_.resize(num_servers);
+  used_n_.resize(num_servers);
+  used_disk_.resize(num_servers);
+  load_p_.resize(num_servers);
+  hosted_.resize(num_servers);
+  bg_p_.resize(num_servers);
+  bg_n_.resize(num_servers);
+  bg_disk_.resize(num_servers);
+  cap_m_.resize(num_servers);
+  keeps_on_.resize(num_servers);
+  for (std::size_t jj = 0; jj < num_servers; ++jj) {
+    const auto j = static_cast<ServerId>(jj);
+    const Allocation::ServerAgg& agg = alloc.server_[jj];
+    used_p_[jj] = agg.phi_p;
+    used_n_[jj] = agg.phi_n;
+    used_disk_[jj] = agg.disk;
+    load_p_[jj] = agg.load_p;
+    hosted_[jj] = static_cast<int>(agg.clients.size());
+    const BackgroundLoad& bg = cloud_->server(j).background;
+    bg_p_[jj] = bg.phi_p;
+    bg_n_[jj] = bg.phi_n;
+    bg_disk_[jj] = bg.disk;
+    cap_m_[jj] = cloud_->server_class_of(j).cap_m;
+    keeps_on_[jj] = bg.keeps_on ? 1 : 0;
+  }
+  cand_order_.reserve(static_cast<std::size_t>(cloud_->num_clusters()));
+  for (ClusterId k = 0; k < cloud_->num_clusters(); ++k)
+    cand_order_.push_back(alloc.insertion_candidates(k));
+}
+
+void ResidualView::record(const std::vector<Placement>& ps,
+                          Undo* undo) const {
+  if (undo == nullptr) return;
+  undo->entries.clear();
+  undo->entries.reserve(ps.size());
+  for (const Placement& p : ps) {
+    const auto jj = static_cast<std::size_t>(p.server);
+    undo->entries.push_back(Undo::Entry{p.server, used_p_[jj], used_n_[jj],
+                                        used_disk_[jj], load_p_[jj],
+                                        hosted_[jj]});
+  }
+}
+
+void ResidualView::remove_client(ClientId i, const std::vector<Placement>& ps,
+                                 Undo* undo) {
+  const Client& c = cloud_->client(i);
+  record(ps, undo);
+  for (const Placement& p : ps) {
+    const auto jj = static_cast<std::size_t>(p.server);
+    CHECK(hosted_[jj] > 0);
+    used_p_[jj] -= p.phi_p;
+    used_n_[jj] -= p.phi_n;
+    used_disk_[jj] -= c.disk;
+    load_p_[jj] -= p.psi * c.lambda_pred * c.alpha_p;
+    --hosted_[jj];
+    // Mirror Allocation::remove_footprint's drift guard exactly.
+    if (hosted_[jj] == 0) {
+      used_p_[jj] = used_n_[jj] = used_disk_[jj] = load_p_[jj] = 0.0;
+    }
+  }
+}
+
+void ResidualView::add_client(ClientId i, const std::vector<Placement>& ps,
+                              Undo* undo) {
+  const Client& c = cloud_->client(i);
+  record(ps, undo);
+  for (const Placement& p : ps) {
+    const auto jj = static_cast<std::size_t>(p.server);
+    used_p_[jj] += p.phi_p;
+    used_n_[jj] += p.phi_n;
+    used_disk_[jj] += c.disk;
+    load_p_[jj] += p.psi * c.lambda_pred * c.alpha_p;
+    ++hosted_[jj];
+  }
+}
+
+void ResidualView::resync_server(const Allocation& alloc, ServerId j) {
+  const auto jj = static_cast<std::size_t>(j);
+  const Allocation::ServerAgg& agg = alloc.server_[jj];
+  used_p_[jj] = agg.phi_p;
+  used_n_[jj] = agg.phi_n;
+  used_disk_[jj] = agg.disk;
+  load_p_[jj] = agg.load_p;
+  hosted_[jj] = static_cast<int>(agg.clients.size());
+}
+
+void ResidualView::restore(const Undo& undo) {
+  for (const Undo::Entry& e : undo.entries) {
+    const auto jj = static_cast<std::size_t>(e.server);
+    used_p_[jj] = e.used_p;
+    used_n_[jj] = e.used_n;
+    used_disk_[jj] = e.used_disk;
+    load_p_[jj] = e.load_p;
+    hosted_[jj] = e.hosted;
+  }
+}
+
+}  // namespace cloudalloc::model

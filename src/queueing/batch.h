@@ -1,0 +1,33 @@
+// Batched, vectorization-friendly forms of the queueing closed forms the
+// allocator's hot loops evaluate thousands of times per pass: GPS service
+// rates and the two-stage (processing -> communication) M/M/1 sojourn.
+//
+// Each kernel is a straight loop over contiguous arrays with no calls, no
+// CHECKs, and branch-free selects, so the compiler can unroll and
+// auto-vectorize it. The arithmetic is element-for-element identical to
+// the scalar helpers in gps.h / mm1.h (same operations, same order), so
+// swapping a scalar loop for a kernel never changes a result bit —
+// Assign_Distribute's scoring loop and the delta pricer rely on that.
+#pragma once
+
+#include <cstddef>
+
+namespace cloudalloc::queueing {
+
+/// mu[i] = phi[i] * capacity / alpha — gps_service_rate, batched.
+void gps_service_rates(const double* phi, double capacity, double alpha,
+                       double* mu, std::size_t n);
+
+/// out[i] = 1 / (mu[i] - lambda[i]) when stable (lambda >= 0, mu > 0,
+/// lambda < mu), +infinity otherwise — mm1_response_time_or_inf, batched.
+void mm1_response_times(const double* lambda, const double* mu, double* out,
+                        std::size_t n);
+
+/// out[i] = T_p + T_n for the pipelined two-stage slice: the sum of the
+/// per-stage M/M/1 sojourns at arrival rate lambda[i] with service rates
+/// mu_p[i] and mu_n[i]; +infinity if either stage is unstable. Identical
+/// to mm1_response_time_or_inf(l, mu_p) + mm1_response_time_or_inf(l, mu_n).
+void two_stage_delays(const double* lambda, const double* mu_p,
+                      const double* mu_n, double* out, std::size_t n);
+
+}  // namespace cloudalloc::queueing

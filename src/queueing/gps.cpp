@@ -1,31 +1,10 @@
 #include "queueing/gps.h"
 
-#include "common/check.h"
-
 namespace cloudalloc::queueing {
 
-double gps_service_rate(double phi, double capacity, double alpha) {
-  CHECK(alpha > 0.0);
-  CHECK(phi >= 0.0);
-  CHECK(capacity >= 0.0);
-  return phi * capacity / alpha;
-}
-
-double gps_min_share(double lambda, double capacity, double alpha,
-                     double headroom) {
-  CHECK(capacity > 0.0);
-  CHECK(alpha > 0.0);
-  CHECK(lambda >= 0.0);
-  CHECK(headroom >= 0.0);
-  return (lambda + headroom) * alpha / capacity;
-}
-
-double gps_share_for_response_time(double lambda, double capacity,
-                                   double alpha, double target) {
-  CHECK(target > 0.0);
-  const double mu = lambda + 1.0 / target;
-  return mu * alpha / capacity;
-}
+// The scalar share algebra lives in the header (inline) — the insertion
+// scorer calls it millions of times per run. Only the vector validity
+// check stays out of line.
 
 bool gps_valid_shares(const std::vector<double>& phis, double tol) {
   double sum = 0.0;

@@ -10,22 +10,43 @@
 
 #include <vector>
 
+#include "common/check.h"
+
 namespace cloudalloc::queueing {
+
+// The share algebra below is inline: these are two-flop functions the
+// insertion scorer calls millions of times per allocator run, and the
+// call overhead outweighed the arithmetic.
 
 /// Effective service rate of a GPS share: phi * capacity / alpha.
 /// Requires alpha > 0; phi and capacity must be non-negative.
-double gps_service_rate(double phi, double capacity, double alpha);
+inline double gps_service_rate(double phi, double capacity, double alpha) {
+  CHECK(alpha > 0.0);
+  CHECK(phi >= 0.0);
+  CHECK(capacity >= 0.0);
+  return phi * capacity / alpha;
+}
 
 /// Minimum share required to serve Poisson traffic of rate `lambda` with
 /// strictly positive slack `headroom` (requests/second beyond stability):
 /// phi_min = (lambda + headroom) * alpha / capacity.
-double gps_min_share(double lambda, double capacity, double alpha,
-                     double headroom);
+inline double gps_min_share(double lambda, double capacity, double alpha,
+                            double headroom) {
+  CHECK(capacity > 0.0);
+  CHECK(alpha > 0.0);
+  CHECK(lambda >= 0.0);
+  CHECK(headroom >= 0.0);
+  return (lambda + headroom) * alpha / capacity;
+}
 
 /// Share needed to hit a target mean response time `target` (M/M/1):
 /// mu = lambda + 1/target, phi = mu * alpha / capacity. Requires target > 0.
-double gps_share_for_response_time(double lambda, double capacity,
-                                   double alpha, double target);
+inline double gps_share_for_response_time(double lambda, double capacity,
+                                          double alpha, double target) {
+  CHECK(target > 0.0);
+  const double mu = lambda + 1.0 / target;
+  return mu * alpha / capacity;
+}
 
 /// True when the weights form a valid GPS allocation (each >= 0, sum <= 1
 /// within tolerance).
