@@ -7,7 +7,10 @@
 #include "alloc/allocator.h"
 #include "alloc/assign_distribute.h"
 #include "alloc/delta_price.h"
+#include "alloc/initial.h"
+#include "alloc/move_engine.h"
 #include "common/rng.h"
+#include "model/alloc_state.h"
 #include "model/evaluator.h"
 #include "model/residual.h"
 #include "opt/dispersion.h"
@@ -169,6 +172,115 @@ void BM_MovePricing_DeltaPrice(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MovePricing_DeltaPrice);
+
+/// Shared fixture for the baseline-pricing pairs: what SA and Monte
+/// Carlo pay PER CANDIDATE MOVE before and after the allocation-state
+/// engine. The "before" shapes are the historical ones — SA re-decoded
+/// the whole gene vector and re-ran the full evaluator per neighbor; MC's
+/// polish cloned the sample to price one reassignment — and the "after"
+/// shapes are the engine paths the baselines run now.
+struct BaselinePricingFixture {
+  BaselinePricingFixture()
+      : cloud(workload::make_scenario(
+            [] {
+              workload::ScenarioParams p;
+              p.num_clients = 100;
+              return p;
+            }(),
+            8)),
+        genes(static_cast<std::size_t>(cloud.num_clients())) {
+    Rng rng(9);
+    for (auto& k : genes)
+      k = static_cast<model::ClusterId>(
+          rng.uniform_int(0, cloud.num_clusters() - 1));
+  }
+  alloc::AllocatorOptions opts;
+  model::Cloud cloud;
+  std::vector<model::ClusterId> genes;
+};
+
+void BM_Baselines_SA_RebuildScore(benchmark::State& state) {
+  // Historical SA neighbor cost: flip one gene, decode the whole
+  // assignment from scratch, evaluate full profit.
+  BaselinePricingFixture fx;
+  model::ClientId i = 0;
+  for (auto _ : state) {
+    const auto saved = fx.genes[static_cast<std::size_t>(i)];
+    fx.genes[static_cast<std::size_t>(i)] =
+        static_cast<model::ClusterId>((saved + 1) % fx.cloud.num_clusters());
+    const auto trial =
+        alloc::build_from_assignment(fx.cloud, fx.genes, fx.opts);
+    benchmark::DoNotOptimize(model::profit(trial));
+    fx.genes[static_cast<std::size_t>(i)] = saved;
+    i = (i + 1) % fx.cloud.num_clients();
+  }
+}
+BENCHMARK(BM_Baselines_SA_RebuildScore);
+
+void BM_Baselines_SA_DeltaScore(benchmark::State& state) {
+  // The same neighbor priced through the move engine: vacate + probe +
+  // telescoped delta on the residual view, bitwise-restored after.
+  BaselinePricingFixture fx;
+  model::AllocState st(
+      alloc::build_from_assignment(fx.cloud, fx.genes, fx.opts));
+  (void)st.profit();  // settle caches, as the SA walk does once up front
+  alloc::MoveEngine mover(st, fx.opts);
+  model::ClientId i = 0;
+  for (auto _ : state) {
+    const auto k = static_cast<model::ClusterId>(
+        (st.ledger().cluster_of(i) + 1) % fx.cloud.num_clusters());
+    auto prop = mover.propose_into(i, k);
+    benchmark::DoNotOptimize(prop.predicted);
+    i = (i + 1) % fx.cloud.num_clients();
+  }
+}
+BENCHMARK(BM_Baselines_SA_DeltaScore);
+
+void BM_Baselines_MC_CloneEvaluate(benchmark::State& state) {
+  // Historical Monte Carlo polish cost per candidate reassignment: clone
+  // the sample, apply the move, evaluate full profit on the clone.
+  BaselinePricingFixture fx;
+  const auto base = alloc::build_from_assignment(fx.cloud, fx.genes, fx.opts);
+  const double before = model::profit(base);
+  model::ClientId mover = 0;
+  while (!base.is_assigned(mover)) ++mover;
+  const auto old_ps = base.placements(mover);
+  const auto other = static_cast<model::ClusterId>(
+      (base.cluster_of(mover) + 1) % fx.cloud.num_clusters());
+  model::ResidualView probe(base);
+  probe.remove_client(mover, old_ps);
+  const auto plan = alloc::assign_distribute(probe, mover, other, fx.opts);
+  const auto new_ps = plan ? plan->placements : old_ps;
+  for (auto _ : state) {
+    model::Allocation trial = base.clone();
+    trial.clear(mover);
+    trial.assign(mover, other, new_ps);
+    benchmark::DoNotOptimize(model::profit(trial) - before);
+  }
+}
+BENCHMARK(BM_Baselines_MC_CloneEvaluate);
+
+void BM_Baselines_MC_DeltaPrice(benchmark::State& state) {
+  // The same candidate priced clone-free against the engine's view.
+  BaselinePricingFixture fx;
+  model::AllocState st(
+      alloc::build_from_assignment(fx.cloud, fx.genes, fx.opts));
+  (void)st.profit();
+  model::ClientId mover = 0;
+  while (!st.ledger().is_assigned(mover)) ++mover;
+  const auto old_ps = st.ledger().placements(mover);
+  const auto other = static_cast<model::ClusterId>(
+      (st.ledger().cluster_of(mover) + 1) % fx.cloud.num_clusters());
+  model::ResidualView probe = st.view();
+  probe.remove_client(mover, old_ps);
+  const auto plan = alloc::assign_distribute(probe, mover, other, fx.opts);
+  const auto new_ps = plan ? plan->placements : old_ps;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        alloc::replace_delta(st.view(), mover, old_ps, new_ps));
+  }
+}
+BENCHMARK(BM_Baselines_MC_DeltaPrice);
 
 void BM_QueueingKernels_Scalar(benchmark::State& state) {
   // One scalar gps/mm1 call per quantum count — the shape score_rows had

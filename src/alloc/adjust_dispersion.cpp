@@ -5,13 +5,14 @@
 
 #include "common/check.h"
 #include "common/mathutil.h"
-#include "model/evaluator.h"
+#include "model/alloc_state.h"
 #include "opt/dispersion.h"
 #include "queueing/gps.h"
 
 namespace cloudalloc::alloc {
 namespace {
 
+using model::AllocState;
 using model::Allocation;
 using model::Client;
 using model::ClientId;
@@ -22,16 +23,17 @@ constexpr double kDropThreshold = 1e-4;
 
 }  // namespace
 
-double adjust_dispersion_rates(Allocation& alloc, ClientId i,
+double adjust_dispersion_rates(AllocState& state, ClientId i,
                                const AllocatorOptions& opts) {
-  if (!alloc.is_assigned(i)) return 0.0;
-  const auto& cloud = alloc.cloud();
+  const Allocation& ledger = state.ledger();
+  if (!ledger.is_assigned(i)) return 0.0;
+  const auto& cloud = state.cloud();
   const Client& c = cloud.client(i);
-  const std::vector<Placement> current = alloc.placements(i);
+  const std::vector<Placement> current = ledger.placements(i);
   if (current.size() < 2) return 0.0;  // nothing to re-split
 
-  const double before = model::profit(alloc);
-  const double r_now = alloc.response_time(i);
+  const double before = state.profit();
+  const double r_now = ledger.response_time(i);
   const double slope = std::isfinite(r_now) ? cloud.utility_of(i).slope(r_now)
                                             : cloud.utility_of(i).slope(0.0);
   const double delay_weight = slope * c.lambda_agreed;
@@ -67,20 +69,35 @@ double adjust_dispersion_rates(Allocation& alloc, ClientId i,
   // Renormalize the rounding left by dropped slices.
   for (Placement& p : next) p.psi /= psi_sum;
 
-  alloc.assign(i, alloc.cluster_of(i), next);
-  const double after = model::profit(alloc);
+  state.assign(i, ledger.cluster_of(i), next);
+  const double after = state.profit();
   if (after + 1e-12 < before) {
-    alloc.assign(i, alloc.cluster_of(i), current);
+    state.assign(i, ledger.cluster_of(i), current);
     return 0.0;
   }
   return after - before;
 }
 
+double adjust_all_dispersions(AllocState& state, const AllocatorOptions& opts) {
+  double delta = 0.0;
+  for (ClientId i = 0; i < state.cloud().num_clients(); ++i)
+    delta += adjust_dispersion_rates(state, i, opts);
+  return delta;
+}
+
+double adjust_dispersion_rates(Allocation& alloc, ClientId i,
+                               const AllocatorOptions& opts) {
+  AllocState state(std::move(alloc));
+  const double delta = adjust_dispersion_rates(state, i, opts);
+  alloc = std::move(state).release();
+  return delta;
+}
+
 double adjust_all_dispersions(Allocation& alloc,
                               const AllocatorOptions& opts) {
-  double delta = 0.0;
-  for (ClientId i = 0; i < alloc.cloud().num_clients(); ++i)
-    delta += adjust_dispersion_rates(alloc, i, opts);
+  AllocState state(std::move(alloc));
+  const double delta = adjust_all_dispersions(state, opts);
+  alloc = std::move(state).release();
   return delta;
 }
 

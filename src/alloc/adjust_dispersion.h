@@ -6,6 +6,7 @@
 #pragma once
 
 #include "alloc/options.h"
+#include "model/alloc_state.h"
 #include "model/allocation.h"
 
 namespace cloudalloc::alloc {
@@ -14,9 +15,13 @@ namespace cloudalloc::alloc {
 /// realized profit delta (0 when skipped or reverted).
 double adjust_dispersion_rates(model::Allocation& alloc, model::ClientId i,
                                const AllocatorOptions& opts);
+double adjust_dispersion_rates(model::AllocState& state, model::ClientId i,
+                               const AllocatorOptions& opts);
 
 /// Runs the adjustment for every assigned client; returns the total delta.
 double adjust_all_dispersions(model::Allocation& alloc,
+                              const AllocatorOptions& opts);
+double adjust_all_dispersions(model::AllocState& state,
                               const AllocatorOptions& opts);
 
 }  // namespace cloudalloc::alloc

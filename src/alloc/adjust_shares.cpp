@@ -1,18 +1,20 @@
 #include "alloc/adjust_shares.h"
 
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "alloc/share_policy.h"
 #include "common/check.h"
 #include "common/mathutil.h"
-#include "model/evaluator.h"
+#include "model/alloc_state.h"
 #include "opt/kkt_shares.h"
 #include "queueing/gps.h"
 
 namespace cloudalloc::alloc {
 namespace {
 
+using model::AllocState;
 using model::Allocation;
 using model::Client;
 using model::ClientId;
@@ -31,16 +33,17 @@ std::size_t placement_index(const Allocation& alloc, ClientId i, ServerId j) {
 
 }  // namespace
 
-double adjust_resource_shares(Allocation& alloc, ServerId j,
+double adjust_resource_shares(AllocState& state, ServerId j,
                               const AllocatorOptions& opts) {
-  const auto& cloud = alloc.cloud();
+  const auto& cloud = state.cloud();
+  const Allocation& ledger = state.ledger();
   const ServerClass& sc = cloud.server_class_of(j);
-  const std::vector<ClientId> clients = alloc.clients_on(j);  // copy
+  const std::vector<ClientId> clients = ledger.clients_on(j);  // copy
   if (clients.empty()) return 0.0;
 
   // Profit-affecting state before the move (only this server's clients and
   // this server's cost can change).
-  const double before = model::profit(alloc);
+  const double before = state.profit();
 
   // Budgets exclude background reservations.
   const double budget_p =
@@ -55,7 +58,7 @@ double adjust_resource_shares(Allocation& alloc, ServerId j,
   for (ClientId i : clients) {
     const Client& c = cloud.client(i);
     const Placement& p =
-        alloc.placements(i)[placement_index(alloc, i, j)];
+        ledger.placements(i)[placement_index(ledger, i, j)];
     // Weight by the slope at the origin (the paper's linear form): using
     // the local slope would zero out clients currently past their
     // zero-crossing and make them unrecoverable.
@@ -100,19 +103,35 @@ double adjust_resource_shares(Allocation& alloc, ServerId j,
   // loop keeps the best allocation it has seen.
   for (std::size_t idx = 0; idx < clients.size(); ++idx) {
     const ClientId i = clients[idx];
-    std::vector<Placement> ps = alloc.placements(i);
-    Placement& mine = ps[placement_index(alloc, i, j)];
+    std::vector<Placement> ps = ledger.placements(i);
+    Placement& mine = ps[placement_index(ledger, i, j)];
     mine.phi_p = sol_p->phi[idx];
     mine.phi_n = sol_n->phi[idx];
-    alloc.assign(i, alloc.cluster_of(i), std::move(ps));
+    state.assign(i, ledger.cluster_of(i), std::move(ps));
   }
-  return model::profit(alloc) - before;
+  return state.profit() - before;
+}
+
+double adjust_all_shares(AllocState& state, const AllocatorOptions& opts) {
+  double delta = 0.0;
+  for (ServerId j = 0; j < state.cloud().num_servers(); ++j)
+    if (state.ledger().active(j))
+      delta += adjust_resource_shares(state, j, opts);
+  return delta;
+}
+
+double adjust_resource_shares(Allocation& alloc, ServerId j,
+                              const AllocatorOptions& opts) {
+  AllocState state(std::move(alloc));
+  const double delta = adjust_resource_shares(state, j, opts);
+  alloc = std::move(state).release();
+  return delta;
 }
 
 double adjust_all_shares(Allocation& alloc, const AllocatorOptions& opts) {
-  double delta = 0.0;
-  for (ServerId j = 0; j < alloc.cloud().num_servers(); ++j)
-    if (alloc.active(j)) delta += adjust_resource_shares(alloc, j, opts);
+  AllocState state(std::move(alloc));
+  const double delta = adjust_all_shares(state, opts);
+  alloc = std::move(state).release();
   return delta;
 }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include "alloc/options.h"
+#include "model/alloc_state.h"
 #include "model/allocation.h"
 
 namespace cloudalloc::alloc {
@@ -16,10 +17,14 @@ namespace cloudalloc::alloc {
 /// delta actually realized (0 when the step was skipped or reverted).
 double adjust_resource_shares(model::Allocation& alloc, model::ServerId j,
                               const AllocatorOptions& opts);
+double adjust_resource_shares(model::AllocState& state, model::ServerId j,
+                              const AllocatorOptions& opts);
 
 /// Runs adjust_resource_shares over every active server; returns the total
 /// realized profit delta.
 double adjust_all_shares(model::Allocation& alloc,
+                         const AllocatorOptions& opts);
+double adjust_all_shares(model::AllocState& state,
                          const AllocatorOptions& opts);
 
 }  // namespace cloudalloc::alloc

@@ -11,6 +11,7 @@
 #include "alloc/server_power.h"
 #include "common/log.h"
 #include "common/rng.h"
+#include "model/alloc_state.h"
 #include "dist/parallel_eval.h"
 #include "dist/thread_pool.h"
 
@@ -65,9 +66,13 @@ AllocatorResult ResourceAllocator::improve_impl(model::Allocation alloc,
            seconds_since(start) * 1000.0 >= options_.time_budget_ms;
   };
 
+  // One engine for the whole local search: every phase mutates the shared
+  // ledger+view pair, and the best round survives as a placement
+  // checkpoint (no Allocation clones anywhere in the loop).
+  model::AllocState state(std::move(alloc));
   // The share rebalance is applied unconditionally (see adjust_shares.cpp),
-  // so a round can transiently dip; keep the best allocation ever seen.
-  model::Allocation best = alloc.clone();
+  // so a round can transiently dip; keep the best state ever seen.
+  model::AllocState::Checkpoint best = state.checkpoint(initial_profit);
   double best_profit = initial_profit;
   double profit_now = initial_profit;
   int stalled_rounds = 0;
@@ -75,27 +80,32 @@ AllocatorResult ResourceAllocator::improve_impl(model::Allocation alloc,
     RoundTrace trace;
     trace.round = round;
     if (options_.enable_adjust_shares) {
-      trace.delta_shares = adjust_all_shares(alloc, options_);
+      trace.delta_shares = adjust_all_shares(state, options_);
+      state.debug_check_invariants();
       trace.truncated = over_budget();
     }
     if (!trace.truncated && options_.enable_adjust_dispersion) {
-      trace.delta_dispersion = adjust_all_dispersions(alloc, options_);
+      trace.delta_dispersion = adjust_all_dispersions(state, options_);
+      state.debug_check_invariants();
       trace.truncated = over_budget();
     }
     if (!trace.truncated) {
-      trace.delta_power = adjust_server_power(alloc, options_);
+      trace.delta_power = adjust_server_power(state, options_);
+      state.debug_check_invariants();
       trace.truncated = over_budget();
     }
     if (!trace.truncated && options_.enable_reassign) {
-      trace.delta_reassign = reassign_pass_snapshot(alloc, options_, eval);
+      trace.delta_reassign = reassign_pass_snapshot(state, options_, eval);
+      state.debug_check_invariants();
       trace.truncated = over_budget();
     }
     if (!trace.truncated && options_.allow_rejection) {
-      trace.delta_reassign += drop_unprofitable_clients(alloc, options_);
+      trace.delta_reassign += drop_unprofitable_clients(state, options_);
+      state.debug_check_invariants();
       trace.truncated = over_budget();
     }
 
-    const double profit_after = model::profit(alloc);
+    const double profit_after = state.profit();
     trace.profit_after = profit_after;
     report.rounds.push_back(trace);
     report.rounds_run = round + 1;
@@ -108,7 +118,7 @@ AllocatorResult ResourceAllocator::improve_impl(model::Allocation alloc,
     }
     if (profit_after > best_profit) {
       best_profit = profit_after;
-      best = alloc.clone();
+      best = state.checkpoint(profit_after);
     }
 
     if (options_.verbose)
@@ -122,12 +132,15 @@ AllocatorResult ResourceAllocator::improve_impl(model::Allocation alloc,
     if (stalled_rounds >= 2) break;
   }
 
+  // Materialize the best checkpoint once, at the report boundary. The
+  // reported profit is the carried best-round scalar, exactly as before.
+  model::Allocation best_alloc = state.materialize(best);
   report.final_profit = best_profit;
-  report.active_servers = best.num_active_servers();
-  for (model::ClientId i = 0; i < best.cloud().num_clients(); ++i)
-    if (!best.is_assigned(i)) ++report.unassigned_clients;
+  report.active_servers = best_alloc.num_active_servers();
+  for (model::ClientId i = 0; i < best_alloc.cloud().num_clients(); ++i)
+    if (!best_alloc.is_assigned(i)) ++report.unassigned_clients;
   report.wall_seconds = seconds_since(start);
-  return AllocatorResult{std::move(best), std::move(report)};
+  return AllocatorResult{std::move(best_alloc), std::move(report)};
 }
 
 }  // namespace cloudalloc::alloc

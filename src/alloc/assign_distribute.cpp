@@ -1,6 +1,8 @@
 #include "alloc/assign_distribute.h"
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <limits>
@@ -207,6 +209,20 @@ void score_rows(const State& state, const Cloud& cloud, const Client& c,
 /// excluded rows' only contribution is the exact +0.0 of zero quanta, so
 /// every surviving cell value and every tie-break the traceback sees is
 /// unchanged.
+///
+/// Twin redundancy: the strict bound can never discharge an excluded
+/// server whose score row bitwise-equals an included one (it ties by
+/// construction). But score rows are pure functions of the exact key
+/// (class, active, bits(free_phi_p), bits(free_phi_n)), and the grouped
+/// DP's strictly-greater update resolves every tie toward the
+/// latest-scanned row — so within a group of twin rows the exact
+/// traceback only ever places quanta on the highest-id min(m, G) members
+/// (each used row takes >= 1 of the G quanta). An excluded twin is
+/// therefore redundant — same cell values, untouched by the traceback —
+/// whenever (a) the included twins of its group number at least
+/// min(m, G) and (b) every included twin has a higher id, i.e. the group
+/// was cut by the id-descending prefix of the candidate index. Such
+/// twins are skipped by the bound scan instead of failing it.
 template <class State>
 bool certified(const State& state, const Cloud& cloud, const Client& c,
                double slope, double zc, const ShareSizing& sizing,
@@ -237,6 +253,47 @@ bool certified(const State& state, const Cloud& cloud, const Client& c,
   const double dmin_policy = policy_dmin(c.alpha_p, sizing.slack_work_p) +
                              policy_dmin(c.alpha_n, sizing.slack_work_n);
 
+  // Group the candidate rows by their exact row key (see score_rows: a
+  // row reads the server only through class, activity, and the two free
+  // shares). Bitwise-equal keys => bitwise-equal rows => twins. The
+  // groups live in a reused flat buffer scanned linearly: this runs once
+  // per pruned attempt on a few dozen rows, where a node-based map's
+  // allocations would dominate the whole certification.
+  using TwinKey = std::array<std::uint64_t, 3>;
+  struct TwinGroup {
+    TwinKey key;
+    int members = 0;   ///< rows with this key among cands
+    int included = 0;  ///< of those, rows in the pruned set
+    ServerId min_included = std::numeric_limits<ServerId>::max();
+  };
+  const auto key_of = [&](ServerId j) {
+    const auto cls = static_cast<std::uint64_t>(cloud.server(j).server_class);
+    return TwinKey{(cls << 1) | (state.active(j) ? 1u : 0u),
+                   std::bit_cast<std::uint64_t>(state.free_phi_p(j)),
+                   std::bit_cast<std::uint64_t>(state.free_phi_n(j))};
+  };
+  thread_local std::vector<TwinGroup> twins;
+  twins.clear();
+  const auto group_of = [&](const TwinKey& key) -> TwinGroup& {
+    for (TwinGroup& g : twins)
+      if (g.key == key) return g;
+    twins.push_back(TwinGroup{key});
+    return twins.back();
+  };
+  {
+    std::size_t pi = 0;
+    for (ServerId j : cands) {
+      const bool included = pi < pruned.size() && pruned[pi] == j;
+      if (included) ++pi;
+      TwinGroup& g = group_of(key_of(j));
+      ++g.members;
+      if (included) {
+        ++g.included;
+        g.min_included = std::min(g.min_included, j);
+      }
+    }
+  }
+
   const double arr1 = c.lambda_pred / static_cast<double>(G);
   double ubest = 0.0;
   bool any_excluded_feasible = false;
@@ -246,6 +303,9 @@ bool certified(const State& state, const Cloud& cloud, const Client& c,
       ++pi;
       continue;
     }
+    const TwinGroup& tg = group_of(key_of(j));
+    if (tg.included >= std::min(tg.members, G) && j < tg.min_included)
+      continue;  // redundant twin — see the comment above
     const ServerClass& sc = cloud.server_class_of(j);
     const double free_p = state.free_phi_p(j);
     const double free_n = state.free_phi_n(j);
@@ -346,36 +406,85 @@ std::optional<InsertionPlan> assign_distribute_impl(
   thread_local std::vector<std::vector<SliceOption>> options;
   thread_local std::vector<std::vector<double>> scores;
 
+  // Per-cluster attempt throttle for the pruned path: a failed
+  // certification means the pruned DP was wasted work on top of the full
+  // scan, and failure is sticky (it tracks how loaded and residual-diverse
+  // the cluster currently is, which single moves barely change). After a
+  // fallback the next 2^streak attempts on that cluster go straight to
+  // the exact scan; a certified attempt resets the streak. This state is
+  // invisible in results — the certified pruned solve and the full scan
+  // return identical plans by construction — it only trades probe cost.
+  thread_local std::vector<int> prune_skip, prune_streak;
   const int topk = opts.candidate_topk;
   if (topk > 0 && static_cast<int>(cands.size()) > topk) {
-    // Top-K by the residual-capacity index, re-expressed in cluster order
-    // so the pruned DP tie-breaks exactly like the full scan would.
-    std::vector<ServerId> chosen;
-    chosen.reserve(static_cast<std::size_t>(topk));
-    for (ServerId j : state.insertion_candidates(k)) {
-      if (!candidate_ok(state, j, c, constraints)) continue;
-      chosen.push_back(j);
-      if (static_cast<int>(chosen.size()) == topk) break;
+    const auto kk = static_cast<std::size_t>(k);
+    if (kk >= prune_skip.size()) {
+      prune_skip.resize(kk + 1, 0);
+      prune_streak.resize(kk + 1, 0);
     }
-    std::vector<ServerId> pruned;
-    pruned.reserve(chosen.size());
-    for (ServerId j : cands)
-      if (std::find(chosen.begin(), chosen.end(), j) != chosen.end())
-        pruned.push_back(j);
-    if (stats != nullptr) stats->last_pruned_set = pruned;
+    if (opts.candidate_backoff && prune_skip[kk] > 0) {
+      --prune_skip[kk];
+      if (stats != nullptr) ++stats->full_solves;
+    } else {
+      // Top-K by the residual-capacity index, re-expressed in cluster
+      // order so the pruned DP tie-breaks exactly like the full scan
+      // would. A twin run (same class, activity, and bitwise free shares
+      // — twins sort adjacently, highest id first) split by the K cut can
+      // only be certified once it holds min(members, G) included twins,
+      // so the cut self-extends past K until the run's included count
+      // reaches G or the run ends: beyond G the DP can never place
+      // another quantum on the group, and certified() discharges the
+      // remaining (lower-id) twins as redundant.
+      const auto twin_key = [&](ServerId a) {
+        const auto cls =
+            static_cast<std::uint64_t>(cloud.server(a).server_class);
+        return std::array<std::uint64_t, 3>{
+            (cls << 1) | (state.active(a) ? 1u : 0u),
+            std::bit_cast<std::uint64_t>(state.free_phi_p(a)),
+            std::bit_cast<std::uint64_t>(state.free_phi_n(a))};
+      };
+      thread_local std::vector<ServerId> chosen;
+      chosen.clear();
+      std::array<std::uint64_t, 3> run_key{};
+      int run_included = 0;
+      for (ServerId j : state.insertion_candidates(k)) {
+        if (!candidate_ok(state, j, c, constraints)) continue;
+        const auto key = twin_key(j);
+        const bool same_run = !chosen.empty() && key == run_key;
+        if (static_cast<int>(chosen.size()) >= topk &&
+            (!same_run || run_included >= G))
+          break;
+        if (!same_run) {
+          run_key = key;
+          run_included = 0;
+        }
+        ++run_included;
+        chosen.push_back(j);
+      }
+      thread_local std::vector<ServerId> pruned;
+      pruned.clear();
+      for (ServerId j : cands)
+        if (std::find(chosen.begin(), chosen.end(), j) != chosen.end())
+          pruned.push_back(j);
+      if (stats != nullptr) stats->last_pruned_set = pruned;
 
-    score_rows(state, cloud, c, slope, zc, sizing, opts, G, pruned, options,
-               scores, scratch);
-    const auto dp = opt::dp_distribute(scores, G);
-    if (dp && certified(state, cloud, c, slope, zc, sizing, opts, G, cands,
-                        pruned, *dp)) {
-      if (stats != nullptr) ++stats->pruned_solves;
-      return build_plan(c, cloud, i, k, G, pruned, options, *dp);
+      score_rows(state, cloud, c, slope, zc, sizing, opts, G, pruned, options,
+                 scores, scratch);
+      const auto dp = opt::dp_distribute(scores, G);
+      if (dp && certified(state, cloud, c, slope, zc, sizing, opts, G, cands,
+                          pruned, *dp)) {
+        if (stats != nullptr) ++stats->pruned_solves;
+        prune_streak[kk] /= 2;  // decay, not reset: mid-load clusters
+                                // oscillate near the certification edge
+        return build_plan(c, cloud, i, k, G, pruned, options, *dp);
+      }
+      // Uncertified (or the pruned set alone cannot host the client): pay
+      // for the exact scan. The pruned attempt is wasted work, so K trades
+      // prune rate against fallback cost.
+      if (stats != nullptr) ++stats->exact_fallbacks;
+      prune_streak[kk] = std::min(prune_streak[kk] + 1, 14);
+      prune_skip[kk] = 1 << prune_streak[kk];
     }
-    // Uncertified (or the pruned set alone cannot host the client): pay
-    // for the exact scan. The pruned attempt is wasted work, so K trades
-    // prune rate against fallback cost.
-    if (stats != nullptr) ++stats->exact_fallbacks;
   } else if (stats != nullptr) {
     ++stats->full_solves;
   }

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "model/alloc_state.h"
 #include "model/evaluator.h"
 
 namespace cloudalloc::alloc {
@@ -18,16 +19,19 @@ using model::ClusterId;
 Allocation greedy_insert(const Allocation& base,
                          const std::vector<ClientId>& order,
                          const AllocatorOptions& opts) {
-  Allocation alloc = base.clone();
+  // One state copy per greedy start (a documented engine boundary); every
+  // insertion probe below runs against the engine view, and committed
+  // insertions go through the engine so the view tracks the ledger.
+  model::AllocState state{base.clone()};
   for (ClientId i : order) {
-    CHECK(!alloc.is_assigned(i));
-    auto plan = best_insertion(alloc, i, opts);
+    CHECK(!state.ledger().is_assigned(i));
+    auto plan = best_insertion(state.view(), i, opts);
     if (!plan) continue;  // nothing can host this client; it earns nothing
     if (opts.allow_rejection && plan->score < 0.0)
       continue;  // admission control: serving would lose money
-    alloc.assign(i, plan->cluster, std::move(plan->placements));
+    state.assign(i, plan->cluster, std::move(plan->placements));
   }
-  return alloc;
+  return std::move(state).release();
 }
 
 Allocation build_initial_solution(const Cloud& cloud,
@@ -77,14 +81,14 @@ Allocation build_from_assignment(const Cloud& cloud,
                                  const std::vector<ClusterId>& assignment,
                                  const AllocatorOptions& opts) {
   CHECK(static_cast<int>(assignment.size()) == cloud.num_clients());
-  Allocation alloc(cloud);
+  model::AllocState state(cloud);
   for (ClientId i = 0; i < cloud.num_clients(); ++i) {
     const ClusterId k = assignment[static_cast<std::size_t>(i)];
     if (k == model::kNoCluster) continue;
-    auto plan = assign_distribute(alloc, i, k, opts);
-    if (plan) alloc.assign(i, k, std::move(plan->placements));
+    auto plan = assign_distribute(state.view(), i, k, opts);
+    if (plan) state.assign(i, k, std::move(plan->placements));
   }
-  return alloc;
+  return std::move(state).release();
 }
 
 }  // namespace cloudalloc::alloc

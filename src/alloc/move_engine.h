@@ -1,0 +1,72 @@
+// MoveEngine: the propose -> delta-price -> commit/rollback front end of
+// the allocation-state engine (model/alloc_state.h).
+//
+// A proposal speculates on the engine's ResidualView with the bitwise
+// Undo log (vacate the client, probe Assign_Distribute, restore) and
+// prices the move with the exact telescoped delta (alloc/delta_price.h) —
+// no ledger mutation, no cache repair, no clone. A commit then applies
+// the move through the engine with the exact-profit accept test the
+// reassignment passes have always used: the true profit may regress past
+// 1e-12 only on a rollback, and `profit_now` carries the settled profit
+// across moves so nothing is ever re-evaluated wholesale.
+//
+// The annealing baseline uses apply() instead of commit(): Metropolis
+// acceptance deliberately takes downhill moves, so the exact gate is the
+// caller's to decide there.
+#pragma once
+
+#include <optional>
+
+#include "alloc/assign_distribute.h"
+#include "alloc/options.h"
+#include "model/alloc_state.h"
+
+namespace cloudalloc::alloc {
+
+class MoveEngine {
+ public:
+  MoveEngine(model::AllocState& state, const AllocatorOptions& opts)
+      : state_(state), opts_(opts) {}
+
+  struct Proposal {
+    /// Best insertion found (nullopt: nowhere feasible to place i).
+    std::optional<InsertionPlan> plan;
+    /// Delta-priced profit change of the whole move (vacate + insert).
+    double predicted = 0.0;
+  };
+
+  /// Best move of client i across all clusters, priced against the
+  /// current state (i is vacated first when assigned; the view is
+  /// bitwise-restored before returning).
+  Proposal propose_best(model::ClientId i,
+                        const InsertionConstraints& constraints = {});
+
+  /// Same, but restricted to cluster k.
+  Proposal propose_into(model::ClientId i, model::ClusterId k,
+                        const InsertionConstraints& constraints = {});
+
+  /// Capacity revalidation of a (possibly stale) plan against the live
+  /// view; a plan priced on a snapshot may no longer fit.
+  bool fits(model::ClientId i, const InsertionPlan& plan) const;
+
+  /// Applies `plan` to client i with the exact-profit accept test
+  /// (commit only if true profit does not regress past 1e-12), rolling
+  /// the engine back otherwise. Updates the carried `profit_now` and
+  /// accumulates the realized change into `delta`.
+  bool commit(model::ClientId i, bool was_assigned, const InsertionPlan& plan,
+              double& profit_now, double& delta);
+
+  /// Unconditional apply (no accept test): moves i to `plan`, or removes
+  /// i when `plan` is nullopt. Returns the exact realized delta and
+  /// updates `profit_now`. For acceptance rules owned by the caller
+  /// (Metropolis).
+  double apply(model::ClientId i, const std::optional<InsertionPlan>& plan,
+               double& profit_now);
+
+ private:
+  model::AllocState& state_;
+  const AllocatorOptions& opts_;
+  model::ResidualView::Undo undo_;
+};
+
+}  // namespace cloudalloc::alloc

@@ -8,13 +8,15 @@
 
 #include "alloc/assign_distribute.h"
 #include "alloc/delta_price.h"
+#include "alloc/move_engine.h"
 #include "common/check.h"
 #include "common/mathutil.h"
-#include "model/evaluator.h"
+#include "model/alloc_state.h"
 #include "model/residual.h"
 
 namespace cloudalloc::alloc {
 
+using model::AllocState;
 using model::Allocation;
 using model::ClientId;
 using model::ClusterId;
@@ -23,117 +25,67 @@ using model::ResidualView;
 namespace {
 
 /// Moves whose delta-priced profit change is below this are rejected
-/// without touching the Allocation. The screen is three orders of
-/// magnitude wider than the exact commit test's 1e-12, and the predicted
-/// delta agrees with the exact one to rounding of the full-profit
-/// magnitude, so the screen only drops moves the exact test would reject
-/// anyway; borderline moves still go through commit/rollback.
+/// without touching the ledger. The screen is three orders of magnitude
+/// wider than the exact commit test's 1e-12, and the predicted delta
+/// agrees with the exact one to rounding of the full-profit magnitude, so
+/// the screen only drops moves the exact test would reject anyway;
+/// borderline moves still go through commit/rollback.
 constexpr double kPredictReject = 1e-9;
-
-/// Applies `plan` to client i with the exact-profit accept test (commit
-/// only if true profit does not regress past 1e-12), rolling the
-/// Allocation back otherwise. `profit_now` carries the settled profit
-/// across calls so nothing is re-evaluated between moves; `live` is
-/// re-synced from the allocation's post-move aggregates either way (a
-/// rollback's remove/add round trip drifts them by ulps, so mirroring the
-/// ops instead would let the view diverge from the allocation).
-bool commit_move(Allocation& alloc, ResidualView& live, ClientId i,
-                 bool was_assigned, const InsertionPlan& plan,
-                 double& profit_now, double& delta) {
-  const ClusterId old_cluster =
-      was_assigned ? alloc.cluster_of(i) : model::kNoCluster;
-  std::vector<model::Placement> old_placements;  // materialized only here,
-  if (was_assigned) {                            // once a move is attempted
-    old_placements = alloc.placements(i);
-    alloc.clear(i);
-  }
-  alloc.assign(i, plan.cluster, plan.placements);
-  const double after = model::profit(alloc);
-  const auto resync = [&](const std::vector<model::Placement>& ps) {
-    for (const model::Placement& p : ps) live.resync_server(alloc, p.server);
-  };
-  if (after + 1e-12 < profit_now) {
-    alloc.clear(i);
-    if (was_assigned) alloc.assign(i, old_cluster, old_placements);
-    // No re-evaluation on rollback: the restored profit equals profit_now
-    // up to the round trip's rounding, and the next exact evaluation
-    // repairs the caches from the rolled-back state anyway.
-    resync(old_placements);
-    resync(plan.placements);
-    return false;
-  }
-  delta += after - profit_now;
-  profit_now = after;
-  resync(old_placements);
-  resync(plan.placements);
-  return true;
-}
 
 }  // namespace
 
-double reassign_pass(Allocation& alloc, const AllocatorOptions& opts) {
-  const auto& cloud = alloc.cloud();
+double reassign_pass(AllocState& state, const AllocatorOptions& opts) {
+  const auto& cloud = state.cloud();
   std::vector<ClientId> order(static_cast<std::size_t>(cloud.num_clients()));
   std::iota(order.begin(), order.end(), 0);
   // Worst-served first (unassigned clients sort to the front: R = +inf).
   std::sort(order.begin(), order.end(), [&](ClientId a, ClientId b) {
-    return alloc.response_time(a) > alloc.response_time(b);
+    return state.ledger().response_time(a) > state.ledger().response_time(b);
   });
 
-  // Settle once; from here profit is tracked through commit_move and moves
-  // are pre-screened on a delta-priced view, so clients whose probe finds
-  // no (worthwhile) move cost zero Allocation churn and zero cache repair.
-  double profit_now = model::profit(alloc);
-  ResidualView live(alloc);
-  ResidualView::Undo undo;
+  // Settle once; from here profit is tracked through commits and moves are
+  // pre-screened on the engine's delta-priced view, so clients whose probe
+  // finds no (worthwhile) move cost zero ledger churn and zero cache
+  // repair.
+  double profit_now = state.profit();
+  MoveEngine mover(state, opts);
 
   double delta = 0.0;
   for (ClientId i : order) {
-    const bool was_assigned = alloc.is_assigned(i);
-    std::optional<InsertionPlan> plan;
-    double predicted = 0.0;
-    if (was_assigned) {
-      const std::vector<model::Placement>& old_ps = alloc.placements(i);
-      const double vacate = removal_delta(live, i, old_ps);
-      live.remove_client(i, old_ps, &undo);
-      plan = best_insertion(live, i, opts);
-      if (plan) predicted = vacate + insertion_delta(live, i, plan->placements);
-      live.restore(undo);
-    } else {
-      plan = best_insertion(live, i, opts);
-      if (plan) predicted = insertion_delta(live, i, plan->placements);
-    }
-    if (!plan || predicted < -kPredictReject) continue;
-    commit_move(alloc, live, i, was_assigned, *plan, profit_now, delta);
+    const bool was_assigned = state.ledger().is_assigned(i);
+    MoveEngine::Proposal prop = mover.propose_best(i);
+    if (!prop.plan || prop.predicted < -kPredictReject) continue;
+    mover.commit(i, was_assigned, *prop.plan, profit_now, delta);
   }
   return delta;
 }
 
-double reassign_pass_snapshot(Allocation& alloc, const AllocatorOptions& opts,
+double reassign_pass_snapshot(AllocState& state, const AllocatorOptions& opts,
                               const dist::ParallelEval& eval) {
-  const auto& cloud = alloc.cloud();
+  const auto& cloud = state.cloud();
   const int n = cloud.num_clients();
   if (n == 0) return 0.0;
+  const Allocation& ledger = state.ledger();
   std::vector<ClientId> order(static_cast<std::size_t>(n));
   std::iota(order.begin(), order.end(), 0);
   // Worst-served first (unassigned clients sort to the front: R = +inf);
   // stable so equal response times keep client-id order at any thread
   // count and across standard libraries.
   std::stable_sort(order.begin(), order.end(), [&](ClientId a, ClientId b) {
-    return alloc.response_time(a) > alloc.response_time(b);
+    return ledger.response_time(a) > ledger.response_time(b);
   });
 
   // Phase 1: price every client's best move against a frozen SoA snapshot
-  // of the settled allocation. Each chunk copies the flat view (a handful
-  // of vector copies — no Allocation::clone anywhere) and probes each
-  // client by vacate/probe/restore, so every plan depends only on the
+  // of the settled engine state. Each chunk copies the flat view (a
+  // handful of vector copies — no Allocation::clone anywhere) and probes
+  // each client by vacate/probe/restore, so every plan depends only on the
   // snapshot — not on chunk boundaries or scheduling. Chunk size is fixed
   // (never derived from the worker count) for the same reason. The settled
-  // allocation itself is only read (placements), which the frozen-snapshot
+  // ledger itself is only read (placements), which the frozen-snapshot
   // contract allows.
-  double profit_now = model::profit(alloc);  // settle: reads become pure
-  CHECK(alloc.profit_settled());
-  const ResidualView base(alloc);
+  double profit_now = state.profit();  // settle: reads become pure
+  CHECK(ledger.profit_settled());
+  const ResidualView& base = state.view();
   constexpr int kChunk = 16;
   std::vector<std::optional<InsertionPlan>> plans(static_cast<std::size_t>(n));
   eval.for_chunks(n, kChunk, [&](int begin, int end) {
@@ -141,8 +93,8 @@ double reassign_pass_snapshot(Allocation& alloc, const AllocatorOptions& opts,
     ResidualView::Undo undo;
     for (int idx = begin; idx < end; ++idx) {
       const ClientId i = order[static_cast<std::size_t>(idx)];
-      if (alloc.is_assigned(i)) {
-        scratch.remove_client(i, alloc.placements(i), &undo);
+      if (ledger.is_assigned(i)) {
+        scratch.remove_client(i, ledger.placements(i), &undo);
         plans[static_cast<std::size_t>(idx)] =
             best_insertion(scratch, i, opts);
         scratch.restore(undo);
@@ -153,79 +105,103 @@ double reassign_pass_snapshot(Allocation& alloc, const AllocatorOptions& opts,
     }
   });
 
-  // Phase 2: apply sequentially in the fixed order against the live state,
-  // mirrored by a view kept bitwise in sync with the allocation. Earlier
-  // winners may have consumed the capacity a snapshot plan assumed, so
-  // re-validate the fit and fall back to a live re-price when it no longer
-  // holds.
-  ResidualView live = base;
+  // Phase 2: apply sequentially in the fixed order against the live
+  // engine. Earlier winners may have consumed the capacity a snapshot
+  // plan assumed, so re-validate the fit and fall back to a live re-price
+  // when it no longer holds.
+  MoveEngine mover(state, opts);
+  ResidualView& live = state.view();
   ResidualView::Undo undo;
-  const auto fits = [&](ClientId i, const InsertionPlan& plan) {
-    constexpr double kSlack = 1e-9;
-    const double disk = cloud.client(i).disk;
-    for (const model::Placement& p : plan.placements) {
-      if (p.phi_p > live.free_phi_p(p.server) + kSlack) return false;
-      if (p.phi_n > live.free_phi_n(p.server) + kSlack) return false;
-      if (disk > live.free_disk(p.server) + kSlack) return false;
-    }
-    return true;
-  };
 
   double delta = 0.0;
   for (int idx = 0; idx < n; ++idx) {
     if (!plans[static_cast<std::size_t>(idx)]) continue;
     const ClientId i = order[static_cast<std::size_t>(idx)];
-    const bool was_assigned = alloc.is_assigned(i);
+    const bool was_assigned = ledger.is_assigned(i);
     std::optional<InsertionPlan> plan =
         std::move(plans[static_cast<std::size_t>(idx)]);
     double predicted = 0.0;
     if (was_assigned) {
-      const std::vector<model::Placement>& old_ps = alloc.placements(i);
+      const std::vector<model::Placement>& old_ps = ledger.placements(i);
       const double vacate = removal_delta(live, i, old_ps);
       live.remove_client(i, old_ps, &undo);
-      if (!fits(i, *plan)) plan = best_insertion(live, i, opts);
+      if (!mover.fits(i, *plan)) plan = best_insertion(live, i, opts);
       if (plan) predicted = vacate + insertion_delta(live, i, plan->placements);
       live.restore(undo);
     } else {
-      if (!fits(i, *plan)) plan = best_insertion(live, i, opts);
+      if (!mover.fits(i, *plan)) plan = best_insertion(live, i, opts);
       if (plan) predicted = insertion_delta(live, i, plan->placements);
     }
     if (!plan || predicted < -kPredictReject) continue;
-    commit_move(alloc, live, i, was_assigned, *plan, profit_now, delta);
+    mover.commit(i, was_assigned, *plan, profit_now, delta);
   }
+  return delta;
+}
+
+double drop_unprofitable_clients(AllocState& state,
+                                 const AllocatorOptions& opts) {
+  if (!opts.allow_rejection) return 0.0;
+  double delta = 0.0;
+  for (ClientId i = 0; i < state.cloud().num_clients(); ++i) {
+    if (!state.ledger().is_assigned(i)) continue;
+    const double before = state.profit();
+    const ClusterId k = state.ledger().cluster_of(i);
+    const std::vector<model::Placement> saved = state.ledger().placements(i);
+    state.clear(i);
+    const double after = state.profit();
+    if (after > before + 1e-12) {
+      delta += after - before;
+    } else {
+      state.assign(i, k, saved);
+    }
+  }
+  return delta;
+}
+
+double reassign_until_steady(AllocState& state, const AllocatorOptions& opts,
+                             int max_rounds) {
+  double total = 0.0;
+  for (int round = 0; round < max_rounds; ++round) {
+    const double base = std::fabs(state.profit());
+    const double delta = reassign_pass(state, opts);
+    total += delta;
+    if (delta <= opts.steady_tolerance * std::max(base, 1.0)) break;
+  }
+  return total;
+}
+
+// --- Allocation wrappers (adopt -> run -> release; the move in and out
+// copies nothing and changes no state bits) ------------------------------
+
+double reassign_pass(Allocation& alloc, const AllocatorOptions& opts) {
+  AllocState state(std::move(alloc));
+  const double delta = reassign_pass(state, opts);
+  alloc = std::move(state).release();
+  return delta;
+}
+
+double reassign_pass_snapshot(Allocation& alloc, const AllocatorOptions& opts,
+                              const dist::ParallelEval& eval) {
+  AllocState state(std::move(alloc));
+  const double delta = reassign_pass_snapshot(state, opts, eval);
+  alloc = std::move(state).release();
   return delta;
 }
 
 double drop_unprofitable_clients(Allocation& alloc,
                                  const AllocatorOptions& opts) {
-  if (!opts.allow_rejection) return 0.0;
-  double delta = 0.0;
-  for (ClientId i = 0; i < alloc.cloud().num_clients(); ++i) {
-    if (!alloc.is_assigned(i)) continue;
-    const double before = model::profit(alloc);
-    const ClusterId k = alloc.cluster_of(i);
-    const std::vector<model::Placement> saved = alloc.placements(i);
-    alloc.clear(i);
-    const double after = model::profit(alloc);
-    if (after > before + 1e-12) {
-      delta += after - before;
-    } else {
-      alloc.assign(i, k, saved);
-    }
-  }
+  AllocState state(std::move(alloc));
+  const double delta = drop_unprofitable_clients(state, opts);
+  alloc = std::move(state).release();
   return delta;
 }
 
 double reassign_until_steady(Allocation& alloc, const AllocatorOptions& opts,
                              int max_rounds) {
-  double total = 0.0;
-  for (int round = 0; round < max_rounds; ++round) {
-    const double base = std::fabs(model::profit(alloc));
-    const double delta = reassign_pass(alloc, opts);
-    total += delta;
-    if (delta <= opts.steady_tolerance * std::max(base, 1.0)) break;
-  }
-  return total;
+  AllocState state(std::move(alloc));
+  const double delta = reassign_until_steady(state, opts, max_rounds);
+  alloc = std::move(state).release();
+  return delta;
 }
 
 }  // namespace cloudalloc::alloc

@@ -8,6 +8,7 @@
 
 #include "alloc/options.h"
 #include "dist/parallel_eval.h"
+#include "model/alloc_state.h"
 #include "model/allocation.h"
 
 namespace cloudalloc::alloc {
@@ -19,6 +20,7 @@ namespace cloudalloc::alloc {
 /// client with no (worthwhile) move costs no Allocation mutation and no
 /// profit-cache repair. Returns the delta.
 double reassign_pass(model::Allocation& alloc, const AllocatorOptions& opts);
+double reassign_pass(model::AllocState& state, const AllocatorOptions& opts);
 
 /// Snapshot-scored variant used by the allocator hot path: candidate moves
 /// for all clients are priced concurrently against a frozen SoA snapshot
@@ -31,10 +33,16 @@ double reassign_pass(model::Allocation& alloc, const AllocatorOptions& opts);
 double reassign_pass_snapshot(model::Allocation& alloc,
                               const AllocatorOptions& opts,
                               const dist::ParallelEval& eval = {});
+double reassign_pass_snapshot(model::AllocState& state,
+                              const AllocatorOptions& opts,
+                              const dist::ParallelEval& eval = {});
 
 /// Repeats reassign_pass until a pass yields (relatively) less than
 /// opts.steady_tolerance, at most `max_rounds` times. Returns total delta.
 double reassign_until_steady(model::Allocation& alloc,
+                             const AllocatorOptions& opts,
+                             int max_rounds = 10);
+double reassign_until_steady(model::AllocState& state,
                              const AllocatorOptions& opts,
                              int max_rounds = 10);
 
@@ -42,6 +50,8 @@ double reassign_until_steady(model::Allocation& alloc,
 /// removes every client whose removal raises true profit (serving it costs
 /// more in energy than its SLA pays). Returns the realized profit delta.
 double drop_unprofitable_clients(model::Allocation& alloc,
+                                 const AllocatorOptions& opts);
+double drop_unprofitable_clients(model::AllocState& state,
                                  const AllocatorOptions& opts);
 
 }  // namespace cloudalloc::alloc

@@ -11,12 +11,14 @@
 #include "alloc/assign_distribute.h"
 #include "alloc/delta_price.h"
 #include "common/check.h"
+#include "model/alloc_state.h"
 #include "model/evaluator.h"
 #include "model/residual.h"
 
 namespace cloudalloc::alloc {
 namespace {
 
+using model::AllocState;
 using model::Allocation;
 using model::ClientId;
 using model::Cloud;
@@ -66,34 +68,39 @@ std::vector<ClientId> degraded_clients(const Allocation& alloc, ClusterId k,
 
 }  // namespace
 
-double turn_on_servers(Allocation& alloc, ClusterId k,
+double turn_on_servers(AllocState& state, ClusterId k,
                        const AllocatorOptions& opts) {
-  const Cloud& cloud = alloc.cloud();
+  const Cloud& cloud = state.cloud();
 
   // One inactive representative per server class present in this cluster.
   std::map<ServerClassId, ServerId> candidates;
   for (ServerId j : cloud.cluster(k).servers)
-    if (!alloc.active(j) && !candidates.count(cloud.server(j).server_class))
+    if (!state.ledger().active(j) &&
+        !candidates.count(cloud.server(j).server_class))
       candidates.emplace(cloud.server(j).server_class, j);
   if (candidates.empty()) return 0.0;
 
   double total_delta = 0.0;
   for (const auto& [cls, j] : candidates) {
     (void)cls;
-    const std::vector<ClientId> bidders = degraded_clients(alloc, k, opts);
+    const std::vector<ClientId> bidders =
+        degraded_clients(state.ledger(), k, opts);
     if (bidders.empty()) break;
 
-    Allocation trial = alloc.clone();
+    // Full-fidelity trial state (clone-try-swap boundary): bids mutate the
+    // branch, probes run on the branch's view, and the whole bundle is
+    // adopted or dropped at the gate.
+    AllocState trial = state.branch();
     // Bidding phase: moves may individually lose P0 (it is sunk once the
     // first bidder lands on j), so allow per-move regressions on the trial
     // state and judge the bundle at the gate below.
     bool anyone_used_j = false;
     for (ClientId i : bidders) {
-      const double before_move = model::profit(trial);
-      const ClusterId old_cluster = trial.cluster_of(i);
-      const auto old_placements = trial.placements(i);
+      const double before_move = trial.profit();
+      const ClusterId old_cluster = trial.ledger().cluster_of(i);
+      const auto old_placements = trial.ledger().placements(i);
       trial.clear(i);
-      auto plan = assign_distribute(trial, i, k, opts);
+      auto plan = assign_distribute(trial.view(), i, k, opts);
       if (!plan) {
         trial.assign(i, old_cluster, old_placements);
         continue;
@@ -102,7 +109,7 @@ double turn_on_servers(Allocation& alloc, ClusterId k,
       const bool uses_j =
           std::any_of(plan->placements.begin(), plan->placements.end(),
                       [&](const auto& p) { return p.server == j; });
-      const double after_move = model::profit(trial);
+      const double after_move = trial.profit();
       // Tolerate paying P0 of the candidate on the move that opens it.
       const double sunk = (uses_j && !anyone_used_j)
                               ? cloud.server_class_of(j).cost_fixed
@@ -115,19 +122,19 @@ double turn_on_servers(Allocation& alloc, ClusterId k,
     }
     if (!anyone_used_j) continue;
 
-    const double gate_before = model::profit(alloc);
-    const double gate_after = model::profit(trial);
+    const double gate_before = state.profit();
+    const double gate_after = trial.profit();
     if (gate_after > gate_before + 1e-12) {
       total_delta += gate_after - gate_before;
-      alloc = std::move(trial);
+      state.adopt(std::move(trial));
     }
   }
   return total_delta;
 }
 
-double turn_off_servers(Allocation& alloc, ClusterId k,
+double turn_off_servers(AllocState& state, ClusterId k,
                         const AllocatorOptions& opts) {
-  const Cloud& cloud = alloc.cloud();
+  const Cloud& cloud = state.cloud();
   double total_delta = 0.0;
 
   // Rank active, non-pinned servers by value, worst first. Values are
@@ -135,8 +142,8 @@ double turn_off_servers(Allocation& alloc, ClusterId k,
   // evaluating it inside the sort comparator would cost O(C log C) passes.
   std::vector<std::pair<double, ServerId>> ranked;
   for (ServerId j : cloud.cluster(k).servers)
-    if (alloc.active(j) && !cloud.server(j).background.keeps_on)
-      ranked.emplace_back(server_value(alloc, j), j);
+    if (state.ledger().active(j) && !cloud.server(j).background.keeps_on)
+      ranked.emplace_back(server_value(state.ledger(), j), j);
   std::sort(ranked.begin(), ranked.end());
 
   // Shares on healthy servers sit up to share_growth x their preferred
@@ -145,20 +152,19 @@ double turn_off_servers(Allocation& alloc, ClusterId k,
   shrink.share_growth = 1.0;
 
   // The shrunk cluster is the same for every candidate whose attempt does
-  // not commit, so it is built once and shared: one clone + one share
+  // not commit, so it is built once and shared: one branch + one share
   // sweep per pass instead of per candidate (rebuilt after a commit).
   // Shrinking the candidate itself is immaterial — its clients are evicted
   // before anything reads their shares, and its aggregates reset exactly
   // to zero when it empties.
-  std::optional<Allocation> shrunk;
-  std::optional<model::ResidualView> base;
+  std::optional<AllocState> shrunk;
   const auto ensure_base = [&] {
     if (shrunk) return;
-    shrunk.emplace(alloc.clone());
+    shrunk.emplace(state.branch());
     for (ServerId other : cloud.cluster(k).servers)
-      if (shrunk->active(other)) adjust_resource_shares(*shrunk, other, shrink);
-    model::profit(*shrunk);  // settle before snapshotting
-    base.emplace(*shrunk);
+      if (shrunk->ledger().active(other))
+        adjust_resource_shares(*shrunk, other, shrink);
+    shrunk->profit();  // settle before snapshotting
   };
 
   InsertionConstraints constraints;
@@ -168,26 +174,28 @@ double turn_off_servers(Allocation& alloc, ClusterId k,
   for (const auto& [value, j] : ranked) {
     (void)value;
     if (opts.power_patience > 0 && failures >= opts.power_patience) break;
-    if (!alloc.active(j)) continue;  // emptied by an earlier shutdown
+    if (!state.ledger().active(j)) continue;  // emptied by earlier shutdown
     ensure_base();
     constraints.exclude = j;
 
     // Probe the shutdown clone-free: evict and re-insert the candidate's
-    // clients one at a time on a view of the shrunk cluster, pricing each
-    // step with the delta pricer. The view mirrors the allocation
+    // clients one at a time on a copy of the shrunk engine's view, pricing
+    // each step with the delta pricer. The view mirrors the shrunk ledger
     // bitwise, so the plans transfer verbatim to the replay below.
-    model::ResidualView probe = *base;
-    const std::vector<ClientId> evicted = shrunk->clients_on(j);  // copy
+    model::ResidualView probe = shrunk->view();
+    const std::vector<ClientId> evicted =
+        shrunk->ledger().clients_on(j);  // copy
     std::vector<InsertionPlan> plans;
     plans.reserve(evicted.size());
     double move_delta = 0.0;
     bool ok = true;
     for (ClientId i : evicted) {
-      const std::vector<model::Placement>& old_ps = shrunk->placements(i);
+      const std::vector<model::Placement>& old_ps =
+          shrunk->ledger().placements(i);
       move_delta += removal_delta(probe, i, old_ps);
       probe.remove_client(i, old_ps);
-      auto plan = assign_distribute(probe, i, shrunk->cluster_of(i), opts,
-                                    constraints);
+      auto plan = assign_distribute(probe, i, shrunk->ledger().cluster_of(i),
+                                    opts, constraints);
       if (!plan) {
         ok = false;
         break;
@@ -210,25 +218,25 @@ double turn_off_servers(Allocation& alloc, ClusterId k,
       continue;
     }
 
-    // Materialize: replay the probed plans on a clone of the shrunk
-    // cluster, re-grow shares to the normal policy, and judge the exact
+    // Materialize: replay the probed plans on a branch of the shrunk
+    // state, re-grow shares to the normal policy, and judge the exact
     // profit gate.
-    Allocation trial = shrunk->clone();
+    AllocState trial = shrunk->branch();
     for (std::size_t idx = 0; idx < evicted.size(); ++idx) {
       const ClientId i = evicted[idx];
       trial.clear(i);
       trial.assign(i, plans[idx].cluster, std::move(plans[idx].placements));
     }
     for (ServerId other : cloud.cluster(k).servers)
-      if (trial.active(other)) adjust_resource_shares(trial, other, opts);
+      if (trial.ledger().active(other))
+        adjust_resource_shares(trial, other, opts);
 
-    const double gate_before = model::profit(alloc);
-    const double gate_after = model::profit(trial);
+    const double gate_before = state.profit();
+    const double gate_after = trial.profit();
     if (gate_after > gate_before + 1e-12) {
       total_delta += gate_after - gate_before;
-      alloc = std::move(trial);
+      state.adopt(std::move(trial));
       shrunk.reset();
-      base.reset();
       failures = 0;
     } else {
       ++failures;
@@ -237,12 +245,37 @@ double turn_off_servers(Allocation& alloc, ClusterId k,
   return total_delta;
 }
 
-double adjust_server_power(Allocation& alloc, const AllocatorOptions& opts) {
+double adjust_server_power(AllocState& state, const AllocatorOptions& opts) {
   double delta = 0.0;
-  for (ClusterId k = 0; k < alloc.cloud().num_clusters(); ++k) {
-    if (opts.enable_turn_on) delta += turn_on_servers(alloc, k, opts);
-    if (opts.enable_turn_off) delta += turn_off_servers(alloc, k, opts);
+  for (ClusterId k = 0; k < state.cloud().num_clusters(); ++k) {
+    if (opts.enable_turn_on) delta += turn_on_servers(state, k, opts);
+    if (opts.enable_turn_off) delta += turn_off_servers(state, k, opts);
   }
+  return delta;
+}
+
+// --- Allocation wrappers ------------------------------------------------
+
+double turn_on_servers(Allocation& alloc, ClusterId k,
+                       const AllocatorOptions& opts) {
+  AllocState state(std::move(alloc));
+  const double delta = turn_on_servers(state, k, opts);
+  alloc = std::move(state).release();
+  return delta;
+}
+
+double turn_off_servers(Allocation& alloc, ClusterId k,
+                        const AllocatorOptions& opts) {
+  AllocState state(std::move(alloc));
+  const double delta = turn_off_servers(state, k, opts);
+  alloc = std::move(state).release();
+  return delta;
+}
+
+double adjust_server_power(Allocation& alloc, const AllocatorOptions& opts) {
+  AllocState state(std::move(alloc));
+  const double delta = adjust_server_power(state, opts);
+  alloc = std::move(state).release();
   return delta;
 }
 

@@ -8,6 +8,7 @@
 #include "baselines/random_alloc.h"
 #include "common/check.h"
 #include "common/stats.h"
+#include "model/alloc_state.h"
 #include "model/evaluator.h"
 
 namespace cloudalloc::baselines {
@@ -26,8 +27,11 @@ MonteCarloResult monte_carlo_search(const model::Cloud& cloud,
 
   Summary initial_summary;
   for (int s = 0; s < opts.samples; ++s) {
-    model::Allocation sample = random_allocation(cloud, opts.alloc, rng);
-    const double initial_profit = model::profit(sample);
+    // One engine per sample: the random draw is adopted as the ledger and
+    // every polish stage runs delta-priced against the same residual view
+    // (no per-stage view rebuilds, no Allocation copies in the loop).
+    model::AllocState sample(random_allocation(cloud, opts.alloc, rng));
+    const double initial_profit = sample.profit();
     initial_summary.add(initial_profit);
     result.initial_profits.push_back(initial_profit);
     result.worst_initial_profit =
@@ -38,14 +42,14 @@ MonteCarloResult monte_carlo_search(const model::Cloud& cloud,
       alloc::adjust_all_shares(sample, opts.alloc);
       alloc::adjust_all_dispersions(sample, opts.alloc);
     }
-    const double polished_profit = model::profit(sample);
+    const double polished_profit = sample.profit();
     result.polished_profits.push_back(polished_profit);
     result.worst_polished_profit =
         std::min(result.worst_polished_profit, polished_profit);
 
     if (polished_profit > result.best_profit) {
       result.best_profit = polished_profit;
-      result.best = std::move(sample);
+      result.best = std::move(sample).release();
     }
   }
   result.mean_initial_profit = initial_summary.mean();

@@ -1,6 +1,10 @@
 // Simulated-annealing allocator: the stochastic straw-man the paper says
-// one would need absent the heuristic. State = client->cluster assignment
-// vector; decoding reuses the shared cluster-level allocation machinery.
+// one would need absent the heuristic. The walk starts from a uniform
+// client->cluster assignment decoded once through the shared greedy
+// machinery, then moves one client at a time: each neighbor is priced with
+// the exact telescoped delta against the allocation-state engine (no
+// rebuild-and-re-evaluate per step), judged by the Metropolis rule, and
+// applied through the engine when accepted.
 #pragma once
 
 #include <cstdint>

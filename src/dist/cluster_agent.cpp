@@ -3,6 +3,7 @@
 #include "alloc/adjust_dispersion.h"
 #include "alloc/adjust_shares.h"
 #include "alloc/server_power.h"
+#include "model/alloc_state.h"
 #include "model/evaluator.h"
 
 namespace cloudalloc::dist {
@@ -16,30 +17,34 @@ std::optional<alloc::InsertionPlan> ClusterAgent::evaluate_insertion(
 ClusterImprovement ClusterAgent::improve(
     const model::Allocation& snapshot) const {
   const model::Cloud& cloud = snapshot.cloud();
-  model::Allocation local = snapshot.clone();
-  const double before = model::profit(local);
+  // Private engine copy at the snapshot boundary: the one Allocation copy
+  // per agent per round that the message-passing model inherently needs
+  // (the snapshot is shared read-only across agents).
+  model::AllocState local(snapshot.clone());
+  const double before = local.profit();
 
   if (opts_.enable_adjust_shares)
     for (model::ServerId j : cloud.cluster(cluster_).servers)
-      if (local.active(j)) alloc::adjust_resource_shares(local, j, opts_);
+      if (local.ledger().active(j))
+        alloc::adjust_resource_shares(local, j, opts_);
   if (opts_.enable_adjust_dispersion)
     for (model::ClientId i = 0; i < cloud.num_clients(); ++i)
-      if (local.cluster_of(i) == cluster_)
+      if (local.ledger().cluster_of(i) == cluster_)
         alloc::adjust_dispersion_rates(local, i, opts_);
   if (opts_.enable_turn_on) alloc::turn_on_servers(local, cluster_, opts_);
   if (opts_.enable_turn_off) alloc::turn_off_servers(local, cluster_, opts_);
 
   ClusterImprovement out;
   out.cluster = cluster_;
-  out.profit_delta = model::profit(local) - before;
+  out.profit_delta = local.profit() - before;
   for (model::ClientId i = 0; i < cloud.num_clients(); ++i) {
     // Report every client that is (or was) ours so the manager can also
     // apply evictions performed by TurnOFF.
     const bool was_ours = snapshot.cluster_of(i) == cluster_;
-    const bool is_ours = local.cluster_of(i) == cluster_;
+    const bool is_ours = local.ledger().cluster_of(i) == cluster_;
     if (!was_ours && !is_ours) continue;
-    out.placements.emplace_back(
-        i, is_ours ? local.placements(i) : std::vector<model::Placement>{});
+    out.placements.emplace_back(i, is_ours ? local.ledger().placements(i)
+                                           : std::vector<model::Placement>{});
   }
   return out;
 }

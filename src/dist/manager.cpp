@@ -14,6 +14,7 @@
 #include "dist/cluster_agent.h"
 #include "dist/parallel_eval.h"
 #include "dist/thread_pool.h"
+#include "model/alloc_state.h"
 #include "model/evaluator.h"
 
 namespace cloudalloc::dist {
@@ -44,8 +45,9 @@ DistributedResult DistributedAllocator::run(const Cloud& cloud) const {
   // pool tasks through the same engine as the sequential allocator, so the
   // two modes commit identical initial solutions.
   Rng rng(aopts.seed);
-  Allocation best = alloc::build_initial_solution(cloud, aopts, rng, eval);
-  double best_profit = model::profit(best);
+  model::AllocState state(
+      alloc::build_initial_solution(cloud, aopts, rng, eval));
+  double best_profit = state.profit();
   report.initial_profit = best_profit;
   // Each greedy insertion asks all K agents for a bid and collects K
   // responses in the message-passing deployment.
@@ -53,22 +55,26 @@ DistributedResult DistributedAllocator::run(const Cloud& cloud) const {
                      static_cast<std::size_t>(cloud.num_clients()) *
                      static_cast<std::size_t>(2 * K);
 
-  // --- improvement rounds: parallel cluster-local stages against a frozen
-  // snapshot + sequential cross-cluster reassignment. A round can dip
-  // (the share rebalance inside the agents is unconditional), so track the
-  // best allocation ever seen and return that, exactly as
-  // ResourceAllocator::improve_impl does.
-  Allocation alloc = best.clone();
+  // --- improvement rounds: parallel cluster-local stages against the
+  // settled engine ledger (frozen for the round — the merge only starts
+  // after every agent returned) + sequential cross-cluster reassignment.
+  // A round can dip (the share rebalance inside the agents is
+  // unconditional), so track the best state ever seen as an engine
+  // checkpoint and materialize it once at the end, exactly as
+  // ResourceAllocator::improve_impl does. No per-round Allocation clones:
+  // each agent copies the snapshot privately (the message-passing model's
+  // inherent boundary), and best/working state live in the one engine.
+  model::AllocState::Checkpoint best = state.checkpoint(best_profit);
   int stalled_rounds = 0;
   for (int round = 0; round < aopts.max_local_search_rounds; ++round) {
-    Allocation snapshot = alloc.clone();  // frozen for this round
-    (void)model::profit(snapshot);  // settle caches: pure reads from here
-    CHECK(snapshot.profit_settled());
+    (void)state.profit();  // settle caches: pure reads from here
+    CHECK(state.ledger().profit_settled());
     std::vector<std::optional<ClusterImprovement>> improvements(
         static_cast<std::size_t>(K));
     eval.for_n(K, [&](int k) {
       ClusterAgent agent(static_cast<ClusterId>(k), aopts);
-      improvements[static_cast<std::size_t>(k)] = agent.improve(snapshot);
+      improvements[static_cast<std::size_t>(k)] =
+          agent.improve(state.ledger());
     });
     report.messages += static_cast<std::size_t>(2 * K);
 
@@ -78,14 +84,15 @@ DistributedResult DistributedAllocator::run(const Cloud& cloud) const {
       CHECK(improvement.has_value());
       for (auto& [i, placements] : improvement->placements) {
         if (placements.empty())
-          alloc.clear(i);
+          state.clear(i);
         else
-          alloc.assign(i, static_cast<ClusterId>(k), std::move(placements));
+          state.assign(i, static_cast<ClusterId>(k), std::move(placements));
       }
     }
-    if (aopts.enable_reassign) alloc::reassign_pass_snapshot(alloc, aopts, eval);
+    if (aopts.enable_reassign) alloc::reassign_pass_snapshot(state, aopts, eval);
+    state.debug_check_invariants();
 
-    const double profit_after = model::profit(alloc);
+    const double profit_after = state.profit();
     report.round_profits.push_back(profit_after);
     report.rounds_run = round + 1;
     const double significant =
@@ -97,7 +104,7 @@ DistributedResult DistributedAllocator::run(const Cloud& cloud) const {
     }
     if (profit_after > best_profit) {
       best_profit = profit_after;
-      best = alloc.clone();
+      best = state.checkpoint(profit_after);
     }
     // Dips can precede a recovering round; stop only after two rounds
     // without a new best.
@@ -108,7 +115,7 @@ DistributedResult DistributedAllocator::run(const Cloud& cloud) const {
   report.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  return DistributedResult{std::move(best), report};
+  return DistributedResult{state.materialize(best), report};
 }
 
 }  // namespace cloudalloc::dist

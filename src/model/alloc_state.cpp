@@ -1,0 +1,99 @@
+#include "model/alloc_state.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "common/check.h"
+#include "model/evaluator.h"
+
+namespace cloudalloc::model {
+
+void AllocState::assign(ClientId i, ClusterId k, std::vector<Placement> ps) {
+  touched_.clear();
+  for (const Placement& p : ledger_.placements(i)) touched_.push_back(p.server);
+  for (const Placement& p : ps) touched_.push_back(p.server);
+  ledger_.assign(i, k, std::move(ps));
+  for (ServerId j : touched_) view_.resync_server(ledger_, j);
+}
+
+void AllocState::clear(ClientId i) {
+  touched_.clear();
+  for (const Placement& p : ledger_.placements(i)) touched_.push_back(p.server);
+  ledger_.clear(i);
+  for (ServerId j : touched_) view_.resync_server(ledger_, j);
+}
+
+double AllocState::profit() { return model::profit(ledger_); }
+
+AllocState::Checkpoint AllocState::checkpoint(double profit) const {
+  Checkpoint ckpt;
+  ckpt.cluster_of = ledger_.cluster_of_;
+  ckpt.placements = ledger_.placements_;
+  ckpt.profit = profit;
+  return ckpt;
+}
+
+Allocation AllocState::materialize(const Checkpoint& ckpt) const {
+  Allocation alloc(cloud());
+  for (std::size_t ii = 0; ii < ckpt.placements.size(); ++ii) {
+    if (ckpt.cluster_of[ii] == kNoCluster) continue;
+    alloc.assign(static_cast<ClientId>(ii), ckpt.cluster_of[ii],
+                 std::vector<Placement>(ckpt.placements[ii]));
+  }
+  return alloc;
+}
+
+bool AllocState::aggregates_consistent(double tol) const {
+  const Cloud& cloud = ledger_.cloud();
+  const auto num_servers = static_cast<std::size_t>(cloud.num_servers());
+  std::vector<double> phi_p(num_servers, 0.0), phi_n(num_servers, 0.0),
+      disk(num_servers, 0.0), load_p(num_servers, 0.0);
+  std::vector<int> hosted(num_servers, 0);
+  for (ClientId i = 0; i < cloud.num_clients(); ++i) {
+    if (!ledger_.is_assigned(i)) continue;
+    const Client& c = cloud.client(i);
+    for (const Placement& p : ledger_.placements(i)) {
+      const auto jj = static_cast<std::size_t>(p.server);
+      phi_p[jj] += p.phi_p;
+      phi_n[jj] += p.phi_n;
+      disk[jj] += c.disk;
+      load_p[jj] += p.psi * c.lambda_pred * c.alpha_p;
+      ++hosted[jj];
+    }
+  }
+  // Recomputed sums vs incrementally-maintained ledger aggregates: a
+  // relative tolerance absorbs summation-order ulps (emptied servers are
+  // reset to exactly 0.0 on both sides, so zero compares exactly).
+  const auto close = [tol](double a, double b) {
+    return std::abs(a - b) <=
+           tol * std::max({1.0, std::abs(a), std::abs(b)});
+  };
+  for (std::size_t jj = 0; jj < num_servers; ++jj) {
+    const Allocation::ServerAgg& agg = ledger_.server_[jj];
+    if (static_cast<int>(agg.clients.size()) != hosted[jj]) return false;
+    if (!close(agg.phi_p, phi_p[jj]) || !close(agg.phi_n, phi_n[jj]) ||
+        !close(agg.disk, disk[jj]) || !close(agg.load_p, load_p[jj]))
+      return false;
+    // The view mirrors the ledger bit-for-bit — any difference means a
+    // missed resync, which silently corrupts every subsequent probe.
+    if (view_.used_p_[jj] != agg.phi_p || view_.used_n_[jj] != agg.phi_n ||
+        view_.used_disk_[jj] != agg.disk ||
+        view_.load_p_[jj] != agg.load_p ||
+        view_.hosted_[jj] != static_cast<int>(agg.clients.size()))
+      return false;
+  }
+  return true;
+}
+
+void AllocState::check_invariants() const {
+  CHECK_MSG(aggregates_consistent(),
+            "AllocState aggregates diverged from a from-scratch "
+            "recomputation (or the view desynced from the ledger)");
+}
+
+void AllocState::corrupt_aggregate_for_test(ServerId j, double delta) {
+  ledger_.server_[static_cast<std::size_t>(j)].phi_p += delta;
+}
+
+}  // namespace cloudalloc::model

@@ -215,18 +215,39 @@ const std::vector<ServerId>& Allocation::insertion_candidates(
   if (cand_dirty_[kk]) {
     auto& order = cand_order_[kk];
     const auto& servers = cloud_->cluster(k).servers;
-    order.assign(servers.begin(), servers.end());
-    std::sort(order.begin(), order.end(), [&](ServerId a, ServerId b) {
-      const ServerClass& ca = cloud_->server_class_of(a);
-      const ServerClass& cb = cloud_->server_class_of(b);
-      const double rate_a = free_phi_p(a) * ca.cap_p;
-      const double rate_b = free_phi_p(b) * cb.cap_p;
-      if (rate_a != rate_b) return rate_a > rate_b;
-      const double marg_a = ca.cost_per_util / ca.cap_p;
-      const double marg_b = cb.cost_per_util / cb.cap_p;
-      if (marg_a != marg_b) return marg_a < marg_b;
-      return a < b;
+    // Decorate-sort-undecorate: the keys are computed once per server
+    // (the marginal-cost key divides), not once per comparison — the
+    // rebuild runs on every probe that touched the cluster, so comparator
+    // cost is the whole cost. The comparisons match the direct form
+    // bitwise: identical expressions, identical ordering.
+    struct CandKey {
+      double rate;
+      double marg;
+      ServerId id;
+    };
+    thread_local std::vector<CandKey> keys;
+    keys.clear();
+    keys.reserve(servers.size());
+    for (ServerId j : servers) {
+      const ServerClass& sc = cloud_->server_class_of(j);
+      keys.push_back(
+          CandKey{free_phi_p(j) * sc.cap_p, sc.marginal_cost(), j});
+    }
+    std::sort(keys.begin(), keys.end(), [](const CandKey& a,
+                                           const CandKey& b) {
+      if (a.rate != b.rate) return a.rate > b.rate;
+      if (a.marg != b.marg) return a.marg < b.marg;
+      // Id DESCENDING: among servers whose score rows are bitwise twins,
+      // the grouped-knapsack DP's strictly-greater update lets the
+      // later-scanned row (= higher id, clusters list servers ascending)
+      // steal tied quanta, so the exact traceback lands on the highest
+      // ids. Ranking twins high-id-first makes the pruned top-K prefix
+      // coincide with the servers the exact solve would pick, which is
+      // what lets certified() treat excluded lower-id twins as redundant.
+      return a.id > b.id;
     });
+    order.clear();
+    for (const CandKey& key : keys) order.push_back(key.id);
     cand_dirty_[kk] = false;
   }
   return cand_order_[kk];

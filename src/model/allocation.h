@@ -90,12 +90,14 @@ class Allocation {
   /// Insertion-candidate index: cluster k's servers ordered most-promising
   /// first for a fresh insertion — residual processing rate
   /// (free_phi_p * Cp) descending, then marginal power cost (P1 / Cp)
-  /// ascending, then id. assign/clear dirty the touched clusters and the
-  /// order is rebuilt lazily here, so churn costs nothing until the next
-  /// probe. The order is advisory: Assign_Distribute uses it to pick a
-  /// pruned top-K candidate set and certifies the result against a score
-  /// bound (see alloc/assign_distribute.h), so staleness within a probe is
-  /// harmless.
+  /// ascending, then id DESCENDING (deterministic, and aligned with the
+  /// grouped-knapsack DP whose tie resolution favors later-scanned rows;
+  /// see the comment at the comparator). assign/clear dirty the touched
+  /// clusters and the order is rebuilt lazily here, so churn costs nothing
+  /// until the next probe. The order is advisory: Assign_Distribute uses
+  /// it to pick a pruned top-K candidate set and certifies the result
+  /// against a score bound (see alloc/assign_distribute.h), so staleness
+  /// within a probe is harmless.
   const std::vector<ServerId>& insertion_candidates(ClusterId k) const;
 
   /// Deep-copy snapshot/restore used by the local search to evaluate
@@ -119,6 +121,7 @@ class Allocation {
 
  private:
   friend class ResidualView;
+  friend class AllocState;
 
   struct ServerAgg {
     double phi_p = 0.0;

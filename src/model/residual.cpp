@@ -1,5 +1,7 @@
 #include "model/residual.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace cloudalloc::model {
@@ -34,6 +36,43 @@ ResidualView::ResidualView(const Allocation& alloc) : cloud_(alloc.cloud_) {
   cand_order_.reserve(static_cast<std::size_t>(cloud_->num_clusters()));
   for (ClusterId k = 0; k < cloud_->num_clusters(); ++k)
     cand_order_.push_back(alloc.insertion_candidates(k));
+  cand_dirty_.assign(static_cast<std::size_t>(cloud_->num_clusters()), 0);
+}
+
+const std::vector<ServerId>& ResidualView::insertion_candidates(
+    ClusterId k) const {
+  CHECK(k >= 0 && k < cloud_->num_clusters());
+  const auto kk = static_cast<std::size_t>(k);
+  if (cand_dirty_[kk]) {
+    // Bitwise the same keys and ordering as Allocation's rebuild; a view
+    // in sync with an allocation therefore rebuilds the same order. Same
+    // decorate-sort-undecorate as there: keys once per server, not once
+    // per comparison.
+    auto& order = cand_order_[kk];
+    struct CandKey {
+      double rate;
+      double marg;
+      ServerId id;
+    };
+    thread_local std::vector<CandKey> keys;
+    keys.clear();
+    keys.reserve(order.size());
+    for (ServerId j : cloud_->cluster(k).servers) {
+      const ServerClass& sc = cloud_->server_class_of(j);
+      keys.push_back(
+          CandKey{free_phi_p(j) * sc.cap_p, sc.marginal_cost(), j});
+    }
+    std::sort(keys.begin(), keys.end(), [](const CandKey& a,
+                                           const CandKey& b) {
+      if (a.rate != b.rate) return a.rate > b.rate;
+      if (a.marg != b.marg) return a.marg < b.marg;
+      return a.id > b.id;  // id DESC — see the Allocation comparator
+    });
+    order.clear();
+    for (const CandKey& key : keys) order.push_back(key.id);
+    cand_dirty_[kk] = 0;
+  }
+  return cand_order_[kk];
 }
 
 void ResidualView::record(const std::vector<Placement>& ps,
@@ -65,6 +104,7 @@ void ResidualView::remove_client(ClientId i, const std::vector<Placement>& ps,
     if (hosted_[jj] == 0) {
       used_p_[jj] = used_n_[jj] = used_disk_[jj] = load_p_[jj] = 0.0;
     }
+    mark_cand_dirty(p.server);
   }
 }
 
@@ -79,6 +119,7 @@ void ResidualView::add_client(ClientId i, const std::vector<Placement>& ps,
     used_disk_[jj] += c.disk;
     load_p_[jj] += p.psi * c.lambda_pred * c.alpha_p;
     ++hosted_[jj];
+    mark_cand_dirty(p.server);
   }
 }
 
@@ -90,6 +131,7 @@ void ResidualView::resync_server(const Allocation& alloc, ServerId j) {
   used_disk_[jj] = agg.disk;
   load_p_[jj] = agg.load_p;
   hosted_[jj] = static_cast<int>(agg.clients.size());
+  mark_cand_dirty(j);
 }
 
 void ResidualView::restore(const Undo& undo) {
@@ -100,6 +142,7 @@ void ResidualView::restore(const Undo& undo) {
     used_disk_[jj] = e.used_disk;
     load_p_[jj] = e.load_p;
     hosted_[jj] = e.hosted;
+    mark_cand_dirty(e.server);
   }
 }
 

@@ -63,12 +63,15 @@ class ResidualView {
     return keeps_on_[static_cast<std::size_t>(j)] != 0;
   }
 
-  /// Candidate order copied from the source allocation at construction
-  /// (see Allocation::insertion_candidates). Not re-sorted as the view
-  /// mutates — it is an advisory pruning order with an exact fallback.
-  const std::vector<ServerId>& insertion_candidates(ClusterId k) const {
-    return cand_order_[static_cast<std::size_t>(k)];
-  }
+  /// Candidate order seeded from the source allocation at construction
+  /// and lazily re-sorted (same comparator as
+  /// Allocation::insertion_candidates, over this view's residuals) after
+  /// mutations dirty a cluster. Like the Allocation index this is a
+  /// const-but-mutating lazy cache, so views must not be shared across
+  /// threads while probing — copy one per worker instead. The order is
+  /// advisory (pruning with an exact fallback); staleness mid-speculation
+  /// costs prune quality, never correctness.
+  const std::vector<ServerId>& insertion_candidates(ClusterId k) const;
 
   // --- speculative mutation with exact rollback ---------------------------
 
@@ -107,7 +110,12 @@ class ResidualView {
   void resync_server(const Allocation& alloc, ServerId j);
 
  private:
+  friend class AllocState;
+
   void record(const std::vector<Placement>& ps, Undo* undo) const;
+  void mark_cand_dirty(ServerId j) {
+    cand_dirty_[static_cast<std::size_t>(cloud_->server(j).cluster)] = 1;
+  }
 
   const Cloud* cloud_;
   // Mutable residual state (client-only aggregates, background excluded —
@@ -117,7 +125,9 @@ class ResidualView {
   // Immutable per-server constants, flattened for locality.
   std::vector<double> bg_p_, bg_n_, bg_disk_, cap_m_;
   std::vector<std::uint8_t> keeps_on_;
-  std::vector<std::vector<ServerId>> cand_order_;
+  // Lazy per-cluster candidate index (see insertion_candidates).
+  mutable std::vector<std::vector<ServerId>> cand_order_;
+  mutable std::vector<std::uint8_t> cand_dirty_;
 };
 
 }  // namespace cloudalloc::model

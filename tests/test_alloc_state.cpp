@@ -1,0 +1,161 @@
+// The allocation-state engine's contract: ledger and view stay bitwise
+// synchronized under every committed mutation, phases preserve the
+// from-scratch invariants, checkpoints round-trip, corruption trips the
+// checker, and the engine-backed allocator is bit-identical at every
+// thread count and with candidate pruning on or off.
+#include "model/alloc_state.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "alloc/adjust_dispersion.h"
+#include "alloc/adjust_shares.h"
+#include "alloc/allocator.h"
+#include "alloc/assign_distribute.h"
+#include "alloc/initial.h"
+#include "alloc/reassign.h"
+#include "alloc/server_power.h"
+#include "common/rng.h"
+#include "dist/parallel_eval.h"
+#include "model/evaluator.h"
+#include "workload/scenario.h"
+
+namespace cloudalloc::model {
+namespace {
+
+workload::ScenarioParams small_params() {
+  workload::ScenarioParams params;
+  params.num_clients = 30;
+  params.servers_per_cluster = 8;
+  return params;
+}
+
+TEST(AllocState, AssignClearFuzzKeepsLedgerAndViewInLockstep) {
+  const auto cloud = workload::make_scenario(small_params(), 3);
+  alloc::AllocatorOptions opts;
+  AllocState state(cloud);
+  Rng rng(17);
+
+  for (int step = 0; step < 400; ++step) {
+    const auto i =
+        static_cast<ClientId>(rng.index(static_cast<std::size_t>(
+            cloud.num_clients())));
+    if (state.ledger().is_assigned(i) && rng.uniform() < 0.4) {
+      state.clear(i);
+    } else {
+      const auto k = static_cast<ClusterId>(
+          rng.uniform_int(0, cloud.num_clusters() - 1));
+      const auto plan = alloc::assign_distribute(state.view(), i, k, opts);
+      if (!plan) continue;
+      state.assign(i, plan->cluster, plan->placements);
+    }
+    if (step % 50 == 0) ASSERT_TRUE(state.aggregates_consistent());
+  }
+  EXPECT_TRUE(state.aggregates_consistent());
+}
+
+TEST(AllocState, EnginePhasesPreserveInvariants) {
+  const auto cloud = workload::make_scenario(small_params(), 7);
+  alloc::AllocatorOptions opts;
+  Rng rng(opts.seed);
+  dist::ParallelEval eval;
+  AllocState state(alloc::build_initial_solution(cloud, opts, rng, eval));
+  ASSERT_TRUE(state.aggregates_consistent());
+
+  alloc::reassign_pass(state, opts);
+  EXPECT_TRUE(state.aggregates_consistent());
+  alloc::adjust_all_shares(state, opts);
+  EXPECT_TRUE(state.aggregates_consistent());
+  alloc::adjust_all_dispersions(state, opts);
+  EXPECT_TRUE(state.aggregates_consistent());
+  alloc::adjust_server_power(state, opts);
+  EXPECT_TRUE(state.aggregates_consistent());
+  alloc::reassign_pass_snapshot(state, opts, eval);
+  EXPECT_TRUE(state.aggregates_consistent());
+}
+
+TEST(AllocState, CheckpointMaterializeRoundTrips) {
+  const auto cloud = workload::make_scenario(small_params(), 11);
+  alloc::AllocatorOptions opts;
+  Rng rng(opts.seed);
+  dist::ParallelEval eval;
+  AllocState state(alloc::build_initial_solution(cloud, opts, rng, eval));
+
+  const double profit_at_ckpt = state.profit();
+  const AllocState::Checkpoint ckpt = state.checkpoint(profit_at_ckpt);
+
+  // Mutate past the checkpoint; materialization must restore the old
+  // placements, not the current ones.
+  alloc::adjust_all_shares(state, opts);
+  alloc::reassign_pass(state, opts);
+
+  const Allocation restored = state.materialize(ckpt);
+  for (ClientId i = 0; i < cloud.num_clients(); ++i) {
+    ASSERT_EQ(restored.cluster_of(i), ckpt.cluster_of[i]);
+    const auto& want = ckpt.placements[static_cast<std::size_t>(i)];
+    const auto& got = restored.placements(i);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t n = 0; n < want.size(); ++n) {
+      EXPECT_EQ(got[n].server, want[n].server);
+      EXPECT_EQ(got[n].psi, want[n].psi);
+      EXPECT_EQ(got[n].phi_p, want[n].phi_p);
+      EXPECT_EQ(got[n].phi_n, want[n].phi_n);
+    }
+  }
+  // Re-evaluating the materialized allocation may differ from the carried
+  // scalar by summation-order ulps only.
+  EXPECT_NEAR(model::profit(restored), profit_at_ckpt,
+              1e-9 * std::max(1.0, std::fabs(profit_at_ckpt)));
+}
+
+TEST(AllocState, CorruptedAggregateTripsTheChecker) {
+  const auto cloud = workload::make_scenario(small_params(), 13);
+  alloc::AllocatorOptions opts;
+  Rng rng(opts.seed);
+  dist::ParallelEval eval;
+  AllocState state(alloc::build_initial_solution(cloud, opts, rng, eval));
+  ASSERT_TRUE(state.aggregates_consistent());
+
+  state.corrupt_aggregate_for_test(0, 1e-3);
+  EXPECT_FALSE(state.aggregates_consistent());
+  EXPECT_DEATH(state.check_invariants(), "");
+}
+
+TEST(AllocState, AllocatorBitIdenticalAcrossThreadCounts) {
+  workload::ScenarioParams params;
+  params.num_clients = 40;
+  params.servers_per_cluster = 10;
+  for (std::uint64_t seed : {5, 19}) {
+    const auto cloud = workload::make_scenario(params, seed);
+    double profit_1t = 0.0;
+    for (int threads : {1, 4, 8}) {
+      alloc::AllocatorOptions opts;
+      opts.num_threads = threads;
+      const auto result = alloc::ResourceAllocator(opts).run(cloud);
+      if (threads == 1)
+        profit_1t = result.report.final_profit;
+      else
+        EXPECT_EQ(result.report.final_profit, profit_1t)
+            << "seed=" << seed << " threads=" << threads;
+    }
+  }
+}
+
+TEST(AllocState, AllocatorBitIdenticalWithPruningOnAndOff) {
+  workload::ScenarioParams params;
+  params.num_clients = 40;
+  params.servers_per_cluster = 10;
+  const auto cloud = workload::make_scenario(params, 23);
+
+  alloc::AllocatorOptions pruned;  // default: candidate_topk on
+  alloc::AllocatorOptions exact;
+  exact.candidate_topk = 0;
+  const auto a = alloc::ResourceAllocator(pruned).run(cloud);
+  const auto b = alloc::ResourceAllocator(exact).run(cloud);
+  EXPECT_EQ(a.report.final_profit, b.report.final_profit);
+}
+
+}  // namespace
+}  // namespace cloudalloc::model
