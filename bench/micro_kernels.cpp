@@ -19,6 +19,8 @@
 #include "queueing/batch.h"
 #include "queueing/gps.h"
 #include "queueing/mm1.h"
+#include "sim/event_queue.h"
+#include "sim/replication.h"
 #include "workload/scenario.h"
 
 using namespace cloudalloc;
@@ -325,6 +327,94 @@ void BM_QueueingKernels_Batched(benchmark::State& state) {
   state.counters["n"] = static_cast<double>(n);
 }
 BENCHMARK(BM_QueueingKernels_Batched)->Arg(10)->Arg(40);
+
+// --- Simulator benchmarks (the typed-event core; DESIGN.md section 10).
+
+void BM_Sim_EventQueue(benchmark::State& state) {
+  // Classic hold model at a resident population of `n` events: pop the
+  // earliest, schedule a replacement an exponential gap ahead. Exercises
+  // the calendar queue's schedule/pop cycle in isolation.
+  const int n = static_cast<int>(state.range(0));
+  sim::EventQueue q;
+  Rng rng(12);
+  for (int i = 0; i < n; ++i)
+    q.schedule(rng.uniform(0.0, static_cast<double>(n)), sim::Event{});
+  double time = 0.0;
+  sim::Event ev;
+  for (auto _ : state) {
+    q.pop_into(time, ev);
+    q.schedule(time + rng.exponential(1.0 / static_cast<double>(n)), ev);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["resident"] = static_cast<double>(n);
+}
+BENCHMARK(BM_Sim_EventQueue)->Arg(64)->Arg(1024)->Arg(16384);
+
+/// The 200-client model-validation workload (E4) the acceptance numbers
+/// are quoted on: scenario seed 3, default allocator.
+struct SimWorkloadFixture {
+  explicit SimWorkloadFixture(int clients)
+      : cloud(workload::make_scenario(
+            [clients] {
+              workload::ScenarioParams p;
+              p.num_clients = clients;
+              return p;
+            }(),
+            3)),
+        allocation(alloc::ResourceAllocator().run(cloud).allocation) {}
+  model::Cloud cloud;
+  model::Allocation allocation;
+};
+
+void BM_Sim_EventLoop(benchmark::State& state) {
+  // End-to-end single-thread event loop — the PR's acceptance benchmark:
+  // items/sec here is simulated events/sec, compared against the pre-PR
+  // std::function simulator on the same workload and options.
+  SimWorkloadFixture fx(200);
+  sim::SimOptions opts;
+  opts.horizon = 2000.0;
+  opts.seed = 3;
+  opts.mode = state.range(0) == 0 ? sim::GpsMode::kIsolated
+                                  : sim::GpsMode::kWorkConserving;
+  opts.collect_percentiles = false;
+  std::size_t events = 0;
+  for (auto _ : state) {
+    const auto report = sim::simulate_allocation(fx.allocation, opts);
+    events += report.events_executed;
+    benchmark::DoNotOptimize(report.total_completed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["mode"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Sim_EventLoop)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_Sim_Replications(benchmark::State& state) {
+  // 8 independent replications fanned over the thread pool; results are
+  // bit-identical at every thread count, so the arg sweep measures pure
+  // scaling. Real time, since the work happens on pool workers.
+  SimWorkloadFixture fx(50);
+  sim::ReplicationOptions opts;
+  opts.sim.horizon = 500.0;
+  opts.sim.seed = 3;
+  opts.sim.collect_percentiles = false;
+  opts.replications = 8;
+  opts.num_threads = static_cast<int>(state.range(0));
+  std::size_t events = 0;
+  for (auto _ : state) {
+    const auto report = sim::run_replications(fx.allocation, opts);
+    events += report.events_executed;
+    benchmark::DoNotOptimize(report.total_completed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Sim_Replications)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 void BM_ProfitEvaluation(benchmark::State& state) {
   workload::ScenarioParams params;

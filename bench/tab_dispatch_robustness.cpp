@@ -4,17 +4,21 @@
 // psi-sampling dispatcher trusts the plan; the least-expected-wait
 // dispatcher is the paper's local manager "properly reacting" to dynamic
 // changes without a cloud-level re-decision. We report the realized mean
-// response time and the revenue implied by the SLA utilities.
+// response time (across-replication mean with its 95% CI) and the revenue
+// implied by the SLA utilities, each cell averaged over R independent
+// replications fanned across a thread pool.
 //
-// Flags: --clients, --horizon.
+// Flags: --clients, --horizon, --replications, --threads.
+#include <algorithm>
 #include <cmath>
 #include <iostream>
+#include <thread>
 
 #include "alloc/allocator.h"
 #include "bench_common.h"
 #include "common/stats.h"
 #include "model/evaluator.h"
-#include "sim/runner.h"
+#include "sim/replication.h"
 
 using namespace cloudalloc;
 
@@ -22,28 +26,34 @@ namespace {
 
 struct Outcome {
   double mean_response = 0.0;
+  double ci95 = 0.0;  ///< across-replication CI, averaged over clients
   double revenue = 0.0;
 };
 
 Outcome run(const model::Allocation& alloc, double demand_factor,
-            sim::DispatchPolicy policy, double horizon) {
-  sim::SimOptions opts;
-  opts.horizon = horizon;
-  opts.seed = 9;
-  opts.demand_factor = demand_factor;
-  opts.dispatch = policy;
-  opts.collect_percentiles = false;
-  const auto report = sim::simulate_allocation(alloc, opts);
+            sim::DispatchPolicy policy, double horizon, int replications,
+            int threads) {
+  sim::ReplicationOptions opts;
+  opts.sim.horizon = horizon;
+  opts.sim.seed = 9;
+  opts.sim.demand_factor = demand_factor;
+  opts.sim.dispatch = policy;
+  opts.sim.collect_percentiles = false;
+  opts.replications = replications;
+  opts.num_threads = threads;
+  const auto report = sim::run_replications(alloc, opts);
 
   Outcome out;
-  Summary responses;
+  Summary responses, cis;
   const auto& cloud = alloc.cloud();
   for (const auto& c : report.clients) {
     responses.add(c.mean_response);
+    cis.add(c.ci95);
     out.revenue += cloud.client(c.id).lambda_agreed *
                    cloud.utility_of(c.id).value(c.mean_response);
   }
   out.mean_response = responses.mean();
+  out.ci95 = cis.mean();
   return out;
 }
 
@@ -53,6 +63,11 @@ int main(int argc, char** argv) {
   const Args args(argc, argv);
   const int clients = static_cast<int>(args.get_int("clients", 40));
   const double horizon = args.get_double("horizon", 800.0);
+  const int replications = static_cast<int>(args.get_int("replications", 8));
+  const int default_threads = static_cast<int>(
+      std::min(8u, std::max(1u, std::thread::hardware_concurrency())));
+  const int threads =
+      static_cast<int>(args.get_int("threads", default_threads));
 
   bench::print_header(
       "Dispatcher robustness to demand prediction error",
@@ -62,20 +77,27 @@ int main(int argc, char** argv) {
       workload::make_scenario(bench::scenario_params(clients), 8000);
   const auto planned = alloc::ResourceAllocator().run(cloud);
 
-  Table table({"actual/predicted", "static_R", "static_revenue", "dynamic_R",
+  Table table({"actual/predicted", "static_R", "static_ci95",
+               "static_revenue", "dynamic_R", "dynamic_ci95",
                "dynamic_revenue"});
   for (double factor : {0.8, 1.0, 1.1, 1.2, 1.3}) {
-    const auto fixed = run(planned.allocation, factor,
-                           sim::DispatchPolicy::kStaticPsi, horizon);
-    const auto dynamic = run(planned.allocation, factor,
-                             sim::DispatchPolicy::kLeastExpectedWait, horizon);
+    const auto fixed =
+        run(planned.allocation, factor, sim::DispatchPolicy::kStaticPsi,
+            horizon, replications, threads);
+    const auto dynamic =
+        run(planned.allocation, factor,
+            sim::DispatchPolicy::kLeastExpectedWait, horizon, replications,
+            threads);
     table.add_row({Table::num(factor, 2), Table::num(fixed.mean_response, 3),
-                   Table::num(fixed.revenue, 1),
+                   Table::num(fixed.ci95, 3), Table::num(fixed.revenue, 1),
                    Table::num(dynamic.mean_response, 3),
+                   Table::num(dynamic.ci95, 3),
                    Table::num(dynamic.revenue, 1)});
   }
   table.print(std::cout);
-  std::cout << "\nshape check: at the planned demand both dispatchers agree; "
+  std::cout << "\nreplications per cell: " << replications << " on "
+            << threads << " thread(s)\n"
+            << "shape check: at the planned demand both dispatchers agree; "
                "as actual demand\novershoots the prediction, the reactive "
                "dispatcher degrades more gracefully.\n";
   return 0;

@@ -15,37 +15,11 @@ std::uint64_t splitmix64(std::uint64_t& x) {
   return z ^ (z >> 31);
 }
 
-std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-
 }  // namespace
 
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t s = seed;
   for (auto& word : state_) word = splitmix64(s);
-}
-
-Rng::result_type Rng::operator()() {
-  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
-  const std::uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = rotl(state_[3], 45);
-  return result;
-}
-
-double Rng::uniform() {
-  // 53 top bits -> double in [0, 1).
-  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
-}
-
-double Rng::uniform(double lo, double hi) {
-  CHECK(lo <= hi);
-  return lo + (hi - lo) * uniform();
 }
 
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
@@ -61,15 +35,6 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   return lo + static_cast<std::int64_t>(draw % span);
 }
 
-double Rng::exponential(double rate) {
-  CHECK(rate > 0.0);
-  double u;
-  do {
-    u = uniform();
-  } while (u == 0.0);
-  return -std::log(u) / rate;
-}
-
 double Rng::normal(double mean, double stddev) {
   double u1;
   do {
@@ -79,8 +44,6 @@ double Rng::normal(double mean, double stddev) {
   const double mag = std::sqrt(-2.0 * std::log(u1));
   return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
 }
-
-bool Rng::bernoulli(double p) { return uniform() < p; }
 
 std::size_t Rng::index(std::size_t n) {
   CHECK(n > 0);

@@ -8,8 +8,11 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <vector>
+
+#include "common/check.h"
 
 namespace cloudalloc {
 
@@ -29,26 +32,50 @@ class Rng {
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~result_type{0}; }
 
-  /// Next raw 64-bit output.
-  result_type operator()();
+  /// Next raw 64-bit output. Inline — the simulator draws tens of
+  /// millions of variates per run.
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
 
   /// Uniform double in [0, 1).
-  double uniform();
+  double uniform() {
+    // 53 top bits -> double in [0, 1).
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [lo, hi). Requires lo <= hi.
-  double uniform(double lo, double hi);
+  double uniform(double lo, double hi) {
+    CHECK(lo <= hi);
+    return lo + (hi - lo) * uniform();
+  }
 
   /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
 
   /// Exponentially distributed value with the given rate (mean 1/rate).
-  double exponential(double rate);
+  double exponential(double rate) {
+    CHECK(rate > 0.0);
+    double u;
+    do {
+      u = uniform();
+    } while (u == 0.0);
+    return -std::log(u) / rate;
+  }
 
   /// Standard normal via Box-Muller (no cached spare; stateless streams).
   double normal(double mean = 0.0, double stddev = 1.0);
 
   /// Bernoulli trial with probability p of returning true.
-  bool bernoulli(double p);
+  bool bernoulli(double p) { return uniform() < p; }
 
   /// Uniformly chosen index in [0, n). Requires n > 0.
   std::size_t index(std::size_t n);
@@ -67,6 +94,10 @@ class Rng {
   Rng split();
 
  private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::array<std::uint64_t, 4> state_;
 };
 

@@ -8,19 +8,6 @@
 
 namespace cloudalloc {
 
-void Summary::add(double x) {
-  if (n_ == 0) {
-    min_ = max_ = x;
-  } else {
-    min_ = std::min(min_, x);
-    max_ = std::max(max_, x);
-  }
-  ++n_;
-  const double delta = x - mean_;
-  mean_ += delta / static_cast<double>(n_);
-  m2_ += delta * (x - mean_);
-}
-
 double Summary::mean() const { return n_ == 0 ? 0.0 : mean_; }
 
 double Summary::variance() const {

@@ -7,10 +7,22 @@
 
 namespace cloudalloc {
 
-/// Welford-style accumulator for mean/variance/min/max.
+/// Welford-style accumulator for mean/variance/min/max. add() is inline:
+/// it sits on the simulator's per-completion hot path.
 class Summary {
  public:
-  void add(double x);
+  void add(double x) {
+    if (n_ == 0) {
+      min_ = max_ = x;
+    } else {
+      min_ = x < min_ ? x : min_;
+      max_ = x > max_ ? x : max_;
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
 
   std::size_t count() const { return n_; }
   double mean() const;

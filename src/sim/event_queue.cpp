@@ -1,35 +1,84 @@
 #include "sim/event_queue.h"
 
-#include "common/check.h"
-
 namespace cloudalloc::sim {
 
-EventId EventQueue::schedule(double time, std::function<void()> fn) {
-  CHECK(fn != nullptr);
-  const EventId id = next_id_++;
-  heap_.push(Key{time, id});
-  handlers_.emplace(id, std::move(fn));
-  ++live_;
-  return id;
+void EventQueue::retune() {
+  std::size_t bucket_count = kMinBuckets;
+  while (bucket_count < live_ * kBucketsPerLive && bucket_count < kMaxBuckets)
+    bucket_count <<= 1;
+  const double width = ewma_gap_ > 0.0 ? kWidthFactor * ewma_gap_ : width_;
+  rebuild(bucket_count, width);
 }
 
-void EventQueue::cancel(EventId id) {
-  if (handlers_.erase(id) > 0) --live_;
-  // The heap key stays; pop() skips keys without handlers.
-}
-
-std::optional<std::pair<double, std::function<void()>>> EventQueue::pop() {
-  while (!heap_.empty()) {
-    const Key key = heap_.top();
-    heap_.pop();
-    auto it = handlers_.find(key.id);
-    if (it == handlers_.end()) continue;  // cancelled
-    std::function<void()> fn = std::move(it->second);
-    handlers_.erase(it);
-    --live_;
-    return std::make_pair(key.time, std::move(fn));
+void EventQueue::rebuild(std::size_t bucket_count, double width) {
+  // Detach every chain, recycling dead nodes and keeping live ones.
+  std::vector<std::uint32_t> keep;
+  keep.reserve(live_);
+  for (std::uint32_t& head : heads_) {
+    for (std::uint32_t cur = head; cur != kNil;) {
+      const std::uint32_t next = nodes_[cur].next;
+      if (nodes_[cur].live)
+        keep.push_back(cur);
+      else
+        recycle(cur);
+      cur = next;
+    }
+    head = kNil;
   }
-  return std::nullopt;
+  if (bucket_count != heads_.size()) {
+    heads_.assign(bucket_count, kNil);
+    mask_ = bucket_count - 1;
+  }
+  width_ = width;
+  inv_width_ = 1.0 / width;
+  bool any = false;
+  std::uint64_t min_vb = 0;
+  for (const std::uint32_t slot : keep) {
+    Node& n = nodes_[slot];
+    const std::uint64_t vb = vbucket_of(n.time);
+    n.vb = vb;  // the width changed; re-fix the stored bucket
+    if (!any || vb < min_vb) {
+      min_vb = vb;
+      any = true;
+    }
+    std::uint32_t& head = heads_[vb & mask_];
+    n.next = head;
+    head = slot;
+  }
+  cursor_ = any ? min_vb : vbucket_of(last_time_);
+  entries_ = keep.size();
+  pops_since_retune_ = 0;
+}
+
+void EventQueue::jump_to_min() {
+  bool any = false;
+  double best_time = 0.0;
+  std::uint64_t best_seq = 0;
+  std::uint64_t best_vb = 0;
+  for (std::uint32_t& head : heads_) {
+    std::uint32_t* prev = &head;
+    for (std::uint32_t cur = head; cur != kNil;) {
+      Node& n = nodes_[cur];
+      const std::uint32_t next = n.next;
+      if (!n.live) {
+        *prev = next;
+        recycle(cur);
+        --entries_;
+        cur = next;
+        continue;
+      }
+      if (!any || n.time < best_time ||
+          (n.time == best_time && n.seq < best_seq)) {
+        best_time = n.time;
+        best_seq = n.seq;
+        best_vb = n.vb;
+        any = true;
+      }
+      prev = &n.next;
+      cur = next;
+    }
+  }
+  if (any) cursor_ = best_vb;
 }
 
 }  // namespace cloudalloc::sim

@@ -1,51 +1,272 @@
-// Cancellable future-event list for the discrete-event simulator.
-// A binary heap of (time, id) keys with handlers stored separately so that
-// cancellation is O(1) (lazy deletion at pop).
+// Cancellable future-event list (FEL) for the discrete-event simulator.
+//
+// Typed Event records live in a node slab with a free list; the FEL
+// itself is a calendar queue (Brown, CACM 1988): an array of time
+// buckets of width `width_`, indexed cyclically, with a cursor that
+// sweeps forward in virtual-bucket order. Each bucket is an intrusive
+// singly linked chain threaded through the slab — the bucket array is
+// just one contiguous array of head indices, and a scanned node carries
+// its timestamp, tie-break sequence, liveness, and Event payload in one
+// slab record, so the pop scan costs one load per visited node instead
+// of a bucket-block load plus a dependent slab load. schedule() pushes
+// onto the target chain and pop() scans the cursor's chain for the
+// (time, seq) minimum — both O(1) amortized when the width tracks the
+// inter-event gap, which the queue retunes from an EWMA of pop-to-pop
+// gaps as the live count crosses resize thresholds. Dispatch order is
+// exactly ascending (time, seq) — identical to a comparison-based heap —
+// because the scan's bucket membership test recomputes the integer
+// virtual bucket with the exact insertion expression, so it cannot
+// disagree with where schedule() put the node.
+//
+// Cancellation is O(1): mark the node dead and decrement the live
+// count; the node is unlinked and recycled when a scan next walks its
+// chain, or when the calendar is rebuilt because dead nodes outnumber
+// live ones — so a schedule/cancel-heavy workload (work-conserving GPS
+// replanning) keeps bounded memory. In steady state — schedule/pop/
+// cancel churn at a stable live count — no path allocates: chains, slab,
+// and free list all reuse their high-water storage.
 #pragma once
 
 #include <cstdint>
-#include <functional>
+#include <limits>
 #include <optional>
-#include <queue>
-#include <unordered_map>
+#include <utility>
 #include <vector>
+
+#include "sim/event.h"
 
 namespace cloudalloc::sim {
 
+/// Handle for cancellation: (slot << 32) | generation. Generations start
+/// at 1, so 0 never names a live event and can serve as a "none" sentinel.
 using EventId = std::uint64_t;
 
 class EventQueue {
  public:
-  /// Schedules `fn` at absolute `time`; later-scheduled events at the same
-  /// time fire later (FIFO tie-break by id).
-  EventId schedule(double time, std::function<void()> fn);
+  EventQueue() { heads_.assign(kMinBuckets, kNil); }
+
+  /// Schedules `ev` at absolute `time`; later-scheduled events at the
+  /// same time fire later (FIFO tie-break by schedule order).
+  EventId schedule(double time, const Event& ev) {
+    std::uint32_t slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(nodes_.size());
+      nodes_.push_back(Node{});
+    }
+    Node& n = nodes_[slot];
+    n.time = time;
+    n.seq = next_seq_++;
+    n.ev = ev;
+    n.live = true;
+    const std::uint64_t vb = vbucket_of(time);
+    n.vb = vb;
+    std::uint32_t& head = heads_[vb & mask_];
+    n.next = head;
+    head = slot;
+    // Scheduling behind the cursor (never from the simulator, which only
+    // schedules at or after "now") rewinds the sweep so nothing is missed.
+    if (vb < cursor_) cursor_ = vb;
+    ++live_;
+    ++entries_;
+    // Rebuild when the calendar falls below half its target bucket
+    // count (one retune per doubling of the live count while ramping).
+    if (live_ * kBucketsPerLive > 2 * heads_.size() &&
+        heads_.size() < kMaxBuckets)
+      retune();
+    return (static_cast<std::uint64_t>(slot) << 32) | n.gen;
+  }
 
   /// Cancels a pending event; cancelling a fired/unknown id is a no-op.
-  void cancel(EventId id);
+  /// Returns whether a live event was cancelled.
+  bool cancel(EventId id) {
+    const std::uint32_t slot = static_cast<std::uint32_t>(id >> 32);
+    const std::uint32_t gen = static_cast<std::uint32_t>(id);
+    if (slot >= nodes_.size()) return false;
+    Node& n = nodes_[slot];
+    if (n.gen != gen || !n.live) return false;
+    n.live = false;  // unlinked lazily by the next scan of its chain
+    --live_;
+    // Bound the garbage a cancel-heavy workload can accumulate.
+    if (entries_ > 2 * live_ + 64) retune();
+    return true;
+  }
 
   /// True when no live events remain.
   bool empty() const { return live_ == 0; }
 
   std::size_t size() const { return live_; }
 
-  /// Pops the earliest live event: returns its time and runs nothing —
-  /// the caller invokes the handler (so it can update the clock first).
-  std::optional<std::pair<double, std::function<void()>>> pop();
+  /// Pops the earliest live event into (`time_out`, `ev_out`). The
+  /// caller dispatches it (so it can update the clock first).
+  bool pop_into(double& time_out, Event& ev_out) {
+    if (live_ == 0) return false;
+    // Local copies of the slab and head-array pointers: the chain-link
+    // stores below are std::uint32_t writes, which alias analysis cannot
+    // prove distinct from the vectors' internal pointers, so without the
+    // locals every iteration would reload them.
+    Node* const nodes = nodes_.data();
+    std::uint32_t* const heads = heads_.data();
+    std::size_t misses = 0;
+    for (;;) {
+      // Sparse calendars make empty buckets the common case; skip them
+      // without touching the best-candidate state.
+      while (heads[cursor_ & mask_] == kNil) {
+        ++cursor_;
+        if (++misses > heads_.size()) {
+          jump_to_min();
+          misses = 0;
+        }
+      }
+      std::uint32_t* prev = &heads[cursor_ & mask_];
+      std::uint32_t best = kNil;
+      std::uint32_t* best_prev = nullptr;
+      double best_time = std::numeric_limits<double>::infinity();
+      std::uint64_t best_seq = ~std::uint64_t{0};
+      std::size_t scanned = 0;
+      for (std::uint32_t cur = *prev; cur != kNil;) {
+        Node& n = nodes[cur];
+        const std::uint32_t next = n.next;
+        if (!n.live) [[unlikely]] {  // cancelled: unlink, recycle in passing
+          *prev = next;
+          recycle(cur);
+          --entries_;
+          cur = next;
+          continue;
+        }
+        ++scanned;
+        // Bucket membership compares the virtual bucket schedule()
+        // computed and stored at insert time — an integer compare that
+        // cannot disagree with where the node was chained.
+        if (n.vb == cursor_ &&
+            (n.time < best_time ||
+             (n.time == best_time && n.seq < best_seq))) {
+          best = cur;
+          best_prev = prev;
+          best_time = n.time;
+          best_seq = n.seq;
+        }
+        prev = &n.next;
+        cur = next;
+      }
+      if (best != kNil) {
+        Node& n = nodes[best];
+        *best_prev = n.next;
+        --entries_;
+        time_out = n.time;
+        ev_out = n.ev;
+        n.live = false;
+        recycle(best);
+        --live_;
+        const double gap = best_time - last_time_;
+        last_time_ = best_time;
+        if (gap > 0.0)
+          ewma_gap_ =
+              ewma_gap_ < 0.0 ? gap : ewma_gap_ + (gap - ewma_gap_) / 32.0;
+        ++pops_since_retune_;
+        // Shrink an oversized calendar, and rebuild when one bucket has
+        // collected a dominant share of the entries (the width predates
+        // any gap observations, so events piled up in one window).
+        const bool lopsided = scanned > 16 && scanned * 4 > entries_ &&
+                              ewma_gap_ > 0.0 && pops_since_retune_ > 64;
+        if (lopsided || (heads_.size() > kMinBuckets &&
+                         live_ * kBucketsPerLive < heads_.size() / 4))
+          retune();
+        return true;
+      }
+      ++cursor_;
+      // A full lap without a hit means the next event is a sparse
+      // far-future tail; jump the cursor straight to the global minimum.
+      if (++misses > heads_.size()) {
+        jump_to_min();
+        misses = 0;
+      }
+    }
+  }
+
+  /// Optional-returning wrapper over pop_into, for tests and callers off
+  /// the hot path.
+  std::optional<std::pair<double, Event>> pop() {
+    double t;
+    Event ev;
+    if (!pop_into(t, ev)) return std::nullopt;
+    return std::make_pair(t, ev);
+  }
+
+  /// Chained nodes currently held, live plus lazily-cancelled — the
+  /// memory bound the compaction policy enforces (tests assert on it).
+  std::size_t entries() const { return entries_; }
+
+  /// Slab slots ever allocated (the high-water mark of in-flight events).
+  std::size_t pool_size() const { return nodes_.size(); }
 
  private:
-  struct Key {
-    double time;
-    EventId id;
-    bool operator>(const Key& o) const {
-      if (time != o.time) return time > o.time;
-      return id > o.id;
-    }
+  /// One slab record: chain link, payload, and ordering key together, so
+  /// a pop scan touches a single record per visited node.
+  struct Node {
+    double time = 0.0;
+    std::uint64_t vb = 0;   ///< virtual bucket, fixed at insert/rebuild
+    std::uint64_t seq = 0;  ///< monotone schedule order; FIFO tie-break
+    std::uint32_t next = kNil;
+    std::uint32_t gen = 1;  ///< bumped on every recycle; 0 is reserved
+    Event ev{};
+    bool live = false;
   };
 
-  std::priority_queue<Key, std::vector<Key>, std::greater<Key>> heap_;
-  std::unordered_map<EventId, std::function<void()>> handlers_;
-  EventId next_id_ = 1;
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+  static constexpr std::size_t kMinBuckets = 16;
+  static constexpr std::size_t kMaxBuckets = std::size_t{1} << 20;
+  // Calendar tuning, swept on the model-validation workload. The queue
+  // deliberately over-provisions buckets (~32 per live event, width
+  // ~half the mean pop-to-pop gap): pending completions spread over a
+  // window hundreds of gaps wide, so a denser calendar would make every
+  // chain hold nodes from many future cursor laps and each pop re-scan
+  // them all. Empty-bucket misses, by contrast, are sequential reads of
+  // a contiguous head array — far cheaper than chain re-scans.
+  static constexpr std::size_t kBucketsPerLive = 32;
+  static constexpr double kWidthFactor = 0.5;
+
+  std::uint64_t vbucket_of(double time) const {
+    // Clamps rather than overflows on absurd times; entries clamped to
+    // the far bucket are still dispatched in exact (time, seq) order.
+    const double v = time * inv_width_;
+    constexpr double kFar = 9.0e18;
+    if (!(v > 0.0)) return 0;
+    return v < kFar ? static_cast<std::uint64_t>(v)
+                    : static_cast<std::uint64_t>(kFar);
+  }
+
+  /// Returns an unlinked node to the free list; the generation bump
+  /// invalidates any outstanding EventId naming it.
+  void recycle(std::uint32_t slot) {
+    Node& n = nodes_[slot];
+    if (++n.gen == 0) n.gen = 1;  // keep 0 as the "none" sentinel
+    free_.push_back(slot);
+  }
+
+  /// Rebuilds the calendar with a bucket count tracking the live count
+  /// and a width tracking the observed inter-event gap, recycling dead
+  /// nodes along the way.
+  void retune();
+  void rebuild(std::size_t bucket_count, double width);
+  /// Repositions the cursor on the bucket of the earliest live entry.
+  void jump_to_min();
+
+  std::vector<std::uint32_t> heads_;  ///< per-bucket chain heads
+  std::size_t mask_ = kMinBuckets - 1;
+  double width_ = 1.0;
+  double inv_width_ = 1.0;
+  std::uint64_t cursor_ = 0;  ///< virtual bucket the sweep is draining
+  double last_time_ = 0.0;    ///< most recently popped timestamp
+  double ewma_gap_ = -1.0;    ///< EWMA of pop-to-pop gaps; < 0 = no sample
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> free_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t pops_since_retune_ = 0;
   std::size_t live_ = 0;
+  std::size_t entries_ = 0;  ///< live + not-yet-recycled cancelled
 };
 
 }  // namespace cloudalloc::sim

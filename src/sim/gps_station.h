@@ -13,13 +13,31 @@
 //    redistributed to busy flows in proportion to their weights, so
 //    sojourn times are stochastically <= the isolated model's (the
 //    analytic model is conservative; tests assert the direction).
+//
+// The station owns no callbacks. Completions surface as typed
+// kStationComplete events carrying (station id, flow); the run loop
+// answers one by calling finish_head(flow) — which pops the finished
+// request and returns its payload — routing the payload itself, then
+// calling resume(flow) to start the next queued job. The two-call split
+// preserves the seed simulator's event ordering (and thus its exact RNG
+// draw sequence): downstream arrivals triggered by the departure draw
+// their service demands *before* this flow draws the next job's.
+//
+// The class is header-only on purpose: arrive/finish_head/resume run
+// once or more per simulated event, and inlining them into the run loop
+// is worth several ns/event. Request records live in a RequestPool and
+// flow states in a Flow arena that the *caller* owns and shares across
+// stations, so all in-flight requests — and all flow states — of a
+// simulation sit in two contiguous slabs instead of many small
+// per-station blocks.
 #pragma once
 
 #include <cstdint>
-#include <deque>
-#include <functional>
+#include <limits>
 #include <vector>
 
+#include "common/check.h"
+#include "sim/request_pool.h"
 #include "sim/simulation.h"
 
 namespace cloudalloc::sim {
@@ -28,57 +46,224 @@ enum class GpsMode { kIsolated, kWorkConserving };
 
 class GpsStation {
  public:
-  /// `capacity` in work-units/second; weights of added flows must sum to
-  /// <= 1 (checked as flows are added).
-  GpsStation(Simulation& sim, double capacity, GpsMode mode);
+  /// Per-flow state; lives in the caller-owned arena. 64 bytes.
+  struct Flow {
+    RequestPool::Fifo queue;  ///< payloads, head = in service
+    bool busy = false;
+    double remaining = 0.0;  ///< work left on the in-service job
+    double inv_mean = 1.0;   ///< 1 / mean_work
+    double srv_rate = 0.0;   ///< phi * capacity (isolated service rate)
+    double phi = 0.0;
+    double mean_work = 1.0;
+    std::uint64_t completed = 0;
+  };
 
-  /// `on_departure(payload)` fires when a job of this flow completes;
-  /// `mean_work` is the mean of the exponential per-job work.
-  int add_flow(double phi, double mean_work,
-               std::function<void(double)> on_departure);
+  /// `station_id` is the value completions carry in Event::target — the
+  /// owner's index for this station. `capacity` is in work-units/second;
+  /// weights of added flows must sum to <= 1 (checked as flows are
+  /// added). The station claims `max_flows` contiguous slots of `arena`;
+  /// the arena must be reserved to its final size up front (checked —
+  /// stations keep raw pointers into it), and it and `pool` must outlive
+  /// the station. Both may be shared across stations.
+  GpsStation(Simulation& sim, RequestPool& pool, std::vector<Flow>& arena,
+             std::int32_t station_id, double capacity, GpsMode mode,
+             int max_flows)
+      : sim_(sim), pool_(pool), id_(station_id), capacity_(capacity),
+        mode_(mode), max_flows_(max_flows) {
+    CHECK(capacity > 0.0);
+    CHECK(max_flows >= 0);
+    CHECK_MSG(arena.size() + static_cast<std::size_t>(max_flows) <=
+                  arena.capacity(),
+              "flow arena must be reserved before stations claim spans");
+    arena.resize(arena.size() + static_cast<std::size_t>(max_flows));
+    flows_ = arena.data() + arena.size() - static_cast<std::size_t>(max_flows);
+  }
+
+  /// Adds a flow; `mean_work` is the mean of the exponential per-job work.
+  int add_flow(double phi, double mean_work) {
+    CHECK(phi > 0.0);
+    CHECK(mean_work > 0.0);
+    CHECK_MSG(num_flows_ < max_flows_, "station flow span exhausted");
+    phi_total_ += phi;
+    CHECK_MSG(phi_total_ <= 1.0 + 1e-6, "GPS weights must sum to <= 1");
+    Flow& flow = flows_[num_flows_];
+    flow.phi = phi;
+    flow.mean_work = mean_work;
+    // Precomputed once so the service hot path draws and schedules with
+    // no extra divides; the values are the exact doubles the expressions
+    // 1.0 / mean_work and phi * capacity produce at call sites.
+    flow.inv_mean = 1.0 / mean_work;
+    flow.srv_rate = phi * capacity_;
+    return num_flows_++;
+  }
 
   /// Enqueues a job carrying `payload` (typically the request start time).
-  void arrive(int flow, double payload);
+  void arrive(int f, double payload) {
+    CHECK(f >= 0 && f < num_flows_);
+    Flow& flow = flows_[f];
+    pool_.push(flow.queue, payload);
+    if (flow.busy) return;  // FCFS within the flow; head keeps the server
+    start_service(f);
+  }
+
+  /// Answers this station's kStationComplete event: pops the in-service
+  /// head of `flow` and returns its payload. The caller routes the
+  /// payload, then calls resume(flow).
+  double finish_head(int f) {
+    CHECK(f >= 0 && f < num_flows_);
+    Flow& flow = flows_[f];
+    CHECK(flow.busy && flow.queue.size > 0);
+    // Credit progress at the rates that held while this flow was busy,
+    // before the busy set changes. The event that fired is pending_.
+    if (mode_ == GpsMode::kWorkConserving) {
+      sync();
+      pending_ = 0;
+    }
+    const double payload = pool_.pop(flow.queue);
+    flow.busy = false;
+    flow.remaining = 0.0;
+    ++flow.completed;
+    return payload;
+  }
+
+  /// Starts the next queued job of `flow`, if any (and replans the
+  /// pending completion in work-conserving mode).
+  void resume(int f) {
+    CHECK(f >= 0 && f < num_flows_);
+    Flow& flow = flows_[f];
+    if (mode_ == GpsMode::kIsolated) {
+      if (!flow.busy && flow.queue.size > 0) start_service(f);
+    } else {
+      if (!flow.busy && flow.queue.size > 0) {
+        flow.busy = true;
+        flow.remaining = sim_.rng().exponential(flow.inv_mean);
+      }
+      reschedule();
+    }
+  }
 
   /// Jobs currently in this station (all flows).
-  std::size_t jobs_in_system() const;
+  std::size_t jobs_in_system() const {
+    std::size_t n = 0;
+    for (int f = 0; f < num_flows_; ++f)
+      n += static_cast<std::size_t>(flows_[f].queue.size);
+    return n;
+  }
 
   /// Jobs currently queued or in service on one flow.
-  std::size_t jobs_in_flow(int flow) const;
+  std::size_t jobs_in_flow(int flow) const {
+    CHECK(flow >= 0 && flow < num_flows_);
+    return static_cast<std::size_t>(flows_[flow].queue.size);
+  }
 
   /// The flow's guaranteed service rate (phi * capacity / mean_work) —
   /// what a dispatcher uses to estimate expected waits.
-  double flow_service_rate(int flow) const;
+  double flow_service_rate(int flow) const {
+    CHECK(flow >= 0 && flow < num_flows_);
+    const Flow& f = flows_[flow];
+    return f.phi * capacity_ / f.mean_work;
+  }
+
+  /// Jobs the flow has completed over the station's lifetime.
+  std::uint64_t completions(int flow) const {
+    CHECK(flow >= 0 && flow < num_flows_);
+    return flows_[flow].completed;
+  }
+
+  /// The id completions carry in Event::target.
+  std::int32_t id() const { return id_; }
 
  private:
-  struct Flow {
-    double phi = 0.0;
-    double mean_work = 1.0;
-    std::function<void(double)> on_departure;
-    std::deque<double> queue;   ///< payloads, front = in service
-    double remaining = 0.0;     ///< work left on the in-service job
-    bool busy = false;
-  };
+  double rate_of(const Flow& flow, double busy_sum) const {
+    if (mode_ == GpsMode::kIsolated) return flow.srv_rate;
+    // Work-conserving GPS: the full capacity is shared over busy weights.
+    CHECK(busy_sum > 0.0);
+    return flow.phi / busy_sum * capacity_;
+  }
 
-  double rate_of(const Flow& flow, double busy_phi_sum) const;
-  double busy_phi_sum() const;
-  void start_service(int f);
-  void complete(int f);
+  double busy_phi_sum() const {
+    double s = 0.0;
+    for (int f = 0; f < num_flows_; ++f)
+      if (flows_[f].busy) s += flows_[f].phi;
+    return s;
+  }
+
+  void start_service(int f) {
+    Flow& flow = flows_[f];
+    CHECK(flow.queue.size > 0);
+    if (mode_ == GpsMode::kIsolated) {
+      flow.busy = true;
+      flow.remaining = sim_.rng().exponential(flow.inv_mean);
+      const double service_time = flow.remaining / flow.srv_rate;
+      sim_.schedule_in(service_time,
+                       Event{EventKind::kStationComplete, id_, f});
+    } else {
+      // Credit everyone's progress at the pre-admission rates, then admit
+      // the flow (changing the rate distribution) and replan.
+      sync();
+      flow.busy = true;
+      flow.remaining = sim_.rng().exponential(flow.inv_mean);
+      reschedule();
+    }
+  }
+
   /// Work-conserving mode: credit elapsed service to all busy flows at the
   /// *current* busy-set rates. Must run before any busy-set change.
-  void sync();
+  void sync() {
+    CHECK(mode_ == GpsMode::kWorkConserving);
+    const double now = sim_.now();
+    const double dt = now - last_sync_;
+    const double busy_sum = busy_phi_sum();
+    if (dt > 0.0 && busy_sum > 0.0) {
+      for (int f = 0; f < num_flows_; ++f) {
+        Flow& flow = flows_[f];
+        if (!flow.busy) continue;
+        const double left = flow.remaining - rate_of(flow, busy_sum) * dt;
+        flow.remaining = left > 0.0 ? left : 0.0;
+      }
+    }
+    last_sync_ = now;
+  }
+
   /// Work-conserving mode: cancel and replan the next completion event.
-  void reschedule();
+  void reschedule() {
+    CHECK(mode_ == GpsMode::kWorkConserving);
+    const double busy_sum = busy_phi_sum();
+    if (pending_ != 0) {
+      sim_.cancel(pending_);
+      pending_ = 0;
+    }
+    if (busy_sum <= 0.0) return;
+
+    // Next completion: the busy flow with the least time-to-finish.
+    double best_dt = std::numeric_limits<double>::infinity();
+    int best_flow = -1;
+    for (int f = 0; f < num_flows_; ++f) {
+      const Flow& flow = flows_[f];
+      if (!flow.busy) continue;
+      const double t = flow.remaining / rate_of(flow, busy_sum);
+      if (t < best_dt) {
+        best_dt = t;
+        best_flow = f;
+      }
+    }
+    CHECK(best_flow >= 0);
+    pending_ = sim_.schedule_in(
+        best_dt, Event{EventKind::kStationComplete, id_, best_flow});
+  }
 
   Simulation& sim_;
+  RequestPool& pool_;
+  std::int32_t id_;
   double capacity_;
   GpsMode mode_;
-  std::vector<Flow> flows_;
+  Flow* flows_ = nullptr;  ///< this station's span of the shared arena
+  int num_flows_ = 0;
+  int max_flows_ = 0;
   double phi_total_ = 0.0;
   // Work-conserving bookkeeping.
   double last_sync_ = 0.0;
   EventId pending_ = 0;
-  int pending_flow_ = -1;
 };
 
 }  // namespace cloudalloc::sim

@@ -1,0 +1,83 @@
+// Pooled per-request records for the simulator's station queues.
+//
+// Each in-flight request is one {payload, next} record in a slab shared
+// by all flows of a station; a flow's FCFS queue is an intrusive singly
+// linked list threaded through the slab. Popped records go to a free
+// list, so — like the event queue — steady-state request traffic costs
+// zero heap allocation once the slab reaches its high-water size
+// (std::deque, by contrast, allocates and frees blocks as queues churn).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace cloudalloc::sim {
+
+class RequestPool {
+ public:
+  using Index = std::int32_t;
+  static constexpr Index kNull = -1;
+
+  /// An FCFS queue of pooled records; head is the in-service request.
+  /// 12 bytes on purpose — one lives in every flow.
+  struct Fifo {
+    Index head = kNull;
+    Index tail = kNull;
+    std::int32_t size = 0;
+  };
+
+  void push(Fifo& q, double payload) {
+    Index i;
+    if (free_ != kNull) {
+      i = free_;
+      free_ = records_[static_cast<std::size_t>(i)].next;
+    } else {
+      i = static_cast<Index>(records_.size());
+      records_.push_back(Record{});
+    }
+    Record& r = records_[static_cast<std::size_t>(i)];
+    r.payload = payload;
+    r.next = kNull;
+    if (q.tail == kNull) {
+      q.head = i;
+    } else {
+      records_[static_cast<std::size_t>(q.tail)].next = i;
+    }
+    q.tail = i;
+    ++q.size;
+  }
+
+  double front(const Fifo& q) const {
+    CHECK(q.head != kNull);
+    return records_[static_cast<std::size_t>(q.head)].payload;
+  }
+
+  double pop(Fifo& q) {
+    CHECK(q.head != kNull);
+    const Index i = q.head;
+    Record& r = records_[static_cast<std::size_t>(i)];
+    const double payload = r.payload;
+    q.head = r.next;
+    if (q.head == kNull) q.tail = kNull;
+    --q.size;
+    r.next = free_;
+    free_ = i;
+    return payload;
+  }
+
+  /// Records ever allocated (high-water mark of in-flight requests).
+  std::size_t pool_size() const { return records_.size(); }
+
+ private:
+  struct Record {
+    double payload = 0.0;
+    Index next = kNull;
+  };
+
+  std::vector<Record> records_;
+  Index free_ = kNull;
+};
+
+}  // namespace cloudalloc::sim

@@ -1,9 +1,7 @@
 #include "sim/runner.h"
 
 #include <cmath>
-#include <functional>
 #include <limits>
-#include <memory>
 
 #include "common/check.h"
 #include "common/stats.h"
@@ -16,6 +14,34 @@ using model::ClientId;
 using model::Cloud;
 using model::ServerId;
 
+/// What to do with a finished job's payload, per (station, flow). Built
+/// once at wiring time into a flat table indexed by global flow id; the
+/// run loop switches on `kind`.
+struct FlowAction {
+  enum class Kind : std::uint8_t { kForwardToComm, kRecordResponse };
+  Kind kind = Kind::kRecordResponse;
+  // kForwardToComm: destination + per-job mean work booked on the server.
+  GpsStation* comm = nullptr;
+  std::int32_t comm_flow = -1;
+  std::int32_t server = -1;
+  double alpha_p = 0.0;
+  // kRecordResponse: the client whose response-time sink receives it.
+  std::int32_t client = -1;
+};
+
+struct Slice {
+  GpsStation* proc;
+  double cum_psi;  ///< cumulative for dispatch sampling
+  std::int32_t proc_flow;
+};
+
+/// A client's Poisson source plus its span in the flat slice table.
+struct Source {
+  double lambda;
+  std::int32_t slice_begin;
+  std::int32_t slice_end;
+};
+
 }  // namespace
 
 SimulationReport simulate_allocation(const Allocation& alloc,
@@ -24,18 +50,40 @@ SimulationReport simulate_allocation(const Allocation& alloc,
   Simulation sim(opts.seed);
   const double warmup = opts.warmup_fraction * opts.horizon;
 
-  // Stations for servers that actually host someone.
-  std::vector<std::unique_ptr<GpsStation>> proc(
-      static_cast<std::size_t>(cloud.num_servers()));
-  std::vector<std::unique_ptr<GpsStation>> comm(
-      static_cast<std::size_t>(cloud.num_servers()));
+  // Stations for servers that actually host someone: per server, the
+  // processing stage then the communication stage, ids in creation
+  // order. Stations are stored by value (contiguous) and share one
+  // request-record slab and one flow arena, reserved up front (each
+  // hosted client contributes one flow to each of its servers' stages).
+  std::size_t hosting = 0;
+  std::size_t total_flows = 0;
   for (ServerId j = 0; j < cloud.num_servers(); ++j) {
-    if (alloc.clients_on(j).empty()) continue;
+    const std::size_t on = alloc.clients_on(j).size();
+    if (on == 0) continue;
+    ++hosting;
+    total_flows += 2 * on;
+  }
+  RequestPool pool;
+  std::vector<GpsStation::Flow> flow_arena;
+  flow_arena.reserve(total_flows);
+  std::vector<GpsStation> stations;
+  stations.reserve(2 * hosting);
+  std::vector<GpsStation*> proc(static_cast<std::size_t>(cloud.num_servers()),
+                                nullptr);
+  std::vector<GpsStation*> comm(static_cast<std::size_t>(cloud.num_servers()),
+                                nullptr);
+  auto make_station = [&](double capacity, int max_flows) {
+    stations.emplace_back(sim, pool, flow_arena,
+                          static_cast<std::int32_t>(stations.size()),
+                          capacity, opts.mode, max_flows);
+    return &stations.back();
+  };
+  for (ServerId j = 0; j < cloud.num_servers(); ++j) {
+    const int on = static_cast<int>(alloc.clients_on(j).size());
+    if (on == 0) continue;
     const auto& sc = cloud.server_class_of(j);
-    proc[static_cast<std::size_t>(j)] =
-        std::make_unique<GpsStation>(sim, sc.cap_p, opts.mode);
-    comm[static_cast<std::size_t>(j)] =
-        std::make_unique<GpsStation>(sim, sc.cap_n, opts.mode);
+    proc[static_cast<std::size_t>(j)] = make_station(sc.cap_p, on);
+    comm[static_cast<std::size_t>(j)] = make_station(sc.cap_n, on);
   }
 
   // Response-time sinks and per-server completed-work accounting.
@@ -47,101 +95,130 @@ SimulationReport simulate_allocation(const Allocation& alloc,
       static_cast<std::size_t>(cloud.num_servers()), 0.0);
 
   // Wire flows: per placement, a processing flow feeding a comm flow.
-  struct Slice {
-    ServerId server;
-    double cum_psi;  ///< cumulative for dispatch sampling
-    int proc_flow;
-  };
-  std::vector<std::vector<Slice>> slices(
-      static_cast<std::size_t>(cloud.num_clients()));
-
-  const bool tails = opts.collect_percentiles;
+  // Flow indices equal the per-station add_flow order; actions are
+  // collected per station first, then flattened into one table indexed
+  // by flow_base[station] + flow.
+  std::vector<std::vector<FlowAction>> station_actions(stations.size());
+  std::vector<Slice> slices;
+  std::vector<Source> sources;
   for (ClientId i = 0; i < cloud.num_clients(); ++i) {
     if (!alloc.is_assigned(i)) continue;
     const auto& c = cloud.client(i);
+    const std::int32_t slice_begin = static_cast<std::int32_t>(slices.size());
     double cum = 0.0;
     for (const auto& p : alloc.placements(i)) {
-      auto& proc_station = *proc[static_cast<std::size_t>(p.server)];
-      auto& comm_station = *comm[static_cast<std::size_t>(p.server)];
+      GpsStation* proc_station = proc[static_cast<std::size_t>(p.server)];
+      GpsStation* comm_station = comm[static_cast<std::size_t>(p.server)];
       // Communication flow: completes the request.
-      const int comm_flow = comm_station.add_flow(
-          p.phi_n, c.alpha_n,
-          [&responses, &samples, &sim, i, warmup, tails](double start) {
-            if (start < warmup) return;
-            const double sojourn = sim.now() - start;
-            responses[static_cast<std::size_t>(i)].add(sojourn);
-            if (tails) samples[static_cast<std::size_t>(i)].push_back(sojourn);
-          });
+      const int comm_flow = comm_station->add_flow(p.phi_n, c.alpha_n);
+      FlowAction record;
+      record.kind = FlowAction::Kind::kRecordResponse;
+      record.client = static_cast<std::int32_t>(i);
+      station_actions[static_cast<std::size_t>(comm_station->id())].push_back(
+          record);
       // Processing flow: forwards into the communication stage and books
       // the (mean) work it completed on its server.
-      const ServerId server = p.server;
-      const double alpha_p = c.alpha_p;
-      const int proc_flow = proc_station.add_flow(
-          p.phi_p, c.alpha_p,
-          [&comm_station, comm_flow, &proc_work_done, server,
-           alpha_p](double start) {
-            proc_work_done[static_cast<std::size_t>(server)] += alpha_p;
-            comm_station.arrive(comm_flow, start);
-          });
+      const int proc_flow = proc_station->add_flow(p.phi_p, c.alpha_p);
+      FlowAction forward;
+      forward.kind = FlowAction::Kind::kForwardToComm;
+      forward.comm = comm_station;
+      forward.comm_flow = comm_flow;
+      forward.server = static_cast<std::int32_t>(p.server);
+      forward.alpha_p = c.alpha_p;
+      station_actions[static_cast<std::size_t>(proc_station->id())].push_back(
+          forward);
       cum += p.psi;
-      slices[static_cast<std::size_t>(i)].push_back(
-          Slice{p.server, cum, proc_flow});
+      slices.push_back(
+          Slice{proc_station, cum, static_cast<std::int32_t>(proc_flow)});
+    }
+    sources.push_back(Source{c.lambda_pred * opts.demand_factor, slice_begin,
+                             static_cast<std::int32_t>(slices.size())});
+  }
+
+  // Flatten the per-station action lists: flow_base[s] + flow is the
+  // global flow id, one indexed load in the completion hot path.
+  std::vector<std::int32_t> flow_base(stations.size() + 1, 0);
+  for (std::size_t s = 0; s < stations.size(); ++s)
+    flow_base[s + 1] =
+        flow_base[s] + static_cast<std::int32_t>(station_actions[s].size());
+  std::vector<FlowAction> actions;
+  actions.reserve(static_cast<std::size_t>(flow_base[stations.size()]));
+  for (const auto& list : station_actions)
+    actions.insert(actions.end(), list.begin(), list.end());
+
+  // Poisson sources: self-re-arming arrival events per client.
+  for (std::size_t s = 0; s < sources.size(); ++s)
+    sim.schedule_in(
+        sim.rng().exponential(sources[s].lambda),
+        Event{EventKind::kSourceArrival, static_cast<std::int32_t>(s), 0});
+
+  const bool tails = opts.collect_percentiles;
+  const Slice* const slice_data = slices.data();
+  const FlowAction* const action_data = actions.data();
+  const std::int32_t* const flow_base_data = flow_base.data();
+  // The run loop: pop typed events and dispatch on the tag. Drains
+  // completely — sources stop re-arming once the clock passes the
+  // generation horizon.
+  Event ev;
+  while (sim.next(ev)) {
+    switch (ev.kind) {
+      case EventKind::kSourceArrival: {
+        const Source& src = sources[static_cast<std::size_t>(ev.target)];
+        if (sim.now() >= opts.horizon) break;  // stop generating, drain
+        const Slice* const first = slice_data + src.slice_begin;
+        const Slice* const last = slice_data + src.slice_end - 1;
+        const Slice* chosen = last;
+        if (opts.dispatch == DispatchPolicy::kStaticPsi || first == last) {
+          const double u = sim.rng().uniform() * last->cum_psi;
+          for (const Slice* s = first; s != last; ++s) {
+            if (u <= s->cum_psi) {
+              chosen = s;
+              break;
+            }
+          }
+        } else {
+          // Least expected wait over the processing stage: the cluster
+          // dispatcher reacting to live backlog instead of the planned psi.
+          double best_wait = std::numeric_limits<double>::infinity();
+          for (const Slice* s = first; s <= last; ++s) {
+            const double rate = s->proc->flow_service_rate(s->proc_flow);
+            const double wait =
+                static_cast<double>(s->proc->jobs_in_flow(s->proc_flow) + 1) /
+                rate;
+            if (wait < best_wait) {
+              best_wait = wait;
+              chosen = s;
+            }
+          }
+        }
+        chosen->proc->arrive(chosen->proc_flow, sim.now());
+        sim.schedule_in(sim.rng().exponential(src.lambda), ev);
+        break;
+      }
+      case EventKind::kStationComplete: {
+        GpsStation& station = *(stations.data() + ev.target);
+        const FlowAction& act =
+            action_data[flow_base_data[ev.target] + ev.flow];
+        // Pop the finished request and route it before resuming the flow,
+        // so downstream service-demand draws keep the seed sim's order.
+        const double start = station.finish_head(ev.flow);
+        if (act.kind == FlowAction::Kind::kForwardToComm) {
+          proc_work_done[static_cast<std::size_t>(act.server)] += act.alpha_p;
+          act.comm->arrive(act.comm_flow, start);
+        } else if (start >= warmup) {
+          const double sojourn = sim.now() - start;
+          responses[static_cast<std::size_t>(act.client)].add(sojourn);
+          if (tails)
+            samples[static_cast<std::size_t>(act.client)].push_back(sojourn);
+        }
+        station.resume(ev.flow);
+        break;
+      }
     }
   }
 
-  // Poisson sources: self-rescheduling arrival events per client.
-  struct Source {
-    ClientId client;
-    double lambda;
-  };
-  std::vector<Source> sources;
-  for (ClientId i = 0; i < cloud.num_clients(); ++i)
-    if (alloc.is_assigned(i))
-      sources.push_back(
-          Source{i, cloud.client(i).lambda_pred * opts.demand_factor});
-
-  std::function<void(std::size_t)> fire = [&](std::size_t s) {
-    const Source& src = sources[s];
-    if (sim.now() >= opts.horizon) return;  // stop generating, drain
-    const auto& my_slices = slices[static_cast<std::size_t>(src.client)];
-    const Slice* chosen = &my_slices.back();
-    if (opts.dispatch == DispatchPolicy::kStaticPsi ||
-        my_slices.size() == 1) {
-      const double u = sim.rng().uniform() * my_slices.back().cum_psi;
-      for (const Slice& slice : my_slices) {
-        if (u <= slice.cum_psi) {
-          chosen = &slice;
-          break;
-        }
-      }
-    } else {
-      // Least expected wait over the processing stage: the cluster
-      // dispatcher reacting to live backlog instead of the planned psi.
-      double best_wait = std::numeric_limits<double>::infinity();
-      for (const Slice& slice : my_slices) {
-        const auto& station = *proc[static_cast<std::size_t>(slice.server)];
-        const double rate = station.flow_service_rate(slice.proc_flow);
-        const double wait =
-            static_cast<double>(station.jobs_in_flow(slice.proc_flow) + 1) /
-            rate;
-        if (wait < best_wait) {
-          best_wait = wait;
-          chosen = &slice;
-        }
-      }
-    }
-    proc[static_cast<std::size_t>(chosen->server)]->arrive(chosen->proc_flow,
-                                                           sim.now());
-    sim.schedule_in(sim.rng().exponential(src.lambda),
-                    [&fire, s] { fire(s); });
-  };
-  for (std::size_t s = 0; s < sources.size(); ++s)
-    sim.schedule_in(sim.rng().exponential(sources[s].lambda),
-                    [&fire, s] { fire(s); });
-
-  sim.run_until();  // drain completely
-
   SimulationReport report;
+  report.events_executed = sim.executed();
   Summary errors;
   for (ClientId i = 0; i < cloud.num_clients(); ++i) {
     if (!alloc.is_assigned(i)) continue;

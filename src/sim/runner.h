@@ -4,6 +4,13 @@
 // Measures per-client mean response times and compares them with the
 // analytic model the optimizer trusts (eq. 1) — the model-validation
 // experiment E4 in DESIGN.md.
+//
+// The run loop dispatches typed events with a switch (see event.h):
+// arrivals pick a slice and enter the processing stage; processing
+// completions forward into the communication stage; communication
+// completions record the response. Routing lives in per-flow action
+// records built at wiring time, not in captured closures, so a simulated
+// request costs no heap allocation in steady state.
 #pragma once
 
 #include <cstdint>
@@ -46,7 +53,7 @@ struct ClientSimStats {
   model::ClientId id = 0;
   std::size_t completed = 0;
   double mean_response = 0.0;
-  double ci95 = 0.0;            ///< naive 95% CI half-width on the mean
+  double ci95 = 0.0;            ///< naive within-run 95% CI half-width
   double analytic_response = 0.0;
   // Tail percentiles; 0 when collect_percentiles is off or no samples.
   double p50 = 0.0;
@@ -67,11 +74,16 @@ struct SimulationReport {
   std::vector<ClientSimStats> clients;   ///< assigned clients only
   std::vector<ServerSimStats> servers;   ///< hosting servers only
   std::size_t total_completed = 0;
+  /// Events the run loop dispatched (arrivals + stage completions) —
+  /// the throughput denominator of the BM_Sim_* benchmarks.
+  std::size_t events_executed = 0;
   /// Mean over clients of |simulated - analytic| / analytic.
   double mean_abs_rel_error = 0.0;
 };
 
 /// Simulates the allocation. Only assigned clients generate traffic.
+/// Deterministic: a seed fully determines the report, and the RNG draw
+/// sequence matches the pre-typed-event simulator exactly.
 SimulationReport simulate_allocation(const model::Allocation& alloc,
                                      const SimOptions& opts);
 

@@ -1,9 +1,17 @@
-// Discrete-event simulation core: clock + event queue + seeded RNG.
+// Discrete-event simulation core: clock + typed event queue + seeded RNG.
+//
+// The core is intentionally passive: it pops typed events and advances
+// the clock, and the *owner* of the simulation (the allocation runner, a
+// test harness) dispatches each record with a switch. That keeps the hot
+// loop free of virtual calls and captured closures, and keeps all
+// domain routing — which station feeds which, where responses are
+// recorded — in one visible place.
 #pragma once
 
-#include <functional>
 #include <limits>
+#include <optional>
 
+#include "common/check.h"
 #include "common/rng.h"
 #include "sim/event_queue.h"
 
@@ -16,19 +24,60 @@ class Simulation {
   double now() const { return now_; }
   Rng& rng() { return rng_; }
 
-  /// Schedules `fn` `delay` time units from now (delay >= 0).
-  EventId schedule_in(double delay, std::function<void()> fn);
+  /// Schedules `ev` `delay` time units from now (delay >= 0).
+  EventId schedule_in(double delay, const Event& ev) {
+    CHECK(delay >= 0.0);
+    return events_.schedule(now_ + delay, ev);
+  }
 
   void cancel(EventId id) { events_.cancel(id); }
 
-  /// Runs events until the queue drains or the clock passes `t_end`.
-  /// Returns the number of events executed.
-  std::size_t run_until(double t_end = std::numeric_limits<double>::max());
+  bool idle() const { return events_.empty(); }
+
+  /// Pops the earliest live event into `out` and advances the clock to
+  /// it. Returns false once the queue drains or the next event lies past
+  /// `t_end` (that event is dropped deliberately; callers drain by
+  /// passing +inf). This is the run loop's entry point — no optionals,
+  /// no copies beyond the 12-byte event itself.
+  bool next(Event& out, double t_end = std::numeric_limits<double>::max()) {
+    double t;
+    if (!events_.pop_into(t, out)) return false;
+    if (t > t_end) {
+      now_ = t_end;
+      return false;
+    }
+    CHECK_MSG(t + 1e-9 >= now_, "time went backwards");
+    now_ = t;
+    ++executed_;
+    return true;
+  }
+
+  /// Convenience wrapper over next(Event&, double) for tests and casual
+  /// callers.
+  std::optional<Event> next(double t_end = std::numeric_limits<double>::max()) {
+    Event ev;
+    if (!next(ev, t_end)) return std::nullopt;
+    return ev;
+  }
+
+  /// Dispatches events through `handler(const Event&)` until the queue
+  /// drains or the clock passes `t_end`. Returns events executed.
+  template <typename Handler>
+  std::size_t run_until(Handler&& handler,
+                        double t_end = std::numeric_limits<double>::max()) {
+    const std::size_t before = executed_;
+    while (auto ev = next(t_end)) handler(*ev);
+    return executed_ - before;
+  }
+
+  /// Events dispatched over the simulation's lifetime.
+  std::size_t executed() const { return executed_; }
 
  private:
   double now_ = 0.0;
   EventQueue events_;
   Rng rng_;
+  std::size_t executed_ = 0;
 };
 
 }  // namespace cloudalloc::sim

@@ -1,0 +1,184 @@
+// Determinism guarantees of the simulator and the replication runner
+// (mirrors test_dist_determinism.cpp for the allocator): a seed fully
+// determines a SimulationReport, and run_replications is a pure function
+// of (allocation, options) — independent of the worker thread count.
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "alloc/allocator.h"
+#include "sim/replication.h"
+#include "workload/scenario.h"
+
+namespace cloudalloc::sim {
+namespace {
+
+// An Allocation references its Cloud, so the pair must live together.
+struct Fixture {
+  explicit Fixture(std::uint64_t seed)
+      : cloud(workload::make_scenario(
+            [] {
+              workload::ScenarioParams params;
+              params.num_clients = 12;
+              params.servers_per_cluster = 4;
+              return params;
+            }(),
+            seed)),
+        allocation(alloc::ResourceAllocator().run(cloud).allocation) {}
+  model::Cloud cloud;
+  model::Allocation allocation;
+};
+
+void expect_identical(const SimulationReport& a, const SimulationReport& b) {
+  EXPECT_EQ(a.total_completed, b.total_completed);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_DOUBLE_EQ(a.mean_abs_rel_error, b.mean_abs_rel_error);
+  ASSERT_EQ(a.clients.size(), b.clients.size());
+  for (std::size_t c = 0; c < a.clients.size(); ++c) {
+    const ClientSimStats& ca = a.clients[c];
+    const ClientSimStats& cb = b.clients[c];
+    EXPECT_EQ(ca.id, cb.id);
+    EXPECT_EQ(ca.completed, cb.completed);
+    EXPECT_DOUBLE_EQ(ca.mean_response, cb.mean_response);
+    EXPECT_DOUBLE_EQ(ca.ci95, cb.ci95);
+    EXPECT_DOUBLE_EQ(ca.analytic_response, cb.analytic_response);
+    EXPECT_DOUBLE_EQ(ca.p50, cb.p50);
+    EXPECT_DOUBLE_EQ(ca.p95, cb.p95);
+    EXPECT_DOUBLE_EQ(ca.p99, cb.p99);
+  }
+  ASSERT_EQ(a.servers.size(), b.servers.size());
+  for (std::size_t s = 0; s < a.servers.size(); ++s) {
+    EXPECT_EQ(a.servers[s].id, b.servers[s].id);
+    EXPECT_DOUBLE_EQ(a.servers[s].measured_util_p,
+                     b.servers[s].measured_util_p);
+    EXPECT_DOUBLE_EQ(a.servers[s].analytic_util_p,
+                     b.servers[s].analytic_util_p);
+  }
+}
+
+void expect_identical(const ReplicationReport& a, const ReplicationReport& b) {
+  EXPECT_EQ(a.replications, b.replications);
+  EXPECT_EQ(a.total_completed, b.total_completed);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_DOUBLE_EQ(a.mean_abs_rel_error, b.mean_abs_rel_error);
+  ASSERT_EQ(a.clients.size(), b.clients.size());
+  for (std::size_t c = 0; c < a.clients.size(); ++c) {
+    const ClientReplicationStats& ca = a.clients[c];
+    const ClientReplicationStats& cb = b.clients[c];
+    EXPECT_EQ(ca.id, cb.id);
+    EXPECT_EQ(ca.observations, cb.observations);
+    EXPECT_EQ(ca.completed_total, cb.completed_total);
+    EXPECT_DOUBLE_EQ(ca.mean_response, cb.mean_response);
+    EXPECT_DOUBLE_EQ(ca.ci95, cb.ci95);
+    EXPECT_DOUBLE_EQ(ca.p50, cb.p50);
+    EXPECT_DOUBLE_EQ(ca.p95, cb.p95);
+    EXPECT_DOUBLE_EQ(ca.p99, cb.p99);
+  }
+  ASSERT_EQ(a.servers.size(), b.servers.size());
+  for (std::size_t s = 0; s < a.servers.size(); ++s) {
+    EXPECT_EQ(a.servers[s].id, b.servers[s].id);
+    EXPECT_DOUBLE_EQ(a.servers[s].measured_util_p,
+                     b.servers[s].measured_util_p);
+    EXPECT_DOUBLE_EQ(a.servers[s].ci95, b.servers[s].ci95);
+  }
+}
+
+TEST(SimDeterminism, SameSeedBitIdenticalReport) {
+  const Fixture fx(41);
+  SimOptions opts;
+  opts.horizon = 600.0;
+  opts.seed = 7;
+  const auto a = simulate_allocation(fx.allocation, opts);
+  const auto b = simulate_allocation(fx.allocation, opts);
+  EXPECT_GT(a.total_completed, 0u);
+  expect_identical(a, b);
+}
+
+TEST(SimDeterminism, DifferentSeedsDiffer) {
+  const Fixture fx(43);
+  SimOptions a_opts, b_opts;
+  a_opts.horizon = b_opts.horizon = 600.0;
+  a_opts.seed = 7;
+  b_opts.seed = 8;
+  const auto a = simulate_allocation(fx.allocation, a_opts);
+  const auto b = simulate_allocation(fx.allocation, b_opts);
+  ASSERT_FALSE(a.clients.empty());
+  EXPECT_NE(a.clients[0].mean_response, b.clients[0].mean_response);
+}
+
+TEST(ReplicationSeeds, DeterministicAndDistinct) {
+  const auto a = replication_seeds(99, 16);
+  const auto b = replication_seeds(99, 16);
+  EXPECT_EQ(a, b);
+  for (std::size_t i = 0; i < a.size(); ++i)
+    for (std::size_t j = i + 1; j < a.size(); ++j)
+      EXPECT_NE(a[i], a[j]) << "replications " << i << " and " << j;
+  // The schedule is a prefix property: raising R extends it, so cached
+  // low-R results stay comparable.
+  const auto prefix = replication_seeds(99, 4);
+  EXPECT_TRUE(std::equal(prefix.begin(), prefix.end(), a.begin()));
+}
+
+// The acceptance bar of the parallel fan-out: 1 worker thread and 4 must
+// produce bit-identical merged reports.
+TEST(ReplicationDeterminism, IdenticalAtOneAndFourThreads) {
+  const Fixture fx(47);
+  ReplicationOptions opts;
+  opts.sim.horizon = 400.0;
+  opts.sim.seed = 3;
+  opts.replications = 8;
+  opts.num_threads = 1;
+  const auto base = run_replications(fx.allocation, opts);
+  EXPECT_EQ(base.replications, 8);
+  EXPECT_GT(base.total_completed, 0u);
+  for (int threads : {2, 4}) {
+    ReplicationOptions topts = opts;
+    topts.num_threads = threads;
+    const auto run = run_replications(fx.allocation, topts);
+    expect_identical(base, run);
+  }
+}
+
+TEST(ReplicationRunner, AcrossReplicationCiIsProper) {
+  const Fixture fx(53);
+  ReplicationOptions opts;
+  opts.sim.horizon = 500.0;
+  opts.sim.seed = 5;
+  opts.replications = 8;
+  const auto report = run_replications(fx.allocation, opts);
+  ASSERT_FALSE(report.clients.empty());
+  for (const auto& c : report.clients) {
+    if (c.observations < 2) continue;
+    EXPECT_GT(c.ci95, 0.0) << "client " << c.id;
+    EXPECT_GT(c.mean_response, 0.0);
+    EXPECT_LE(c.observations, opts.replications);
+  }
+}
+
+TEST(ReplicationRunner, SingleReplicationMatchesDirectRun) {
+  // R = 1 degenerates to one simulation at the first derived seed; the
+  // merged means must equal that run's means exactly (and the
+  // across-replication CI collapses to 0 with a single observation).
+  const Fixture fx(59);
+  ReplicationOptions opts;
+  opts.sim.horizon = 400.0;
+  opts.sim.seed = 11;
+  opts.replications = 1;
+  const auto merged = run_replications(fx.allocation, opts);
+  SimOptions direct = opts.sim;
+  direct.seed = replication_seeds(opts.sim.seed, 1)[0];
+  const auto single = simulate_allocation(fx.allocation, direct);
+  ASSERT_EQ(merged.clients.size(), single.clients.size());
+  for (std::size_t c = 0; c < merged.clients.size(); ++c) {
+    EXPECT_EQ(merged.clients[c].completed_total, single.clients[c].completed);
+    if (single.clients[c].completed == 0) continue;
+    EXPECT_DOUBLE_EQ(merged.clients[c].mean_response,
+                     single.clients[c].mean_response);
+    EXPECT_DOUBLE_EQ(merged.clients[c].ci95, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace cloudalloc::sim

@@ -15,184 +15,259 @@
 namespace cloudalloc::sim {
 namespace {
 
+// Queue/clock tests carry the event's identity in `target`; `kind` and
+// `flow` are opaque payload to the queue.
+Event tagged(std::int32_t tag) {
+  return Event{EventKind::kSourceArrival, tag, 0};
+}
+
 TEST(EventQueue, FiresInTimeOrder) {
   EventQueue q;
+  q.schedule(3.0, tagged(3));
+  q.schedule(1.0, tagged(1));
+  q.schedule(2.0, tagged(2));
   std::vector<int> fired;
-  q.schedule(3.0, [&] { fired.push_back(3); });
-  q.schedule(1.0, [&] { fired.push_back(1); });
-  q.schedule(2.0, [&] { fired.push_back(2); });
-  while (auto e = q.pop()) e->second();
+  while (auto e = q.pop()) fired.push_back(e->second.target);
   EXPECT_EQ(fired, std::vector<int>({1, 2, 3}));
 }
 
 TEST(EventQueue, TieBreaksFifo) {
   EventQueue q;
+  q.schedule(1.0, tagged(1));
+  q.schedule(1.0, tagged(2));
   std::vector<int> fired;
-  q.schedule(1.0, [&] { fired.push_back(1); });
-  q.schedule(1.0, [&] { fired.push_back(2); });
-  while (auto e = q.pop()) e->second();
+  while (auto e = q.pop()) {
+    EXPECT_DOUBLE_EQ(e->first, 1.0);
+    fired.push_back(e->second.target);
+  }
   EXPECT_EQ(fired, std::vector<int>({1, 2}));
 }
 
 TEST(EventQueue, CancelPreventsFiring) {
   EventQueue q;
-  bool fired = false;
-  const EventId id = q.schedule(1.0, [&] { fired = true; });
-  q.cancel(id);
+  const EventId id = q.schedule(1.0, tagged(1));
+  EXPECT_TRUE(q.cancel(id));
   EXPECT_TRUE(q.empty());
   EXPECT_FALSE(q.pop().has_value());
-  EXPECT_FALSE(fired);
 }
 
 TEST(EventQueue, CancelUnknownIdIsNoOp) {
   EventQueue q;
-  q.cancel(12345);
+  EXPECT_FALSE(q.cancel(12345));
   EXPECT_TRUE(q.empty());
+  const EventId id = q.schedule(1.0, tagged(1));
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // double-cancel
+}
+
+TEST(EventQueue, StaleIdCannotCancelRecycledSlot) {
+  EventQueue q;
+  const EventId first = q.schedule(1.0, tagged(1));
+  ASSERT_TRUE(q.cancel(first));
+  // Drain so the slot is recycled, then let a new event claim it: the
+  // generation bump must keep the stale handle dead.
+  q.schedule(2.0, tagged(2));
+  while (q.pop().has_value()) {
+  }
+  const EventId reused = q.schedule(3.0, tagged(3));
+  EXPECT_FALSE(q.cancel(first));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.cancel(reused));
+}
+
+// The compaction regression test: a schedule/cancel churn loop (the
+// work-conserving station replans — and cancels — one completion per
+// busy-set change) must not accumulate dead entries or grow the node
+// slab without bound.
+TEST(EventQueue, CancelChurnKeepsMemoryBounded) {
+  EventQueue q;
+  // A resident population of live far-future events, as a real run has.
+  for (int i = 0; i < 64; ++i) q.schedule(1000.0 + i, tagged(i));
+  for (int i = 0; i < 200000; ++i) {
+    const EventId id = q.schedule(10.0 + 1e-6 * i, tagged(i));
+    ASSERT_TRUE(q.cancel(id));
+    // Dead nodes may linger only until compaction kicks in: the chained
+    // total stays within the policy bound entries <= 2 * live + O(1).
+    ASSERT_LE(q.entries(), 2 * q.size() + 80);
+  }
+  EXPECT_EQ(q.size(), 64u);
+  // The slab tracks the in-flight high-water mark, not the churn volume.
+  EXPECT_LE(q.pool_size(), 256u);
+}
+
+TEST(EventQueue, SteadyStateChurnReusesPooledNodes) {
+  EventQueue q;
+  for (int i = 0; i < 32; ++i) q.schedule(static_cast<double>(i), tagged(i));
+  const std::size_t high_water = q.pool_size();
+  double t = 32.0;
+  for (int i = 0; i < 100000; ++i) {
+    auto e = q.pop();
+    ASSERT_TRUE(e.has_value());
+    q.schedule(t, e->second);
+    t += 1.0;
+  }
+  EXPECT_EQ(q.pool_size(), high_water);
+  EXPECT_EQ(q.size(), 32u);
 }
 
 TEST(Simulation, ClockAdvancesWithEvents) {
   Simulation sim(1);
   std::vector<double> times;
-  sim.schedule_in(2.0, [&] { times.push_back(sim.now()); });
-  sim.schedule_in(1.0, [&] {
+  sim.schedule_in(2.0, tagged(0));
+  sim.schedule_in(1.0, tagged(1));
+  sim.run_until([&](const Event& ev) {
     times.push_back(sim.now());
-    sim.schedule_in(0.5, [&] { times.push_back(sim.now()); });
+    if (ev.target == 1) sim.schedule_in(0.5, tagged(2));
   });
-  sim.run_until();
   ASSERT_EQ(times.size(), 3u);
   EXPECT_DOUBLE_EQ(times[0], 1.0);
   EXPECT_DOUBLE_EQ(times[1], 1.5);
   EXPECT_DOUBLE_EQ(times[2], 2.0);
+  EXPECT_EQ(sim.executed(), 3u);
 }
 
 TEST(Simulation, HorizonStopsExecution) {
   Simulation sim(1);
   int fired = 0;
-  sim.schedule_in(1.0, [&] { ++fired; });
-  sim.schedule_in(5.0, [&] { ++fired; });
-  sim.run_until(2.0);
+  sim.schedule_in(1.0, tagged(1));
+  sim.schedule_in(5.0, tagged(2));
+  sim.run_until([&](const Event&) { ++fired; }, 2.0);
   EXPECT_EQ(fired, 1);
+  // The clock parks at the horizon, not at the dropped event's time.
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+/// One flow's traffic in the mini run loop below: GPS weight, mean job
+/// work (the paper's alpha), Poisson arrival rate, and the warmup cutoff
+/// before which sojourns are not recorded.
+struct FlowTraffic {
+  double phi;
+  double alpha;
+  double lambda;
+  double warmup;
+};
+
+/// The runner's loop in miniature: drives one station with self-re-arming
+/// Poisson sources (one per flow) until `horizon`, then drains. Returns
+/// per-flow sojourn summaries; keeps every sample when asked.
+std::vector<Summary> drive_station(
+    GpsMode mode, double capacity, const std::vector<FlowTraffic>& traffic,
+    double horizon, std::uint64_t seed,
+    std::vector<std::vector<double>>* samples = nullptr) {
+  Simulation sim(seed);
+  RequestPool pool;
+  std::vector<GpsStation::Flow> arena;
+  arena.reserve(traffic.size());
+  GpsStation station(sim, pool, arena, /*station_id=*/0, capacity, mode,
+                     static_cast<int>(traffic.size()));
+  for (const FlowTraffic& t : traffic) station.add_flow(t.phi, t.alpha);
+  for (std::size_t f = 0; f < traffic.size(); ++f)
+    sim.schedule_in(
+        sim.rng().exponential(traffic[f].lambda),
+        Event{EventKind::kSourceArrival, static_cast<std::int32_t>(f), 0});
+  std::vector<Summary> sojourns(traffic.size());
+  if (samples) samples->assign(traffic.size(), {});
+  Event ev;
+  while (sim.next(ev)) {
+    switch (ev.kind) {
+      case EventKind::kSourceArrival: {
+        if (sim.now() >= horizon) break;  // stop generating, drain
+        const auto f = static_cast<std::size_t>(ev.target);
+        station.arrive(ev.target, sim.now());
+        sim.schedule_in(sim.rng().exponential(traffic[f].lambda), ev);
+        break;
+      }
+      case EventKind::kStationComplete: {
+        const double start = station.finish_head(ev.flow);
+        const auto f = static_cast<std::size_t>(ev.flow);
+        if (start > traffic[f].warmup) {
+          const double sojourn = sim.now() - start;
+          sojourns[f].add(sojourn);
+          if (samples) (*samples)[f].push_back(sojourn);
+        }
+        station.resume(ev.flow);
+        break;
+      }
+    }
+  }
+  return sojourns;
 }
 
 // Single GPS flow = M/M/1: tail percentiles must match the exponential
 // sojourn law T_p = -ln(1-p)/(mu - lambda).
 TEST(GpsStation, SingleFlowQuantilesMatchMm1Law) {
-  Simulation sim(77);
-  GpsStation station(sim, /*capacity=*/4.0, GpsMode::kIsolated);
-  std::vector<double> sojourns;
   const double phi = 0.5, alpha = 0.5, lambda = 2.0;
   const double mu = phi * 4.0 / alpha;  // 4.0
-  const int flow = station.add_flow(phi, alpha, [&](double start) {
-    if (start > 300.0) sojourns.push_back(sim.now() - start);
-  });
-  std::function<void()> arrive = [&] {
-    if (sim.now() >= 8000.0) return;
-    station.arrive(flow, sim.now());
-    sim.schedule_in(sim.rng().exponential(lambda), arrive);
-  };
-  sim.schedule_in(sim.rng().exponential(lambda), arrive);
-  sim.run_until();
-  ASSERT_GT(sojourns.size(), 5000u);
+  std::vector<std::vector<double>> samples;
+  const auto sojourns =
+      drive_station(GpsMode::kIsolated, 4.0, {{phi, alpha, lambda, 300.0}},
+                    /*horizon=*/8000.0, 77, &samples);
+  ASSERT_GT(sojourns[0].count(), 5000u);
   for (double p : {0.5, 0.9, 0.95}) {
     const double expected = queueing::mm1_response_quantile(lambda, mu, p);
-    const double measured = cloudalloc::quantile(sojourns, p);
-    EXPECT_NEAR(measured, expected, 0.10 * expected)
-        << "quantile p=" << p;
+    const double measured = cloudalloc::quantile(samples[0], p);
+    EXPECT_NEAR(measured, expected, 0.10 * expected) << "quantile p=" << p;
   }
 }
 
 // Single GPS flow = M/M/1: simulated mean sojourn must match 1/(mu-lambda).
 TEST(GpsStation, SingleFlowMatchesMm1) {
-  Simulation sim(42);
-  GpsStation station(sim, /*capacity=*/4.0, GpsMode::kIsolated);
-  Summary sojourns;
   const double phi = 0.5, alpha = 0.5, lambda = 2.0;
   const double mu = phi * 4.0 / alpha;  // 4.0
-  const int flow = station.add_flow(phi, alpha, [&](double start) {
-    if (start > 200.0) sojourns.add(sim.now() - start);
-  });
-  // Poisson arrivals until t = 4000.
-  std::function<void()> arrive = [&] {
-    if (sim.now() >= 4000.0) return;
-    station.arrive(flow, sim.now());
-    sim.schedule_in(sim.rng().exponential(lambda), arrive);
-  };
-  sim.schedule_in(sim.rng().exponential(lambda), arrive);
-  sim.run_until();
+  const auto sojourns =
+      drive_station(GpsMode::kIsolated, 4.0, {{phi, alpha, lambda, 200.0}},
+                    /*horizon=*/4000.0, 42);
   const double expected = queueing::mm1_response_time(lambda, mu);
-  EXPECT_GT(sojourns.count(), 1000u);
-  EXPECT_NEAR(sojourns.mean(), expected, 4.0 * sojourns.ci95_halfwidth() +
-                                             0.05 * expected);
+  EXPECT_GT(sojourns[0].count(), 1000u);
+  EXPECT_NEAR(sojourns[0].mean(), expected,
+              4.0 * sojourns[0].ci95_halfwidth() + 0.05 * expected);
 }
 
 // Two isolated flows behave as independent M/M/1 queues.
 TEST(GpsStation, TwoIsolatedFlowsMatchTheory) {
-  Simulation sim(43);
-  GpsStation station(sim, 6.0, GpsMode::kIsolated);
-  Summary s0, s1;
-  const int f0 = station.add_flow(0.5, 0.6, [&](double start) {
-    if (start > 200.0) s0.add(sim.now() - start);
-  });
-  const int f1 = station.add_flow(0.3, 0.4, [&](double start) {
-    if (start > 200.0) s1.add(sim.now() - start);
-  });
   const double lambda0 = 2.0, lambda1 = 1.5;
-  std::function<void()> a0 = [&] {
-    if (sim.now() >= 3000.0) return;
-    station.arrive(f0, sim.now());
-    sim.schedule_in(sim.rng().exponential(lambda0), a0);
-  };
-  std::function<void()> a1 = [&] {
-    if (sim.now() >= 3000.0) return;
-    station.arrive(f1, sim.now());
-    sim.schedule_in(sim.rng().exponential(lambda1), a1);
-  };
-  sim.schedule_in(0.01, a0);
-  sim.schedule_in(0.02, a1);
-  sim.run_until();
+  const auto sojourns = drive_station(
+      GpsMode::kIsolated, 6.0,
+      {{0.5, 0.6, lambda0, 200.0}, {0.3, 0.4, lambda1, 200.0}},
+      /*horizon=*/3000.0, 43);
   const double e0 = queueing::mm1_response_time(lambda0, 0.5 * 6.0 / 0.6);
   const double e1 = queueing::mm1_response_time(lambda1, 0.3 * 6.0 / 0.4);
-  EXPECT_NEAR(s0.mean(), e0, 4.0 * s0.ci95_halfwidth() + 0.05 * e0);
-  EXPECT_NEAR(s1.mean(), e1, 4.0 * s1.ci95_halfwidth() + 0.05 * e1);
+  EXPECT_NEAR(sojourns[0].mean(), e0,
+              4.0 * sojourns[0].ci95_halfwidth() + 0.05 * e0);
+  EXPECT_NEAR(sojourns[1].mean(), e1,
+              4.0 * sojourns[1].ci95_halfwidth() + 0.05 * e1);
 }
 
 // Work-conserving GPS can only be (weakly) faster than isolated shares.
 TEST(GpsStation, WorkConservingDominatesIsolated) {
-  auto run = [](GpsMode mode) {
-    Simulation sim(44);
-    GpsStation station(sim, 4.0, mode);
-    Summary sojourns;
-    const int f0 = station.add_flow(0.5, 0.5, [&](double start) {
-      if (start > 100.0) sojourns.add(sim.now() - start);
-    });
-    // A second, lightly loaded flow leaves idle capacity to reclaim.
-    const int f1 = station.add_flow(0.5, 0.5, [](double) {});
-    const double lambda0 = 3.0, lambda1 = 0.3;
-    std::function<void()> a0 = [&] {
-      if (sim.now() >= 2000.0) return;
-      station.arrive(f0, sim.now());
-      sim.schedule_in(sim.rng().exponential(lambda0), a0);
-    };
-    std::function<void()> a1 = [&] {
-      if (sim.now() >= 2000.0) return;
-      station.arrive(f1, sim.now());
-      sim.schedule_in(sim.rng().exponential(lambda1), a1);
-    };
-    sim.schedule_in(0.01, a0);
-    sim.schedule_in(0.02, a1);
-    sim.run_until();
-    return sojourns.mean();
-  };
-  const double isolated = run(GpsMode::kIsolated);
-  const double conserving = run(GpsMode::kWorkConserving);
-  EXPECT_LT(conserving, isolated * 1.02);
+  // A second, lightly loaded flow leaves idle capacity to reclaim.
+  const std::vector<FlowTraffic> traffic = {{0.5, 0.5, 3.0, 100.0},
+                                            {0.5, 0.5, 0.3, 100.0}};
+  const auto isolated =
+      drive_station(GpsMode::kIsolated, 4.0, traffic, /*horizon=*/2000.0, 44);
+  const auto conserving = drive_station(GpsMode::kWorkConserving, 4.0,
+                                        traffic, /*horizon=*/2000.0, 44);
+  EXPECT_LT(conserving[0].mean(), isolated[0].mean() * 1.02);
 }
 
 TEST(GpsStation, RejectsOverfullWeights) {
   Simulation sim(1);
-  GpsStation station(sim, 4.0, GpsMode::kIsolated);
-  station.add_flow(0.7, 1.0, [](double) {});
-  EXPECT_DEATH(station.add_flow(0.5, 1.0, [](double) {}), "sum to");
+  RequestPool pool;
+  std::vector<GpsStation::Flow> arena;
+  arena.reserve(2);
+  GpsStation station(sim, pool, arena, 0, 4.0, GpsMode::kIsolated, 2);
+  station.add_flow(0.7, 1.0);
+  EXPECT_DEATH(station.add_flow(0.5, 1.0), "sum to");
+}
+
+TEST(GpsStation, RejectsFlowsBeyondReservedSpan) {
+  Simulation sim(1);
+  RequestPool pool;
+  std::vector<GpsStation::Flow> arena;
+  arena.reserve(1);
+  GpsStation station(sim, pool, arena, 0, 4.0, GpsMode::kIsolated, 1);
+  station.add_flow(0.3, 1.0);
+  EXPECT_DEATH(station.add_flow(0.3, 1.0), "span exhausted");
 }
 
 TEST(Runner, ValidatesAnalyticModelOnTinyAllocation) {

@@ -23,6 +23,23 @@ TEST(Summary, SingleValue) {
   EXPECT_DOUBLE_EQ(s.max(), 3.5);
 }
 
+// The n < 2 guard: with fewer than two samples there is no sample
+// variance, so both it and the CI half-width must be exactly 0 — never
+// NaN — because replication merges feed them straight into reports.
+TEST(Summary, VarianceAndCiGuardFewerThanTwoSamples) {
+  Summary none;
+  EXPECT_DOUBLE_EQ(none.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(none.ci95_halfwidth(), 0.0);
+  Summary one;
+  one.add(7.25);
+  EXPECT_DOUBLE_EQ(one.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(one.ci95_halfwidth(), 0.0);
+  Summary two;
+  two.add(1.0);
+  two.add(3.0);
+  EXPECT_GT(two.ci95_halfwidth(), 0.0);
+}
+
 TEST(Summary, KnownMoments) {
   Summary s;
   for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
