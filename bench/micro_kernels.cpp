@@ -100,12 +100,15 @@ void BM_AssignDistribute(benchmark::State& state) {
   alloc::AllocatorOptions opts;
   model::Allocation alloc_state(cloud);
   // Half-fill the first cluster so the evaluation sees realistic state.
-  for (model::ClientId i = 0; i < 25; ++i) {
-    auto plan = alloc::assign_distribute(alloc_state, i, 0, opts);
-    if (plan) alloc_state.assign(i, 0, std::move(plan->placements));
+  for (int ci = 0; ci < 25; ++ci) {
+    const model::ClientId i{ci};
+    auto plan =
+        alloc::assign_distribute(alloc_state, i, model::ClusterId{0}, opts);
+    if (plan)
+      alloc_state.assign(i, model::ClusterId{0}, std::move(plan->placements));
   }
   for (auto _ : state) {
-    auto plan = alloc::assign_distribute(alloc_state, 30, 0, opts);
+    auto plan = alloc::assign_distribute(alloc_state, model::ClientId{30}, model::ClusterId{0}, opts);
     benchmark::DoNotOptimize(plan);
   }
 }
@@ -125,15 +128,16 @@ struct MovePricingFixture {
             }(),
             6)),
         alloc_state(cloud) {
-    for (model::ClientId i = 0; i < 60; ++i) {
+    for (int ci = 0; ci < 60; ++ci) {
+      const model::ClientId i{ci};
       auto plan = alloc::best_insertion(alloc_state, i, opts);
       if (plan) alloc_state.assign(i, plan->cluster, plan->placements);
     }
     model::profit(alloc_state);  // settle caches before snapshotting
-    mover = 0;
+    mover = model::ClientId{0};
     old_ps = alloc_state.placements(mover);
-    const model::ClusterId other =
-        (alloc_state.cluster_of(mover) + 1) % cloud.num_clusters();
+    const model::ClusterId other{(alloc_state.cluster_of(mover).value() + 1) %
+                                 cloud.num_clusters()};
     model::ResidualView probe(alloc_state);
     probe.remove_client(mover, old_ps);
     auto plan = alloc::assign_distribute(probe, mover, other, opts);
@@ -143,8 +147,8 @@ struct MovePricingFixture {
   alloc::AllocatorOptions opts;
   model::Cloud cloud;
   model::Allocation alloc_state;
-  model::ClientId mover = 0;
-  model::ClusterId new_cluster = 0;
+  model::ClientId mover{0};
+  model::ClusterId new_cluster{0};
   std::vector<model::Placement> old_ps, new_ps;
 };
 
@@ -193,8 +197,7 @@ struct BaselinePricingFixture {
         genes(static_cast<std::size_t>(cloud.num_clients())) {
     Rng rng(9);
     for (auto& k : genes)
-      k = static_cast<model::ClusterId>(
-          rng.uniform_int(0, cloud.num_clusters() - 1));
+      k = model::ClusterId{static_cast<int>(rng.uniform_int(0, cloud.num_clusters() - 1))};
   }
   alloc::AllocatorOptions opts;
   model::Cloud cloud;
@@ -205,16 +208,16 @@ void BM_Baselines_SA_RebuildScore(benchmark::State& state) {
   // Historical SA neighbor cost: flip one gene, decode the whole
   // assignment from scratch, evaluate full profit.
   BaselinePricingFixture fx;
-  model::ClientId i = 0;
+  model::ClientId i{0};
   for (auto _ : state) {
-    const auto saved = fx.genes[static_cast<std::size_t>(i)];
-    fx.genes[static_cast<std::size_t>(i)] =
-        static_cast<model::ClusterId>((saved + 1) % fx.cloud.num_clusters());
+    const auto saved = fx.genes[i.index()];
+    fx.genes[i.index()] =
+        model::ClusterId{(saved.value() + 1) % fx.cloud.num_clusters()};
     const auto trial =
         alloc::build_from_assignment(fx.cloud, fx.genes, fx.opts);
     benchmark::DoNotOptimize(model::profit(trial));
-    fx.genes[static_cast<std::size_t>(i)] = saved;
-    i = (i + 1) % fx.cloud.num_clients();
+    fx.genes[i.index()] = saved;
+    i = model::ClientId{(i.value() + 1) % fx.cloud.num_clients()};
   }
 }
 BENCHMARK(BM_Baselines_SA_RebuildScore);
@@ -227,13 +230,13 @@ void BM_Baselines_SA_DeltaScore(benchmark::State& state) {
       alloc::build_from_assignment(fx.cloud, fx.genes, fx.opts));
   (void)st.profit();  // settle caches, as the SA walk does once up front
   alloc::MoveEngine mover(st, fx.opts);
-  model::ClientId i = 0;
+  model::ClientId i{0};
   for (auto _ : state) {
-    const auto k = static_cast<model::ClusterId>(
-        (st.ledger().cluster_of(i) + 1) % fx.cloud.num_clusters());
+    const model::ClusterId k{(st.ledger().cluster_of(i).value() + 1) %
+                             fx.cloud.num_clusters()};
     auto prop = mover.propose_into(i, k);
     benchmark::DoNotOptimize(prop.predicted);
-    i = (i + 1) % fx.cloud.num_clients();
+    i = model::ClientId{(i.value() + 1) % fx.cloud.num_clients()};
   }
 }
 BENCHMARK(BM_Baselines_SA_DeltaScore);
@@ -244,11 +247,11 @@ void BM_Baselines_MC_CloneEvaluate(benchmark::State& state) {
   BaselinePricingFixture fx;
   const auto base = alloc::build_from_assignment(fx.cloud, fx.genes, fx.opts);
   const double before = model::profit(base);
-  model::ClientId mover = 0;
-  while (!base.is_assigned(mover)) ++mover;
+  model::ClientId mover{0};
+  while (!base.is_assigned(mover)) mover = model::ClientId{mover.value() + 1};
   const auto old_ps = base.placements(mover);
-  const auto other = static_cast<model::ClusterId>(
-      (base.cluster_of(mover) + 1) % fx.cloud.num_clusters());
+  const model::ClusterId other{(base.cluster_of(mover).value() + 1) %
+                               fx.cloud.num_clusters()};
   model::ResidualView probe(base);
   probe.remove_client(mover, old_ps);
   const auto plan = alloc::assign_distribute(probe, mover, other, fx.opts);
@@ -268,11 +271,12 @@ void BM_Baselines_MC_DeltaPrice(benchmark::State& state) {
   model::AllocState st(
       alloc::build_from_assignment(fx.cloud, fx.genes, fx.opts));
   (void)st.profit();
-  model::ClientId mover = 0;
-  while (!st.ledger().is_assigned(mover)) ++mover;
+  model::ClientId mover{0};
+  while (!st.ledger().is_assigned(mover))
+    mover = model::ClientId{mover.value() + 1};
   const auto old_ps = st.ledger().placements(mover);
-  const auto other = static_cast<model::ClusterId>(
-      (st.ledger().cluster_of(mover) + 1) % fx.cloud.num_clusters());
+  const model::ClusterId other{(st.ledger().cluster_of(mover).value() + 1) %
+                               fx.cloud.num_clusters()};
   model::ResidualView probe = st.view();
   probe.remove_client(mover, old_ps);
   const auto plan = alloc::assign_distribute(probe, mover, other, fx.opts);
@@ -297,10 +301,14 @@ void BM_QueueingKernels_Scalar(benchmark::State& state) {
   }
   for (auto _ : state) {
     for (std::size_t g = 0; g < n; ++g) {
-      const double mu_p = queueing::gps_service_rate(phi_p[g], 4.0, 0.7);
-      const double mu_n = queueing::gps_service_rate(phi_n[g], 4.0, 0.7);
-      delay[g] = queueing::mm1_response_time_or_inf(arr[g], mu_p) +
-                 queueing::mm1_response_time_or_inf(arr[g], mu_n);
+      const units::ArrivalRate mu_p = queueing::gps_service_rate(
+          units::Share{phi_p[g]}, units::WorkRate{4.0}, units::Work{0.7});
+      const units::ArrivalRate mu_n = queueing::gps_service_rate(
+          units::Share{phi_n[g]}, units::WorkRate{4.0}, units::Work{0.7});
+      delay[g] =
+          (queueing::mm1_response_time_or_inf(units::ArrivalRate{arr[g]}, mu_p) +
+           queueing::mm1_response_time_or_inf(units::ArrivalRate{arr[g]}, mu_n))
+              .value();
     }
     benchmark::DoNotOptimize(delay.data());
   }
@@ -311,15 +319,19 @@ BENCHMARK(BM_QueueingKernels_Scalar)->Arg(10)->Arg(40);
 void BM_QueueingKernels_Batched(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   Rng rng(7);
-  std::vector<double> arr(n), phi_p(n), phi_n(n), mu_p(n), mu_n(n), delay(n);
+  std::vector<units::ArrivalRate> arr(n), mu_p(n), mu_n(n);
+  std::vector<units::Share> phi_p(n), phi_n(n);
+  std::vector<units::Time> delay(n);
   for (std::size_t g = 0; g < n; ++g) {
-    arr[g] = rng.uniform(0.2, 1.5);
-    phi_p[g] = rng.uniform(0.3, 0.9);
-    phi_n[g] = rng.uniform(0.3, 0.9);
+    arr[g] = units::ArrivalRate{rng.uniform(0.2, 1.5)};
+    phi_p[g] = units::Share{rng.uniform(0.3, 0.9)};
+    phi_n[g] = units::Share{rng.uniform(0.3, 0.9)};
   }
   for (auto _ : state) {
-    queueing::gps_service_rates(phi_p.data(), 4.0, 0.7, mu_p.data(), n);
-    queueing::gps_service_rates(phi_n.data(), 4.0, 0.7, mu_n.data(), n);
+    queueing::gps_service_rates(phi_p.data(), units::WorkRate{4.0},
+                                units::Work{0.7}, mu_p.data(), n);
+    queueing::gps_service_rates(phi_n.data(), units::WorkRate{4.0},
+                                units::Work{0.7}, mu_n.data(), n);
     queueing::two_stage_delays(arr.data(), mu_p.data(), mu_n.data(),
                                delay.data(), n);
     benchmark::DoNotOptimize(delay.data());

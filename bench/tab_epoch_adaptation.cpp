@@ -28,7 +28,7 @@ model::Cloud with_rates(const model::Cloud& base,
                         const std::vector<double>& rates) {
   std::vector<model::Client> clients = base.clients();
   for (auto& c : clients)
-    c.lambda_pred = rates[static_cast<std::size_t>(c.id)];
+    c.lambda_pred = rates[c.id.index()];
   return model::Cloud(base.server_classes(), base.servers(), base.clusters(),
                       base.utility_classes(), std::move(clients));
 }
@@ -38,7 +38,7 @@ model::Cloud with_rates(const model::Cloud& base,
 double realized_profit(const model::Allocation& alloc,
                        const model::Cloud& truth) {
   model::Allocation real(truth);
-  for (model::ClientId i = 0; i < truth.num_clients(); ++i)
+  for (model::ClientId i : truth.client_ids())
     if (alloc.is_assigned(i))
       real.assign(i, alloc.cluster_of(i), alloc.placements(i));
   return model::profit(real);

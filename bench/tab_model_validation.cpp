@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
     Summary rel;
     int below = 0;
     for (const auto& c : report.clients) {
-      table.add_row({std::to_string(c.id),
+      table.add_row({std::to_string(c.id.value()),
                      Table::num(cloud.client(c.id).lambda_pred, 2),
                      Table::num(c.analytic_response, 3),
                      Table::num(c.mean_response, 3), Table::num(c.ci95, 3),

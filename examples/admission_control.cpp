@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
   Table table({"policy", "profit", "revenue", "cost", "served", "active"});
   auto served = [&](const model::Allocation& alloc_state) {
     int n = 0;
-    for (model::ClientId i = 0; i < cloud.num_clients(); ++i)
+    for (model::ClientId i : cloud.client_ids())
       if (alloc_state.is_assigned(i)) ++n;
     return n;
   };

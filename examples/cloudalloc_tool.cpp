@@ -194,7 +194,8 @@ int cmd_simulate(const Args& args) {
 
   Table table({"client", "analytic_R", "sim_mean", "p95", "p99", "completed"});
   for (const auto& c : report.clients)
-    table.add_row({std::to_string(c.id), Table::num(c.analytic_response, 3),
+    table.add_row({std::to_string(c.id.value()),
+                   Table::num(c.analytic_response, 3),
                    Table::num(c.mean_response, 3), Table::num(c.p95, 3),
                    Table::num(c.p99, 3), std::to_string(c.completed)});
   table.print(std::cout);

@@ -52,12 +52,13 @@ int main(int argc, char** argv) {
                "revenue"});
   for (const auto& c : breakdown.clients) {
     if (!c.assigned) {
-      table.add_row({std::to_string(c.id), "-", "-", "unserved", "0", "0"});
+      table.add_row(
+          {std::to_string(c.id.value()), "-", "-", "unserved", "0", "0"});
       continue;
     }
     table.add_row(
-        {std::to_string(c.id),
-         std::to_string(result.allocation.cluster_of(c.id)),
+        {std::to_string(c.id.value()),
+         std::to_string(result.allocation.cluster_of(c.id).value()),
          std::to_string(result.allocation.placements(c.id).size()),
          Table::num(c.response_time, 3), Table::num(c.utility, 3),
          Table::num(c.revenue, 2)});

@@ -66,9 +66,8 @@ int main(int argc, char** argv) {
                "utility", "revenue"});
   for (int a = 0; a < apps; ++a) {
     double tier_r[3] = {0, 0, 0};
-    for (model::ClientId i = 0; i < result.expanded.cloud().num_clients();
-         ++i) {
-      const auto& ref = result.expanded.refs[static_cast<std::size_t>(i)];
+    for (model::ClientId i : result.expanded.cloud().client_ids()) {
+      const auto& ref = result.expanded.refs[i.index()];
       if (ref.parent != a) continue;
       tier_r[ref.tier] = result.allocation.response_time(i);
     }
@@ -76,7 +75,7 @@ int main(int argc, char** argv) {
         result.expanded, result.allocation, a);
     const auto& app = instance.clients[static_cast<std::size_t>(a)];
     const double utility =
-        instance.utility_classes[static_cast<std::size_t>(app.utility_class)]
+        instance.utility_classes[app.utility_class.index()]
             .fn->value(r_total);
     table.add_row({std::to_string(a), Table::num(app.lambda_agreed, 2),
                    Table::num(tier_r[0], 3), Table::num(tier_r[1], 3),

@@ -43,8 +43,14 @@ double adjust_dispersion_rates(AllocState& state, ClientId i,
   for (const Placement& p : current) {
     const auto& sc = cloud.server_class_of(p.server);
     opt::DispersionItem it;
-    it.mu_p = queueing::gps_service_rate(p.phi_p, sc.cap_p, c.alpha_p);
-    it.mu_n = queueing::gps_service_rate(p.phi_n, sc.cap_n, c.alpha_n);
+    it.mu_p = queueing::gps_service_rate(units::Share{p.phi_p},
+                                         units::WorkRate{sc.cap_p},
+                                         units::Work{c.alpha_p})
+                  .value();
+    it.mu_n = queueing::gps_service_rate(units::Share{p.phi_n},
+                                         units::WorkRate{sc.cap_n},
+                                         units::Work{c.alpha_n})
+                  .value();
     it.lin_cost = sc.cost_per_util * c.lambda_pred * c.alpha_p / sc.cap_p;
     // Stability cap with headroom, against the slower stage.
     const double mu_min = std::min(it.mu_p, it.mu_n);
@@ -80,7 +86,7 @@ double adjust_dispersion_rates(AllocState& state, ClientId i,
 
 double adjust_all_dispersions(AllocState& state, const AllocatorOptions& opts) {
   double delta = 0.0;
-  for (ClientId i = 0; i < state.cloud().num_clients(); ++i)
+  for (ClientId i : state.cloud().client_ids())
     delta += adjust_dispersion_rates(state, i, opts);
   return delta;
 }

@@ -63,31 +63,39 @@ double adjust_resource_shares(AllocState& state, ServerId j,
     // the local slope would zero out clients currently past their
     // zero-crossing and make them unrecoverable.
     const double slope = cloud.utility_of(i).slope(0.0);
-    const double zc = cloud.utility_of(i).zero_crossing();
+    const units::Time zc{cloud.utility_of(i).zero_crossing()};
     const double w = slope * c.lambda_agreed * p.psi;
-    const double load = p.psi * c.lambda_pred;
+    const units::ArrivalRate load{p.psi * c.lambda_pred};
 
     // Ceilings follow the share policy so rebalancing cannot freeze the
     // whole server at 100% and block future client moves.
     opt::ShareItem ip;
     ip.weight = w;
     ip.rate_factor = sc.cap_p / c.alpha_p;
-    ip.load = load;
-    ip.lo = queueing::gps_min_share(load, sc.cap_p, c.alpha_p,
-                                    opts.stability_headroom);
-    ip.hi = clamp(share_cap(load, p.psi, sc.cap_p, c.alpha_p, zc,
-                            sizing.slack_work_p, opts),
+    ip.load = load.value();
+    ip.lo = queueing::gps_min_share(load, units::WorkRate{sc.cap_p},
+                                    units::Work{c.alpha_p},
+                                    units::ArrivalRate{opts.stability_headroom})
+                .value();
+    ip.hi = clamp(share_cap(load, p.psi, units::WorkRate{sc.cap_p},
+                            units::Work{c.alpha_p}, zc, sizing.slack_work_p,
+                            opts)
+                      .value(),
                   ip.lo, budget_p);
     items_p.push_back(ip);
 
     opt::ShareItem in;
     in.weight = w;
     in.rate_factor = sc.cap_n / c.alpha_n;
-    in.load = load;
-    in.lo = queueing::gps_min_share(load, sc.cap_n, c.alpha_n,
-                                    opts.stability_headroom);
-    in.hi = clamp(share_cap(load, p.psi, sc.cap_n, c.alpha_n, zc,
-                            sizing.slack_work_n, opts),
+    in.load = load.value();
+    in.lo = queueing::gps_min_share(load, units::WorkRate{sc.cap_n},
+                                    units::Work{c.alpha_n},
+                                    units::ArrivalRate{opts.stability_headroom})
+                .value();
+    in.hi = clamp(share_cap(load, p.psi, units::WorkRate{sc.cap_n},
+                            units::Work{c.alpha_n}, zc, sizing.slack_work_n,
+                            opts)
+                      .value(),
                   in.lo, budget_n);
     items_n.push_back(in);
   }
@@ -114,7 +122,7 @@ double adjust_resource_shares(AllocState& state, ServerId j,
 
 double adjust_all_shares(AllocState& state, const AllocatorOptions& opts) {
   double delta = 0.0;
-  for (ServerId j = 0; j < state.cloud().num_servers(); ++j)
+  for (ServerId j : state.cloud().server_ids())
     if (state.ledger().active(j))
       delta += adjust_resource_shares(state, j, opts);
   return delta;

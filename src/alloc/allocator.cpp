@@ -137,7 +137,7 @@ AllocatorResult ResourceAllocator::improve_impl(model::Allocation alloc,
   model::Allocation best_alloc = state.materialize(best);
   report.final_profit = best_profit;
   report.active_servers = best_alloc.num_active_servers();
-  for (model::ClientId i = 0; i < best_alloc.cloud().num_clients(); ++i)
+  for (model::ClientId i : best_alloc.cloud().client_ids())
     if (!best_alloc.is_assigned(i)) ++report.unassigned_clients;
   report.wall_seconds = seconds_since(start);
   return AllocatorResult{std::move(best_alloc), std::move(report)};

@@ -28,6 +28,11 @@ using model::Placement;
 using model::ResidualView;
 using model::ServerClass;
 using model::ServerId;
+using units::ArrivalRate;
+using units::Share;
+using units::Time;
+using units::Work;
+using units::WorkRate;
 
 /// Shares chosen for one (server, quantum-count) option plus its score.
 struct SliceOption {
@@ -40,9 +45,11 @@ struct SliceOption {
 /// count (index g, entry 0 unused), reused across candidate servers. Also
 /// holds the same-class row-reuse memo (see score_rows).
 struct Scratch {
-  std::vector<double> arr, phi_p, phi_n, mu_p, mu_n, delay;
+  std::vector<ArrivalRate> arr, mu_p, mu_n;
+  std::vector<Share> phi_p, phi_n;
+  std::vector<Time> delay;
   std::vector<int> memo_row;            // (class, active) -> scored row idx
-  std::vector<double> need_p, need_n;   // per class: g=G share demand
+  std::vector<Share> need_p, need_n;    // per class: g=G share demand
   std::vector<std::uint8_t> need_ready;
   void resize(std::size_t width) {
     arr.resize(width);
@@ -64,17 +71,17 @@ struct Scratch {
 /// (min of delay-target and capacity-proportional, see share_policy.h),
 /// clamped between the stability floor and the free capacity. Returns
 /// nullopt when even the floor does not fit.
-std::optional<double> size_share(double arrivals, double psi,
-                                 double capacity, double alpha, double zc,
-                                 double slack_work,
-                                 const AllocatorOptions& opts,
-                                 double free_share) {
-  const double floor_share = queueing::gps_min_share(
-      arrivals, capacity, alpha, opts.stability_headroom);
-  if (floor_share > free_share + kEps) return std::nullopt;
-  const double share =
+std::optional<Share> size_share(ArrivalRate arrivals, double psi,
+                                WorkRate capacity, Work alpha, Time zc,
+                                WorkRate slack_work,
+                                const AllocatorOptions& opts,
+                                double free_share) {
+  const Share floor_share = queueing::gps_min_share(
+      arrivals, capacity, alpha, ArrivalRate{opts.stability_headroom});
+  if (floor_share.value() > free_share + kEps) return std::nullopt;
+  const Share share =
       preferred_share(arrivals, psi, capacity, alpha, zc, slack_work, opts);
-  return clamp(share, floor_share, free_share);
+  return Share{clamp(share.value(), floor_share.value(), free_share)};
 }
 
 /// The eq.-8 candidate filter: in-cluster, not excluded, enough free disk,
@@ -99,7 +106,7 @@ bool candidate_ok(const State& state, ServerId j, const Client& c,
 /// score bit.
 template <class State>
 void score_rows(const State& state, const Cloud& cloud, const Client& c,
-                double slope, double zc, const ShareSizing& sizing,
+                double slope, Time zc, const ShareSizing& sizing,
                 const AllocatorOptions& opts, int G,
                 const std::vector<ServerId>& cands,
                 std::vector<std::vector<SliceOption>>& options,
@@ -125,22 +132,27 @@ void score_rows(const State& state, const Cloud& cloud, const Client& c,
     // free capacity, no share on this row ever touched the clamp and the
     // whole row is a pure function of (class, active). Rows copied here
     // are bitwise identical to recomputing them.
-    const auto cls = static_cast<std::size_t>(cloud.server(j).server_class);
+    const std::size_t cls = cloud.server(j).server_class.index();
     if (scratch.need_ready[cls] == 0) {
-      const double floor_p = queueing::gps_min_share(
-          c.lambda_pred, sc.cap_p, c.alpha_p, opts.stability_headroom);
-      const double floor_n = queueing::gps_min_share(
-          c.lambda_pred, sc.cap_n, c.alpha_n, opts.stability_headroom);
+      const ArrivalRate lambda{c.lambda_pred};
+      const Share floor_p = queueing::gps_min_share(
+          lambda, WorkRate{sc.cap_p}, Work{c.alpha_p},
+          ArrivalRate{opts.stability_headroom});
+      const Share floor_n = queueing::gps_min_share(
+          lambda, WorkRate{sc.cap_n}, Work{c.alpha_n},
+          ArrivalRate{opts.stability_headroom});
       scratch.need_p[cls] = std::max(
-          floor_p, preferred_share(c.lambda_pred, 1.0, sc.cap_p, c.alpha_p, zc,
-                                   sizing.slack_work_p, opts));
+          floor_p, preferred_share(lambda, 1.0, WorkRate{sc.cap_p},
+                                   Work{c.alpha_p}, zc, sizing.slack_work_p,
+                                   opts));
       scratch.need_n[cls] = std::max(
-          floor_n, preferred_share(c.lambda_pred, 1.0, sc.cap_n, c.alpha_n, zc,
-                                   sizing.slack_work_n, opts));
+          floor_n, preferred_share(lambda, 1.0, WorkRate{sc.cap_n},
+                                   Work{c.alpha_n}, zc, sizing.slack_work_n,
+                                   opts));
       scratch.need_ready[cls] = 1;
     }
-    const bool unclamped =
-        scratch.need_p[cls] <= free_p && scratch.need_n[cls] <= free_n;
+    const bool unclamped = scratch.need_p[cls].value() <= free_p &&
+                           scratch.need_n[cls].value() <= free_n;
     const std::size_t key = 2 * cls + (was_active ? 1 : 0);
     if (unclamped && scratch.memo_row[key] >= 0) {
       const auto src = static_cast<std::size_t>(scratch.memo_row[key]);
@@ -157,11 +169,13 @@ void score_rows(const State& state, const Cloud& cloud, const Client& c,
     int gmax = 0;
     for (int g = 1; g <= G; ++g) {
       const double psi = static_cast<double>(g) / static_cast<double>(G);
-      const double arrivals = psi * c.lambda_pred;
-      const auto phi_p = size_share(arrivals, psi, sc.cap_p, c.alpha_p, zc,
-                                    sizing.slack_work_p, opts, free_p);
-      const auto phi_n = size_share(arrivals, psi, sc.cap_n, c.alpha_n, zc,
-                                    sizing.slack_work_n, opts, free_n);
+      const ArrivalRate arrivals = psi * ArrivalRate{c.lambda_pred};
+      const auto phi_p =
+          size_share(arrivals, psi, WorkRate{sc.cap_p}, Work{c.alpha_p}, zc,
+                     sizing.slack_work_p, opts, free_p);
+      const auto phi_n =
+          size_share(arrivals, psi, WorkRate{sc.cap_n}, Work{c.alpha_n}, zc,
+                     sizing.slack_work_n, opts, free_n);
       if (!phi_p || !phi_n) break;  // larger g only needs more capacity
       const std::size_t gg = static_cast<std::size_t>(g);
       scratch.arr[gg] = arrivals;
@@ -172,10 +186,10 @@ void score_rows(const State& state, const Cloud& cloud, const Client& c,
     if (gmax == 0) continue;
 
     const auto n = static_cast<std::size_t>(gmax);
-    queueing::gps_service_rates(scratch.phi_p.data() + 1, sc.cap_p, c.alpha_p,
-                                scratch.mu_p.data() + 1, n);
-    queueing::gps_service_rates(scratch.phi_n.data() + 1, sc.cap_n, c.alpha_n,
-                                scratch.mu_n.data() + 1, n);
+    queueing::gps_service_rates(scratch.phi_p.data() + 1, WorkRate{sc.cap_p},
+                                Work{c.alpha_p}, scratch.mu_p.data() + 1, n);
+    queueing::gps_service_rates(scratch.phi_n.data() + 1, WorkRate{sc.cap_n},
+                                Work{c.alpha_n}, scratch.mu_n.data() + 1, n);
     queueing::two_stage_delays(scratch.arr.data() + 1, scratch.mu_p.data() + 1,
                                scratch.mu_n.data() + 1,
                                scratch.delay.data() + 1, n);
@@ -183,11 +197,11 @@ void score_rows(const State& state, const Cloud& cloud, const Client& c,
     for (int g = 1; g <= gmax; ++g) {
       const std::size_t gg = static_cast<std::size_t>(g);
       const double psi = static_cast<double>(g) / static_cast<double>(G);
-      double score = -c.lambda_agreed * slope * psi * scratch.delay[gg];
+      double score = -c.lambda_agreed * slope * psi * scratch.delay[gg].value();
       score -= sc.cost_per_util * psi * c.lambda_pred * c.alpha_p / sc.cap_p;
       if (!was_active) score -= sc.cost_fixed;
-      options[idx][gg] =
-          SliceOption{scratch.phi_p[gg], scratch.phi_n[gg], score};
+      options[idx][gg] = SliceOption{scratch.phi_p[gg].value(),
+                                     scratch.phi_n[gg].value(), score};
       scores[idx][gg] = score;
     }
     if (unclamped) scratch.memo_row[key] = static_cast<int>(idx);
@@ -225,7 +239,7 @@ void score_rows(const State& state, const Cloud& cloud, const Client& c,
 /// twins are skipped by the bound scan instead of failing it.
 template <class State>
 bool certified(const State& state, const Cloud& cloud, const Client& c,
-               double slope, double zc, const ShareSizing& sizing,
+               double slope, Time zc, const ShareSizing& sizing,
                const AllocatorOptions& opts, int G,
                const std::vector<ServerId>& cands,
                const std::vector<ServerId>& pruned,
@@ -243,15 +257,16 @@ bool certified(const State& state, const Cloud& cloud, const Client& c,
   // pins the slack to exactly the headroom. The free-capacity bound below
   // can still be tighter on nearly-full servers; each server takes the
   // larger of the two.
-  const auto policy_dmin = [&](double alpha, double slack_work) {
-    double slack_max = slack_work;
-    if (std::isfinite(zc) && zc > 0.0)
+  const auto policy_dmin = [&](Work alpha, WorkRate slack_work) {
+    WorkRate slack_max = slack_work;
+    if (std::isfinite(zc.value()) && zc.value() > 0.0)
       slack_max = std::min(slack_max,
                            alpha / (opts.delay_target_fraction * zc));
-    return 1.0 / std::max(slack_max / alpha, opts.stability_headroom);
+    return 1.0 / std::max(slack_max / alpha,
+                          ArrivalRate{opts.stability_headroom});
   };
-  const double dmin_policy = policy_dmin(c.alpha_p, sizing.slack_work_p) +
-                             policy_dmin(c.alpha_n, sizing.slack_work_n);
+  const Time dmin_policy = policy_dmin(Work{c.alpha_p}, sizing.slack_work_p) +
+                           policy_dmin(Work{c.alpha_n}, sizing.slack_work_n);
 
   // Group the candidate rows by their exact row key (see score_rows: a
   // row reads the server only through class, activity, and the two free
@@ -264,10 +279,11 @@ bool certified(const State& state, const Cloud& cloud, const Client& c,
     TwinKey key;
     int members = 0;   ///< rows with this key among cands
     int included = 0;  ///< of those, rows in the pruned set
-    ServerId min_included = std::numeric_limits<ServerId>::max();
+    ServerId min_included{std::numeric_limits<int>::max()};
   };
   const auto key_of = [&](ServerId j) {
-    const auto cls = static_cast<std::uint64_t>(cloud.server(j).server_class);
+    const auto cls =
+        static_cast<std::uint64_t>(cloud.server(j).server_class.value());
     return TwinKey{(cls << 1) | (state.active(j) ? 1u : 0u),
                    std::bit_cast<std::uint64_t>(state.free_phi_p(j)),
                    std::bit_cast<std::uint64_t>(state.free_phi_n(j))};
@@ -294,7 +310,7 @@ bool certified(const State& state, const Cloud& cloud, const Client& c,
     }
   }
 
-  const double arr1 = c.lambda_pred / static_cast<double>(G);
+  const ArrivalRate arr1 = ArrivalRate{c.lambda_pred} / static_cast<double>(G);
   double ubest = 0.0;
   bool any_excluded_feasible = false;
   std::size_t pi = 0;  // pruned is a subsequence of cands
@@ -311,22 +327,24 @@ bool certified(const State& state, const Cloud& cloud, const Client& c,
     const double free_n = state.free_phi_n(j);
     // size_share's stability-floor test at one quantum; failing it means
     // the row is all-infeasible past g=0 and constrains nothing.
-    if (queueing::gps_min_share(arr1, sc.cap_p, c.alpha_p,
-                                opts.stability_headroom) > free_p + kEps)
+    if (queueing::gps_min_share(arr1, WorkRate{sc.cap_p}, Work{c.alpha_p},
+                                ArrivalRate{opts.stability_headroom})
+            .value() > free_p + kEps)
       continue;
-    if (queueing::gps_min_share(arr1, sc.cap_n, c.alpha_n,
-                                opts.stability_headroom) > free_n + kEps)
+    if (queueing::gps_min_share(arr1, WorkRate{sc.cap_n}, Work{c.alpha_n},
+                                ArrivalRate{opts.stability_headroom})
+            .value() > free_n + kEps)
       continue;
-    const double mu_p_max =
-        queueing::gps_service_rate(free_p, sc.cap_p, c.alpha_p);
-    const double mu_n_max =
-        queueing::gps_service_rate(free_n, sc.cap_n, c.alpha_n);
-    double dmin = queueing::mm1_response_time_or_inf(arr1, mu_p_max) +
-                  queueing::mm1_response_time_or_inf(arr1, mu_n_max);
-    if (!(dmin < kInf)) continue;
+    const ArrivalRate mu_p_max = queueing::gps_service_rate(
+        Share{free_p}, WorkRate{sc.cap_p}, Work{c.alpha_p});
+    const ArrivalRate mu_n_max = queueing::gps_service_rate(
+        Share{free_n}, WorkRate{sc.cap_n}, Work{c.alpha_n});
+    Time dmin = queueing::mm1_response_time_or_inf(arr1, mu_p_max) +
+                queueing::mm1_response_time_or_inf(arr1, mu_n_max);
+    if (!(dmin.value() < kInf)) continue;
     dmin = std::max(dmin, dmin_policy);
     const double u =
-        -(c.lambda_agreed * slope * dmin +
+        -(c.lambda_agreed * slope * dmin.value() +
           sc.cost_per_util * c.lambda_pred * c.alpha_p / sc.cap_p) /
         static_cast<double>(G);
     if (!any_excluded_feasible || u > ubest) {
@@ -386,7 +404,7 @@ std::optional<InsertionPlan> assign_distribute_impl(
   // Linearization anchors: price level, slope, and the share-sizing policy
   // (delay target vs cloud-wide capacity tightness).
   const double slope = fn.slope(0.0);
-  const double zc = fn.zero_crossing();
+  const Time zc{fn.zero_crossing()};
   const ShareSizing sizing = ShareSizing::from(cloud);
 
   // Candidate servers in cluster order — the row order of the exact DP.
@@ -417,7 +435,7 @@ std::optional<InsertionPlan> assign_distribute_impl(
   thread_local std::vector<int> prune_skip, prune_streak;
   const int topk = opts.candidate_topk;
   if (topk > 0 && static_cast<int>(cands.size()) > topk) {
-    const auto kk = static_cast<std::size_t>(k);
+    const std::size_t kk = k.index();
     if (kk >= prune_skip.size()) {
       prune_skip.resize(kk + 1, 0);
       prune_streak.resize(kk + 1, 0);
@@ -437,7 +455,7 @@ std::optional<InsertionPlan> assign_distribute_impl(
       // remaining (lower-id) twins as redundant.
       const auto twin_key = [&](ServerId a) {
         const auto cls =
-            static_cast<std::uint64_t>(cloud.server(a).server_class);
+            static_cast<std::uint64_t>(cloud.server(a).server_class.value());
         return std::array<std::uint64_t, 3>{
             (cls << 1) | (state.active(a) ? 1u : 0u),
             std::bit_cast<std::uint64_t>(state.free_phi_p(a)),
@@ -501,7 +519,7 @@ std::optional<InsertionPlan> best_insertion_impl(
     const State& state, ClientId i, const AllocatorOptions& opts,
     const InsertionConstraints& constraints, InsertionStats* stats) {
   std::optional<InsertionPlan> best;
-  for (ClusterId k = 0; k < state.cloud().num_clusters(); ++k) {
+  for (ClusterId k : state.cloud().cluster_ids()) {
     auto plan = assign_distribute_impl(state, i, k, opts, constraints, stats);
     if (plan && (!best || plan->score > best->score)) best = std::move(plan);
   }

@@ -25,11 +25,15 @@ double revenue_of(const Cloud& cloud, ClientId i,
   slices.reserve(ps.size());
   for (const Placement& p : ps) {
     const ServerClass& sc = cloud.server_class_of(p.server);
-    slices.push_back(queueing::ServerSlice{p.psi, p.phi_p, p.phi_n, sc.cap_p,
-                                           sc.cap_n});
+    slices.push_back(queueing::ServerSlice{
+        p.psi, units::Share{p.phi_p}, units::Share{p.phi_n},
+        units::WorkRate{sc.cap_p}, units::WorkRate{sc.cap_n}});
   }
-  const double r = queueing::client_response_time(slices, c.lambda_pred,
-                                                  c.alpha_p, c.alpha_n);
+  const double r =
+      queueing::client_response_time(slices, units::ArrivalRate{c.lambda_pred},
+                                     units::Work{c.alpha_p},
+                                     units::Work{c.alpha_n})
+          .value();
   if (!std::isfinite(r)) return 0.0;
   return c.lambda_agreed * cloud.utility_of(i).value(r);
 }

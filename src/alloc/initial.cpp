@@ -44,8 +44,9 @@ Allocation build_initial_solution(const Cloud& cloud,
   // (cumulative shuffles, exactly the sequence the sequential loop used to
   // produce), so the expensive greedy passes below are pure functions of
   // their order and can run as independent pool tasks.
-  std::vector<ClientId> order(static_cast<std::size_t>(cloud.num_clients()));
-  std::iota(order.begin(), order.end(), 0);
+  std::vector<ClientId> order;
+  order.reserve(static_cast<std::size_t>(cloud.num_clients()));
+  for (ClientId i : cloud.client_ids()) order.push_back(i);
   std::vector<std::vector<ClientId>> orders;
   orders.reserve(static_cast<std::size_t>(starts));
   for (int iter = 0; iter < starts; ++iter) {
@@ -82,8 +83,8 @@ Allocation build_from_assignment(const Cloud& cloud,
                                  const AllocatorOptions& opts) {
   CHECK(static_cast<int>(assignment.size()) == cloud.num_clients());
   model::AllocState state(cloud);
-  for (ClientId i = 0; i < cloud.num_clients(); ++i) {
-    const ClusterId k = assignment[static_cast<std::size_t>(i)];
+  for (ClientId i : cloud.client_ids()) {
+    const ClusterId k = assignment[i.index()];
     if (k == model::kNoCluster) continue;
     auto plan = assign_distribute(state.view(), i, k, opts);
     if (plan) state.assign(i, k, std::move(plan->placements));

@@ -36,8 +36,9 @@ constexpr double kPredictReject = 1e-9;
 
 double reassign_pass(AllocState& state, const AllocatorOptions& opts) {
   const auto& cloud = state.cloud();
-  std::vector<ClientId> order(static_cast<std::size_t>(cloud.num_clients()));
-  std::iota(order.begin(), order.end(), 0);
+  std::vector<ClientId> order;
+  order.reserve(static_cast<std::size_t>(cloud.num_clients()));
+  for (ClientId i : cloud.client_ids()) order.push_back(i);
   // Worst-served first (unassigned clients sort to the front: R = +inf).
   std::sort(order.begin(), order.end(), [&](ClientId a, ClientId b) {
     return state.ledger().response_time(a) > state.ledger().response_time(b);
@@ -66,8 +67,9 @@ double reassign_pass_snapshot(AllocState& state, const AllocatorOptions& opts,
   const int n = cloud.num_clients();
   if (n == 0) return 0.0;
   const Allocation& ledger = state.ledger();
-  std::vector<ClientId> order(static_cast<std::size_t>(n));
-  std::iota(order.begin(), order.end(), 0);
+  std::vector<ClientId> order;
+  order.reserve(static_cast<std::size_t>(n));
+  for (ClientId i : cloud.client_ids()) order.push_back(i);
   // Worst-served first (unassigned clients sort to the front: R = +inf);
   // stable so equal response times keep client-id order at any thread
   // count and across standard libraries.
@@ -142,7 +144,7 @@ double drop_unprofitable_clients(AllocState& state,
                                  const AllocatorOptions& opts) {
   if (!opts.allow_rejection) return 0.0;
   double delta = 0.0;
-  for (ClientId i = 0; i < state.cloud().num_clients(); ++i) {
+  for (ClientId i : state.cloud().client_ids()) {
     if (!state.ledger().is_assigned(i)) continue;
     const double before = state.profit();
     const ClusterId k = state.ledger().cluster_of(i);

@@ -50,7 +50,7 @@ std::vector<ClientId> degraded_clients(const Allocation& alloc, ClusterId k,
                                        const AllocatorOptions& opts) {
   const Cloud& cloud = alloc.cloud();
   std::vector<ClientId> out;
-  for (ClientId i = 0; i < cloud.num_clients(); ++i) {
+  for (ClientId i : cloud.client_ids()) {
     if (alloc.cluster_of(i) != k) continue;
     const auto& fn = cloud.utility_of(i);
     const double max_u = fn.max_value();
@@ -247,7 +247,7 @@ double turn_off_servers(AllocState& state, ClusterId k,
 
 double adjust_server_power(AllocState& state, const AllocatorOptions& opts) {
   double delta = 0.0;
-  for (ClusterId k = 0; k < state.cloud().num_clusters(); ++k) {
+  for (ClusterId k : state.cloud().cluster_ids()) {
     if (opts.enable_turn_on) delta += turn_on_servers(state, k, opts);
     if (opts.enable_turn_off) delta += turn_off_servers(state, k, opts);
   }

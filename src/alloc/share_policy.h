@@ -23,6 +23,7 @@
 
 #include "alloc/options.h"
 #include "common/check.h"
+#include "common/units.h"
 #include "model/cloud.h"
 
 namespace cloudalloc::alloc {
@@ -31,8 +32,8 @@ namespace cloudalloc::alloc {
 /// a single client may claim, = safety * (total capacity - total demand)
 /// / num_clients, floored at a small positive value.
 struct ShareSizing {
-  double slack_work_p = 1.0;
-  double slack_work_n = 1.0;
+  units::WorkRate slack_work_p{1.0};
+  units::WorkRate slack_work_n{1.0};
 
   static ShareSizing from(const model::Cloud& cloud);
 };
@@ -49,27 +50,30 @@ struct ShareSizing {
 /// insertion DP toward concentration, as the paper's local search does).
 /// Inline: the insertion scorer evaluates this over a million times per
 /// allocator run.
-inline double preferred_share(double arrivals, double psi, double cap,
-                              double alpha, double zc, double slack_work,
-                              const AllocatorOptions& opts) {
-  CHECK(cap > 0.0);
-  CHECK(alpha > 0.0);
+inline units::Share preferred_share(units::ArrivalRate arrivals, double psi,
+                                    units::WorkRate cap, units::Work alpha,
+                                    units::Time zc, units::WorkRate slack_work,
+                                    const AllocatorOptions& opts) {
+  CHECK(cap.value() > 0.0);
+  CHECK(alpha.value() > 0.0);
   CHECK(psi > 0.0 && psi <= 1.0 + 1e-9);
-  double slack = psi * slack_work;
-  if (std::isfinite(zc) && zc > 0.0) {
+  units::WorkRate slack = psi * slack_work;
+  if (std::isfinite(zc.value()) && zc.value() > 0.0) {
     // Delay-target slack in work units: slack_rate = 1/(theta*zc), times
     // alpha to convert requests/s to work/s.
-    const double delay_slack = alpha / (opts.delay_target_fraction * zc);
+    const units::WorkRate delay_slack =
+        alpha / (opts.delay_target_fraction * zc);
     slack = std::min(slack, delay_slack);
   }
-  return (arrivals * alpha + slack) / cap;
+  return units::Share{(arrivals * alpha + slack) / cap};
 }
 
 /// Ceiling for the share-rebalance step: opts.share_growth times the
 /// preferred share.
-inline double share_cap(double arrivals, double psi, double cap, double alpha,
-                        double zc, double slack_work,
-                        const AllocatorOptions& opts) {
+inline units::Share share_cap(units::ArrivalRate arrivals, double psi,
+                              units::WorkRate cap, units::Work alpha,
+                              units::Time zc, units::WorkRate slack_work,
+                              const AllocatorOptions& opts) {
   return opts.share_growth *
          preferred_share(arrivals, psi, cap, alpha, zc, slack_work, opts);
 }

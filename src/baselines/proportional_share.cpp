@@ -33,10 +33,10 @@ std::vector<ClusterPool> build_pools(const Cloud& cloud,
                                      const std::vector<bool>& active) {
   std::vector<ClusterPool> pools(
       static_cast<std::size_t>(cloud.num_clusters()));
-  for (ClusterId k = 0; k < cloud.num_clusters(); ++k) {
-    ClusterPool& pool = pools[static_cast<std::size_t>(k)];
+  for (ClusterId k : cloud.cluster_ids()) {
+    ClusterPool& pool = pools[k.index()];
     for (ServerId j : cloud.cluster(k).servers) {
-      if (!active[static_cast<std::size_t>(j)]) continue;
+      if (!active[j.index()]) continue;
       const auto& sc = cloud.server_class_of(j);
       pool.cap_p += sc.cap_p;
       pool.cap_n += sc.cap_n;
@@ -66,8 +66,11 @@ std::vector<double> pooled_capacities(const Cloud& cloud,
     it.weight = cloud.utility_of(i).slope(0.0) * c.lambda_agreed;
     it.rate_factor = pool_capacity / alpha;
     it.load = c.lambda_pred;
-    it.lo = queueing::gps_min_share(c.lambda_pred, pool_capacity, alpha,
-                                    headroom);
+    it.lo = queueing::gps_min_share(units::ArrivalRate{c.lambda_pred},
+                                    units::WorkRate{pool_capacity},
+                                    units::Work{alpha},
+                                    units::ArrivalRate{headroom})
+                .value();
     it.hi = 1.0;
     items.push_back(it);
   }
@@ -89,8 +92,9 @@ Allocation ps_allocate_with_active_set(const Cloud& cloud,
   std::vector<ClusterPool> pools = build_pools(cloud, active);
 
   // Class-aware ordering: steepest utility slope first.
-  std::vector<ClientId> order(static_cast<std::size_t>(cloud.num_clients()));
-  std::iota(order.begin(), order.end(), 0);
+  std::vector<ClientId> order;
+  order.reserve(static_cast<std::size_t>(cloud.num_clients()));
+  for (ClientId i : cloud.client_ids()) order.push_back(i);
   std::sort(order.begin(), order.end(), [&](ClientId a, ClientId b) {
     return cloud.utility_of(a).slope(0.0) > cloud.utility_of(b).slope(0.0);
   });
@@ -103,8 +107,8 @@ Allocation ps_allocate_with_active_set(const Cloud& cloud,
     const Client& c = cloud.client(i);
     ClusterId best = model::kNoCluster;
     double best_spare = 0.0;
-    for (ClusterId k = 0; k < cloud.num_clusters(); ++k) {
-      const ClusterPool& pool = pools[static_cast<std::size_t>(k)];
+    for (ClusterId k : cloud.cluster_ids()) {
+      const ClusterPool& pool = pools[k.index()];
       const double spare =
           pool.cap_p - pool.committed_demand - c.lambda_pred * c.alpha_p;
       if (spare > best_spare) {
@@ -113,15 +117,15 @@ Allocation ps_allocate_with_active_set(const Cloud& cloud,
       }
     }
     if (best == model::kNoCluster) continue;  // nowhere has spare pool
-    pools[static_cast<std::size_t>(best)].committed_demand +=
+    pools[best.index()].committed_demand +=
         c.lambda_pred * c.alpha_p;
-    routed[static_cast<std::size_t>(best)].push_back(i);
+    routed[best.index()].push_back(i);
   }
 
   // Per cluster: pooled KKT solve per resource, then First-Fit splitting.
-  for (ClusterId k = 0; k < cloud.num_clusters(); ++k) {
-    const ClusterPool& pool = pools[static_cast<std::size_t>(k)];
-    const auto& clients_here = routed[static_cast<std::size_t>(k)];
+  for (ClusterId k : cloud.cluster_ids()) {
+    const ClusterPool& pool = pools[k.index()];
+    const auto& clients_here = routed[k.index()];
     if (clients_here.empty() || pool.active_servers.empty()) continue;
 
     const std::vector<double> cap_p = pooled_capacities(
@@ -137,9 +141,9 @@ Allocation ps_allocate_with_active_set(const Cloud& cloud,
     std::vector<double> free_n(free_p), free_disk(free_p);
     for (ServerId j : pool.active_servers) {
       const auto& sc = cloud.server_class_of(j);
-      free_p[static_cast<std::size_t>(j)] = 1.0;
-      free_n[static_cast<std::size_t>(j)] = 1.0;
-      free_disk[static_cast<std::size_t>(j)] = sc.cap_m;
+      free_p[j.index()] = 1.0;
+      free_n[j.index()] = 1.0;
+      free_disk[j.index()] = sc.cap_m;
     }
 
     for (std::size_t idx = 0; idx < clients_here.size(); ++idx) {
@@ -155,7 +159,7 @@ Allocation ps_allocate_with_active_set(const Cloud& cloud,
       double psi_left = 1.0;
       for (ServerId j : pool.active_servers) {
         if (psi_left <= 1e-9) break;
-        const std::size_t ji = static_cast<std::size_t>(j);
+        const std::size_t ji = j.index();
         if (free_disk[ji] + kEps < c.disk) continue;
         const auto& sc = cloud.server_class_of(j);
         const double psi_max_p = free_p[ji] * sc.cap_p / c_p;
@@ -176,7 +180,7 @@ Allocation ps_allocate_with_active_set(const Cloud& cloud,
       if (psi_left > 1e-6) {
         // Could not place the whole client; release and reject.
         for (const Placement& p : slices) {
-          const std::size_t ji = static_cast<std::size_t>(p.server);
+          const std::size_t ji = p.server.index();
           free_p[ji] += p.phi_p;
           free_n[ji] += p.phi_n;
           free_disk[ji] += c.disk;
@@ -198,8 +202,9 @@ PsResult proportional_share_allocate(const Cloud& cloud,
   CHECK(!opts.activation_fractions.empty());
 
   // Efficiency ranking: capacity per unit of fixed cost.
-  std::vector<ServerId> ranked(static_cast<std::size_t>(cloud.num_servers()));
-  std::iota(ranked.begin(), ranked.end(), 0);
+  std::vector<ServerId> ranked;
+  ranked.reserve(static_cast<std::size_t>(cloud.num_servers()));
+  for (ServerId j : cloud.server_ids()) ranked.push_back(j);
   std::sort(ranked.begin(), ranked.end(), [&](ServerId a, ServerId b) {
     const auto& ca = cloud.server_class_of(a);
     const auto& cb = cloud.server_class_of(b);
@@ -213,14 +218,14 @@ PsResult proportional_share_allocate(const Cloud& cloud,
     std::vector<bool> active(static_cast<std::size_t>(cloud.num_servers()),
                              false);
     // Activate the top `fraction` of each cluster's ranked servers.
-    for (ClusterId k = 0; k < cloud.num_clusters(); ++k) {
+    for (ClusterId k : cloud.cluster_ids()) {
       std::vector<ServerId> in_cluster;
       for (ServerId j : ranked)
         if (cloud.server(j).cluster == k) in_cluster.push_back(j);
       const auto count = static_cast<std::size_t>(std::ceil(
           fraction * static_cast<double>(in_cluster.size())));
       for (std::size_t idx = 0; idx < count && idx < in_cluster.size(); ++idx)
-        active[static_cast<std::size_t>(in_cluster[idx])] = true;
+        active[in_cluster[idx].index()] = true;
     }
     Allocation cand = ps_allocate_with_active_set(cloud, active, opts);
     const double cand_profit = model::profit(cand);

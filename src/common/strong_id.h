@@ -1,0 +1,187 @@
+// Tagged identifier types: the compile-time half of the "garbage, not
+// crashes" defense described in common/check.h.
+//
+// Every entity id in the model (client, server, cluster, server class,
+// utility class) is a dense index into the owning Cloud's vectors. When
+// all of them alias `int`, indexing a server vector with a client id
+// type-checks and silently prices the wrong machine. Id<Tag> makes each
+// id family its own type: construction from a raw index is explicit,
+// cross-family comparison or indexing does not compile, and the wrapper
+// is layout-identical to the int it replaces (static_asserts below), so
+// the hot paths keep their codegen.
+//
+// Conventions:
+//  * A default-constructed Id is the invalid sentinel kNone (-1), so
+//    "forgot to assign" reads as invalid instead of entity 0.
+//  * value() is the raw int for arithmetic/serialization boundaries;
+//    index() is the size_t form for indexing raw vectors. Both are
+//    deliberate, grep-able escape hatches.
+//  * IdVector<Id, T> is a std::vector<T> that can only be indexed by the
+//    right id family — use it for dense per-entity arrays so no escape
+//    hatch is needed at all.
+//  * id_range<Id>(n) iterates Id{0}..Id{n-1} for loops over a population.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <functional>
+#include <iterator>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+namespace cloudalloc {
+
+template <class Tag>
+class Id {
+ public:
+  using value_type = int;
+  static constexpr value_type kNoneValue = -1;
+
+  /// Default-constructed ids are invalid (== kNone).
+  constexpr Id() = default;
+  constexpr explicit Id(value_type v) : v_(v) {}
+
+  /// Raw index for arithmetic and serialization boundaries.
+  constexpr value_type value() const { return v_; }
+  /// Raw index as size_t, for indexing plain vectors.
+  constexpr std::size_t index() const { return static_cast<std::size_t>(v_); }
+  /// True for any non-sentinel id (>= 0).
+  constexpr bool valid() const { return v_ >= 0; }
+
+  /// The invalid sentinel, value -1.
+  static const Id kNone;
+
+  friend constexpr bool operator==(Id, Id) = default;
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+ private:
+  value_type v_ = kNoneValue;
+};
+
+template <class Tag>
+inline constexpr Id<Tag> Id<Tag>::kNone{};
+
+/// Ids print as their raw index (diagnostics, test failure messages).
+template <class Char, class Traits, class Tag>
+std::basic_ostream<Char, Traits>& operator<<(std::basic_ostream<Char, Traits>& os,
+                                             Id<Tag> id) {
+  return os << id.value();
+}
+
+/// Half-open id range [first, last) for range-for loops over a dense
+/// population: `for (ClientId i : id_range<ClientId>(cloud.num_clients()))`.
+template <class IdT>
+class IdRange {
+ public:
+  class iterator {
+   public:
+    using value_type = IdT;
+    using difference_type = std::ptrdiff_t;
+    using iterator_category = std::forward_iterator_tag;
+
+    constexpr iterator() = default;
+    constexpr explicit iterator(typename IdT::value_type v) : v_(v) {}
+    constexpr IdT operator*() const { return IdT{v_}; }
+    constexpr iterator& operator++() {
+      ++v_;
+      return *this;
+    }
+    constexpr iterator operator++(int) {
+      iterator tmp = *this;
+      ++v_;
+      return tmp;
+    }
+    friend constexpr bool operator==(iterator, iterator) = default;
+
+   private:
+    typename IdT::value_type v_ = 0;
+  };
+
+  constexpr IdRange(typename IdT::value_type first,
+                    typename IdT::value_type last)
+      : first_(first), last_(last < first ? first : last) {}
+
+  constexpr iterator begin() const { return iterator{first_}; }
+  constexpr iterator end() const { return iterator{last_}; }
+  constexpr std::size_t size() const {
+    return static_cast<std::size_t>(last_ - first_);
+  }
+
+ private:
+  typename IdT::value_type first_;
+  typename IdT::value_type last_;
+};
+
+template <class IdT>
+constexpr IdRange<IdT> id_range(int n) {
+  return IdRange<IdT>(0, n);
+}
+
+template <class IdT>
+constexpr IdRange<IdT> id_range(std::size_t n) {
+  return IdRange<IdT>(0, static_cast<typename IdT::value_type>(n));
+}
+
+/// Dense per-entity array indexable only by its id family. A thin
+/// std::vector<T> adapter: iteration, size and growth behave like the
+/// vector; only operator[] is retyped.
+template <class IdT, class T>
+class IdVector {
+ public:
+  using value_type = T;
+  using iterator = typename std::vector<T>::iterator;
+  using const_iterator = typename std::vector<T>::const_iterator;
+
+  IdVector() = default;
+  explicit IdVector(std::size_t n) : v_(n) {}
+  IdVector(std::size_t n, const T& init) : v_(n, init) {}
+
+  // vector<bool> returns proxy references, so mirror the vector's
+  // reference types instead of T&.
+  typename std::vector<T>::reference operator[](IdT id) {
+    return v_[id.index()];
+  }
+  typename std::vector<T>::const_reference operator[](IdT id) const {
+    return v_[id.index()];
+  }
+
+  std::size_t size() const { return v_.size(); }
+  bool empty() const { return v_.empty(); }
+  void resize(std::size_t n) { v_.resize(n); }
+  void resize(std::size_t n, const T& init) { v_.resize(n, init); }
+  void assign(std::size_t n, const T& init) { v_.assign(n, init); }
+  void clear() { v_.clear(); }
+  void push_back(T t) { v_.push_back(std::move(t)); }
+
+  iterator begin() { return v_.begin(); }
+  iterator end() { return v_.end(); }
+  const_iterator begin() const { return v_.begin(); }
+  const_iterator end() const { return v_.end(); }
+
+  T* data() { return v_.data(); }
+  const T* data() const { return v_.data(); }
+
+  /// Ids covered by this array: [Id{0}, Id{size()}).
+  IdRange<IdT> ids() const { return id_range<IdT>(v_.size()); }
+
+  /// Underlying vector, for interop at serialization/copy boundaries.
+  std::vector<T>& raw() { return v_; }
+  const std::vector<T>& raw() const { return v_; }
+
+  friend bool operator==(const IdVector&, const IdVector&) = default;
+
+ private:
+  std::vector<T> v_;
+};
+
+}  // namespace cloudalloc
+
+/// Ids hash as their raw value, so unordered containers keyed by one id
+/// family keep working.
+template <class Tag>
+struct std::hash<cloudalloc::Id<Tag>> {
+  std::size_t operator()(cloudalloc::Id<Tag> id) const noexcept {
+    return std::hash<int>{}(id.value());
+  }
+};

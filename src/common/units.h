@@ -1,0 +1,189 @@
+// Dimensioned scalars for the paper's queueing algebra.
+//
+// The GPS/M-M-1 layer mixes five kinds of double — request rates
+// (lambda, mu), per-request work (alpha), work rates (capacities,
+// loads, slack budgets), capacity share fractions (phi), and times
+// (sojourns, SLA targets) — plus the money side of eq. (2). Passing all
+// of them as `double` means `psi * lambda` (a rate) and `alpha_p` (a
+// work) interchange silently and the profit is garbage, not a crash.
+//
+// Quantity<Dim> wraps one double per dimension and defines ONLY the
+// dimension-correct operators, so the response-time formula
+//
+//   T = 1 / (phi * C / alpha  -  psi * lambda)
+//
+// literally cannot be assembled with a work where a rate belongs: the
+// mismatched operator does not exist and the build fails. The wrapper
+// is layout-identical to double (static_asserts below) and every
+// operator is a constexpr one-liner, so the hot kernels keep their
+// codegen bit-for-bit.
+//
+// Conversions are explicit at the model boundary: entity structs store
+// raw doubles (they are serialized and fuzzed as such), and kernels
+// wrap them once on entry — `ArrivalRate{c.lambda_pred}`. value() is
+// the grep-able exit back to raw double.
+//
+// Dimension map (work unit = execution time on one capacity unit):
+//   ArrivalRate      requests / time     lambda, mu, headroom
+//   Work             work / request      alpha_p, alpha_n
+//   WorkRate         work / time         capacities Cp/Cn, loads, slack
+//   Share            capacity fraction   phi (GPS weight in [0,1])
+//   Time             time                sojourns, SLA targets, zc
+//   PricePerRequest  money / request     U_c(R), the SLA utility value
+//   MoneyRate        money / time        revenue, cost, profit (eq. 2)
+//   Money            money               integrated money amounts
+#pragma once
+
+#include <compare>
+#include <ostream>
+
+namespace cloudalloc::units {
+
+template <class Dim>
+class Quantity {
+ public:
+  constexpr Quantity() = default;  // zero
+  constexpr explicit Quantity(double v) : v_(v) {}
+
+  /// Raw scalar, for boundaries (serialization, printing, CHECK bounds).
+  constexpr double value() const { return v_; }
+
+  // Same-dimension linear algebra.
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity{a.v_ + b.v_};
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity{a.v_ - b.v_};
+  }
+  constexpr Quantity operator-() const { return Quantity{-v_}; }
+  constexpr Quantity& operator+=(Quantity o) {
+    v_ += o.v_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) {
+    v_ -= o.v_;
+    return *this;
+  }
+
+  // Dimensionless scaling.
+  friend constexpr Quantity operator*(double s, Quantity q) {
+    return Quantity{s * q.v_};
+  }
+  friend constexpr Quantity operator*(Quantity q, double s) {
+    return Quantity{q.v_ * s};
+  }
+  friend constexpr Quantity operator/(Quantity q, double s) {
+    return Quantity{q.v_ / s};
+  }
+
+  /// Ratio of same-dimension quantities is dimensionless (rho = lambda/mu,
+  /// utilization = load/capacity). Wrap in Share{} explicitly when the
+  /// ratio is a GPS weight.
+  friend constexpr double operator/(Quantity a, Quantity b) {
+    return a.v_ / b.v_;
+  }
+
+  friend constexpr bool operator==(Quantity, Quantity) = default;
+  friend constexpr auto operator<=>(Quantity, Quantity) = default;
+
+ private:
+  double v_ = 0.0;
+};
+
+/// Quantities print as their raw scalar (diagnostics, test messages).
+template <class Char, class Traits, class Dim>
+std::basic_ostream<Char, Traits>& operator<<(std::basic_ostream<Char, Traits>& os,
+                                             Quantity<Dim> q) {
+  return os << q.value();
+}
+
+struct RateDim {};
+struct WorkDim {};
+struct WorkRateDim {};
+struct ShareDim {};
+struct TimeDim {};
+struct PricePerRequestDim {};
+struct MoneyRateDim {};
+struct MoneyDim {};
+
+using ArrivalRate = Quantity<RateDim>;  // also service rates mu
+using Work = Quantity<WorkDim>;
+using WorkRate = Quantity<WorkRateDim>;
+using Share = Quantity<ShareDim>;
+using Time = Quantity<TimeDim>;
+using PricePerRequest = Quantity<PricePerRequestDim>;
+using MoneyRate = Quantity<MoneyRateDim>;
+using Money = Quantity<MoneyDim>;
+
+// --- cross-dimension algebra: the ONLY mixed products that exist -------
+
+/// Offered load: requests/time * work/request = work/time.
+constexpr WorkRate operator*(ArrivalRate r, Work w) {
+  return WorkRate{r.value() * w.value()};
+}
+constexpr WorkRate operator*(Work w, ArrivalRate r) {
+  return WorkRate{w.value() * r.value()};
+}
+
+/// Allocated capacity: a GPS share of a server's work rate.
+constexpr WorkRate operator*(Share s, WorkRate c) {
+  return WorkRate{s.value() * c.value()};
+}
+constexpr WorkRate operator*(WorkRate c, Share s) {
+  return WorkRate{c.value() * s.value()};
+}
+
+/// Service rate: allocated work rate over per-request work = requests/time.
+constexpr ArrivalRate operator/(WorkRate c, Work w) {
+  return ArrivalRate{c.value() / w.value()};
+}
+constexpr Work operator/(WorkRate c, ArrivalRate r) {
+  return Work{c.value() / r.value()};
+}
+
+/// M/M/1 sojourn: the inverse of a rate slack is a time (T = 1/(mu-lambda)).
+constexpr Time operator/(double num, ArrivalRate r) {
+  return Time{num / r.value()};
+}
+constexpr ArrivalRate operator/(double num, Time t) {
+  return ArrivalRate{num / t.value()};
+}
+constexpr double operator*(ArrivalRate r, Time t) {
+  return r.value() * t.value();
+}
+constexpr double operator*(Time t, ArrivalRate r) {
+  return t.value() * r.value();
+}
+
+/// Work stretched over a rate or a deadline (share_policy's delay slack).
+constexpr Time operator/(Work w, WorkRate c) {
+  return Time{w.value() / c.value()};
+}
+constexpr WorkRate operator/(Work w, Time t) {
+  return WorkRate{w.value() / t.value()};
+}
+
+/// Eq. (2) revenue line: agreed rate times the SLA utility price.
+constexpr MoneyRate operator*(ArrivalRate r, PricePerRequest p) {
+  return MoneyRate{r.value() * p.value()};
+}
+constexpr MoneyRate operator*(PricePerRequest p, ArrivalRate r) {
+  return MoneyRate{p.value() * r.value()};
+}
+
+/// Money rates integrate over time.
+constexpr Money operator*(MoneyRate m, Time t) {
+  return Money{m.value() * t.value()};
+}
+constexpr Money operator*(Time t, MoneyRate m) {
+  return Money{t.value() * m.value()};
+}
+constexpr MoneyRate operator/(Money m, Time t) {
+  return MoneyRate{m.value() / t.value()};
+}
+
+// The wrappers must compile away: same size and layout as the raw double.
+static_assert(sizeof(ArrivalRate) == sizeof(double));
+static_assert(sizeof(Share) == sizeof(double));
+
+}  // namespace cloudalloc::units

@@ -28,7 +28,7 @@ ClusterImprovement ClusterAgent::improve(
       if (local.ledger().active(j))
         alloc::adjust_resource_shares(local, j, opts_);
   if (opts_.enable_adjust_dispersion)
-    for (model::ClientId i = 0; i < cloud.num_clients(); ++i)
+    for (model::ClientId i : cloud.client_ids())
       if (local.ledger().cluster_of(i) == cluster_)
         alloc::adjust_dispersion_rates(local, i, opts_);
   if (opts_.enable_turn_on) alloc::turn_on_servers(local, cluster_, opts_);
@@ -37,7 +37,7 @@ ClusterImprovement ClusterAgent::improve(
   ClusterImprovement out;
   out.cluster = cluster_;
   out.profit_delta = local.profit() - before;
-  for (model::ClientId i = 0; i < cloud.num_clients(); ++i) {
+  for (model::ClientId i : cloud.client_ids()) {
     // Report every client that is (or was) ours so the manager can also
     // apply evictions performed by TurnOFF.
     const bool was_ours = snapshot.cluster_of(i) == cluster_;

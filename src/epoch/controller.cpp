@@ -26,7 +26,7 @@ model::Cloud Controller::rebuild_cloud_with_predictions() const {
   std::vector<model::Client> clients = cloud_->clients();
   for (auto& client : clients) {
     client.lambda_pred =
-        predictors_[static_cast<std::size_t>(client.id)]->predict();
+        predictors_[client.id.index()]->predict();
     // lambda_agreed stays contractual.
   }
   return model::Cloud(cloud_->server_classes(), cloud_->servers(),
@@ -38,7 +38,7 @@ int Controller::transplant(const model::Allocation& prev,
                            const model::Cloud& next,
                            model::Allocation* out) const {
   int dropped = 0;
-  for (model::ClientId i = 0; i < next.num_clients(); ++i) {
+  for (model::ClientId i : next.client_ids()) {
     if (!prev.is_assigned(i)) continue;
     const model::Client& c = next.client(i);
     std::vector<model::Placement> ps = prev.placements(i);
@@ -87,8 +87,8 @@ EpochReport Controller::step(const std::vector<double>& observed_rates) {
 
   // 1. Feed predictors and measure drift of the new predictions.
   double drift_sum = 0.0;
-  for (model::ClientId i = 0; i < cloud_->num_clients(); ++i) {
-    const std::size_t idx = static_cast<std::size_t>(i);
+  for (model::ClientId i : cloud_->client_ids()) {
+    const std::size_t idx = i.index();
     const double previous = cloud_->client(i).lambda_pred;
     predictors_[idx]->observe(observed_rates[idx]);
     drift_sum += std::fabs(predictors_[idx]->predict() - previous) /

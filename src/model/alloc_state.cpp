@@ -28,8 +28,8 @@ double AllocState::profit() { return model::profit(ledger_); }
 
 AllocState::Checkpoint AllocState::checkpoint(double profit) const {
   Checkpoint ckpt;
-  ckpt.cluster_of = ledger_.cluster_of_;
-  ckpt.placements = ledger_.placements_;
+  ckpt.cluster_of = ledger_.cluster_of_.raw();
+  ckpt.placements = ledger_.placements_.raw();
   ckpt.profit = profit;
   return ckpt;
 }
@@ -38,7 +38,7 @@ Allocation AllocState::materialize(const Checkpoint& ckpt) const {
   Allocation alloc(cloud());
   for (std::size_t ii = 0; ii < ckpt.placements.size(); ++ii) {
     if (ckpt.cluster_of[ii] == kNoCluster) continue;
-    alloc.assign(static_cast<ClientId>(ii), ckpt.cluster_of[ii],
+    alloc.assign(ClientId{static_cast<int>(ii)}, ckpt.cluster_of[ii],
                  std::vector<Placement>(ckpt.placements[ii]));
   }
   return alloc;
@@ -50,11 +50,11 @@ bool AllocState::aggregates_consistent(double tol) const {
   std::vector<double> phi_p(num_servers, 0.0), phi_n(num_servers, 0.0),
       disk(num_servers, 0.0), load_p(num_servers, 0.0);
   std::vector<int> hosted(num_servers, 0);
-  for (ClientId i = 0; i < cloud.num_clients(); ++i) {
+  for (ClientId i : cloud.client_ids()) {
     if (!ledger_.is_assigned(i)) continue;
     const Client& c = cloud.client(i);
     for (const Placement& p : ledger_.placements(i)) {
-      const auto jj = static_cast<std::size_t>(p.server);
+      const auto jj = p.server.index();
       phi_p[jj] += p.phi_p;
       phi_n[jj] += p.phi_n;
       disk[jj] += c.disk;
@@ -69,18 +69,18 @@ bool AllocState::aggregates_consistent(double tol) const {
     return std::abs(a - b) <=
            tol * std::max({1.0, std::abs(a), std::abs(b)});
   };
-  for (std::size_t jj = 0; jj < num_servers; ++jj) {
-    const Allocation::ServerAgg& agg = ledger_.server_[jj];
+  for (ServerId j : cloud.server_ids()) {
+    const auto jj = j.index();
+    const Allocation::ServerAgg& agg = ledger_.server_[j];
     if (static_cast<int>(agg.clients.size()) != hosted[jj]) return false;
     if (!close(agg.phi_p, phi_p[jj]) || !close(agg.phi_n, phi_n[jj]) ||
         !close(agg.disk, disk[jj]) || !close(agg.load_p, load_p[jj]))
       return false;
     // The view mirrors the ledger bit-for-bit — any difference means a
     // missed resync, which silently corrupts every subsequent probe.
-    if (view_.used_p_[jj] != agg.phi_p || view_.used_n_[jj] != agg.phi_n ||
-        view_.used_disk_[jj] != agg.disk ||
-        view_.load_p_[jj] != agg.load_p ||
-        view_.hosted_[jj] != static_cast<int>(agg.clients.size()))
+    if (view_.used_p_[j] != agg.phi_p || view_.used_n_[j] != agg.phi_n ||
+        view_.used_disk_[j] != agg.disk || view_.load_p_[j] != agg.load_p ||
+        view_.hosted_[j] != static_cast<int>(agg.clients.size()))
       return false;
   }
   return true;
@@ -93,7 +93,7 @@ void AllocState::check_invariants() const {
 }
 
 void AllocState::corrupt_aggregate_for_test(ServerId j, double delta) {
-  ledger_.server_[static_cast<std::size_t>(j)].phi_p += delta;
+  ledger_.server_[j].phi_p += delta;
 }
 
 }  // namespace cloudalloc::model

@@ -23,7 +23,7 @@ Allocation::Allocation(const Cloud& cloud)
       cand_dirty_(static_cast<std::size_t>(cloud.num_clusters()), true) {
   // Empty clients earn 0 (cached correctly already); background-pinned
   // servers cost even when empty, so start those dirty.
-  for (ServerId j = 0; j < cloud.num_servers(); ++j)
+  for (ServerId j : cloud.server_ids())
     if (cloud.server(j).background.keeps_on) mark_server_dirty(j);
 }
 
@@ -32,23 +32,23 @@ bool Allocation::is_assigned(ClientId i) const {
 }
 
 ClusterId Allocation::cluster_of(ClientId i) const {
-  CHECK(i >= 0 && i < cloud_->num_clients());
-  return cluster_of_[static_cast<std::size_t>(i)];
+  CHECK(i.valid() && i.value() < cloud_->num_clients());
+  return cluster_of_[i];
 }
 
 const std::vector<Placement>& Allocation::placements(ClientId i) const {
-  CHECK(i >= 0 && i < cloud_->num_clients());
-  return placements_[static_cast<std::size_t>(i)];
+  CHECK(i.valid() && i.value() < cloud_->num_clients());
+  return placements_[i];
 }
 
 void Allocation::assign(ClientId i, ClusterId k, std::vector<Placement> ps) {
-  CHECK(i >= 0 && i < cloud_->num_clients());
-  CHECK(k >= 0 && k < cloud_->num_clusters());
+  CHECK(i.valid() && i.value() < cloud_->num_clients());
+  CHECK(k.valid() && k.value() < cloud_->num_clusters());
   CHECK_MSG(!ps.empty(), "assign needs at least one placement");
   double psi_sum = 0.0;
   std::set<ServerId> seen;
   for (const Placement& p : ps) {
-    CHECK(p.server >= 0 && p.server < cloud_->num_servers());
+    CHECK(p.server.valid() && p.server.value() < cloud_->num_servers());
     CHECK_MSG(cloud_->server(p.server).cluster == k,
               "placement must stay in the assigned cluster");
     CHECK_MSG(seen.insert(p.server).second, "one placement per server");
@@ -59,39 +59,39 @@ void Allocation::assign(ClientId i, ClusterId k, std::vector<Placement> ps) {
   CHECK_MSG(near(psi_sum, 1.0, 1e-6), "psi must sum to 1 over the cluster");
 
   remove_footprint(i);
-  cluster_of_[static_cast<std::size_t>(i)] = k;
-  placements_[static_cast<std::size_t>(i)] = std::move(ps);
+  cluster_of_[i] = k;
+  placements_[i] = std::move(ps);
   add_footprint(i);
 }
 
 void Allocation::clear(ClientId i) {
-  CHECK(i >= 0 && i < cloud_->num_clients());
+  CHECK(i.valid() && i.value() < cloud_->num_clients());
   remove_footprint(i);
-  cluster_of_[static_cast<std::size_t>(i)] = kNoCluster;
-  placements_[static_cast<std::size_t>(i)].clear();
+  cluster_of_[i] = kNoCluster;
+  placements_[i].clear();
 }
 
 void Allocation::mark_client_dirty(ClientId i) {
-  if (client_dirty_[static_cast<std::size_t>(i)]) return;
-  client_dirty_[static_cast<std::size_t>(i)] = true;
+  if (client_dirty_[i]) return;
+  client_dirty_[i] = true;
   dirty_clients_.push_back(i);
 }
 
 void Allocation::mark_server_dirty(ServerId j) {
-  cand_dirty_[static_cast<std::size_t>(cloud_->server(j).cluster)] = true;
-  if (server_dirty_[static_cast<std::size_t>(j)]) return;
-  server_dirty_[static_cast<std::size_t>(j)] = true;
+  cand_dirty_[cloud_->server(j).cluster] = true;
+  if (server_dirty_[j]) return;
+  server_dirty_[j] = true;
   dirty_servers_.push_back(j);
 }
 
 void Allocation::remove_footprint(ClientId i) {
   const Client& c = cloud_->client(i);
   mark_client_dirty(i);
-  for (const Placement& p : placements_[static_cast<std::size_t>(i)]) {
+  for (const Placement& p : placements_[i]) {
     mark_server_dirty(p.server);
   }
-  for (const Placement& p : placements_[static_cast<std::size_t>(i)]) {
-    ServerAgg& agg = server_[static_cast<std::size_t>(p.server)];
+  for (const Placement& p : placements_[i]) {
+    ServerAgg& agg = server_[p.server];
     agg.phi_p -= p.phi_p;
     agg.phi_n -= p.phi_n;
     agg.disk -= c.disk;
@@ -110,9 +110,9 @@ void Allocation::remove_footprint(ClientId i) {
 void Allocation::add_footprint(ClientId i) {
   const Client& c = cloud_->client(i);
   mark_client_dirty(i);
-  for (const Placement& p : placements_[static_cast<std::size_t>(i)]) {
+  for (const Placement& p : placements_[i]) {
     mark_server_dirty(p.server);
-    ServerAgg& agg = server_[static_cast<std::size_t>(p.server)];
+    ServerAgg& agg = server_[p.server];
     agg.phi_p += p.phi_p;
     agg.phi_n += p.phi_n;
     agg.disk += c.disk;
@@ -128,28 +128,31 @@ double Allocation::response_time(ClientId i) const {
   slices.reserve(placements(i).size());
   for (const Placement& p : placements(i)) {
     const ServerClass& sc = cloud_->server_class_of(p.server);
-    slices.push_back(queueing::ServerSlice{p.psi, p.phi_p, p.phi_n, sc.cap_p,
-                                           sc.cap_n});
+    slices.push_back(queueing::ServerSlice{
+        p.psi, units::Share{p.phi_p}, units::Share{p.phi_n},
+        units::WorkRate{sc.cap_p}, units::WorkRate{sc.cap_n}});
   }
-  return queueing::client_response_time(slices, c.lambda_pred, c.alpha_p,
-                                        c.alpha_n);
+  return queueing::client_response_time(slices, units::ArrivalRate{c.lambda_pred},
+                                        units::Work{c.alpha_p},
+                                        units::Work{c.alpha_n})
+      .value();
 }
 
 double Allocation::used_phi_p(ServerId j) const {
-  CHECK(j >= 0 && j < cloud_->num_servers());
-  return server_[static_cast<std::size_t>(j)].phi_p +
+  CHECK(j.valid() && j.value() < cloud_->num_servers());
+  return server_[j].phi_p +
          cloud_->server(j).background.phi_p;
 }
 
 double Allocation::used_phi_n(ServerId j) const {
-  CHECK(j >= 0 && j < cloud_->num_servers());
-  return server_[static_cast<std::size_t>(j)].phi_n +
+  CHECK(j.valid() && j.value() < cloud_->num_servers());
+  return server_[j].phi_n +
          cloud_->server(j).background.phi_n;
 }
 
 double Allocation::used_disk(ServerId j) const {
-  CHECK(j >= 0 && j < cloud_->num_servers());
-  return server_[static_cast<std::size_t>(j)].disk +
+  CHECK(j.valid() && j.value() < cloud_->num_servers());
+  return server_[j].disk +
          cloud_->server(j).background.disk;
 }
 
@@ -158,8 +161,8 @@ double Allocation::free_disk(ServerId j) const {
 }
 
 double Allocation::proc_load(ServerId j) const {
-  CHECK(j >= 0 && j < cloud_->num_servers());
-  return server_[static_cast<std::size_t>(j)].load_p;
+  CHECK(j.valid() && j.value() < cloud_->num_servers());
+  return server_[j].load_p;
 }
 
 double Allocation::proc_utilization(ServerId j) const {
@@ -168,30 +171,30 @@ double Allocation::proc_utilization(ServerId j) const {
 }
 
 bool Allocation::active(ServerId j) const {
-  CHECK(j >= 0 && j < cloud_->num_servers());
-  return !server_[static_cast<std::size_t>(j)].clients.empty() ||
+  CHECK(j.valid() && j.value() < cloud_->num_servers());
+  return !server_[j].clients.empty() ||
          cloud_->server(j).background.keeps_on;
 }
 
 const std::vector<ClientId>& Allocation::clients_on(ServerId j) const {
-  CHECK(j >= 0 && j < cloud_->num_servers());
-  return server_[static_cast<std::size_t>(j)].clients;
+  CHECK(j.valid() && j.value() < cloud_->num_servers());
+  return server_[j].clients;
 }
 
 double Allocation::cached_profit() const {
   for (ClientId i : dirty_clients_) {
     const double fresh = client_revenue(*this, i);
-    profit_total_ += fresh - revenue_cache_[static_cast<std::size_t>(i)];
-    revenue_cache_[static_cast<std::size_t>(i)] = fresh;
-    client_dirty_[static_cast<std::size_t>(i)] = false;
+    profit_total_ += fresh - revenue_cache_[i];
+    revenue_cache_[i] = fresh;
+    client_dirty_[i] = false;
   }
   repairs_ += dirty_clients_.size();
   dirty_clients_.clear();
   for (ServerId j : dirty_servers_) {
     const double fresh = server_cost(*this, j);
-    profit_total_ -= fresh - cost_cache_[static_cast<std::size_t>(j)];
-    cost_cache_[static_cast<std::size_t>(j)] = fresh;
-    server_dirty_[static_cast<std::size_t>(j)] = false;
+    profit_total_ -= fresh - cost_cache_[j];
+    cost_cache_[j] = fresh;
+    server_dirty_[j] = false;
   }
   repairs_ += dirty_servers_.size();
   dirty_servers_.clear();
@@ -210,10 +213,9 @@ double Allocation::cached_profit() const {
 
 const std::vector<ServerId>& Allocation::insertion_candidates(
     ClusterId k) const {
-  CHECK(k >= 0 && k < cloud_->num_clusters());
-  const auto kk = static_cast<std::size_t>(k);
-  if (cand_dirty_[kk]) {
-    auto& order = cand_order_[kk];
+  CHECK(k.valid() && k.value() < cloud_->num_clusters());
+  if (cand_dirty_[k]) {
+    auto& order = cand_order_[k];
     const auto& servers = cloud_->cluster(k).servers;
     // Decorate-sort-undecorate: the keys are computed once per server
     // (the marginal-cost key divides), not once per comparison — the
@@ -248,14 +250,14 @@ const std::vector<ServerId>& Allocation::insertion_candidates(
     });
     order.clear();
     for (const CandKey& key : keys) order.push_back(key.id);
-    cand_dirty_[kk] = false;
+    cand_dirty_[k] = false;
   }
-  return cand_order_[kk];
+  return cand_order_[k];
 }
 
 int Allocation::num_active_servers() const {
   int n = 0;
-  for (ServerId j = 0; j < cloud_->num_servers(); ++j)
+  for (ServerId j : cloud_->server_ids())
     if (active(j)) ++n;
   return n;
 }

@@ -137,25 +137,25 @@ class Allocation {
   void mark_server_dirty(ServerId j);
 
   const Cloud* cloud_;
-  std::vector<ClusterId> cluster_of_;
-  std::vector<std::vector<Placement>> placements_;
-  std::vector<ServerAgg> server_;
+  IdVector<ClientId, ClusterId> cluster_of_;
+  IdVector<ClientId, std::vector<Placement>> placements_;
+  IdVector<ServerId, ServerAgg> server_;
 
   // Incremental-profit caches. `profit_total_` always equals the sum of
   // the *cached* values; repairing a dirty entry adjusts the total by the
   // delta, so the invariant survives partial repairs.
-  mutable std::vector<double> revenue_cache_;
-  mutable std::vector<double> cost_cache_;
+  mutable IdVector<ClientId, double> revenue_cache_;
+  mutable IdVector<ServerId, double> cost_cache_;
   mutable std::vector<ClientId> dirty_clients_;
   mutable std::vector<ServerId> dirty_servers_;
-  mutable std::vector<bool> client_dirty_;
-  mutable std::vector<bool> server_dirty_;
+  mutable IdVector<ClientId, bool> client_dirty_;
+  mutable IdVector<ServerId, bool> server_dirty_;
   mutable double profit_total_ = 0.0;
   mutable std::size_t repairs_ = 0;  ///< since the last drift rebase
 
   // Lazy per-cluster candidate index (see insertion_candidates).
-  mutable std::vector<std::vector<ServerId>> cand_order_;
-  mutable std::vector<bool> cand_dirty_;
+  mutable IdVector<ClusterId, std::vector<ServerId>> cand_order_;
+  mutable IdVector<ClusterId, bool> cand_dirty_;
 };
 
 }  // namespace cloudalloc::model

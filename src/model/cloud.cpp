@@ -17,7 +17,7 @@ Cloud::Cloud(std::vector<ServerClass> server_classes,
       clients_(std::move(clients)) {
   for (std::size_t s = 0; s < server_classes_.size(); ++s) {
     const ServerClass& sc = server_classes_[s];
-    CHECK_MSG(sc.id == static_cast<ServerClassId>(s), "dense server-class ids");
+    CHECK_MSG(sc.id == ServerClassId{static_cast<int>(s)}, "dense server-class ids");
     CHECK(sc.cap_p > 0.0);
     CHECK(sc.cap_n > 0.0);
     CHECK(sc.cap_m >= 0.0);
@@ -25,27 +25,27 @@ Cloud::Cloud(std::vector<ServerClass> server_classes,
     CHECK(sc.cost_per_util >= 0.0);
   }
   for (std::size_t u = 0; u < utility_classes_.size(); ++u) {
-    CHECK_MSG(utility_classes_[u].id == static_cast<UtilityClassId>(u),
+    CHECK_MSG(utility_classes_[u].id == UtilityClassId{static_cast<int>(u)},
               "dense utility-class ids");
     CHECK_MSG(utility_classes_[u].fn != nullptr, "utility class needs a fn");
   }
   std::set<ServerId> seen_servers;
   for (std::size_t k = 0; k < clusters_.size(); ++k) {
     const Cluster& cl = clusters_[k];
-    CHECK_MSG(cl.id == static_cast<ClusterId>(k), "dense cluster ids");
+    CHECK_MSG(cl.id == ClusterId{static_cast<int>(k)}, "dense cluster ids");
     for (ServerId j : cl.servers) {
-      CHECK(j >= 0 && j < num_servers());
+      CHECK(j.valid() && j.value() < num_servers());
       CHECK_MSG(seen_servers.insert(j).second,
                 "a server belongs to exactly one cluster");
-      CHECK_MSG(servers_[static_cast<std::size_t>(j)].cluster == cl.id,
+      CHECK_MSG(servers_[j.index()].cluster == cl.id,
                 "server.cluster must match owning cluster");
     }
   }
   for (std::size_t j = 0; j < servers_.size(); ++j) {
     const Server& sv = servers_[j];
-    CHECK_MSG(sv.id == static_cast<ServerId>(j), "dense server ids");
-    CHECK(sv.server_class >= 0 &&
-          sv.server_class < static_cast<ServerClassId>(server_classes_.size()));
+    CHECK_MSG(sv.id == ServerId{static_cast<int>(j)}, "dense server ids");
+    CHECK(sv.server_class.valid() &&
+          sv.server_class.index() < server_classes_.size());
     CHECK_MSG(seen_servers.count(sv.id) == 1,
               "every server must be listed in its cluster");
     CHECK(sv.background.phi_p >= 0.0 && sv.background.phi_p <= 1.0);
@@ -54,10 +54,9 @@ Cloud::Cloud(std::vector<ServerClass> server_classes,
   }
   for (std::size_t i = 0; i < clients_.size(); ++i) {
     const Client& c = clients_[i];
-    CHECK_MSG(c.id == static_cast<ClientId>(i), "dense client ids");
-    CHECK(c.utility_class >= 0 &&
-          c.utility_class <
-              static_cast<UtilityClassId>(utility_classes_.size()));
+    CHECK_MSG(c.id == ClientId{static_cast<int>(i)}, "dense client ids");
+    CHECK(c.utility_class.valid() &&
+          c.utility_class.index() < utility_classes_.size());
     CHECK(c.lambda_pred > 0.0);
     CHECK(c.lambda_agreed > 0.0);
     CHECK(c.alpha_p > 0.0);
@@ -66,7 +65,7 @@ Cloud::Cloud(std::vector<ServerClass> server_classes,
   }
   for (const Server& sv : servers_) {
     const ServerClass& sc =
-        server_classes_[static_cast<std::size_t>(sv.server_class)];
+        server_classes_[sv.server_class.index()];
     total_cap_p_ += sc.cap_p;
     total_cap_n_ += sc.cap_n;
   }
@@ -77,27 +76,26 @@ Cloud::Cloud(std::vector<ServerClass> server_classes,
 }
 
 const Client& Cloud::client(ClientId i) const {
-  CHECK(i >= 0 && i < num_clients());
-  return clients_[static_cast<std::size_t>(i)];
+  CHECK(i.valid() && i.value() < num_clients());
+  return clients_[i.index()];
 }
 
 const Server& Cloud::server(ServerId j) const {
-  CHECK(j >= 0 && j < num_servers());
-  return servers_[static_cast<std::size_t>(j)];
+  CHECK(j.valid() && j.value() < num_servers());
+  return servers_[j.index()];
 }
 
 const Cluster& Cloud::cluster(ClusterId k) const {
-  CHECK(k >= 0 && k < num_clusters());
-  return clusters_[static_cast<std::size_t>(k)];
+  CHECK(k.valid() && k.value() < num_clusters());
+  return clusters_[k.index()];
 }
 
 const ServerClass& Cloud::server_class_of(ServerId j) const {
-  return server_classes_[static_cast<std::size_t>(server(j).server_class)];
+  return server_classes_[server(j).server_class.index()];
 }
 
 const UtilityFunction& Cloud::utility_of(ClientId i) const {
-  return *utility_classes_[static_cast<std::size_t>(client(i).utility_class)]
-              .fn;
+  return *utility_classes_[client(i).utility_class.index()].fn;
 }
 
 }  // namespace cloudalloc::model

@@ -35,6 +35,24 @@ class Cloud {
   int num_servers() const { return static_cast<int>(servers_.size()); }
   int num_clusters() const { return static_cast<int>(clusters_.size()); }
 
+  /// Typed id ranges for loops over the populations:
+  /// `for (ClientId i : cloud.client_ids())`.
+  IdRange<ClientId> client_ids() const {
+    return id_range<ClientId>(clients_.size());
+  }
+  IdRange<ServerId> server_ids() const {
+    return id_range<ServerId>(servers_.size());
+  }
+  IdRange<ClusterId> cluster_ids() const {
+    return id_range<ClusterId>(clusters_.size());
+  }
+  IdRange<ServerClassId> server_class_ids() const {
+    return id_range<ServerClassId>(server_classes_.size());
+  }
+  IdRange<UtilityClassId> utility_class_ids() const {
+    return id_range<UtilityClassId>(utility_classes_.size());
+  }
+
   const Client& client(ClientId i) const;
   const Server& server(ServerId j) const;
   const Cluster& cluster(ClusterId k) const;

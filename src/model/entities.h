@@ -14,7 +14,7 @@ namespace cloudalloc::model {
 /// A hardware class: capacities in normalized units and the operation
 /// cost model  cost = P0 + P1 * processing_utilization  while ON.
 struct ServerClass {
-  ServerClassId id = 0;
+  ServerClassId id{0};
   std::string name;
   double cap_p = 1.0;        ///< processing capacity Cp
   double cap_n = 1.0;        ///< communication capacity Cn
@@ -40,23 +40,23 @@ struct BackgroundLoad {
 
 /// One physical machine, owned by exactly one cluster.
 struct Server {
-  ServerId id = 0;
+  ServerId id{0};
   ClusterId cluster = kNoCluster;
-  ServerClassId server_class = 0;
+  ServerClassId server_class{0};
   BackgroundLoad background;
 };
 
 /// A cluster is a named set of servers behind one request dispatcher.
 struct Cluster {
-  ClusterId id = 0;
+  ClusterId id{0};
   std::string name;
   std::vector<ServerId> servers;
 };
 
 /// An application (client) with its SLA contract and demand profile.
 struct Client {
-  ClientId id = 0;
-  UtilityClassId utility_class = 0;
+  ClientId id{0};
+  UtilityClassId utility_class{0};
   double lambda_pred = 1.0;    ///< predicted arrival rate, drives allocation
   double lambda_agreed = 1.0;  ///< contractual arrival rate, drives revenue
   double alpha_p = 1.0;        ///< mean processing work per request

@@ -1,29 +1,37 @@
 #include "model/evaluator.h"
 
 #include <cmath>
+
+#include "common/units.h"
 #include <limits>
 
 namespace cloudalloc::model {
 
 double client_revenue(const Allocation& alloc, ClientId i) {
   if (!alloc.is_assigned(i)) return 0.0;
-  const double r = alloc.response_time(i);
-  if (!std::isfinite(r)) return 0.0;
+  const units::Time r{alloc.response_time(i)};
+  if (!std::isfinite(r.value())) return 0.0;
   const Client& c = alloc.cloud().client(i);
-  return c.lambda_agreed * alloc.cloud().utility_of(i).value(r);
+  // Eq. (2) revenue line, dimension-checked: (requests/time) * (money/
+  // request) is the only product that exists, so transposing the agreed
+  // rate and the utility price cannot compile.
+  const units::PricePerRequest u{alloc.cloud().utility_of(i).value(r.value())};
+  return (units::ArrivalRate{c.lambda_agreed} * u).value();
 }
 
 double server_cost(const Allocation& alloc, ServerId j) {
   if (!alloc.active(j)) return 0.0;
   const ServerClass& sc = alloc.cloud().server_class_of(j);
-  return sc.cost_fixed + sc.cost_per_util * alloc.proc_utilization(j);
+  const units::MoneyRate fixed{sc.cost_fixed};
+  const units::MoneyRate variable{sc.cost_per_util * alloc.proc_utilization(j)};
+  return (fixed + variable).value();
 }
 
 ProfitBreakdown evaluate(const Allocation& alloc) {
   const Cloud& cloud = alloc.cloud();
   ProfitBreakdown out;
   out.clients.reserve(static_cast<std::size_t>(cloud.num_clients()));
-  for (ClientId i = 0; i < cloud.num_clients(); ++i) {
+  for (ClientId i : cloud.client_ids()) {
     ClientOutcome co;
     co.id = i;
     co.assigned = alloc.is_assigned(i);
@@ -36,7 +44,7 @@ ProfitBreakdown evaluate(const Allocation& alloc) {
     out.clients.push_back(co);
   }
   out.servers.reserve(static_cast<std::size_t>(cloud.num_servers()));
-  for (ServerId j = 0; j < cloud.num_servers(); ++j) {
+  for (ServerId j : cloud.server_ids()) {
     ServerOutcome so;
     so.id = j;
     so.active = alloc.active(j);

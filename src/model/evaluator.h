@@ -15,7 +15,7 @@
 namespace cloudalloc::model {
 
 struct ClientOutcome {
-  ClientId id = 0;
+  ClientId id{0};
   bool assigned = false;
   double response_time = 0.0;  ///< +inf when unassigned/unstable
   double utility = 0.0;        ///< price per unit of agreed rate
@@ -23,7 +23,7 @@ struct ClientOutcome {
 };
 
 struct ServerOutcome {
-  ServerId id = 0;
+  ServerId id{0};
   bool active = false;
   double utilization_p = 0.0;
   double cost = 0.0;  ///< P0 + P1 * utilization while active, else 0

@@ -13,31 +13,31 @@ std::string Violation::describe() const {
   std::ostringstream os;
   switch (kind) {
     case ViolationKind::kShareOverflowP:
-      os << "processing shares on server " << server << " exceed 1 by "
+      os << "processing shares on server " << server.value() << " exceed 1 by "
          << magnitude;
       break;
     case ViolationKind::kShareOverflowN:
-      os << "communication shares on server " << server << " exceed 1 by "
+      os << "communication shares on server " << server.value() << " exceed 1 by "
          << magnitude;
       break;
     case ViolationKind::kDiskOverflow:
-      os << "disk on server " << server << " exceeds capacity by "
+      os << "disk on server " << server.value() << " exceeds capacity by "
          << magnitude;
       break;
     case ViolationKind::kPsiNotOne:
-      os << "client " << client << " psi sums to 1" << (magnitude >= 0 ? "+" : "")
+      os << "client " << client.value() << " psi sums to 1" << (magnitude >= 0 ? "+" : "")
          << magnitude;
       break;
     case ViolationKind::kCrossCluster:
-      os << "client " << client << " has a placement on server " << server
+      os << "client " << client.value() << " has a placement on server " << server.value()
          << " outside its cluster";
       break;
     case ViolationKind::kUnstableQueue:
-      os << "client " << client << " on server " << server
+      os << "client " << client.value() << " on server " << server.value()
          << " has an unstable queue (slack " << magnitude << ")";
       break;
     case ViolationKind::kNegativeVariable:
-      os << "client " << client << " on server " << server
+      os << "client " << client.value() << " on server " << server.value()
          << " has a negative variable " << magnitude;
       break;
   }
@@ -48,7 +48,7 @@ std::vector<Violation> check_feasibility(const Allocation& alloc, double tol) {
   const Cloud& cloud = alloc.cloud();
   std::vector<Violation> out;
 
-  for (ServerId j = 0; j < cloud.num_servers(); ++j) {
+  for (ServerId j : cloud.server_ids()) {
     const double over_p = alloc.used_phi_p(j) - 1.0;
     if (over_p > tol)
       out.push_back({ViolationKind::kShareOverflowP, kNoClient, j, over_p});
@@ -60,7 +60,7 @@ std::vector<Violation> check_feasibility(const Allocation& alloc, double tol) {
       out.push_back({ViolationKind::kDiskOverflow, kNoClient, j, over_m});
   }
 
-  for (ClientId i = 0; i < cloud.num_clients(); ++i) {
+  for (ClientId i : cloud.client_ids()) {
     if (!alloc.is_assigned(i)) continue;
     const Client& c = cloud.client(i);
     const ClusterId k = alloc.cluster_of(i);
@@ -73,17 +73,20 @@ std::vector<Violation> check_feasibility(const Allocation& alloc, double tol) {
         out.push_back({ViolationKind::kNegativeVariable, i, p.server,
                        std::min({p.psi, p.phi_p, p.phi_n})});
       const ServerClass& sc = cloud.server_class_of(p.server);
-      const double arrivals = p.psi * c.lambda_pred;
-      const double mu_p =
-          queueing::gps_service_rate(p.phi_p, sc.cap_p, c.alpha_p);
-      const double mu_n =
-          queueing::gps_service_rate(p.phi_n, sc.cap_n, c.alpha_n);
+      const units::ArrivalRate arrivals =
+          p.psi * units::ArrivalRate{c.lambda_pred};
+      const units::ArrivalRate mu_p = queueing::gps_service_rate(
+          units::Share{p.phi_p}, units::WorkRate{sc.cap_p},
+          units::Work{c.alpha_p});
+      const units::ArrivalRate mu_n = queueing::gps_service_rate(
+          units::Share{p.phi_n}, units::WorkRate{sc.cap_n},
+          units::Work{c.alpha_n});
       if (!queueing::mm1_stable(arrivals, mu_p))
-        out.push_back(
-            {ViolationKind::kUnstableQueue, i, p.server, mu_p - arrivals});
+        out.push_back({ViolationKind::kUnstableQueue, i, p.server,
+                       (mu_p - arrivals).value()});
       if (!queueing::mm1_stable(arrivals, mu_n))
-        out.push_back(
-            {ViolationKind::kUnstableQueue, i, p.server, mu_n - arrivals});
+        out.push_back({ViolationKind::kUnstableQueue, i, p.server,
+                       (mu_n - arrivals).value()});
     }
     if (std::fabs(psi_sum - 1.0) > tol)
       out.push_back({ViolationKind::kPsiNotOne, i, kNoServer, psi_sum - 1.0});

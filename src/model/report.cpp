@@ -40,10 +40,10 @@ Table client_table(const ProfitBreakdown& breakdown,
   Table table({"client", "response_time", "utility", "revenue"});
   for (const ClientOutcome* c : rows) {
     if (!c->assigned) {
-      table.add_row({std::to_string(c->id), "unserved", "0", "0"});
+      table.add_row({std::to_string(c->id.value()), "unserved", "0", "0"});
       continue;
     }
-    table.add_row({std::to_string(c->id),
+    table.add_row({std::to_string(c->id.value()),
                    std::isfinite(c->response_time)
                        ? Table::num(c->response_time, options.precision)
                        : "unstable",
@@ -58,7 +58,7 @@ Table server_table(const ProfitBreakdown& breakdown,
   Table table({"server", "utilization_p", "cost"});
   for (const auto& s : breakdown.servers) {
     if (!s.active) continue;
-    table.add_row({std::to_string(s.id),
+    table.add_row({std::to_string(s.id.value()),
                    Table::num(s.utilization_p, options.precision),
                    Table::num(s.cost, 2)});
   }

@@ -18,37 +18,35 @@ ResidualView::ResidualView(const Allocation& alloc) : cloud_(alloc.cloud_) {
   bg_disk_.resize(num_servers);
   cap_m_.resize(num_servers);
   keeps_on_.resize(num_servers);
-  for (std::size_t jj = 0; jj < num_servers; ++jj) {
-    const auto j = static_cast<ServerId>(jj);
-    const Allocation::ServerAgg& agg = alloc.server_[jj];
-    used_p_[jj] = agg.phi_p;
-    used_n_[jj] = agg.phi_n;
-    used_disk_[jj] = agg.disk;
-    load_p_[jj] = agg.load_p;
-    hosted_[jj] = static_cast<int>(agg.clients.size());
+  for (ServerId j : cloud_->server_ids()) {
+    const Allocation::ServerAgg& agg = alloc.server_[j];
+    used_p_[j] = agg.phi_p;
+    used_n_[j] = agg.phi_n;
+    used_disk_[j] = agg.disk;
+    load_p_[j] = agg.load_p;
+    hosted_[j] = static_cast<int>(agg.clients.size());
     const BackgroundLoad& bg = cloud_->server(j).background;
-    bg_p_[jj] = bg.phi_p;
-    bg_n_[jj] = bg.phi_n;
-    bg_disk_[jj] = bg.disk;
-    cap_m_[jj] = cloud_->server_class_of(j).cap_m;
-    keeps_on_[jj] = bg.keeps_on ? 1 : 0;
+    bg_p_[j] = bg.phi_p;
+    bg_n_[j] = bg.phi_n;
+    bg_disk_[j] = bg.disk;
+    cap_m_[j] = cloud_->server_class_of(j).cap_m;
+    keeps_on_[j] = bg.keeps_on ? 1 : 0;
   }
-  cand_order_.reserve(static_cast<std::size_t>(cloud_->num_clusters()));
-  for (ClusterId k = 0; k < cloud_->num_clusters(); ++k)
+  cand_order_.raw().reserve(static_cast<std::size_t>(cloud_->num_clusters()));
+  for (ClusterId k : cloud_->cluster_ids())
     cand_order_.push_back(alloc.insertion_candidates(k));
   cand_dirty_.assign(static_cast<std::size_t>(cloud_->num_clusters()), 0);
 }
 
 const std::vector<ServerId>& ResidualView::insertion_candidates(
     ClusterId k) const {
-  CHECK(k >= 0 && k < cloud_->num_clusters());
-  const auto kk = static_cast<std::size_t>(k);
-  if (cand_dirty_[kk]) {
+  CHECK(k.valid() && k.value() < cloud_->num_clusters());
+  if (cand_dirty_[k]) {
     // Bitwise the same keys and ordering as Allocation's rebuild; a view
     // in sync with an allocation therefore rebuilds the same order. Same
     // decorate-sort-undecorate as there: keys once per server, not once
     // per comparison.
-    auto& order = cand_order_[kk];
+    auto& order = cand_order_[k];
     struct CandKey {
       double rate;
       double marg;
@@ -70,9 +68,9 @@ const std::vector<ServerId>& ResidualView::insertion_candidates(
     });
     order.clear();
     for (const CandKey& key : keys) order.push_back(key.id);
-    cand_dirty_[kk] = 0;
+    cand_dirty_[k] = 0;
   }
-  return cand_order_[kk];
+  return cand_order_[k];
 }
 
 void ResidualView::record(const std::vector<Placement>& ps,
@@ -81,10 +79,9 @@ void ResidualView::record(const std::vector<Placement>& ps,
   undo->entries.clear();
   undo->entries.reserve(ps.size());
   for (const Placement& p : ps) {
-    const auto jj = static_cast<std::size_t>(p.server);
-    undo->entries.push_back(Undo::Entry{p.server, used_p_[jj], used_n_[jj],
-                                        used_disk_[jj], load_p_[jj],
-                                        hosted_[jj]});
+        undo->entries.push_back(Undo::Entry{p.server, used_p_[p.server], used_n_[p.server],
+                                        used_disk_[p.server], load_p_[p.server],
+                                        hosted_[p.server]});
   }
 }
 
@@ -93,16 +90,15 @@ void ResidualView::remove_client(ClientId i, const std::vector<Placement>& ps,
   const Client& c = cloud_->client(i);
   record(ps, undo);
   for (const Placement& p : ps) {
-    const auto jj = static_cast<std::size_t>(p.server);
-    CHECK(hosted_[jj] > 0);
-    used_p_[jj] -= p.phi_p;
-    used_n_[jj] -= p.phi_n;
-    used_disk_[jj] -= c.disk;
-    load_p_[jj] -= p.psi * c.lambda_pred * c.alpha_p;
-    --hosted_[jj];
+        CHECK(hosted_[p.server] > 0);
+    used_p_[p.server] -= p.phi_p;
+    used_n_[p.server] -= p.phi_n;
+    used_disk_[p.server] -= c.disk;
+    load_p_[p.server] -= p.psi * c.lambda_pred * c.alpha_p;
+    --hosted_[p.server];
     // Mirror Allocation::remove_footprint's drift guard exactly.
-    if (hosted_[jj] == 0) {
-      used_p_[jj] = used_n_[jj] = used_disk_[jj] = load_p_[jj] = 0.0;
+    if (hosted_[p.server] == 0) {
+      used_p_[p.server] = used_n_[p.server] = used_disk_[p.server] = load_p_[p.server] = 0.0;
     }
     mark_cand_dirty(p.server);
   }
@@ -113,35 +109,32 @@ void ResidualView::add_client(ClientId i, const std::vector<Placement>& ps,
   const Client& c = cloud_->client(i);
   record(ps, undo);
   for (const Placement& p : ps) {
-    const auto jj = static_cast<std::size_t>(p.server);
-    used_p_[jj] += p.phi_p;
-    used_n_[jj] += p.phi_n;
-    used_disk_[jj] += c.disk;
-    load_p_[jj] += p.psi * c.lambda_pred * c.alpha_p;
-    ++hosted_[jj];
+        used_p_[p.server] += p.phi_p;
+    used_n_[p.server] += p.phi_n;
+    used_disk_[p.server] += c.disk;
+    load_p_[p.server] += p.psi * c.lambda_pred * c.alpha_p;
+    ++hosted_[p.server];
     mark_cand_dirty(p.server);
   }
 }
 
 void ResidualView::resync_server(const Allocation& alloc, ServerId j) {
-  const auto jj = static_cast<std::size_t>(j);
-  const Allocation::ServerAgg& agg = alloc.server_[jj];
-  used_p_[jj] = agg.phi_p;
-  used_n_[jj] = agg.phi_n;
-  used_disk_[jj] = agg.disk;
-  load_p_[jj] = agg.load_p;
-  hosted_[jj] = static_cast<int>(agg.clients.size());
+  const Allocation::ServerAgg& agg = alloc.server_[j];
+  used_p_[j] = agg.phi_p;
+  used_n_[j] = agg.phi_n;
+  used_disk_[j] = agg.disk;
+  load_p_[j] = agg.load_p;
+  hosted_[j] = static_cast<int>(agg.clients.size());
   mark_cand_dirty(j);
 }
 
 void ResidualView::restore(const Undo& undo) {
   for (const Undo::Entry& e : undo.entries) {
-    const auto jj = static_cast<std::size_t>(e.server);
-    used_p_[jj] = e.used_p;
-    used_n_[jj] = e.used_n;
-    used_disk_[jj] = e.used_disk;
-    load_p_[jj] = e.load_p;
-    hosted_[jj] = e.hosted;
+        used_p_[e.server] = e.used_p;
+    used_n_[e.server] = e.used_n;
+    used_disk_[e.server] = e.used_disk;
+    load_p_[e.server] = e.load_p;
+    hosted_[e.server] = e.hosted;
     mark_cand_dirty(e.server);
   }
 }

@@ -38,30 +38,20 @@ class ResidualView {
   // --- read API (mirrors the Allocation accessors the probes use) --------
 
   double free_phi_p(ServerId j) const {
-    const auto jj = static_cast<std::size_t>(j);
-    return 1.0 - (used_p_[jj] + bg_p_[jj]);
+    return 1.0 - (used_p_[j] + bg_p_[j]);
   }
   double free_phi_n(ServerId j) const {
-    const auto jj = static_cast<std::size_t>(j);
-    return 1.0 - (used_n_[jj] + bg_n_[jj]);
+    return 1.0 - (used_n_[j] + bg_n_[j]);
   }
   double free_disk(ServerId j) const {
-    const auto jj = static_cast<std::size_t>(j);
-    return cap_m_[jj] - (used_disk_[jj] + bg_disk_[jj]);
+    return cap_m_[j] - (used_disk_[j] + bg_disk_[j]);
   }
-  double proc_load(ServerId j) const {
-    return load_p_[static_cast<std::size_t>(j)];
-  }
+  double proc_load(ServerId j) const { return load_p_[j]; }
   bool active(ServerId j) const {
-    const auto jj = static_cast<std::size_t>(j);
-    return hosted_[jj] > 0 || keeps_on_[jj] != 0;
+    return hosted_[j] > 0 || keeps_on_[j] != 0;
   }
-  int hosted_clients(ServerId j) const {
-    return hosted_[static_cast<std::size_t>(j)];
-  }
-  bool keeps_on(ServerId j) const {
-    return keeps_on_[static_cast<std::size_t>(j)] != 0;
-  }
+  int hosted_clients(ServerId j) const { return hosted_[j]; }
+  bool keeps_on(ServerId j) const { return keeps_on_[j] != 0; }
 
   /// Candidate order seeded from the source allocation at construction
   /// and lazily re-sorted (same comparator as
@@ -114,20 +104,20 @@ class ResidualView {
 
   void record(const std::vector<Placement>& ps, Undo* undo) const;
   void mark_cand_dirty(ServerId j) {
-    cand_dirty_[static_cast<std::size_t>(cloud_->server(j).cluster)] = 1;
+    cand_dirty_[cloud_->server(j).cluster] = 1;
   }
 
   const Cloud* cloud_;
   // Mutable residual state (client-only aggregates, background excluded —
   // exactly Allocation::ServerAgg's representation).
-  std::vector<double> used_p_, used_n_, used_disk_, load_p_;
-  std::vector<int> hosted_;
+  IdVector<ServerId, double> used_p_, used_n_, used_disk_, load_p_;
+  IdVector<ServerId, int> hosted_;
   // Immutable per-server constants, flattened for locality.
-  std::vector<double> bg_p_, bg_n_, bg_disk_, cap_m_;
-  std::vector<std::uint8_t> keeps_on_;
+  IdVector<ServerId, double> bg_p_, bg_n_, bg_disk_, cap_m_;
+  IdVector<ServerId, std::uint8_t> keeps_on_;
   // Lazy per-cluster candidate index (see insertion_candidates).
-  mutable std::vector<std::vector<ServerId>> cand_order_;
-  mutable std::vector<std::uint8_t> cand_dirty_;
+  mutable IdVector<ClusterId, std::vector<ServerId>> cand_order_;
+  mutable IdVector<ClusterId, std::uint8_t> cand_dirty_;
 };
 
 }  // namespace cloudalloc::model

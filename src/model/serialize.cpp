@@ -175,7 +175,7 @@ Json cloud_to_json(const Cloud& cloud) {
   JsonArray classes;
   for (const auto& sc : cloud.server_classes()) {
     JsonObject o;
-    o.emplace("id", sc.id);
+    o.emplace("id", sc.id.value());
     o.emplace("name", sc.name);
     o.emplace("cap_p", sc.cap_p);
     o.emplace("cap_n", sc.cap_n);
@@ -189,9 +189,9 @@ Json cloud_to_json(const Cloud& cloud) {
   JsonArray servers;
   for (const auto& sv : cloud.servers()) {
     JsonObject o;
-    o.emplace("id", sv.id);
-    o.emplace("cluster", sv.cluster);
-    o.emplace("server_class", sv.server_class);
+    o.emplace("id", sv.id.value());
+    o.emplace("cluster", sv.cluster.value());
+    o.emplace("server_class", sv.server_class.value());
     if (sv.background.phi_p != 0.0 || sv.background.phi_n != 0.0 ||
         sv.background.disk != 0.0 || sv.background.keeps_on) {
       JsonObject b;
@@ -208,10 +208,10 @@ Json cloud_to_json(const Cloud& cloud) {
   JsonArray clusters;
   for (const auto& cl : cloud.clusters()) {
     JsonObject o;
-    o.emplace("id", cl.id);
+    o.emplace("id", cl.id.value());
     o.emplace("name", cl.name);
     JsonArray members;
-    for (ServerId j : cl.servers) members.emplace_back(j);
+    for (ServerId j : cl.servers) members.emplace_back(j.value());
     o.emplace("servers", std::move(members));
     clusters.emplace_back(std::move(o));
   }
@@ -220,7 +220,7 @@ Json cloud_to_json(const Cloud& cloud) {
   JsonArray utilities;
   for (const auto& uc : cloud.utility_classes()) {
     JsonObject o;
-    o.emplace("id", uc.id);
+    o.emplace("id", uc.id.value());
     o.emplace("fn", utility_to_json(*uc.fn));
     utilities.emplace_back(std::move(o));
   }
@@ -229,8 +229,8 @@ Json cloud_to_json(const Cloud& cloud) {
   JsonArray clients;
   for (const auto& c : cloud.clients()) {
     JsonObject o;
-    o.emplace("id", c.id);
-    o.emplace("utility_class", c.utility_class);
+    o.emplace("id", c.id.value());
+    o.emplace("utility_class", c.utility_class.value());
     o.emplace("lambda_pred", c.lambda_pred);
     o.emplace("lambda_agreed", c.lambda_agreed);
     o.emplace("alpha_p", c.alpha_p);
@@ -256,7 +256,7 @@ std::optional<Cloud> cloud_from_json(const Json& doc, std::string* error) {
   std::vector<ServerClass> server_classes;
   for (const auto& node : reader.array(doc, "server_classes")) {
     ServerClass sc;
-    sc.id = static_cast<ServerClassId>(reader.integer(node, "id"));
+    sc.id = ServerClassId{reader.integer(node, "id")};
     sc.name = reader.str(node, "name");
     sc.cap_p = reader.num(node, "cap_p");
     sc.cap_n = reader.num(node, "cap_n");
@@ -266,7 +266,7 @@ std::optional<Cloud> cloud_from_json(const Json& doc, std::string* error) {
     if (!reader.ok()) return fail(reader.error());
     // Pre-validate what Cloud's constructor CHECKs, so untrusted files
     // reject instead of aborting.
-    if (sc.id != static_cast<ServerClassId>(server_classes.size()) ||
+    if (sc.id != ServerClassId{static_cast<int>(server_classes.size())} ||
         sc.cap_p <= 0.0 || sc.cap_n <= 0.0 || sc.cap_m < 0.0 ||
         sc.cost_fixed < 0.0 || sc.cost_per_util < 0.0)
       return fail("server class out of domain");
@@ -276,10 +276,9 @@ std::optional<Cloud> cloud_from_json(const Json& doc, std::string* error) {
   std::vector<Server> servers;
   for (const auto& node : reader.array(doc, "servers")) {
     Server sv;
-    sv.id = static_cast<ServerId>(reader.integer(node, "id"));
-    sv.cluster = static_cast<ClusterId>(reader.integer(node, "cluster"));
-    sv.server_class =
-        static_cast<ServerClassId>(reader.integer(node, "server_class"));
+    sv.id = ServerId{reader.integer(node, "id")};
+    sv.cluster = ClusterId{reader.integer(node, "cluster")};
+    sv.server_class = ServerClassId{reader.integer(node, "server_class")};
     if (const Json* b = node.find("background")) {
       sv.background.phi_p = reader.num(*b, "phi_p");
       sv.background.phi_n = reader.num(*b, "phi_n");
@@ -287,9 +286,9 @@ std::optional<Cloud> cloud_from_json(const Json& doc, std::string* error) {
       sv.background.keeps_on = reader.boolean(*b, "keeps_on");
     }
     if (!reader.ok()) return fail(reader.error());
-    if (sv.id != static_cast<ServerId>(servers.size()) ||
-        sv.server_class < 0 ||
-        sv.server_class >= static_cast<ServerClassId>(server_classes.size()) ||
+    if (sv.id != ServerId{static_cast<int>(servers.size())} ||
+        !sv.server_class.valid() ||
+        sv.server_class.index() >= server_classes.size() ||
         sv.background.phi_p < 0.0 || sv.background.phi_p > 1.0 ||
         sv.background.phi_n < 0.0 || sv.background.phi_n > 1.0 ||
         sv.background.disk < 0.0)
@@ -301,22 +300,21 @@ std::optional<Cloud> cloud_from_json(const Json& doc, std::string* error) {
   std::vector<bool> server_seen(servers.size(), false);
   for (const auto& node : reader.array(doc, "clusters")) {
     Cluster cl;
-    cl.id = static_cast<ClusterId>(reader.integer(node, "id"));
+    cl.id = ClusterId{reader.integer(node, "id")};
     cl.name = reader.str(node, "name");
     for (const auto& member : reader.array(node, "servers")) {
       if (!member.is_number()) return fail("cluster member not an id");
-      cl.servers.push_back(static_cast<ServerId>(member.as_number()));
+      cl.servers.push_back(ServerId{static_cast<int>(member.as_number())});
     }
     if (!reader.ok()) return fail(reader.error());
-    if (cl.id != static_cast<ClusterId>(clusters.size()))
+    if (cl.id != ClusterId{static_cast<int>(clusters.size())})
       return fail("cluster ids not dense");
     for (ServerId j : cl.servers) {
-      if (j < 0 || j >= static_cast<ServerId>(servers.size()))
+      if (!j.valid() || j.index() >= servers.size())
         return fail("cluster references unknown server");
-      if (server_seen[static_cast<std::size_t>(j)])
-        return fail("server in two clusters");
-      server_seen[static_cast<std::size_t>(j)] = true;
-      if (servers[static_cast<std::size_t>(j)].cluster != cl.id)
+      if (server_seen[j.index()]) return fail("server in two clusters");
+      server_seen[j.index()] = true;
+      if (servers[j.index()].cluster != cl.id)
         return fail("server/cluster mismatch");
     }
     clusters.push_back(std::move(cl));
@@ -327,12 +325,12 @@ std::optional<Cloud> cloud_from_json(const Json& doc, std::string* error) {
   std::vector<UtilityClass> utility_classes;
   for (const auto& node : reader.array(doc, "utility_classes")) {
     UtilityClass uc;
-    uc.id = static_cast<UtilityClassId>(reader.integer(node, "id"));
+    uc.id = UtilityClassId{reader.integer(node, "id")};
     const Json* fn = node.find("fn");
     if (fn == nullptr) return fail("utility class missing fn");
     uc.fn = utility_from_json(*fn, reader);
     if (!reader.ok()) return fail(reader.error());
-    if (uc.id != static_cast<UtilityClassId>(utility_classes.size()))
+    if (uc.id != UtilityClassId{static_cast<int>(utility_classes.size())})
       return fail("utility class ids not dense");
     utility_classes.push_back(std::move(uc));
   }
@@ -340,19 +338,17 @@ std::optional<Cloud> cloud_from_json(const Json& doc, std::string* error) {
   std::vector<Client> clients;
   for (const auto& node : reader.array(doc, "clients")) {
     Client c;
-    c.id = static_cast<ClientId>(reader.integer(node, "id"));
-    c.utility_class =
-        static_cast<UtilityClassId>(reader.integer(node, "utility_class"));
+    c.id = ClientId{reader.integer(node, "id")};
+    c.utility_class = UtilityClassId{reader.integer(node, "utility_class")};
     c.lambda_pred = reader.num(node, "lambda_pred");
     c.lambda_agreed = reader.num(node, "lambda_agreed");
     c.alpha_p = reader.num(node, "alpha_p");
     c.alpha_n = reader.num(node, "alpha_n");
     c.disk = reader.num(node, "disk");
     if (!reader.ok()) return fail(reader.error());
-    if (c.id != static_cast<ClientId>(clients.size()) ||
-        c.utility_class < 0 ||
-        c.utility_class >=
-            static_cast<UtilityClassId>(utility_classes.size()) ||
+    if (c.id != ClientId{static_cast<int>(clients.size())} ||
+        !c.utility_class.valid() ||
+        c.utility_class.index() >= utility_classes.size() ||
         c.lambda_pred <= 0.0 || c.lambda_agreed <= 0.0 || c.alpha_p <= 0.0 ||
         c.alpha_n <= 0.0 || c.disk < 0.0)
       return fail("client out of domain");
@@ -370,15 +366,15 @@ Json allocation_to_json(const Allocation& alloc) {
   root.emplace("format", "cloudalloc.allocation");
   root.emplace("version", 1);
   JsonArray clients;
-  for (ClientId i = 0; i < alloc.cloud().num_clients(); ++i) {
+  for (ClientId i : alloc.cloud().client_ids()) {
     if (!alloc.is_assigned(i)) continue;
     JsonObject o;
-    o.emplace("client", i);
-    o.emplace("cluster", alloc.cluster_of(i));
+    o.emplace("client", i.value());
+    o.emplace("cluster", alloc.cluster_of(i).value());
     JsonArray placements;
     for (const auto& p : alloc.placements(i)) {
       JsonObject pj;
-      pj.emplace("server", p.server);
+      pj.emplace("server", p.server.value());
       pj.emplace("psi", p.psi);
       pj.emplace("phi_p", p.phi_p);
       pj.emplace("phi_n", p.phi_n);
@@ -409,23 +405,23 @@ std::optional<Allocation> allocation_from_json(const Cloud& cloud,
   Reader reader;
   Allocation alloc(cloud);
   for (const auto& node : assignments->as_array()) {
-    const auto i = static_cast<ClientId>(reader.integer(node, "client"));
-    const auto k = static_cast<ClusterId>(reader.integer(node, "cluster"));
+    const ClientId i{reader.integer(node, "client")};
+    const ClusterId k{reader.integer(node, "cluster")};
     if (!reader.ok()) return fail(reader.error().c_str());
-    if (i < 0 || i >= cloud.num_clients()) return fail("client id range");
-    if (k < 0 || k >= cloud.num_clusters()) return fail("cluster id range");
+    if (!i.valid() || i.value() >= cloud.num_clients()) return fail("client id range");
+    if (!k.valid() || k.value() >= cloud.num_clusters()) return fail("cluster id range");
     if (alloc.is_assigned(i)) return fail("client assigned twice");
     std::vector<Placement> placements;
     double psi_sum = 0.0;
     for (const auto& pj : reader.array(node, "placements")) {
       Placement p;
-      p.server = static_cast<ServerId>(reader.integer(pj, "server"));
+      p.server = ServerId{reader.integer(pj, "server")};
       p.psi = reader.num(pj, "psi");
       p.phi_p = reader.num(pj, "phi_p");
       p.phi_n = reader.num(pj, "phi_n");
       if (!reader.ok()) return fail(reader.error().c_str());
       // Pre-validate what Allocation::assign CHECKs.
-      if (p.server < 0 || p.server >= cloud.num_servers())
+      if (!p.server.valid() || p.server.value() >= cloud.num_servers())
         return fail("server id range");
       if (cloud.server(p.server).cluster != k)
         return fail("placement outside assigned cluster");

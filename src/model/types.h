@@ -1,19 +1,37 @@
 // Shared identifier types for the cloud model.
 //
 // Ids are dense indices into the owning Cloud's vectors (client i is
-// cloud.clients()[i], and so on); signed so that -1 can mean "none".
+// cloud.clients()[i.index()], and so on). Each family is a distinct
+// Id<Tag> strong type (common/strong_id.h): constructing one from a raw
+// index is explicit, mixing families does not compile, and a
+// default-constructed id is the invalid sentinel kNone (-1).
 #pragma once
+
+#include "common/strong_id.h"
 
 namespace cloudalloc::model {
 
-using ClientId = int;
-using ServerId = int;
-using ClusterId = int;
-using ServerClassId = int;
-using UtilityClassId = int;
+struct ClientTag {};
+struct ServerTag {};
+struct ClusterTag {};
+struct ServerClassTag {};
+struct UtilityClassTag {};
 
-inline constexpr ClientId kNoClient = -1;
-inline constexpr ServerId kNoServer = -1;
-inline constexpr ClusterId kNoCluster = -1;
+using ClientId = Id<ClientTag>;
+using ServerId = Id<ServerTag>;
+using ClusterId = Id<ClusterTag>;
+using ServerClassId = Id<ServerClassTag>;
+using UtilityClassId = Id<UtilityClassTag>;
+
+inline constexpr ClientId kNoClient = ClientId::kNone;
+inline constexpr ServerId kNoServer = ServerId::kNone;
+inline constexpr ClusterId kNoCluster = ClusterId::kNone;
+inline constexpr ServerClassId kNoServerClass = ServerClassId::kNone;
+inline constexpr UtilityClassId kNoUtilityClass = UtilityClassId::kNone;
+
+// The ids must stay layout-identical to the ints they replaced: they are
+// memcpy'd through snapshots and indexed in the hot SoA loops.
+static_assert(sizeof(ClientId) == sizeof(int));
+static_assert(alignof(ServerId) == alignof(int));
 
 }  // namespace cloudalloc::model

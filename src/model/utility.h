@@ -113,7 +113,7 @@ class TailLatencyUtility final : public UtilityFunction {
 
 /// A utility class shared by many clients (5 classes in the paper's setup).
 struct UtilityClass {
-  UtilityClassId id = 0;
+  UtilityClassId id{0};
   std::shared_ptr<const UtilityFunction> fn;
 };
 

@@ -19,19 +19,21 @@ ExpandedInstance expand(const MultiTierInstance& instance) {
   std::vector<model::UtilityClass> expanded_utilities =
       instance.utility_classes;
   // (original class, T) -> expanded utility class id
-  std::vector<std::pair<std::pair<int, int>, model::UtilityClassId>> memo;
+  std::vector<std::pair<std::pair<model::UtilityClassId, int>, model::UtilityClassId>>
+      memo;
   auto scaled_class = [&](model::UtilityClassId original,
                           int tiers) -> model::UtilityClassId {
     if (tiers == 1) return original;
     for (const auto& [key, id] : memo)
       if (key.first == original && key.second == tiers) return id;
     const auto* linear = dynamic_cast<const model::LinearUtility*>(
-        instance.utility_classes[static_cast<std::size_t>(original)]
+        instance.utility_classes[original.index()]
             .fn.get());
     CHECK_MSG(linear != nullptr,
               "multi-tier expansion requires LinearUtility classes");
     model::UtilityClass scaled;
-    scaled.id = static_cast<model::UtilityClassId>(expanded_utilities.size());
+    scaled.id =
+        model::UtilityClassId{static_cast<int>(expanded_utilities.size())};
     scaled.fn = std::make_shared<model::LinearUtility>(
         linear->u0() / static_cast<double>(tiers), linear->s());
     expanded_utilities.push_back(scaled);
@@ -76,8 +78,8 @@ double end_to_end_response_time(const ExpandedInstance& expanded,
   double total = 0.0;
   bool found_any = false;
   int tiers_seen = 0;
-  for (model::ClientId i = 0; i < expanded.cloud().num_clients(); ++i) {
-    if (expanded.refs[static_cast<std::size_t>(i)].parent != parent) continue;
+  for (model::ClientId i : expanded.cloud().client_ids()) {
+    if (expanded.refs[i.index()].parent != parent) continue;
     found_any = true;
     ++tiers_seen;
     if (!alloc.is_assigned(i))
@@ -102,13 +104,11 @@ double multitier_profit(const MultiTierInstance& instance,
     if (!std::isfinite(r)) continue;  // a tier unserved/unstable: no revenue
     const MultiTierClient& parent = instance.clients[p];
     const auto& fn =
-        *instance.utility_classes[static_cast<std::size_t>(
-                                      parent.utility_class)]
-             .fn;
+        *instance.utility_classes[parent.utility_class.index()].fn;
     revenue += parent.lambda_agreed * fn.value(r);
   }
   double cost = 0.0;
-  for (model::ServerId j = 0; j < expanded.cloud().num_servers(); ++j)
+  for (model::ServerId j : expanded.cloud().server_ids())
     cost += model::server_cost(alloc, j);
   return revenue - cost;
 }

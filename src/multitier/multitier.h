@@ -40,7 +40,7 @@ struct TierDemand {
 /// A client whose requests traverse `tiers` in sequence.
 struct MultiTierClient {
   int id = 0;
-  model::UtilityClassId utility_class = 0;
+  model::UtilityClassId utility_class{0};
   double lambda_agreed = 1.0;
   double lambda_pred = 1.0;
   std::vector<TierDemand> tiers;

@@ -4,33 +4,42 @@
 
 namespace cloudalloc::queueing {
 
+using units::ArrivalRate;
+using units::Share;
+using units::Time;
+using units::Work;
+using units::WorkRate;
+
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
 
-void gps_service_rates(const double* phi, double capacity, double alpha,
-                       double* mu, std::size_t n) {
+void gps_service_rates(const Share* phi, WorkRate capacity, Work alpha,
+                       ArrivalRate* mu, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) {
     mu[i] = phi[i] * capacity / alpha;
   }
 }
 
-void mm1_response_times(const double* lambda, const double* mu, double* out,
-                        std::size_t n) {
+void mm1_response_times(const ArrivalRate* lambda, const ArrivalRate* mu,
+                        Time* out, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) {
-    const bool stable = lambda[i] >= 0.0 && mu[i] > 0.0 && lambda[i] < mu[i];
-    out[i] = stable ? 1.0 / (mu[i] - lambda[i]) : kInf;
+    const bool stable = lambda[i].value() >= 0.0 && mu[i].value() > 0.0 &&
+                        lambda[i] < mu[i];
+    out[i] = stable ? 1.0 / (mu[i] - lambda[i]) : Time{kInf};
   }
 }
 
-void two_stage_delays(const double* lambda, const double* mu_p,
-                      const double* mu_n, double* out, std::size_t n) {
+void two_stage_delays(const ArrivalRate* lambda, const ArrivalRate* mu_p,
+                      const ArrivalRate* mu_n, Time* out, std::size_t n) {
   for (std::size_t i = 0; i < n; ++i) {
-    const double l = lambda[i];
-    const bool stable_p = l >= 0.0 && mu_p[i] > 0.0 && l < mu_p[i];
-    const bool stable_n = l >= 0.0 && mu_n[i] > 0.0 && l < mu_n[i];
-    const double tp = stable_p ? 1.0 / (mu_p[i] - l) : kInf;
-    const double tn = stable_n ? 1.0 / (mu_n[i] - l) : kInf;
+    const ArrivalRate l = lambda[i];
+    const bool stable_p = l.value() >= 0.0 && mu_p[i].value() > 0.0 &&
+                          l < mu_p[i];
+    const bool stable_n = l.value() >= 0.0 && mu_n[i].value() > 0.0 &&
+                          l < mu_n[i];
+    const Time tp = stable_p ? 1.0 / (mu_p[i] - l) : Time{kInf};
+    const Time tn = stable_n ? 1.0 / (mu_n[i] - l) : Time{kInf};
     out[i] = tp + tn;
   }
 }

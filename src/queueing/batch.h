@@ -8,26 +8,37 @@
 // the scalar helpers in gps.h / mm1.h (same operations, same order), so
 // swapping a scalar loop for a kernel never changes a result bit —
 // Assign_Distribute's scoring loop and the delta pricer rely on that.
+//
+// The arrays carry the same dimensioned types as the scalar kernels
+// (Quantity<Dim> is layout-identical to double, so the loops vectorize
+// exactly as before): a caller cannot hand a share buffer where the
+// arrival-rate lanes belong.
 #pragma once
 
 #include <cstddef>
 
+#include "common/units.h"
+
 namespace cloudalloc::queueing {
 
 /// mu[i] = phi[i] * capacity / alpha — gps_service_rate, batched.
-void gps_service_rates(const double* phi, double capacity, double alpha,
-                       double* mu, std::size_t n);
+void gps_service_rates(const units::Share* phi, units::WorkRate capacity,
+                       units::Work alpha, units::ArrivalRate* mu,
+                       std::size_t n);
 
 /// out[i] = 1 / (mu[i] - lambda[i]) when stable (lambda >= 0, mu > 0,
 /// lambda < mu), +infinity otherwise — mm1_response_time_or_inf, batched.
-void mm1_response_times(const double* lambda, const double* mu, double* out,
+void mm1_response_times(const units::ArrivalRate* lambda,
+                        const units::ArrivalRate* mu, units::Time* out,
                         std::size_t n);
 
 /// out[i] = T_p + T_n for the pipelined two-stage slice: the sum of the
 /// per-stage M/M/1 sojourns at arrival rate lambda[i] with service rates
 /// mu_p[i] and mu_n[i]; +infinity if either stage is unstable. Identical
 /// to mm1_response_time_or_inf(l, mu_p) + mm1_response_time_or_inf(l, mu_n).
-void two_stage_delays(const double* lambda, const double* mu_p,
-                      const double* mu_n, double* out, std::size_t n);
+void two_stage_delays(const units::ArrivalRate* lambda,
+                      const units::ArrivalRate* mu_p,
+                      const units::ArrivalRate* mu_n, units::Time* out,
+                      std::size_t n);
 
 }  // namespace cloudalloc::queueing

@@ -6,11 +6,11 @@ namespace cloudalloc::queueing {
 // scorer calls it millions of times per run. Only the vector validity
 // check stays out of line.
 
-bool gps_valid_shares(const std::vector<double>& phis, double tol) {
+bool gps_valid_shares(const std::vector<Share>& phis, double tol) {
   double sum = 0.0;
-  for (double phi : phis) {
-    if (phi < -tol) return false;
-    sum += phi;
+  for (Share phi : phis) {
+    if (phi.value() < -tol) return false;
+    sum += phi.value();
   }
   return sum <= 1.0 + tol;
 }

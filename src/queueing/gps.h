@@ -6,13 +6,25 @@
 // unit of capacity), flow i sees an effective exponential service rate
 // mu_i = phi_i * C / alpha_i, and the flow behaves as an independent M/M/1
 // queue (Zhang, Towsley & Kurose, SIGCOMM'94 — the model the paper adopts).
+//
+// Arguments are dimensioned (common/units.h): shares, capacities, works,
+// rates and times are distinct types, so transposing `capacity` and
+// `alpha` — or feeding a rate where a work belongs — fails to compile
+// instead of producing a plausible wrong share.
 #pragma once
 
 #include <vector>
 
 #include "common/check.h"
+#include "common/units.h"
 
 namespace cloudalloc::queueing {
+
+using units::ArrivalRate;
+using units::Share;
+using units::Time;
+using units::Work;
+using units::WorkRate;
 
 // The share algebra below is inline: these are two-flop functions the
 // insertion scorer calls millions of times per allocator run, and the
@@ -20,36 +32,36 @@ namespace cloudalloc::queueing {
 
 /// Effective service rate of a GPS share: phi * capacity / alpha.
 /// Requires alpha > 0; phi and capacity must be non-negative.
-inline double gps_service_rate(double phi, double capacity, double alpha) {
-  CHECK(alpha > 0.0);
-  CHECK(phi >= 0.0);
-  CHECK(capacity >= 0.0);
+inline ArrivalRate gps_service_rate(Share phi, WorkRate capacity, Work alpha) {
+  CHECK(alpha.value() > 0.0);
+  CHECK(phi.value() >= 0.0);
+  CHECK(capacity.value() >= 0.0);
   return phi * capacity / alpha;
 }
 
 /// Minimum share required to serve Poisson traffic of rate `lambda` with
 /// strictly positive slack `headroom` (requests/second beyond stability):
 /// phi_min = (lambda + headroom) * alpha / capacity.
-inline double gps_min_share(double lambda, double capacity, double alpha,
-                            double headroom) {
-  CHECK(capacity > 0.0);
-  CHECK(alpha > 0.0);
-  CHECK(lambda >= 0.0);
-  CHECK(headroom >= 0.0);
-  return (lambda + headroom) * alpha / capacity;
+inline Share gps_min_share(ArrivalRate lambda, WorkRate capacity, Work alpha,
+                           ArrivalRate headroom) {
+  CHECK(capacity.value() > 0.0);
+  CHECK(alpha.value() > 0.0);
+  CHECK(lambda.value() >= 0.0);
+  CHECK(headroom.value() >= 0.0);
+  return Share{(lambda + headroom) * alpha / capacity};
 }
 
 /// Share needed to hit a target mean response time `target` (M/M/1):
 /// mu = lambda + 1/target, phi = mu * alpha / capacity. Requires target > 0.
-inline double gps_share_for_response_time(double lambda, double capacity,
-                                          double alpha, double target) {
-  CHECK(target > 0.0);
-  const double mu = lambda + 1.0 / target;
-  return mu * alpha / capacity;
+inline Share gps_share_for_response_time(ArrivalRate lambda, WorkRate capacity,
+                                         Work alpha, Time target) {
+  CHECK(target.value() > 0.0);
+  const ArrivalRate mu = lambda + 1.0 / target;
+  return Share{mu * alpha / capacity};
 }
 
 /// True when the weights form a valid GPS allocation (each >= 0, sum <= 1
 /// within tolerance).
-bool gps_valid_shares(const std::vector<double>& phis, double tol = 1e-9);
+bool gps_valid_shares(const std::vector<Share>& phis, double tol = 1e-9);
 
 }  // namespace cloudalloc::queueing

@@ -7,38 +7,39 @@
 
 namespace cloudalloc::queueing {
 
-bool mm1_stable(double lambda, double mu, double margin) {
-  return lambda >= 0.0 && mu > 0.0 && lambda < mu - margin;
+bool mm1_stable(ArrivalRate lambda, ArrivalRate mu, ArrivalRate margin) {
+  return lambda.value() >= 0.0 && mu.value() > 0.0 && lambda < mu - margin;
 }
 
-double mm1_utilization(double lambda, double mu) {
-  CHECK(mu > 0.0);
-  CHECK(lambda >= 0.0);
+double mm1_utilization(ArrivalRate lambda, ArrivalRate mu) {
+  CHECK(mu.value() > 0.0);
+  CHECK(lambda.value() >= 0.0);
   return lambda / mu;
 }
 
-double mm1_response_time(double lambda, double mu) {
+Time mm1_response_time(ArrivalRate lambda, ArrivalRate mu) {
   CHECK_MSG(mm1_stable(lambda, mu), "M/M/1 response time requires stability");
   return 1.0 / (mu - lambda);
 }
 
-double mm1_number_in_system(double lambda, double mu) {
+double mm1_number_in_system(ArrivalRate lambda, ArrivalRate mu) {
   CHECK_MSG(mm1_stable(lambda, mu), "M/M/1 L requires stability");
   const double rho = lambda / mu;
   return rho / (1.0 - rho);
 }
 
-double mm1_waiting_time(double lambda, double mu) {
+Time mm1_waiting_time(ArrivalRate lambda, ArrivalRate mu) {
   CHECK_MSG(mm1_stable(lambda, mu), "M/M/1 Wq requires stability");
   return (lambda / mu) / (mu - lambda);
 }
 
-double mm1_response_time_or_inf(double lambda, double mu) {
-  if (!mm1_stable(lambda, mu)) return std::numeric_limits<double>::infinity();
+Time mm1_response_time_or_inf(ArrivalRate lambda, ArrivalRate mu) {
+  if (!mm1_stable(lambda, mu))
+    return Time{std::numeric_limits<double>::infinity()};
   return 1.0 / (mu - lambda);
 }
 
-double mm1_response_quantile(double lambda, double mu, double p) {
+Time mm1_response_quantile(ArrivalRate lambda, ArrivalRate mu, double p) {
   CHECK_MSG(mm1_stable(lambda, mu), "M/M/1 quantile requires stability");
   CHECK(p >= 0.0 && p < 1.0);
   return -std::log(1.0 - p) / (mu - lambda);

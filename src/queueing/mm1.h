@@ -4,34 +4,44 @@
 // independent M/M/1 queue: Poisson arrivals of rate `lambda` into a server
 // whose exponential service rate is `mu`. These helpers encode the standard
 // closed forms and their validity domain (stability: lambda < mu).
+//
+// Both rates are units::ArrivalRate (requests/time) and every sojourn is a
+// units::Time, so a per-request work or a capacity cannot be passed where
+// a rate belongs — the call does not compile (see common/units.h).
 #pragma once
+
+#include "common/units.h"
 
 namespace cloudalloc::queueing {
 
-/// True when the queue is stable (lambda < mu with a safety margin).
-bool mm1_stable(double lambda, double mu, double margin = 0.0);
+using units::ArrivalRate;
+using units::Time;
 
-/// Utilization rho = lambda / mu. Requires mu > 0.
-double mm1_utilization(double lambda, double mu);
+/// True when the queue is stable (lambda < mu with a safety margin).
+bool mm1_stable(ArrivalRate lambda, ArrivalRate mu,
+                ArrivalRate margin = ArrivalRate{0.0});
+
+/// Utilization rho = lambda / mu (dimensionless). Requires mu > 0.
+double mm1_utilization(ArrivalRate lambda, ArrivalRate mu);
 
 /// Mean sojourn (response) time W = 1 / (mu - lambda). Requires stability.
-double mm1_response_time(double lambda, double mu);
+Time mm1_response_time(ArrivalRate lambda, ArrivalRate mu);
 
 /// Mean number in system L = rho / (1 - rho). Requires stability.
-double mm1_number_in_system(double lambda, double mu);
+double mm1_number_in_system(ArrivalRate lambda, ArrivalRate mu);
 
 /// Mean waiting time in queue Wq = rho / (mu - lambda). Requires stability.
-double mm1_waiting_time(double lambda, double mu);
+Time mm1_waiting_time(ArrivalRate lambda, ArrivalRate mu);
 
 /// Response time but tolerant of infeasible inputs: returns +infinity when
 /// the queue would be unstable instead of tripping a CHECK. The optimizer
 /// uses this form while exploring candidate allocations.
-double mm1_response_time_or_inf(double lambda, double mu);
+Time mm1_response_time_or_inf(ArrivalRate lambda, ArrivalRate mu);
 
 /// p-quantile of the sojourn time (which is exponential with rate
 /// mu - lambda in an M/M/1 queue): T_p = -ln(1 - p) / (mu - lambda).
 /// Enables percentile SLAs on top of the mean-based model; validated
 /// against the discrete-event simulator. Requires stability, 0 <= p < 1.
-double mm1_response_quantile(double lambda, double mu, double p);
+Time mm1_response_quantile(ArrivalRate lambda, ArrivalRate mu, double p);
 
 }  // namespace cloudalloc::queueing

@@ -7,36 +7,38 @@
 
 namespace cloudalloc::queueing {
 
-double slice_response_time(const ServerSlice& slice, double lambda,
-                           double alpha_p, double alpha_n) {
-  const double arrivals = slice.psi * lambda;
-  const double mu_p = gps_service_rate(slice.phi_p, slice.cap_p, alpha_p);
-  const double mu_n = gps_service_rate(slice.phi_n, slice.cap_n, alpha_n);
-  const double t_p = mm1_response_time_or_inf(arrivals, mu_p);
-  const double t_n = mm1_response_time_or_inf(arrivals, mu_n);
+Time slice_response_time(const ServerSlice& slice, ArrivalRate lambda,
+                         Work alpha_p, Work alpha_n) {
+  const ArrivalRate arrivals = slice.psi * lambda;
+  const ArrivalRate mu_p = gps_service_rate(slice.phi_p, slice.cap_p, alpha_p);
+  const ArrivalRate mu_n = gps_service_rate(slice.phi_n, slice.cap_n, alpha_n);
+  const Time t_p = mm1_response_time_or_inf(arrivals, mu_p);
+  const Time t_n = mm1_response_time_or_inf(arrivals, mu_n);
   return t_p + t_n;
 }
 
-double client_response_time(const std::vector<ServerSlice>& slices,
-                            double lambda, double alpha_p, double alpha_n) {
-  double r = 0.0;
+Time client_response_time(const std::vector<ServerSlice>& slices,
+                          ArrivalRate lambda, Work alpha_p, Work alpha_n) {
+  Time r{0.0};
   for (const auto& slice : slices) {
     if (slice.psi <= 0.0) continue;
-    const double t = slice_response_time(slice, lambda, alpha_p, alpha_n);
-    if (t == std::numeric_limits<double>::infinity())
-      return std::numeric_limits<double>::infinity();
+    const Time t = slice_response_time(slice, lambda, alpha_p, alpha_n);
+    if (t.value() == std::numeric_limits<double>::infinity())
+      return Time{std::numeric_limits<double>::infinity()};
     r += slice.psi * t;
   }
   return r;
 }
 
-bool slices_stable(const std::vector<ServerSlice>& slices, double lambda,
-                   double alpha_p, double alpha_n, double headroom) {
+bool slices_stable(const std::vector<ServerSlice>& slices, ArrivalRate lambda,
+                   Work alpha_p, Work alpha_n, ArrivalRate headroom) {
   for (const auto& slice : slices) {
     if (slice.psi <= 0.0) continue;
-    const double arrivals = slice.psi * lambda;
-    const double mu_p = gps_service_rate(slice.phi_p, slice.cap_p, alpha_p);
-    const double mu_n = gps_service_rate(slice.phi_n, slice.cap_n, alpha_n);
+    const ArrivalRate arrivals = slice.psi * lambda;
+    const ArrivalRate mu_p =
+        gps_service_rate(slice.phi_p, slice.cap_p, alpha_p);
+    const ArrivalRate mu_n =
+        gps_service_rate(slice.phi_n, slice.cap_n, alpha_n);
     if (!mm1_stable(arrivals, mu_p, headroom)) return false;
     if (!mm1_stable(arrivals, mu_n, headroom)) return false;
   }

@@ -10,35 +10,48 @@
 //       + 1/(phi_n * Cn/alpha_n - psi_j*lambda)
 //
 // and the client's mean response time is R = sum_j psi_j * T_j.
+//
+// The slice fields and arguments are dimensioned (common/units.h):
+// shares, capacities, works, rates and sojourns are distinct types, so
+// eq. (1) cannot be assembled with an alpha where a rate belongs.
 #pragma once
 
 #include <vector>
 
+#include "common/units.h"
+
 namespace cloudalloc::queueing {
 
-/// Per-server slice of a client's allocation, in raw model units.
+using units::ArrivalRate;
+using units::Share;
+using units::Time;
+using units::Work;
+using units::WorkRate;
+
+/// Per-server slice of a client's allocation, in model units.
 struct ServerSlice {
-  double psi = 0.0;     ///< fraction of the client's requests sent here
-  double phi_p = 0.0;   ///< GPS share of processing capacity
-  double phi_n = 0.0;   ///< GPS share of communication capacity
-  double cap_p = 0.0;   ///< server processing capacity Cp
-  double cap_n = 0.0;   ///< server communication capacity Cn
+  double psi = 0.0;  ///< fraction of the client's requests sent here
+  Share phi_p;       ///< GPS share of processing capacity
+  Share phi_n;       ///< GPS share of communication capacity
+  WorkRate cap_p;    ///< server processing capacity Cp
+  WorkRate cap_n;    ///< server communication capacity Cn
 };
 
 /// Mean sojourn time of the slice through both pipelined stages; +infinity
 /// when either stage would be unstable.
-double slice_response_time(const ServerSlice& slice, double lambda,
-                           double alpha_p, double alpha_n);
+Time slice_response_time(const ServerSlice& slice, ArrivalRate lambda,
+                         Work alpha_p, Work alpha_n);
 
 /// Client mean response time R = sum_j psi_j * T_j over its slices.
 /// Slices with psi == 0 contribute nothing (their shares are ignored).
 /// Returns +infinity if any used slice is unstable.
-double client_response_time(const std::vector<ServerSlice>& slices,
-                            double lambda, double alpha_p, double alpha_n);
+Time client_response_time(const std::vector<ServerSlice>& slices,
+                          ArrivalRate lambda, Work alpha_p, Work alpha_n);
 
 /// True when every slice with psi > 0 has both stages stable with the given
 /// headroom (absolute rate slack).
-bool slices_stable(const std::vector<ServerSlice>& slices, double lambda,
-                   double alpha_p, double alpha_n, double headroom = 0.0);
+bool slices_stable(const std::vector<ServerSlice>& slices, ArrivalRate lambda,
+                   Work alpha_p, Work alpha_n,
+                   ArrivalRate headroom = ArrivalRate{0.0});
 
 }  // namespace cloudalloc::queueing

@@ -35,7 +35,7 @@ struct ReplicationOptions {
 /// mean of per-replication means and `ci95` the across-replication 95%
 /// half-width — one observation per replication, not per request.
 struct ClientReplicationStats {
-  model::ClientId id = 0;
+  model::ClientId id{0};
   /// Replications in which this client completed at least one measured
   /// request (only those contribute observations).
   int observations = 0;
@@ -50,7 +50,7 @@ struct ClientReplicationStats {
 };
 
 struct ServerReplicationStats {
-  model::ServerId id = 0;
+  model::ServerId id{0};
   double measured_util_p = 0.0;  ///< across-replication mean
   double ci95 = 0.0;             ///< across-replication 95% half-width
   double analytic_util_p = 0.0;

@@ -57,7 +57,7 @@ SimulationReport simulate_allocation(const Allocation& alloc,
   // hosted client contributes one flow to each of its servers' stages).
   std::size_t hosting = 0;
   std::size_t total_flows = 0;
-  for (ServerId j = 0; j < cloud.num_servers(); ++j) {
+  for (ServerId j : cloud.server_ids()) {
     const std::size_t on = alloc.clients_on(j).size();
     if (on == 0) continue;
     ++hosting;
@@ -78,12 +78,12 @@ SimulationReport simulate_allocation(const Allocation& alloc,
                           capacity, opts.mode, max_flows);
     return &stations.back();
   };
-  for (ServerId j = 0; j < cloud.num_servers(); ++j) {
+  for (ServerId j : cloud.server_ids()) {
     const int on = static_cast<int>(alloc.clients_on(j).size());
     if (on == 0) continue;
     const auto& sc = cloud.server_class_of(j);
-    proc[static_cast<std::size_t>(j)] = make_station(sc.cap_p, on);
-    comm[static_cast<std::size_t>(j)] = make_station(sc.cap_n, on);
+    proc[j.index()] = make_station(sc.cap_p, on);
+    comm[j.index()] = make_station(sc.cap_n, on);
   }
 
   // Response-time sinks and per-server completed-work accounting.
@@ -101,19 +101,19 @@ SimulationReport simulate_allocation(const Allocation& alloc,
   std::vector<std::vector<FlowAction>> station_actions(stations.size());
   std::vector<Slice> slices;
   std::vector<Source> sources;
-  for (ClientId i = 0; i < cloud.num_clients(); ++i) {
+  for (ClientId i : cloud.client_ids()) {
     if (!alloc.is_assigned(i)) continue;
     const auto& c = cloud.client(i);
     const std::int32_t slice_begin = static_cast<std::int32_t>(slices.size());
     double cum = 0.0;
     for (const auto& p : alloc.placements(i)) {
-      GpsStation* proc_station = proc[static_cast<std::size_t>(p.server)];
-      GpsStation* comm_station = comm[static_cast<std::size_t>(p.server)];
+      GpsStation* proc_station = proc[p.server.index()];
+      GpsStation* comm_station = comm[p.server.index()];
       // Communication flow: completes the request.
       const int comm_flow = comm_station->add_flow(p.phi_n, c.alpha_n);
       FlowAction record;
       record.kind = FlowAction::Kind::kRecordResponse;
-      record.client = static_cast<std::int32_t>(i);
+      record.client = i.value();
       station_actions[static_cast<std::size_t>(comm_station->id())].push_back(
           record);
       // Processing flow: forwards into the communication stage and books
@@ -123,7 +123,7 @@ SimulationReport simulate_allocation(const Allocation& alloc,
       forward.kind = FlowAction::Kind::kForwardToComm;
       forward.comm = comm_station;
       forward.comm_flow = comm_flow;
-      forward.server = static_cast<std::int32_t>(p.server);
+      forward.server = p.server.value();
       forward.alpha_p = c.alpha_p;
       station_actions[static_cast<std::size_t>(proc_station->id())].push_back(
           forward);
@@ -220,16 +220,16 @@ SimulationReport simulate_allocation(const Allocation& alloc,
   SimulationReport report;
   report.events_executed = sim.executed();
   Summary errors;
-  for (ClientId i = 0; i < cloud.num_clients(); ++i) {
+  for (ClientId i : cloud.client_ids()) {
     if (!alloc.is_assigned(i)) continue;
-    const Summary& s = responses[static_cast<std::size_t>(i)];
+    const Summary& s = responses[i.index()];
     ClientSimStats stats;
     stats.id = i;
     stats.completed = s.count();
     stats.mean_response = s.mean();
     stats.ci95 = s.ci95_halfwidth();
     stats.analytic_response = alloc.response_time(i);
-    auto& my_samples = samples[static_cast<std::size_t>(i)];
+    auto& my_samples = samples[i.index()];
     if (tails && !my_samples.empty()) {
       stats.p50 = quantile(my_samples, 0.50);
       stats.p95 = quantile(my_samples, 0.95);
@@ -242,12 +242,12 @@ SimulationReport simulate_allocation(const Allocation& alloc,
                  stats.analytic_response);
     report.clients.push_back(stats);
   }
-  for (ServerId j = 0; j < cloud.num_servers(); ++j) {
+  for (ServerId j : cloud.server_ids()) {
     if (alloc.clients_on(j).empty()) continue;
     ServerSimStats stats;
     stats.id = j;
     stats.measured_util_p =
-        proc_work_done[static_cast<std::size_t>(j)] /
+        proc_work_done[j.index()] /
         (cloud.server_class_of(j).cap_p * opts.horizon);
     stats.analytic_util_p = alloc.proc_utilization(j);
     report.servers.push_back(stats);

@@ -50,7 +50,7 @@ struct SimOptions {
 };
 
 struct ClientSimStats {
-  model::ClientId id = 0;
+  model::ClientId id{0};
   std::size_t completed = 0;
   double mean_response = 0.0;
   double ci95 = 0.0;            ///< naive within-run 95% CI half-width
@@ -62,7 +62,7 @@ struct ClientSimStats {
 };
 
 struct ServerSimStats {
-  model::ServerId id = 0;
+  model::ServerId id{0};
   /// Measured busy-work fraction of the processing stage over the
   /// generation horizon (completed work / (capacity * horizon)); compares
   /// against Allocation::proc_utilization.

@@ -29,7 +29,7 @@ Cloud make_scenario(const ScenarioParams& p, std::uint64_t seed) {
   server_classes.reserve(static_cast<std::size_t>(p.num_server_classes));
   for (int s = 0; s < p.num_server_classes; ++s) {
     ServerClass sc;
-    sc.id = s;
+    sc.id = model::ServerClassId{s};
     sc.name = "class-" + std::to_string(s);
     sc.cap_p = rng.uniform(p.cap_lo, p.cap_hi);
     sc.cap_n = rng.uniform(p.cap_lo, p.cap_hi);
@@ -44,8 +44,8 @@ Cloud make_scenario(const ScenarioParams& p, std::uint64_t seed) {
   for (int u = 0; u < p.num_utility_classes; ++u) {
     const double slope = rng.uniform(p.slope_lo, p.slope_hi);
     const double u0 = rng.uniform(p.base_price_lo, p.base_price_hi);
-    utility_classes.push_back(
-        UtilityClass{u, std::make_shared<LinearUtility>(u0, slope)});
+    utility_classes.push_back(UtilityClass{
+        model::UtilityClassId{u}, std::make_shared<LinearUtility>(u0, slope)});
   }
 
   std::vector<Server> servers;
@@ -53,18 +53,18 @@ Cloud make_scenario(const ScenarioParams& p, std::uint64_t seed) {
   clusters.reserve(static_cast<std::size_t>(p.num_clusters));
   for (int k = 0; k < p.num_clusters; ++k) {
     Cluster cl;
-    cl.id = k;
+    cl.id = model::ClusterId{k};
     cl.name = "cluster-" + std::to_string(k);
     for (int s = 0; s < p.servers_per_cluster; ++s) {
       Server sv;
-      sv.id = static_cast<model::ServerId>(servers.size());
-      sv.cluster = k;
-      sv.server_class = static_cast<model::ServerClassId>(
-          rng.uniform_int(0, p.num_server_classes - 1));
+      sv.id = model::ServerId{static_cast<int>(servers.size())};
+      sv.cluster = model::ClusterId{k};
+      sv.server_class =
+          model::ServerClassId{static_cast<int>(rng.uniform_int(0, p.num_server_classes - 1))};
       if (p.background_probability > 0.0 &&
           rng.bernoulli(p.background_probability)) {
         const auto& sc =
-            server_classes[static_cast<std::size_t>(sv.server_class)];
+            server_classes[sv.server_class.index()];
         sv.background.phi_p = rng.uniform(0.0, p.background_share_hi);
         sv.background.phi_n = rng.uniform(0.0, p.background_share_hi);
         sv.background.disk =
@@ -81,9 +81,9 @@ Cloud make_scenario(const ScenarioParams& p, std::uint64_t seed) {
   clients.reserve(static_cast<std::size_t>(p.num_clients));
   for (int i = 0; i < p.num_clients; ++i) {
     Client c;
-    c.id = i;
-    c.utility_class = static_cast<model::UtilityClassId>(
-        rng.uniform_int(0, p.num_utility_classes - 1));
+    c.id = model::ClientId{i};
+    c.utility_class =
+        model::UtilityClassId{static_cast<int>(rng.uniform_int(0, p.num_utility_classes - 1))};
     c.lambda_agreed = rng.uniform(p.lambda_lo, p.lambda_hi);
     c.lambda_pred = c.lambda_agreed * p.prediction_factor;
     c.alpha_p = rng.uniform(p.alpha_lo, p.alpha_hi);
@@ -102,29 +102,31 @@ Cloud make_tiny_scenario(int num_clients) {
 
   std::vector<ServerClass> server_classes;
   server_classes.push_back(
-      ServerClass{0, "small", /*cap_p=*/4.0, /*cap_n=*/4.0, /*cap_m=*/4.0,
+      ServerClass{model::ServerClassId{0}, "small", /*cap_p=*/4.0, /*cap_n=*/4.0, /*cap_m=*/4.0,
                   /*cost_fixed=*/1.0, /*cost_per_util=*/2.0});
   server_classes.push_back(
-      ServerClass{1, "large", /*cap_p=*/6.0, /*cap_n=*/6.0, /*cap_m=*/6.0,
+      ServerClass{model::ServerClassId{1}, "large", /*cap_p=*/6.0, /*cap_n=*/6.0, /*cap_m=*/6.0,
                   /*cost_fixed=*/2.0, /*cost_per_util=*/3.0});
 
   std::vector<UtilityClass> utility_classes;
   utility_classes.push_back(
-      UtilityClass{0, std::make_shared<LinearUtility>(2.5, 0.6)});
+      UtilityClass{model::UtilityClassId{0},
+                   std::make_shared<LinearUtility>(2.5, 0.6)});
   utility_classes.push_back(
-      UtilityClass{1, std::make_shared<LinearUtility>(2.0, 0.9)});
+      UtilityClass{model::UtilityClassId{1},
+                   std::make_shared<LinearUtility>(2.0, 0.9)});
 
   std::vector<Server> servers;
   std::vector<Cluster> clusters;
   for (int k = 0; k < 2; ++k) {
     Cluster cl;
-    cl.id = k;
+    cl.id = model::ClusterId{k};
     cl.name = "cluster-" + std::to_string(k);
     for (int s = 0; s < 2; ++s) {
       Server sv;
-      sv.id = static_cast<model::ServerId>(servers.size());
-      sv.cluster = k;
-      sv.server_class = s;  // one small, one large per cluster
+      sv.id = model::ServerId{static_cast<int>(servers.size())};
+      sv.cluster = model::ClusterId{k};
+      sv.server_class = model::ServerClassId{s};  // one small, one large per cluster
       cl.servers.push_back(sv.id);
       servers.push_back(std::move(sv));
     }
@@ -134,8 +136,8 @@ Cloud make_tiny_scenario(int num_clients) {
   std::vector<Client> clients;
   for (int i = 0; i < num_clients; ++i) {
     Client c;
-    c.id = i;
-    c.utility_class = i % 2;
+    c.id = model::ClientId{i};
+    c.utility_class = model::UtilityClassId{i % 2};
     c.lambda_agreed = 1.0 + 0.5 * i;
     c.lambda_pred = c.lambda_agreed;
     c.alpha_p = 0.5 + 0.05 * i;

@@ -1,0 +1,15 @@
+// Positive control for the compile-fail harness: this snippet uses the
+// same headers and build flags as its siblings and MUST compile. If it
+// does not, the harness is misconfigured (bad include path, wrong
+// standard) and every "expected failure" would be vacuous.
+#include "common/units.h"
+#include "model/types.h"
+
+namespace model = cloudalloc::model;
+namespace units = cloudalloc::units;
+
+double fine() {
+  const model::ServerId s{1};
+  const units::WorkRate load = units::ArrivalRate{2.0} * units::Work{0.5};
+  return static_cast<double>(s.value()) + load.value();
+}

@@ -1,0 +1,13 @@
+// MUST NOT COMPILE: a client id is not a server id. Passing one id
+// family where another is expected has to be rejected at the call site,
+// not discovered as a mispriced server at run time.
+#include "model/types.h"
+
+namespace model = cloudalloc::model;
+
+double price_server(model::ServerId s) { return static_cast<double>(s.value()); }
+
+double oops() {
+  const model::ClientId c{3};
+  return price_server(c);  // cross-family argument: no conversion exists
+}

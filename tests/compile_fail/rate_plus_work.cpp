@@ -1,0 +1,12 @@
+// MUST NOT COMPILE: requests/time + work/request is dimensional
+// nonsense. The Quantity layer defines addition only within a single
+// dimension, so this sum has no operator to bind to.
+#include "common/units.h"
+
+namespace units = cloudalloc::units;
+
+double oops() {
+  const units::ArrivalRate lambda{2.0};
+  const units::Work alpha{0.5};
+  return (lambda + alpha).value();  // mixed-dimension sum: no operator+
+}

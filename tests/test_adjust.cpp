@@ -20,10 +20,10 @@ TEST(AdjustShares, ImprovesDeliberatelyBadSplit) {
   Allocation alloc(cloud);
   // Two clients on server 0; client 1 (heavier load) starved, client 0
   // hogging. A rebalance must help.
-  alloc.assign(0, 0, {Placement{0, 1.0, 0.80, 0.80}});
-  alloc.assign(1, 0, {Placement{0, 1.0, 0.20, 0.20}});
+  alloc.assign(model::ClientId{0}, model::ClusterId{0}, {Placement{model::ServerId{0}, 1.0, 0.80, 0.80}});
+  alloc.assign(model::ClientId{1}, model::ClusterId{0}, {Placement{model::ServerId{0}, 1.0, 0.20, 0.20}});
   const double before = model::profit(alloc);
-  const double delta = adjust_resource_shares(alloc, 0, opts);
+  const double delta = adjust_resource_shares(alloc, model::ServerId{0}, opts);
   EXPECT_GT(delta, 0.0);
   EXPECT_NEAR(model::profit(alloc), before + delta, 1e-9);
   EXPECT_TRUE(model::is_feasible(alloc));
@@ -33,7 +33,7 @@ TEST(AdjustShares, NoOpOnEmptyServer) {
   const auto cloud = workload::make_tiny_scenario(2);
   AllocatorOptions opts;
   Allocation alloc(cloud);
-  EXPECT_DOUBLE_EQ(adjust_resource_shares(alloc, 0, opts), 0.0);
+  EXPECT_DOUBLE_EQ(adjust_resource_shares(alloc, model::ServerId{0}, opts), 0.0);
 }
 
 TEST(AdjustShares, NeverDecreasesProfit) {
@@ -55,8 +55,8 @@ TEST(AdjustDispersion, NoOpForSingleSlice) {
   const auto cloud = workload::make_tiny_scenario(2);
   AllocatorOptions opts;
   Allocation alloc(cloud);
-  alloc.assign(0, 0, {Placement{0, 1.0, 0.5, 0.5}});
-  EXPECT_DOUBLE_EQ(adjust_dispersion_rates(alloc, 0, opts), 0.0);
+  alloc.assign(model::ClientId{0}, model::ClusterId{0}, {Placement{model::ServerId{0}, 1.0, 0.5, 0.5}});
+  EXPECT_DOUBLE_EQ(adjust_dispersion_rates(alloc, model::ClientId{0}, opts), 0.0);
 }
 
 TEST(AdjustDispersion, RebalancesLopsidedSplit) {
@@ -65,10 +65,10 @@ TEST(AdjustDispersion, RebalancesLopsidedSplit) {
   Allocation alloc(cloud);
   // Client 0 split 90/10 over two servers with equal shares: convex
   // delay says closer-to-even (weighted by capacity) is better.
-  alloc.assign(0, 0,
-               {Placement{0, 0.9, 0.4, 0.4}, Placement{1, 0.1, 0.4, 0.4}});
+  alloc.assign(model::ClientId{0}, model::ClusterId{0},
+               {Placement{model::ServerId{0}, 0.9, 0.4, 0.4}, Placement{model::ServerId{1}, 0.1, 0.4, 0.4}});
   const double before = model::profit(alloc);
-  const double delta = adjust_dispersion_rates(alloc, 0, opts);
+  const double delta = adjust_dispersion_rates(alloc, model::ClientId{0}, opts);
   EXPECT_GE(delta, 0.0);
   EXPECT_GE(model::profit(alloc), before - 1e-9);
   EXPECT_TRUE(model::is_feasible(alloc));
@@ -81,10 +81,10 @@ TEST(AdjustDispersion, DropsNeedlessSecondServer) {
   const auto cloud = workload::make_tiny_scenario(1);
   AllocatorOptions opts;
   Allocation alloc(cloud);
-  alloc.assign(0, 0,
-               {Placement{0, 0.5, 0.45, 0.45}, Placement{1, 0.5, 0.05, 0.05}});
+  alloc.assign(model::ClientId{0}, model::ClusterId{0},
+               {Placement{model::ServerId{0}, 0.5, 0.45, 0.45}, Placement{model::ServerId{1}, 0.5, 0.05, 0.05}});
   const double before = model::profit(alloc);
-  adjust_dispersion_rates(alloc, 0, opts);
+  adjust_dispersion_rates(alloc, model::ClientId{0}, opts);
   EXPECT_GE(model::profit(alloc), before - 1e-9);
   EXPECT_TRUE(model::is_feasible(alloc));
 }

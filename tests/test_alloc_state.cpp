@@ -51,7 +51,9 @@ TEST(AllocState, AssignClearFuzzKeepsLedgerAndViewInLockstep) {
       if (!plan) continue;
       state.assign(i, plan->cluster, plan->placements);
     }
-    if (step % 50 == 0) ASSERT_TRUE(state.aggregates_consistent());
+    if (step % 50 == 0) {
+      ASSERT_TRUE(state.aggregates_consistent());
+    }
   }
   EXPECT_TRUE(state.aggregates_consistent());
 }
@@ -92,9 +94,9 @@ TEST(AllocState, CheckpointMaterializeRoundTrips) {
   alloc::reassign_pass(state, opts);
 
   const Allocation restored = state.materialize(ckpt);
-  for (ClientId i = 0; i < cloud.num_clients(); ++i) {
-    ASSERT_EQ(restored.cluster_of(i), ckpt.cluster_of[i]);
-    const auto& want = ckpt.placements[static_cast<std::size_t>(i)];
+  for (ClientId i : cloud.client_ids()) {
+    ASSERT_EQ(restored.cluster_of(i), ckpt.cluster_of[i.index()]);
+    const auto& want = ckpt.placements[i.index()];
     const auto& got = restored.placements(i);
     ASSERT_EQ(got.size(), want.size());
     for (std::size_t n = 0; n < want.size(); ++n) {
@@ -118,7 +120,7 @@ TEST(AllocState, CorruptedAggregateTripsTheChecker) {
   AllocState state(alloc::build_initial_solution(cloud, opts, rng, eval));
   ASSERT_TRUE(state.aggregates_consistent());
 
-  state.corrupt_aggregate_for_test(0, 1e-3);
+  state.corrupt_aggregate_for_test(ServerId{0}, 1e-3);
   EXPECT_FALSE(state.aggregates_consistent());
   EXPECT_DEATH(state.check_invariants(), "");
 }

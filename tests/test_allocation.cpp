@@ -18,12 +18,12 @@ class AllocationTest : public ::testing::Test {
 
 TEST_F(AllocationTest, StartsEmpty) {
   Allocation alloc(cloud_);
-  for (ClientId i = 0; i < cloud_.num_clients(); ++i) {
+  for (ClientId i : cloud_.client_ids()) {
     EXPECT_FALSE(alloc.is_assigned(i));
     EXPECT_EQ(alloc.cluster_of(i), kNoCluster);
     EXPECT_TRUE(alloc.placements(i).empty());
   }
-  for (ServerId j = 0; j < cloud_.num_servers(); ++j) {
+  for (ServerId j : cloud_.server_ids()) {
     EXPECT_FALSE(alloc.active(j));
     EXPECT_DOUBLE_EQ(alloc.used_phi_p(j), 0.0);
     EXPECT_DOUBLE_EQ(alloc.proc_load(j), 0.0);
@@ -34,77 +34,77 @@ TEST_F(AllocationTest, StartsEmpty) {
 TEST_F(AllocationTest, AssignUpdatesAggregates) {
   Allocation alloc(cloud_);
   // Client 0: lambda=1.0, alpha_p=0.5, disk=0.5. Server 0 in cluster 0.
-  alloc.assign(0, 0, {Placement{0, 1.0, 0.4, 0.3}});
-  EXPECT_TRUE(alloc.is_assigned(0));
-  EXPECT_EQ(alloc.cluster_of(0), 0);
-  EXPECT_TRUE(alloc.active(0));
+  alloc.assign(ClientId{0}, ClusterId{0}, {Placement{ServerId{0}, 1.0, 0.4, 0.3}});
+  EXPECT_TRUE(alloc.is_assigned(ClientId{0}));
+  EXPECT_EQ(alloc.cluster_of(ClientId{0}), ClusterId{0});
+  EXPECT_TRUE(alloc.active(ServerId{0}));
   EXPECT_EQ(alloc.num_active_servers(), 1);
-  EXPECT_DOUBLE_EQ(alloc.used_phi_p(0), 0.4);
-  EXPECT_DOUBLE_EQ(alloc.used_phi_n(0), 0.3);
-  EXPECT_DOUBLE_EQ(alloc.used_disk(0), 0.5);
-  EXPECT_DOUBLE_EQ(alloc.proc_load(0), 1.0 * 0.5);
-  EXPECT_EQ(alloc.clients_on(0).size(), 1u);
+  EXPECT_DOUBLE_EQ(alloc.used_phi_p(ServerId{0}), 0.4);
+  EXPECT_DOUBLE_EQ(alloc.used_phi_n(ServerId{0}), 0.3);
+  EXPECT_DOUBLE_EQ(alloc.used_disk(ServerId{0}), 0.5);
+  EXPECT_DOUBLE_EQ(alloc.proc_load(ServerId{0}), 1.0 * 0.5);
+  EXPECT_EQ(alloc.clients_on(ServerId{0}).size(), 1u);
 }
 
 TEST_F(AllocationTest, ClearRestoresEmptyState) {
   Allocation alloc(cloud_);
-  alloc.assign(0, 0, {Placement{0, 1.0, 0.4, 0.3}});
-  alloc.clear(0);
-  EXPECT_FALSE(alloc.is_assigned(0));
-  EXPECT_FALSE(alloc.active(0));
-  EXPECT_DOUBLE_EQ(alloc.used_phi_p(0), 0.0);
-  EXPECT_DOUBLE_EQ(alloc.used_disk(0), 0.0);
-  EXPECT_DOUBLE_EQ(alloc.proc_load(0), 0.0);
+  alloc.assign(ClientId{0}, ClusterId{0}, {Placement{ServerId{0}, 1.0, 0.4, 0.3}});
+  alloc.clear(ClientId{0});
+  EXPECT_FALSE(alloc.is_assigned(ClientId{0}));
+  EXPECT_FALSE(alloc.active(ServerId{0}));
+  EXPECT_DOUBLE_EQ(alloc.used_phi_p(ServerId{0}), 0.0);
+  EXPECT_DOUBLE_EQ(alloc.used_disk(ServerId{0}), 0.0);
+  EXPECT_DOUBLE_EQ(alloc.proc_load(ServerId{0}), 0.0);
 }
 
 TEST_F(AllocationTest, ReassignReplacesFootprint) {
   Allocation alloc(cloud_);
-  alloc.assign(0, 0, {Placement{0, 1.0, 0.4, 0.3}});
+  alloc.assign(ClientId{0}, ClusterId{0}, {Placement{ServerId{0}, 1.0, 0.4, 0.3}});
   // Move to the other server of cluster 0.
-  alloc.assign(0, 0, {Placement{1, 1.0, 0.2, 0.2}});
-  EXPECT_DOUBLE_EQ(alloc.used_phi_p(0), 0.0);
-  EXPECT_DOUBLE_EQ(alloc.used_phi_p(1), 0.2);
-  EXPECT_FALSE(alloc.active(0));
-  EXPECT_TRUE(alloc.active(1));
+  alloc.assign(ClientId{0}, ClusterId{0}, {Placement{ServerId{1}, 1.0, 0.2, 0.2}});
+  EXPECT_DOUBLE_EQ(alloc.used_phi_p(ServerId{0}), 0.0);
+  EXPECT_DOUBLE_EQ(alloc.used_phi_p(ServerId{1}), 0.2);
+  EXPECT_FALSE(alloc.active(ServerId{0}));
+  EXPECT_TRUE(alloc.active(ServerId{1}));
 }
 
 TEST_F(AllocationTest, SplitPlacementAcrossServers) {
   Allocation alloc(cloud_);
-  alloc.assign(0, 0,
-               {Placement{0, 0.5, 0.3, 0.3}, Placement{1, 0.5, 0.2, 0.2}});
-  EXPECT_EQ(alloc.placements(0).size(), 2u);
+  alloc.assign(ClientId{0}, ClusterId{0},
+               {Placement{ServerId{0}, 0.5, 0.3, 0.3}, Placement{ServerId{1}, 0.5, 0.2, 0.2}});
+  EXPECT_EQ(alloc.placements(ClientId{0}).size(), 2u);
   // Disk is consumed on every hosting server (constraint 8).
-  EXPECT_DOUBLE_EQ(alloc.used_disk(0), 0.5);
-  EXPECT_DOUBLE_EQ(alloc.used_disk(1), 0.5);
+  EXPECT_DOUBLE_EQ(alloc.used_disk(ServerId{0}), 0.5);
+  EXPECT_DOUBLE_EQ(alloc.used_disk(ServerId{1}), 0.5);
   // Processing load splits by psi.
-  EXPECT_DOUBLE_EQ(alloc.proc_load(0), 0.5 * 1.0 * 0.5);
+  EXPECT_DOUBLE_EQ(alloc.proc_load(ServerId{0}), 0.5 * 1.0 * 0.5);
 }
 
 TEST_F(AllocationTest, MultipleClientsShareServer) {
   Allocation alloc(cloud_);
-  alloc.assign(0, 0, {Placement{0, 1.0, 0.3, 0.3}});
-  alloc.assign(1, 0, {Placement{0, 1.0, 0.4, 0.2}});
-  EXPECT_NEAR(alloc.used_phi_p(0), 0.7, 1e-12);
-  EXPECT_EQ(alloc.clients_on(0).size(), 2u);
-  alloc.clear(0);
-  EXPECT_NEAR(alloc.used_phi_p(0), 0.4, 1e-12);
-  EXPECT_EQ(alloc.clients_on(0).size(), 1u);
+  alloc.assign(ClientId{0}, ClusterId{0}, {Placement{ServerId{0}, 1.0, 0.3, 0.3}});
+  alloc.assign(ClientId{1}, ClusterId{0}, {Placement{ServerId{0}, 1.0, 0.4, 0.2}});
+  EXPECT_NEAR(alloc.used_phi_p(ServerId{0}), 0.7, 1e-12);
+  EXPECT_EQ(alloc.clients_on(ServerId{0}).size(), 2u);
+  alloc.clear(ClientId{0});
+  EXPECT_NEAR(alloc.used_phi_p(ServerId{0}), 0.4, 1e-12);
+  EXPECT_EQ(alloc.clients_on(ServerId{0}).size(), 1u);
 }
 
 TEST_F(AllocationTest, ResponseTimeMatchesQueueingModel) {
   Allocation alloc(cloud_);
   // Client 0: lambda=1, alpha_p=0.5, alpha_n=0.6; server 0: cap 4/4.
-  alloc.assign(0, 0, {Placement{0, 1.0, 0.5, 0.5}});
+  alloc.assign(ClientId{0}, ClusterId{0}, {Placement{ServerId{0}, 1.0, 0.5, 0.5}});
   // mu_p = 0.5*4/0.5 = 4; mu_n = 0.5*4/0.6 = 10/3.
   const double expected = 1.0 / (4.0 - 1.0) + 1.0 / (10.0 / 3.0 - 1.0);
-  EXPECT_NEAR(alloc.response_time(0), expected, 1e-12);
+  EXPECT_NEAR(alloc.response_time(ClientId{0}), expected, 1e-12);
 }
 
 TEST_F(AllocationTest, ResponseTimeInfiniteWhenUnassignedOrUnstable) {
   Allocation alloc(cloud_);
-  EXPECT_TRUE(std::isinf(alloc.response_time(0)));
-  alloc.assign(0, 0, {Placement{0, 1.0, 0.01, 0.5}});  // mu_p = 0.08 < 1
-  EXPECT_TRUE(std::isinf(alloc.response_time(0)));
+  EXPECT_TRUE(std::isinf(alloc.response_time(ClientId{0})));
+  alloc.assign(ClientId{0}, ClusterId{0}, {Placement{ServerId{0}, 1.0, 0.01, 0.5}});  // mu_p = 0.08 < 1
+  EXPECT_TRUE(std::isinf(alloc.response_time(ClientId{0})));
 }
 
 TEST_F(AllocationTest, FreeCapacitiesAccountBackground) {
@@ -115,40 +115,40 @@ TEST_F(AllocationTest, FreeCapacitiesAccountBackground) {
   // Tiny scenario has no background; emulate via direct construction is
   // heavyweight, so just verify free_* = 1 - used here.
   Allocation alloc(cloud);
-  alloc.assign(0, 0, {Placement{0, 1.0, 0.25, 0.5}});
-  EXPECT_DOUBLE_EQ(alloc.free_phi_p(0), 0.75);
-  EXPECT_DOUBLE_EQ(alloc.free_phi_n(0), 0.5);
-  EXPECT_DOUBLE_EQ(alloc.free_disk(0), 4.0 - 0.5);
+  alloc.assign(ClientId{0}, ClusterId{0}, {Placement{ServerId{0}, 1.0, 0.25, 0.5}});
+  EXPECT_DOUBLE_EQ(alloc.free_phi_p(ServerId{0}), 0.75);
+  EXPECT_DOUBLE_EQ(alloc.free_phi_n(ServerId{0}), 0.5);
+  EXPECT_DOUBLE_EQ(alloc.free_disk(ServerId{0}), 4.0 - 0.5);
 }
 
 TEST_F(AllocationTest, CloneIsDeep) {
   Allocation alloc(cloud_);
-  alloc.assign(0, 0, {Placement{0, 1.0, 0.3, 0.3}});
+  alloc.assign(ClientId{0}, ClusterId{0}, {Placement{ServerId{0}, 1.0, 0.3, 0.3}});
   Allocation copy = alloc.clone();
-  copy.clear(0);
-  EXPECT_TRUE(alloc.is_assigned(0));
-  EXPECT_FALSE(copy.is_assigned(0));
-  EXPECT_TRUE(alloc.active(0));
+  copy.clear(ClientId{0});
+  EXPECT_TRUE(alloc.is_assigned(ClientId{0}));
+  EXPECT_FALSE(copy.is_assigned(ClientId{0}));
+  EXPECT_TRUE(alloc.active(ServerId{0}));
 }
 
 TEST_F(AllocationTest, RejectsCrossClusterPlacement) {
   Allocation alloc(cloud_);
   // Server 2 belongs to cluster 1; assigning it under cluster 0 dies.
-  EXPECT_DEATH(alloc.assign(0, 0, {Placement{2, 1.0, 0.3, 0.3}}),
+  EXPECT_DEATH(alloc.assign(ClientId{0}, ClusterId{0}, {Placement{ServerId{2}, 1.0, 0.3, 0.3}}),
                "assigned cluster");
 }
 
 TEST_F(AllocationTest, RejectsPsiNotSummingToOne) {
   Allocation alloc(cloud_);
-  EXPECT_DEATH(alloc.assign(0, 0, {Placement{0, 0.5, 0.3, 0.3}}),
+  EXPECT_DEATH(alloc.assign(ClientId{0}, ClusterId{0}, {Placement{ServerId{0}, 0.5, 0.3, 0.3}}),
                "psi must sum");
 }
 
 TEST_F(AllocationTest, RejectsDuplicateServerPlacements) {
   Allocation alloc(cloud_);
   EXPECT_DEATH(
-      alloc.assign(0, 0,
-                   {Placement{0, 0.5, 0.1, 0.1}, Placement{0, 0.5, 0.1, 0.1}}),
+      alloc.assign(ClientId{0}, ClusterId{0},
+                   {Placement{ServerId{0}, 0.5, 0.1, 0.1}, Placement{ServerId{0}, 0.5, 0.1, 0.1}}),
       "one placement per server");
 }
 
@@ -163,7 +163,7 @@ TEST_F(AllocationTest, FootprintChurnStaysConsistent) {
       alloc.clear(i);
     } else {
       if (alloc.is_assigned(i)) alloc.clear(i);
-      const ClusterId k = static_cast<ClusterId>(rng.uniform_int(0, 1));
+      const ClusterId k = ClusterId{static_cast<int>(rng.uniform_int(0, 1))};
       const auto& servers = cloud_.cluster(k).servers;
       const ServerId j = servers[rng.index(servers.size())];
       alloc.assign(i, k,
@@ -172,10 +172,10 @@ TEST_F(AllocationTest, FootprintChurnStaysConsistent) {
     }
   }
   // Recompute aggregates from scratch and compare.
-  for (ServerId j = 0; j < cloud_.num_servers(); ++j) {
+  for (ServerId j : cloud_.server_ids()) {
     double phi_p = 0.0, disk = 0.0, load = 0.0;
     int hosted = 0;
-    for (ClientId i = 0; i < cloud_.num_clients(); ++i) {
+    for (ClientId i : cloud_.client_ids()) {
       if (!alloc.is_assigned(i)) continue;
       for (const auto& p : alloc.placements(i)) {
         if (p.server != j) continue;

@@ -23,18 +23,18 @@ class AssignDistributeTest : public ::testing::Test {
 
 TEST_F(AssignDistributeTest, ProducesFeasiblePlan) {
   Allocation alloc(cloud_);
-  const auto plan = assign_distribute(alloc, 0, 0, opts_);
+  const auto plan = assign_distribute(alloc, model::ClientId{0}, model::ClusterId{0}, opts_);
   ASSERT_TRUE(plan.has_value());
-  EXPECT_EQ(plan->cluster, 0);
-  alloc.assign(0, plan->cluster, plan->placements);
+  EXPECT_EQ(plan->cluster, model::ClusterId{0});
+  alloc.assign(model::ClientId{0}, plan->cluster, plan->placements);
   EXPECT_TRUE(model::is_feasible(alloc));
-  EXPECT_TRUE(std::isfinite(alloc.response_time(0)));
+  EXPECT_TRUE(std::isfinite(alloc.response_time(model::ClientId{0})));
 }
 
 TEST_F(AssignDistributeTest, PsiQuantizedOnGrid) {
   Allocation alloc(cloud_);
   opts_.psi_grid = 4;
-  const auto plan = assign_distribute(alloc, 0, 0, opts_);
+  const auto plan = assign_distribute(alloc, model::ClientId{0}, model::ClusterId{0}, opts_);
   ASSERT_TRUE(plan.has_value());
   for (const Placement& p : plan->placements) {
     const double quanta = p.psi * 4.0;
@@ -47,10 +47,10 @@ TEST_F(AssignDistributeTest, ScoreTracksRealProfitOrdering) {
   // inserting into one whose servers are nearly saturated.
   Allocation alloc(cloud_);
   // Saturate cluster 0 shares with clients 1..3.
-  alloc.assign(1, 0, {Placement{0, 1.0, 0.9, 0.9}});
-  alloc.assign(2, 0, {Placement{1, 1.0, 0.9, 0.9}});
-  const auto plan0 = assign_distribute(alloc, 0, 0, opts_);
-  const auto plan1 = assign_distribute(alloc, 0, 1, opts_);
+  alloc.assign(model::ClientId{1}, model::ClusterId{0}, {Placement{model::ServerId{0}, 1.0, 0.9, 0.9}});
+  alloc.assign(model::ClientId{2}, model::ClusterId{0}, {Placement{model::ServerId{1}, 1.0, 0.9, 0.9}});
+  const auto plan0 = assign_distribute(alloc, model::ClientId{0}, model::ClusterId{0}, opts_);
+  const auto plan1 = assign_distribute(alloc, model::ClientId{0}, model::ClusterId{1}, opts_);
   ASSERT_TRUE(plan1.has_value());
   if (plan0) {
     EXPECT_GE(plan1->score, plan0->score);
@@ -63,23 +63,24 @@ TEST_F(AssignDistributeTest, RespectsDiskConstraint) {
   // Tiny scenario cluster 0 = servers {0 (cap_m 4), 1 (cap_m 6)}.
   // Client 3 disk = 1.25; others 0.5, 0.75, 1.0. Shares below are sized to
   // keep every queue stable so the fixture itself is feasible.
-  alloc.assign(0, 0, {Placement{0, 1.0, 0.35, 0.35}});
-  alloc.assign(1, 0, {Placement{0, 1.0, 0.35, 0.35}});
-  alloc.assign(2, 0, {Placement{1, 1.0, 0.40, 0.40}});
-  const auto plan = assign_distribute(alloc, 3, 0, opts_);
+  alloc.assign(model::ClientId{0}, model::ClusterId{0}, {Placement{model::ServerId{0}, 1.0, 0.35, 0.35}});
+  alloc.assign(model::ClientId{1}, model::ClusterId{0}, {Placement{model::ServerId{0}, 1.0, 0.35, 0.35}});
+  alloc.assign(model::ClientId{2}, model::ClusterId{0}, {Placement{model::ServerId{1}, 1.0, 0.40, 0.40}});
+  const auto plan = assign_distribute(alloc, model::ClientId{3}, model::ClusterId{0}, opts_);
   ASSERT_TRUE(plan.has_value());
   Allocation trial = alloc.clone();
-  trial.assign(3, 0, plan->placements);
+  trial.assign(model::ClientId{3}, model::ClusterId{0}, plan->placements);
   EXPECT_TRUE(model::is_feasible(trial));
 }
 
 TEST_F(AssignDistributeTest, ExcludedServerNeverUsed) {
   Allocation alloc(cloud_);
   InsertionConstraints constraints;
-  constraints.exclude = 0;
-  const auto plan = assign_distribute(alloc, 0, 0, opts_, constraints);
+  constraints.exclude = model::ServerId{0};
+  const auto plan = assign_distribute(alloc, model::ClientId{0}, model::ClusterId{0}, opts_, constraints);
   ASSERT_TRUE(plan.has_value());
-  for (const Placement& p : plan->placements) EXPECT_NE(p.server, 0);
+  for (const Placement& p : plan->placements)
+    EXPECT_NE(p.server, model::ServerId{0});
 }
 
 TEST_F(AssignDistributeTest, ActiveOnlyConstraintHonored) {
@@ -87,23 +88,24 @@ TEST_F(AssignDistributeTest, ActiveOnlyConstraintHonored) {
   InsertionConstraints constraints;
   constraints.allow_inactive = false;
   // Nothing is active yet -> no candidates.
-  EXPECT_FALSE(assign_distribute(alloc, 0, 0, opts_, constraints).has_value());
+  EXPECT_FALSE(assign_distribute(alloc, model::ClientId{0}, model::ClusterId{0}, opts_, constraints).has_value());
   // Activate server 1, then only server 1 is eligible.
-  alloc.assign(1, 0, {Placement{1, 1.0, 0.3, 0.3}});
-  const auto plan = assign_distribute(alloc, 0, 0, opts_, constraints);
+  alloc.assign(model::ClientId{1}, model::ClusterId{0}, {Placement{model::ServerId{1}, 1.0, 0.3, 0.3}});
+  const auto plan = assign_distribute(alloc, model::ClientId{0}, model::ClusterId{0}, opts_, constraints);
   ASSERT_TRUE(plan.has_value());
-  for (const Placement& p : plan->placements) EXPECT_EQ(p.server, 1);
+  for (const Placement& p : plan->placements)
+    EXPECT_EQ(p.server, model::ServerId{1});
 }
 
 TEST_F(AssignDistributeTest, ActivationCostDiscouragesNewServers) {
   // With one server already active and roomy, the plan should prefer it
   // over paying a second P0.
   Allocation alloc(cloud_);
-  alloc.assign(1, 0, {Placement{1, 1.0, 0.2, 0.2}});
-  const auto plan = assign_distribute(alloc, 0, 0, opts_);
+  alloc.assign(model::ClientId{1}, model::ClusterId{0}, {Placement{model::ServerId{1}, 1.0, 0.2, 0.2}});
+  const auto plan = assign_distribute(alloc, model::ClientId{0}, model::ClusterId{0}, opts_);
   ASSERT_TRUE(plan.has_value());
   ASSERT_EQ(plan->placements.size(), 1u);
-  EXPECT_EQ(plan->placements[0].server, 1);
+  EXPECT_EQ(plan->placements[0].server, model::ServerId{1});
 }
 
 TEST_F(AssignDistributeTest, HeavyClientSplitsAcrossServers) {
@@ -123,10 +125,10 @@ TEST_F(AssignDistributeTest, HeavyClientSplitsAcrossServers) {
   params.alpha_lo = params.alpha_hi = 1.0;  // demand 8 > cap <= 6
   const auto heavy = workload::make_scenario(params, 3);
   Allocation heavy_alloc(heavy);
-  const auto plan = assign_distribute(heavy_alloc, 0, 0, opts_);
+  const auto plan = assign_distribute(heavy_alloc, model::ClientId{0}, model::ClusterId{0}, opts_);
   ASSERT_TRUE(plan.has_value());
   EXPECT_GE(plan->placements.size(), 2u);
-  heavy_alloc.assign(0, 0, plan->placements);
+  heavy_alloc.assign(model::ClientId{0}, model::ClusterId{0}, plan->placements);
   EXPECT_TRUE(model::is_feasible(heavy_alloc));
 }
 
@@ -140,17 +142,17 @@ TEST_F(AssignDistributeTest, ReturnsNulloptWhenImpossible) {
   params.alpha_lo = params.alpha_hi = 1.0;
   const auto impossible = workload::make_scenario(params, 3);
   Allocation alloc(impossible);
-  EXPECT_FALSE(assign_distribute(alloc, 0, 0, opts_).has_value());
+  EXPECT_FALSE(assign_distribute(alloc, model::ClientId{0}, model::ClusterId{0}, opts_).has_value());
 }
 
 TEST_F(AssignDistributeTest, BestInsertionPicksArgmaxCluster) {
   Allocation alloc(cloud_);
   // Saturate cluster 0 completely.
-  alloc.assign(1, 0, {Placement{0, 1.0, 0.95, 0.95}});
-  alloc.assign(2, 0, {Placement{1, 1.0, 0.95, 0.95}});
-  const auto best = best_insertion(alloc, 0, opts_);
+  alloc.assign(model::ClientId{1}, model::ClusterId{0}, {Placement{model::ServerId{0}, 1.0, 0.95, 0.95}});
+  alloc.assign(model::ClientId{2}, model::ClusterId{0}, {Placement{model::ServerId{1}, 1.0, 0.95, 0.95}});
+  const auto best = best_insertion(alloc, model::ClientId{0}, opts_);
   ASSERT_TRUE(best.has_value());
-  EXPECT_EQ(best->cluster, 1);
+  EXPECT_EQ(best->cluster, model::ClusterId{1});
 }
 
 class AssignDistributeProperty
@@ -163,7 +165,7 @@ TEST_P(AssignDistributeProperty, CommittedPlansStayFeasible) {
   const auto cloud = workload::make_scenario(params, GetParam());
   AllocatorOptions opts;
   Allocation alloc(cloud);
-  for (model::ClientId i = 0; i < cloud.num_clients(); ++i) {
+  for (model::ClientId i : cloud.client_ids()) {
     const auto plan = best_insertion(alloc, i, opts);
     if (!plan) continue;
     alloc.assign(i, plan->cluster, plan->placements);

@@ -38,7 +38,7 @@ TEST(Background, GeneratorPopulatesBackgroundLoad) {
 TEST(Background, ReservedCapacityIsUnavailable) {
   const auto cloud = workload::make_scenario(bg_params(1.0), 303);
   model::Allocation alloc(cloud);
-  for (model::ServerId j = 0; j < cloud.num_servers(); ++j) {
+  for (model::ServerId j : cloud.server_ids()) {
     EXPECT_NEAR(alloc.free_phi_p(j), 1.0 - cloud.server(j).background.phi_p,
                 1e-12);
     EXPECT_NEAR(alloc.free_disk(j),
@@ -55,7 +55,7 @@ TEST(Background, AllocatorStaysFeasibleWithBackground) {
   const auto result = alloc::ResourceAllocator().run(cloud);
   ASSERT_TRUE(model::is_feasible(result.allocation));
   // Committed shares (clients + background) never exceed the server.
-  for (model::ServerId j = 0; j < cloud.num_servers(); ++j) {
+  for (model::ServerId j : cloud.server_ids()) {
     EXPECT_LE(result.allocation.used_phi_p(j), 1.0 + 1e-6);
     EXPECT_LE(result.allocation.used_phi_n(j), 1.0 + 1e-6);
   }
@@ -64,7 +64,7 @@ TEST(Background, AllocatorStaysFeasibleWithBackground) {
 TEST(Background, KeepsOnServersAreNeverTurnedOff) {
   const auto cloud = workload::make_scenario(bg_params(1.0), 311);
   const auto result = alloc::ResourceAllocator().run(cloud);
-  for (model::ServerId j = 0; j < cloud.num_servers(); ++j)
+  for (model::ServerId j : cloud.server_ids())
     EXPECT_TRUE(result.allocation.active(j));
 }
 

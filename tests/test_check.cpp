@@ -1,0 +1,136 @@
+#include "common/check.h"
+
+#include <type_traits>
+
+#include <gtest/gtest.h>
+
+#include "common/strong_id.h"
+#include "common/units.h"
+#include "model/types.h"
+
+namespace cloudalloc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CHECK / CHECK_MSG abort with a diagnosable message: the failed
+// expression, the source file, and the caller-provided context all have
+// to survive into the death message, or a production CHECK trip is
+// undebuggable.
+// ---------------------------------------------------------------------------
+
+using CheckDeathTest = ::testing::Test;
+
+TEST(CheckDeathTest, FailureMessageContainsExpression) {
+  EXPECT_DEATH(CHECK(1 == 2), "CHECK failed: 1 == 2");
+}
+
+TEST(CheckDeathTest, FailureMessageContainsFile) {
+  EXPECT_DEATH(CHECK(false), "test_check\\.cpp");
+}
+
+TEST(CheckDeathTest, CheckMsgCarriesContext) {
+  EXPECT_DEATH(CHECK_MSG(2 + 2 == 5, "arithmetic is broken"),
+               "CHECK failed: 2 \\+ 2 == 5.*arithmetic is broken");
+}
+
+TEST(CheckDeathTest, PassingCheckIsSilent) {
+  CHECK(1 + 1 == 2);
+  CHECK_MSG(true, "never printed");
+  SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// Compile-time negative space of Id<Tag>. These assert that the
+// *absence* of operations is stable API: if someone adds an implicit
+// conversion or a cross-family comparison, this file stops compiling.
+// (The probes are concepts so an absent operator is a substitution
+// failure instead of a hard error.)
+// ---------------------------------------------------------------------------
+
+template <class A, class B>
+concept CanEq = requires(A a, B b) { a == b; };
+template <class A, class B>
+concept CanLt = requires(A a, B b) { a < b; };
+template <class A, class B>
+concept CanAdd = requires(A a, B b) { a + b; };
+template <class A, class B>
+concept CanSub = requires(A a, B b) { a - b; };
+template <class A, class B>
+concept CanMul = requires(A a, B b) { a * b; };
+template <class A>
+concept CanPreIncrement = requires(A a) { ++a; };
+template <class V, class I>
+concept CanIndex = requires(V v, I i) { v[i]; };
+
+// Construction from a raw index is explicit in both directions.
+static_assert(!std::is_convertible_v<int, model::ClientId>);
+static_assert(!std::is_convertible_v<model::ClientId, int>);
+static_assert(std::is_constructible_v<model::ClientId, int>);
+
+// Id families never interconvert or compare across tags.
+static_assert(!std::is_convertible_v<model::ClientId, model::ServerId>);
+static_assert(!std::is_constructible_v<model::ServerId, model::ClientId>);
+static_assert(!CanEq<model::ClientId, model::ServerId>);
+static_assert(!CanLt<model::ClientId, model::ClusterId>);
+
+// No accidental arithmetic on ids; index math must go through value().
+static_assert(!CanAdd<model::ClientId, model::ClientId>);
+static_assert(!CanPreIncrement<model::ClientId>);
+static_assert(!CanAdd<model::ClientId, int>);
+
+// Same-family comparison still works, and the wrapper costs nothing.
+static_assert(model::ClientId{2} == model::ClientId{2});
+static_assert(model::ClientId{1} < model::ClientId{3});
+static_assert(sizeof(model::ClientId) == sizeof(int));
+static_assert(std::is_trivially_copyable_v<model::ClientId>);
+static_assert(!model::ClientId{}.valid());
+static_assert(model::kNoServerClass == model::ServerClassId::kNone);
+static_assert(model::kNoUtilityClass == model::UtilityClassId::kNone);
+
+// ---------------------------------------------------------------------------
+// Compile-time negative space of Quantity<Dim>: only the dimension map
+// in common/units.h exists; everything else must fail to compile.
+// ---------------------------------------------------------------------------
+
+using units::ArrivalRate;
+using units::Share;
+using units::Time;
+using units::Work;
+using units::WorkRate;
+
+// No implicit double boundary in either direction.
+static_assert(!std::is_convertible_v<double, ArrivalRate>);
+static_assert(!std::is_convertible_v<ArrivalRate, double>);
+static_assert(std::is_constructible_v<ArrivalRate, double>);
+
+// Cross-dimension sums and comparisons do not exist.
+static_assert(!CanAdd<ArrivalRate, Work>);
+static_assert(!CanSub<ArrivalRate, WorkRate>);
+static_assert(!CanEq<Time, Work>);
+static_assert(!CanLt<Share, Time>);
+
+// Products outside the dimension map do not exist (rate*rate, time*time,
+// share*share have no physical meaning in the model).
+static_assert(!CanMul<ArrivalRate, ArrivalRate>);
+static_assert(!CanMul<Time, Time>);
+static_assert(!CanMul<Share, Share>);
+
+// The sanctioned algebra, evaluated at compile time.
+static_assert(ArrivalRate{2.0} * Work{0.5} == WorkRate{1.0});
+static_assert(Share{0.5} * WorkRate{4.0} == WorkRate{2.0});
+static_assert(WorkRate{2.0} / Work{0.5} == ArrivalRate{4.0});
+static_assert(1.0 / ArrivalRate{4.0} == Time{0.25});
+static_assert(ArrivalRate{3.0} / ArrivalRate{1.5} == 2.0);
+
+// Zero-overhead layout.
+static_assert(sizeof(ArrivalRate) == sizeof(double));
+static_assert(std::is_trivially_copyable_v<ArrivalRate>);
+static_assert(std::is_trivially_copyable_v<Time>);
+
+// IdVector is indexable only by its own family.
+static_assert(CanIndex<IdVector<model::ServerId, double>, model::ServerId>);
+static_assert(!CanIndex<IdVector<model::ServerId, double>, model::ClientId>);
+static_assert(!CanIndex<IdVector<model::ServerId, double>, int>);
+
+}  // namespace
+}  // namespace cloudalloc

@@ -18,7 +18,7 @@ TEST(Cloud, TinyScenarioShape) {
 
 TEST(Cloud, AccessorsAreConsistent) {
   const Cloud cloud = workload::make_tiny_scenario(2);
-  for (ServerId j = 0; j < cloud.num_servers(); ++j) {
+  for (ServerId j : cloud.server_ids()) {
     const Server& sv = cloud.server(j);
     EXPECT_EQ(sv.id, j);
     const Cluster& cl = cloud.cluster(sv.cluster);
@@ -27,7 +27,7 @@ TEST(Cloud, AccessorsAreConsistent) {
     EXPECT_TRUE(found) << "server must be listed in its cluster";
     EXPECT_EQ(cloud.server_class_of(j).id, sv.server_class);
   }
-  for (ClientId i = 0; i < cloud.num_clients(); ++i) {
+  for (ClientId i : cloud.client_ids()) {
     EXPECT_EQ(cloud.client(i).id, i);
     EXPECT_GT(cloud.utility_of(i).max_value(), 0.0);
   }
@@ -43,12 +43,12 @@ TEST(Cloud, TotalCapacityAndDemand) {
 
 TEST(Cloud, ValidatesServerClusterMembership) {
   std::vector<ServerClass> classes{
-      ServerClass{0, "c", 1.0, 1.0, 1.0, 0.0, 0.0}};
+      ServerClass{ServerClassId{0}, "c", 1.0, 1.0, 1.0, 0.0, 0.0}};
   std::vector<UtilityClass> utilities{
-      UtilityClass{0, std::make_shared<LinearUtility>(1.0, 1.0)}};
-  std::vector<Server> servers{Server{0, 0, 0, {}}};
+      UtilityClass{UtilityClassId{0}, std::make_shared<LinearUtility>(1.0, 1.0)}};
+  std::vector<Server> servers{Server{ServerId{0}, ClusterId{0}, ServerClassId{0}, {}}};
   // Cluster does not list server 0 -> invariant violation.
-  std::vector<Cluster> clusters{Cluster{0, "k", {}}};
+  std::vector<Cluster> clusters{Cluster{ClusterId{0}, "k", {}}};
   std::vector<Client> clients;
   EXPECT_DEATH(Cloud(classes, servers, clusters, utilities, clients),
                "every server");
@@ -56,13 +56,13 @@ TEST(Cloud, ValidatesServerClusterMembership) {
 
 TEST(Cloud, ValidatesClientParameters) {
   std::vector<ServerClass> classes{
-      ServerClass{0, "c", 1.0, 1.0, 1.0, 0.0, 0.0}};
+      ServerClass{ServerClassId{0}, "c", 1.0, 1.0, 1.0, 0.0, 0.0}};
   std::vector<UtilityClass> utilities{
-      UtilityClass{0, std::make_shared<LinearUtility>(1.0, 1.0)}};
-  std::vector<Server> servers{Server{0, 0, 0, {}}};
-  std::vector<Cluster> clusters{Cluster{0, "k", {0}}};
+      UtilityClass{UtilityClassId{0}, std::make_shared<LinearUtility>(1.0, 1.0)}};
+  std::vector<Server> servers{Server{ServerId{0}, ClusterId{0}, ServerClassId{0}, {}}};
+  std::vector<Cluster> clusters{Cluster{ClusterId{0}, "k", {ServerId{0}}}};
   Client bad;
-  bad.id = 0;
+  bad.id = ClientId{0};
   bad.lambda_pred = -1.0;  // invalid
   std::vector<Client> clients{bad};
   EXPECT_DEATH(Cloud(classes, servers, clusters, utilities, clients),
@@ -71,7 +71,7 @@ TEST(Cloud, ValidatesClientParameters) {
 
 TEST(Cloud, ValidatesDenseIds) {
   std::vector<ServerClass> classes{
-      ServerClass{5, "c", 1.0, 1.0, 1.0, 0.0, 0.0}};  // id != position
+      ServerClass{ServerClassId{5}, "c", 1.0, 1.0, 1.0, 0.0, 0.0}};  // id != position
   EXPECT_DEATH(Cloud(classes, {}, {}, {}, {}), "dense");
 }
 

@@ -32,7 +32,8 @@ constexpr double kTol = 1e-9;
 Allocation half_loaded(const Cloud& cloud, int placed,
                        const AllocatorOptions& opts) {
   Allocation alloc(cloud);
-  for (ClientId i = 0; i < placed; ++i) {
+  for (int i_raw = 0; i_raw < placed; ++i_raw) {
+    const ClientId i{i_raw};
     const auto plan = best_insertion(alloc, i, opts);
     if (plan) alloc.assign(i, plan->cluster, plan->placements);
   }
@@ -44,7 +45,7 @@ Allocation half_loaded(const Cloud& cloud, int placed,
 std::vector<double> fingerprint(const ResidualView& view) {
   const Cloud& cloud = view.cloud();
   std::vector<double> fp;
-  for (ServerId j = 0; j < cloud.num_servers(); ++j) {
+  for (ServerId j : cloud.server_ids()) {
     fp.push_back(view.free_phi_p(j));
     fp.push_back(view.free_phi_n(j));
     fp.push_back(view.free_disk(j));
@@ -66,7 +67,8 @@ TEST(DeltaPriceTest, InsertionDeltaMatchesCloneOracle) {
     const ResidualView view(alloc);
 
     int priced = 0;
-    for (ClientId i = 30; i < cloud.num_clients(); ++i) {
+    for (int i_raw = 30; i_raw < cloud.num_clients(); ++i_raw) {
+      const ClientId i{i_raw};
       const auto plan = best_insertion(view, i, opts);
       if (!plan) continue;
       const double delta = insertion_delta(view, i, plan->placements);
@@ -95,7 +97,8 @@ TEST(DeltaPriceTest, RemovalDeltaMatchesCloneOracle) {
     const ResidualView view(alloc);
 
     int priced = 0;
-    for (ClientId i = 0; i < 40; ++i) {
+    for (int i_raw = 0; i_raw < 40; ++i_raw) {
+      const ClientId i{i_raw};
       if (!alloc.is_assigned(i)) continue;
       const double delta = removal_delta(view, i, alloc.placements(i));
 
@@ -123,11 +126,12 @@ TEST(DeltaPriceTest, ReplaceDeltaMatchesOracleAndRestoresView) {
 
   InsertionConstraints constraints;
   int priced = 0;
-  for (ClientId i = 0; i < 40; ++i) {
+  for (int i_raw = 0; i_raw < 40; ++i_raw) {
+    const ClientId i{i_raw};
     if (!alloc.is_assigned(i)) continue;
     // Re-place into a different cluster so old and new placements differ.
-    const ClusterId other =
-        (alloc.cluster_of(i) + 1) % cloud.num_clusters();
+    const ClusterId other{(alloc.cluster_of(i).value() + 1) %
+                          cloud.num_clusters()};
     const auto old_ps = alloc.placements(i);
 
     // Price the insertion against the vacated state, like the passes do.
@@ -172,8 +176,9 @@ TEST(DeltaPriceTest, TopKContainsArgmaxOrFallback) {
   model::profit(alloc);
 
   int attempts = 0;
-  for (ClientId i = 30; i < cloud.num_clients(); ++i) {
-    for (ClusterId k = 0; k < cloud.num_clusters(); ++k) {
+  for (int i_raw = 30; i_raw < cloud.num_clients(); ++i_raw) {
+    const ClientId i{i_raw};
+    for (ClusterId k : cloud.cluster_ids()) {
       const auto exact = assign_distribute(alloc, i, k, exact_opts);
       if (!exact) continue;
 
@@ -213,8 +218,9 @@ TEST(DeltaPriceTest, PrunedEqualsFullScan) {
     const Allocation alloc = half_loaded(cloud, 30, exact_opts);
     model::profit(alloc);
 
-    for (ClientId i = 30; i < cloud.num_clients(); ++i) {
-      for (ClusterId k = 0; k < cloud.num_clusters(); ++k) {
+    for (int i_raw = 30; i_raw < cloud.num_clients(); ++i_raw) {
+      const ClientId i{i_raw};
+      for (ClusterId k : cloud.cluster_ids()) {
         const auto exact = assign_distribute(alloc, i, k, exact_opts);
         const auto pruned = assign_distribute(alloc, i, k, pruned_opts);
         ASSERT_EQ(exact.has_value(), pruned.has_value());
@@ -255,8 +261,8 @@ TEST(DeltaPriceTest, TieHeavyTwinCertificationPrunesWithExclusions) {
     model::profit(alloc);  // settle caches before snapshotting
 
     int pruned_with_exclusions = 0;
-    for (ClientId i = 0; i < cloud.num_clients(); ++i) {
-      for (ClusterId k = 0; k < cloud.num_clusters(); ++k) {
+    for (ClientId i : cloud.client_ids()) {
+      for (ClusterId k : cloud.cluster_ids()) {
         const auto exact = assign_distribute(alloc, i, k, exact_opts);
         InsertionStats stats;
         const auto pruned =

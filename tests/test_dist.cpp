@@ -123,12 +123,12 @@ TEST(ClusterAgent, EvaluatesOnlyItsCluster) {
   const auto cloud = workload::make_tiny_scenario(2);
   alloc::AllocatorOptions opts;
   model::Allocation snapshot(cloud);
-  ClusterAgent agent(1, opts);
-  const auto plan = agent.evaluate_insertion(snapshot, 0);
+  ClusterAgent agent(model::ClusterId{1}, opts);
+  const auto plan = agent.evaluate_insertion(snapshot, model::ClientId{0});
   ASSERT_TRUE(plan.has_value());
-  EXPECT_EQ(plan->cluster, 1);
+  EXPECT_EQ(plan->cluster, model::ClusterId{1});
   for (const auto& p : plan->placements)
-    EXPECT_EQ(cloud.server(p.server).cluster, 1);
+    EXPECT_EQ(cloud.server(p.server).cluster, model::ClusterId{1});
 }
 
 TEST(ClusterAgent, ImproveOnlyTouchesItsClients) {
@@ -140,14 +140,14 @@ TEST(ClusterAgent, ImproveOnlyTouchesItsClients) {
   Rng rng(51);
   model::Allocation snapshot =
       alloc::build_initial_solution(cloud, opts, rng);
-  ClusterAgent agent(0, opts);
+  ClusterAgent agent(model::ClusterId{0}, opts);
   const auto improvement = agent.improve(snapshot);
-  EXPECT_EQ(improvement.cluster, 0);
+  EXPECT_EQ(improvement.cluster, model::ClusterId{0});
   EXPECT_GE(improvement.profit_delta, -1e-9);
   for (const auto& [i, placements] : improvement.placements) {
-    EXPECT_EQ(snapshot.cluster_of(i), 0);
+    EXPECT_EQ(snapshot.cluster_of(i), model::ClusterId{0});
     for (const auto& p : placements)
-      EXPECT_EQ(cloud.server(p.server).cluster, 0);
+      EXPECT_EQ(cloud.server(p.server).cluster, model::ClusterId{0});
   }
 }
 

@@ -40,7 +40,7 @@ TEST(DistDeterminism, IdenticalAssignmentsAcrossRuns) {
   DistributedAllocator allocator({opts});
   const auto a = allocator.run(cloud);
   const auto b = allocator.run(cloud);
-  for (model::ClientId i = 0; i < cloud.num_clients(); ++i) {
+  for (model::ClientId i : cloud.client_ids()) {
     ASSERT_EQ(a.allocation.is_assigned(i), b.allocation.is_assigned(i));
     if (!a.allocation.is_assigned(i)) continue;
     EXPECT_EQ(a.allocation.cluster_of(i), b.allocation.cluster_of(i));
@@ -68,7 +68,7 @@ TEST(DistDeterminism, MessageCountIsDeterministic) {
 
 void expect_identical(const model::Allocation& a, const model::Allocation& b) {
   const auto& cloud = a.cloud();
-  for (model::ClientId i = 0; i < cloud.num_clients(); ++i) {
+  for (model::ClientId i : cloud.client_ids()) {
     ASSERT_EQ(a.is_assigned(i), b.is_assigned(i)) << "client " << i;
     if (!a.is_assigned(i)) continue;
     EXPECT_EQ(a.cluster_of(i), b.cluster_of(i));

@@ -157,7 +157,7 @@ TEST_F(ControllerTest, PredictionsUpdateTheCloud) {
     EXPECT_NEAR(c.lambda_pred, 1.7, 1e-9);
   // Contracts are untouched.
   const auto base = make_cloud();
-  for (model::ClientId i = 0; i < 20; ++i)
+  for (model::ClientId i : base.client_ids())
     EXPECT_DOUBLE_EQ(controller.cloud().client(i).lambda_agreed,
                      base.client(i).lambda_agreed);
 }

@@ -30,7 +30,7 @@ TEST_F(EvaluatorTest, HandComputedSingleClient) {
   // Client 0: utility class 0 = Linear(2.5, 0.6); lambda_a = lambda = 1,
   // alpha_p = 0.5, alpha_n = 0.6. Server 0: small class, cap 4/4,
   // P0 = 1, P1 = 2.
-  alloc.assign(0, 0, {Placement{0, 1.0, 0.5, 0.5}});
+  alloc.assign(ClientId{0}, ClusterId{0}, {Placement{ServerId{0}, 1.0, 0.5, 0.5}});
   const double r = 1.0 / (0.5 * 4.0 / 0.5 - 1.0) +
                    1.0 / (0.5 * 4.0 / 0.6 - 1.0);
   const double revenue = 1.0 * (2.5 - 0.6 * r);
@@ -50,14 +50,14 @@ TEST_F(EvaluatorTest, HandComputedSingleClient) {
 
 TEST_F(EvaluatorTest, UnassignedClientEarnsNothing) {
   Allocation alloc(cloud_);
-  EXPECT_DOUBLE_EQ(client_revenue(alloc, 0), 0.0);
+  EXPECT_DOUBLE_EQ(client_revenue(alloc, ClientId{0}), 0.0);
 }
 
 TEST_F(EvaluatorTest, UnstableClientEarnsNothingButServerStillCosts) {
   Allocation alloc(cloud_);
-  alloc.assign(0, 0, {Placement{0, 1.0, 0.01, 0.5}});  // unstable p-stage
-  EXPECT_DOUBLE_EQ(client_revenue(alloc, 0), 0.0);
-  EXPECT_GT(server_cost(alloc, 0), 0.0);
+  alloc.assign(ClientId{0}, ClusterId{0}, {Placement{ServerId{0}, 1.0, 0.01, 0.5}});  // unstable p-stage
+  EXPECT_DOUBLE_EQ(client_revenue(alloc, ClientId{0}), 0.0);
+  EXPECT_GT(server_cost(alloc, ServerId{0}), 0.0);
   EXPECT_LT(profit(alloc), 0.0);
 }
 
@@ -66,23 +66,23 @@ TEST_F(EvaluatorTest, UtilityClampedToZeroPastCrossing) {
   // Give client 0 barely-stable shares so R is huge.
   const double phi_min_p = (1.0 + 0.01) * 0.5 / 4.0;
   const double phi_min_n = (1.0 + 0.01) * 0.6 / 4.0;
-  alloc.assign(0, 0, {Placement{0, 1.0, phi_min_p, phi_min_n}});
-  const double r = alloc.response_time(0);
-  EXPECT_GT(r, cloud_.utility_of(0).zero_crossing());
-  EXPECT_DOUBLE_EQ(client_revenue(alloc, 0), 0.0);
+  alloc.assign(ClientId{0}, ClusterId{0}, {Placement{ServerId{0}, 1.0, phi_min_p, phi_min_n}});
+  const double r = alloc.response_time(ClientId{0});
+  EXPECT_GT(r, cloud_.utility_of(ClientId{0}).zero_crossing());
+  EXPECT_DOUBLE_EQ(client_revenue(alloc, ClientId{0}), 0.0);
 }
 
 TEST_F(EvaluatorTest, InactiveServerCostsNothing) {
   Allocation alloc(cloud_);
-  EXPECT_DOUBLE_EQ(server_cost(alloc, 0), 0.0);
+  EXPECT_DOUBLE_EQ(server_cost(alloc, ServerId{0}), 0.0);
 }
 
 TEST_F(EvaluatorTest, CostGrowsWithUtilization) {
   Allocation alloc1(cloud_);
-  alloc1.assign(0, 0, {Placement{0, 1.0, 0.5, 0.5}});  // lambda 1
+  alloc1.assign(ClientId{0}, ClusterId{0}, {Placement{ServerId{0}, 1.0, 0.5, 0.5}});  // lambda 1
   Allocation alloc2(cloud_);
-  alloc2.assign(1, 0, {Placement{0, 1.0, 0.5, 0.5}});  // lambda 1.5
-  EXPECT_LT(server_cost(alloc1, 0), server_cost(alloc2, 0));
+  alloc2.assign(ClientId{1}, ClusterId{0}, {Placement{ServerId{0}, 1.0, 0.5, 0.5}});  // lambda 1.5
+  EXPECT_LT(server_cost(alloc1, ServerId{0}), server_cost(alloc2, ServerId{0}));
 }
 
 TEST_F(EvaluatorTest, CachedProfitTracksScratchEvaluationUnderChurn) {
@@ -95,7 +95,7 @@ TEST_F(EvaluatorTest, CachedProfitTracksScratchEvaluationUnderChurn) {
         static_cast<ClientId>(rng.uniform_int(0, cloud_.num_clients() - 1));
     if (alloc.is_assigned(i)) alloc.clear(i);
     if (rng.bernoulli(0.6)) {
-      const ClusterId k = static_cast<ClusterId>(rng.uniform_int(0, 1));
+      const ClusterId k = ClusterId{static_cast<int>(rng.uniform_int(0, 1))};
       const auto& servers = cloud_.cluster(k).servers;
       alloc.assign(i, k,
                    {Placement{servers[rng.index(servers.size())], 1.0,
@@ -108,19 +108,19 @@ TEST_F(EvaluatorTest, CachedProfitTracksScratchEvaluationUnderChurn) {
 
 TEST_F(EvaluatorTest, CloneCarriesAValidProfitCache) {
   Allocation alloc(cloud_);
-  alloc.assign(0, 0, {Placement{0, 1.0, 0.5, 0.5}});
+  alloc.assign(ClientId{0}, ClusterId{0}, {Placement{ServerId{0}, 1.0, 0.5, 0.5}});
   (void)profit(alloc);  // warm the cache
   Allocation copy = alloc.clone();
-  copy.assign(1, 0, {Placement{1, 1.0, 0.5, 0.5}});
+  copy.assign(ClientId{1}, ClusterId{0}, {Placement{ServerId{1}, 1.0, 0.5, 0.5}});
   EXPECT_NEAR(profit(copy), evaluate(copy).profit, 1e-9);
   EXPECT_NEAR(profit(alloc), evaluate(alloc).profit, 1e-9);
 }
 
 TEST_F(EvaluatorTest, ProfitMatchesBreakdownOnRandomStates) {
   Allocation alloc(cloud_);
-  alloc.assign(0, 0, {Placement{0, 1.0, 0.4, 0.4}});
-  alloc.assign(1, 0, {Placement{1, 1.0, 0.5, 0.5}});
-  alloc.assign(2, 1, {Placement{2, 0.5, 0.4, 0.4}, Placement{3, 0.5, 0.4, 0.4}});
+  alloc.assign(ClientId{0}, ClusterId{0}, {Placement{ServerId{0}, 1.0, 0.4, 0.4}});
+  alloc.assign(ClientId{1}, ClusterId{0}, {Placement{ServerId{1}, 1.0, 0.5, 0.5}});
+  alloc.assign(ClientId{2}, ClusterId{1}, {Placement{ServerId{2}, 0.5, 0.4, 0.4}, Placement{ServerId{3}, 0.5, 0.4, 0.4}});
   const auto breakdown = evaluate(alloc);
   EXPECT_NEAR(breakdown.profit, profit(alloc), 1e-12);
   EXPECT_EQ(breakdown.active_servers, alloc.num_active_servers());

@@ -27,15 +27,15 @@ TEST_F(FeasibilityTest, EmptyAllocationIsFeasible) {
 
 TEST_F(FeasibilityTest, WellFormedAllocationIsFeasible) {
   Allocation alloc(cloud_);
-  alloc.assign(0, 0, {Placement{0, 1.0, 0.5, 0.5}});
-  alloc.assign(1, 1, {Placement{2, 1.0, 0.6, 0.6}});
+  alloc.assign(ClientId{0}, ClusterId{0}, {Placement{ServerId{0}, 1.0, 0.5, 0.5}});
+  alloc.assign(ClientId{1}, ClusterId{1}, {Placement{ServerId{2}, 1.0, 0.6, 0.6}});
   EXPECT_TRUE(is_feasible(alloc));
 }
 
 TEST_F(FeasibilityTest, DetectsShareOverflow) {
   Allocation alloc(cloud_);
-  alloc.assign(0, 0, {Placement{0, 1.0, 0.7, 0.3}});
-  alloc.assign(1, 0, {Placement{0, 1.0, 0.7, 0.3}});
+  alloc.assign(ClientId{0}, ClusterId{0}, {Placement{ServerId{0}, 1.0, 0.7, 0.3}});
+  alloc.assign(ClientId{1}, ClusterId{0}, {Placement{ServerId{0}, 1.0, 0.7, 0.3}});
   const auto violations = check_feasibility(alloc);
   EXPECT_TRUE(has_kind(violations, ViolationKind::kShareOverflowP));
   EXPECT_FALSE(is_feasible(alloc));
@@ -43,8 +43,8 @@ TEST_F(FeasibilityTest, DetectsShareOverflow) {
 
 TEST_F(FeasibilityTest, DetectsCommShareOverflowSeparately) {
   Allocation alloc(cloud_);
-  alloc.assign(0, 0, {Placement{0, 1.0, 0.3, 0.8}});
-  alloc.assign(1, 0, {Placement{0, 1.0, 0.3, 0.8}});
+  alloc.assign(ClientId{0}, ClusterId{0}, {Placement{ServerId{0}, 1.0, 0.3, 0.8}});
+  alloc.assign(ClientId{1}, ClusterId{0}, {Placement{ServerId{0}, 1.0, 0.3, 0.8}});
   const auto violations = check_feasibility(alloc);
   EXPECT_TRUE(has_kind(violations, ViolationKind::kShareOverflowN));
   EXPECT_FALSE(has_kind(violations, ViolationKind::kShareOverflowP));
@@ -56,23 +56,23 @@ TEST_F(FeasibilityTest, DetectsDiskOverflow) {
   const Cloud cloud = workload::make_tiny_scenario(8);
   Allocation alloc(cloud);
   // Clients 0..7 disks: 0.5..2.25 summing well past 4 on one server.
-  for (ClientId i = 0; i < 8; ++i)
-    alloc.assign(i, 0, {Placement{0, 1.0, 0.05, 0.05}});
+  for (ClientId i : cloud.client_ids())
+    alloc.assign(i, ClusterId{0}, {Placement{ServerId{0}, 1.0, 0.05, 0.05}});
   const auto violations = check_feasibility(alloc);
   EXPECT_TRUE(has_kind(violations, ViolationKind::kDiskOverflow));
 }
 
 TEST_F(FeasibilityTest, DetectsUnstableQueue) {
   Allocation alloc(cloud_);
-  alloc.assign(0, 0, {Placement{0, 1.0, 0.01, 0.5}});
+  alloc.assign(ClientId{0}, ClusterId{0}, {Placement{ServerId{0}, 1.0, 0.01, 0.5}});
   const auto violations = check_feasibility(alloc);
   EXPECT_TRUE(has_kind(violations, ViolationKind::kUnstableQueue));
 }
 
 TEST_F(FeasibilityTest, ViolationDescriptionsAreInformative) {
   Allocation alloc(cloud_);
-  alloc.assign(0, 0, {Placement{0, 1.0, 0.7, 0.3}});
-  alloc.assign(1, 0, {Placement{0, 1.0, 0.7, 0.3}});
+  alloc.assign(ClientId{0}, ClusterId{0}, {Placement{ServerId{0}, 1.0, 0.7, 0.3}});
+  alloc.assign(ClientId{1}, ClusterId{0}, {Placement{ServerId{0}, 1.0, 0.7, 0.3}});
   const auto violations = check_feasibility(alloc);
   ASSERT_FALSE(violations.empty());
   EXPECT_FALSE(violations.front().describe().empty());
@@ -80,8 +80,8 @@ TEST_F(FeasibilityTest, ViolationDescriptionsAreInformative) {
 
 TEST_F(FeasibilityTest, ToleranceAbsorbsRounding) {
   Allocation alloc(cloud_);
-  alloc.assign(0, 0, {Placement{0, 1.0, 0.5 + 1e-9, 0.5}});
-  alloc.assign(1, 0, {Placement{0, 1.0, 0.5, 0.5 - 1e-9}});
+  alloc.assign(ClientId{0}, ClusterId{0}, {Placement{ServerId{0}, 1.0, 0.5 + 1e-9, 0.5}});
+  alloc.assign(ClientId{1}, ClusterId{0}, {Placement{ServerId{0}, 1.0, 0.5, 0.5 - 1e-9}});
   EXPECT_TRUE(is_feasible(alloc, 1e-6));
 }
 

@@ -129,7 +129,7 @@ TEST(AllocationFuzz, HeavyChurnKeepsAuditClean) {
             static_cast<std::size_t>(cloud.num_clients())));
     if (alloc.is_assigned(i)) alloc.clear(i);
     if (rng.bernoulli(0.3)) continue;
-    const auto k = static_cast<model::ClusterId>(rng.uniform_int(0, 1));
+    const auto k = model::ClusterId{static_cast<int>(rng.uniform_int(0, 1))};
     const auto& servers = cloud.cluster(k).servers;
     // Single- or two-server placements with conservative shares.
     if (rng.bernoulli(0.7)) {
@@ -148,17 +148,17 @@ TEST(AllocationFuzz, HeavyChurnKeepsAuditClean) {
   // The audit recomputes everything from scratch; only share/disk/load
   // bookkeeping errors would surface here (stability is not asserted: the
   // random shares are intentionally sloppy).
-  for (model::ServerId j = 0; j < cloud.num_servers(); ++j) {
+  for (model::ServerId j : cloud.server_ids()) {
     EXPECT_GE(alloc.used_phi_p(j), -1e-9);
     EXPECT_GE(alloc.used_disk(j), -1e-9);
   }
   const auto snapshot = alloc.clone();
-  for (model::ClientId i = 0; i < cloud.num_clients(); ++i) {
+  for (model::ClientId i : cloud.client_ids()) {
     EXPECT_EQ(snapshot.is_assigned(i), alloc.is_assigned(i));
     if (alloc.is_assigned(i)) alloc.clear(i);
   }
   // After clearing everyone, aggregates must return exactly to zero.
-  for (model::ServerId j = 0; j < cloud.num_servers(); ++j) {
+  for (model::ServerId j : cloud.server_ids()) {
     EXPECT_DOUBLE_EQ(alloc.used_phi_p(j), 0.0);
     EXPECT_DOUBLE_EQ(alloc.used_phi_n(j), 0.0);
     EXPECT_DOUBLE_EQ(alloc.used_disk(j), 0.0);

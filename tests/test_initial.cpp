@@ -14,9 +14,10 @@ using model::Allocation;
 TEST(GreedyInsert, AllClientsAssignedWhenCapacityAmple) {
   const auto cloud = workload::make_tiny_scenario(4);
   AllocatorOptions opts;
-  std::vector<model::ClientId> order{0, 1, 2, 3};
+  std::vector<model::ClientId> order{model::ClientId{0}, model::ClientId{1},
+                                     model::ClientId{2}, model::ClientId{3}};
   const Allocation alloc = greedy_insert(Allocation(cloud), order, opts);
-  for (model::ClientId i = 0; i < cloud.num_clients(); ++i)
+  for (model::ClientId i : cloud.client_ids())
     EXPECT_TRUE(alloc.is_assigned(i));
   EXPECT_TRUE(model::is_feasible(alloc));
   EXPECT_GT(model::profit(alloc), 0.0);
@@ -29,7 +30,7 @@ TEST(GreedyInsert, OrderChangesOutcomeButNotFeasibility) {
   const auto cloud = workload::make_scenario(params, 11);
   AllocatorOptions opts;
   std::vector<model::ClientId> fwd, rev;
-  for (model::ClientId i = 0; i < cloud.num_clients(); ++i) fwd.push_back(i);
+  for (model::ClientId i : cloud.client_ids()) fwd.push_back(i);
   rev.assign(fwd.rbegin(), fwd.rend());
   const Allocation a = greedy_insert(Allocation(cloud), fwd, opts);
   const Allocation b = greedy_insert(Allocation(cloud), rev, opts);
@@ -72,11 +73,14 @@ TEST(BuildInitialSolution, DeterministicGivenSeed) {
 TEST(BuildFromAssignment, HonorsTheGivenClusters) {
   const auto cloud = workload::make_tiny_scenario(4);
   AllocatorOptions opts;
-  const std::vector<model::ClusterId> assignment{0, 1, 0, 1};
+  const std::vector<model::ClusterId> assignment{
+      model::ClusterId{0}, model::ClusterId{1}, model::ClusterId{0},
+      model::ClusterId{1}};
   const Allocation alloc = build_from_assignment(cloud, assignment, opts);
-  for (model::ClientId i = 0; i < 4; ++i) {
+  for (int i_raw = 0; i_raw < 4; ++i_raw) {
+    const model::ClientId i{i_raw};
     if (!alloc.is_assigned(i)) continue;
-    EXPECT_EQ(alloc.cluster_of(i), assignment[static_cast<std::size_t>(i)]);
+    EXPECT_EQ(alloc.cluster_of(i), assignment[i.index()]);
   }
   EXPECT_TRUE(model::is_feasible(alloc));
 }
@@ -84,10 +88,11 @@ TEST(BuildFromAssignment, HonorsTheGivenClusters) {
 TEST(BuildFromAssignment, SkipsNoCluster) {
   const auto cloud = workload::make_tiny_scenario(2);
   AllocatorOptions opts;
-  const std::vector<model::ClusterId> assignment{model::kNoCluster, 1};
+  const std::vector<model::ClusterId> assignment{model::kNoCluster,
+                                                 model::ClusterId{1}};
   const Allocation alloc = build_from_assignment(cloud, assignment, opts);
-  EXPECT_FALSE(alloc.is_assigned(0));
-  EXPECT_TRUE(alloc.is_assigned(1));
+  EXPECT_FALSE(alloc.is_assigned(model::ClientId{0}));
+  EXPECT_TRUE(alloc.is_assigned(model::ClientId{1}));
 }
 
 TEST(BuildFromAssignment, OverloadLeavesSomeUnassigned) {
@@ -95,10 +100,10 @@ TEST(BuildFromAssignment, OverloadLeavesSomeUnassigned) {
   params.num_clients = 40;
   const auto cloud = workload::make_overloaded_scenario(params, 21, 4.0);
   AllocatorOptions opts;
-  std::vector<model::ClusterId> all_zero(40, 0);
+  std::vector<model::ClusterId> all_zero(40, model::ClusterId{0});
   const Allocation alloc = build_from_assignment(cloud, all_zero, opts);
   int unassigned = 0;
-  for (model::ClientId i = 0; i < cloud.num_clients(); ++i)
+  for (model::ClientId i : cloud.client_ids())
     if (!alloc.is_assigned(i)) ++unassigned;
   EXPECT_GT(unassigned, 0);
   EXPECT_TRUE(model::is_feasible(alloc));

@@ -114,7 +114,7 @@ TEST(Integration, OverloadedCloudDegradesGracefully) {
   ASSERT_TRUE(model::is_feasible(result.allocation));
   EXPECT_GT(result.report.unassigned_clients, 0);
   // Served clients still have stable queues (finite response times).
-  for (model::ClientId i = 0; i < cloud.num_clients(); ++i) {
+  for (model::ClientId i : cloud.client_ids()) {
     if (result.allocation.is_assigned(i)) {
       EXPECT_TRUE(std::isfinite(result.allocation.response_time(i)));
     }

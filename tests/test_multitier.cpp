@@ -23,7 +23,7 @@ MultiTierInstance tiny_instance(int tiers_per_client) {
   for (int i = 0; i < 2; ++i) {
     MultiTierClient c;
     c.id = i;
-    c.utility_class = i % 2;
+    c.utility_class = model::UtilityClassId{i % 2};
     c.lambda_agreed = c.lambda_pred = 1.0 + 0.5 * i;
     for (int t = 0; t < tiers_per_client; ++t)
       c.tiers.push_back(TierDemand{0.3 + 0.1 * t, 0.25 + 0.1 * t, 0.4});
@@ -46,8 +46,8 @@ TEST(Expand, OneClientPerTier) {
 TEST(Expand, TierClientsCarryFullRateAndTierDemand) {
   const auto instance = tiny_instance(2);
   const auto expanded = expand(instance);
-  for (model::ClientId i = 0; i < expanded.cloud().num_clients(); ++i) {
-    const auto& ref = expanded.refs[static_cast<std::size_t>(i)];
+  for (model::ClientId i : expanded.cloud().client_ids()) {
+    const auto& ref = expanded.refs[i.index()];
     const auto& parent =
         instance.clients[static_cast<std::size_t>(ref.parent)];
     const auto& c = expanded.cloud().client(i);
@@ -63,7 +63,7 @@ TEST(Expand, UtilityScaledByTierCount) {
   const auto expanded = expand(instance);
   const auto& original =
       *instance.utility_classes[0].fn;  // class 0 of parent 0
-  const auto& scaled = expanded.cloud().utility_of(0);
+  const auto& scaled = expanded.cloud().utility_of(model::ClientId{0});
   EXPECT_NEAR(scaled.max_value(), original.max_value() / 2.0, 1e-12);
   EXPECT_NEAR(scaled.slope(0.0), original.slope(0.0), 1e-12);
 }
@@ -71,7 +71,7 @@ TEST(Expand, UtilityScaledByTierCount) {
 TEST(Expand, SingleTierKeepsOriginalUtility) {
   const auto instance = tiny_instance(1);
   const auto expanded = expand(instance);
-  EXPECT_DOUBLE_EQ(expanded.cloud().utility_of(0).max_value(),
+  EXPECT_DOUBLE_EQ(expanded.cloud().utility_of(model::ClientId{0}).max_value(),
                    instance.utility_classes[0].fn->max_value());
 }
 
@@ -80,10 +80,10 @@ TEST(Profit, MatchesExpandedEvaluatorInLinearRegion) {
   const auto expanded = expand(instance);
   model::Allocation alloc(expanded.cloud());
   // Serve every tier generously so all utilities are in the interior.
-  alloc.assign(0, 0, {model::Placement{0, 1.0, 0.45, 0.45}});
-  alloc.assign(1, 0, {model::Placement{1, 1.0, 0.45, 0.45}});
-  alloc.assign(2, 1, {model::Placement{2, 1.0, 0.45, 0.45}});
-  alloc.assign(3, 1, {model::Placement{3, 1.0, 0.45, 0.45}});
+  alloc.assign(model::ClientId{0}, model::ClusterId{0}, {model::Placement{model::ServerId{0}, 1.0, 0.45, 0.45}});
+  alloc.assign(model::ClientId{1}, model::ClusterId{0}, {model::Placement{model::ServerId{1}, 1.0, 0.45, 0.45}});
+  alloc.assign(model::ClientId{2}, model::ClusterId{1}, {model::Placement{model::ServerId{2}, 1.0, 0.45, 0.45}});
+  alloc.assign(model::ClientId{3}, model::ClusterId{1}, {model::Placement{model::ServerId{3}, 1.0, 0.45, 0.45}});
 
   // In the linear region the expansion's profit is exactly the true one.
   const double expanded_profit = model::profit(alloc);
@@ -96,7 +96,7 @@ TEST(Profit, MissingTierEarnsNothing) {
   const auto expanded = expand(instance);
   model::Allocation alloc(expanded.cloud());
   // Parent 0: only tier 0 of 2 served.
-  alloc.assign(0, 0, {model::Placement{0, 1.0, 0.45, 0.45}});
+  alloc.assign(model::ClientId{0}, model::ClusterId{0}, {model::Placement{model::ServerId{0}, 1.0, 0.45, 0.45}});
   EXPECT_TRUE(std::isinf(end_to_end_response_time(expanded, alloc, 0)));
   // Revenue zero, but the serving server still costs.
   EXPECT_LT(multitier_profit(instance, expanded, alloc), 0.0);
@@ -106,10 +106,10 @@ TEST(Profit, EndToEndTimeIsSumOfTiers) {
   const auto instance = tiny_instance(2);
   const auto expanded = expand(instance);
   model::Allocation alloc(expanded.cloud());
-  alloc.assign(0, 0, {model::Placement{0, 1.0, 0.45, 0.45}});
-  alloc.assign(1, 0, {model::Placement{1, 1.0, 0.45, 0.45}});
-  const double r0 = alloc.response_time(0);
-  const double r1 = alloc.response_time(1);
+  alloc.assign(model::ClientId{0}, model::ClusterId{0}, {model::Placement{model::ServerId{0}, 1.0, 0.45, 0.45}});
+  alloc.assign(model::ClientId{1}, model::ClusterId{0}, {model::Placement{model::ServerId{1}, 1.0, 0.45, 0.45}});
+  const double r0 = alloc.response_time(model::ClientId{0});
+  const double r1 = alloc.response_time(model::ClientId{1});
   EXPECT_NEAR(end_to_end_response_time(expanded, alloc, 0), r0 + r1, 1e-12);
 }
 

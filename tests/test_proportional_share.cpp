@@ -17,7 +17,7 @@ TEST(PsInternals, EmptyActiveSetServesNobody) {
   std::vector<bool> active(static_cast<std::size_t>(cloud.num_servers()),
                            false);
   const auto alloc = ps_allocate_with_active_set(cloud, active, PsOptions{});
-  for (model::ClientId i = 0; i < cloud.num_clients(); ++i)
+  for (model::ClientId i : cloud.client_ids())
     EXPECT_FALSE(alloc.is_assigned(i));
   EXPECT_DOUBLE_EQ(model::profit(alloc), 0.0);
 }
@@ -30,10 +30,11 @@ TEST(PsInternals, SingleServerPoolStillServes) {
   const auto alloc = ps_allocate_with_active_set(cloud, active, PsOptions{});
   EXPECT_TRUE(model::is_feasible(alloc));
   int served = 0;
-  for (model::ClientId i = 0; i < cloud.num_clients(); ++i)
+  for (model::ClientId i : cloud.client_ids())
     if (alloc.is_assigned(i)) {
       ++served;
-      for (const auto& p : alloc.placements(i)) EXPECT_EQ(p.server, 1);
+      for (const auto& p : alloc.placements(i))
+        EXPECT_EQ(p.server, model::ServerId{1});
     }
   EXPECT_GT(served, 0);
 }
@@ -48,7 +49,7 @@ TEST(PsInternals, TinyPoolRejectsClientsInsteadOfOverloading) {
   const auto alloc = ps_allocate_with_active_set(cloud, active, PsOptions{});
   EXPECT_TRUE(model::is_feasible(alloc));
   int unserved = 0;
-  for (model::ClientId i = 0; i < cloud.num_clients(); ++i)
+  for (model::ClientId i : cloud.client_ids())
     if (!alloc.is_assigned(i)) ++unserved;
   EXPECT_GT(unserved, 0);
 }
@@ -63,7 +64,7 @@ TEST(PsInternals, SteeperSlopesAllocateFirstAndEarnBetterLatency) {
   const auto result = proportional_share_allocate(cloud, PsOptions{});
   double steep_r = 0.0, flat_r = 0.0;
   int steep_n = 0, flat_n = 0;
-  for (model::ClientId i = 0; i < cloud.num_clients(); ++i) {
+  for (model::ClientId i : cloud.client_ids()) {
     if (!result.allocation.is_assigned(i)) continue;
     const double r = result.allocation.response_time(i);
     if (cloud.utility_of(i).slope(0.0) > 0.7) {
@@ -105,7 +106,7 @@ TEST(PsInternals, DiskLimitsFirstFitPlacement) {
                            true);
   const auto alloc = ps_allocate_with_active_set(cloud, active, PsOptions{});
   EXPECT_TRUE(model::is_feasible(alloc));
-  for (model::ServerId j = 0; j < cloud.num_servers(); ++j)
+  for (model::ServerId j : cloud.server_ids())
     EXPECT_LE(alloc.used_disk(j), cloud.server_class_of(j).cap_m + 1e-9);
 }
 

@@ -10,49 +10,62 @@
 namespace cloudalloc::queueing {
 namespace {
 
+using units::ArrivalRate;
+using units::Share;
+using units::Time;
+using units::Work;
+using units::WorkRate;
+
+// Shorthand constructors: the tests build dimensioned inputs from literal
+// scalars everywhere.
+constexpr ArrivalRate rate(double v) { return ArrivalRate{v}; }
+constexpr Share share(double v) { return Share{v}; }
+constexpr Work work(double v) { return Work{v}; }
+constexpr WorkRate cap(double v) { return WorkRate{v}; }
+
 TEST(Mm1, StabilityBoundary) {
-  EXPECT_TRUE(mm1_stable(0.9, 1.0));
-  EXPECT_FALSE(mm1_stable(1.0, 1.0));
-  EXPECT_FALSE(mm1_stable(1.1, 1.0));
-  EXPECT_FALSE(mm1_stable(0.95, 1.0, /*margin=*/0.1));
+  EXPECT_TRUE(mm1_stable(rate(0.9), rate(1.0)));
+  EXPECT_FALSE(mm1_stable(rate(1.0), rate(1.0)));
+  EXPECT_FALSE(mm1_stable(rate(1.1), rate(1.0)));
+  EXPECT_FALSE(mm1_stable(rate(0.95), rate(1.0), /*margin=*/rate(0.1)));
 }
 
 TEST(Mm1, ResponseTimeClosedForm) {
   // mu=2, lambda=1 -> W = 1/(2-1) = 1.
-  EXPECT_DOUBLE_EQ(mm1_response_time(1.0, 2.0), 1.0);
+  EXPECT_DOUBLE_EQ(mm1_response_time(rate(1.0), rate(2.0)).value(), 1.0);
   // Zero load: W = 1/mu (pure service time).
-  EXPECT_DOUBLE_EQ(mm1_response_time(0.0, 4.0), 0.25);
+  EXPECT_DOUBLE_EQ(mm1_response_time(rate(0.0), rate(4.0)).value(), 0.25);
 }
 
 TEST(Mm1, LittleLawConsistency) {
-  const double lambda = 1.5, mu = 2.0;
+  const ArrivalRate lambda = rate(1.5), mu = rate(2.0);
   // L = lambda * W.
   EXPECT_NEAR(mm1_number_in_system(lambda, mu),
               lambda * mm1_response_time(lambda, mu), 1e-12);
 }
 
 TEST(Mm1, WaitPlusServiceEqualsResponse) {
-  const double lambda = 1.0, mu = 3.0;
-  EXPECT_NEAR(mm1_waiting_time(lambda, mu) + 1.0 / mu,
-              mm1_response_time(lambda, mu), 1e-12);
+  const ArrivalRate lambda = rate(1.0), mu = rate(3.0);
+  EXPECT_NEAR(mm1_waiting_time(lambda, mu).value() + 1.0 / mu.value(),
+              mm1_response_time(lambda, mu).value(), 1e-12);
 }
 
 TEST(Mm1, UtilizationRatio) {
-  EXPECT_DOUBLE_EQ(mm1_utilization(1.0, 4.0), 0.25);
+  EXPECT_DOUBLE_EQ(mm1_utilization(rate(1.0), rate(4.0)), 0.25);
 }
 
 TEST(Mm1, QuantileClosedForm) {
-  const double lambda = 1.0, mu = 3.0;  // sojourn ~ Exp(2)
-  EXPECT_DOUBLE_EQ(mm1_response_quantile(lambda, mu, 0.0), 0.0);
-  EXPECT_NEAR(mm1_response_quantile(lambda, mu, 0.5),
+  const ArrivalRate lambda = rate(1.0), mu = rate(3.0);  // sojourn ~ Exp(2)
+  EXPECT_DOUBLE_EQ(mm1_response_quantile(lambda, mu, 0.0).value(), 0.0);
+  EXPECT_NEAR(mm1_response_quantile(lambda, mu, 0.5).value(),
               std::log(2.0) / 2.0, 1e-12);
-  EXPECT_NEAR(mm1_response_quantile(lambda, mu, 0.95),
+  EXPECT_NEAR(mm1_response_quantile(lambda, mu, 0.95).value(),
               std::log(20.0) / 2.0, 1e-12);
 }
 
 TEST(Mm1, MedianBelowMeanP99AboveMean) {
-  const double lambda = 2.0, mu = 3.0;
-  const double mean = mm1_response_time(lambda, mu);
+  const ArrivalRate lambda = rate(2.0), mu = rate(3.0);
+  const Time mean = mm1_response_time(lambda, mu);
   EXPECT_LT(mm1_response_quantile(lambda, mu, 0.5), mean);
   EXPECT_GT(mm1_response_quantile(lambda, mu, 0.99), mean);
 }
@@ -60,104 +73,120 @@ TEST(Mm1, MedianBelowMeanP99AboveMean) {
 TEST(Mm1, QuantileMonotoneInP) {
   double prev = -1.0;
   for (double p : {0.0, 0.25, 0.5, 0.75, 0.9, 0.99}) {
-    const double q = mm1_response_quantile(1.0, 2.0, p);
+    const double q = mm1_response_quantile(rate(1.0), rate(2.0), p).value();
     EXPECT_GT(q, prev);
     prev = q;
   }
 }
 
 TEST(Mm1, OrInfVariant) {
-  EXPECT_TRUE(std::isinf(mm1_response_time_or_inf(2.0, 1.0)));
-  EXPECT_DOUBLE_EQ(mm1_response_time_or_inf(1.0, 2.0), 1.0);
+  EXPECT_TRUE(std::isinf(mm1_response_time_or_inf(rate(2.0), rate(1.0)).value()));
+  EXPECT_DOUBLE_EQ(mm1_response_time_or_inf(rate(1.0), rate(2.0)).value(), 1.0);
 }
 
 TEST(Gps, ServiceRate) {
   // phi=0.5, C=4, alpha=0.5 -> mu = 4.
-  EXPECT_DOUBLE_EQ(gps_service_rate(0.5, 4.0, 0.5), 4.0);
-  EXPECT_DOUBLE_EQ(gps_service_rate(0.0, 4.0, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(gps_service_rate(share(0.5), cap(4.0), work(0.5)).value(),
+                   4.0);
+  EXPECT_DOUBLE_EQ(gps_service_rate(share(0.0), cap(4.0), work(0.5)).value(),
+                   0.0);
 }
 
 TEST(Gps, MinShareKeepsQueueStable) {
-  const double phi = gps_min_share(2.0, 4.0, 0.5, 0.1);
-  const double mu = gps_service_rate(phi, 4.0, 0.5);
-  EXPECT_NEAR(mu, 2.1, 1e-12);
-  EXPECT_TRUE(mm1_stable(2.0, mu));
+  const Share phi = gps_min_share(rate(2.0), cap(4.0), work(0.5), rate(0.1));
+  const ArrivalRate mu = gps_service_rate(phi, cap(4.0), work(0.5));
+  EXPECT_NEAR(mu.value(), 2.1, 1e-12);
+  EXPECT_TRUE(mm1_stable(rate(2.0), mu));
 }
 
 TEST(Gps, ShareForResponseTimeRoundTrips) {
-  const double lambda = 1.0, cap = 4.0, alpha = 0.5, target = 0.5;
-  const double phi = gps_share_for_response_time(lambda, cap, alpha, target);
-  const double mu = gps_service_rate(phi, cap, alpha);
-  EXPECT_NEAR(mm1_response_time(lambda, mu), target, 1e-12);
+  const ArrivalRate lambda = rate(1.0);
+  const Share phi =
+      gps_share_for_response_time(lambda, cap(4.0), work(0.5), Time{0.5});
+  const ArrivalRate mu = gps_service_rate(phi, cap(4.0), work(0.5));
+  EXPECT_NEAR(mm1_response_time(lambda, mu).value(), 0.5, 1e-12);
 }
 
 TEST(Gps, ValidShares) {
-  EXPECT_TRUE(gps_valid_shares({0.2, 0.3, 0.5}));
+  EXPECT_TRUE(gps_valid_shares({share(0.2), share(0.3), share(0.5)}));
   EXPECT_TRUE(gps_valid_shares({}));
-  EXPECT_FALSE(gps_valid_shares({0.6, 0.6}));
-  EXPECT_FALSE(gps_valid_shares({-0.1, 0.2}));
+  EXPECT_FALSE(gps_valid_shares({share(0.6), share(0.6)}));
+  EXPECT_FALSE(gps_valid_shares({share(-0.1), share(0.2)}));
 }
 
 TEST(ResponseTime, SingleSliceTwoStages) {
   // psi=1, phi=0.5 on both stages, C=4, alpha=0.5 -> mu=4 each stage.
-  ServerSlice slice{1.0, 0.5, 0.5, 4.0, 4.0};
-  const double lambda = 2.0;
+  ServerSlice slice{1.0, share(0.5), share(0.5), cap(4.0), cap(4.0)};
+  const ArrivalRate lambda = rate(2.0);
   // Each stage: 1/(4-2) = 0.5; pipeline sum = 1.0.
-  EXPECT_NEAR(slice_response_time(slice, lambda, 0.5, 0.5), 1.0, 1e-12);
-  EXPECT_NEAR(client_response_time({slice}, lambda, 0.5, 0.5), 1.0, 1e-12);
+  EXPECT_NEAR(slice_response_time(slice, lambda, work(0.5), work(0.5)).value(),
+              1.0, 1e-12);
+  EXPECT_NEAR(
+      client_response_time({slice}, lambda, work(0.5), work(0.5)).value(), 1.0,
+      1e-12);
 }
 
 TEST(ResponseTime, SplitTrafficAverages) {
   // Two identical slices, half traffic each: per-slice arrivals=1,
   // per-stage T = 1/(4-1); R = sum psi*T_j = 2 * 0.5 * (2/3) = 2/3.
-  ServerSlice a{0.5, 0.5, 0.5, 4.0, 4.0};
-  ServerSlice b{0.5, 0.5, 0.5, 4.0, 4.0};
-  EXPECT_NEAR(client_response_time({a, b}, 2.0, 0.5, 0.5), 2.0 / 3.0, 1e-12);
+  ServerSlice a{0.5, share(0.5), share(0.5), cap(4.0), cap(4.0)};
+  ServerSlice b{0.5, share(0.5), share(0.5), cap(4.0), cap(4.0)};
+  EXPECT_NEAR(
+      client_response_time({a, b}, rate(2.0), work(0.5), work(0.5)).value(),
+      2.0 / 3.0, 1e-12);
 }
 
 TEST(ResponseTime, SplittingIdenticalServersHelps) {
   // With fixed shares, halving the traffic per server lowers R.
-  ServerSlice whole{1.0, 0.5, 0.5, 4.0, 4.0};
-  ServerSlice half_a{0.5, 0.5, 0.5, 4.0, 4.0};
-  ServerSlice half_b{0.5, 0.5, 0.5, 4.0, 4.0};
-  const double r_whole = client_response_time({whole}, 2.0, 0.5, 0.5);
-  const double r_split = client_response_time({half_a, half_b}, 2.0, 0.5, 0.5);
+  ServerSlice whole{1.0, share(0.5), share(0.5), cap(4.0), cap(4.0)};
+  ServerSlice half_a{0.5, share(0.5), share(0.5), cap(4.0), cap(4.0)};
+  ServerSlice half_b{0.5, share(0.5), share(0.5), cap(4.0), cap(4.0)};
+  const Time r_whole =
+      client_response_time({whole}, rate(2.0), work(0.5), work(0.5));
+  const Time r_split =
+      client_response_time({half_a, half_b}, rate(2.0), work(0.5), work(0.5));
   EXPECT_LT(r_split, r_whole);
 }
 
 TEST(ResponseTime, UnstableSliceIsInfinite) {
-  ServerSlice slice{1.0, 0.1, 0.5, 4.0, 4.0};  // mu_p = 0.8 < lambda
-  EXPECT_TRUE(
-      std::isinf(client_response_time({slice}, 2.0, 0.5, 0.5)));
+  // mu_p = 0.8 < lambda
+  ServerSlice slice{1.0, share(0.1), share(0.5), cap(4.0), cap(4.0)};
+  EXPECT_TRUE(std::isinf(
+      client_response_time({slice}, rate(2.0), work(0.5), work(0.5)).value()));
 }
 
 TEST(ResponseTime, ZeroPsiSlicesIgnored) {
-  ServerSlice used{1.0, 0.5, 0.5, 4.0, 4.0};
-  ServerSlice unused{0.0, 0.0, 0.0, 4.0, 4.0};  // would be unstable if used
+  ServerSlice used{1.0, share(0.5), share(0.5), cap(4.0), cap(4.0)};
+  // `unused` would be unstable if used.
+  ServerSlice unused{0.0, share(0.0), share(0.0), cap(4.0), cap(4.0)};
   EXPECT_TRUE(std::isfinite(
-      client_response_time({used, unused}, 2.0, 0.5, 0.5)));
+      client_response_time({used, unused}, rate(2.0), work(0.5), work(0.5))
+          .value()));
 }
 
 TEST(Mm1, DeathOnUnstableInputs) {
-  EXPECT_DEATH(mm1_response_time(2.0, 1.0), "stability");
-  EXPECT_DEATH(mm1_number_in_system(1.0, 1.0), "stability");
-  EXPECT_DEATH(mm1_response_quantile(2.0, 1.0, 0.5), "stability");
+  EXPECT_DEATH(mm1_response_time(rate(2.0), rate(1.0)), "stability");
+  EXPECT_DEATH(mm1_number_in_system(rate(1.0), rate(1.0)), "stability");
+  EXPECT_DEATH(mm1_response_quantile(rate(2.0), rate(1.0), 0.5), "stability");
 }
 
 TEST(Mm1, DeathOnInvalidQuantile) {
-  EXPECT_DEATH(mm1_response_quantile(1.0, 2.0, 1.0), "p");
-  EXPECT_DEATH(mm1_response_quantile(1.0, 2.0, -0.1), "p");
+  EXPECT_DEATH(mm1_response_quantile(rate(1.0), rate(2.0), 1.0), "p");
+  EXPECT_DEATH(mm1_response_quantile(rate(1.0), rate(2.0), -0.1), "p");
 }
 
 TEST(Gps, DeathOnNonPositiveAlpha) {
-  EXPECT_DEATH(gps_service_rate(0.5, 4.0, 0.0), "alpha");
+  EXPECT_DEATH(gps_service_rate(share(0.5), cap(4.0), work(0.0)), "alpha");
 }
 
 TEST(ResponseTime, StabilityCheckHonorsHeadroom) {
-  ServerSlice slice{1.0, 0.5, 0.5, 4.0, 4.0};  // mu = 4, arrivals = 2
-  EXPECT_TRUE(slices_stable({slice}, 2.0, 0.5, 0.5));
-  EXPECT_TRUE(slices_stable({slice}, 2.0, 0.5, 0.5, /*headroom=*/1.0));
-  EXPECT_FALSE(slices_stable({slice}, 2.0, 0.5, 0.5, /*headroom=*/2.5));
+  // mu = 4, arrivals = 2
+  ServerSlice slice{1.0, share(0.5), share(0.5), cap(4.0), cap(4.0)};
+  EXPECT_TRUE(slices_stable({slice}, rate(2.0), work(0.5), work(0.5)));
+  EXPECT_TRUE(slices_stable({slice}, rate(2.0), work(0.5), work(0.5),
+                            /*headroom=*/rate(1.0)));
+  EXPECT_FALSE(slices_stable({slice}, rate(2.0), work(0.5), work(0.5),
+                             /*headroom=*/rate(2.5)));
 }
 
 }  // namespace

@@ -22,7 +22,7 @@ TEST(Reassign, ImprovesBadClusterAssignment) {
   const auto cloud = workload::make_scenario(params, 41);
   AllocatorOptions opts;
   // Cram everyone into cluster 0.
-  std::vector<model::ClusterId> all_zero(30, 0);
+  std::vector<model::ClusterId> all_zero(30, model::ClusterId{0});
   Allocation alloc = build_from_assignment(cloud, all_zero, opts);
   const double before = model::profit(alloc);
   const double delta = reassign_pass(alloc, opts);
@@ -38,14 +38,14 @@ TEST(Reassign, RetriesUnassignedClients) {
   const auto cloud = workload::make_scenario(params, 43);
   AllocatorOptions opts;
   // Everyone in cluster 0 overloads it, leaving some unassigned.
-  std::vector<model::ClusterId> all_zero(40, 0);
+  std::vector<model::ClusterId> all_zero(40, model::ClusterId{0});
   Allocation alloc = build_from_assignment(cloud, all_zero, opts);
   int unassigned_before = 0;
-  for (model::ClientId i = 0; i < 40; ++i)
+  for (model::ClientId i : cloud.client_ids())
     if (!alloc.is_assigned(i)) ++unassigned_before;
   reassign_until_steady(alloc, opts);
   int unassigned_after = 0;
-  for (model::ClientId i = 0; i < 40; ++i)
+  for (model::ClientId i : cloud.client_ids())
     if (!alloc.is_assigned(i)) ++unassigned_after;
   EXPECT_LE(unassigned_after, unassigned_before);
   EXPECT_TRUE(model::is_feasible(alloc));
@@ -71,7 +71,7 @@ TEST(ReassignSnapshot, ImprovesBadClusterAssignment) {
   params.servers_per_cluster = 6;
   const auto cloud = workload::make_scenario(params, 41);
   AllocatorOptions opts;
-  std::vector<model::ClusterId> all_zero(30, 0);
+  std::vector<model::ClusterId> all_zero(30, model::ClusterId{0});
   Allocation alloc = build_from_assignment(cloud, all_zero, opts);
   const double before = model::profit(alloc);
   const double delta = reassign_pass_snapshot(alloc, opts);
@@ -86,7 +86,7 @@ TEST(ReassignSnapshot, IdenticalInlineAndPooled) {
   params.servers_per_cluster = 6;
   const auto cloud = workload::make_scenario(params, 43);
   AllocatorOptions opts;
-  std::vector<model::ClusterId> all_zero(35, 0);
+  std::vector<model::ClusterId> all_zero(35, model::ClusterId{0});
   Allocation inline_alloc = build_from_assignment(cloud, all_zero, opts);
   Allocation pooled_alloc = inline_alloc.clone();
 
@@ -96,7 +96,7 @@ TEST(ReassignSnapshot, IdenticalInlineAndPooled) {
   const double d2 = reassign_pass_snapshot(pooled_alloc, opts, eval);
 
   EXPECT_DOUBLE_EQ(d1, d2);
-  for (model::ClientId i = 0; i < cloud.num_clients(); ++i) {
+  for (model::ClientId i : cloud.client_ids()) {
     ASSERT_EQ(inline_alloc.is_assigned(i), pooled_alloc.is_assigned(i));
     if (!inline_alloc.is_assigned(i)) continue;
     EXPECT_EQ(inline_alloc.cluster_of(i), pooled_alloc.cluster_of(i));

@@ -12,8 +12,8 @@ namespace {
 ProfitBreakdown sample_breakdown() {
   const Cloud cloud = workload::make_tiny_scenario(3);
   Allocation alloc(cloud);
-  alloc.assign(0, 0, {Placement{0, 1.0, 0.5, 0.5}});
-  alloc.assign(1, 0, {Placement{1, 1.0, 0.6, 0.6}});
+  alloc.assign(ClientId{0}, ClusterId{0}, {Placement{ServerId{0}, 1.0, 0.5, 0.5}});
+  alloc.assign(ClientId{1}, ClusterId{0}, {Placement{ServerId{1}, 1.0, 0.6, 0.6}});
   // Client 2 left unserved.
   return evaluate(alloc);
 }

@@ -20,7 +20,7 @@ TEST(SerializeCloud, RoundTripsTinyScenario) {
   EXPECT_EQ(restored->num_clients(), original.num_clients());
   EXPECT_EQ(restored->num_servers(), original.num_servers());
   EXPECT_EQ(restored->num_clusters(), original.num_clusters());
-  for (ClientId i = 0; i < original.num_clients(); ++i) {
+  for (ClientId i : original.client_ids()) {
     EXPECT_DOUBLE_EQ(restored->client(i).lambda_pred,
                      original.client(i).lambda_pred);
     EXPECT_DOUBLE_EQ(restored->client(i).alpha_p, original.client(i).alpha_p);
@@ -29,7 +29,7 @@ TEST(SerializeCloud, RoundTripsTinyScenario) {
       EXPECT_DOUBLE_EQ(restored->utility_of(i).value(r),
                        original.utility_of(i).value(r));
   }
-  for (ServerId j = 0; j < original.num_servers(); ++j) {
+  for (ServerId j : original.server_ids()) {
     EXPECT_EQ(restored->server(j).cluster, original.server(j).cluster);
     EXPECT_DOUBLE_EQ(restored->server_class_of(j).cap_p,
                      original.server_class_of(j).cap_p);
@@ -50,39 +50,40 @@ TEST(SerializeCloud, RoundTripsThroughText) {
 
 TEST(SerializeCloud, PreservesStepUtilities) {
   std::vector<ServerClass> classes{
-      ServerClass{0, "c", 4.0, 4.0, 4.0, 1.0, 1.0}};
+      ServerClass{ServerClassId{0}, "c", 4.0, 4.0, 4.0, 1.0, 1.0}};
   std::vector<UtilityClass> utilities{UtilityClass{
-      0, std::make_shared<StepUtility>(std::vector<double>{1.0, 2.0},
+      UtilityClassId{0}, std::make_shared<StepUtility>(std::vector<double>{1.0, 2.0},
                                        std::vector<double>{5.0, 2.0})}};
-  std::vector<Server> servers{Server{0, 0, 0, {}}};
-  std::vector<Cluster> clusters{Cluster{0, "k", {0}}};
+  std::vector<Server> servers{Server{ServerId{0}, ClusterId{0}, ServerClassId{0}, {}}};
+  std::vector<Cluster> clusters{Cluster{ClusterId{0}, "k", {ServerId{0}}}};
   Client c;
-  c.id = 0;
+  c.id = ClientId{0};
   const Cloud original(classes, servers, clusters, utilities, {c});
 
   const auto restored = cloud_from_json(cloud_to_json(original));
   ASSERT_TRUE(restored.has_value());
   for (double r : {0.5, 1.0, 1.5, 2.0, 2.5})
-    EXPECT_DOUBLE_EQ(restored->utility_of(0).value(r),
-                     original.utility_of(0).value(r));
+    EXPECT_DOUBLE_EQ(restored->utility_of(ClientId{0}).value(r),
+                     original.utility_of(ClientId{0}).value(r));
 }
 
 TEST(SerializeCloud, PreservesBackgroundLoad) {
   std::vector<ServerClass> classes{
-      ServerClass{0, "c", 4.0, 4.0, 4.0, 1.0, 1.0}};
+      ServerClass{ServerClassId{0}, "c", 4.0, 4.0, 4.0, 1.0, 1.0}};
   std::vector<UtilityClass> utilities{
-      UtilityClass{0, std::make_shared<LinearUtility>(2.0, 0.5)}};
-  Server sv{0, 0, 0, BackgroundLoad{0.25, 0.1, 1.5, true}};
-  std::vector<Cluster> clusters{Cluster{0, "k", {0}}};
+      UtilityClass{UtilityClassId{0}, std::make_shared<LinearUtility>(2.0, 0.5)}};
+  Server sv{ServerId{0}, ClusterId{0}, ServerClassId{0},
+            BackgroundLoad{0.25, 0.1, 1.5, true}};
+  std::vector<Cluster> clusters{Cluster{ClusterId{0}, "k", {ServerId{0}}}};
   Client c;
-  c.id = 0;
+  c.id = ClientId{0};
   const Cloud original(classes, {sv}, clusters, utilities, {c});
 
   const auto restored = cloud_from_json(cloud_to_json(original));
   ASSERT_TRUE(restored.has_value());
-  EXPECT_DOUBLE_EQ(restored->server(0).background.phi_p, 0.25);
-  EXPECT_DOUBLE_EQ(restored->server(0).background.disk, 1.5);
-  EXPECT_TRUE(restored->server(0).background.keeps_on);
+  EXPECT_DOUBLE_EQ(restored->server(ServerId{0}).background.phi_p, 0.25);
+  EXPECT_DOUBLE_EQ(restored->server(ServerId{0}).background.disk, 1.5);
+  EXPECT_TRUE(restored->server(ServerId{0}).background.keeps_on);
 }
 
 TEST(SerializeCloud, RejectsWrongFormat) {
@@ -104,7 +105,7 @@ TEST(SerializeAllocation, RoundTripsSolvedAllocation) {
   ASSERT_TRUE(restored.has_value()) << error;
   EXPECT_TRUE(is_feasible(*restored));
   EXPECT_DOUBLE_EQ(profit(*restored), profit(solved.allocation));
-  for (ClientId i = 0; i < cloud.num_clients(); ++i) {
+  for (ClientId i : cloud.client_ids()) {
     EXPECT_EQ(restored->cluster_of(i), solved.allocation.cluster_of(i));
     EXPECT_EQ(restored->placements(i).size(),
               solved.allocation.placements(i).size());
@@ -114,19 +115,19 @@ TEST(SerializeAllocation, RoundTripsSolvedAllocation) {
 TEST(SerializeAllocation, UnassignedClientsStayUnassigned) {
   const Cloud cloud = workload::make_tiny_scenario(3);
   Allocation partial(cloud);
-  partial.assign(1, 0, {Placement{0, 1.0, 0.5, 0.5}});
+  partial.assign(ClientId{1}, ClusterId{0}, {Placement{ServerId{0}, 1.0, 0.5, 0.5}});
   const auto restored =
       allocation_from_json(cloud, allocation_to_json(partial));
   ASSERT_TRUE(restored.has_value());
-  EXPECT_FALSE(restored->is_assigned(0));
-  EXPECT_TRUE(restored->is_assigned(1));
-  EXPECT_FALSE(restored->is_assigned(2));
+  EXPECT_FALSE(restored->is_assigned(ClientId{0}));
+  EXPECT_TRUE(restored->is_assigned(ClientId{1}));
+  EXPECT_FALSE(restored->is_assigned(ClientId{2}));
 }
 
 TEST(SerializeAllocation, RejectsOutOfRangeIds) {
   const Cloud cloud = workload::make_tiny_scenario(2);
   Allocation alloc(cloud);
-  alloc.assign(0, 0, {Placement{0, 1.0, 0.5, 0.5}});
+  alloc.assign(ClientId{0}, ClusterId{0}, {Placement{ServerId{0}, 1.0, 0.5, 0.5}});
   Json doc = allocation_to_json(alloc);
   // Corrupt the client id.
   JsonObject root = doc.as_object();

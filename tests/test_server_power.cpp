@@ -20,18 +20,18 @@ TEST(TurnOff, ConsolidatesWastefulSpread) {
   Allocation alloc(cloud);
   // Two tiny clients on two separate servers of cluster 0: paying two
   // fixed costs where one server would do.
-  alloc.assign(0, 0, {Placement{0, 1.0, 0.35, 0.35}});
-  alloc.assign(1, 0, {Placement{1, 1.0, 0.35, 0.35}});
+  alloc.assign(model::ClientId{0}, model::ClusterId{0}, {Placement{model::ServerId{0}, 1.0, 0.35, 0.35}});
+  alloc.assign(model::ClientId{1}, model::ClusterId{0}, {Placement{model::ServerId{1}, 1.0, 0.35, 0.35}});
   const double before = model::profit(alloc);
   const int active_before = alloc.num_active_servers();
-  const double delta = turn_off_servers(alloc, 0, opts);
+  const double delta = turn_off_servers(alloc, model::ClusterId{0}, opts);
   EXPECT_GE(delta, 0.0);
   EXPECT_GE(model::profit(alloc), before - 1e-9);
   EXPECT_LE(alloc.num_active_servers(), active_before);
   EXPECT_TRUE(model::is_feasible(alloc));
   // Both clients must still be served.
-  EXPECT_TRUE(alloc.is_assigned(0));
-  EXPECT_TRUE(alloc.is_assigned(1));
+  EXPECT_TRUE(alloc.is_assigned(model::ClientId{0}));
+  EXPECT_TRUE(alloc.is_assigned(model::ClientId{1}));
 }
 
 TEST(TurnOff, LeavesNecessaryServersAlone) {
@@ -41,11 +41,11 @@ TEST(TurnOff, LeavesNecessaryServersAlone) {
   // Clients 6 (lambda 4.0, alpha_p 0.8) and 7 (lambda 4.5, alpha_p 0.85):
   // their combined load exceeds even the large server's capacity, so no
   // single server of cluster 0 can host both — consolidation must fail.
-  alloc.assign(6, 0, {Placement{0, 1.0, 0.9, 0.9}});
-  alloc.assign(7, 0, {Placement{1, 1.0, 0.9, 0.9}});
-  turn_off_servers(alloc, 0, opts);
-  EXPECT_TRUE(alloc.is_assigned(6));
-  EXPECT_TRUE(alloc.is_assigned(7));
+  alloc.assign(model::ClientId{6}, model::ClusterId{0}, {Placement{model::ServerId{0}, 1.0, 0.9, 0.9}});
+  alloc.assign(model::ClientId{7}, model::ClusterId{0}, {Placement{model::ServerId{1}, 1.0, 0.9, 0.9}});
+  turn_off_servers(alloc, model::ClusterId{0}, opts);
+  EXPECT_TRUE(alloc.is_assigned(model::ClientId{6}));
+  EXPECT_TRUE(alloc.is_assigned(model::ClientId{7}));
   EXPECT_EQ(alloc.num_active_servers(), 2);
 }
 
@@ -55,11 +55,11 @@ TEST(TurnOn, HelpsDegradedClients) {
   Allocation alloc(cloud);
   // Cram three clients onto one server with slim shares: they are all
   // degraded, and an idle server (id 1) is available.
-  alloc.assign(0, 0, {Placement{0, 1.0, 0.20, 0.20}});
-  alloc.assign(1, 0, {Placement{0, 1.0, 0.30, 0.30}});
-  alloc.assign(2, 0, {Placement{0, 1.0, 0.45, 0.45}});
+  alloc.assign(model::ClientId{0}, model::ClusterId{0}, {Placement{model::ServerId{0}, 1.0, 0.20, 0.20}});
+  alloc.assign(model::ClientId{1}, model::ClusterId{0}, {Placement{model::ServerId{0}, 1.0, 0.30, 0.30}});
+  alloc.assign(model::ClientId{2}, model::ClusterId{0}, {Placement{model::ServerId{0}, 1.0, 0.45, 0.45}});
   const double before = model::profit(alloc);
-  const double delta = turn_on_servers(alloc, 0, opts);
+  const double delta = turn_on_servers(alloc, model::ClusterId{0}, opts);
   EXPECT_GE(delta, 0.0);
   EXPECT_GE(model::profit(alloc), before - 1e-9);
   EXPECT_TRUE(model::is_feasible(alloc));
@@ -69,8 +69,8 @@ TEST(TurnOn, NoOpWhenEveryoneHappy) {
   const auto cloud = workload::make_tiny_scenario(1);
   AllocatorOptions opts;
   Allocation alloc(cloud);
-  alloc.assign(0, 0, {Placement{1, 1.0, 0.9, 0.9}});  // lavish shares
-  const double delta = turn_on_servers(alloc, 0, opts);
+  alloc.assign(model::ClientId{0}, model::ClusterId{0}, {Placement{model::ServerId{1}, 1.0, 0.9, 0.9}});  // lavish shares
+  const double delta = turn_on_servers(alloc, model::ClusterId{0}, opts);
   EXPECT_DOUBLE_EQ(delta, 0.0);
 }
 
@@ -100,11 +100,11 @@ TEST_P(ServerPowerProperty, NeverLosesClientsOrFeasibility) {
   Rng rng(GetParam());
   Allocation alloc = build_initial_solution(cloud, opts, rng);
   int assigned_before = 0;
-  for (model::ClientId i = 0; i < cloud.num_clients(); ++i)
+  for (model::ClientId i : cloud.client_ids())
     if (alloc.is_assigned(i)) ++assigned_before;
   adjust_server_power(alloc, opts);
   int assigned_after = 0;
-  for (model::ClientId i = 0; i < cloud.num_clients(); ++i)
+  for (model::ClientId i : cloud.client_ids())
     if (alloc.is_assigned(i)) ++assigned_after;
   EXPECT_GE(assigned_after, assigned_before);
   EXPECT_TRUE(model::is_feasible(alloc));

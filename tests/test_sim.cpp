@@ -204,7 +204,10 @@ TEST(GpsStation, SingleFlowQuantilesMatchMm1Law) {
                     /*horizon=*/8000.0, 77, &samples);
   ASSERT_GT(sojourns[0].count(), 5000u);
   for (double p : {0.5, 0.9, 0.95}) {
-    const double expected = queueing::mm1_response_quantile(lambda, mu, p);
+    const double expected =
+        queueing::mm1_response_quantile(units::ArrivalRate{lambda},
+                                        units::ArrivalRate{mu}, p)
+            .value();
     const double measured = cloudalloc::quantile(samples[0], p);
     EXPECT_NEAR(measured, expected, 0.10 * expected) << "quantile p=" << p;
   }
@@ -217,7 +220,10 @@ TEST(GpsStation, SingleFlowMatchesMm1) {
   const auto sojourns =
       drive_station(GpsMode::kIsolated, 4.0, {{phi, alpha, lambda, 200.0}},
                     /*horizon=*/4000.0, 42);
-  const double expected = queueing::mm1_response_time(lambda, mu);
+  const double expected =
+      queueing::mm1_response_time(units::ArrivalRate{lambda},
+                                  units::ArrivalRate{mu})
+          .value();
   EXPECT_GT(sojourns[0].count(), 1000u);
   EXPECT_NEAR(sojourns[0].mean(), expected,
               4.0 * sojourns[0].ci95_halfwidth() + 0.05 * expected);
@@ -230,8 +236,14 @@ TEST(GpsStation, TwoIsolatedFlowsMatchTheory) {
       GpsMode::kIsolated, 6.0,
       {{0.5, 0.6, lambda0, 200.0}, {0.3, 0.4, lambda1, 200.0}},
       /*horizon=*/3000.0, 43);
-  const double e0 = queueing::mm1_response_time(lambda0, 0.5 * 6.0 / 0.6);
-  const double e1 = queueing::mm1_response_time(lambda1, 0.3 * 6.0 / 0.4);
+  const double e0 =
+      queueing::mm1_response_time(units::ArrivalRate{lambda0},
+                                  units::ArrivalRate{0.5 * 6.0 / 0.6})
+          .value();
+  const double e1 =
+      queueing::mm1_response_time(units::ArrivalRate{lambda1},
+                                  units::ArrivalRate{0.3 * 6.0 / 0.4})
+          .value();
   EXPECT_NEAR(sojourns[0].mean(), e0,
               4.0 * sojourns[0].ci95_halfwidth() + 0.05 * e0);
   EXPECT_NEAR(sojourns[1].mean(), e1,
@@ -273,11 +285,11 @@ TEST(GpsStation, RejectsFlowsBeyondReservedSpan) {
 TEST(Runner, ValidatesAnalyticModelOnTinyAllocation) {
   const auto cloud = workload::make_tiny_scenario(3);
   model::Allocation alloc(cloud);
-  alloc.assign(0, 0, {model::Placement{0, 1.0, 0.5, 0.5}});
-  alloc.assign(1, 0, {model::Placement{1, 1.0, 0.6, 0.6}});
-  alloc.assign(2, 1,
-               {model::Placement{2, 0.5, 0.4, 0.4},
-                model::Placement{3, 0.5, 0.4, 0.4}});
+  alloc.assign(model::ClientId{0}, model::ClusterId{0}, {model::Placement{model::ServerId{0}, 1.0, 0.5, 0.5}});
+  alloc.assign(model::ClientId{1}, model::ClusterId{0}, {model::Placement{model::ServerId{1}, 1.0, 0.6, 0.6}});
+  alloc.assign(model::ClientId{2}, model::ClusterId{1},
+               {model::Placement{model::ServerId{2}, 0.5, 0.4, 0.4},
+                model::Placement{model::ServerId{3}, 0.5, 0.4, 0.4}});
   SimOptions opts;
   opts.horizon = 3000.0;
   opts.seed = 5;
@@ -296,7 +308,7 @@ TEST(Runner, ValidatesAnalyticModelOnTinyAllocation) {
 TEST(Runner, UnassignedClientsGenerateNothing) {
   const auto cloud = workload::make_tiny_scenario(2);
   model::Allocation alloc(cloud);
-  alloc.assign(0, 0, {model::Placement{0, 1.0, 0.5, 0.5}});
+  alloc.assign(model::ClientId{0}, model::ClusterId{0}, {model::Placement{model::ServerId{0}, 1.0, 0.5, 0.5}});
   SimOptions opts;
   opts.horizon = 200.0;
   const auto report = simulate_allocation(alloc, opts);
@@ -306,7 +318,7 @@ TEST(Runner, UnassignedClientsGenerateNothing) {
 TEST(Runner, PercentilesAreOrderedAndBracketTheMean) {
   const auto cloud = workload::make_tiny_scenario(2);
   model::Allocation alloc(cloud);
-  alloc.assign(0, 0, {model::Placement{0, 1.0, 0.5, 0.5}});
+  alloc.assign(model::ClientId{0}, model::ClusterId{0}, {model::Placement{model::ServerId{0}, 1.0, 0.5, 0.5}});
   SimOptions opts;
   opts.horizon = 1500.0;
   opts.seed = 21;
@@ -324,7 +336,7 @@ TEST(Runner, PercentilesAreOrderedAndBracketTheMean) {
 TEST(Runner, PercentileCollectionCanBeDisabled) {
   const auto cloud = workload::make_tiny_scenario(1);
   model::Allocation alloc(cloud);
-  alloc.assign(0, 0, {model::Placement{0, 1.0, 0.5, 0.5}});
+  alloc.assign(model::ClientId{0}, model::ClusterId{0}, {model::Placement{model::ServerId{0}, 1.0, 0.5, 0.5}});
   SimOptions opts;
   opts.horizon = 300.0;
   opts.collect_percentiles = false;
@@ -336,8 +348,8 @@ TEST(Runner, PercentileCollectionCanBeDisabled) {
 TEST(Runner, MeasuredUtilizationTracksAnalytic) {
   const auto cloud = workload::make_tiny_scenario(2);
   model::Allocation alloc(cloud);
-  alloc.assign(0, 0, {model::Placement{0, 1.0, 0.5, 0.5}});
-  alloc.assign(1, 0, {model::Placement{0, 1.0, 0.4, 0.4}});
+  alloc.assign(model::ClientId{0}, model::ClusterId{0}, {model::Placement{model::ServerId{0}, 1.0, 0.5, 0.5}});
+  alloc.assign(model::ClientId{1}, model::ClusterId{0}, {model::Placement{model::ServerId{0}, 1.0, 0.4, 0.4}});
   SimOptions opts;
   opts.horizon = 3000.0;
   opts.seed = 23;
@@ -352,7 +364,7 @@ TEST(Runner, MeasuredUtilizationTracksAnalytic) {
 TEST(Runner, DemandFactorScalesCompletedRequests) {
   const auto cloud = workload::make_tiny_scenario(1);
   model::Allocation alloc(cloud);
-  alloc.assign(0, 0, {model::Placement{0, 1.0, 0.6, 0.6}});
+  alloc.assign(model::ClientId{0}, model::ClusterId{0}, {model::Placement{model::ServerId{0}, 1.0, 0.6, 0.6}});
   SimOptions base, doubled;
   base.horizon = doubled.horizon = 2000.0;
   base.seed = doubled.seed = 31;
@@ -370,9 +382,9 @@ TEST(Runner, DynamicDispatchMatchesStaticAtPlannedLoad) {
   // mean response times (dynamic may be modestly better).
   const auto cloud = workload::make_tiny_scenario(1);
   model::Allocation alloc(cloud);
-  alloc.assign(0, 0,
-               {model::Placement{0, 0.5, 0.4, 0.4},
-                model::Placement{1, 0.5, 0.4, 0.4}});
+  alloc.assign(model::ClientId{0}, model::ClusterId{0},
+               {model::Placement{model::ServerId{0}, 0.5, 0.4, 0.4},
+                model::Placement{model::ServerId{1}, 0.5, 0.4, 0.4}});
   SimOptions stat, dyn;
   stat.horizon = dyn.horizon = 3000.0;
   stat.seed = dyn.seed = 33;
@@ -389,9 +401,9 @@ TEST(Runner, DynamicDispatchAbsorbsOverload) {
   // blindly sampling psi.
   const auto cloud = workload::make_tiny_scenario(1);
   model::Allocation alloc(cloud);
-  alloc.assign(0, 0,
-               {model::Placement{0, 0.5, 0.35, 0.35},
-                model::Placement{1, 0.5, 0.35, 0.35}});
+  alloc.assign(model::ClientId{0}, model::ClusterId{0},
+               {model::Placement{model::ServerId{0}, 0.5, 0.35, 0.35},
+                model::Placement{model::ServerId{1}, 0.5, 0.35, 0.35}});
   SimOptions stat, dyn;
   stat.horizon = dyn.horizon = 3000.0;
   stat.seed = dyn.seed = 37;
@@ -407,8 +419,8 @@ TEST(Runner, DynamicDispatchAbsorbsOverload) {
 TEST(Runner, WorkConservingModeRunsAndIsNoSlower) {
   const auto cloud = workload::make_tiny_scenario(2);
   model::Allocation alloc(cloud);
-  alloc.assign(0, 0, {model::Placement{0, 1.0, 0.4, 0.4}});
-  alloc.assign(1, 0, {model::Placement{0, 1.0, 0.5, 0.5}});
+  alloc.assign(model::ClientId{0}, model::ClusterId{0}, {model::Placement{model::ServerId{0}, 1.0, 0.4, 0.4}});
+  alloc.assign(model::ClientId{1}, model::ClusterId{0}, {model::Placement{model::ServerId{0}, 1.0, 0.5, 0.5}});
   SimOptions iso, wc;
   iso.horizon = wc.horizon = 2000.0;
   iso.seed = wc.seed = 11;

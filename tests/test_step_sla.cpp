@@ -20,11 +20,13 @@ model::Cloud step_cloud(int num_clients) {
   const model::Cloud base = workload::make_tiny_scenario(1);
   std::vector<model::UtilityClass> utilities;
   utilities.push_back(model::UtilityClass{
-      0, std::make_shared<model::StepUtility>(
+      model::UtilityClassId{0},
+      std::make_shared<model::StepUtility>(
              std::vector<double>{0.8, 1.6, 3.0},
              std::vector<double>{3.0, 2.0, 0.8})});
   utilities.push_back(model::UtilityClass{
-      1, std::make_shared<model::StepUtility>(
+      model::UtilityClassId{1},
+      std::make_shared<model::StepUtility>(
              std::vector<double>{0.5, 1.2},
              std::vector<double>{4.0, 1.5})});
 
@@ -32,8 +34,8 @@ model::Cloud step_cloud(int num_clients) {
   Rng rng(17);
   for (int i = 0; i < num_clients; ++i) {
     model::Client c;
-    c.id = i;
-    c.utility_class = i % 2;
+    c.id = model::ClientId{i};
+    c.utility_class = model::UtilityClassId{i % 2};
     c.lambda_agreed = c.lambda_pred = rng.uniform(0.5, 2.0);
     c.alpha_p = rng.uniform(0.4, 0.8);
     c.alpha_n = rng.uniform(0.4, 0.8);
@@ -82,7 +84,7 @@ TEST(StepSla, SecantSlopeGuidesTowardHigherSteps) {
   const auto result = alloc::ResourceAllocator().run(cloud);
   const auto breakdown = model::evaluate(result.allocation);
   ASSERT_TRUE(breakdown.clients[0].assigned);
-  const auto& fn = cloud.utility_of(0);
+  const auto& fn = cloud.utility_of(model::ClientId{0});
   EXPECT_DOUBLE_EQ(breakdown.clients[0].utility, fn.max_value());
 }
 
@@ -90,15 +92,17 @@ TEST(StepSla, MixedLinearAndStepClassesCoexist) {
   const model::Cloud base = workload::make_tiny_scenario(1);
   std::vector<model::UtilityClass> utilities;
   utilities.push_back(model::UtilityClass{
-      0, std::make_shared<model::LinearUtility>(3.0, 0.8)});
+      model::UtilityClassId{0},
+      std::make_shared<model::LinearUtility>(3.0, 0.8)});
   utilities.push_back(model::UtilityClass{
-      1, std::make_shared<model::StepUtility>(std::vector<double>{1.0, 2.0},
+      model::UtilityClassId{1},
+      std::make_shared<model::StepUtility>(std::vector<double>{1.0, 2.0},
                                               std::vector<double>{3.0, 1.0})});
   std::vector<model::Client> clients;
   for (int i = 0; i < 4; ++i) {
     model::Client c;
-    c.id = i;
-    c.utility_class = i % 2;
+    c.id = model::ClientId{i};
+    c.utility_class = model::UtilityClassId{i % 2};
     c.lambda_agreed = c.lambda_pred = 1.0 + 0.3 * i;
     c.alpha_p = 0.5;
     c.alpha_n = 0.5;

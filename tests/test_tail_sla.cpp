@@ -44,8 +44,13 @@ TEST(TailSla, MatchesMm1QuantileOnSingleQueue) {
   // Pricing tail.value(mean) must equal inner.value(actual p-quantile)
   // for a single M/M/1 queue.
   const double lambda = 1.0, mu = 3.0;
-  const double mean = queueing::mm1_response_time(lambda, mu);
-  const double q95 = queueing::mm1_response_quantile(lambda, mu, 0.95);
+  const double mean = queueing::mm1_response_time(units::ArrivalRate{lambda},
+                                                  units::ArrivalRate{mu})
+                          .value();
+  const double q95 =
+      queueing::mm1_response_quantile(units::ArrivalRate{lambda},
+                                      units::ArrivalRate{mu}, 0.95)
+          .value();
   const auto inner = std::make_shared<LinearUtility>(5.0, 0.8);
   TailLatencyUtility tail(inner, 0.95);
   EXPECT_NEAR(tail.value(mean), inner->value(q95), 1e-12);
@@ -55,12 +60,13 @@ TEST(TailSla, AllocatorServesTailSlaClients) {
   const Cloud base = workload::make_tiny_scenario(1);
   std::vector<UtilityClass> utilities;
   utilities.push_back(UtilityClass{
-      0, std::make_shared<TailLatencyUtility>(
-             std::make_shared<LinearUtility>(6.0, 0.4), 0.95)});
+      UtilityClassId{0},
+      std::make_shared<TailLatencyUtility>(
+          std::make_shared<LinearUtility>(6.0, 0.4), 0.95)});
   std::vector<Client> clients;
   for (int i = 0; i < 3; ++i) {
     Client c;
-    c.id = i;
+    c.id = ClientId{i};
     c.lambda_agreed = c.lambda_pred = 0.8 + 0.3 * i;
     c.alpha_p = 0.5;
     c.alpha_n = 0.5;
@@ -74,7 +80,7 @@ TEST(TailSla, AllocatorServesTailSlaClients) {
   EXPECT_GT(result.report.final_profit, 0.0);
   // Tail pricing forces much tighter responses than the mean-based
   // crossing (15): everyone must sit under zc/scale ~= 5.
-  for (ClientId i = 0; i < cloud.num_clients(); ++i)
+  for (ClientId i : cloud.client_ids())
     EXPECT_LT(result.allocation.response_time(i),
               cloud.utility_of(i).zero_crossing());
 }
@@ -84,7 +90,7 @@ TEST(TailSla, SimulatedP95MatchesThePricedQuantile) {
   // to scale * simulated mean, which is what the utility prices.
   const Cloud base = workload::make_tiny_scenario(1);
   Allocation alloc(base);
-  alloc.assign(0, 0, {Placement{0, 1.0, 0.5, 0.5}});
+  alloc.assign(ClientId{0}, ClusterId{0}, {Placement{ServerId{0}, 1.0, 0.5, 0.5}});
   sim::SimOptions opts;
   opts.horizon = 4000.0;
   opts.seed = 91;
@@ -102,16 +108,16 @@ TEST(TailSla, SerializesAndRestores) {
   const Cloud base = workload::make_tiny_scenario(1);
   std::vector<UtilityClass> utilities;
   utilities.push_back(UtilityClass{
-      0, std::make_shared<TailLatencyUtility>(inner, 0.99)});
+      UtilityClassId{0}, std::make_shared<TailLatencyUtility>(inner, 0.99)});
   Client c;
-  c.id = 0;
+  c.id = ClientId{0};
   const Cloud cloud(base.server_classes(), base.servers(), base.clusters(),
                     utilities, {c});
   const auto restored = cloud_from_json(cloud_to_json(cloud));
   ASSERT_TRUE(restored.has_value());
   for (double r : {0.0, 0.2, 0.5, 1.0})
-    EXPECT_DOUBLE_EQ(restored->utility_of(0).value(r),
-                     cloud.utility_of(0).value(r));
+    EXPECT_DOUBLE_EQ(restored->utility_of(ClientId{0}).value(r),
+                     cloud.utility_of(ClientId{0}).value(r));
 }
 
 }  // namespace

@@ -54,8 +54,8 @@ TEST(Trace, NoNoiseNoAmplitudeIsFlat) {
   params.epochs = 3;
   const auto trace = make_rate_trace(cloud, params, 13);
   for (const auto& epoch : trace)
-    for (model::ClientId i = 0; i < cloud.num_clients(); ++i)
-      EXPECT_NEAR(epoch[static_cast<std::size_t>(i)],
+    for (model::ClientId i : cloud.client_ids())
+      EXPECT_NEAR(epoch[i.index()],
                   cloud.client(i).lambda_agreed, 1e-12);
 }
 
@@ -70,7 +70,7 @@ TEST(Trace, DiurnalPeaksAtQuarterPeriod) {
   // sin peaks at t=2 (quarter of 8) and troughs at t=6.
   EXPECT_GT(trace[2][0], trace[0][0]);
   EXPECT_LT(trace[6][0], trace[0][0]);
-  EXPECT_NEAR(trace[2][0], cloud.client(0).lambda_agreed * 1.5, 1e-9);
+  EXPECT_NEAR(trace[2][0], cloud.client(model::ClientId{0}).lambda_agreed * 1.5, 1e-9);
 }
 
 TEST(Trace, GrowthCompounds) {
@@ -96,9 +96,9 @@ TEST(Trace, SpikesAppearWithProbability) {
   const auto trace = make_rate_trace(cloud, params, 19);
   int spikes = 0, total = 0;
   for (const auto& epoch : trace)
-    for (model::ClientId i = 0; i < cloud.num_clients(); ++i) {
+    for (model::ClientId i : cloud.client_ids()) {
       ++total;
-      if (epoch[static_cast<std::size_t>(i)] >
+      if (epoch[i.index()] >
           cloud.client(i).lambda_agreed * 2.0)
         ++spikes;
     }

@@ -18,12 +18,12 @@ TEST(Scenario, DeterministicPerSeed) {
   const auto a = make_scenario(ScenarioParams{}, 9);
   const auto b = make_scenario(ScenarioParams{}, 9);
   ASSERT_EQ(a.num_clients(), b.num_clients());
-  for (model::ClientId i = 0; i < a.num_clients(); ++i) {
+  for (model::ClientId i : a.client_ids()) {
     EXPECT_DOUBLE_EQ(a.client(i).lambda_pred, b.client(i).lambda_pred);
     EXPECT_DOUBLE_EQ(a.client(i).alpha_p, b.client(i).alpha_p);
     EXPECT_DOUBLE_EQ(a.client(i).disk, b.client(i).disk);
   }
-  for (model::ServerId j = 0; j < a.num_servers(); ++j)
+  for (model::ServerId j : a.server_ids())
     EXPECT_EQ(a.server(j).server_class, b.server(j).server_class);
 }
 
@@ -31,7 +31,7 @@ TEST(Scenario, DifferentSeedsDiffer) {
   const auto a = make_scenario(ScenarioParams{}, 1);
   const auto b = make_scenario(ScenarioParams{}, 2);
   bool any_diff = false;
-  for (model::ClientId i = 0; i < a.num_clients(); ++i)
+  for (model::ClientId i : a.client_ids())
     any_diff =
         any_diff || a.client(i).lambda_pred != b.client(i).lambda_pred;
   EXPECT_TRUE(any_diff);
