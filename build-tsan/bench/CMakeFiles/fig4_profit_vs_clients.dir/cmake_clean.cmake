@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_profit_vs_clients.dir/fig4_profit_vs_clients.cpp.o"
+  "CMakeFiles/fig4_profit_vs_clients.dir/fig4_profit_vs_clients.cpp.o.d"
+  "fig4_profit_vs_clients"
+  "fig4_profit_vs_clients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_profit_vs_clients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_robustness.dir/fig5_robustness.cpp.o"
+  "CMakeFiles/fig5_robustness.dir/fig5_robustness.cpp.o.d"
+  "fig5_robustness"
+  "fig5_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

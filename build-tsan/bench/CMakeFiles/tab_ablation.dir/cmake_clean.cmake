@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_ablation.dir/tab_ablation.cpp.o"
+  "CMakeFiles/tab_ablation.dir/tab_ablation.cpp.o.d"
+  "tab_ablation"
+  "tab_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

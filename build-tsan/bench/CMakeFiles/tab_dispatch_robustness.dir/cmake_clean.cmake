@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_dispatch_robustness.dir/tab_dispatch_robustness.cpp.o"
+  "CMakeFiles/tab_dispatch_robustness.dir/tab_dispatch_robustness.cpp.o.d"
+  "tab_dispatch_robustness"
+  "tab_dispatch_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_dispatch_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

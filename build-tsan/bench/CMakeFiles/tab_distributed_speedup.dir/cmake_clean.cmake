@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_distributed_speedup.dir/tab_distributed_speedup.cpp.o"
+  "CMakeFiles/tab_distributed_speedup.dir/tab_distributed_speedup.cpp.o.d"
+  "tab_distributed_speedup"
+  "tab_distributed_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_distributed_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

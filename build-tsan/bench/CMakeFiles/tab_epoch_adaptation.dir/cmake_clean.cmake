@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_epoch_adaptation.dir/tab_epoch_adaptation.cpp.o"
+  "CMakeFiles/tab_epoch_adaptation.dir/tab_epoch_adaptation.cpp.o.d"
+  "tab_epoch_adaptation"
+  "tab_epoch_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_epoch_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for tab_epoch_adaptation.
+# This may be replaced when dependencies are built.

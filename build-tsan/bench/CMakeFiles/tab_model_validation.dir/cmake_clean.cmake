@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_model_validation.dir/tab_model_validation.cpp.o"
+  "CMakeFiles/tab_model_validation.dir/tab_model_validation.cpp.o.d"
+  "tab_model_validation"
+  "tab_model_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_model_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_multitier.dir/tab_multitier.cpp.o"
+  "CMakeFiles/tab_multitier.dir/tab_multitier.cpp.o.d"
+  "tab_multitier"
+  "tab_multitier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_multitier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

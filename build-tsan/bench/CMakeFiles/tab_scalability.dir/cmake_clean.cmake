@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_scalability.dir/tab_scalability.cpp.o"
+  "CMakeFiles/tab_scalability.dir/tab_scalability.cpp.o.d"
+  "tab_scalability"
+  "tab_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_stochastic_baselines.dir/tab_stochastic_baselines.cpp.o"
+  "CMakeFiles/tab_stochastic_baselines.dir/tab_stochastic_baselines.cpp.o.d"
+  "tab_stochastic_baselines"
+  "tab_stochastic_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_stochastic_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab_stochastic_baselines.
+# This may be replaced when dependencies are built.

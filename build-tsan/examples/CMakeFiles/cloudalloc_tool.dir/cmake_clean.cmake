@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudalloc_tool.dir/cloudalloc_tool.cpp.o"
+  "CMakeFiles/cloudalloc_tool.dir/cloudalloc_tool.cpp.o.d"
+  "cloudalloc_tool"
+  "cloudalloc_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudalloc_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

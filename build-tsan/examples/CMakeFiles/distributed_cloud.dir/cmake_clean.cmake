@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_cloud.dir/distributed_cloud.cpp.o"
+  "CMakeFiles/distributed_cloud.dir/distributed_cloud.cpp.o.d"
+  "distributed_cloud"
+  "distributed_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epochs.dir/epochs.cpp.o"
+  "CMakeFiles/epochs.dir/epochs.cpp.o.d"
+  "epochs"
+  "epochs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epochs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

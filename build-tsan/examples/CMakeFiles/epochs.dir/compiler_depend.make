@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for epochs.
+# This may be replaced when dependencies are built.

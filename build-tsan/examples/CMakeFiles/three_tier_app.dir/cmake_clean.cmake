@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/three_tier_app.dir/three_tier_app.cpp.o"
+  "CMakeFiles/three_tier_app.dir/three_tier_app.cpp.o.d"
+  "three_tier_app"
+  "three_tier_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/three_tier_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

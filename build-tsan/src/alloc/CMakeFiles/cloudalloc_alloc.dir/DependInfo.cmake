@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/adjust_dispersion.cpp" "src/alloc/CMakeFiles/cloudalloc_alloc.dir/adjust_dispersion.cpp.o" "gcc" "src/alloc/CMakeFiles/cloudalloc_alloc.dir/adjust_dispersion.cpp.o.d"
+  "/root/repo/src/alloc/adjust_shares.cpp" "src/alloc/CMakeFiles/cloudalloc_alloc.dir/adjust_shares.cpp.o" "gcc" "src/alloc/CMakeFiles/cloudalloc_alloc.dir/adjust_shares.cpp.o.d"
+  "/root/repo/src/alloc/allocator.cpp" "src/alloc/CMakeFiles/cloudalloc_alloc.dir/allocator.cpp.o" "gcc" "src/alloc/CMakeFiles/cloudalloc_alloc.dir/allocator.cpp.o.d"
+  "/root/repo/src/alloc/assign_distribute.cpp" "src/alloc/CMakeFiles/cloudalloc_alloc.dir/assign_distribute.cpp.o" "gcc" "src/alloc/CMakeFiles/cloudalloc_alloc.dir/assign_distribute.cpp.o.d"
+  "/root/repo/src/alloc/delta_price.cpp" "src/alloc/CMakeFiles/cloudalloc_alloc.dir/delta_price.cpp.o" "gcc" "src/alloc/CMakeFiles/cloudalloc_alloc.dir/delta_price.cpp.o.d"
+  "/root/repo/src/alloc/initial.cpp" "src/alloc/CMakeFiles/cloudalloc_alloc.dir/initial.cpp.o" "gcc" "src/alloc/CMakeFiles/cloudalloc_alloc.dir/initial.cpp.o.d"
+  "/root/repo/src/alloc/move_engine.cpp" "src/alloc/CMakeFiles/cloudalloc_alloc.dir/move_engine.cpp.o" "gcc" "src/alloc/CMakeFiles/cloudalloc_alloc.dir/move_engine.cpp.o.d"
+  "/root/repo/src/alloc/reassign.cpp" "src/alloc/CMakeFiles/cloudalloc_alloc.dir/reassign.cpp.o" "gcc" "src/alloc/CMakeFiles/cloudalloc_alloc.dir/reassign.cpp.o.d"
+  "/root/repo/src/alloc/server_power.cpp" "src/alloc/CMakeFiles/cloudalloc_alloc.dir/server_power.cpp.o" "gcc" "src/alloc/CMakeFiles/cloudalloc_alloc.dir/server_power.cpp.o.d"
+  "/root/repo/src/alloc/share_policy.cpp" "src/alloc/CMakeFiles/cloudalloc_alloc.dir/share_policy.cpp.o" "gcc" "src/alloc/CMakeFiles/cloudalloc_alloc.dir/share_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/model/CMakeFiles/cloudalloc_model.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/opt/CMakeFiles/cloudalloc_opt.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dist/CMakeFiles/cloudalloc_pool.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/queueing/CMakeFiles/cloudalloc_queueing.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/cloudalloc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

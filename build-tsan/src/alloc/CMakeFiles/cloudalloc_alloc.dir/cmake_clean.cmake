@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudalloc_alloc.dir/adjust_dispersion.cpp.o"
+  "CMakeFiles/cloudalloc_alloc.dir/adjust_dispersion.cpp.o.d"
+  "CMakeFiles/cloudalloc_alloc.dir/adjust_shares.cpp.o"
+  "CMakeFiles/cloudalloc_alloc.dir/adjust_shares.cpp.o.d"
+  "CMakeFiles/cloudalloc_alloc.dir/allocator.cpp.o"
+  "CMakeFiles/cloudalloc_alloc.dir/allocator.cpp.o.d"
+  "CMakeFiles/cloudalloc_alloc.dir/assign_distribute.cpp.o"
+  "CMakeFiles/cloudalloc_alloc.dir/assign_distribute.cpp.o.d"
+  "CMakeFiles/cloudalloc_alloc.dir/delta_price.cpp.o"
+  "CMakeFiles/cloudalloc_alloc.dir/delta_price.cpp.o.d"
+  "CMakeFiles/cloudalloc_alloc.dir/initial.cpp.o"
+  "CMakeFiles/cloudalloc_alloc.dir/initial.cpp.o.d"
+  "CMakeFiles/cloudalloc_alloc.dir/move_engine.cpp.o"
+  "CMakeFiles/cloudalloc_alloc.dir/move_engine.cpp.o.d"
+  "CMakeFiles/cloudalloc_alloc.dir/reassign.cpp.o"
+  "CMakeFiles/cloudalloc_alloc.dir/reassign.cpp.o.d"
+  "CMakeFiles/cloudalloc_alloc.dir/server_power.cpp.o"
+  "CMakeFiles/cloudalloc_alloc.dir/server_power.cpp.o.d"
+  "CMakeFiles/cloudalloc_alloc.dir/share_policy.cpp.o"
+  "CMakeFiles/cloudalloc_alloc.dir/share_policy.cpp.o.d"
+  "libcloudalloc_alloc.a"
+  "libcloudalloc_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudalloc_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/ga_alloc.cpp" "src/baselines/CMakeFiles/cloudalloc_baselines.dir/ga_alloc.cpp.o" "gcc" "src/baselines/CMakeFiles/cloudalloc_baselines.dir/ga_alloc.cpp.o.d"
+  "/root/repo/src/baselines/monte_carlo.cpp" "src/baselines/CMakeFiles/cloudalloc_baselines.dir/monte_carlo.cpp.o" "gcc" "src/baselines/CMakeFiles/cloudalloc_baselines.dir/monte_carlo.cpp.o.d"
+  "/root/repo/src/baselines/proportional_share.cpp" "src/baselines/CMakeFiles/cloudalloc_baselines.dir/proportional_share.cpp.o" "gcc" "src/baselines/CMakeFiles/cloudalloc_baselines.dir/proportional_share.cpp.o.d"
+  "/root/repo/src/baselines/random_alloc.cpp" "src/baselines/CMakeFiles/cloudalloc_baselines.dir/random_alloc.cpp.o" "gcc" "src/baselines/CMakeFiles/cloudalloc_baselines.dir/random_alloc.cpp.o.d"
+  "/root/repo/src/baselines/sa_alloc.cpp" "src/baselines/CMakeFiles/cloudalloc_baselines.dir/sa_alloc.cpp.o" "gcc" "src/baselines/CMakeFiles/cloudalloc_baselines.dir/sa_alloc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/alloc/CMakeFiles/cloudalloc_alloc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/model/CMakeFiles/cloudalloc_model.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/queueing/CMakeFiles/cloudalloc_queueing.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/opt/CMakeFiles/cloudalloc_opt.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dist/CMakeFiles/cloudalloc_pool.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/cloudalloc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

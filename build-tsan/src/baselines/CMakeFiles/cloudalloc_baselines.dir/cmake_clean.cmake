@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudalloc_baselines.dir/ga_alloc.cpp.o"
+  "CMakeFiles/cloudalloc_baselines.dir/ga_alloc.cpp.o.d"
+  "CMakeFiles/cloudalloc_baselines.dir/monte_carlo.cpp.o"
+  "CMakeFiles/cloudalloc_baselines.dir/monte_carlo.cpp.o.d"
+  "CMakeFiles/cloudalloc_baselines.dir/proportional_share.cpp.o"
+  "CMakeFiles/cloudalloc_baselines.dir/proportional_share.cpp.o.d"
+  "CMakeFiles/cloudalloc_baselines.dir/random_alloc.cpp.o"
+  "CMakeFiles/cloudalloc_baselines.dir/random_alloc.cpp.o.d"
+  "CMakeFiles/cloudalloc_baselines.dir/sa_alloc.cpp.o"
+  "CMakeFiles/cloudalloc_baselines.dir/sa_alloc.cpp.o.d"
+  "libcloudalloc_baselines.a"
+  "libcloudalloc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudalloc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudalloc_common.dir/args.cpp.o"
+  "CMakeFiles/cloudalloc_common.dir/args.cpp.o.d"
+  "CMakeFiles/cloudalloc_common.dir/check.cpp.o"
+  "CMakeFiles/cloudalloc_common.dir/check.cpp.o.d"
+  "CMakeFiles/cloudalloc_common.dir/json.cpp.o"
+  "CMakeFiles/cloudalloc_common.dir/json.cpp.o.d"
+  "CMakeFiles/cloudalloc_common.dir/log.cpp.o"
+  "CMakeFiles/cloudalloc_common.dir/log.cpp.o.d"
+  "CMakeFiles/cloudalloc_common.dir/mathutil.cpp.o"
+  "CMakeFiles/cloudalloc_common.dir/mathutil.cpp.o.d"
+  "CMakeFiles/cloudalloc_common.dir/rng.cpp.o"
+  "CMakeFiles/cloudalloc_common.dir/rng.cpp.o.d"
+  "CMakeFiles/cloudalloc_common.dir/stats.cpp.o"
+  "CMakeFiles/cloudalloc_common.dir/stats.cpp.o.d"
+  "CMakeFiles/cloudalloc_common.dir/table.cpp.o"
+  "CMakeFiles/cloudalloc_common.dir/table.cpp.o.d"
+  "libcloudalloc_common.a"
+  "libcloudalloc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudalloc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

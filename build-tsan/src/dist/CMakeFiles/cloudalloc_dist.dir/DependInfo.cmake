@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/cluster_agent.cpp" "src/dist/CMakeFiles/cloudalloc_dist.dir/cluster_agent.cpp.o" "gcc" "src/dist/CMakeFiles/cloudalloc_dist.dir/cluster_agent.cpp.o.d"
+  "/root/repo/src/dist/codec.cpp" "src/dist/CMakeFiles/cloudalloc_dist.dir/codec.cpp.o" "gcc" "src/dist/CMakeFiles/cloudalloc_dist.dir/codec.cpp.o.d"
+  "/root/repo/src/dist/manager.cpp" "src/dist/CMakeFiles/cloudalloc_dist.dir/manager.cpp.o" "gcc" "src/dist/CMakeFiles/cloudalloc_dist.dir/manager.cpp.o.d"
+  "/root/repo/src/dist/protocol.cpp" "src/dist/CMakeFiles/cloudalloc_dist.dir/protocol.cpp.o" "gcc" "src/dist/CMakeFiles/cloudalloc_dist.dir/protocol.cpp.o.d"
+  "/root/repo/src/dist/transport.cpp" "src/dist/CMakeFiles/cloudalloc_dist.dir/transport.cpp.o" "gcc" "src/dist/CMakeFiles/cloudalloc_dist.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/alloc/CMakeFiles/cloudalloc_alloc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dist/CMakeFiles/cloudalloc_pool.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/model/CMakeFiles/cloudalloc_model.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/queueing/CMakeFiles/cloudalloc_queueing.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/opt/CMakeFiles/cloudalloc_opt.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/cloudalloc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

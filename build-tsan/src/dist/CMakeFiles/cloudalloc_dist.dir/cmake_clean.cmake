@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudalloc_dist.dir/cluster_agent.cpp.o"
+  "CMakeFiles/cloudalloc_dist.dir/cluster_agent.cpp.o.d"
+  "CMakeFiles/cloudalloc_dist.dir/codec.cpp.o"
+  "CMakeFiles/cloudalloc_dist.dir/codec.cpp.o.d"
+  "CMakeFiles/cloudalloc_dist.dir/manager.cpp.o"
+  "CMakeFiles/cloudalloc_dist.dir/manager.cpp.o.d"
+  "CMakeFiles/cloudalloc_dist.dir/protocol.cpp.o"
+  "CMakeFiles/cloudalloc_dist.dir/protocol.cpp.o.d"
+  "CMakeFiles/cloudalloc_dist.dir/transport.cpp.o"
+  "CMakeFiles/cloudalloc_dist.dir/transport.cpp.o.d"
+  "libcloudalloc_dist.a"
+  "libcloudalloc_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudalloc_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudalloc_pool.dir/thread_pool.cpp.o"
+  "CMakeFiles/cloudalloc_pool.dir/thread_pool.cpp.o.d"
+  "libcloudalloc_pool.a"
+  "libcloudalloc_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudalloc_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

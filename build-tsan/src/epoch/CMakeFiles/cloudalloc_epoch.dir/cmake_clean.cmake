@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudalloc_epoch.dir/controller.cpp.o"
+  "CMakeFiles/cloudalloc_epoch.dir/controller.cpp.o.d"
+  "CMakeFiles/cloudalloc_epoch.dir/predictor.cpp.o"
+  "CMakeFiles/cloudalloc_epoch.dir/predictor.cpp.o.d"
+  "libcloudalloc_epoch.a"
+  "libcloudalloc_epoch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudalloc_epoch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

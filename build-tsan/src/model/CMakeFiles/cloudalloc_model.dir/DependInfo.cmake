@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/alloc_state.cpp" "src/model/CMakeFiles/cloudalloc_model.dir/alloc_state.cpp.o" "gcc" "src/model/CMakeFiles/cloudalloc_model.dir/alloc_state.cpp.o.d"
+  "/root/repo/src/model/allocation.cpp" "src/model/CMakeFiles/cloudalloc_model.dir/allocation.cpp.o" "gcc" "src/model/CMakeFiles/cloudalloc_model.dir/allocation.cpp.o.d"
+  "/root/repo/src/model/cloud.cpp" "src/model/CMakeFiles/cloudalloc_model.dir/cloud.cpp.o" "gcc" "src/model/CMakeFiles/cloudalloc_model.dir/cloud.cpp.o.d"
+  "/root/repo/src/model/evaluator.cpp" "src/model/CMakeFiles/cloudalloc_model.dir/evaluator.cpp.o" "gcc" "src/model/CMakeFiles/cloudalloc_model.dir/evaluator.cpp.o.d"
+  "/root/repo/src/model/feasibility.cpp" "src/model/CMakeFiles/cloudalloc_model.dir/feasibility.cpp.o" "gcc" "src/model/CMakeFiles/cloudalloc_model.dir/feasibility.cpp.o.d"
+  "/root/repo/src/model/report.cpp" "src/model/CMakeFiles/cloudalloc_model.dir/report.cpp.o" "gcc" "src/model/CMakeFiles/cloudalloc_model.dir/report.cpp.o.d"
+  "/root/repo/src/model/residual.cpp" "src/model/CMakeFiles/cloudalloc_model.dir/residual.cpp.o" "gcc" "src/model/CMakeFiles/cloudalloc_model.dir/residual.cpp.o.d"
+  "/root/repo/src/model/serialize.cpp" "src/model/CMakeFiles/cloudalloc_model.dir/serialize.cpp.o" "gcc" "src/model/CMakeFiles/cloudalloc_model.dir/serialize.cpp.o.d"
+  "/root/repo/src/model/utility.cpp" "src/model/CMakeFiles/cloudalloc_model.dir/utility.cpp.o" "gcc" "src/model/CMakeFiles/cloudalloc_model.dir/utility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/cloudalloc_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/queueing/CMakeFiles/cloudalloc_queueing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

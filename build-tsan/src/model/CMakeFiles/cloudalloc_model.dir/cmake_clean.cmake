@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudalloc_model.dir/alloc_state.cpp.o"
+  "CMakeFiles/cloudalloc_model.dir/alloc_state.cpp.o.d"
+  "CMakeFiles/cloudalloc_model.dir/allocation.cpp.o"
+  "CMakeFiles/cloudalloc_model.dir/allocation.cpp.o.d"
+  "CMakeFiles/cloudalloc_model.dir/cloud.cpp.o"
+  "CMakeFiles/cloudalloc_model.dir/cloud.cpp.o.d"
+  "CMakeFiles/cloudalloc_model.dir/evaluator.cpp.o"
+  "CMakeFiles/cloudalloc_model.dir/evaluator.cpp.o.d"
+  "CMakeFiles/cloudalloc_model.dir/feasibility.cpp.o"
+  "CMakeFiles/cloudalloc_model.dir/feasibility.cpp.o.d"
+  "CMakeFiles/cloudalloc_model.dir/report.cpp.o"
+  "CMakeFiles/cloudalloc_model.dir/report.cpp.o.d"
+  "CMakeFiles/cloudalloc_model.dir/residual.cpp.o"
+  "CMakeFiles/cloudalloc_model.dir/residual.cpp.o.d"
+  "CMakeFiles/cloudalloc_model.dir/serialize.cpp.o"
+  "CMakeFiles/cloudalloc_model.dir/serialize.cpp.o.d"
+  "CMakeFiles/cloudalloc_model.dir/utility.cpp.o"
+  "CMakeFiles/cloudalloc_model.dir/utility.cpp.o.d"
+  "libcloudalloc_model.a"
+  "libcloudalloc_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudalloc_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

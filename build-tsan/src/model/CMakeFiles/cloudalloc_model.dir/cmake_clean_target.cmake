@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcloudalloc_model.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudalloc_multitier.dir/multitier.cpp.o"
+  "CMakeFiles/cloudalloc_multitier.dir/multitier.cpp.o.d"
+  "libcloudalloc_multitier.a"
+  "libcloudalloc_multitier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudalloc_multitier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/annealing.cpp" "src/opt/CMakeFiles/cloudalloc_opt.dir/annealing.cpp.o" "gcc" "src/opt/CMakeFiles/cloudalloc_opt.dir/annealing.cpp.o.d"
+  "/root/repo/src/opt/dispersion.cpp" "src/opt/CMakeFiles/cloudalloc_opt.dir/dispersion.cpp.o" "gcc" "src/opt/CMakeFiles/cloudalloc_opt.dir/dispersion.cpp.o.d"
+  "/root/repo/src/opt/dp.cpp" "src/opt/CMakeFiles/cloudalloc_opt.dir/dp.cpp.o" "gcc" "src/opt/CMakeFiles/cloudalloc_opt.dir/dp.cpp.o.d"
+  "/root/repo/src/opt/exhaustive.cpp" "src/opt/CMakeFiles/cloudalloc_opt.dir/exhaustive.cpp.o" "gcc" "src/opt/CMakeFiles/cloudalloc_opt.dir/exhaustive.cpp.o.d"
+  "/root/repo/src/opt/first_fit.cpp" "src/opt/CMakeFiles/cloudalloc_opt.dir/first_fit.cpp.o" "gcc" "src/opt/CMakeFiles/cloudalloc_opt.dir/first_fit.cpp.o.d"
+  "/root/repo/src/opt/genetic.cpp" "src/opt/CMakeFiles/cloudalloc_opt.dir/genetic.cpp.o" "gcc" "src/opt/CMakeFiles/cloudalloc_opt.dir/genetic.cpp.o.d"
+  "/root/repo/src/opt/kkt_shares.cpp" "src/opt/CMakeFiles/cloudalloc_opt.dir/kkt_shares.cpp.o" "gcc" "src/opt/CMakeFiles/cloudalloc_opt.dir/kkt_shares.cpp.o.d"
+  "/root/repo/src/opt/reference_solvers.cpp" "src/opt/CMakeFiles/cloudalloc_opt.dir/reference_solvers.cpp.o" "gcc" "src/opt/CMakeFiles/cloudalloc_opt.dir/reference_solvers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/cloudalloc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudalloc_opt.dir/annealing.cpp.o"
+  "CMakeFiles/cloudalloc_opt.dir/annealing.cpp.o.d"
+  "CMakeFiles/cloudalloc_opt.dir/dispersion.cpp.o"
+  "CMakeFiles/cloudalloc_opt.dir/dispersion.cpp.o.d"
+  "CMakeFiles/cloudalloc_opt.dir/dp.cpp.o"
+  "CMakeFiles/cloudalloc_opt.dir/dp.cpp.o.d"
+  "CMakeFiles/cloudalloc_opt.dir/exhaustive.cpp.o"
+  "CMakeFiles/cloudalloc_opt.dir/exhaustive.cpp.o.d"
+  "CMakeFiles/cloudalloc_opt.dir/first_fit.cpp.o"
+  "CMakeFiles/cloudalloc_opt.dir/first_fit.cpp.o.d"
+  "CMakeFiles/cloudalloc_opt.dir/genetic.cpp.o"
+  "CMakeFiles/cloudalloc_opt.dir/genetic.cpp.o.d"
+  "CMakeFiles/cloudalloc_opt.dir/kkt_shares.cpp.o"
+  "CMakeFiles/cloudalloc_opt.dir/kkt_shares.cpp.o.d"
+  "CMakeFiles/cloudalloc_opt.dir/reference_solvers.cpp.o"
+  "CMakeFiles/cloudalloc_opt.dir/reference_solvers.cpp.o.d"
+  "libcloudalloc_opt.a"
+  "libcloudalloc_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudalloc_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

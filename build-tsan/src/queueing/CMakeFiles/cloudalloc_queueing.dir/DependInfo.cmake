@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/queueing/batch.cpp" "src/queueing/CMakeFiles/cloudalloc_queueing.dir/batch.cpp.o" "gcc" "src/queueing/CMakeFiles/cloudalloc_queueing.dir/batch.cpp.o.d"
+  "/root/repo/src/queueing/gps.cpp" "src/queueing/CMakeFiles/cloudalloc_queueing.dir/gps.cpp.o" "gcc" "src/queueing/CMakeFiles/cloudalloc_queueing.dir/gps.cpp.o.d"
+  "/root/repo/src/queueing/mm1.cpp" "src/queueing/CMakeFiles/cloudalloc_queueing.dir/mm1.cpp.o" "gcc" "src/queueing/CMakeFiles/cloudalloc_queueing.dir/mm1.cpp.o.d"
+  "/root/repo/src/queueing/response_time.cpp" "src/queueing/CMakeFiles/cloudalloc_queueing.dir/response_time.cpp.o" "gcc" "src/queueing/CMakeFiles/cloudalloc_queueing.dir/response_time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/cloudalloc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudalloc_queueing.dir/batch.cpp.o"
+  "CMakeFiles/cloudalloc_queueing.dir/batch.cpp.o.d"
+  "CMakeFiles/cloudalloc_queueing.dir/gps.cpp.o"
+  "CMakeFiles/cloudalloc_queueing.dir/gps.cpp.o.d"
+  "CMakeFiles/cloudalloc_queueing.dir/mm1.cpp.o"
+  "CMakeFiles/cloudalloc_queueing.dir/mm1.cpp.o.d"
+  "CMakeFiles/cloudalloc_queueing.dir/response_time.cpp.o"
+  "CMakeFiles/cloudalloc_queueing.dir/response_time.cpp.o.d"
+  "libcloudalloc_queueing.a"
+  "libcloudalloc_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudalloc_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

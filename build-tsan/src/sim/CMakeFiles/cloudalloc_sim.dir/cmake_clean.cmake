@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudalloc_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/cloudalloc_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/cloudalloc_sim.dir/replication.cpp.o"
+  "CMakeFiles/cloudalloc_sim.dir/replication.cpp.o.d"
+  "CMakeFiles/cloudalloc_sim.dir/runner.cpp.o"
+  "CMakeFiles/cloudalloc_sim.dir/runner.cpp.o.d"
+  "libcloudalloc_sim.a"
+  "libcloudalloc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudalloc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudalloc_workload.dir/scenario.cpp.o"
+  "CMakeFiles/cloudalloc_workload.dir/scenario.cpp.o.d"
+  "CMakeFiles/cloudalloc_workload.dir/trace.cpp.o"
+  "CMakeFiles/cloudalloc_workload.dir/trace.cpp.o.d"
+  "libcloudalloc_workload.a"
+  "libcloudalloc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudalloc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

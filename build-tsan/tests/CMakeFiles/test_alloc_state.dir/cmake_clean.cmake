@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alloc_state.dir/test_alloc_state.cpp.o"
+  "CMakeFiles/test_alloc_state.dir/test_alloc_state.cpp.o.d"
+  "test_alloc_state"
+  "test_alloc_state.pdb"
+  "test_alloc_state[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alloc_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

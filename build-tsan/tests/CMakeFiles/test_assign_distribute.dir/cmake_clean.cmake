@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assign_distribute.dir/test_assign_distribute.cpp.o"
+  "CMakeFiles/test_assign_distribute.dir/test_assign_distribute.cpp.o.d"
+  "test_assign_distribute"
+  "test_assign_distribute.pdb"
+  "test_assign_distribute[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assign_distribute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

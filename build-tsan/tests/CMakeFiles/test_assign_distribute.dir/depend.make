@@ -1,0 +1,2 @@
+# Empty dependencies file for test_assign_distribute.
+# This may be replaced when dependencies are built.

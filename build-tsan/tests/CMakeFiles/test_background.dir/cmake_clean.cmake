@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_background.dir/test_background.cpp.o"
+  "CMakeFiles/test_background.dir/test_background.cpp.o.d"
+  "test_background"
+  "test_background.pdb"
+  "test_background[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_background.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

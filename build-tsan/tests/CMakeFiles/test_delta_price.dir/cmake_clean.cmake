@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delta_price.dir/test_delta_price.cpp.o"
+  "CMakeFiles/test_delta_price.dir/test_delta_price.cpp.o.d"
+  "test_delta_price"
+  "test_delta_price.pdb"
+  "test_delta_price[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delta_price.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

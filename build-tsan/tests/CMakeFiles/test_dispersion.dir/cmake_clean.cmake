@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dispersion.dir/test_dispersion.cpp.o"
+  "CMakeFiles/test_dispersion.dir/test_dispersion.cpp.o.d"
+  "test_dispersion"
+  "test_dispersion.pdb"
+  "test_dispersion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dispersion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_determinism.dir/test_dist_determinism.cpp.o"
+  "CMakeFiles/test_dist_determinism.dir/test_dist_determinism.cpp.o.d"
+  "test_dist_determinism"
+  "test_dist_determinism.pdb"
+  "test_dist_determinism[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_determinism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

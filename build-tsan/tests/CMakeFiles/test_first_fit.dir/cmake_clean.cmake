@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_first_fit.dir/test_first_fit.cpp.o"
+  "CMakeFiles/test_first_fit.dir/test_first_fit.cpp.o.d"
+  "test_first_fit"
+  "test_first_fit.pdb"
+  "test_first_fit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_first_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

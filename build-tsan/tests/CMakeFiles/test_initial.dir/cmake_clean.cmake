@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_initial.dir/test_initial.cpp.o"
+  "CMakeFiles/test_initial.dir/test_initial.cpp.o.d"
+  "test_initial"
+  "test_initial.pdb"
+  "test_initial[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_initial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/test_integration.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/test_integration.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/alloc/CMakeFiles/cloudalloc_alloc.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/baselines/CMakeFiles/cloudalloc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dist/CMakeFiles/cloudalloc_dist.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/cloudalloc_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/workload/CMakeFiles/cloudalloc_workload.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/opt/CMakeFiles/cloudalloc_opt.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dist/CMakeFiles/cloudalloc_pool.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/model/CMakeFiles/cloudalloc_model.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/queueing/CMakeFiles/cloudalloc_queueing.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/cloudalloc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

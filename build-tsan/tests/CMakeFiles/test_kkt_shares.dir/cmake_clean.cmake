@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kkt_shares.dir/test_kkt_shares.cpp.o"
+  "CMakeFiles/test_kkt_shares.dir/test_kkt_shares.cpp.o.d"
+  "test_kkt_shares"
+  "test_kkt_shares.pdb"
+  "test_kkt_shares[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kkt_shares.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

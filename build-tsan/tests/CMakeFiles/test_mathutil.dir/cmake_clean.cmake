@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mathutil.dir/test_mathutil.cpp.o"
+  "CMakeFiles/test_mathutil.dir/test_mathutil.cpp.o.d"
+  "test_mathutil"
+  "test_mathutil.pdb"
+  "test_mathutil[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mathutil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

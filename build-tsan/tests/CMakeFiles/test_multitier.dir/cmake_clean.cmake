@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multitier.dir/test_multitier.cpp.o"
+  "CMakeFiles/test_multitier.dir/test_multitier.cpp.o.d"
+  "test_multitier"
+  "test_multitier.pdb"
+  "test_multitier[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multitier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proportional_share.dir/test_proportional_share.cpp.o"
+  "CMakeFiles/test_proportional_share.dir/test_proportional_share.cpp.o.d"
+  "test_proportional_share"
+  "test_proportional_share.pdb"
+  "test_proportional_share[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proportional_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reassign.dir/test_reassign.cpp.o"
+  "CMakeFiles/test_reassign.dir/test_reassign.cpp.o.d"
+  "test_reassign"
+  "test_reassign.pdb"
+  "test_reassign[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reassign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reference_solvers.dir/test_reference_solvers.cpp.o"
+  "CMakeFiles/test_reference_solvers.dir/test_reference_solvers.cpp.o.d"
+  "test_reference_solvers"
+  "test_reference_solvers.pdb"
+  "test_reference_solvers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reference_solvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_server_power.dir/test_server_power.cpp.o"
+  "CMakeFiles/test_server_power.dir/test_server_power.cpp.o.d"
+  "test_server_power"
+  "test_server_power.pdb"
+  "test_server_power[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_server_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

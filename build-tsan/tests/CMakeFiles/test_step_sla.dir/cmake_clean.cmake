@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_step_sla.dir/test_step_sla.cpp.o"
+  "CMakeFiles/test_step_sla.dir/test_step_sla.cpp.o.d"
+  "test_step_sla"
+  "test_step_sla.pdb"
+  "test_step_sla[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_step_sla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stochastic_engines.dir/test_stochastic_engines.cpp.o"
+  "CMakeFiles/test_stochastic_engines.dir/test_stochastic_engines.cpp.o.d"
+  "test_stochastic_engines"
+  "test_stochastic_engines.pdb"
+  "test_stochastic_engines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stochastic_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_table_args.dir/test_table_args.cpp.o"
+  "CMakeFiles/test_table_args.dir/test_table_args.cpp.o.d"
+  "test_table_args"
+  "test_table_args.pdb"
+  "test_table_args[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_table_args.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tail_sla.dir/test_tail_sla.cpp.o"
+  "CMakeFiles/test_tail_sla.dir/test_tail_sla.cpp.o.d"
+  "test_tail_sla"
+  "test_tail_sla.pdb"
+  "test_tail_sla[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tail_sla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

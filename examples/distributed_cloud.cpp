@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
   alloc::AllocatorOptions opts;
 
   const auto sequential = alloc::ResourceAllocator(opts).run(cloud);
-  const auto distributed = dist::DistributedAllocator({opts}).run(cloud);
+  const auto distributed = dist::DistributedAllocator(opts).run(cloud);
 
   Table table({"mode", "profit", "seconds", "rounds", "messages"});
   table.add_row({"sequential (central only)",

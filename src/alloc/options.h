@@ -110,6 +110,20 @@ struct AllocatorOptions {
   /// produces a bit-identical allocation at every value of num_threads.
   int num_threads = 1;
 
+  // --- distributed deployment (dist::DistributedAllocator) -------------
+
+  /// Message-passing mode: how long the manager waits for the missing
+  /// agent responses of one improvement round before skipping them
+  /// (Mailbox::receive_for underneath). Also capped by whatever remains
+  /// of time_budget_ms, so a dead agent cannot blow the epoch deadline.
+  /// <= 0 waits indefinitely — only safe with a fault-free transport.
+  double dist_round_timeout_ms = 2000.0;
+
+  /// Consecutive silent rounds after which an agent is presumed dead and
+  /// no longer waited for (its cluster keeps its last merged placements).
+  /// A late response from a presumed-dead agent revives it.
+  int dist_miss_threshold = 2;
+
   std::uint64_t seed = 1;
   bool verbose = false;
 };

@@ -1,7 +1,17 @@
-// Blocking MPMC mailbox used for manager <-> cluster-agent messages.
-// Closing the mailbox wakes all receivers; receive() then returns nullopt.
+// Blocking MPMC mailbox used for manager <-> cluster-agent channels.
+//
+// Close semantics: close() wakes every blocked receiver; messages already
+// queued at close time still drain (receive keeps returning them), and
+// only an empty+closed mailbox yields nullopt. send() on a closed mailbox
+// is refused and returns false — callers MUST consume that result: the
+// transport layer maps it to "peer is gone" (crashed agent / finished
+// manager) and the liveness bookkeeping depends on it. messages_sent()
+// counts successful enqueues only and is the single source of truth for
+// message accounting (DistributedReport::messages sums it per channel —
+// there is no hand-computed estimate anywhere).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -12,8 +22,9 @@ namespace cloudalloc::dist {
 template <typename T>
 class Mailbox {
  public:
-  /// Enqueues a message; returns false if the mailbox is closed.
-  bool send(T message) {
+  /// Enqueues a message; returns false (and drops it) iff the mailbox is
+  /// closed. Do not ignore the result — see the header comment.
+  [[nodiscard]] bool send(T message) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (closed_) return false;
@@ -24,14 +35,24 @@ class Mailbox {
     return true;
   }
 
-  /// Blocks until a message arrives or the mailbox closes.
+  /// Blocks until a message arrives or the mailbox closes; nullopt only
+  /// when closed AND drained.
   std::optional<T> receive() {
     std::unique_lock<std::mutex> lock(mutex_);
     cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
-    if (queue_.empty()) return std::nullopt;
-    T message = std::move(queue_.front());
-    queue_.pop_front();
-    return message;
+    return take_locked();
+  }
+
+  /// Bounded receive: blocks up to `timeout` for a message. nullopt means
+  /// the wait timed out or the mailbox is closed-and-drained — callers
+  /// that must distinguish can consult closed(). A message that is
+  /// already queued is returned immediately regardless of timeout.
+  template <typename Rep, typename Period>
+  std::optional<T> receive_for(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait_for(lock, timeout,
+                 [this] { return closed_ || !queue_.empty(); });
+    return take_locked();
   }
 
   void close() {
@@ -42,14 +63,26 @@ class Mailbox {
     cv_.notify_all();
   }
 
-  /// Total messages ever sent (the "limited communication" the paper
-  /// trades for the K-fold speedup; reported by the speedup bench).
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  /// Total successful sends ever (the "limited communication" the paper
+  /// trades for the K-fold speedup; summed into DistributedReport).
   std::size_t messages_sent() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return sent_;
   }
 
  private:
+  std::optional<T> take_locked() {
+    if (queue_.empty()) return std::nullopt;
+    T message = std::move(queue_.front());
+    queue_.pop_front();
+    return message;
+  }
+
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<T> queue_;

@@ -1,33 +1,70 @@
 // The central manager: the distributed counterpart of ResourceAllocator.
 //
-// Cluster agents are pool-managed tasks, not dedicated threads: the
-// manager owns one ThreadPool of options.alloc.num_threads workers
-// (0 = hardware concurrency) and fans each phase out as tasks, so
-// K clusters >> cores no longer oversubscribes the machine. The
-// multi-start greedy initial solution runs the independent starts as pool
-// tasks (the same engine as the sequential allocator, so the two commit
-// identical initial solutions); the improvement loop runs the K
-// cluster-local stages as tasks against a frozen snapshot and keeps only
-// the cross-cluster reassignment apply-phase sequential — the source of
-// the ~K-fold decision-time reduction claimed in Section VI.
+// Two deployment modes share one improvement-loop skeleton:
 //
-// Determinism: every fan-out writes results into per-task slots and every
-// reduction/apply walks those slots in a fixed order, so given equal
-// options/seed the run is a pure function of (cloud, options) at any
-// thread count — tests assert bit-identical allocations across counts.
+//   kMessagePassing (default) — the paper's architecture made real. One
+//   dedicated thread per cluster runs an AgentActor servicing typed,
+//   serialized messages (dist/protocol.h) over a Transport; the manager
+//   broadcasts versioned state deltas, collects ImproveResponses under a
+//   per-round timeout (Mailbox::receive_for underneath), and merges them
+//   idempotently keyed on (epoch, round, cluster). No Allocation pointer
+//   crosses a channel — snapshots travel as encoded deltas, and each
+//   agent rebuilds its private copy from its replica. Faults (drops,
+//   delays, duplicates, reordering, agent crashes — see FaultPlan) cost
+//   coverage for a round, never correctness: a missing agent is skipped
+//   and retried via a rebased delta, stale/duplicated responses are
+//   discarded by sequence number, and the best-round checkpoint
+//   guarantees the returned allocation never falls below the best
+//   completed round.
+//
+//   kSharedMemory — the original pool-managed mode: agents run as tasks
+//   over a frozen snapshot rebuilt from the same placement rows the
+//   message mode would serialize. Kept as the zero-copy fast path and as
+//   the parity oracle: with a fault-free transport the two modes are
+//   bit-identical (pinned by tests at 1/4/8 threads).
+//
+// Determinism: every fan-out writes results into per-agent slots and
+// every merge walks those slots in cluster order, so given equal
+// options/seed (and fault plan) the run is a pure function of
+// (cloud, options) at any thread count.
+//
+// The epoch deadline (options.alloc.time_budget_ms) is honored between
+// rounds exactly as ResourceAllocator honors it between passes, and the
+// per-round response timeout is additionally capped by the remaining
+// budget, so a crashed agent cannot make the manager blow the epoch.
 #pragma once
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "alloc/allocator.h"
 #include "alloc/options.h"
+#include "dist/transport.h"
 #include "model/allocation.h"
 
 namespace cloudalloc::dist {
 
+enum class DistMode {
+  kMessagePassing,  ///< serialized protocol over a Transport (default)
+  kSharedMemory,    ///< in-process pool tasks, zero-copy snapshots
+};
+
 struct DistributedOptions {
+  DistributedOptions() = default;
+  /// Converting constructor: the overwhelmingly common call shape is
+  /// "these allocator knobs, default deployment" — keep
+  /// `DistributedAllocator(opts)` working without partial-aggregate
+  /// warnings now that there are more fields.
+  DistributedOptions(alloc::AllocatorOptions alloc_options)
+      : alloc(std::move(alloc_options)) {}
+
   alloc::AllocatorOptions alloc;
+  DistMode mode = DistMode::kMessagePassing;
+  /// Fault injection for kMessagePassing (ignored by kSharedMemory).
+  /// Any non-zero probability wraps the channel transport in a seeded
+  /// FaultyTransport.
+  FaultPlan faults;
 };
 
 struct DistributedReport {
@@ -41,10 +78,26 @@ struct DistributedReport {
   /// below an earlier one is a "dipped" round; the regression suite uses
   /// this to pin the best-seen tracking.
   std::vector<double> round_profits;
-  /// Request/response pairs the equivalent message-passing deployment
-  /// would exchange (the "limited communication" the paper trades for the
-  /// K-fold speedup): 2K per greedy insertion, 2K per improvement round.
+  /// True when the epoch deadline (alloc.time_budget_ms) stopped the
+  /// improvement loop before it converged or exhausted its rounds; the
+  /// returned allocation is still the best completed checkpoint.
+  bool truncated = false;
+  /// Real messages sent over the transport (TransportStats::messages —
+  /// the mailboxes' messages_sent() is the single source of truth; there
+  /// is no modeled estimate). Zero in kSharedMemory mode, where nothing
+  /// crosses a channel.
   std::size_t messages = 0;
+  /// Serialized payload bytes over the transport (0 in kSharedMemory).
+  std::size_t bytes = 0;
+  /// Round-responses that never arrived (timeouts: dropped requests or
+  /// responses, crashed or presumed-dead agents).
+  int responses_missed = 0;
+  /// Messages discarded by the idempotent merge (duplicate or
+  /// wrong-round/epoch responses) plus undecodable frames.
+  std::size_t stale_messages = 0;
+  /// Agents the manager declared dead (failed send or
+  /// dist_miss_threshold consecutive silent rounds).
+  int agents_presumed_dead = 0;
   double wall_seconds = 0.0;
 };
 
@@ -60,6 +113,9 @@ class DistributedAllocator {
   DistributedResult run(const model::Cloud& cloud) const;
 
  private:
+  DistributedResult run_shared_memory(const model::Cloud& cloud) const;
+  DistributedResult run_message_passing(const model::Cloud& cloud) const;
+
   DistributedOptions options_;
 };
 

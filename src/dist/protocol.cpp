@@ -1,0 +1,18 @@
+#include "dist/protocol.h"
+
+#include "model/cloud.h"
+
+namespace cloudalloc::dist::protocol {
+
+model::Allocation rebuild_allocation(
+    const model::Cloud& cloud, const std::vector<ClientPlacements>& rows) {
+  model::Allocation alloc(cloud);
+  for (const ClientPlacements& row : rows) {
+    if (row.cluster == model::kNoCluster || row.placements.empty()) continue;
+    alloc.assign(row.client, row.cluster,
+                 std::vector<model::Placement>(row.placements));
+  }
+  return alloc;
+}
+
+}  // namespace cloudalloc::dist::protocol

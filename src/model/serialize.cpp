@@ -361,6 +361,31 @@ std::optional<Cloud> cloud_from_json(const Json& doc, std::string* error) {
                std::move(clients));
 }
 
+Json placement_to_json(const Placement& p) {
+  JsonObject pj;
+  pj.emplace("server", p.server.value());
+  pj.emplace("psi", p.psi);
+  pj.emplace("phi_p", p.phi_p);
+  pj.emplace("phi_n", p.phi_n);
+  return Json(std::move(pj));
+}
+
+std::optional<Placement> placement_from_json(const Json& node,
+                                             std::string* error) {
+  Reader reader;
+  Placement p;
+  p.server = ServerId{reader.integer(node, "server")};
+  p.psi = reader.num(node, "psi");
+  p.phi_p = reader.num(node, "phi_p");
+  p.phi_n = reader.num(node, "phi_n");
+  if (reader.ok() && !p.server.valid()) reader.fail("negative server id");
+  if (!reader.ok()) {
+    if (error != nullptr) *error = reader.error();
+    return std::nullopt;
+  }
+  return p;
+}
+
 Json allocation_to_json(const Allocation& alloc) {
   JsonObject root;
   root.emplace("format", "cloudalloc.allocation");
@@ -372,14 +397,8 @@ Json allocation_to_json(const Allocation& alloc) {
     o.emplace("client", i.value());
     o.emplace("cluster", alloc.cluster_of(i).value());
     JsonArray placements;
-    for (const auto& p : alloc.placements(i)) {
-      JsonObject pj;
-      pj.emplace("server", p.server.value());
-      pj.emplace("psi", p.psi);
-      pj.emplace("phi_p", p.phi_p);
-      pj.emplace("phi_n", p.phi_n);
-      placements.emplace_back(std::move(pj));
-    }
+    for (const auto& p : alloc.placements(i))
+      placements.emplace_back(placement_to_json(p));
     o.emplace("placements", std::move(placements));
     clients.emplace_back(std::move(o));
   }
@@ -414,12 +433,10 @@ std::optional<Allocation> allocation_from_json(const Cloud& cloud,
     std::vector<Placement> placements;
     double psi_sum = 0.0;
     for (const auto& pj : reader.array(node, "placements")) {
-      Placement p;
-      p.server = ServerId{reader.integer(pj, "server")};
-      p.psi = reader.num(pj, "psi");
-      p.phi_p = reader.num(pj, "phi_p");
-      p.phi_n = reader.num(pj, "phi_n");
-      if (!reader.ok()) return fail(reader.error().c_str());
+      std::string perr;
+      const auto parsed = placement_from_json(pj, &perr);
+      if (!parsed) return fail(perr.c_str());
+      const Placement p = *parsed;
       // Pre-validate what Allocation::assign CHECKs.
       if (!p.server.valid() || p.server.value() >= cloud.num_servers())
         return fail("server id range");

@@ -1,4 +1,5 @@
 #include <atomic>
+#include <cmath>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -10,7 +11,6 @@
 #include "alloc/initial.h"
 #include "common/rng.h"
 #include "dist/cluster_agent.h"
-#include "dist/mailbox.h"
 #include "dist/manager.h"
 #include "dist/thread_pool.h"
 #include "model/evaluator.h"
@@ -85,40 +85,6 @@ TEST(ThreadPool, ParallelForDrainsAllTasksBeforeRethrowing) {
   EXPECT_EQ(completed.load(), 63);
 }
 
-TEST(Mailbox, FifoDelivery) {
-  Mailbox<int> box;
-  box.send(1);
-  box.send(2);
-  box.send(3);
-  EXPECT_EQ(box.receive(), 1);
-  EXPECT_EQ(box.receive(), 2);
-  EXPECT_EQ(box.receive(), 3);
-  EXPECT_EQ(box.messages_sent(), 3u);
-}
-
-TEST(Mailbox, CloseWakesReceivers) {
-  Mailbox<int> box;
-  std::thread receiver([&box] { EXPECT_FALSE(box.receive().has_value()); });
-  box.close();
-  receiver.join();
-  EXPECT_FALSE(box.send(1));
-}
-
-TEST(Mailbox, CrossThreadDelivery) {
-  Mailbox<std::string> box;
-  std::thread sender([&box] {
-    for (int i = 0; i < 100; ++i) box.send("msg" + std::to_string(i));
-  });
-  std::set<std::string> got;
-  for (int i = 0; i < 100; ++i) {
-    auto m = box.receive();
-    ASSERT_TRUE(m.has_value());
-    got.insert(*m);
-  }
-  sender.join();
-  EXPECT_EQ(got.size(), 100u);
-}
-
 TEST(ClusterAgent, EvaluatesOnlyItsCluster) {
   const auto cloud = workload::make_tiny_scenario(2);
   alloc::AllocatorOptions opts;
@@ -144,9 +110,9 @@ TEST(ClusterAgent, ImproveOnlyTouchesItsClients) {
   const auto improvement = agent.improve(snapshot);
   EXPECT_EQ(improvement.cluster, model::ClusterId{0});
   EXPECT_GE(improvement.profit_delta, -1e-9);
-  for (const auto& [i, placements] : improvement.placements) {
-    EXPECT_EQ(snapshot.cluster_of(i), model::ClusterId{0});
-    for (const auto& p : placements)
+  for (const auto& row : improvement.placements) {
+    EXPECT_EQ(snapshot.cluster_of(row.client), model::ClusterId{0});
+    for (const auto& p : row.placements)
       EXPECT_EQ(cloud.server(p.server).cluster, model::ClusterId{0});
   }
 }
@@ -201,6 +167,139 @@ TEST(DistributedAllocator, FeasibleAcrossSeeds) {
     EXPECT_GE(result.report.final_profit,
               result.report.initial_profit - 1e-9);
   }
+}
+
+void expect_identical_allocations(const model::Allocation& a,
+                                  const model::Allocation& b) {
+  const auto& cloud = a.cloud();
+  for (model::ClientId i : cloud.client_ids()) {
+    ASSERT_EQ(a.is_assigned(i), b.is_assigned(i)) << "client " << i;
+    if (!a.is_assigned(i)) continue;
+    EXPECT_EQ(a.cluster_of(i), b.cluster_of(i));
+    const auto& pa = a.placements(i);
+    const auto& pb = b.placements(i);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t s = 0; s < pa.size(); ++s) {
+      EXPECT_EQ(pa[s].server, pb[s].server);
+      EXPECT_DOUBLE_EQ(pa[s].psi, pb[s].psi);
+      EXPECT_DOUBLE_EQ(pa[s].phi_p, pb[s].phi_p);
+      EXPECT_DOUBLE_EQ(pa[s].phi_n, pb[s].phi_n);
+    }
+  }
+}
+
+// Acceptance gate of the protocol rewrite: with a fault-free transport,
+// the serialized message-passing deployment must be BIT-identical to the
+// shared-memory deployment — same profits, same rounds, same placements —
+// at every thread count. Everything that crosses the wire (doubles
+// included) round-trips exactly, and both modes rebuild agent snapshots
+// through protocol::rebuild_allocation.
+TEST(DistributedAllocator, MessagePassingBitIdenticalToSharedMemory) {
+  workload::ScenarioParams params;
+  params.num_clients = 24;
+  params.servers_per_cluster = 5;
+  const auto cloud = workload::make_scenario(params, 77);
+  for (int threads : {1, 4, 8}) {
+    alloc::AllocatorOptions opts;
+    opts.seed = 11;
+    opts.max_local_search_rounds = 4;
+    opts.num_threads = threads;
+
+    DistributedOptions shared_opts{opts};
+    shared_opts.mode = DistMode::kSharedMemory;
+    DistributedOptions message_opts{opts};
+    message_opts.mode = DistMode::kMessagePassing;
+
+    const auto shared = DistributedAllocator(shared_opts).run(cloud);
+    const auto message = DistributedAllocator(message_opts).run(cloud);
+
+    EXPECT_DOUBLE_EQ(shared.report.initial_profit,
+                     message.report.initial_profit)
+        << "threads " << threads;
+    EXPECT_DOUBLE_EQ(shared.report.final_profit, message.report.final_profit)
+        << "threads " << threads;
+    ASSERT_EQ(shared.report.round_profits.size(),
+              message.report.round_profits.size())
+        << "threads " << threads;
+    for (std::size_t r = 0; r < shared.report.round_profits.size(); ++r)
+      EXPECT_DOUBLE_EQ(shared.report.round_profits[r],
+                       message.report.round_profits[r])
+          << "threads " << threads << " round " << r;
+    expect_identical_allocations(shared.allocation, message.allocation);
+  }
+}
+
+// Regression for the epoch-deadline bug: DistributedAllocator::run used
+// to ignore options.alloc.time_budget_ms entirely. A tiny budget must now
+// truncate the improvement loop after round 1 (the deadline is checked
+// between rounds, mirroring allocator.cpp's between-passes checks) while
+// still returning the best completed checkpoint.
+TEST(DistributedAllocator, TimeBudgetTruncatesAfterRoundOne) {
+  workload::ScenarioParams params;
+  params.num_clients = 20;
+  params.servers_per_cluster = 5;
+  const auto cloud = workload::make_scenario(params, 91);
+  for (const DistMode mode :
+       {DistMode::kMessagePassing, DistMode::kSharedMemory}) {
+    alloc::AllocatorOptions opts;
+    opts.seed = 6;
+    opts.max_local_search_rounds = 12;
+    opts.time_budget_ms = 1e-3;  // expires during round 1
+    DistributedOptions dopts{opts};
+    dopts.mode = mode;
+    const auto result = DistributedAllocator(dopts).run(cloud);
+    EXPECT_TRUE(result.report.truncated);
+    EXPECT_EQ(result.report.rounds_run, 1);
+    // The best checkpoint survives truncation: the returned allocation
+    // realizes final_profit, which is the best seen so far.
+    EXPECT_GE(result.report.final_profit,
+              result.report.initial_profit - 1e-9);
+    EXPECT_NEAR(model::profit(result.allocation), result.report.final_profit,
+                1e-6 * std::max(1.0, std::fabs(result.report.final_profit)));
+    EXPECT_TRUE(model::is_feasible(result.allocation));
+  }
+}
+
+// An untruncated run must not set the flag.
+TEST(DistributedAllocator, NoBudgetMeansNoTruncation) {
+  workload::ScenarioParams params;
+  params.num_clients = 15;
+  params.servers_per_cluster = 4;
+  const auto cloud = workload::make_scenario(params, 95);
+  alloc::AllocatorOptions opts;
+  opts.seed = 8;
+  opts.max_local_search_rounds = 3;
+  const auto result = DistributedAllocator(DistributedOptions{opts}).run(cloud);
+  EXPECT_FALSE(result.report.truncated);
+}
+
+// Message accounting is real, not modeled: the transport's channel
+// counters (Mailbox::messages_sent) are the single source of truth. The
+// shared-memory mode sends nothing over a channel and must report zero.
+TEST(DistributedAllocator, MessageAndByteCountsComeFromTheTransport) {
+  workload::ScenarioParams params;
+  params.num_clients = 15;
+  params.servers_per_cluster = 4;
+  const auto cloud = workload::make_scenario(params, 97);
+  alloc::AllocatorOptions opts;
+  opts.seed = 12;
+  opts.max_local_search_rounds = 2;
+
+  DistributedOptions message_opts{opts};
+  const auto message = DistributedAllocator(message_opts).run(cloud);
+  // Per completed round: K requests + K responses, plus K shutdowns.
+  const auto K = static_cast<std::size_t>(cloud.num_clusters());
+  const auto rounds = static_cast<std::size_t>(message.report.rounds_run);
+  EXPECT_EQ(message.report.messages, 2 * K * rounds + K);
+  EXPECT_GT(message.report.bytes, 0u);
+  EXPECT_EQ(message.report.responses_missed, 0);
+  EXPECT_EQ(message.report.stale_messages, 0u);
+
+  DistributedOptions shared_opts{opts};
+  shared_opts.mode = DistMode::kSharedMemory;
+  const auto shared = DistributedAllocator(shared_opts).run(cloud);
+  EXPECT_EQ(shared.report.messages, 0u);
+  EXPECT_EQ(shared.report.bytes, 0u);
 }
 
 }  // namespace

@@ -25,7 +25,7 @@ TEST(DistDeterminism, SameSeedSameProfitAcrossRuns) {
   alloc::AllocatorOptions opts;
   opts.seed = 2;
   opts.max_local_search_rounds = 5;
-  DistributedAllocator allocator({opts});
+  DistributedAllocator allocator(opts);
   const auto a = allocator.run(cloud);
   const auto b = allocator.run(cloud);
   EXPECT_DOUBLE_EQ(a.report.final_profit, b.report.final_profit);
@@ -37,7 +37,7 @@ TEST(DistDeterminism, IdenticalAssignmentsAcrossRuns) {
   alloc::AllocatorOptions opts;
   opts.seed = 3;
   opts.max_local_search_rounds = 3;
-  DistributedAllocator allocator({opts});
+  DistributedAllocator allocator(opts);
   const auto a = allocator.run(cloud);
   const auto b = allocator.run(cloud);
   for (model::ClientId i : cloud.client_ids()) {
@@ -60,7 +60,7 @@ TEST(DistDeterminism, MessageCountIsDeterministic) {
   alloc::AllocatorOptions opts;
   opts.seed = 4;
   opts.max_local_search_rounds = 2;
-  DistributedAllocator allocator({opts});
+  DistributedAllocator allocator(opts);
   const auto a = allocator.run(cloud);
   const auto b = allocator.run(cloud);
   EXPECT_EQ(a.report.messages, b.report.messages);
@@ -111,11 +111,11 @@ TEST(ThreadDeterminism, DistributedIdenticalAcrossThreadCounts) {
   opts.num_initial_solutions = 4;
   opts.max_local_search_rounds = 4;
   opts.num_threads = 1;
-  const auto base = DistributedAllocator({opts}).run(cloud);
+  const auto base = DistributedAllocator(opts).run(cloud);
   for (int threads : {2, 8}) {
     alloc::AllocatorOptions topts = opts;
     topts.num_threads = threads;
-    const auto run = DistributedAllocator({topts}).run(cloud);
+    const auto run = DistributedAllocator(topts).run(cloud);
     EXPECT_DOUBLE_EQ(run.report.final_profit, base.report.final_profit)
         << "threads " << threads;
     EXPECT_EQ(run.report.rounds_run, base.report.rounds_run);
@@ -138,7 +138,7 @@ TEST(DistRegression, DippedFinalRoundDoesNotDegradeResult) {
   alloc::AllocatorOptions opts;
   opts.seed = 2;
   opts.max_local_search_rounds = 8;
-  const auto result = DistributedAllocator({opts}).run(cloud);
+  const auto result = DistributedAllocator(opts).run(cloud);
   const auto& profits = result.report.round_profits;
   ASSERT_FALSE(profits.empty());
 

@@ -1,0 +1,265 @@
+// Fault injection: the message-passing manager must tolerate seeded
+// drops, delays (reordering), duplicates, and agent crashes — always
+// terminating, always returning the best completed round, and doing all
+// of it DETERMINISTICALLY: the merged profit is a pure function of
+// (cloud, options, FaultPlan), pinned by running every configuration
+// twice and comparing bitwise. CI runs this under TSan; set
+// CLOUDALLOC_FAULT_SWEEP=1 to widen the seed sweep.
+//
+// Timing note: per-round response timeouts are real wall-clock waits, so
+// the scenarios here are small and the timeout (600 ms) is chosen to
+// dwarf any plausible compute time — fault classification then depends
+// only on the seeded schedule, not on scheduler luck.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dist/manager.h"
+#include "dist/transport.h"
+#include "model/evaluator.h"
+#include "model/feasibility.h"
+#include "workload/scenario.h"
+
+namespace cloudalloc::dist {
+namespace {
+
+struct NamedPlan {
+  const char* name;
+  FaultPlan plan;
+};
+
+std::vector<NamedPlan> fault_plans() {
+  std::vector<NamedPlan> plans;
+  FaultPlan drops;
+  drops.seed = 101;
+  drops.drop_prob = 0.3;
+  plans.push_back({"drops", drops});
+  FaultPlan delay_dup;
+  delay_dup.seed = 202;
+  delay_dup.delay_prob = 0.35;
+  delay_dup.delay_span = 2;
+  delay_dup.duplicate_prob = 0.3;
+  plans.push_back({"delay+dup", delay_dup});
+  FaultPlan crashes;
+  crashes.seed = 303;
+  crashes.crash_prob = 1.0;  // every agent dies after two deliveries
+  crashes.crash_after_deliveries = 2;
+  plans.push_back({"crashes", crashes});
+  FaultPlan combined;
+  combined.seed = 404;
+  combined.drop_prob = 0.15;
+  combined.duplicate_prob = 0.15;
+  combined.delay_prob = 0.2;
+  combined.crash_prob = 0.5;
+  combined.crash_after_deliveries = 3;
+  plans.push_back({"combined", combined});
+  return plans;
+}
+
+std::vector<std::uint64_t> sweep_seeds() {
+  const char* env = std::getenv("CLOUDALLOC_FAULT_SWEEP");
+  if (env != nullptr && *env != '\0') return {1, 2, 3, 4, 5, 6};
+  return {1, 2};
+}
+
+DistributedOptions sweep_options(std::uint64_t seed, const FaultPlan& plan) {
+  alloc::AllocatorOptions opts;
+  opts.seed = seed;
+  opts.max_local_search_rounds = 3;
+  opts.dist_round_timeout_ms = 600.0;
+  DistributedOptions dopts{opts};
+  dopts.mode = DistMode::kMessagePassing;
+  dopts.faults = plan;
+  return dopts;
+}
+
+model::Cloud sweep_cloud(std::uint64_t seed) {
+  workload::ScenarioParams params;
+  params.num_clients = 12;
+  params.num_clusters = 3;
+  params.servers_per_cluster = 4;
+  return workload::make_scenario(params, seed);
+}
+
+void expect_identical_allocations(const model::Allocation& a,
+                                  const model::Allocation& b) {
+  const auto& cloud = a.cloud();
+  for (model::ClientId i : cloud.client_ids()) {
+    ASSERT_EQ(a.is_assigned(i), b.is_assigned(i)) << "client " << i;
+    if (!a.is_assigned(i)) continue;
+    EXPECT_EQ(a.cluster_of(i), b.cluster_of(i));
+    const auto& pa = a.placements(i);
+    const auto& pb = b.placements(i);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t s = 0; s < pa.size(); ++s) {
+      EXPECT_EQ(pa[s].server, pb[s].server);
+      EXPECT_EQ(pa[s].psi, pb[s].psi);
+      EXPECT_EQ(pa[s].phi_p, pb[s].phi_p);
+      EXPECT_EQ(pa[s].phi_n, pb[s].phi_n);
+    }
+  }
+}
+
+// The acceptance gate: under every fault plan the run (a) terminates,
+// (b) returns a feasible allocation realizing exactly the best profit of
+// any completed round (never below it), and (c) is bit-for-bit
+// reproducible — two runs with the same (cloud, options, plan) agree on
+// profits, rounds, fault accounting, and the final placements.
+TEST(DistributedFaults, SweepIsDeterministicAndNeverBelowBestRound) {
+  bool saw_faults_bite = false;
+  for (const NamedPlan& named : fault_plans()) {
+    for (const std::uint64_t seed : sweep_seeds()) {
+      SCOPED_TRACE(std::string(named.name) + " seed " + std::to_string(seed));
+      const auto cloud = sweep_cloud(seed);
+      const auto dopts = sweep_options(seed, named.plan);
+
+      const auto first = DistributedAllocator(dopts).run(cloud);
+      const auto second = DistributedAllocator(dopts).run(cloud);
+
+      // --- invariants of each run.
+      for (const auto* result : {&first, &second}) {
+        EXPECT_TRUE(model::is_feasible(result->allocation));
+        double best = result->report.initial_profit;
+        for (const double p : result->report.round_profits)
+          best = std::max(best, p);
+        // Best-checkpoint backstop: losing messages or whole agents may
+        // cost improvement, never regression below a completed round.
+        EXPECT_DOUBLE_EQ(result->report.final_profit, best);
+        EXPECT_GE(result->report.final_profit,
+                  result->report.initial_profit);
+        EXPECT_NEAR(
+            model::profit(result->allocation), result->report.final_profit,
+            1e-6 * std::max(1.0, std::fabs(result->report.final_profit)));
+      }
+
+      // --- bitwise run-to-run determinism.
+      EXPECT_EQ(first.report.initial_profit, second.report.initial_profit);
+      EXPECT_EQ(first.report.final_profit, second.report.final_profit);
+      EXPECT_EQ(first.report.rounds_run, second.report.rounds_run);
+      ASSERT_EQ(first.report.round_profits.size(),
+                second.report.round_profits.size());
+      for (std::size_t r = 0; r < first.report.round_profits.size(); ++r)
+        EXPECT_EQ(first.report.round_profits[r],
+                  second.report.round_profits[r])
+            << "round " << r;
+      // Attempted-traffic totals (messages/bytes) are deliberately NOT
+      // compared under fault injection: agents keep draining queued or
+      // fault-released requests on their own threads, so how many
+      // response *attempts* they have made by the time the manager
+      // snapshots the stats is a teardown race. What the manager MERGED
+      // is deterministic regardless — that is what everything above and
+      // below pins. (Fault-free accounting is pinned exactly in
+      // test_dist.cpp's MessageAndByteCountsComeFromTheTransport.)
+      EXPECT_EQ(first.report.responses_missed, second.report.responses_missed);
+      EXPECT_EQ(first.report.stale_messages, second.report.stale_messages);
+      EXPECT_EQ(first.report.agents_presumed_dead,
+                second.report.agents_presumed_dead);
+      EXPECT_EQ(first.report.truncated, second.report.truncated);
+      expect_identical_allocations(first.allocation, second.allocation);
+
+      if (first.report.responses_missed > 0 ||
+          first.report.stale_messages > 0 ||
+          first.report.agents_presumed_dead > 0)
+        saw_faults_bite = true;
+    }
+  }
+  // The sweep must actually exercise the tolerance paths, not vacuously
+  // pass on a quiet transport.
+  EXPECT_TRUE(saw_faults_bite);
+}
+
+// Crashing every agent early must leave the manager standing: it presumes
+// them dead after refused sends / silent rounds and finishes with the
+// rounds it completed.
+TEST(DistributedFaults, SurvivesAllAgentsCrashing) {
+  const auto cloud = sweep_cloud(3);
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.crash_prob = 1.0;
+  plan.crash_after_deliveries = 1;  // dead after the very first request
+  const auto dopts = sweep_options(3, plan);
+  const auto result = DistributedAllocator(dopts).run(cloud);
+  EXPECT_TRUE(model::is_feasible(result.allocation));
+  EXPECT_GE(result.report.final_profit, result.report.initial_profit);
+  EXPECT_GT(result.report.agents_presumed_dead, 0);
+  EXPECT_NEAR(model::profit(result.allocation), result.report.final_profit,
+              1e-6 * std::max(1.0, std::fabs(result.report.final_profit)));
+}
+
+// The epoch deadline holds even when the transport is hostile: the
+// per-round wait is capped by the remaining budget, so lost responses
+// cannot stall the manager past it.
+TEST(DistributedFaults, DeadlineHoldsUnderFaults) {
+  const auto cloud = sweep_cloud(5);
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.drop_prob = 0.5;
+  plan.delay_prob = 0.3;
+  auto dopts = sweep_options(5, plan);
+  dopts.alloc.time_budget_ms = 1e-3;  // expires during round 1
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto result = DistributedAllocator(dopts).run(cloud);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_TRUE(result.report.truncated);
+  EXPECT_EQ(result.report.rounds_run, 1);
+  EXPECT_LT(elapsed, 30.0);  // loose: terminated promptly, no full timeouts
+  EXPECT_GE(result.report.final_profit, result.report.initial_profit);
+  EXPECT_TRUE(model::is_feasible(result.allocation));
+}
+
+// FaultyTransport itself is a deterministic function of its plan: the
+// same seed yields the same delivered sequence (and the same fault
+// counters) on every run.
+TEST(FaultyTransport, ScheduleIsAPureFunctionOfThePlan) {
+  const auto run_once = [](const FaultPlan& plan) {
+    FaultyTransport transport(std::make_unique<ChannelTransport>(2), plan);
+    for (int m = 0; m < 40; ++m)
+      (void)transport.send_to_agent(0, "a" + std::to_string(m));
+    for (int m = 0; m < 40; ++m)
+      (void)transport.send_to_manager(1, "m" + std::to_string(m));
+    transport.close_all();
+    std::vector<std::string> delivered;
+    while (auto bytes = transport.agent_receive(0))
+      delivered.push_back(*bytes);
+    while (auto env = transport.manager_receive_for(50.0))
+      delivered.push_back("mgr:" + env->bytes);
+    return std::make_pair(delivered, transport.stats());
+  };
+
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.drop_prob = 0.25;
+  plan.duplicate_prob = 0.25;
+  plan.delay_prob = 0.25;
+  plan.delay_span = 3;
+  const auto [delivered1, stats1] = run_once(plan);
+  const auto [delivered2, stats2] = run_once(plan);
+  EXPECT_EQ(delivered1, delivered2);
+  EXPECT_EQ(stats1.messages, stats2.messages);
+  EXPECT_EQ(stats1.dropped, stats2.dropped);
+  EXPECT_EQ(stats1.duplicated, stats2.duplicated);
+  EXPECT_EQ(stats1.delayed, stats2.delayed);
+  // The knobs actually fired on this schedule.
+  EXPECT_GT(stats1.dropped, 0u);
+  EXPECT_GT(stats1.duplicated, 0u);
+  EXPECT_GT(stats1.delayed, 0u);
+  // Attempted traffic is what send() saw, independent of fates.
+  EXPECT_EQ(stats1.messages, 80u);
+
+  // A different seed produces a different schedule (overwhelmingly).
+  FaultPlan other = plan;
+  other.seed = 100;
+  const auto [delivered3, stats3] = run_once(other);
+  EXPECT_NE(delivered1, delivered3);
+}
+
+}  // namespace
+}  // namespace cloudalloc::dist

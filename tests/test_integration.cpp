@@ -99,7 +99,7 @@ TEST(Integration, DistributedAndSequentialBothFeasibleAndClose) {
   opts.max_local_search_rounds = 6;
 
   const auto seq = alloc::ResourceAllocator(opts).run(cloud);
-  const auto dist = dist::DistributedAllocator({opts}).run(cloud);
+  const auto dist = dist::DistributedAllocator(opts).run(cloud);
   EXPECT_TRUE(model::is_feasible(seq.allocation));
   EXPECT_TRUE(model::is_feasible(dist.allocation));
   EXPECT_NEAR(dist.report.final_profit, seq.report.final_profit,

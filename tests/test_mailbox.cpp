@@ -1,0 +1,162 @@
+// Mailbox semantics the dist protocol leans on: FIFO delivery, close
+// wakes blocked receivers, queued messages drain after close, send after
+// close is refused (and the result must be consumed), receive_for
+// timeout behavior, and MPMC integrity under contention (the stress test
+// is part of the TSan CI job).
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dist/mailbox.h"
+
+namespace cloudalloc::dist {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(Mailbox, FifoDelivery) {
+  Mailbox<int> box;
+  EXPECT_TRUE(box.send(1));
+  EXPECT_TRUE(box.send(2));
+  EXPECT_TRUE(box.send(3));
+  EXPECT_EQ(box.receive(), 1);
+  EXPECT_EQ(box.receive(), 2);
+  EXPECT_EQ(box.receive(), 3);
+  EXPECT_EQ(box.messages_sent(), 3u);
+}
+
+TEST(Mailbox, CloseWakesBlockedReceiver) {
+  Mailbox<int> box;
+  std::atomic<bool> woke{false};
+  std::thread receiver([&] {
+    EXPECT_FALSE(box.receive().has_value());
+    woke = true;
+  });
+  // Give the receiver a chance to actually block before closing.
+  std::this_thread::sleep_for(10ms);
+  box.close();
+  receiver.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(Mailbox, SendAfterCloseIsRefused) {
+  Mailbox<int> box;
+  box.close();
+  EXPECT_FALSE(box.send(1));
+  EXPECT_EQ(box.messages_sent(), 0u);  // refused sends are not counted
+  EXPECT_TRUE(box.closed());
+}
+
+TEST(Mailbox, QueuedMessagesDrainAfterClose) {
+  Mailbox<int> box;
+  EXPECT_TRUE(box.send(1));
+  EXPECT_TRUE(box.send(2));
+  box.close();
+  // Already-queued messages survive the close and drain in order...
+  EXPECT_EQ(box.receive(), 1);
+  EXPECT_EQ(box.receive(), 2);
+  // ...and only the drained+closed mailbox reports end-of-stream.
+  EXPECT_FALSE(box.receive().has_value());
+  EXPECT_EQ(box.messages_sent(), 2u);
+}
+
+TEST(Mailbox, ReceiveForTimesOutOnEmpty) {
+  Mailbox<int> box;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(box.receive_for(30ms).has_value());
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(waited, 25ms);  // really waited (scheduler slop tolerated)
+}
+
+TEST(Mailbox, ReceiveForReturnsQueuedMessageImmediately) {
+  Mailbox<int> box;
+  EXPECT_TRUE(box.send(7));
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(box.receive_for(10s), 7);
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, 5s);
+}
+
+TEST(Mailbox, ReceiveForWokenByLateSend) {
+  Mailbox<int> box;
+  std::thread sender([&box] {
+    std::this_thread::sleep_for(20ms);
+    EXPECT_TRUE(box.send(42));
+  });
+  EXPECT_EQ(box.receive_for(10s), 42);
+  sender.join();
+}
+
+TEST(Mailbox, ReceiveForWokenByClose) {
+  Mailbox<int> box;
+  std::thread closer([&box] {
+    std::this_thread::sleep_for(20ms);
+    box.close();
+  });
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(box.receive_for(10s).has_value());
+  EXPECT_LT(std::chrono::steady_clock::now() - t0, 5s);
+  closer.join();
+}
+
+TEST(Mailbox, CrossThreadDelivery) {
+  Mailbox<std::string> box;
+  std::thread sender([&box] {
+    for (int i = 0; i < 100; ++i)
+      EXPECT_TRUE(box.send("msg" + std::to_string(i)));
+  });
+  std::set<std::string> got;
+  for (int i = 0; i < 100; ++i) {
+    auto m = box.receive();
+    ASSERT_TRUE(m.has_value());
+    got.insert(*m);
+  }
+  sender.join();
+  EXPECT_EQ(got.size(), 100u);
+}
+
+// Multi-producer/multi-consumer integrity: every message delivered
+// exactly once, none lost, none duplicated — under real contention.
+// (Runs under TSan in CI; the mailbox is the substrate every protocol
+// channel is built on.)
+TEST(Mailbox, MultiProducerMultiConsumerStress) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 500;
+  Mailbox<int> box;
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p)
+    producers.emplace_back([&box, p] {
+      for (int i = 0; i < kPerProducer; ++i)
+        EXPECT_TRUE(box.send(p * kPerProducer + i));
+    });
+
+  std::mutex got_mutex;
+  std::vector<int> got;
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c)
+    consumers.emplace_back([&box, &got, &got_mutex] {
+      while (auto m = box.receive()) {
+        std::lock_guard<std::mutex> lock(got_mutex);
+        got.push_back(*m);
+      }
+    });
+
+  for (auto& t : producers) t.join();
+  box.close();  // consumers drain the queue, then unblock and exit
+  for (auto& t : consumers) t.join();
+
+  ASSERT_EQ(got.size(),
+            static_cast<std::size_t>(kProducers * kPerProducer));
+  std::set<int> unique(got.begin(), got.end());
+  EXPECT_EQ(unique.size(), got.size());  // exactly-once delivery
+  EXPECT_EQ(box.messages_sent(), got.size());
+}
+
+}  // namespace
+}  // namespace cloudalloc::dist
