@@ -1,0 +1,117 @@
+// Added table E3c: large-population scaling of the sharded allocator —
+// the 1k/10k/100k-client points behind the "scale the allocator to 100k+
+// clients" work (sharded solve + SIMD kernels + hierarchical candidate
+// index). Runs the full ResourceAllocator on the scaled fleet
+// (workload::scaled_params: ~7 servers per 8 clients in 100-server
+// clusters) with the scale knobs on — sharded greedy, cluster fan-out,
+// single start — sweeping the thread count, and writes the measurements
+// to a JSON report for CI trend tracking.
+//
+// The profit column doubles as a determinism witness: for a fixed client
+// count it must not move across thread counts (the sharded solve is
+// bit-identical at any shard/thread count). Wall-clock speedup is
+// whatever the host really delivers — the JSON records the machine's
+// core count so a 1-core container's flat speedup reads as what it is.
+//
+// Flags: --clients=1000,10000,100000  --threads=1,8  --shards=8
+//        --fanout=4  --rounds=1 (local-search rounds; 0 = greedy only)
+//        --out=BENCH_alloc_scale.json
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "bench_common.h"
+#include "common/json.h"
+
+using namespace cloudalloc;
+
+namespace {
+
+std::vector<int> parse_int_list(const std::string& csv) {
+  std::vector<int> out;
+  std::stringstream ss(csv);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) out.push_back(std::stoi(tok));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  const std::vector<int> client_counts =
+      parse_int_list(args.get("clients", "1000,10000,100000"));
+  const std::vector<int> thread_counts =
+      parse_int_list(args.get("threads", "1,8"));
+  const int shards = static_cast<int>(args.get_int("shards", 8));
+  const int fanout = static_cast<int>(args.get_int("fanout", 4));
+  const int rounds = static_cast<int>(args.get_int("rounds", 1));
+  const std::string out_path = args.get("out", "BENCH_alloc_scale.json");
+
+  bench::print_header("Large-population allocator scaling",
+                      "sharded solve + SIMD kernels + candidate index");
+  Table table({"clients", "clusters", "threads", "shards", "ms",
+               "clients_per_s", "profit"});
+
+  JsonArray rows;
+  for (int clients : client_counts) {
+    const workload::ScenarioParams params = workload::scaled_params(clients);
+    const auto cloud = workload::make_scenario(params, 11);
+
+    double base_ms = 0.0;
+    for (int threads : thread_counts) {
+      alloc::AllocatorOptions opts;
+      opts.num_initial_solutions = 1;
+      opts.max_local_search_rounds = rounds;
+      opts.num_shards = shards;
+      opts.cluster_fanout = fanout;
+      opts.num_threads = threads;
+
+      bench::Stopwatch sw;
+      const auto result = alloc::ResourceAllocator(opts).run(cloud);
+      const double ms = sw.seconds() * 1000.0;
+      if (threads == thread_counts.front()) base_ms = ms;
+      const double rate = static_cast<double>(clients) / (ms / 1000.0);
+
+      table.add_row({std::to_string(clients),
+                     std::to_string(params.num_clusters),
+                     std::to_string(threads), std::to_string(shards),
+                     Table::num(ms, 1), Table::num(rate, 0),
+                     Table::num(result.report.final_profit, 1)});
+      rows.push_back(Json(JsonObject{
+          {"clients", Json(clients)},
+          {"clusters", Json(params.num_clusters)},
+          {"threads", Json(threads)},
+          {"shards", Json(shards)},
+          {"fanout", Json(fanout)},
+          {"local_search_rounds", Json(rounds)},
+          {"ms", Json(ms)},
+          {"clients_per_s", Json(rate)},
+          {"speedup_vs_first", Json(base_ms / ms)},
+          {"profit", Json(result.report.final_profit)},
+      }));
+    }
+  }
+  table.print(std::cout);
+
+  const Json report(JsonObject{
+      {"bench", Json("tab_alloc_scale")},
+      {"hardware_threads",
+       Json(static_cast<int>(std::thread::hardware_concurrency()))},
+      {"rows", Json(std::move(rows))},
+  });
+  std::ofstream out(out_path);
+  out << report.dump(1) << "\n";
+  std::cout << "\nwrote " << out_path
+            << "\nnote: profit must be identical down each client-count "
+               "block — the sharded\nsolve is bit-identical at any "
+               "shard/thread count. speedup_vs_first is real\nwall clock "
+               "on this host; on a 1-core machine it stays ~1.0 and that "
+               "is the\nhonest number (hardware_threads records the "
+               "host's parallelism).\n";
+  return 0;
+}

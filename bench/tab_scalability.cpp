@@ -14,11 +14,29 @@ using namespace cloudalloc;
 namespace {
 
 void BM_FullAllocator_Clients(benchmark::State& state) {
+  const int clients = static_cast<int>(state.range(0));
+  // Paper-sized points run the fixed Section VI datacenter with default
+  // options. The large-population points (>= 1000) switch to the scaled
+  // fleet and the scale knobs: sharded greedy, cluster fan-out, a single
+  // start, one local-search round (tab_alloc_scale sweeps these in
+  // detail; this keeps the 1k/10k/100k points in the same series).
+  const bool large = clients >= 1000;
   workload::ScenarioParams params;
-  params.num_clients = static_cast<int>(state.range(0));
+  if (large) {
+    params = workload::scaled_params(clients);
+  } else {
+    params.num_clients = clients;
+  }
   const auto cloud = workload::make_scenario(params, 11);
+  alloc::AllocatorOptions opts;
+  if (large) {
+    opts.num_initial_solutions = 1;
+    opts.max_local_search_rounds = 1;
+    opts.num_shards = 8;
+    opts.cluster_fanout = 4;
+  }
   for (auto _ : state) {
-    auto result = alloc::ResourceAllocator().run(cloud);
+    auto result = alloc::ResourceAllocator(opts).run(cloud);
     benchmark::DoNotOptimize(result.report.final_profit);
   }
   state.counters["clients"] = static_cast<double>(state.range(0));
@@ -28,6 +46,9 @@ BENCHMARK(BM_FullAllocator_Clients)
     ->Arg(50)
     ->Arg(100)
     ->Arg(200)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
     ->Unit(benchmark::kMillisecond);
 
 void BM_InitialSolution_PsiGrid(benchmark::State& state) {

@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <type_traits>
 
 #include "alloc/share_policy.h"
 #include "common/check.h"
@@ -66,23 +67,6 @@ struct Scratch {
     need_ready.assign(num_classes, 0);
   }
 };
-
-/// Sizes one resource's share for a slice: the policy-preferred size
-/// (min of delay-target and capacity-proportional, see share_policy.h),
-/// clamped between the stability floor and the free capacity. Returns
-/// nullopt when even the floor does not fit.
-std::optional<Share> size_share(ArrivalRate arrivals, double psi,
-                                WorkRate capacity, Work alpha, Time zc,
-                                WorkRate slack_work,
-                                const AllocatorOptions& opts,
-                                double free_share) {
-  const Share floor_share = queueing::gps_min_share(
-      arrivals, capacity, alpha, ArrivalRate{opts.stability_headroom});
-  if (floor_share.value() > free_share + kEps) return std::nullopt;
-  const Share share =
-      preferred_share(arrivals, psi, capacity, alpha, zc, slack_work, opts);
-  return Share{clamp(share.value(), floor_share.value(), free_share)};
-}
 
 /// The eq.-8 candidate filter: in-cluster, not excluded, enough free disk,
 /// active when required. Applied identically when building the full list
@@ -166,23 +150,17 @@ void score_rows(const State& state, const Cloud& cloud, const Client& c,
     scores[idx][0] = 0.0;
     options[idx][0].score = 0.0;
 
-    int gmax = 0;
-    for (int g = 1; g <= G; ++g) {
-      const double psi = static_cast<double>(g) / static_cast<double>(G);
-      const ArrivalRate arrivals = psi * ArrivalRate{c.lambda_pred};
-      const auto phi_p =
-          size_share(arrivals, psi, WorkRate{sc.cap_p}, Work{c.alpha_p}, zc,
-                     sizing.slack_work_p, opts, free_p);
-      const auto phi_n =
-          size_share(arrivals, psi, WorkRate{sc.cap_n}, Work{c.alpha_n}, zc,
-                     sizing.slack_work_n, opts, free_n);
-      if (!phi_p || !phi_n) break;  // larger g only needs more capacity
-      const std::size_t gg = static_cast<std::size_t>(g);
-      scratch.arr[gg] = arrivals;
-      scratch.phi_p[gg] = *phi_p;
-      scratch.phi_n[gg] = *phi_n;
-      gmax = g;
-    }
+    // Batched share sizing over the whole psi grid (SIMD lanes; bitwise
+    // the historical per-g size_share loop — see size_share_grid). The
+    // feasible prefix is the min over the two resources, exactly where
+    // the scalar loop's first-infeasible break landed.
+    const int gmax = std::min(
+        size_share_grid(ArrivalRate{c.lambda_pred}, G, WorkRate{sc.cap_p},
+                        Work{c.alpha_p}, zc, sizing.slack_work_p, opts,
+                        free_p, scratch.arr.data(), scratch.phi_p.data()),
+        size_share_grid(ArrivalRate{c.lambda_pred}, G, WorkRate{sc.cap_n},
+                        Work{c.alpha_n}, zc, sizing.slack_work_n, opts,
+                        free_n, scratch.arr.data(), scratch.phi_n.data()));
     if (gmax == 0) continue;
 
     const auto n = static_cast<std::size_t>(gmax);
@@ -416,8 +394,28 @@ std::optional<InsertionPlan> assign_distribute_impl(
   thread_local std::vector<ServerId> cands;
   cands.clear();
   cands.reserve(cluster_servers.size());
-  for (ServerId j : cluster_servers)
-    if (candidate_ok(state, j, c, constraints)) cands.push_back(j);
+  bool screened = false;
+  if constexpr (std::is_same_v<State, ResidualView>) {
+    // Batched eq.-8 disk screen (SIMD, see ResidualView::screen_free_disk):
+    // the free-disk comparison for the whole cluster in one sweep; the
+    // remaining filter tests are branch-only. Same test, same order of
+    // servers — the candidate list cannot differ from the scalar build.
+    thread_local std::vector<std::uint8_t> disk_ok;
+    if (state.screen_free_disk(k, c.disk, kEps, disk_ok)) {
+      screened = true;
+      for (std::size_t idx = 0; idx < cluster_servers.size(); ++idx) {
+        const ServerId j = cluster_servers[idx];
+        if (disk_ok[idx] == 0) continue;
+        if (j == constraints.exclude) continue;
+        if (!constraints.allow_inactive && !state.active(j)) continue;
+        cands.push_back(j);
+      }
+    }
+  }
+  if (!screened) {
+    for (ServerId j : cluster_servers)
+      if (candidate_ok(state, j, c, constraints)) cands.push_back(j);
+  }
   if (cands.empty()) return std::nullopt;
 
   thread_local Scratch scratch;
@@ -465,7 +463,22 @@ std::optional<InsertionPlan> assign_distribute_impl(
       chosen.clear();
       std::array<std::uint64_t, 3> run_key{};
       int run_included = 0;
-      for (ServerId j : state.insertion_candidates(k)) {
+      // Grow the ordered prefix on demand: the walk almost always stops
+      // within a small multiple of K, so the bucketed index (see
+      // ResidualView::ordered_prefix) only materializes and sorts the top
+      // of the order instead of re-sorting the whole cluster. Prefixes are
+      // exact, so the walk visits the same servers in the same order as
+      // the historical full-order scan.
+      std::size_t want = static_cast<std::size_t>(topk) * 2 + 8;
+      const std::vector<ServerId>* prefix = &state.ordered_prefix(k, want);
+      for (std::size_t pi = 0;; ++pi) {
+        if (pi >= prefix->size()) {
+          if (prefix->size() >= cluster_servers.size()) break;
+          want = std::max(want * 2, prefix->size() + 1);
+          prefix = &state.ordered_prefix(k, want);
+          if (pi >= prefix->size()) break;
+        }
+        const ServerId j = (*prefix)[pi];
         if (!candidate_ok(state, j, c, constraints)) continue;
         const auto key = twin_key(j);
         const bool same_run = !chosen.empty() && key == run_key;
@@ -519,6 +532,28 @@ std::optional<InsertionPlan> best_insertion_impl(
     const State& state, ClientId i, const AllocatorOptions& opts,
     const InsertionConstraints& constraints, InsertionStats* stats) {
   std::optional<InsertionPlan> best;
+  const int num_clusters = state.cloud().num_clusters();
+  const int fanout = opts.cluster_fanout;
+  if (fanout > 0 && fanout < num_clusters) {
+    // Deterministic probe window (see AllocatorOptions::cluster_fanout): a
+    // fixed multiplicative hash of the client id picks the window start,
+    // so the probed set depends only on (client, cluster count) — never
+    // on allocation state, threads or shards — and clients spread evenly
+    // over the clusters.
+    const auto kk = static_cast<std::uint64_t>(num_clusters);
+    const std::uint64_t start =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(i.value())) *
+         2654435761ull) %
+        kk;
+    for (int t = 0; t < fanout; ++t) {
+      const ClusterId k{static_cast<int>(
+          (start + static_cast<std::uint64_t>(t)) % kk)};
+      auto plan =
+          assign_distribute_impl(state, i, k, opts, constraints, stats);
+      if (plan && (!best || plan->score > best->score)) best = std::move(plan);
+    }
+    return best;
+  }
   for (ClusterId k : state.cloud().cluster_ids()) {
     auto plan = assign_distribute_impl(state, i, k, opts, constraints, stats);
     if (plan && (!best || plan->score > best->score)) best = std::move(plan);

@@ -4,6 +4,7 @@
 #include <optional>
 #include <utility>
 
+#include "alloc/sharded.h"
 #include "common/check.h"
 #include "common/log.h"
 #include "model/alloc_state.h"
@@ -57,12 +58,26 @@ Allocation build_initial_solution(const Cloud& cloud,
   std::vector<double> profits(static_cast<std::size_t>(starts), -1e300);
   std::vector<std::optional<Allocation>> cands(
       static_cast<std::size_t>(starts));
-  eval.for_n(starts, [&](int iter) {
-    const auto slot = static_cast<std::size_t>(iter);
-    Allocation cand = greedy_insert(Allocation(cloud), orders[slot], opts);
-    profits[slot] = model::profit(cand);
-    cands[slot] = std::move(cand);
-  });
+  if (opts.num_shards > 0) {
+    // Sharded mode parallelizes WITHIN a start (alloc/sharded.h), so the
+    // multi-start loop runs sequentially and hands the engine to each
+    // pass. Results stay bit-identical at any shard/thread count because
+    // each pass is.
+    for (int iter = 0; iter < starts; ++iter) {
+      const auto slot = static_cast<std::size_t>(iter);
+      Allocation cand =
+          sharded_greedy_insert(Allocation(cloud), orders[slot], opts, eval);
+      profits[slot] = model::profit(cand);
+      cands[slot] = std::move(cand);
+    }
+  } else {
+    eval.for_n(starts, [&](int iter) {
+      const auto slot = static_cast<std::size_t>(iter);
+      Allocation cand = greedy_insert(Allocation(cloud), orders[slot], opts);
+      profits[slot] = model::profit(cand);
+      cands[slot] = std::move(cand);
+    });
+  }
 
   // Deterministic argmax: highest profit, lowest start index on ties —
   // the same winner the sequential keep-first-strict-improvement loop

@@ -110,6 +110,29 @@ struct AllocatorOptions {
   /// produces a bit-identical allocation at every value of num_threads.
   int num_threads = 1;
 
+  /// Sharded greedy construction for large populations (alloc/sharded.h):
+  /// > 0 switches build_initial_solution to the block-synchronous sharded
+  /// greedy, which prices blocks of clients against a frozen snapshot in
+  /// `num_shards` concurrent shards and merges the plans sequentially
+  /// through MoveEngine with capacity revalidation. The result is a pure
+  /// function of the scenario and the block size — every plan is priced on
+  /// the snapshot, never on a shard's partial state — so profits are
+  /// bit-identical at ANY shard count (1, 2, 4, 8, ...) and any
+  /// num_threads; the shard count only sets the fan-out grain. 0 (default)
+  /// keeps the historical strictly-sequential greedy, whose results the
+  /// sharded path does not reproduce (it prices against block snapshots,
+  /// not the live state).
+  int num_shards = 0;
+
+  /// Insertion cluster fan-out: > 0 restricts each best_insertion probe to
+  /// this many clusters, chosen by a fixed multiplicative hash of the
+  /// client id (a deterministic window — the probe set depends only on
+  /// the client and the cluster count, never on state, threads or
+  /// shards). Cuts the per-client probe cost from O(K) to O(fanout) on
+  /// cluster-rich clouds at some profit cost. 0 (default) probes every
+  /// cluster, the paper's behavior.
+  int cluster_fanout = 0;
+
   // --- distributed deployment (dist::DistributedAllocator) -------------
 
   /// Message-passing mode: how long the manager waits for the missing

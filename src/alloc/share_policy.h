@@ -78,4 +78,22 @@ inline units::Share share_cap(units::ArrivalRate arrivals, double psi,
          preferred_share(arrivals, psi, cap, alpha, zc, slack_work, opts);
 }
 
+/// Batched form of Assign_Distribute's per-quantum share sizing: for every
+/// g = 1..G it computes arrivals[g] = (g/G) * lambda and phi[g] = the
+/// size_share result (stability floor, preferred size, clamp to the free
+/// capacity) for one resource, and returns the longest feasible prefix
+/// gmax (the floor fits the free share for every g <= gmax; feasibility is
+/// monotone in g). Entries past gmax are unspecified; entry 0 is untouched.
+///
+/// The kernel runs width-dispatched SIMD lanes (common/simd.h) in a TU
+/// compiled with -ffp-contract=off, and is operation-for-operation the
+/// scalar preferred_share/gps_min_share/clamp chain — the filled entries
+/// are bitwise identical to the historical per-g scalar loop at any lane
+/// width. `arrivals` and `phi` must each hold at least G + 1 entries.
+int size_share_grid(units::ArrivalRate lambda, int G, units::WorkRate cap,
+                    units::Work alpha, units::Time zc,
+                    units::WorkRate slack_work, const AllocatorOptions& opts,
+                    double free_share, units::ArrivalRate* arrivals,
+                    units::Share* phi);
+
 }  // namespace cloudalloc::alloc

@@ -100,6 +100,15 @@ class Allocation {
   /// within a probe is harmless.
   const std::vector<ServerId>& insertion_candidates(ClusterId k) const;
 
+  /// ResidualView-compatible prefix query (see ResidualView::ordered_prefix):
+  /// the Allocation index always materializes the full order, so any prefix
+  /// request returns the whole thing. Lets the pruned selection template in
+  /// assign_distribute grow prefixes against either state type.
+  const std::vector<ServerId>& ordered_prefix(ClusterId k,
+                                              std::size_t /*n*/) const {
+    return insertion_candidates(k);
+  }
+
   /// Deep-copy snapshot/restore used by the local search to evaluate
   /// speculative moves (TurnOFF etc.) and roll back cheaply.
   Allocation clone() const { return *this; }

@@ -1,5 +1,6 @@
 #include "workload/scenario.h"
 
+#include <algorithm>
 #include <memory>
 #include <string>
 #include <utility>
@@ -160,6 +161,19 @@ Cloud make_overloaded_scenario(const ScenarioParams& params,
   // Shrink the datacenter as well so demand decisively exceeds supply.
   p.servers_per_cluster = std::max(1, p.servers_per_cluster / 4);
   return make_scenario(p, seed);
+}
+
+ScenarioParams scaled_params(int num_clients) {
+  CHECK(num_clients >= 1);
+  ScenarioParams p;
+  p.num_clients = num_clients;
+  p.servers_per_cluster = 100;
+  // ~7 servers per 8 clients (the paper-family ratio of capacity to the
+  // default demand ranges), rounded up to whole 100-server clusters.
+  const int servers = std::max(p.servers_per_cluster, (num_clients * 7) / 8);
+  p.num_clusters = std::max(
+      5, (servers + p.servers_per_cluster - 1) / p.servers_per_cluster);
+  return p;
 }
 
 }  // namespace cloudalloc::workload

@@ -60,4 +60,13 @@ model::Cloud make_overloaded_scenario(const ScenarioParams& params,
                                       std::uint64_t seed,
                                       double overload_factor = 3.0);
 
+/// Parameters for the large-population scalability family (the 1k/10k/100k
+/// client benches): unlike the paper's fixed datacenter, the fleet grows
+/// with the population — ~7 servers per 8 clients, spread over 100-server
+/// clusters (at least the paper's 5) — so both the candidate index inside
+/// a cluster and the cluster fan-out are exercised at scale. Same
+/// parameter ranges as ScenarioParams otherwise; feed the result to
+/// make_scenario.
+ScenarioParams scaled_params(int num_clients);
+
 }  // namespace cloudalloc::workload

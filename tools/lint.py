@@ -22,6 +22,14 @@ against (see DESIGN.md section 11 for the rule -> bug-class table):
                  production: violating them yields silently-wrong
                  profits, not crashes. Use CHECK/CHECK_MSG from
                  common/check.h, which stay on in all build types.
+  raw-intrinsics x86 intrinsics or GCC vector extensions outside
+                 src/common/. common/simd.h is the single sanctioned
+                 lane abstraction: it carries the bit-identity contract
+                 (-ffp-contract=off, width-independent results) and the
+                 runtime dispatch. A raw `_mm256_*` call or ad-hoc
+                 `vector_size` type elsewhere silently forks that
+                 contract — kernels written against it stop being
+                 bitwise-reproducible across lane widths.
 
 A finding can be waived on its line with `// lint: allow(<rule>)` and a
 justification; the waiver is part of the diff and shows up in review.
@@ -57,11 +65,17 @@ HOT_PATH_PREFIXES = (
 # Test sources may use assert/gtest freely.
 TEST_PREFIXES = ("tests/",)
 
+# The only home for SIMD lane types and intrinsics (see common/simd.h).
+SIMD_HOME_PREFIXES = ("src/common/",)
+
 ALLOW_RE = re.compile(r"//\s*lint:\s*allow\((?P<rule>[a-z-]+)\)")
 
 NAKED_NEW_RE = re.compile(r"(?:^|[^:_\w.])new\s+[A-Za-z_(]|\bmalloc\s*\(")
 STD_FUNCTION_RE = re.compile(r"\bstd::function\b")
 BARE_ASSERT_RE = re.compile(r"(?:^|[^_\w.])assert\s*\(")
+RAW_INTRINSICS_RE = re.compile(
+    r"immintrin\.h|\b_mm\d*_\w+|__m(?:128|256|512)[id]?\b"
+    r"|__builtin_ia32_\w+|\bvector_size\b")
 
 
 def strip_noncode(line: str) -> str:
@@ -138,6 +152,12 @@ def scan_file(root: pathlib.Path, rel: str) -> list[str]:
             report("bare-assert",
                    "assert() vanishes under NDEBUG; use CHECK/CHECK_MSG "
                    "from common/check.h")
+        if not rel.startswith(SIMD_HOME_PREFIXES) and \
+                RAW_INTRINSICS_RE.search(code):
+            report("raw-intrinsics",
+                   "raw intrinsics / vector extensions outside "
+                   "src/common/; write kernels against common/simd.h so "
+                   "the bit-identity contract holds")
     return findings
 
 
