@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "alloc/delta_price.h"
 #include "common/check.h"
 #include "common/mathutil.h"
 #include "model/alloc_state.h"
@@ -75,9 +76,12 @@ double adjust_dispersion_rates(AllocState& state, ClientId i,
   // Renormalize the rounding left by dropped slices.
   for (Placement& p : next) p.psi /= psi_sum;
 
+  // A re-split redirects psi between the client's servers — under
+  // migration pricing the improvement must cover the redirected traffic.
+  const double penalty = migration_penalty(opts, current, next);
   state.assign(i, ledger.cluster_of(i), next);
   const double after = state.profit();
-  if (after + 1e-12 < before) {
+  if (after + 1e-12 < before + penalty) {
     state.assign(i, ledger.cluster_of(i), current);
     return 0.0;
   }

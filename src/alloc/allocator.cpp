@@ -42,17 +42,24 @@ AllocatorResult ResourceAllocator::run(const model::Cloud& cloud) const {
   const auto pool = make_pool(options_);
   const dist::ParallelEval eval(pool.get());
   model::Allocation initial = build_initial_solution(cloud, options_, rng, eval);
-  const double p0 = model::profit(initial);
-  return improve_impl(std::move(initial), p0);
+  model::AllocState state(std::move(initial));
+  AllocatorReport report = improve_state_impl(state, state.profit());
+  return AllocatorResult{std::move(state).release(), std::move(report)};
 }
 
 AllocatorResult ResourceAllocator::improve(model::Allocation initial) const {
-  const double p0 = model::profit(initial);
-  return improve_impl(std::move(initial), p0);
+  model::AllocState state(std::move(initial));
+  AllocatorReport report = improve_state_impl(state, state.profit());
+  return AllocatorResult{std::move(state).release(), std::move(report)};
 }
 
-AllocatorResult ResourceAllocator::improve_impl(model::Allocation alloc,
-                                                double initial_profit) const {
+AllocatorReport ResourceAllocator::improve_state(
+    model::AllocState& state) const {
+  return improve_state_impl(state, state.profit());
+}
+
+AllocatorReport ResourceAllocator::improve_state_impl(
+    model::AllocState& state, double initial_profit) const {
   const auto start = Clock::now();
   const auto pool = make_pool(options_);
   const dist::ParallelEval eval(pool.get());
@@ -66,10 +73,9 @@ AllocatorResult ResourceAllocator::improve_impl(model::Allocation alloc,
            seconds_since(start) * 1000.0 >= options_.time_budget_ms;
   };
 
-  // One engine for the whole local search: every phase mutates the shared
-  // ledger+view pair, and the best round survives as a placement
+  // One engine for the whole local search: every phase mutates the
+  // caller's ledger+view pair, and the best round survives as a placement
   // checkpoint (no Allocation clones anywhere in the loop).
-  model::AllocState state(std::move(alloc));
   // The share rebalance is applied unconditionally (see adjust_shares.cpp),
   // so a round can transiently dip; keep the best state ever seen.
   model::AllocState::Checkpoint best = state.checkpoint(initial_profit);
@@ -132,15 +138,17 @@ AllocatorResult ResourceAllocator::improve_impl(model::Allocation alloc,
     if (stalled_rounds >= 2) break;
   }
 
-  // Materialize the best checkpoint once, at the report boundary. The
-  // reported profit is the carried best-round scalar, exactly as before.
-  model::Allocation best_alloc = state.materialize(best);
+  // Materialize the best checkpoint once, at the report boundary, and
+  // leave the engine holding it (warm starts keep improving from here).
+  // The reported profit is the carried best-round scalar, exactly as
+  // before.
+  state.adopt(model::AllocState(state.materialize(best)));
   report.final_profit = best_profit;
-  report.active_servers = best_alloc.num_active_servers();
-  for (model::ClientId i : best_alloc.cloud().client_ids())
-    if (!best_alloc.is_assigned(i)) ++report.unassigned_clients;
+  report.active_servers = state.ledger().num_active_servers();
+  for (model::ClientId i : state.cloud().client_ids())
+    if (!state.ledger().is_assigned(i)) ++report.unassigned_clients;
   report.wall_seconds = seconds_since(start);
-  return AllocatorResult{std::move(best_alloc), std::move(report)};
+  return report;
 }
 
 }  // namespace cloudalloc::alloc

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "alloc/options.h"
+#include "model/alloc_state.h"
 #include "model/allocation.h"
 #include "model/evaluator.h"
 
@@ -62,9 +63,19 @@ class ResourceAllocator {
   /// decision epochs, and the Figure-5 robustness experiment).
   AllocatorResult improve(model::Allocation initial) const;
 
+  /// In-place improvement loop for the online serving layer's warm-started
+  /// epochs: runs the same rounds as improve() against the caller's live
+  /// engine and leaves `state` holding the best round's allocation, so a
+  /// long-lived AllocState survives the repair without ever being released
+  /// or copied back. Honors the same options (migration_cost prices the
+  /// moves, insertable masks the reassign retry, time_budget_ms bounds the
+  /// epoch). The report's final_profit is the carried best-round scalar,
+  /// exactly as improve() reports it.
+  AllocatorReport improve_state(model::AllocState& state) const;
+
  private:
-  AllocatorResult improve_impl(model::Allocation alloc,
-                               double wall_start_profit) const;
+  AllocatorReport improve_state_impl(model::AllocState& state,
+                                     double initial_profit) const;
 
   AllocatorOptions options_;
 };

@@ -26,9 +26,23 @@
 
 #include <vector>
 
+#include "alloc/options.h"
+#include "model/diff.h"
 #include "model/residual.h"
 
 namespace cloudalloc::alloc {
+
+/// Migration charge of re-placing a client from `old_ps` to `new_ps`
+/// under opts.migration_cost (see the knob's comment): the decision-cost
+/// term the move-making passes add to their accept thresholds when
+/// warm-starting an epoch. Zero whenever the knob is off, the client was
+/// unassigned, or the move redirects no traffic.
+inline double migration_penalty(const AllocatorOptions& opts,
+                                const std::vector<model::Placement>& old_ps,
+                                const std::vector<model::Placement>& new_ps) {
+  if (opts.migration_cost <= 0.0 || old_ps.empty()) return 0.0;
+  return opts.migration_cost * model::redirected_fraction(old_ps, new_ps);
+}
 
 /// Profit delta of giving currently-unplaced client i the placements `ps`
 /// (which must not overlap a server already hosting i in `view`).

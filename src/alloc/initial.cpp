@@ -44,7 +44,10 @@ Allocation build_initial_solution(const Cloud& cloud,
   // Draw every start's client order up front from the caller's stream
   // (cumulative shuffles, exactly the sequence the sequential loop used to
   // produce), so the expensive greedy passes below are pure functions of
-  // their order and can run as independent pool tasks.
+  // their order and can run as independent pool tasks. The online-serving
+  // insertable mask filters AFTER the shuffle: the RNG draw sequence (and
+  // with it the all-clients result) is unchanged, absent clients are
+  // simply never offered to the greedy.
   std::vector<ClientId> order;
   order.reserve(static_cast<std::size_t>(cloud.num_clients()));
   for (ClientId i : cloud.client_ids()) order.push_back(i);
@@ -53,6 +56,12 @@ Allocation build_initial_solution(const Cloud& cloud,
   for (int iter = 0; iter < starts; ++iter) {
     rng.shuffle(order);
     orders.push_back(order);
+    if (opts.insertable != nullptr) {
+      auto& filtered = orders.back();
+      std::erase_if(filtered, [&](ClientId i) {
+        return (*opts.insertable)[i.index()] == 0;
+      });
+    }
   }
 
   std::vector<double> profits(static_cast<std::size_t>(starts), -1e300);

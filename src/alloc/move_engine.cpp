@@ -20,7 +20,8 @@ MoveEngine::Proposal MoveEngine::propose_best(
     view.remove_client(i, old_ps, &undo_);
     prop.plan = best_insertion(view, i, opts_, constraints);
     if (prop.plan)
-      prop.predicted = vacate + insertion_delta(view, i, prop.plan->placements);
+      prop.predicted = vacate + insertion_delta(view, i, prop.plan->placements) -
+                       migration_penalty(opts_, old_ps, prop.plan->placements);
     view.restore(undo_);
   } else {
     prop.plan = best_insertion(view, i, opts_, constraints);
@@ -40,7 +41,8 @@ MoveEngine::Proposal MoveEngine::propose_into(
     view.remove_client(i, old_ps, &undo_);
     prop.plan = assign_distribute(view, i, k, opts_, constraints);
     if (prop.plan)
-      prop.predicted = vacate + insertion_delta(view, i, prop.plan->placements);
+      prop.predicted = vacate + insertion_delta(view, i, prop.plan->placements) -
+                       migration_penalty(opts_, old_ps, prop.plan->placements);
     view.restore(undo_);
   } else {
     prop.plan = assign_distribute(view, i, k, opts_, constraints);
@@ -72,9 +74,12 @@ bool MoveEngine::commit(ClientId i, bool was_assigned,
     old_placements = state_.ledger().placements(i);
     state_.clear(i);
   }
+  // Under migration pricing the exact gate tightens: the realized gain
+  // must cover the traffic the move redirects, not merely be nonnegative.
+  const double penalty = migration_penalty(opts_, old_placements, plan.placements);
   state_.assign(i, plan.cluster, plan.placements);
   const double after = state_.profit();
-  if (after + 1e-12 < profit_now) {
+  if (after + 1e-12 < profit_now + penalty) {
     // Roll back through the engine: each operation resyncs the touched
     // view entries from the ledger's post-rollback aggregates, which a
     // remove/add replay would miss by ulps. No re-evaluation here — the

@@ -31,7 +31,8 @@ class MoveEngine {
   struct Proposal {
     /// Best insertion found (nullopt: nowhere feasible to place i).
     std::optional<InsertionPlan> plan;
-    /// Delta-priced profit change of the whole move (vacate + insert).
+    /// Delta-priced profit change of the whole move (vacate + insert),
+    /// net of the migration penalty when opts.migration_cost is on.
     double predicted = 0.0;
   };
 
@@ -50,9 +51,11 @@ class MoveEngine {
   bool fits(model::ClientId i, const InsertionPlan& plan) const;
 
   /// Applies `plan` to client i with the exact-profit accept test
-  /// (commit only if true profit does not regress past 1e-12), rolling
-  /// the engine back otherwise. Updates the carried `profit_now` and
-  /// accumulates the realized change into `delta`.
+  /// (commit only if true profit does not regress past 1e-12 — raised by
+  /// the move's migration_penalty when opts.migration_cost is on, so a
+  /// warm-started epoch only migrates traffic that pays for itself),
+  /// rolling the engine back otherwise. Updates the carried `profit_now`
+  /// and accumulates the realized change into `delta`.
   bool commit(model::ClientId i, bool was_assigned, const InsertionPlan& plan,
               double& profit_now, double& delta);
 

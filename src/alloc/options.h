@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace cloudalloc::alloc {
 
@@ -102,6 +103,32 @@ struct AllocatorOptions {
   /// contribution is negative and the local search drops clients whose
   /// removal raises true profit.
   bool allow_rejection = false;
+
+  // --- online serving (serve::OnlineServer; Mazzucco et al.'s admission
+  // and hysteresis policies live in serve/admission.h) ------------------
+
+  /// Migration pricing for warm-started epochs: moving an already-placed
+  /// client is charged migration_cost x redirected_fraction(old, new) —
+  /// the fraction of its traffic leaving its current servers
+  /// (model/diff.h). The charge biases the ACCEPT tests of the move-making
+  /// passes (MoveEngine commits, the reassign re-price, dispersion
+  /// re-splits, TurnON bids, TurnOFF eviction gates): a move must now beat
+  /// the state quo by at least its migration charge. It is a decision
+  /// cost only — reported profit stays the paper's model profit, so with
+  /// the knob at 0 (default) every pass is bit-identical to the historical
+  /// behavior. Fresh insertions and removals migrate nothing.
+  double migration_cost = 0.0;
+
+  /// Online serving: when non-null, a num_clients-sized mask of the
+  /// clients the allocator may INSERT — the greedy starts filter their
+  /// orders by it, and the improvement passes skip currently-unassigned
+  /// clients outside it (already-placed clients are adjusted and moved
+  /// normally regardless). The serving layer points this at its admitted
+  /// set so batch solves and repair rounds never conjure up a client that
+  /// has not arrived or was turned away. Null (default) = every client;
+  /// an all-true mask is bit-identical to null. Non-owning: the caller
+  /// keeps the mask alive for the allocator call.
+  const std::vector<std::uint8_t>* insertable = nullptr;
 
   /// Worker threads for the parallel evaluation engine (multi-start greedy
   /// starts, reassign candidate scoring, distributed cluster agents).

@@ -32,6 +32,14 @@ namespace {
 /// borderline moves still go through commit/rollback.
 constexpr double kPredictReject = 1e-9;
 
+/// Online-serving insertability (AllocatorOptions::insertable): the retry
+/// of unassigned clients must not insert one outside the mask — absent or
+/// rejected clients are the serving layer's to admit, not the repair
+/// pass's.
+bool may_insert(const AllocatorOptions& opts, ClientId i) {
+  return opts.insertable == nullptr || (*opts.insertable)[i.index()] != 0;
+}
+
 }  // namespace
 
 double reassign_pass(AllocState& state, const AllocatorOptions& opts) {
@@ -54,6 +62,7 @@ double reassign_pass(AllocState& state, const AllocatorOptions& opts) {
   double delta = 0.0;
   for (ClientId i : order) {
     const bool was_assigned = state.ledger().is_assigned(i);
+    if (!was_assigned && !may_insert(opts, i)) continue;
     MoveEngine::Proposal prop = mover.propose_best(i);
     if (!prop.plan || prop.predicted < -kPredictReject) continue;
     mover.commit(i, was_assigned, *prop.plan, profit_now, delta);
@@ -95,6 +104,7 @@ double reassign_pass_snapshot(AllocState& state, const AllocatorOptions& opts,
     ResidualView::Undo undo;
     for (int idx = begin; idx < end; ++idx) {
       const ClientId i = order[static_cast<std::size_t>(idx)];
+      if (!ledger.is_assigned(i) && !may_insert(opts, i)) continue;
       if (ledger.is_assigned(i)) {
         scratch.remove_client(i, ledger.placements(i), &undo);
         plans[static_cast<std::size_t>(idx)] =
@@ -128,7 +138,9 @@ double reassign_pass_snapshot(AllocState& state, const AllocatorOptions& opts,
       const double vacate = removal_delta(live, i, old_ps);
       live.remove_client(i, old_ps, &undo);
       if (!mover.fits(i, *plan)) plan = best_insertion(live, i, opts);
-      if (plan) predicted = vacate + insertion_delta(live, i, plan->placements);
+      if (plan)
+        predicted = vacate + insertion_delta(live, i, plan->placements) -
+                    migration_penalty(opts, old_ps, plan->placements);
       live.restore(undo);
     } else {
       if (!mover.fits(i, *plan)) plan = best_insertion(live, i, opts);

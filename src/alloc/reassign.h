@@ -14,8 +14,11 @@
 namespace cloudalloc::alloc {
 
 /// One pass: every client (worst-served first) is removed and re-inserted
-/// into its best cluster; each move commits only if true profit improves.
-/// Also retries clients that are currently unassigned. Moves are probed
+/// into its best cluster; each move commits only if true profit improves
+/// (by at least the move's migration penalty when opts.migration_cost is
+/// on). Also retries clients that are currently unassigned — except those
+/// outside opts.insertable, which stay the serving layer's to admit.
+/// Moves are probed
 /// and delta-priced against a ResidualView mirror of the allocation, so a
 /// client with no (worthwhile) move costs no Allocation mutation and no
 /// profit-cache repair. Returns the delta.

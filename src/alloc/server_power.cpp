@@ -93,8 +93,11 @@ double turn_on_servers(AllocState& state, ClusterId k,
     AllocState trial = state.branch();
     // Bidding phase: moves may individually lose P0 (it is sunk once the
     // first bidder lands on j), so allow per-move regressions on the trial
-    // state and judge the bundle at the gate below.
+    // state and judge the bundle at the gate below. Under migration
+    // pricing each accepted bid also carries its redirection charge, and
+    // the bundle gate must clear the accepted bids' total.
     bool anyone_used_j = false;
+    double bundle_penalty = 0.0;
     for (ClientId i : bidders) {
       const double before_move = trial.profit();
       const ClusterId old_cluster = trial.ledger().cluster_of(i);
@@ -105,6 +108,8 @@ double turn_on_servers(AllocState& state, ClusterId k,
         trial.assign(i, old_cluster, old_placements);
         continue;
       }
+      const double penalty =
+          migration_penalty(opts, old_placements, plan->placements);
       trial.assign(i, k, plan->placements);
       const bool uses_j =
           std::any_of(plan->placements.begin(), plan->placements.end(),
@@ -114,17 +119,18 @@ double turn_on_servers(AllocState& state, ClusterId k,
       const double sunk = (uses_j && !anyone_used_j)
                               ? cloud.server_class_of(j).cost_fixed
                               : 0.0;
-      if (after_move + sunk + 1e-12 < before_move) {
+      if (after_move + sunk + 1e-12 < before_move + penalty) {
         trial.assign(i, old_cluster, old_placements);
         continue;
       }
       anyone_used_j = anyone_used_j || uses_j;
+      bundle_penalty += penalty;
     }
     if (!anyone_used_j) continue;
 
     const double gate_before = state.profit();
     const double gate_after = trial.profit();
-    if (gate_after > gate_before + 1e-12) {
+    if (gate_after > gate_before + bundle_penalty + 1e-12) {
       total_delta += gate_after - gate_before;
       state.adopt(std::move(trial));
     }
@@ -188,6 +194,7 @@ double turn_off_servers(AllocState& state, ClusterId k,
     std::vector<InsertionPlan> plans;
     plans.reserve(evicted.size());
     double move_delta = 0.0;
+    double eviction_penalty = 0.0;  // migration charges of the forced moves
     bool ok = true;
     for (ClientId i : evicted) {
       const std::vector<model::Placement>& old_ps =
@@ -201,6 +208,7 @@ double turn_off_servers(AllocState& state, ClusterId k,
         break;
       }
       move_delta += insertion_delta(probe, i, plan->placements);
+      eviction_penalty += migration_penalty(opts, old_ps, plan->placements);
       probe.add_client(i, plan->placements);
       plans.push_back(std::move(*plan));
     }
@@ -213,7 +221,7 @@ double turn_off_servers(AllocState& state, ClusterId k,
     // cancel at the gate, so the priced moves carry the decision; only
     // candidates within the margin pay for materialization.
     if (opts.power_screen_margin >= 0.0 &&
-        move_delta < -opts.power_screen_margin) {
+        move_delta - eviction_penalty < -opts.power_screen_margin) {
       ++failures;
       continue;
     }
@@ -233,7 +241,7 @@ double turn_off_servers(AllocState& state, ClusterId k,
 
     const double gate_before = state.profit();
     const double gate_after = trial.profit();
-    if (gate_after > gate_before + 1e-12) {
+    if (gate_after > gate_before + eviction_penalty + 1e-12) {
       total_delta += gate_after - gate_before;
       state.adopt(std::move(trial));
       shrunk.reset();

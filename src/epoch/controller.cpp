@@ -7,18 +7,25 @@
 #include "model/evaluator.h"
 
 namespace cloudalloc::epoch {
+namespace {
+
+/// Seeds for the predictor bank: the contract-time predicted rates.
+std::vector<double> predicted_rates(const model::Cloud& cloud) {
+  std::vector<double> rates;
+  rates.reserve(static_cast<std::size_t>(cloud.num_clients()));
+  for (const auto& client : cloud.clients())
+    rates.push_back(client.lambda_pred);
+  return rates;
+}
+
+}  // namespace
 
 Controller::Controller(model::Cloud initial_cloud,
                        const RatePredictor& prototype,
                        ControllerOptions options)
     : options_(options),
-      cloud_(std::make_unique<model::Cloud>(std::move(initial_cloud))) {
-  predictors_.reserve(static_cast<std::size_t>(cloud_->num_clients()));
-  for (const auto& client : cloud_->clients()) {
-    auto predictor = prototype.clone();
-    predictor->observe(client.lambda_pred);  // seed with the contract view
-    predictors_.push_back(std::move(predictor));
-  }
+      cloud_(std::make_unique<model::Cloud>(std::move(initial_cloud))),
+      bank_(prototype, predicted_rates(*cloud_)) {
   allocation_ = std::make_unique<model::Allocation>(*cloud_);
 }
 
@@ -26,7 +33,7 @@ model::Cloud Controller::rebuild_cloud_with_predictions() const {
   std::vector<model::Client> clients = cloud_->clients();
   for (auto& client : clients) {
     client.lambda_pred =
-        predictors_[client.id.index()]->predict();
+        bank_.predict(static_cast<int>(client.id.index()));
     // lambda_agreed stays contractual.
   }
   return model::Cloud(cloud_->server_classes(), cloud_->servers(),
@@ -85,17 +92,11 @@ EpochReport Controller::step(const std::vector<double>& observed_rates) {
   CHECK_MSG(epoch_ >= 1, "call start() first");
   CHECK(static_cast<int>(observed_rates.size()) == cloud_->num_clients());
 
-  // 1. Feed predictors and measure drift of the new predictions.
-  double drift_sum = 0.0;
-  for (model::ClientId i : cloud_->client_ids()) {
-    const std::size_t idx = i.index();
-    const double previous = cloud_->client(i).lambda_pred;
-    predictors_[idx]->observe(observed_rates[idx]);
-    drift_sum += std::fabs(predictors_[idx]->predict() - previous) /
-                 std::max(previous, 1e-9);
-  }
-  const double mean_drift =
-      drift_sum / std::max(1, cloud_->num_clients());
+  // 1. Feed predictors and measure drift of the new predictions against
+  //    the rates the epoch just planned with.
+  const std::vector<double> previous = predicted_rates(*cloud_);
+  bank_.observe_all(observed_rates);
+  const double mean_drift = bank_.mean_drift(previous);
 
   // 2. New instance with the fresh predictions.
   auto next_cloud =

@@ -72,8 +72,8 @@ class Controller {
 
   ControllerOptions options_;
   std::unique_ptr<model::Cloud> cloud_;
+  PredictorBank bank_;  ///< shared with serve::OnlineDriver by design
   std::unique_ptr<model::Allocation> allocation_;
-  std::vector<std::unique_ptr<RatePredictor>> predictors_;
   std::vector<EpochReport> history_;
   int epoch_ = 0;
 };

@@ -1,10 +1,21 @@
 #include "epoch/predictor.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
 
 namespace cloudalloc::epoch {
+
+double sanitize_observation(double rate, double fallback) {
+  if (!std::isfinite(rate)) return fallback;
+  return std::max(rate, 0.0);
+}
+
+double clamp_prediction(double estimate) {
+  if (!std::isfinite(estimate)) return 1e-6;
+  return std::max(estimate, 1e-6);
+}
 
 EwmaPredictor::EwmaPredictor(double alpha, double prior)
     : alpha_(alpha), estimate_(prior) {
@@ -13,7 +24,7 @@ EwmaPredictor::EwmaPredictor(double alpha, double prior)
 }
 
 void EwmaPredictor::observe(double rate) {
-  CHECK(rate >= 0.0);
+  rate = sanitize_observation(rate, predict());
   if (!seeded_) {
     estimate_ = rate;
     seeded_ = true;
@@ -22,7 +33,7 @@ void EwmaPredictor::observe(double rate) {
   }
 }
 
-double EwmaPredictor::predict() const { return std::max(estimate_, 1e-6); }
+double EwmaPredictor::predict() const { return clamp_prediction(estimate_); }
 
 std::unique_ptr<RatePredictor> EwmaPredictor::clone() const {
   return std::make_unique<EwmaPredictor>(*this);
@@ -35,8 +46,7 @@ SlidingMeanPredictor::SlidingMeanPredictor(int window, double prior)
 }
 
 void SlidingMeanPredictor::observe(double rate) {
-  CHECK(rate >= 0.0);
-  history_.push_back(rate);
+  history_.push_back(sanitize_observation(rate, predict()));
   if (history_.size() > window_)
     history_.erase(history_.begin());
 }
@@ -45,7 +55,7 @@ double SlidingMeanPredictor::predict() const {
   if (history_.empty()) return prior_;
   double sum = 0.0;
   for (double r : history_) sum += r;
-  return std::max(sum / static_cast<double>(history_.size()), 1e-6);
+  return clamp_prediction(sum / static_cast<double>(history_.size()));
 }
 
 std::unique_ptr<RatePredictor> SlidingMeanPredictor::clone() const {
@@ -60,7 +70,7 @@ HoltPredictor::HoltPredictor(double alpha, double beta, double prior)
 }
 
 void HoltPredictor::observe(double rate) {
-  CHECK(rate >= 0.0);
+  rate = sanitize_observation(rate, predict());
   if (!seeded_) {
     level_ = rate;
     trend_ = 0.0;
@@ -73,11 +83,47 @@ void HoltPredictor::observe(double rate) {
 }
 
 double HoltPredictor::predict() const {
-  return std::max(level_ + trend_, 1e-6);
+  return clamp_prediction(level_ + trend_);
 }
 
 std::unique_ptr<RatePredictor> HoltPredictor::clone() const {
   return std::make_unique<HoltPredictor>(*this);
+}
+
+PredictorBank::PredictorBank(const RatePredictor& prototype,
+                             const std::vector<double>& seed_rates) {
+  predictors_.reserve(seed_rates.size());
+  for (double seed : seed_rates) {
+    auto predictor = prototype.clone();
+    predictor->observe(seed);
+    predictors_.push_back(std::move(predictor));
+  }
+}
+
+void PredictorBank::observe(int i, double rate) {
+  CHECK(i >= 0 && i < size());
+  predictors_[static_cast<std::size_t>(i)]->observe(rate);
+}
+
+void PredictorBank::observe_all(const std::vector<double>& observed) {
+  CHECK(static_cast<int>(observed.size()) == size());
+  for (int i = 0; i < size(); ++i)
+    predictors_[static_cast<std::size_t>(i)]->observe(observed[i]);
+}
+
+double PredictorBank::predict(int i) const {
+  CHECK(i >= 0 && i < size());
+  return predictors_[static_cast<std::size_t>(i)]->predict();
+}
+
+double PredictorBank::mean_drift(const std::vector<double>& reference) const {
+  CHECK(static_cast<int>(reference.size()) == size());
+  if (size() == 0) return 0.0;
+  double drift_sum = 0.0;
+  for (int i = 0; i < size(); ++i)
+    drift_sum +=
+        std::fabs(predict(i) - reference[i]) / std::max(reference[i], 1e-9);
+  return drift_sum / static_cast<double>(size());
 }
 
 }  // namespace cloudalloc::epoch

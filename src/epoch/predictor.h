@@ -13,19 +13,39 @@
 namespace cloudalloc::epoch {
 
 /// One-step-ahead predictor of a single client's arrival rate.
+///
+/// Input/output hygiene (the queueing kernels divide by predicted rates,
+/// so a NaN or a zero here poisons every response time downstream):
+/// observe() SANITIZES rather than trusts — a non-finite observation is
+/// neutralized (replaced by the predictor's own current forecast, which
+/// keeps the estimate on its own trajectory), a negative one is clamped
+/// to zero (a meter can read nothing, not less than nothing) — and
+/// predict() always returns a finite value floored at a small positive
+/// rate, whatever was fed in.
 class RatePredictor {
  public:
   virtual ~RatePredictor() = default;
 
-  /// Feeds the rate observed over the epoch that just ended.
+  /// Feeds the rate observed over the epoch that just ended (sanitized,
+  /// see above).
   virtual void observe(double rate) = 0;
 
-  /// Predicted rate for the next epoch. Must be > 0 once at least one
-  /// observation has been fed; before that, returns the configured prior.
+  /// Predicted rate for the next epoch: always finite and > 0. Before the
+  /// first observation, returns the configured prior.
   virtual double predict() const = 0;
 
   virtual std::unique_ptr<RatePredictor> clone() const = 0;
 };
+
+/// Clamps one observed rate per the RatePredictor contract: NaN/inf maps
+/// to `fallback` (predictors pass their own current forecast, i.e.
+/// "ignore the sample"), negatives clamp to zero.
+double sanitize_observation(double rate, double fallback);
+
+/// Floors a computed prediction into the finite positive domain the
+/// allocator and queueing kernels require (non-finite estimates collapse
+/// to the floor — they can only arise from astronomically large inputs).
+double clamp_prediction(double estimate);
 
 /// Exponentially weighted moving average: pred <- a*obs + (1-a)*pred.
 class EwmaPredictor final : public RatePredictor {
@@ -76,6 +96,36 @@ class HoltPredictor final : public RatePredictor {
   double level_;
   double trend_ = 0.0;
   bool seeded_ = false;
+};
+
+/// A per-client array of predictors cloned from one prototype — the shared
+/// prediction machinery of the batch epoch::Controller and the online
+/// serving driver (serve::OnlineDriver). Each clone is seeded with the
+/// matching entry of `seed_rates` (typically the contract-time
+/// lambda_pred) as its first observation.
+class PredictorBank {
+ public:
+  PredictorBank(const RatePredictor& prototype,
+                const std::vector<double>& seed_rates);
+
+  int size() const { return static_cast<int>(predictors_.size()); }
+
+  /// Feeds client i's observed rate for the epoch that just ended.
+  void observe(int i, double rate);
+
+  /// Feeds every client's observed rate; observed.size() must equal
+  /// size().
+  void observe_all(const std::vector<double>& observed);
+
+  /// One-step-ahead prediction for client i (finite, > 0).
+  double predict(int i) const;
+
+  /// Mean over clients of |predict(i) - reference[i]| / reference[i]: the
+  /// drift statistic both epoch drivers feed their re-solve triggers.
+  double mean_drift(const std::vector<double>& reference) const;
+
+ private:
+  std::vector<std::unique_ptr<RatePredictor>> predictors_;
 };
 
 }  // namespace cloudalloc::epoch

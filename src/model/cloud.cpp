@@ -1,5 +1,6 @@
 #include "model/cloud.h"
 
+#include <cmath>
 #include <set>
 
 #include "common/check.h"
@@ -73,6 +74,16 @@ Cloud::Cloud(std::vector<ServerClass> server_classes,
     total_demand_p_ += c.lambda_pred * c.alpha_p;
     total_demand_n_ += c.lambda_pred * c.alpha_n;
   }
+}
+
+void Cloud::set_lambda_pred(ClientId i, double lambda) {
+  CHECK(i.valid() && i.value() < num_clients());
+  CHECK_MSG(std::isfinite(lambda) && lambda > 0.0,
+            "predicted rates must be finite and positive");
+  Client& c = clients_[i.index()];
+  total_demand_p_ += (lambda - c.lambda_pred) * c.alpha_p;
+  total_demand_n_ += (lambda - c.lambda_pred) * c.alpha_n;
+  c.lambda_pred = lambda;
 }
 
 const Client& Cloud::client(ClientId i) const {

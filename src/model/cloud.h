@@ -53,6 +53,17 @@ class Cloud {
     return id_range<UtilityClassId>(utility_classes_.size());
   }
 
+  /// Online-serving hook: rewrites client i's predicted arrival rate in
+  /// place (the demand-drift dimension of a churn stream) and keeps the
+  /// total_demand aggregates in sync. The contract is allocation-state
+  /// safety, not immutability: the client must be UNASSIGNED in every live
+  /// Allocation / ResidualView over this cloud when the rate changes —
+  /// their per-server load aggregates bake in lambda_pred at assign time
+  /// and would silently go stale otherwise. The serving layer's
+  /// remove -> set_lambda_pred -> re-insert sequence honors this.
+  /// `lambda` must be finite and > 0. lambda_agreed stays contractual.
+  void set_lambda_pred(ClientId i, double lambda);
+
   const Client& client(ClientId i) const;
   const Server& server(ServerId j) const;
   const Cluster& cluster(ClusterId k) const;

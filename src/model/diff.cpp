@@ -1,0 +1,71 @@
+#include "model/diff.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace cloudalloc::model {
+
+double redirected_fraction(const std::vector<Placement>& old_ps,
+                           const std::vector<Placement>& new_ps) {
+  if (old_ps.empty()) return 0.0;
+  double moved = 0.0;
+  for (const Placement& o : old_ps) {
+    double kept = 0.0;
+    for (const Placement& n : new_ps)
+      if (n.server == o.server) {
+        kept = n.psi;
+        break;
+      }
+    moved += std::max(0.0, o.psi - kept);
+  }
+  return std::min(moved, 1.0);
+}
+
+namespace {
+
+/// Bitwise placement equality — the diff's "unchanged" means no state bit
+/// of the slice moved, matching the engine's exact-restore contract.
+bool same_placements(const std::vector<Placement>& a,
+                     const std::vector<Placement>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t idx = 0; idx < a.size(); ++idx) {
+    if (a[idx].server != b[idx].server || a[idx].psi != b[idx].psi ||
+        a[idx].phi_p != b[idx].phi_p || a[idx].phi_n != b[idx].phi_n)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+AllocationDiff diff_allocations(const AllocState::Checkpoint& prev,
+                                const Allocation& next) {
+  const Cloud& cloud = next.cloud();
+  CHECK(static_cast<int>(prev.placements.size()) == cloud.num_clients());
+  AllocationDiff d;
+  for (ClientId i : cloud.client_ids()) {
+    const std::vector<Placement>& before = prev.placements[i.index()];
+    const bool was = !before.empty();
+    const bool now = next.is_assigned(i);
+    if (!was && !now) continue;
+    if (!was) {
+      ++d.arrived;
+    } else if (!now) {
+      ++d.departed;
+    } else if (same_placements(before, next.placements(i))) {
+      ++d.unchanged;
+    } else {
+      const double frac = redirected_fraction(before, next.placements(i));
+      if (frac > 0.0) {
+        ++d.moved;
+        d.redirected += frac;
+      } else {
+        ++d.resized;
+      }
+    }
+  }
+  return d;
+}
+
+}  // namespace cloudalloc::model

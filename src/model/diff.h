@@ -1,0 +1,41 @@
+// Allocation diffing and migration accounting for the online serving
+// layer: how two epochs' placements differ, and how much client traffic a
+// move redirects. The serving layer prices moves with a migration-cost
+// term (AllocatorOptions::migration_cost) proportional to the redirected
+// fraction, and reports per-epoch migration volume from the diff; the
+// churn bench's reallocation columns come from here too.
+#pragma once
+
+#include "model/alloc_state.h"
+#include "model/allocation.h"
+
+namespace cloudalloc::model {
+
+/// Fraction of a client's traffic redirected away from its old servers by
+/// moving from `old_ps` to `new_ps`: sum over old servers of
+/// max(0, psi_old - psi_new-on-that-server). 0 when nothing moves (psi and
+/// server set unchanged), 1 when every request lands somewhere new — and
+/// for a full removal (`new_ps` empty). Share-only changes (phi resized,
+/// psi and servers untouched) are free: GPS shares are a scheduler weight,
+/// not placed state.
+double redirected_fraction(const std::vector<Placement>& old_ps,
+                           const std::vector<Placement>& new_ps);
+
+/// Per-client classification of how `next` differs from the placements
+/// checkpointed in `prev` (an AllocState::Checkpoint: exactly the
+/// cluster-of and placement vectors of the earlier epoch).
+struct AllocationDiff {
+  int arrived = 0;    ///< unassigned before, assigned now
+  int departed = 0;   ///< assigned before, unassigned now
+  int moved = 0;      ///< assigned in both with psi redirected (> 0)
+  int resized = 0;    ///< assigned in both, only shares (phi) changed
+  int unchanged = 0;  ///< assigned in both, placements bitwise equal
+  /// Sum over moved clients of redirected_fraction — "whole clients'
+  /// worth of traffic migrated" between the two epochs.
+  double redirected = 0.0;
+};
+
+AllocationDiff diff_allocations(const AllocState::Checkpoint& prev,
+                                const Allocation& next);
+
+}  // namespace cloudalloc::model

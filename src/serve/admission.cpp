@@ -1,0 +1,35 @@
+#include "serve/admission.h"
+
+#include "common/check.h"
+
+namespace cloudalloc::serve {
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {
+  CHECK(options_.hysteresis >= 0.0);
+}
+
+double AdmissionController::current_bar() const {
+  return options_.threshold + (rejecting_ ? options_.hysteresis : 0.0);
+}
+
+AdmissionDecision AdmissionController::decide(model::ClientId client,
+                                              double marginal_profit) {
+  AdmissionDecision decision;
+  decision.client = client;
+  decision.marginal_profit = marginal_profit;
+  decision.bar = current_bar();
+  decision.admitted =
+      marginal_profit > kInfeasible && marginal_profit >= decision.bar;
+  if (decision.admitted) {
+    ++admitted_;
+    rejecting_ = false;
+  } else {
+    ++rejected_;
+    rejecting_ = true;
+  }
+  log_.push_back(decision);
+  return decision;
+}
+
+}  // namespace cloudalloc::serve

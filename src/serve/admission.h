@@ -1,0 +1,68 @@
+// Profit-aware admission control for the online serving layer.
+//
+// Each arriving client is priced by the delta pricer (its marginal profit
+// at the best feasible placement) and admitted only when that marginal
+// clears a configurable bar. The bar carries hysteresis in the style of
+// Mazzucco & Mitrani's admission policies for service streams: after a
+// rejection the controller enters a "rejecting" regime where the bar is
+// raised by `hysteresis`, so a marginal that hovers exactly at the
+// threshold cannot flap the system between admit and reject on every
+// arrival — it takes a clearly profitable client to re-open the door.
+#pragma once
+
+#include <vector>
+
+#include "model/types.h"
+
+namespace cloudalloc::serve {
+
+struct AdmissionOptions {
+  /// Minimum delta-priced marginal profit an arrival must clear. Zero
+  /// admits anything that does not lose money (the batch optimizer's own
+  /// allow_rejection gate); positive reserves capacity for better-paying
+  /// future arrivals.
+  double threshold = 0.0;
+  /// Extra bar while in the rejecting regime (entered on a rejection,
+  /// left on an admission). Zero disables hysteresis.
+  double hysteresis = 0.0;
+};
+
+struct AdmissionDecision {
+  model::ClientId client;
+  /// Delta-priced profit of serving this client at its best placement
+  /// (kInfeasible when nothing can host it).
+  double marginal_profit = 0.0;
+  /// The bar in force when the decision was made.
+  double bar = 0.0;
+  bool admitted = false;
+};
+
+class AdmissionController {
+ public:
+  /// Sentinel marginal for arrivals with no feasible placement; always
+  /// rejected, and recorded as such in the decision log.
+  static constexpr double kInfeasible = -1e300;
+
+  explicit AdmissionController(AdmissionOptions options = {});
+
+  /// Prices one arrival against the current bar, records the decision,
+  /// and updates the hysteresis regime. Pure function of the decision
+  /// sequence — bit-identical across thread counts by construction.
+  AdmissionDecision decide(model::ClientId client, double marginal_profit);
+
+  /// The bar the next decision will face.
+  double current_bar() const;
+
+  const std::vector<AdmissionDecision>& log() const { return log_; }
+  int admitted() const { return admitted_; }
+  int rejected() const { return rejected_; }
+
+ private:
+  AdmissionOptions options_;
+  bool rejecting_ = false;
+  int admitted_ = 0;
+  int rejected_ = 0;
+  std::vector<AdmissionDecision> log_;
+};
+
+}  // namespace cloudalloc::serve

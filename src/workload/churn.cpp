@@ -1,0 +1,105 @@
+#include "workload/churn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace cloudalloc::workload {
+namespace {
+
+using model::ClientId;
+
+/// Knuth's Poisson sampler; fine for the small per-epoch means used here.
+int poisson(Rng& rng, double mean) {
+  if (mean <= 0.0) return 0;
+  const double limit = std::exp(-mean);
+  int k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= rng.uniform();
+  } while (p > limit);
+  return k - 1;
+}
+
+}  // namespace
+
+ChurnStream make_churn_stream(const model::Cloud& cloud,
+                              const ChurnParams& params, std::uint64_t seed) {
+  CHECK(params.epochs >= 1);
+  CHECK(params.initial_clients >= 0 &&
+        params.initial_clients <= cloud.num_clients());
+  CHECK(params.arrival_rate >= 0.0);
+  CHECK(params.departure_probability >= 0.0 &&
+        params.departure_probability <= 1.0);
+  CHECK(params.demand_change_probability >= 0.0 &&
+        params.demand_change_probability <= 1.0);
+  CHECK(params.drift_lo > 0.0 && params.drift_lo <= params.drift_hi);
+  CHECK(params.rate_floor > 0.0);
+  Rng rng(seed);
+
+  ChurnStream stream;
+  std::vector<std::uint8_t> present(
+      static_cast<std::size_t>(cloud.num_clients()), 0);
+  std::vector<double> current_rate;
+  current_rate.reserve(static_cast<std::size_t>(cloud.num_clients()));
+  for (const auto& client : cloud.clients())
+    current_rate.push_back(client.lambda_pred);
+
+  stream.initially_present.reserve(
+      static_cast<std::size_t>(params.initial_clients));
+  for (int i = 0; i < params.initial_clients; ++i) {
+    stream.initially_present.push_back(ClientId(i));
+    present[static_cast<std::size_t>(i)] = 1;
+  }
+
+  stream.epochs.resize(static_cast<std::size_t>(params.epochs));
+  std::vector<std::uint8_t> touched(
+      static_cast<std::size_t>(cloud.num_clients()), 0);
+  for (auto& events : stream.epochs) {
+    std::fill(touched.begin(), touched.end(), 0);
+    // Departures first: iterate ids in order so the draw sequence is a
+    // pure function of the presence set.
+    for (ClientId i : cloud.client_ids()) {
+      if (!present[i.index()]) continue;
+      if (!rng.bernoulli(params.departure_probability)) continue;
+      present[i.index()] = 0;
+      touched[i.index()] = 1;
+      events.push_back({ChurnEvent::Kind::kDeparture, i, 0.0});
+    }
+    // Demand changes on the survivors.
+    for (ClientId i : cloud.client_ids()) {
+      if (!present[i.index()]) continue;
+      if (!rng.bernoulli(params.demand_change_probability)) continue;
+      const double drift = rng.uniform(params.drift_lo, params.drift_hi);
+      const double rate =
+          std::max(current_rate[i.index()] * drift, params.rate_floor);
+      current_rate[i.index()] = rate;
+      events.push_back({ChurnEvent::Kind::kDemandChange, i, rate});
+    }
+    // Arrivals from the absent pool, Poisson many, uniformly chosen. A
+    // client that departed THIS epoch sits the rest of it out: each epoch
+    // names a client at most once, so the serving layer can apply events
+    // in any grouping without presence races.
+    std::vector<ClientId> pool;
+    for (ClientId i : cloud.client_ids())
+      if (!present[i.index()] && !touched[i.index()]) pool.push_back(i);
+    const int want = poisson(rng, params.arrival_rate);
+    rng.shuffle(pool);
+    const int arrivals = std::min(want, static_cast<int>(pool.size()));
+    for (int a = 0; a < arrivals; ++a) {
+      const ClientId i = pool[static_cast<std::size_t>(a)];
+      const double drift = rng.uniform(params.drift_lo, params.drift_hi);
+      const double rate = std::max(
+          cloud.client(i).lambda_pred * drift, params.rate_floor);
+      current_rate[i.index()] = rate;
+      present[i.index()] = 1;
+      events.push_back({ChurnEvent::Kind::kArrival, i, rate});
+    }
+  }
+  return stream;
+}
+
+}  // namespace cloudalloc::workload

@@ -1,0 +1,140 @@
+#include "workload/churn.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "workload/scenario.h"
+
+namespace cloudalloc::workload {
+namespace {
+
+model::Cloud make_cloud(int clients = 24) {
+  ScenarioParams params;
+  params.num_clients = clients;
+  params.servers_per_cluster = 6;
+  return make_scenario(params, 77);
+}
+
+ChurnParams busy_params() {
+  ChurnParams params;
+  params.epochs = 12;
+  params.initial_clients = 12;
+  params.arrival_rate = 3.0;
+  params.departure_probability = 0.15;
+  params.demand_change_probability = 0.25;
+  return params;
+}
+
+TEST(ChurnStream, SameSeedIsBitIdentical) {
+  const auto cloud = make_cloud();
+  const ChurnParams params = busy_params();
+  const ChurnStream a = make_churn_stream(cloud, params, 42);
+  const ChurnStream b = make_churn_stream(cloud, params, 42);
+  ASSERT_EQ(a.initially_present, b.initially_present);
+  ASSERT_EQ(a.epochs.size(), b.epochs.size());
+  for (std::size_t t = 0; t < a.epochs.size(); ++t) {
+    ASSERT_EQ(a.epochs[t].size(), b.epochs[t].size()) << "epoch " << t;
+    for (std::size_t e = 0; e < a.epochs[t].size(); ++e) {
+      EXPECT_EQ(a.epochs[t][e].kind, b.epochs[t][e].kind);
+      EXPECT_EQ(a.epochs[t][e].client, b.epochs[t][e].client);
+      // Bitwise: the serving layer's determinism contract rides on this.
+      EXPECT_EQ(a.epochs[t][e].rate, b.epochs[t][e].rate);
+    }
+  }
+}
+
+TEST(ChurnStream, DifferentSeedsDiffer) {
+  const auto cloud = make_cloud();
+  const ChurnParams params = busy_params();
+  const ChurnStream a = make_churn_stream(cloud, params, 1);
+  const ChurnStream b = make_churn_stream(cloud, params, 2);
+  int total_a = 0, total_b = 0;
+  bool differ = false;
+  for (std::size_t t = 0; t < a.epochs.size(); ++t) {
+    total_a += static_cast<int>(a.epochs[t].size());
+    total_b += static_cast<int>(b.epochs[t].size());
+    if (a.epochs[t].size() != b.epochs[t].size()) differ = true;
+  }
+  EXPECT_TRUE(differ || total_a != total_b);
+}
+
+TEST(ChurnStream, InitialPresenceIsAPrefixOfTheUniverse) {
+  const auto cloud = make_cloud();
+  ChurnParams params = busy_params();
+  params.initial_clients = 7;
+  const ChurnStream stream = make_churn_stream(cloud, params, 9);
+  ASSERT_EQ(stream.initially_present.size(), 7u);
+  for (int i = 0; i < 7; ++i)
+    EXPECT_EQ(stream.initially_present[static_cast<std::size_t>(i)],
+              model::ClientId(i));
+}
+
+TEST(ChurnStream, EventsAreValidAgainstPresence) {
+  const auto cloud = make_cloud();
+  const ChurnParams params = busy_params();
+  const ChurnStream stream = make_churn_stream(cloud, params, 1234);
+  std::vector<bool> present(static_cast<std::size_t>(cloud.num_clients()),
+                            false);
+  for (model::ClientId i : stream.initially_present)
+    present[i.index()] = true;
+
+  ASSERT_EQ(stream.epochs.size(), static_cast<std::size_t>(params.epochs));
+  for (const auto& events : stream.epochs) {
+    std::vector<bool> seen(static_cast<std::size_t>(cloud.num_clients()),
+                           false);
+    for (const ChurnEvent& event : events) {
+      ASSERT_TRUE(event.client.valid());
+      ASSERT_LT(event.client.value(), cloud.num_clients());
+      EXPECT_FALSE(seen[event.client.index()])
+          << "client " << event.client << " appears twice in one epoch";
+      seen[event.client.index()] = true;
+      switch (event.kind) {
+        case ChurnEvent::Kind::kArrival:
+          EXPECT_FALSE(present[event.client.index()]);
+          EXPECT_GE(event.rate, params.rate_floor);
+          present[event.client.index()] = true;
+          break;
+        case ChurnEvent::Kind::kDeparture:
+          EXPECT_TRUE(present[event.client.index()]);
+          present[event.client.index()] = false;
+          break;
+        case ChurnEvent::Kind::kDemandChange:
+          EXPECT_TRUE(present[event.client.index()]);
+          EXPECT_GE(event.rate, params.rate_floor);
+          break;
+      }
+    }
+  }
+}
+
+TEST(ChurnStream, EpochOrdersDeparturesChangesArrivals) {
+  const auto cloud = make_cloud();
+  const ChurnStream stream = make_churn_stream(cloud, busy_params(), 5);
+  for (const auto& events : stream.epochs) {
+    int band = 0;  // 0 = departures, 1 = demand changes, 2 = arrivals
+    for (const ChurnEvent& event : events) {
+      const int event_band =
+          event.kind == ChurnEvent::Kind::kDeparture     ? 0
+          : event.kind == ChurnEvent::Kind::kDemandChange ? 1
+                                                          : 2;
+      EXPECT_GE(event_band, band);
+      band = event_band;
+    }
+  }
+}
+
+TEST(ChurnStream, QuietParamsProduceNoEvents) {
+  const auto cloud = make_cloud();
+  ChurnParams params;
+  params.epochs = 5;
+  params.initial_clients = 10;
+  params.arrival_rate = 0.0;
+  params.departure_probability = 0.0;
+  params.demand_change_probability = 0.0;
+  const ChurnStream stream = make_churn_stream(cloud, params, 3);
+  for (const auto& events : stream.epochs) EXPECT_TRUE(events.empty());
+}
+
+}  // namespace
+}  // namespace cloudalloc::workload

@@ -1,4 +1,5 @@
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -84,6 +85,78 @@ TEST(HoltPredictor, StableOnConstantSignal) {
   HoltPredictor p(0.5, 0.5, 1.0);
   for (int i = 0; i < 30; ++i) p.observe(2.5);
   EXPECT_NEAR(p.predict(), 2.5, 1e-6);
+}
+
+TEST(Predictors, SanitizeHelpersClampIntoTheLegalDomain) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(sanitize_observation(3.0, 7.0), 3.0);
+  EXPECT_DOUBLE_EQ(sanitize_observation(-2.0, 7.0), 0.0);
+  EXPECT_DOUBLE_EQ(sanitize_observation(nan, 7.0), 7.0);
+  EXPECT_DOUBLE_EQ(sanitize_observation(inf, 7.0), 7.0);
+  EXPECT_DOUBLE_EQ(sanitize_observation(-inf, 7.0), 7.0);
+  EXPECT_DOUBLE_EQ(clamp_prediction(4.0), 4.0);
+  EXPECT_DOUBLE_EQ(clamp_prediction(0.0), 1e-6);
+  EXPECT_DOUBLE_EQ(clamp_prediction(-3.0), 1e-6);
+  EXPECT_DOUBLE_EQ(clamp_prediction(nan), 1e-6);
+  EXPECT_DOUBLE_EQ(clamp_prediction(inf), 1e-6);
+}
+
+TEST(Predictors, NonFiniteObservationsLeaveTheForecastOnTrack) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+
+  EwmaPredictor ewma(0.5, 2.0);
+  ewma.observe(4.0);
+  const double before = ewma.predict();
+  ewma.observe(nan);
+  ewma.observe(inf);
+  EXPECT_DOUBLE_EQ(ewma.predict(), before);
+
+  SlidingMeanPredictor mean(3, 1.0);
+  mean.observe(2.0);
+  mean.observe(4.0);
+  const double mean_before = mean.predict();
+  mean.observe(nan);
+  EXPECT_DOUBLE_EQ(mean.predict(), mean_before);
+
+  HoltPredictor holt(0.5, 0.5, 1.0);
+  holt.observe(3.0);
+  holt.observe(3.5);
+  holt.observe(inf);
+  EXPECT_TRUE(std::isfinite(holt.predict()));
+  EXPECT_GT(holt.predict(), 0.0);
+}
+
+TEST(Predictors, NegativeObservationsClampToZero) {
+  // A meter can read nothing, not less than nothing: -5 is treated as 0,
+  // and the prediction floor keeps the output strictly positive.
+  EwmaPredictor ewma(1.0, 1.0);
+  ewma.observe(-5.0);
+  EXPECT_DOUBLE_EQ(ewma.predict(), 1e-6);
+  SlidingMeanPredictor mean(2, 1.0);
+  mean.observe(-3.0);
+  mean.observe(6.0);
+  EXPECT_DOUBLE_EQ(mean.predict(), 3.0);  // (0 + 6) / 2
+}
+
+TEST(PredictorBankTest, SeedsCloneAndPredictsPerClient) {
+  const std::vector<double> seeds = {1.0, 2.0, 3.0};
+  PredictorBank bank(EwmaPredictor(0.5, 9.0), seeds);
+  ASSERT_EQ(bank.size(), 3);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_DOUBLE_EQ(bank.predict(i), seeds[static_cast<std::size_t>(i)]);
+  bank.observe(1, 4.0);  // only client 1 moves
+  EXPECT_DOUBLE_EQ(bank.predict(0), 1.0);
+  EXPECT_DOUBLE_EQ(bank.predict(1), 3.0);  // 0.5*4 + 0.5*2
+  EXPECT_DOUBLE_EQ(bank.predict(2), 3.0);
+}
+
+TEST(PredictorBankTest, MeanDriftMatchesTheHandComputation) {
+  PredictorBank bank(EwmaPredictor(1.0, 1.0), {2.0, 4.0});
+  bank.observe_all({3.0, 2.0});  // predictions become 3 and 2
+  // drift = (|3-2|/2 + |2-4|/4) / 2 = (0.5 + 0.5) / 2
+  EXPECT_NEAR(bank.mean_drift({2.0, 4.0}), 0.5, 1e-12);
 }
 
 TEST(Predictors, NeverPredictNonPositive) {
@@ -184,6 +257,58 @@ TEST_F(ControllerTest, DrivesAFullTraceEndToEnd) {
   int warm = 0;
   for (const auto& r : controller.history())
     if (!r.cold_start) ++warm;
+  EXPECT_GT(warm, 0);
+}
+
+TEST_F(ControllerTest, SurvivesCorruptObservations) {
+  // Prediction-error injection: a broken meter reports NaN, a counter
+  // glitch reports negative, an overflow reports +inf. None of it may
+  // reach the optimizer — predictions stay finite-positive, the epoch
+  // completes, and the allocation stays feasible.
+  Controller controller(make_cloud(), EwmaPredictor(0.5, 1.0));
+  controller.start();
+  std::vector<double> observed(20, 1.0);
+  observed[3] = std::numeric_limits<double>::quiet_NaN();
+  observed[7] = -4.0;
+  observed[11] = std::numeric_limits<double>::infinity();
+  const auto report = controller.step(observed);
+  EXPECT_TRUE(std::isfinite(report.mean_drift));
+  for (const auto& c : controller.cloud().clients()) {
+    EXPECT_TRUE(std::isfinite(c.lambda_pred));
+    EXPECT_GT(c.lambda_pred, 0.0);
+  }
+  EXPECT_TRUE(model::is_feasible(controller.allocation()));
+}
+
+TEST_F(ControllerTest, DecisionsArePinnedUnderSeededDrift) {
+  // Two controllers over the same seeded drifting trace must make the
+  // same cold/warm decisions and land on bitwise-equal profits — the
+  // controller is a pure function of its observations.
+  const auto cloud = make_cloud();
+  workload::TraceParams trace_params;
+  trace_params.epochs = 6;
+  trace_params.amplitude = 0.5;
+  trace_params.noise = 0.15;
+  trace_params.spike_probability = 0.1;
+  const auto trace = workload::make_rate_trace(cloud, trace_params, 202);
+
+  Controller a(make_cloud(), HoltPredictor(0.6, 0.3, 1.0));
+  Controller b(make_cloud(), HoltPredictor(0.6, 0.3, 1.0));
+  a.start();
+  b.start();
+  int cold = 0, warm = 0;
+  for (const auto& observed : trace) {
+    const auto ra = a.step(observed);
+    const auto rb = b.step(observed);
+    EXPECT_EQ(ra.cold_start, rb.cold_start);
+    EXPECT_EQ(ra.mean_drift, rb.mean_drift);  // bitwise
+    EXPECT_EQ(ra.profit, rb.profit);          // bitwise
+    EXPECT_EQ(ra.transplant_dropped, rb.transplant_dropped);
+    (ra.cold_start ? cold : warm) += 1;
+  }
+  // The swinging trace must exercise BOTH controller branches, or this
+  // pin proves less than it claims.
+  EXPECT_GT(cold, 0);
   EXPECT_GT(warm, 0);
 }
 
