@@ -11,11 +11,15 @@
 // count it must not move across thread counts (the sharded solve is
 // bit-identical at any shard/thread count). Wall-clock speedup is
 // whatever the host really delivers — the JSON records the machine's
-// core count so a 1-core container's flat speedup reads as what it is.
+// core count, and rows running more threads than the host has cores are
+// flagged oversubscribed instead of carrying a misleading speedup.
+//
+// With --prof=1 (or CLOUDALLOC_PROF=1) the per-phase profiler table for
+// each row is printed and embedded in the JSON report.
 //
 // Flags: --clients=1000,10000,100000  --threads=1,8  --shards=8
 //        --fanout=4  --rounds=1 (local-search rounds; 0 = greedy only)
-//        --out=BENCH_alloc_scale.json
+//        --prof=0  --out=BENCH_alloc_scale.json
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -26,6 +30,8 @@
 #include "alloc/allocator.h"
 #include "bench_common.h"
 #include "common/json.h"
+#include "common/prof.h"
+#include "common/simd.h"
 
 using namespace cloudalloc;
 
@@ -39,6 +45,18 @@ std::vector<int> parse_int_list(const std::string& csv) {
   return out;
 }
 
+Json phase_table_json() {
+  JsonArray phases;
+  for (const prof::PhaseRow& r : prof::aggregate()) {
+    phases.push_back(Json(JsonObject{
+        {"zone", Json(r.name)},
+        {"count", Json(static_cast<double>(r.count))},
+        {"ms", Json(r.total_ms)},
+    }));
+  }
+  return Json(std::move(phases));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -50,12 +68,16 @@ int main(int argc, char** argv) {
   const int shards = static_cast<int>(args.get_int("shards", 8));
   const int fanout = static_cast<int>(args.get_int("fanout", 4));
   const int rounds = static_cast<int>(args.get_int("rounds", 1));
+  const bool with_prof = args.get_int("prof", 0) != 0 || prof::enabled();
   const std::string out_path = args.get("out", "BENCH_alloc_scale.json");
+  const int hw_threads = static_cast<int>(std::thread::hardware_concurrency());
+
+  if (with_prof) prof::set_enabled(true);
 
   bench::print_header("Large-population allocator scaling",
                       "sharded solve + SIMD kernels + candidate index");
   Table table({"clients", "clusters", "threads", "shards", "ms",
-               "clients_per_s", "profit"});
+               "clients_per_s", "profit", "oversub"});
 
   JsonArray rows;
   for (int clients : client_counts) {
@@ -71,18 +93,24 @@ int main(int argc, char** argv) {
       opts.cluster_fanout = fanout;
       opts.num_threads = threads;
 
+      if (with_prof) prof::reset();
       bench::Stopwatch sw;
       const auto result = alloc::ResourceAllocator(opts).run(cloud);
       const double ms = sw.seconds() * 1000.0;
       if (threads == thread_counts.front()) base_ms = ms;
       const double rate = static_cast<double>(clients) / (ms / 1000.0);
+      // More threads than the host has cores: wall clock measures
+      // scheduler churn, not scaling — flag the row and drop the speedup
+      // instead of reporting a misleading ratio.
+      const bool oversubscribed = hw_threads > 0 && threads > hw_threads;
 
       table.add_row({std::to_string(clients),
                      std::to_string(params.num_clusters),
                      std::to_string(threads), std::to_string(shards),
                      Table::num(ms, 1), Table::num(rate, 0),
-                     Table::num(result.report.final_profit, 1)});
-      rows.push_back(Json(JsonObject{
+                     Table::num(result.report.final_profit, 1),
+                     oversubscribed ? "yes" : "no"});
+      JsonObject row{
           {"clients", Json(clients)},
           {"clusters", Json(params.num_clusters)},
           {"threads", Json(threads)},
@@ -91,17 +119,28 @@ int main(int argc, char** argv) {
           {"local_search_rounds", Json(rounds)},
           {"ms", Json(ms)},
           {"clients_per_s", Json(rate)},
-          {"speedup_vs_first", Json(base_ms / ms)},
+          {"oversubscribed", Json(oversubscribed)},
+          {"speedup_vs_first",
+           oversubscribed ? Json(nullptr) : Json(base_ms / ms)},
           {"profit", Json(result.report.final_profit)},
-      }));
+      };
+      if (with_prof) {
+        row.emplace("phases", phase_table_json());
+        std::cout << "\n-- phases: clients=" << clients
+                  << " threads=" << threads << " --\n";
+        prof::print_table(std::cout);
+      }
+      rows.push_back(Json(std::move(row)));
     }
   }
   table.print(std::cout);
 
   const Json report(JsonObject{
       {"bench", Json("tab_alloc_scale")},
-      {"hardware_threads",
-       Json(static_cast<int>(std::thread::hardware_concurrency()))},
+      {"hardware_threads", Json(hw_threads)},
+      {"lane_width", Json(simd::active_width())},
+      {"shards", Json(shards)},
+      {"fanout", Json(fanout)},
       {"rows", Json(std::move(rows))},
   });
   std::ofstream out(out_path);
@@ -110,8 +149,7 @@ int main(int argc, char** argv) {
             << "\nnote: profit must be identical down each client-count "
                "block — the sharded\nsolve is bit-identical at any "
                "shard/thread count. speedup_vs_first is real\nwall clock "
-               "on this host; on a 1-core machine it stays ~1.0 and that "
-               "is the\nhonest number (hardware_threads records the "
-               "host's parallelism).\n";
+               "on this host; rows with threads > hardware_threads are "
+               "flagged\noversubscribed and carry no speedup.\n";
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "alloc/reassign.h"
 #include "alloc/server_power.h"
 #include "common/log.h"
+#include "common/prof.h"
 #include "common/rng.h"
 #include "model/alloc_state.h"
 #include "dist/parallel_eval.h"
@@ -26,10 +27,13 @@ double seconds_since(Clock::time_point start) {
 
 /// Pool for the parallel evaluation engine; null when one worker suffices
 /// (ParallelEval then runs everything inline — same results either way).
-std::unique_ptr<dist::ThreadPool> make_pool(const AllocatorOptions& options) {
+/// The pool is the process-wide shared one: online epochs and repeated
+/// solves reuse warm workers instead of spawning and joining threads per
+/// call.
+dist::ThreadPool* make_pool(const AllocatorOptions& options) {
   const int workers = dist::resolve_workers(options.num_threads);
   if (workers <= 1) return nullptr;
-  return std::make_unique<dist::ThreadPool>(workers);
+  return &dist::ThreadPool::shared(workers);
 }
 
 }  // namespace
@@ -39,9 +43,12 @@ ResourceAllocator::ResourceAllocator(AllocatorOptions options)
 
 AllocatorResult ResourceAllocator::run(const model::Cloud& cloud) const {
   Rng rng(options_.seed);
-  const auto pool = make_pool(options_);
-  const dist::ParallelEval eval(pool.get());
-  model::Allocation initial = build_initial_solution(cloud, options_, rng, eval);
+  dist::ThreadPool* pool = make_pool(options_);
+  const dist::ParallelEval eval(pool);
+  model::Allocation initial = [&] {
+    PROF_ZONE("alloc.initial");
+    return build_initial_solution(cloud, options_, rng, eval);
+  }();
   model::AllocState state(std::move(initial));
   AllocatorReport report = improve_state_impl(state, state.profit());
   return AllocatorResult{std::move(state).release(), std::move(report)};
@@ -61,8 +68,8 @@ AllocatorReport ResourceAllocator::improve_state(
 AllocatorReport ResourceAllocator::improve_state_impl(
     model::AllocState& state, double initial_profit) const {
   const auto start = Clock::now();
-  const auto pool = make_pool(options_);
-  const dist::ParallelEval eval(pool.get());
+  dist::ThreadPool* pool = make_pool(options_);
+  const dist::ParallelEval eval(pool);
   AllocatorReport report;
   report.initial_profit = initial_profit;
 
@@ -86,26 +93,31 @@ AllocatorReport ResourceAllocator::improve_state_impl(
     RoundTrace trace;
     trace.round = round;
     if (options_.enable_adjust_shares) {
+      PROF_ZONE("alloc.adjust_shares");
       trace.delta_shares = adjust_all_shares(state, options_);
       state.debug_check_invariants();
       trace.truncated = over_budget();
     }
     if (!trace.truncated && options_.enable_adjust_dispersion) {
+      PROF_ZONE("alloc.adjust_dispersion");
       trace.delta_dispersion = adjust_all_dispersions(state, options_);
       state.debug_check_invariants();
       trace.truncated = over_budget();
     }
     if (!trace.truncated) {
+      PROF_ZONE("alloc.server_power");
       trace.delta_power = adjust_server_power(state, options_);
       state.debug_check_invariants();
       trace.truncated = over_budget();
     }
     if (!trace.truncated && options_.enable_reassign) {
+      PROF_ZONE("alloc.reassign");
       trace.delta_reassign = reassign_pass_snapshot(state, options_, eval);
       state.debug_check_invariants();
       trace.truncated = over_budget();
     }
     if (!trace.truncated && options_.allow_rejection) {
+      PROF_ZONE("alloc.drop_unprofitable");
       trace.delta_reassign += drop_unprofitable_clients(state, options_);
       state.debug_check_invariants();
       trace.truncated = over_budget();

@@ -9,8 +9,10 @@
 #include "alloc/assign_distribute.h"
 #include "alloc/delta_price.h"
 #include "alloc/move_engine.h"
+#include "alloc/scratch.h"
 #include "common/check.h"
 #include "common/mathutil.h"
+#include "common/prof.h"
 #include "model/alloc_state.h"
 #include "model/residual.h"
 
@@ -87,40 +89,49 @@ double reassign_pass_snapshot(AllocState& state, const AllocatorOptions& opts,
   });
 
   // Phase 1: price every client's best move against a frozen SoA snapshot
-  // of the settled engine state. Each chunk copies the flat view (a
-  // handful of vector copies — no Allocation::clone anywhere) and probes
-  // each client by vacate/probe/restore, so every plan depends only on the
-  // snapshot — not on chunk boundaries or scheduling. Chunk size is fixed
-  // (never derived from the worker count) for the same reason. The settled
-  // ledger itself is only read (placements), which the frozen-snapshot
-  // contract allows.
+  // of the settled engine state. Each chunk leases a pooled scratch view —
+  // refreshed at most once per worker per pass instead of copied per
+  // chunk, which was the dominant allocation traffic at 100k clients — and
+  // probes each client by vacate/probe/restore; restore is bitwise-exact,
+  // so a recycled scratch is indistinguishable from a fresh copy and every
+  // plan depends only on the snapshot — not on chunk boundaries or
+  // scheduling. Chunk size is fixed (never derived from the worker count)
+  // for the same reason. The settled ledger itself is only read
+  // (placements), which the frozen-snapshot contract allows.
   double profit_now = state.profit();  // settle: reads become pure
   CHECK(ledger.profit_settled());
   const ResidualView& base = state.view();
+  const std::uint64_t stamp = ViewScratchPool::next_stamp();
   constexpr int kChunk = 16;
   std::vector<std::optional<InsertionPlan>> plans(static_cast<std::size_t>(n));
-  eval.for_chunks(n, kChunk, [&](int begin, int end) {
-    ResidualView scratch = base;
-    ResidualView::Undo undo;
-    for (int idx = begin; idx < end; ++idx) {
-      const ClientId i = order[static_cast<std::size_t>(idx)];
-      if (!ledger.is_assigned(i) && !may_insert(opts, i)) continue;
-      if (ledger.is_assigned(i)) {
-        scratch.remove_client(i, ledger.placements(i), &undo);
-        plans[static_cast<std::size_t>(idx)] =
-            best_insertion(scratch, i, opts);
-        scratch.restore(undo);
-      } else {
-        plans[static_cast<std::size_t>(idx)] =
-            best_insertion(scratch, i, opts);
+  {
+    PROF_ZONE("reassign.price");
+    eval.for_chunks(n, kChunk, [&](int begin, int end) {
+      ViewScratchPool::Lease lease =
+          ViewScratchPool::instance().acquire(base, stamp);
+      ResidualView& scratch = lease.view();
+      ResidualView::Undo undo;
+      for (int idx = begin; idx < end; ++idx) {
+        const ClientId i = order[static_cast<std::size_t>(idx)];
+        if (!ledger.is_assigned(i) && !may_insert(opts, i)) continue;
+        if (ledger.is_assigned(i)) {
+          scratch.remove_client(i, ledger.placements(i), &undo);
+          plans[static_cast<std::size_t>(idx)] =
+              best_insertion(scratch, i, opts);
+          scratch.restore(undo);
+        } else {
+          plans[static_cast<std::size_t>(idx)] =
+              best_insertion(scratch, i, opts);
+        }
       }
-    }
-  });
+    });
+  }
 
   // Phase 2: apply sequentially in the fixed order against the live
   // engine. Earlier winners may have consumed the capacity a snapshot
   // plan assumed, so re-validate the fit and fall back to a live re-price
   // when it no longer holds.
+  PROF_ZONE("reassign.apply");
   MoveEngine mover(state, opts);
   ResidualView& live = state.view();
   ResidualView::Undo undo;

@@ -6,7 +6,9 @@
 
 #include "alloc/assign_distribute.h"
 #include "alloc/move_engine.h"
+#include "alloc/scratch.h"
 #include "common/check.h"
+#include "common/prof.h"
 #include "model/alloc_state.h"
 #include "model/residual.h"
 
@@ -42,23 +44,30 @@ Allocation sharded_greedy_insert(const Allocation& base,
     const int len = std::min(kBlock, n - b0);
 
     // Freeze: settle the engine so the snapshot reads are pure, then price
-    // the whole block against it. Each shard copies the flat view (the
-    // copy drops the lazy candidate index, so concurrent shards never
-    // share mutable index state) and probes its slice; every plan is a
+    // the whole block against it. Each shard leases a pooled scratch view
+    // refreshed to this block's snapshot (never shared between concurrent
+    // shards, so the lazy candidate index stays private); every plan is a
     // pure function of the snapshot values, so neither the shard grain
     // nor the scheduling can change a single plan bit.
-    profit_now = state.profit();
-    CHECK(state.ledger().profit_settled());
-    const ResidualView& frozen = state.view();
-    plans.assign(static_cast<std::size_t>(len), std::nullopt);
-    const int grain = (len + shards - 1) / shards;
-    eval.for_chunks(len, grain, [&](int begin, int end) {
-      ResidualView scratch = frozen;
-      for (int idx = begin; idx < end; ++idx) {
-        const ClientId i = order[static_cast<std::size_t>(b0 + idx)];
-        plans[static_cast<std::size_t>(idx)] = best_insertion(scratch, i, opts);
-      }
-    });
+    {
+      PROF_ZONE("sharded.price_block");
+      profit_now = state.profit();
+      CHECK(state.ledger().profit_settled());
+      const ResidualView& frozen = state.view();
+      const std::uint64_t stamp = ViewScratchPool::next_stamp();
+      plans.assign(static_cast<std::size_t>(len), std::nullopt);
+      const int grain = (len + shards - 1) / shards;
+      eval.for_chunks(len, grain, [&](int begin, int end) {
+        ViewScratchPool::Lease lease =
+            ViewScratchPool::instance().acquire(frozen, stamp);
+        const ResidualView& scratch = lease.view();
+        for (int idx = begin; idx < end; ++idx) {
+          const ClientId i = order[static_cast<std::size_t>(b0 + idx)];
+          plans[static_cast<std::size_t>(idx)] =
+              best_insertion(scratch, i, opts);
+        }
+      });
+    }
 
     // Merge: apply sequentially in block order against the live engine.
     // Earlier merges may have consumed the capacity a snapshot plan
@@ -66,6 +75,7 @@ Allocation sharded_greedy_insert(const Allocation& base,
     // it no longer holds. Same admission rule as the sequential greedy:
     // every feasible client is served unless allow_rejection screens a
     // money-losing score.
+    PROF_ZONE("sharded.merge_block");
     for (int idx = 0; idx < len; ++idx) {
       std::optional<InsertionPlan> plan =
           std::move(plans[static_cast<std::size_t>(idx)]);

@@ -180,11 +180,12 @@ DistributedResult DistributedAllocator::run_shared_memory(
   const int K = cloud.num_clusters();
 
   // Pool-managed agents: the worker count bounds real parallelism even
-  // when K >> cores; with one worker everything runs inline.
+  // when K >> cores; with one worker everything runs inline. The shared
+  // pool keeps its workers warm across repeated runs (benches, epochs)
+  // instead of spawning and joining threads per call.
   const int workers = resolve_workers(aopts.num_threads);
-  std::unique_ptr<ThreadPool> pool =
-      workers > 1 ? std::make_unique<ThreadPool>(workers) : nullptr;
-  const ParallelEval eval(pool.get());
+  ThreadPool* pool = workers > 1 ? &ThreadPool::shared(workers) : nullptr;
+  const ParallelEval eval(pool);
 
   DistributedReport report;
 
@@ -285,10 +286,9 @@ DistributedResult DistributedAllocator::run_message_passing(
   // in the protocol — see BidRequest — and is exercised by the protocol
   // tests and the online layer, not by this batch entry point).
   const int workers = resolve_workers(aopts.num_threads);
-  std::unique_ptr<ThreadPool> pool =
-      workers > 1 ? std::make_unique<ThreadPool>(workers) : nullptr;
+  ThreadPool* pool = workers > 1 ? &ThreadPool::shared(workers) : nullptr;
   {
-    const ParallelEval eval(pool.get());
+    const ParallelEval eval(pool);
     Rng rng(aopts.seed);
     Allocation initial = alloc::build_initial_solution(cloud, aopts, rng, eval);
     const double p0 = model::profit(initial);
@@ -423,7 +423,7 @@ DistributedResult DistributedAllocator::run_message_passing(
         }
       }
       if (aopts.enable_reassign) {
-        const ParallelEval reassign_eval(pool.get());
+        const ParallelEval reassign_eval(pool);
         alloc::reassign_pass_snapshot(loop.state, aopts, reassign_eval);
       }
       loop.state.debug_check_invariants();

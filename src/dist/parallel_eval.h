@@ -18,14 +18,6 @@
 
 namespace cloudalloc::dist {
 
-/// Maps an options-level thread count to a worker count: 0 means "use the
-/// hardware concurrency", anything else is clamped to at least 1.
-inline int resolve_workers(int num_threads) {
-  if (num_threads > 0) return num_threads;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? static_cast<int>(hw) : 1;
-}
-
 class ParallelEval {
  public:
   /// Inline engine: fan-outs run on the calling thread.

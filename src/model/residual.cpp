@@ -169,8 +169,19 @@ ResidualView& ResidualView::operator=(const ResidualView& other) {
   cap_p_ = other.cap_p_;
   marg_ = other.marg_;
   contig_base_ = other.contig_base_;
-  // Drop, don't copy, the index: rebuilt lazily (see the header).
-  index_.assign(other.index_.size(), ClusterIndex{});
+  // Drop, don't copy, the index: rebuilt lazily (see the header). Reset in
+  // place rather than assign() so a reused scratch view keeps its bucket
+  // vector capacity across refreshes — build_index then allocates nothing.
+  index_.resize(other.index_.size());
+  for (ClusterIndex& ix : index_) {
+    ix.built = false;
+    ix.unsorted = 0;
+    for (auto& bucket : ix.buckets) bucket.clear();
+    ix.prefix.clear();
+    ix.prefix_buckets = 0;
+    ix.dirty.clear();
+    ix.inv_scale = 0.0;
+  }
   bucket_of_.assign(other.bucket_of_.size(), 0);
   dirty_flag_.assign(other.dirty_flag_.size(), 0);
   return *this;

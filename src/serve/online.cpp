@@ -7,6 +7,7 @@
 #include "alloc/delta_price.h"
 #include "alloc/move_engine.h"
 #include "common/check.h"
+#include "common/prof.h"
 
 namespace cloudalloc::serve {
 namespace {
@@ -61,6 +62,7 @@ void OnlineServer::refresh_serving_mask() {
 }
 
 alloc::AllocatorReport OnlineServer::full_solve() {
+  PROF_ZONE("serve.full_solve");
   AllocatorOptions cold = options_.alloc;
   cold.insertable = &present_;
   cold.migration_cost = 0.0;  // batch plans redirect no live traffic
@@ -180,6 +182,7 @@ void OnlineServer::apply_event(const workload::ChurnEvent& event,
 
 EpochStats OnlineServer::step(const std::vector<workload::ChurnEvent>& events) {
   CHECK_MSG(epoch_ >= 1, "call start() first");
+  PROF_ZONE("serve.step");
   const auto t0 = Clock::now();
   EpochStats stats;
   stats.epoch = epoch_;
@@ -201,6 +204,7 @@ EpochStats OnlineServer::step(const std::vector<workload::ChurnEvent>& events) {
   }
 
   {
+    PROF_ZONE("serve.apply_events");
     const AllocatorOptions event_opts = options_.alloc;
     MoveEngine engine(*state_, event_opts);
     double profit_now = state_->profit();
@@ -222,6 +226,7 @@ EpochStats OnlineServer::step(const std::vector<workload::ChurnEvent>& events) {
     stats.full_resolve = true;
     stats.rounds_run = report.rounds_run;
   } else {
+    PROF_ZONE("serve.warm_repair");
     AllocatorOptions warm = options_.alloc;
     warm.insertable = &admitted_;
     warm.max_local_search_rounds = options_.repair_rounds;

@@ -35,8 +35,8 @@ ReplicationReport run_replications(const model::Allocation& alloc,
     runs[static_cast<std::size_t>(r)] = simulate_allocation(alloc, sopts);
   };
   if (opts.num_threads > 1) {
-    dist::ThreadPool pool(std::min(opts.num_threads, R));
-    pool.parallel_for(R, run_one);
+    dist::ThreadPool::shared(std::min(opts.num_threads, R))
+        .parallel_for(R, run_one);
   } else {
     for (int r = 0; r < R; ++r) run_one(r);
   }

@@ -1,0 +1,124 @@
+#include "common/arena.h"
+
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cloudalloc::common {
+namespace {
+
+bool aligned_to(const void* p, std::size_t align) {
+  return (reinterpret_cast<std::uintptr_t>(p) & (align - 1)) == 0;
+}
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint) {
+  Arena arena;
+  char* a = static_cast<char*>(arena.allocate(13, 1));
+  double* d = static_cast<double*>(arena.allocate(sizeof(double), alignof(double)));
+  char* b = static_cast<char*>(arena.allocate(40, 64));
+  EXPECT_TRUE(aligned_to(d, alignof(double)));
+  EXPECT_TRUE(aligned_to(b, 64));
+  // Distinct live blocks never overlap: write patterns and read them back.
+  std::memset(a, 0xaa, 13);
+  *d = 1.5;
+  std::memset(b, 0xbb, 40);
+  for (int i = 0; i < 13; ++i) EXPECT_EQ(static_cast<unsigned char>(a[i]), 0xaa);
+  EXPECT_EQ(*d, 1.5);
+  for (int i = 0; i < 40; ++i) EXPECT_EQ(static_cast<unsigned char>(b[i]), 0xbb);
+}
+
+TEST(Arena, ZeroByteAllocationReturnsUniquePointers) {
+  Arena arena;
+  void* a = arena.allocate(0);
+  void* b = arena.allocate(0);
+  EXPECT_NE(a, nullptr);
+  EXPECT_NE(a, b);
+}
+
+TEST(Arena, ResetRecyclesPagesWithoutNewReservation) {
+  Arena arena(1 << 10);
+  // Force a multi-page chain, then verify the same footprint absorbs the
+  // same traffic after reset() — steady state must not grow the arena.
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 200; ++i) arena.allocate(256, 16);
+    if (round == 0) continue;
+    arena.reset();
+  }
+  arena.reset();
+  const std::size_t reserved = arena.bytes_reserved();
+  EXPECT_GT(reserved, 0u);
+  for (int round = 0; round < 8; ++round) {
+    for (int i = 0; i < 200; ++i) arena.allocate(256, 16);
+    arena.reset();
+    EXPECT_EQ(arena.bytes_reserved(), reserved);
+  }
+  EXPECT_EQ(arena.bytes_used(), 0u);
+}
+
+TEST(Arena, OversizedRequestGetsItsOwnPage) {
+  Arena arena(1 << 10);
+  void* small = arena.allocate(64);
+  void* big = arena.allocate(1 << 20);  // far larger than the bump page
+  EXPECT_NE(small, nullptr);
+  EXPECT_NE(big, nullptr);
+  std::memset(big, 0xcd, 1 << 20);
+  EXPECT_GE(arena.bytes_reserved(), std::size_t{1} << 20);
+}
+
+TEST(Arena, FrameRewindsExactlyWhenNoPageChained) {
+  Arena arena;
+  arena.allocate(64);  // settle the first page
+  const std::size_t before = arena.bytes_used();
+  {
+    Arena::Frame frame(arena);
+    arena.allocate(128);
+    arena.allocate(32);
+    EXPECT_GT(arena.bytes_used(), before);
+  }
+  EXPECT_EQ(arena.bytes_used(), before);
+  // The rewound bytes are handed out again.
+  void* again = arena.allocate(128);
+  EXPECT_NE(again, nullptr);
+}
+
+TEST(Arena, MoveTransfersOwnership) {
+  Arena arena;
+  int* xs = arena.make_array<int>(100);
+  for (int i = 0; i < 100; ++i) xs[i] = i;
+  Arena stolen = std::move(arena);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(xs[i], i);
+  EXPECT_GT(stolen.bytes_reserved(), 0u);
+}
+
+TEST(Arena, MakeArrayValueInitializes) {
+  Arena arena;
+  const int* xs = arena.make_array<int>(1000);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(xs[i], 0);
+}
+
+TEST(ArenaVector, PushBackGrowsAndKeepsContents) {
+  Arena arena;
+  ArenaVector<int> v(arena);
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  ASSERT_EQ(v.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(v[static_cast<std::size_t>(i)], i);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_GE(v.capacity(), 1000u);  // capacity survives clear()
+}
+
+TEST(ArenaVector, ResizeValueInitializesNewTail) {
+  Arena arena;
+  ArenaVector<int> v(arena);
+  v.push_back(7);
+  v.resize(10);
+  ASSERT_EQ(v.size(), 10u);
+  EXPECT_EQ(v[0], 7);
+  for (std::size_t i = 1; i < 10; ++i) EXPECT_EQ(v[i], 0);
+}
+
+}  // namespace
+}  // namespace cloudalloc::common

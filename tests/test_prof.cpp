@@ -1,0 +1,135 @@
+#include "common/prof.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "dist/thread_pool.h"
+
+namespace cloudalloc::prof {
+namespace {
+
+/// Zones compare names by pointer, so tests share literal constants.
+constexpr const char* kZoneA = "test.zone_a";
+constexpr const char* kZoneB = "test.zone_b";
+
+class ProfTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(true);
+    reset();
+  }
+  void TearDown() override {
+    set_enabled(false);
+    reset();
+  }
+};
+
+const PhaseRow* find_row(const std::vector<PhaseRow>& rows, const char* name) {
+  for (const PhaseRow& r : rows)
+    if (r.name == name) return &r;
+  return nullptr;
+}
+
+TEST_F(ProfTest, DisabledZonesRecordNothing) {
+  set_enabled(false);
+  { Zone zone(kZoneA); }
+  const auto rows = aggregate();
+  EXPECT_EQ(find_row(rows, kZoneA), nullptr);
+}
+
+TEST_F(ProfTest, ZonesAggregateCountAndTime) {
+  for (int i = 0; i < 10; ++i) {
+    Zone zone(kZoneA);
+  }
+  {
+    Zone zone(kZoneB);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const auto rows = aggregate();
+  const PhaseRow* a = find_row(rows, kZoneA);
+  const PhaseRow* b = find_row(rows, kZoneB);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(a->count, 10);
+  EXPECT_EQ(b->count, 1);
+  EXPECT_GE(b->total_ms, 1.0);
+  // Sorted by total time descending: the slept zone leads.
+  EXPECT_EQ(rows.front().name, kZoneB);
+}
+
+TEST_F(ProfTest, MacroAndNestingWork) {
+  {
+    PROF_ZONE(kZoneA);
+    PROF_ZONE(kZoneB);  // nested in the same scope: distinct zones
+  }
+  const auto rows = aggregate();
+  EXPECT_NE(find_row(rows, kZoneA), nullptr);
+  EXPECT_NE(find_row(rows, kZoneB), nullptr);
+}
+
+TEST_F(ProfTest, ResetClearsAggregates) {
+  { Zone zone(kZoneA); }
+  const auto before = aggregate();
+  ASSERT_NE(find_row(before, kZoneA), nullptr);
+  reset();
+  const auto after = aggregate();
+  EXPECT_EQ(find_row(after, kZoneA), nullptr);
+}
+
+TEST_F(ProfTest, WorkerThreadZonesAreMerged) {
+  dist::ThreadPool pool(3);
+  pool.parallel_for(50, [](int) { Zone zone(kZoneA); });
+  pool.shutdown();
+  const auto rows = aggregate();
+  const PhaseRow* a = find_row(rows, kZoneA);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->count, 50);
+}
+
+TEST_F(ProfTest, RingWrapKeepsAggregatesExact) {
+  // Far more events than the per-thread ring holds: the trace drops the
+  // oldest, but the per-phase accumulators must stay exact.
+  constexpr int kEvents = (1 << 16) + 5000;
+  for (int i = 0; i < kEvents; ++i) {
+    Zone zone(kZoneA);
+  }
+  const auto rows = aggregate();
+  const PhaseRow* a = find_row(rows, kZoneA);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->count, kEvents);
+}
+
+TEST_F(ProfTest, PrintTableListsEveryZone) {
+  { Zone zone(kZoneA); }
+  { Zone zone(kZoneB); }
+  std::ostringstream os;
+  print_table(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("test.zone_a"), std::string::npos);
+  EXPECT_NE(out.find("test.zone_b"), std::string::npos);
+  EXPECT_NE(out.find("count"), std::string::npos);
+}
+
+TEST_F(ProfTest, ChromeTraceDumpIsWellFormedJson) {
+  { Zone zone(kZoneA); }
+  const std::string path = ::testing::TempDir() + "prof_trace_test.json";
+  ASSERT_TRUE(dump_chrome_trace(path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("test.zone_a"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cloudalloc::prof

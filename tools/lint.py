@@ -30,6 +30,15 @@ against (see DESIGN.md section 11 for the rule -> bug-class table):
                  `vector_size` type elsewhere silently forks that
                  contract — kernels written against it stop being
                  bitwise-reproducible across lane widths.
+  raw-thread     `std::thread`/`std::jthread`/`std::async` outside
+                 src/dist/. The work-stealing pool (dist/thread_pool.h)
+                 is the one sanctioned execution backend: it carries
+                 the determinism contract, the drain-before-rethrow
+                 exception contract, and the shared-pool reuse that
+                 keeps epochs from paying thread spawn/join. An ad-hoc
+                 thread elsewhere forks all three and is invisible to
+                 the TSan sweep's scheduler stress. Tests may spawn
+                 threads to exercise concurrency from the outside.
 
 A finding can be waived on its line with `// lint: allow(<rule>)` and a
 justification; the waiver is part of the diff and shows up in review.
@@ -50,6 +59,7 @@ SCAN_DIRS = ("src", "bench", "examples", "tests")
 # Files allowed to allocate directly: the pool implementations.
 POOL_FILES = {
     "src/sim/request_pool.h",
+    "src/common/arena.h",
 }
 
 # std::function is banned here: the simulator core and the allocator's
@@ -68,6 +78,9 @@ TEST_PREFIXES = ("tests/",)
 # The only home for SIMD lane types and intrinsics (see common/simd.h).
 SIMD_HOME_PREFIXES = ("src/common/",)
 
+# The only home for raw thread spawning (see dist/thread_pool.h).
+THREAD_HOME_PREFIXES = ("src/dist/",)
+
 ALLOW_RE = re.compile(r"//\s*lint:\s*allow\((?P<rule>[a-z-]+)\)")
 
 NAKED_NEW_RE = re.compile(r"(?:^|[^:_\w.])new\s+[A-Za-z_(]|\bmalloc\s*\(")
@@ -76,6 +89,9 @@ BARE_ASSERT_RE = re.compile(r"(?:^|[^_\w.])assert\s*\(")
 RAW_INTRINSICS_RE = re.compile(
     r"immintrin\.h|\b_mm\d*_\w+|__m(?:128|256|512)[id]?\b"
     r"|__builtin_ia32_\w+|\bvector_size\b")
+# std::thread spawns; the lookahead spares std::thread::hardware_concurrency
+# (a query, not a spawn).
+RAW_THREAD_RE = re.compile(r"\bstd::j?thread\b(?!::)|\bstd::async\s*\(")
 
 
 def strip_noncode(line: str) -> str:
@@ -158,6 +174,12 @@ def scan_file(root: pathlib.Path, rel: str) -> list[str]:
                    "raw intrinsics / vector extensions outside "
                    "src/common/; write kernels against common/simd.h so "
                    "the bit-identity contract holds")
+        if not is_test and not rel.startswith(THREAD_HOME_PREFIXES) and \
+                RAW_THREAD_RE.search(code):
+            report("raw-thread",
+                   "ad-hoc thread spawn outside src/dist/; run work "
+                   "through dist::ThreadPool (shared() for repeated "
+                   "solves) so determinism and exception contracts hold")
     return findings
 
 
