@@ -23,6 +23,8 @@ Allocation greedy_insert(const Allocation& base,
   // One state copy per greedy start (a documented engine boundary); every
   // insertion probe below runs against the engine view, and committed
   // insertions go through the engine so the view tracks the ledger.
+  // analyze: allow(allocation-copy) -- greedy-base boundary: one copy per
+  // greedy start seeds a private engine state (DESIGN.md section 9).
   model::AllocState state{base.clone()};
   for (ClientId i : order) {
     CHECK(!state.ledger().is_assigned(i));

@@ -30,10 +30,10 @@
 #include <cstdint>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "common/sync.h"
 #include "model/residual.h"
 
 namespace cloudalloc::alloc {
@@ -81,7 +81,7 @@ class ViewScratchPool {
     std::size_t index = 0;
     bool fresh = false;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      sync::MutexLock lock(mutex_);
       // Prefer a slot already holding this snapshot (zero-copy path).
       for (std::size_t s = 0; s < slots_.size(); ++s) {
         if (!slots_[s]->in_use && slots_[s]->stamp == stamp) {
@@ -139,13 +139,17 @@ class ViewScratchPool {
   };
 
   void release(std::size_t index, bool poison) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::MutexLock lock(mutex_);
     if (poison) slots_[index]->stamp = 0;
     slots_[index]->in_use = false;
   }
 
-  std::mutex mutex_;
-  std::vector<std::unique_ptr<Slot>> slots_;
+  sync::Mutex mutex_;
+  /// Slot headers (stamp/in_use) are mutated only under mutex_; the view
+  /// payload of an acquired slot is deliberately refreshed OUTSIDE the
+  /// lock (in_use marks exclusive ownership), which is why the guard sits
+  /// on the vector, not inside Slot.
+  std::vector<std::unique_ptr<Slot>> slots_ GUARDED_BY(mutex_);
 };
 
 }  // namespace cloudalloc::alloc

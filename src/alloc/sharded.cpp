@@ -33,6 +33,8 @@ Allocation sharded_greedy_insert(const Allocation& base,
                                  const std::vector<ClientId>& order,
                                  const AllocatorOptions& opts,
                                  const dist::ParallelEval& eval) {
+  // analyze: allow(allocation-copy) -- greedy-base boundary: the sharded
+  // solve's settled state starts as one private copy of the base.
   model::AllocState state{base.clone()};
   MoveEngine mover(state, opts);
   const int shards = std::max(1, opts.num_shards);

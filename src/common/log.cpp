@@ -2,13 +2,16 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/sync.h"
 
 namespace cloudalloc {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_mutex;
+/// Serializes whole log lines onto stderr (no guarded data — the
+/// protected resource is the stream itself).
+sync::Mutex g_mutex;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -31,7 +34,7 @@ LogLevel log_level() { return g_level.load(); }
 
 namespace internal {
 void log_line(LogLevel level, const std::string& msg) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  sync::MutexLock lock(g_mutex);
   std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
 }
 }  // namespace internal

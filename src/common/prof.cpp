@@ -5,11 +5,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 #include <ostream>
 #include <thread>
 
 #include "common/arena.h"
+#include "common/sync.h"
 
 namespace cloudalloc::prof {
 namespace internal {
@@ -58,8 +58,13 @@ namespace {
 std::atomic<bool> g_enabled{false};
 std::once_flag g_env_once;
 
-std::mutex g_registry_mutex;
-std::vector<ThreadLog*>& registry() {
+sync::Mutex g_registry_mutex;
+
+/// The per-thread log registry. Annotated REQUIRES: every caller must
+/// hold g_registry_mutex, which clang -Wthread-safety enforces even
+/// though the vector itself is a function-local static (GUARDED_BY is
+/// not grammatical there).
+std::vector<ThreadLog*>& registry() REQUIRES(g_registry_mutex) {
   static std::vector<ThreadLog*> logs;
   return logs;
 }
@@ -68,7 +73,7 @@ ThreadLog* make_thread_log() {
   // Never freed (see the header): workers outlive solves, and the
   // aggregate must keep seeing rows after a thread exits.
   static common::Arena g_log_arena;
-  std::lock_guard<std::mutex> lock(g_registry_mutex);
+  sync::MutexLock lock(g_registry_mutex);
   auto* log = static_cast<ThreadLog*>(
       g_log_arena.allocate(sizeof(ThreadLog), alignof(ThreadLog)));
   ::new (static_cast<void*>(log)) ThreadLog();
@@ -125,14 +130,14 @@ void set_enabled(bool on) {
 }
 
 void reset() {
-  std::lock_guard<std::mutex> lock(internal::g_registry_mutex);
+  sync::MutexLock lock(internal::g_registry_mutex);
   for (internal::ThreadLog* log : internal::registry()) log->clear();
 }
 
 std::vector<PhaseRow> aggregate() {
   std::vector<PhaseRow> rows;
   {
-    std::lock_guard<std::mutex> lock(internal::g_registry_mutex);
+    sync::MutexLock lock(internal::g_registry_mutex);
     for (const internal::ThreadLog* log : internal::registry()) {
       for (const internal::Accum& a : log->accums) {
         PhaseRow* row = nullptr;
@@ -181,7 +186,7 @@ bool dump_chrome_trace(const std::string& path) {
   std::fputs("{\"traceEvents\":[", f);
   bool first = true;
   {
-    std::lock_guard<std::mutex> lock(internal::g_registry_mutex);
+    sync::MutexLock lock(internal::g_registry_mutex);
     for (const internal::ThreadLog* log : internal::registry()) {
       const std::size_t n = log->filled;
       const std::size_t start =

@@ -1,0 +1,138 @@
+// Annotated synchronization primitives: the one sanctioned home for raw
+// std::mutex / std::condition_variable in this codebase (enforced by the
+// analyzer's naked-mutex rule, tools/analyze).
+//
+// The wrappers carry Clang Thread Safety Analysis capability attributes,
+// so lock discipline becomes a compile-time contract under
+// `clang++ -Wthread-safety` (a dedicated CI job builds the whole tree
+// with -Werror=thread-safety): a field declared GUARDED_BY(mu) cannot be
+// read or written without holding mu, a function declared REQUIRES(mu)
+// cannot be called without it, and a MutexLock cannot be forgotten on an
+// early return. Under GCC (the default local toolchain) every attribute
+// expands to nothing and the wrappers compile to exactly the std
+// primitives they hold — zero runtime or layout cost either way.
+//
+// Condition-variable discipline: CondVar::wait deliberately has no
+// predicate overload. std::condition_variable's predicate callback is
+// invisible to the analysis (the lambda reads guarded fields but the
+// analyzer cannot see that the lock is held inside the callee), so
+// call sites spell the standard loop instead:
+//
+//   sync::MutexLock lock(mutex_);
+//   while (!ready_) cv_.wait(lock);   // ready_ GUARDED_BY(mutex_): checked
+//
+// which keeps every guarded read inside a scope the analysis understands.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+// Attribute plumbing. __has_attribute guards against clang versions that
+// predate a given spelling; non-clang compilers get empty expansions.
+#if defined(__clang__) && defined(__has_attribute)
+#define CLOUDALLOC_TSA(x) __attribute__((x))
+#else
+#define CLOUDALLOC_TSA(x)  // not clang: annotations vanish
+#endif
+
+/// A type that is a lockable capability (mutexes).
+#define CAPABILITY(x) CLOUDALLOC_TSA(capability(x))
+/// RAII type that acquires a capability in its constructor and releases
+/// it in its destructor.
+#define SCOPED_CAPABILITY CLOUDALLOC_TSA(scoped_lockable)
+/// Data member readable/writable only while holding the given capability.
+#define GUARDED_BY(x) CLOUDALLOC_TSA(guarded_by(x))
+/// Pointer member whose pointee is protected by the given capability.
+#define PT_GUARDED_BY(x) CLOUDALLOC_TSA(pt_guarded_by(x))
+/// Function that may only be called while holding the capabilities.
+#define REQUIRES(...) CLOUDALLOC_TSA(requires_capability(__VA_ARGS__))
+/// Function that acquires the capabilities and does not release them.
+#define ACQUIRE(...) CLOUDALLOC_TSA(acquire_capability(__VA_ARGS__))
+/// Function that releases held capabilities.
+#define RELEASE(...) CLOUDALLOC_TSA(release_capability(__VA_ARGS__))
+/// Function that acquires the capability iff it returns `result`.
+#define TRY_ACQUIRE(result, ...) \
+  CLOUDALLOC_TSA(try_acquire_capability(result, __VA_ARGS__))
+/// Function that must NOT be called while holding the capabilities
+/// (deadlock prevention for self-locking methods).
+#define EXCLUDES(...) CLOUDALLOC_TSA(locks_excluded(__VA_ARGS__))
+/// Declaration order constraint between two mutexes.
+#define ACQUIRED_BEFORE(...) CLOUDALLOC_TSA(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) CLOUDALLOC_TSA(acquired_after(__VA_ARGS__))
+/// Escape hatch for functions the analysis cannot follow. Every use needs
+/// a comment justifying why the discipline holds anyway.
+#define NO_THREAD_SAFETY_ANALYSIS CLOUDALLOC_TSA(no_thread_safety_analysis)
+
+namespace cloudalloc::sync {
+
+class CondVar;
+
+/// std::mutex as a named capability. Prefer MutexLock over manual
+/// lock()/unlock() pairs; the manual entry points exist for the rare
+/// split-scope pattern and stay annotated so misuse is still caught.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex mu_;
+};
+
+/// RAII lock over a sync::Mutex. Holds a std::unique_lock internally so
+/// CondVar can wait on it; the capability is considered held for the
+/// whole lifetime (CondVar::wait re-acquires before returning, so the
+/// contract the analysis assumes is exactly the contract the code has).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lock_(mu.mu_) {}
+  // Empty body, not `= default`: attributes are not grammatical on a
+  // defaulted definition. The unique_lock member unlocks after the body.
+  ~MutexLock() RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable bound to sync::Mutex via MutexLock. No predicate
+/// overloads by design — see the file comment.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  template <typename Clock, typename Duration>
+  std::cv_status wait_until(
+      MutexLock& lock,
+      const std::chrono::time_point<Clock, Duration>& deadline) {
+    return cv_.wait_until(lock.lock_, deadline);
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(MutexLock& lock,
+                          const std::chrono::duration<Rep, Period>& timeout) {
+    return cv_.wait_for(lock.lock_, timeout);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace cloudalloc::sync

@@ -25,6 +25,8 @@ protocol::ClusterImprovement ClusterAgent::improve(
   // Private engine copy at the snapshot boundary: the one Allocation copy
   // per agent per round that the message-passing model inherently needs
   // (the snapshot is shared read-only across agents).
+  // analyze: allow(allocation-copy) -- agent-snapshot boundary (see the
+  // comment above: the one sanctioned copy per agent round).
   model::AllocState local(snapshot.clone());
   const double before = local.profit();
 

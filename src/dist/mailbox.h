@@ -9,13 +9,17 @@
 // counts successful enqueues only and is the single source of truth for
 // message accounting (DistributedReport::messages sums it per channel —
 // there is no hand-computed estimate anywhere).
+//
+// Lock discipline is a compile-time contract: every field is GUARDED_BY
+// mutex_ and clang -Wthread-safety rejects any access outside a
+// sync::MutexLock scope (see common/sync.h).
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
+
+#include "common/sync.h"
 
 namespace cloudalloc::dist {
 
@@ -26,7 +30,7 @@ class Mailbox {
   /// closed. Do not ignore the result — see the header comment.
   [[nodiscard]] bool send(T message) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      sync::MutexLock lock(mutex_);
       if (closed_) return false;
       queue_.push_back(std::move(message));
       ++sent_;
@@ -38,8 +42,8 @@ class Mailbox {
   /// Blocks until a message arrives or the mailbox closes; nullopt only
   /// when closed AND drained.
   std::optional<T> receive() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+    sync::MutexLock lock(mutex_);
+    while (!closed_ && queue_.empty()) cv_.wait(lock);
     return take_locked();
   }
 
@@ -49,45 +53,47 @@ class Mailbox {
   /// already queued is returned immediately regardless of timeout.
   template <typename Rep, typename Period>
   std::optional<T> receive_for(std::chrono::duration<Rep, Period> timeout) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait_for(lock, timeout,
-                 [this] { return closed_ || !queue_.empty(); });
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    sync::MutexLock lock(mutex_);
+    while (!closed_ && queue_.empty()) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+    }
     return take_locked();
   }
 
   void close() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      sync::MutexLock lock(mutex_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::MutexLock lock(mutex_);
     return closed_;
   }
 
   /// Total successful sends ever (the "limited communication" the paper
   /// trades for the K-fold speedup; summed into DistributedReport).
   std::size_t messages_sent() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    sync::MutexLock lock(mutex_);
     return sent_;
   }
 
  private:
-  std::optional<T> take_locked() {
+  std::optional<T> take_locked() REQUIRES(mutex_) {
     if (queue_.empty()) return std::nullopt;
     T message = std::move(queue_.front());
     queue_.pop_front();
     return message;
   }
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<T> queue_;
-  std::size_t sent_ = 0;
-  bool closed_ = false;
+  mutable sync::Mutex mutex_;
+  sync::CondVar cv_;
+  std::deque<T> queue_ GUARDED_BY(mutex_);
+  std::size_t sent_ GUARDED_BY(mutex_) = 0;
+  bool closed_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace cloudalloc::dist

@@ -51,9 +51,9 @@ struct ThreadPool::Batch {
       : remaining(tasks), errors(static_cast<std::size_t>(tasks)) {}
   std::atomic<int> remaining;
   std::vector<std::exception_ptr> errors;  ///< slot-indexed, write-once
-  std::mutex mutex;
-  std::condition_variable cv;
-  bool done = false;  ///< guarded by mutex — the ONLY completion signal
+  sync::Mutex mutex;
+  sync::CondVar cv;
+  bool done GUARDED_BY(mutex) = false;  ///< the ONLY completion signal
 
   void finish_one() {
     if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -62,14 +62,14 @@ struct ThreadPool::Batch {
       // therefore see done==true only after this critical section ends,
       // at which point the finisher never touches the batch again: the
       // stack Batch cannot be destroyed under a live notify or wait.
-      std::lock_guard<std::mutex> lock(mutex);
+      sync::MutexLock lock(mutex);
       done = true;
       cv.notify_all();
     }
   }
 
   bool is_done() {
-    std::lock_guard<std::mutex> lock(mutex);
+    sync::MutexLock lock(mutex);
     return done;
   }
 };
@@ -110,7 +110,7 @@ ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    sync::MutexLock lock(sleep_mutex_);
     if (stopping_.load(std::memory_order_relaxed) && threads_.empty())
       return;  // already shut down
     stopping_.store(true, std::memory_order_relaxed);
@@ -123,15 +123,16 @@ void ThreadPool::shutdown() {
 
 ThreadPool& ThreadPool::shared(int workers) {
   CHECK(workers >= 1);
-  static std::mutex mutex;
+  static sync::Mutex mutex;
   static std::map<int, std::unique_ptr<ThreadPool>>& pools =
-      *new std::map<int, std::unique_ptr<ThreadPool>>();  // lint: allow(naked-new)
+      // lint: allow(naked-new)
+      *new std::map<int, std::unique_ptr<ThreadPool>>();
   // Intentionally leaked registry: shared pools must outlive every static
   // whose destructor might still fan out, so they are reclaimed by the OS
   // at process exit rather than by a destruction-order lottery. Workers
   // sleep when idle; leaking them costs file-descriptor-free parked
   // threads, not CPU.
-  std::lock_guard<std::mutex> lock(mutex);
+  sync::MutexLock lock(mutex);
   std::unique_ptr<ThreadPool>& slot = pools[workers];
   if (slot == nullptr) slot = std::make_unique<ThreadPool>(workers);
   return *slot;
@@ -149,7 +150,7 @@ void ThreadPool::enqueue(const Task& task, int self) {
                       deques_.size();
   Deque& dq = *deques_[target];
   {
-    std::lock_guard<std::mutex> lock(dq.mutex);
+    sync::MutexLock lock(dq.mutex);
     if (!dq.push(task)) dq.grow_and_push(task);
   }
   pending_.fetch_add(1, std::memory_order_release);
@@ -164,7 +165,7 @@ bool ThreadPool::try_run_one(int self) {
     Task task;
     bool got = false;
     {
-      std::lock_guard<std::mutex> lock(own.mutex);
+      sync::MutexLock lock(own.mutex);
       if (own.tail != own.head) {
         --own.tail;
         task = own.ring[own.tail & (own.capacity - 1)];
@@ -187,7 +188,7 @@ bool ThreadPool::try_run_one(int self) {
     Task task;
     bool got = false;
     {
-      std::lock_guard<std::mutex> lock(victim.mutex);
+      sync::MutexLock lock(victim.mutex);
       if (victim.tail != victim.head) {
         task = victim.ring[victim.head & (victim.capacity - 1)];
         ++victim.head;
@@ -230,14 +231,13 @@ void ThreadPool::worker_loop(int self) {
   t_worker = WorkerIdentity{this, self};
   for (;;) {
     if (try_run_one(self)) continue;
-    std::unique_lock<std::mutex> lock(sleep_mutex_);
-    if (stopping_.load(std::memory_order_relaxed) &&
-        pending_.load(std::memory_order_acquire) == 0)
-      return;
-    sleep_cv_.wait(lock, [this] {
-      return stopping_.load(std::memory_order_relaxed) ||
-             pending_.load(std::memory_order_acquire) > 0;
-    });
+    sync::MutexLock lock(sleep_mutex_);
+    // Wake conditions live in atomics (stopping_/pending_), not guarded
+    // state; the mutex only serializes the sleep/notify handshake. The
+    // wait loop is spelled out so every check is analysis-visible.
+    while (!(stopping_.load(std::memory_order_relaxed) ||
+             pending_.load(std::memory_order_acquire) > 0))
+      sleep_cv_.wait(lock);
     if (stopping_.load(std::memory_order_relaxed) &&
         pending_.load(std::memory_order_acquire) == 0)
       return;
@@ -253,8 +253,8 @@ void ThreadPool::help_until_done(Batch& batch, int self) {
     if (try_run_one(self)) continue;
     // Nothing stealable anywhere: the batch's stragglers are in flight on
     // other threads. Park until the last finisher signals done.
-    std::unique_lock<std::mutex> lock(batch.mutex);
-    batch.cv.wait(lock, [&batch] { return batch.done; });
+    sync::MutexLock lock(batch.mutex);
+    while (!batch.done) batch.cv.wait(lock);
     return;
   }
 }

@@ -27,15 +27,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/arena.h"
+#include "common/sync.h"
 
 namespace cloudalloc::dist {
 
@@ -97,16 +96,20 @@ class ThreadPool {
 
   /// Per-worker deque: a mutex-guarded ring of Task records whose storage
   /// grows from the worker's arena. Owner end = tail, thief end = head.
+  /// Every field — including the arena the ring grows from — is touched
+  /// only under `mutex`, and the annotations make that a compile-time
+  /// contract under clang -Wthread-safety.
   struct Deque {
-    std::mutex mutex;
-    common::Arena arena;
-    Task* ring = nullptr;
-    std::size_t capacity = 0;  ///< power of two
-    std::size_t head = 0;      ///< steal end (FIFO)
-    std::size_t tail = 0;      ///< owner end (LIFO)
+    sync::Mutex mutex;
+    common::Arena arena GUARDED_BY(mutex);
+    Task* ring GUARDED_BY(mutex) = nullptr;
+    std::size_t capacity GUARDED_BY(mutex) = 0;  ///< power of two
+    std::size_t head GUARDED_BY(mutex) = 0;      ///< steal end (FIFO)
+    std::size_t tail GUARDED_BY(mutex) = 0;      ///< owner end (LIFO)
 
-    bool push(const Task& task);       // false when ring must grow first
-    void grow_and_push(const Task& task);
+    // false when ring must grow first
+    bool push(const Task& task) REQUIRES(mutex);
+    void grow_and_push(const Task& task) REQUIRES(mutex);
   };
 
   void worker_loop(int self);
@@ -123,8 +126,8 @@ class ThreadPool {
   std::atomic<int> pending_{0};  ///< tasks enqueued and not yet taken
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint32_t> scatter_{0};  ///< external-push round robin
-  std::mutex sleep_mutex_;
-  std::condition_variable sleep_cv_;
+  sync::Mutex sleep_mutex_;
+  sync::CondVar sleep_cv_;
 };
 
 /// Maps an options-level thread count to a worker count: 0 means "use the

@@ -20,7 +20,7 @@ bool ChannelTransport::send_to_agent(int k, std::string bytes) {
   const std::size_t n = bytes.size();
   if (!agent_inbox_[static_cast<std::size_t>(k)]->send(std::move(bytes)))
     return false;
-  std::lock_guard<std::mutex> lock(bytes_mutex_);
+  sync::MutexLock lock(bytes_mutex_);
   bytes_ += n;
   return true;
 }
@@ -30,7 +30,7 @@ bool ChannelTransport::send_to_manager(int k, std::string bytes) {
   const std::size_t n = bytes.size();
   if (!manager_inbox_.send(ManagerEnvelope{k, std::move(bytes)}))
     return false;
-  std::lock_guard<std::mutex> lock(bytes_mutex_);
+  sync::MutexLock lock(bytes_mutex_);
   bytes_ += n;
   return true;
 }
@@ -62,7 +62,7 @@ TransportStats ChannelTransport::stats() const {
   // messages_sent() of the channels is the single source of truth.
   for (const auto& box : agent_inbox_) s.messages += box->messages_sent();
   s.messages += manager_inbox_.messages_sent();
-  std::lock_guard<std::mutex> lock(bytes_mutex_);
+  sync::MutexLock lock(bytes_mutex_);
   s.bytes = bytes_;
   return s;
 }
@@ -111,13 +111,13 @@ bool FaultyTransport::ship(Lane& lane, std::string bytes,
   bool ok = true;
   switch (fate) {
     case Fate::kDrop: {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
+      sync::MutexLock lock(stats_mutex_);
       ++local_.dropped;
       break;  // sender still sees success
     }
     case Fate::kDuplicate: {
       {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        sync::MutexLock lock(stats_mutex_);
         ++local_.duplicated;
       }
       ok = deliver(bytes);
@@ -126,7 +126,7 @@ bool FaultyTransport::ship(Lane& lane, std::string bytes,
     }
     case Fate::kDelay: {
       {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
+        sync::MutexLock lock(stats_mutex_);
         ++local_.delayed;
       }
       lane.held.emplace_back(plan_.delay_span, std::move(bytes));
@@ -156,7 +156,7 @@ void FaultyTransport::note_delivery_to_agent(int k) {
   if (++delivered_[idx] >= plan_.crash_after_deliveries) {
     crashed_[idx] = 1;
     inner_->close_agent(k);
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    sync::MutexLock lock(stats_mutex_);
     ++local_.crashed_agents;
   }
 }
@@ -171,7 +171,7 @@ bool FaultyTransport::send_to_agent(int k, std::string bytes) {
         note_delivery_to_agent(k);
         return true;
       });
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  sync::MutexLock lock(stats_mutex_);
   ++local_.messages;
   local_.bytes += n;
   return ok;
@@ -185,7 +185,7 @@ bool FaultyTransport::send_to_manager(int k, std::string bytes) {
            [this, k](std::string b) {
              return inner_->send_to_manager(k, std::move(b));
            });
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  sync::MutexLock lock(stats_mutex_);
   ++local_.messages;
   local_.bytes += n;
   return ok;
@@ -205,7 +205,7 @@ void FaultyTransport::close_agent(int k) { inner_->close_agent(k); }
 void FaultyTransport::close_all() { inner_->close_all(); }
 
 TransportStats FaultyTransport::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  sync::MutexLock lock(stats_mutex_);
   return local_;
 }
 

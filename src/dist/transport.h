@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/sync.h"
 #include "dist/mailbox.h"
 
 namespace cloudalloc::dist {
@@ -108,8 +109,8 @@ class ChannelTransport : public Transport {
   std::vector<std::unique_ptr<Mailbox<std::string>>> agent_inbox_;
   Mailbox<ManagerEnvelope> manager_inbox_;
   // Byte counters only; message counts come from the mailboxes.
-  mutable std::mutex bytes_mutex_;
-  std::size_t bytes_ = 0;
+  mutable sync::Mutex bytes_mutex_;
+  std::size_t bytes_ GUARDED_BY(bytes_mutex_) = 0;
 };
 
 /// Seeded fault-injection plan. All-zero probabilities = transparent
@@ -178,8 +179,9 @@ class FaultyTransport : public Transport {
   std::vector<char> crashes_;     ///< per-agent: crash scheduled?
   std::vector<int> delivered_;    ///< deliveries seen by agent k so far
   std::vector<char> crashed_;     ///< crash already executed
-  mutable std::mutex stats_mutex_;
-  TransportStats local_;  ///< attempted traffic + fault counters
+  mutable sync::Mutex stats_mutex_;
+  /// Attempted traffic + fault counters.
+  TransportStats local_ GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace cloudalloc::dist

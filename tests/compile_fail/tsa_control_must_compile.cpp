@@ -1,0 +1,43 @@
+// Control snippet for the thread-safety compile-fail checks: correct
+// capability usage MUST compile under
+//   clang++ -Wthread-safety -Werror=thread-safety
+// or the two expected-failure snippets (tsa_unguarded_write,
+// tsa_unannotated_lock) prove nothing. It exercises the full pattern
+// the codebase uses: GUARDED_BY fields read/written under a scoped
+// MutexLock, and the explicit CondVar wait loop from common/sync.h's
+// file comment.
+#include "common/sync.h"
+
+namespace {
+
+cloudalloc::sync::Mutex g_mutex;
+cloudalloc::sync::CondVar g_cv;
+bool g_ready GUARDED_BY(g_mutex) = false;
+int g_value GUARDED_BY(g_mutex) = 0;
+
+int read_locked() {
+  cloudalloc::sync::MutexLock lock(g_mutex);
+  return g_value;
+}
+
+void publish(int value) {
+  {
+    cloudalloc::sync::MutexLock lock(g_mutex);
+    g_value = value;
+    g_ready = true;
+  }
+  g_cv.notify_all();
+}
+
+int await_value() {
+  cloudalloc::sync::MutexLock lock(g_mutex);
+  while (!g_ready) g_cv.wait(lock);
+  return g_value;
+}
+
+// Odr-use everything so no -Wunused variant can reject the control.
+int use_all() { return read_locked() + (publish(1), await_value()); }
+
+}  // namespace
+
+int touch() { return use_all(); }

@@ -1,0 +1,22 @@
+// Must NOT compile under clang -Wthread-safety -Werror=thread-safety:
+// a manual lock() with no matching unlock on the exit path leaks the
+// capability — the classic early-return deadlock. The scoped MutexLock
+// cannot express this bug, which is exactly why manual lock()/unlock()
+// calls stay annotated (ACQUIRE/RELEASE on sync::Mutex) and analyzed.
+// Expected diagnostic:
+//   mutex 'g_mutex' is still held at the end of function
+#include "common/sync.h"
+
+namespace {
+
+cloudalloc::sync::Mutex g_mutex;
+int g_value GUARDED_BY(g_mutex) = 0;
+
+int read_with_leaked_lock() {
+  g_mutex.lock();
+  return g_value;  // returns without releasing: analysis rejects this
+}
+
+}  // namespace
+
+int touch() { return read_with_leaked_lock(); }

@@ -1,0 +1,23 @@
+// Must NOT compile under clang -Wthread-safety -Werror=thread-safety:
+// writing a GUARDED_BY field without holding its mutex is the bug class
+// the whole capability layer exists to reject (a racy counter bump here
+// is a silently-wrong profit in a sharded solve). Expected diagnostic:
+//   writing variable 'count_' requires holding mutex 'mutex_' exclusively
+#include "common/sync.h"
+
+namespace {
+
+class Counter {
+ public:
+  // No lock taken: under the annotations this is a compile error, not a
+  // TSan lottery ticket.
+  void bump_unlocked() { ++count_; }
+
+ private:
+  cloudalloc::sync::Mutex mutex_;
+  int count_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+void touch() { Counter().bump_unlocked(); }

@@ -1,0 +1,147 @@
+"""CLI for the project invariant analyzer.
+
+Usage (from the repo root):
+
+    python3 -m tools.analyze                    # scan, gate on baseline
+    python3 -m tools.analyze --json report.json # also write a JSON report
+    python3 -m tools.analyze --update-baseline  # re-bless current findings
+    python3 -m tools.analyze --list-rules       # rule name + one-liner
+
+Exit status: 1 iff any finding is neither waived inline nor present in
+the committed baseline (tools/analyze/baseline.json). CI uploads the
+JSON report as an artifact and fails on exactly that condition, so "CI
+is red" and "there is an unreviewed invariant violation" are the same
+statement.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from tools.analyze import baseline as baseline_mod
+from tools.analyze import cpp_rules  # noqa: F401  (registers the rules)
+from tools.analyze import rules as rules_mod
+
+# Directories whose sources are scanned at all.
+SCAN_DIRS = ("src", "bench", "examples", "tests")
+EXTENSIONS = (".h", ".cpp", ".cc")
+
+
+def scan_tree(root: pathlib.Path, active) -> list[rules_mod.Finding]:
+    findings: list[rules_mod.Finding] = []
+    scanned = 0
+    for scan_dir in SCAN_DIRS:
+        base = root / scan_dir
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in EXTENSIONS:
+                continue
+            rel = path.relative_to(root).as_posix()
+            scanned += 1
+            source = rules_mod.SourceFile.from_path(root, rel)
+            findings.extend(rules_mod.run_rules(source, active))
+    print(f"analyze: scanned {scanned} files with {len(active)} rules",
+          file=sys.stderr)
+    return findings
+
+
+def write_report(path: pathlib.Path, findings, new, baselined) -> None:
+    new_set = {id(f) for f in new}
+    base_set = {id(f) for f in baselined}
+    payload = {
+        "tool": "tools/analyze",
+        "format": 1,
+        "rules": [{"name": r.name, "doc": r.doc}
+                  for r in rules_mod.all_rules()],
+        "findings": [
+            {
+                "file": f.file,
+                "line": f.line,
+                "rule": f.rule,
+                "message": f.message,
+                "code": f.code,
+                "status": ("waived" if f.waived else
+                           "baselined" if id(f) in base_set else
+                           "new" if id(f) in new_set else "unknown"),
+            }
+            for f in findings
+        ],
+        "summary": {
+            "total": len(findings),
+            "new": len(new),
+            "baselined": len(baselined),
+            "waived": sum(1 for f in findings if f.waived),
+        },
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tools.analyze", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: two levels above this "
+                             "package)")
+    parser.add_argument("--rules", default=None,
+                        help="comma-separated rule subset (default: all)")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write a machine-readable report here")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="baseline file (default: "
+                             "tools/analyze/baseline.json)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline to bless every current "
+                             "unwaived finding, then exit 0")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule registry and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in rules_mod.all_rules():
+            print(f"{rule.name:22s} {rule.doc}")
+        return 0
+
+    root = (pathlib.Path(args.root).resolve() if args.root
+            else pathlib.Path(__file__).resolve().parent.parent.parent)
+    baseline_path = (pathlib.Path(args.baseline) if args.baseline
+                     else root / "tools" / "analyze" / "baseline.json")
+
+    names = (None if args.rules is None
+             else [r.strip() for r in args.rules.split(",") if r.strip()])
+    active = rules_mod.get_rules(names)
+
+    findings = scan_tree(root, active)
+    unwaived = [f for f in findings if not f.waived]
+
+    if args.update_baseline:
+        baseline_mod.save(baseline_path, unwaived)
+        print(f"analyze: baseline rewritten with {len(unwaived)} "
+              f"finding(s) -> {baseline_path}", file=sys.stderr)
+        return 0
+
+    baseline_keys = baseline_mod.load(baseline_path)
+    new, baselined = baseline_mod.split_new(unwaived, baseline_keys)
+
+    if args.json:
+        write_report(pathlib.Path(args.json), findings, new, baselined)
+
+    for f in new:
+        print(f.render())
+    stale = len(baseline_keys) - len(baselined)
+    print(
+        f"analyze: {len(findings)} finding(s): {len(new)} new, "
+        f"{len(baselined)} baselined, "
+        f"{sum(1 for f in findings if f.waived)} waived"
+        + (f"; {stale} stale baseline entr(y/ies) — consider "
+           f"--update-baseline" if stale > 0 else ""),
+        file=sys.stderr)
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

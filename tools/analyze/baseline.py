@@ -1,0 +1,74 @@
+"""Committed-findings baseline.
+
+The baseline lets a new rule land before the last offender is fixed:
+known findings are recorded in tools/analyze/baseline.json (committed,
+reviewed like code) and the analyzer fails only on findings NOT in it.
+Shrinking the baseline is always safe; growing it is a reviewed diff.
+
+Keying: a baseline entry is (file, rule, sha1 of the lexed code text of
+the offending line, occurrence index among identical keys in that file).
+Line numbers are deliberately NOT part of the key — inserting a comment
+above a baselined finding must not resurrect it — but editing the
+offending line itself invalidates the entry, which is exactly the
+moment a human should re-decide.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Iterable
+
+from tools.analyze.rules import Finding
+
+FORMAT_VERSION = 1
+
+
+def _code_hash(code: str) -> str:
+    normalized = " ".join(code.split())
+    return hashlib.sha1(normalized.encode("utf-8")).hexdigest()[:16]
+
+
+def finding_keys(findings: Iterable[Finding]) -> list[str]:
+    """Stable keys, occurrence-disambiguated in input (file) order."""
+    seen: dict[str, int] = {}
+    keys = []
+    for f in findings:
+        base = f"{f.file}|{f.rule}|{_code_hash(f.code)}"
+        occ = seen.get(base, 0)
+        seen[base] = occ + 1
+        keys.append(f"{base}|{occ}")
+    return keys
+
+
+def load(path) -> set[str]:
+    if not path.exists():
+        return set()
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("format") != FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline format {data.get('format')!r}")
+    return set(data.get("findings", []))
+
+
+def save(path, findings: Iterable[Finding]) -> None:
+    keys = sorted(finding_keys(findings))
+    payload = {
+        "format": FORMAT_VERSION,
+        "comment": (
+            "Known findings the analyzer tolerates. Remove entries as "
+            "offenders are fixed; additions are a reviewed diff. "
+            "Regenerate with: python3 -m tools.analyze --update-baseline"),
+        "findings": keys,
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def split_new(findings: list[Finding],
+              baseline_keys: set[str]) -> tuple[list[Finding], list[Finding]]:
+    """Partitions into (new, baselined) by stable key."""
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for f, key in zip(findings, finding_keys(findings)):
+        (old if key in baseline_keys else new).append(f)
+    return new, old

@@ -1,0 +1,10 @@
+// analyze-fixture: path=src/opt/walker.cpp rule=allocation-copy expect=clean
+#include "model/allocation.h"
+using cloudalloc::model::Allocation;
+using cloudalloc::model::Cloud;
+double walk(const Cloud& cloud) {
+  Allocation fresh(cloud);            // explicit from-Cloud constructor
+  const Allocation& ref = fresh;      // references are not copies
+  (void)ref;
+  return 0.0;
+}

@@ -1,0 +1,11 @@
+// analyze-fixture: path=src/opt/walker.cpp rule=allocation-copy expect=fire
+#include "model/allocation.h"
+using cloudalloc::model::Allocation;
+double walk(const Allocation& current) {
+  Allocation trial = current;
+  Allocation other(trial);
+  Allocation third = current.clone();
+  (void)other;
+  (void)third;
+  return 0.0;
+}

@@ -1,0 +1,3 @@
+// analyze-fixture: path=tests/test_mm1.cpp rule=bare-assert expect=clean
+#include <cassert>
+void check_case() { assert(1 + 1 == 2); }

@@ -1,0 +1,6 @@
+// analyze-fixture: path=src/queueing/mm1.cpp rule=bare-assert expect=fire
+#include <cassert>
+double respond(double rho) {
+  assert(rho < 1.0);
+  return 1.0 / (1.0 - rho);
+}

@@ -1,0 +1,8 @@
+// analyze-fixture: path=src/queueing/batch.cpp rule=float-accumulate expect=clean
+#include <vector>
+// Explicit sequential loop: the fold order is part of the code.
+double total(const std::vector<double>& xs) {
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum;
+}

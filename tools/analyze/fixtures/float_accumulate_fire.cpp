@@ -1,0 +1,6 @@
+// analyze-fixture: path=src/queueing/batch.cpp rule=float-accumulate expect=fire
+#include <numeric>
+#include <vector>
+double total(const std::vector<double>& xs) {
+  return std::accumulate(xs.begin(), xs.end(), 0.0);
+}

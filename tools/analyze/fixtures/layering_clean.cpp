@@ -1,0 +1,5 @@
+// analyze-fixture: path=src/serve/driver.cpp rule=layering expect=clean
+// serve sits on top; reaching down is the point.
+#include "alloc/allocator.h"
+#include "common/sync.h"
+#include "model/allocation.h"

@@ -1,0 +1,3 @@
+// analyze-fixture: path=src/model/hooks.h rule=layering expect=fire
+// model (layer 20) must not reach up into serve (layer 60).
+#include "serve/online_server.h"

@@ -1,0 +1,8 @@
+// analyze-fixture: path=src/model/doc.cpp rule=naked-mutex expect=clean
+// Rule tokens in comments, strings, and raw strings must never fire:
+// std::mutex in a comment is not code.
+const char* kDoc = "use std::mutex via common/sync.h";
+const char* kRaw = R"(std::lock_guard<std::mutex> lock(m);)";
+/* std::condition_variable in a block comment
+   spanning lines */
+int answer() { return 42; }

@@ -1,0 +1,4 @@
+// analyze-fixture: path=src/model/registry.cpp rule=naked-mutex expect=clean
+#include "common/sync.h"
+cloudalloc::sync::Mutex g_mutex;
+void touch() { cloudalloc::sync::MutexLock lock(g_mutex); }

@@ -1,0 +1,4 @@
+// analyze-fixture: path=src/model/registry.cpp rule=naked-mutex expect=fire
+#include <mutex>
+std::mutex g_mutex;
+void touch() { std::lock_guard<std::mutex> lock(g_mutex); }

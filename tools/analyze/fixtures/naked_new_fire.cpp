@@ -1,0 +1,5 @@
+// analyze-fixture: path=src/serve/cache.cpp rule=naked-new expect=fire
+void grow() {
+  int* p = new int[64];
+  (void)p;
+}

@@ -1,0 +1,3 @@
+// analyze-fixture: path=src/common/simd.h rule=raw-intrinsics expect=clean
+// common/ is the single sanctioned lane-abstraction home.
+typedef double vec4 __attribute__((vector_size(32)));

@@ -1,0 +1,3 @@
+// analyze-fixture: path=src/alloc/kernel.cpp rule=raw-intrinsics expect=fire
+typedef double vec4 __attribute__((vector_size(32)));
+vec4 add(vec4 a, vec4 b) { return a + b; }

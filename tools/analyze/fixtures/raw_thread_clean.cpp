@@ -1,0 +1,4 @@
+// analyze-fixture: path=src/dist/thread_pool.cpp rule=raw-thread expect=clean
+#include <thread>
+// The pool's own workers, plus the query form everywhere:
+unsigned hw() { return std::thread::hardware_concurrency(); }

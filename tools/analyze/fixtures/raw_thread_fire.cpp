@@ -1,0 +1,3 @@
+// analyze-fixture: path=src/serve/poller.cpp rule=raw-thread expect=fire
+#include <thread>
+void spawn() { std::thread([] {}).join(); }

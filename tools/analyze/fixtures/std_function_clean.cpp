@@ -1,0 +1,4 @@
+// analyze-fixture: path=src/serve/driver.cpp rule=std-function expect=clean
+// Cold control-plane code may use type erasure freely.
+#include <functional>
+void on_epoch(const std::function<void()>& fn) { fn(); }

@@ -1,0 +1,3 @@
+// analyze-fixture: path=src/sim/dispatch.cpp rule=std-function expect=fire
+#include <functional>
+void on_event(const std::function<void(int)>& fn) { fn(0); }

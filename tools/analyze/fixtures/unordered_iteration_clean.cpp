@@ -1,0 +1,8 @@
+// analyze-fixture: path=src/model/report.cpp rule=unordered-iteration expect=clean
+#include <unordered_map>
+// Point lookups are fine: no iteration order is observable.
+double lookup(const std::unordered_map<int, double>& m, int k) {
+  std::unordered_map<int, double> cache = m;
+  auto it = cache.find(k);
+  return it == cache.end() ? 0.0 : it->second;
+}

@@ -1,0 +1,8 @@
+// analyze-fixture: path=src/model/report.cpp rule=unordered-iteration expect=fire
+#include <unordered_map>
+double sum_profits(const std::unordered_map<int, double>& by_cluster) {
+  std::unordered_map<int, double> local = by_cluster;
+  double total = 0.0;
+  for (const auto& kv : local) total += kv.second;
+  return total;
+}

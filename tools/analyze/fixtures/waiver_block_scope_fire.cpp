@@ -1,0 +1,11 @@
+// analyze-fixture: path=src/serve/cache.cpp rule=naked-new expect=fire
+// The waiver block above a line covers that line only: the second
+// allocation below still fires.
+void grow() {
+  // analyze: allow(naked-new) -- bootstrap allocation, freed at exit;
+  // the justification may wrap onto several comment lines.
+  int* a = new int[8];
+  int* b = new int[8];
+  (void)a;
+  (void)b;
+}

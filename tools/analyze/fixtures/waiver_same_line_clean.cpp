@@ -1,0 +1,3 @@
+// analyze-fixture: path=src/model/registry.cpp rule=naked-mutex expect=clean
+#include <mutex>
+std::mutex g_special;  // analyze: allow(naked-mutex)

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Fixture-driven rule tests for the project invariant analyzer.
+
+Every fixture under tools/analyze/fixtures/ is a small C++ file whose
+first line declares how the analyzer must treat it:
+
+    // analyze-fixture: path=<pretend-repo-path> rule=<name> expect=fire
+    // analyze-fixture: path=<pretend-repo-path> rule=<name> expect=clean
+
+The file is lexed and scanned AS IF it lived at the pretend path (rules
+are path-scoped: the same bytes can be legal in src/common/ and illegal
+in src/alloc/). `fire` asserts at least one unwaived finding of the
+named rule; `clean` asserts none. Both directions exist for every rule,
+so a rule that silently stops firing — or starts firing on sanctioned
+code — fails ctest (AnalyzerRuleFixtures), not a future reviewer.
+
+Run directly: python3 tools/analyze/run_fixture_tests.py
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO_ROOT))
+
+from tools.analyze import cpp_rules  # noqa: F401, E402  (registers rules)
+from tools.analyze import rules as rules_mod  # noqa: E402
+
+DIRECTIVE_RE = re.compile(
+    r"//\s*analyze-fixture:\s*path=(?P<path>\S+)\s+rule=(?P<rule>[a-z-]+)"
+    r"\s+expect=(?P<expect>fire|clean)")
+
+FIXTURE_DIR = pathlib.Path(__file__).resolve().parent / "fixtures"
+
+
+def run_fixture(path: pathlib.Path) -> str | None:
+    """Returns an error string, or None on pass."""
+    text = path.read_text(encoding="utf-8")
+    m = DIRECTIVE_RE.match(text)
+    if m is None:
+        return f"{path.name}: missing or malformed analyze-fixture directive"
+    rule_name = m.group("rule")
+    try:
+        rules = rules_mod.get_rules([rule_name])
+    except KeyError as e:
+        return f"{path.name}: {e}"
+    source = rules_mod.SourceFile.from_text(m.group("path"), text)
+    findings = [f for f in rules_mod.run_rules(source, rules)
+                if not f.waived]
+    fired = len(findings) > 0
+    want_fire = m.group("expect") == "fire"
+    if fired == want_fire:
+        return None
+    if want_fire:
+        return (f"{path.name}: expected rule '{rule_name}' to fire at "
+                f"pretend path {m.group('path')}, but it stayed silent")
+    lines = "; ".join(f"line {f.line}: {f.message}" for f in findings)
+    return (f"{path.name}: expected rule '{rule_name}' to stay silent at "
+            f"pretend path {m.group('path')}, but it fired: {lines}")
+
+
+def main() -> int:
+    fixtures = sorted(FIXTURE_DIR.glob("*.cpp"))
+    if not fixtures:
+        print("no fixtures found", file=sys.stderr)
+        return 1
+
+    # Coverage gate: every registered rule needs both a fire and a clean
+    # fixture, so new rules cannot land untested.
+    directions: dict[str, set[str]] = {}
+    errors: list[str] = []
+    for path in fixtures:
+        m = DIRECTIVE_RE.match(path.read_text(encoding="utf-8"))
+        if m is not None:
+            directions.setdefault(m.group("rule"), set()).add(
+                m.group("expect"))
+        error = run_fixture(path)
+        if error is not None:
+            errors.append(error)
+
+    for rule in rules_mod.all_rules():
+        missing = {"fire", "clean"} - directions.get(rule.name, set())
+        for direction in sorted(missing):
+            errors.append(
+                f"rule '{rule.name}' has no expect={direction} fixture; "
+                f"add one under tools/analyze/fixtures/")
+
+    for error in errors:
+        print(f"FAIL {error}")
+    print(f"analyzer fixtures: {len(fixtures)} run, "
+          f"{len(errors)} failure(s)", file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

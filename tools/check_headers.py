@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Header self-containment gate.
+
+Compiles every public header under src/ as its own translation unit
+(`#include "the/header.h"` and nothing else, -fsyntax-only), so a
+header that silently leans on a transitive include — the classic "works
+until someone reorders the includes" landmine — fails here instead of
+in a future refactor. CI runs this in the lint job; locally:
+
+    python3 tools/check_headers.py            # all headers
+    python3 tools/check_headers.py -j 8       # parallel
+    python3 tools/check_headers.py src/dist   # subset
+
+The compiler honors $CXX (default: c++). Headers compile with the same
+language standard as the build (C++20) and -I src.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def check_header(cxx: str, rel: str, build_dir: pathlib.Path) -> str | None:
+    """Returns the compiler error text, or None when self-contained."""
+    stem = rel.replace("/", "_")
+    tu = build_dir / f"{stem}.cpp"
+    tu.write_text(f'#include "{rel[len("src/"):]}"\n', encoding="utf-8")
+    proc = subprocess.run(
+        [cxx, "-std=c++20", "-fsyntax-only", "-I", str(REPO_ROOT / "src"),
+         "-Wall", "-Wextra", str(tu)],
+        capture_output=True, text=True)
+    if proc.returncode == 0:
+        return None
+    return proc.stderr.strip() or f"{cxx} exited {proc.returncode}"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("subset", nargs="*",
+                        help="restrict to headers under these paths")
+    parser.add_argument("-j", "--jobs", type=int,
+                        default=os.cpu_count() or 1)
+    args = parser.parse_args()
+
+    cxx = os.environ.get("CXX", "c++")
+    headers = sorted(
+        p.relative_to(REPO_ROOT).as_posix()
+        for p in (REPO_ROOT / "src").rglob("*.h"))
+    if args.subset:
+        prefixes = tuple(s.rstrip("/") for s in args.subset)
+        headers = [h for h in headers if h.startswith(prefixes)]
+    if not headers:
+        print("no headers matched", file=sys.stderr)
+        return 1
+
+    failures: list[tuple[str, str]] = []
+    with tempfile.TemporaryDirectory(prefix="hdrcheck_") as tmp:
+        build_dir = pathlib.Path(tmp)
+        with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+            futures = {
+                pool.submit(check_header, cxx, rel, build_dir): rel
+                for rel in headers
+            }
+            for future in concurrent.futures.as_completed(futures):
+                rel = futures[future]
+                error = future.result()
+                if error is not None:
+                    failures.append((rel, error))
+
+    for rel, error in sorted(failures):
+        print(f"NOT SELF-CONTAINED: {rel}\n{error}\n")
+    print(f"check_headers: {len(headers)} headers, "
+          f"{len(failures)} failure(s)", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

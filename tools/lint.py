@@ -1,216 +1,19 @@
 #!/usr/bin/env python3
-"""Repo-specific lint rules that clang-tidy cannot express.
+"""Back-compat shim: the regex linter grew into the tools/analyze
+package (real C++ lexer, rule registry, inline waivers, committed
+baseline, JSON report — see DESIGN.md section 16).
 
-Each rule maps to a bug class this codebase has actually been designed
-against (see DESIGN.md section 11 for the rule -> bug-class table):
-
-  naked-new      `new`/`malloc` outside the dedicated pool allocators.
-                 The simulator recycles requests through
-                 sim/request_pool.h precisely so the event loop never
-                 touches the general-purpose heap; a stray `new` there
-                 is a latent fragmentation/latency bug and everywhere
-                 else it is a leak waiting for an early return.
-  std-function   `std::function` in src/sim/ or the hot allocator
-                 paths. A std::function per event/candidate means one
-                 type-erased heap allocation and an indirect call in
-                 loops that run millions of times; the typed-event core
-                 (sim/event.h) exists to remove exactly that. Cold
-                 control-plane code may use it freely.
-  bare-assert    `assert()` in non-test sources. NDEBUG strips asserts
-                 in release builds, and the optimizer's validity domains
-                 (queue stability, share bounds) must stay guarded in
-                 production: violating them yields silently-wrong
-                 profits, not crashes. Use CHECK/CHECK_MSG from
-                 common/check.h, which stay on in all build types.
-  raw-intrinsics x86 intrinsics or GCC vector extensions outside
-                 src/common/. common/simd.h is the single sanctioned
-                 lane abstraction: it carries the bit-identity contract
-                 (-ffp-contract=off, width-independent results) and the
-                 runtime dispatch. A raw `_mm256_*` call or ad-hoc
-                 `vector_size` type elsewhere silently forks that
-                 contract — kernels written against it stop being
-                 bitwise-reproducible across lane widths.
-  raw-thread     `std::thread`/`std::jthread`/`std::async` outside
-                 src/dist/. The work-stealing pool (dist/thread_pool.h)
-                 is the one sanctioned execution backend: it carries
-                 the determinism contract, the drain-before-rethrow
-                 exception contract, and the shared-pool reuse that
-                 keeps epochs from paying thread spawn/join. An ad-hoc
-                 thread elsewhere forks all three and is invisible to
-                 the TSan sweep's scheduler stress. Tests may spawn
-                 threads to exercise concurrency from the outside.
-
-A finding can be waived on its line with `// lint: allow(<rule>)` and a
-justification; the waiver is part of the diff and shows up in review.
-
-Usage: tools/lint.py [--root DIR]    exits 1 if any rule fires.
+This entry point survives so local habits and scripts keep working;
+it forwards every argument to `python3 -m tools.analyze`.
 """
 
-from __future__ import annotations
-
-import argparse
 import pathlib
-import re
 import sys
 
-# Directories whose sources are scanned at all.
-SCAN_DIRS = ("src", "bench", "examples", "tests")
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT))
 
-# Files allowed to allocate directly: the pool implementations.
-POOL_FILES = {
-    "src/sim/request_pool.h",
-    "src/common/arena.h",
-}
-
-# std::function is banned here: the simulator core and the allocator's
-# per-candidate hot paths.
-HOT_PATH_PREFIXES = (
-    "src/sim/",
-    "src/alloc/delta_price",
-    "src/alloc/share_policy",
-    "src/alloc/assign_distribute",
-    "src/alloc/reassign",
-)
-
-# Test sources may use assert/gtest freely.
-TEST_PREFIXES = ("tests/",)
-
-# The only home for SIMD lane types and intrinsics (see common/simd.h).
-SIMD_HOME_PREFIXES = ("src/common/",)
-
-# The only home for raw thread spawning (see dist/thread_pool.h).
-THREAD_HOME_PREFIXES = ("src/dist/",)
-
-ALLOW_RE = re.compile(r"//\s*lint:\s*allow\((?P<rule>[a-z-]+)\)")
-
-NAKED_NEW_RE = re.compile(r"(?:^|[^:_\w.])new\s+[A-Za-z_(]|\bmalloc\s*\(")
-STD_FUNCTION_RE = re.compile(r"\bstd::function\b")
-BARE_ASSERT_RE = re.compile(r"(?:^|[^_\w.])assert\s*\(")
-RAW_INTRINSICS_RE = re.compile(
-    r"immintrin\.h|\b_mm\d*_\w+|__m(?:128|256|512)[id]?\b"
-    r"|__builtin_ia32_\w+|\bvector_size\b")
-# std::thread spawns; the lookahead spares std::thread::hardware_concurrency
-# (a query, not a spawn).
-RAW_THREAD_RE = re.compile(r"\bstd::j?thread\b(?!::)|\bstd::async\s*\(")
-
-
-def strip_noncode(line: str) -> str:
-    """Remove string/char literals and trailing // comments.
-
-    Single-line approximation: multi-line raw strings and block comments
-    are rare in this codebase and handled by the caller's block-comment
-    state machine.
-    """
-    out = []
-    i = 0
-    n = len(line)
-    while i < n:
-        ch = line[i]
-        if ch == '"' or ch == "'":
-            quote = ch
-            i += 1
-            while i < n:
-                if line[i] == "\\":
-                    i += 2
-                    continue
-                if line[i] == quote:
-                    i += 1
-                    break
-                i += 1
-            out.append(quote + quote)  # keep token boundaries
-            continue
-        if ch == "/" and i + 1 < n and line[i + 1] == "/":
-            break
-        out.append(ch)
-        i += 1
-    return "".join(out)
-
-
-def scan_file(root: pathlib.Path, rel: str) -> list[str]:
-    findings = []
-    is_test = rel.startswith(TEST_PREFIXES)
-    is_pool = rel in POOL_FILES
-    is_hot = rel.startswith(HOT_PATH_PREFIXES)
-
-    in_block_comment = False
-    for lineno, raw in enumerate(
-            (root / rel).read_text(encoding="utf-8").splitlines(), start=1):
-        line = raw
-        # Block-comment state machine (no code+comment mixing on one
-        # line in this codebase's style, so whole-line skip is fine).
-        if in_block_comment:
-            if "*/" in line:
-                in_block_comment = False
-                line = line.split("*/", 1)[1]
-            else:
-                continue
-        if "/*" in line and "*/" not in line:
-            in_block_comment = True
-            line = line.split("/*", 1)[0]
-
-        allow = ALLOW_RE.search(raw)
-        code = strip_noncode(line)
-
-        def report(rule: str, message: str) -> None:
-            if allow and allow.group("rule") == rule:
-                return
-            findings.append(f"{rel}:{lineno}: [{rule}] {message}")
-
-        if not is_pool and NAKED_NEW_RE.search(code):
-            report("naked-new",
-                   "direct heap allocation; use the pool allocators or a "
-                   "container (see sim/request_pool.h)")
-        if is_hot and STD_FUNCTION_RE.search(code):
-            report("std-function",
-                   "type-erased callable in a hot path; use a template "
-                   "parameter or the typed-event core (sim/event.h)")
-        if not is_test and BARE_ASSERT_RE.search(code):
-            report("bare-assert",
-                   "assert() vanishes under NDEBUG; use CHECK/CHECK_MSG "
-                   "from common/check.h")
-        if not rel.startswith(SIMD_HOME_PREFIXES) and \
-                RAW_INTRINSICS_RE.search(code):
-            report("raw-intrinsics",
-                   "raw intrinsics / vector extensions outside "
-                   "src/common/; write kernels against common/simd.h so "
-                   "the bit-identity contract holds")
-        if not is_test and not rel.startswith(THREAD_HOME_PREFIXES) and \
-                RAW_THREAD_RE.search(code):
-            report("raw-thread",
-                   "ad-hoc thread spawn outside src/dist/; run work "
-                   "through dist::ThreadPool (shared() for repeated "
-                   "solves) so determinism and exception contracts hold")
-    return findings
-
-
-def main() -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--root", default=None,
-                        help="repo root (default: parent of this script)")
-    args = parser.parse_args()
-
-    root = (pathlib.Path(args.root) if args.root
-            else pathlib.Path(__file__).resolve().parent.parent)
-
-    findings: list[str] = []
-    scanned = 0
-    for scan_dir in SCAN_DIRS:
-        base = root / scan_dir
-        if not base.is_dir():
-            continue
-        for path in sorted(base.rglob("*")):
-            if path.suffix not in (".h", ".cpp", ".cc"):
-                continue
-            rel = path.relative_to(root).as_posix()
-            scanned += 1
-            findings.extend(scan_file(root, rel))
-
-    for f in findings:
-        print(f)
-    print(f"lint.py: scanned {scanned} files, "
-          f"{len(findings)} finding(s)", file=sys.stderr)
-    return 1 if findings else 0
-
+from tools.analyze.__main__ import main  # noqa: E402
 
 if __name__ == "__main__":
     sys.exit(main())
